@@ -1,0 +1,100 @@
+// Reproduces the running example of the paper:
+//  * Fig. 2 — the example RSN with segments A, B, C, D and its reset-time
+//    active scan path (A, B, D);
+//  * Fig. 3 — the scan segment interface exercised by a CSU operation;
+//  * Fig. 4 — the potential edge set and the minimal augmenting edge set
+//    computed by the ILP (printed as an edge list and as DOT);
+//  * Fig. 5 — the hardened select logic in the vicinity of segment B.
+#include <cstdio>
+
+#include "augment/augment.hpp"
+#include "bench_util.hpp"
+#include "graph/dataflow.hpp"
+#include "sim/csu_sim.hpp"
+#include "synth/synth.hpp"
+
+using namespace ftrsn;
+
+int main() {
+  const Rsn rsn = make_example_rsn();
+  const auto names = rsn.node_names();
+
+  std::printf("Fig. 2 — example RSN (A, B, C, D)\n");
+  bench::rule();
+  for (NodeId id = 0; id < rsn.num_nodes(); ++id) {
+    const RsnNode& n = rsn.node(id);
+    switch (n.kind) {
+      case NodeKind::kPrimaryIn:
+        std::printf("  scan-in   %s\n", n.name.c_str());
+        break;
+      case NodeKind::kPrimaryOut:
+        std::printf("  scan-out  %s <- %s\n", n.name.c_str(),
+                    names[n.scan_in].c_str());
+        break;
+      case NodeKind::kSegment:
+        std::printf("  segment   %s (%d bits) <- %s\n", n.name.c_str(),
+                    n.length, names[n.scan_in].c_str());
+        break;
+      case NodeKind::kMux:
+        std::printf("  scan mux  %s (in0=%s, in1=%s, addr=%s)\n",
+                    n.name.c_str(), names[n.mux_in[0]].c_str(),
+                    names[n.mux_in[1]].c_str(),
+                    rsn.ctrl().to_string(n.addr, names).c_str());
+        break;
+    }
+  }
+  CsuSimulator sim(rsn);
+  std::printf("  active path at reset:");
+  for (NodeId seg : sim.active_path()) std::printf(" %s", names[seg].c_str());
+  std::printf("  (%d bits)\n\n", sim.active_path_bits());
+
+  std::printf("Fig. 3 — CSU operation through the active path\n");
+  bench::rule();
+  sim.set_data_in(2 /*B*/, {1, 0, 1});
+  const CsuResult csu = sim.csu(std::vector<std::uint8_t>(7, 0));
+  std::printf("  capture/shift/update over %d bits; B's captured data seen"
+              " in the out-stream:", csu.path_bits);
+  for (std::uint8_t b : csu.out_bits) std::printf(" %d", int(b));
+  std::printf("\n\n");
+
+  const DataflowGraph g = DataflowGraph::from_rsn(rsn);
+  AugmentOptions aopt;
+  aopt.window = 0;  // full potential edge set E_P as in the paper
+  aopt.spof_repair = false;
+  std::printf("Fig. 4 — potential edges E_P (level-forward) and the minimal "
+              "augmenting edge set\n");
+  bench::rule();
+  const auto potentials = potential_edges(g, aopt);
+  std::printf("  |V| = %zu, |E| = %zu, |E_P \\ E| = %zu\n", g.num_vertices(),
+              g.num_edges(), potentials.size());
+  const AugmentResult degree_only = augment_connectivity(g, aopt);
+  std::printf("  ILP solution (degree constraints, cost %lld):",
+              degree_only.cost);
+  for (const DfEdge& e : degree_only.added_edges)
+    std::printf(" %s->%s", names[e.from].c_str(), names[e.to].c_str());
+  std::printf("\n");
+  AugmentOptions full = aopt;
+  full.spof_repair = true;
+  const AugmentResult hardened = augment_connectivity(g, full);
+  std::printf("  with backbone-skip hardening (cost %lld):", hardened.cost);
+  for (const DfEdge& e : hardened.added_edges)
+    std::printf(" %s->%s", names[e.from].c_str(), names[e.to].c_str());
+  std::printf("\n  DOT (original solid, augmenting dashed):\n%s\n",
+              g.to_dot(names, hardened.added_edges).c_str());
+
+  std::printf("Fig. 5 — hardened select logic in the vicinity of B\n");
+  bench::rule();
+  const SynthResult synth = synthesize_fault_tolerant(rsn);
+  const auto ft_names = synth.rsn.node_names();
+  for (NodeId id = 0; id < synth.rsn.num_nodes(); ++id) {
+    const RsnNode& n = synth.rsn.node(id);
+    if (!n.is_segment() || n.name != "B") continue;
+    std::printf("  Select(B) = %s\n",
+                synth.rsn.ctrl().to_string(n.select, ft_names, 8).c_str());
+  }
+  std::printf(
+      "  (paper: Select(B) = (Select(D) & !a) | (Select(C) & !b); the\n"
+      "   synthesized form is the same OR-of-successor-terms structure,\n"
+      "   duplicated for selective hardening)\n");
+  return 0;
+}

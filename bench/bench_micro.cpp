@@ -1,0 +1,110 @@
+// Micro-benchmarks of the substrates (google-benchmark): CDCL SAT, CSU
+// simulation, max-flow connectivity checks, the fixpoint accessibility
+// analyzer, min-cost-flow degree covering, and the full synthesis.
+#include <benchmark/benchmark.h>
+
+#include "augment/augment.hpp"
+#include "fault/accessibility.hpp"
+#include "fault/metric.hpp"
+#include "graph/dataflow.hpp"
+#include "ilp/mincost_flow.hpp"
+#include "itc02/itc02.hpp"
+#include "sat/solver.hpp"
+#include "sim/csu_sim.hpp"
+#include "synth/synth.hpp"
+
+namespace ftrsn {
+namespace {
+
+const Rsn& u226() {
+  static const Rsn rsn = itc02::generate_sib_rsn(*itc02::find_soc("u226"));
+  return rsn;
+}
+const Rsn& u226_ft() {
+  static const Rsn rsn = synthesize_fault_tolerant(u226()).rsn;
+  return rsn;
+}
+
+void BM_SatPigeonhole(benchmark::State& state) {
+  const int holes = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sat::Solver s;
+    std::vector<std::vector<int>> p(static_cast<std::size_t>(holes) + 1);
+    for (auto& row : p)
+      for (int h = 0; h < holes; ++h) row.push_back(s.new_var());
+    for (const auto& row : p) {
+      std::vector<sat::Lit> clause;
+      for (int v : row) clause.push_back(sat::Lit(v, false));
+      s.add_clause(clause);
+    }
+    for (int h = 0; h < holes; ++h)
+      for (std::size_t i = 0; i <= static_cast<std::size_t>(holes); ++i)
+        for (std::size_t j = i + 1; j <= static_cast<std::size_t>(holes); ++j)
+          s.add_binary(sat::Lit(p[i][static_cast<std::size_t>(h)], true),
+                       sat::Lit(p[j][static_cast<std::size_t>(h)], true));
+    benchmark::DoNotOptimize(s.solve());
+  }
+}
+BENCHMARK(BM_SatPigeonhole)->Arg(5)->Arg(7);
+
+void BM_CsuShiftThroughU226(benchmark::State& state) {
+  CsuSimulator sim(u226());
+  const int bits = sim.active_path_bits();
+  for (auto _ : state) {
+    const CsuResult r =
+        sim.csu(std::vector<std::uint8_t>(static_cast<std::size_t>(bits), 1));
+    benchmark::DoNotOptimize(r.out_bits.data());
+  }
+  state.SetItemsProcessed(state.iterations() * bits);
+}
+BENCHMARK(BM_CsuShiftThroughU226);
+
+void BM_VertexDisjointPaths(benchmark::State& state) {
+  const DataflowGraph g = DataflowGraph::from_rsn(u226_ft());
+  const NodeId root = g.roots().front();
+  for (auto _ : state) {
+    int total = 0;
+    for (NodeId v = 0; v < g.num_vertices(); v += 7)
+      total += g.vertex_disjoint_paths(root, v, 2);
+    benchmark::DoNotOptimize(total);
+  }
+}
+BENCHMARK(BM_VertexDisjointPaths);
+
+void BM_AccessAnalyzerPerFault(benchmark::State& state) {
+  const Rsn& rsn = u226_ft();
+  const AccessAnalyzer analyzer(rsn);
+  const auto faults = enumerate_faults(rsn);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analyzer.accessible_under(&faults[i]));
+    i = (i + 13) % faults.size();
+  }
+}
+BENCHMARK(BM_AccessAnalyzerPerFault);
+
+void BM_MetricU226Original(benchmark::State& state) {
+  for (auto _ : state)
+    benchmark::DoNotOptimize(compute_fault_tolerance(u226()));
+}
+BENCHMARK(BM_MetricU226Original);
+
+void BM_DegreeCover(benchmark::State& state) {
+  const DataflowGraph g = DataflowGraph::from_rsn(u226());
+  AugmentOptions opt;
+  opt.spof_repair = false;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(augment_connectivity(g, opt));
+}
+BENCHMARK(BM_DegreeCover);
+
+void BM_FullSynthesisU226(benchmark::State& state) {
+  for (auto _ : state)
+    benchmark::DoNotOptimize(synthesize_fault_tolerant(u226()));
+}
+BENCHMARK(BM_FullSynthesisU226);
+
+}  // namespace
+}  // namespace ftrsn
+
+BENCHMARK_MAIN();

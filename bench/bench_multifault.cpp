@@ -1,0 +1,96 @@
+// Extension beyond the paper: double-fault tolerance.
+//
+// The paper synthesizes for *single* stuck-at faults.  This bench samples
+// random pairs of simultaneous faults and evaluates the accessible segment
+// fraction of the original and fault-tolerant RSNs — quantifying how much
+// of the hardening survives a second fault (the skip shingles were sized
+// for one bypass per chain neighbourhood, so adjacent double faults can
+// defeat them).
+//
+// FTRSN_SOCS selects SoCs (default u226,x1331); FTRSN_PAIRS the sample
+// count (default 400).
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench_util.hpp"
+#include "fault/accessibility.hpp"
+#include "fault/metric.hpp"
+#include "synth/synth.hpp"
+
+using namespace ftrsn;
+
+namespace {
+
+struct PairStats {
+  double worst = 1.0;
+  double avg = 0.0;
+  double frac_total_loss = 0.0;  // pairs losing > 50 % of segments
+};
+
+PairStats sample_pairs(const Rsn& rsn, int pairs, Rng& rng) {
+  const AccessAnalyzer analyzer(rsn);
+  const auto faults = enumerate_faults(rsn);
+  MetricOptions mopt;
+  long long counted = 0;
+  std::vector<bool> is_counted(rsn.num_nodes(), false);
+  for (NodeId id = 0; id < rsn.num_nodes(); ++id)
+    if (rsn.node(id).is_segment() &&
+        metric_counts_role(rsn.node(id).role, mopt)) {
+      is_counted[id] = true;
+      ++counted;
+    }
+  PairStats stats;
+  for (int k = 0; k < pairs; ++k) {
+    std::vector<Fault> pair{
+        faults[rng.next_below(faults.size())],
+        faults[rng.next_below(faults.size())]};
+    const auto acc = analyzer.accessible_under_set(pair);
+    long long alive = 0;
+    for (NodeId id = 0; id < rsn.num_nodes(); ++id)
+      if (is_counted[id] && acc[id]) ++alive;
+    const double frac =
+        static_cast<double>(alive) / static_cast<double>(counted);
+    stats.worst = std::min(stats.worst, frac);
+    stats.avg += frac;
+    if (frac < 0.5) stats.frac_total_loss += 1.0;
+  }
+  stats.avg /= pairs;
+  stats.frac_total_loss /= pairs;
+  return stats;
+}
+
+}  // namespace
+
+int main() {
+  if (!std::getenv("FTRSN_SOCS")) setenv("FTRSN_SOCS", "u226,x1331", 0);
+  const int pairs =
+      std::getenv("FTRSN_PAIRS") ? atoi(std::getenv("FTRSN_PAIRS")) : 400;
+  std::printf("Double-fault tolerance (extension; %d random fault pairs, "
+              "segment fraction accessible)\n",
+              pairs);
+  bench::rule('-', 108);
+  std::printf("%-9s | %-34s | %-34s\n", "",
+              "original: worst   avg   >50%-loss",
+              "fault-tolerant: worst   avg   >50%-loss");
+  bench::rule('-', 108);
+  Rng rng(0xD0B1E);
+  for (const auto& soc : bench::selected_socs()) {
+    const Rsn original = itc02::generate_sib_rsn(soc);
+    const Rsn ft = synthesize_fault_tolerant(original).rsn;
+    const PairStats o = sample_pairs(original, pairs, rng);
+    const PairStats h = sample_pairs(ft, pairs, rng);
+    std::printf("%-9s |        %.3f  %.3f      %4.1f%%     |        %.3f  "
+                "%.3f      %4.1f%%\n",
+                soc.name.c_str(), o.worst, o.avg, 100.0 * o.frac_total_loss,
+                h.worst, h.avg, 100.0 * h.frac_total_loss);
+  }
+  bench::rule('-', 108);
+  std::printf(
+      "reading: the single-fault synthesis still absorbs most double faults\n"
+      "(average stays near 1.0 and catastrophic pairs become rare), but the\n"
+      "worst pair can defeat a shingle and its neighbour — full double-fault\n"
+      "tolerance would need 3-wide skips, exactly the generalization the\n"
+      "paper leaves open.\n");
+  return 0;
+}

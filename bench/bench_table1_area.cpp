@@ -1,0 +1,49 @@
+// Reproduces the "RSN Area Overhead" columns of Table I: fault-tolerant /
+// original ratios of scan mux count, scan bits, interconnects and area
+// (NAND2-equivalent structural model; see DESIGN.md §3 for the
+// commercial-synthesis substitution).
+#include <cstdio>
+
+#include "area/area.hpp"
+#include "bench_util.hpp"
+#include "core/flow.hpp"
+
+using namespace ftrsn;
+
+int main() {
+  std::printf("Table I — area overhead ratios (measured | paper)\n");
+  bench::rule('-', 112);
+  std::printf("%-9s %16s %16s %16s %16s %10s %12s\n", "SoC", "mux", "bits",
+              "nets", "area", "pins", "added edges");
+  bench::rule('-', 112);
+  double weighted_area = 0.0, weight = 0.0;
+  double paper_weighted = 0.0;
+  for (const auto& soc : bench::selected_socs()) {
+    const auto& row = bench::paper_row(soc.name);
+    FlowOptions opt;
+    opt.evaluate_original = false;
+    opt.evaluate_hardened = false;
+    const FlowResult r = run_soc_flow(soc.name, opt);
+    const auto cell = [](double got, double want) {
+      return strprintf("%5.2f |%5.2f", got, want);
+    };
+    std::printf("%-9s %16s %16s %16s %16s %10d %12d\n", soc.name.c_str(),
+                cell(r.overhead.mux, row.r_mux).c_str(),
+                cell(r.overhead.bits, row.r_bits).c_str(),
+                cell(r.overhead.nets, row.r_nets).c_str(),
+                cell(r.overhead.area, row.r_area).c_str(),
+                r.augment_edges - r.synth_stats.added_registers,
+                r.augment_edges);
+    weighted_area += r.overhead.area * static_cast<double>(row.bits);
+    paper_weighted += row.r_area * static_cast<double>(row.bits);
+    weight += static_cast<double>(row.bits);
+  }
+  bench::rule('-', 112);
+  if (weight > 0)
+    std::printf(
+        "bit-weighted average area overhead: measured %+.1f%% | paper "
+        "%+.1f%% (paper text: +8.2%%)\n",
+        (weighted_area / weight - 1.0) * 100.0,
+        (paper_weighted / weight - 1.0) * 100.0);
+  return 0;
+}

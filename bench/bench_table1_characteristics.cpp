@@ -1,0 +1,38 @@
+// Reproduces the "RSN Characteristics" columns of Table I: the SIB-based
+// RSNs generated from the ITC'02 SoCs.  These must match the paper exactly
+// (the embedded SoC descriptors are calibrated for it; see DESIGN.md §3).
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "rsn/rsn.hpp"
+
+using namespace ftrsn;
+
+int main() {
+  std::printf("Table I — RSN characteristics (paper value in parentheses)\n");
+  bench::rule();
+  std::printf("%-9s %17s %14s %12s %14s %18s\n", "SoC", "modules", "levels",
+              "mux", "segments", "bits");
+  bench::rule();
+  bool all_match = true;
+  for (const auto& soc : bench::selected_socs()) {
+    const auto& row = bench::paper_row(soc.name);
+    const Rsn rsn = itc02::generate_sib_rsn(soc);
+    const RsnStats st = rsn.stats();
+    const int modules = static_cast<int>(soc.modules.size());
+    const auto cell = [&](long long got, long long want) {
+      all_match &= got == want;
+      return strprintf("%6lld (%5lld)%s", got, want, got == want ? " " : "!");
+    };
+    std::printf("%-9s %s %s %s %s %s\n", soc.name.c_str(),
+                cell(modules, row.modules).c_str(),
+                cell(st.levels, row.levels).c_str(),
+                cell(st.muxes, row.mux).c_str(),
+                cell(st.segments, row.segments).c_str(),
+                cell(st.bits, row.bits).c_str());
+  }
+  bench::rule();
+  std::printf("characteristics %s the paper\n",
+              all_match ? "MATCH" : "DIFFER FROM");
+  return all_match ? 0 : 1;
+}

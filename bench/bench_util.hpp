@@ -1,0 +1,40 @@
+// Shared helpers for the bench harness binaries.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "itc02/itc02.hpp"
+#include "util/common.hpp"
+
+namespace ftrsn::bench {
+
+/// SoC subset selection: FTRSN_SOCS="u226,d695" restricts a bench to the
+/// listed SoCs (all 13 by default).  Used to keep smoke runs fast.
+inline std::vector<itc02::Soc> selected_socs() {
+  const char* env = std::getenv("FTRSN_SOCS");
+  if (!env || !*env) return itc02::socs();
+  std::vector<itc02::Soc> out;
+  for (const std::string& name : split(env, ',')) {
+    const auto soc = itc02::find_soc(std::string(trim(name)));
+    FTRSN_CHECK_MSG(soc.has_value(), "unknown SoC in FTRSN_SOCS: " + name);
+    out.push_back(*soc);
+  }
+  return out;
+}
+
+inline const itc02::TableRow& paper_row(const std::string& soc) {
+  for (const auto& row : itc02::table1())
+    if (row.soc == soc) return row;
+  FTRSN_CHECK_MSG(false, "no Table I row for " + soc);
+  __builtin_unreachable();
+}
+
+inline void rule(char c = '-', int n = 100) {
+  for (int i = 0; i < n; ++i) std::putchar(c);
+  std::putchar('\n');
+}
+
+}  // namespace ftrsn::bench

@@ -1,0 +1,52 @@
+// Define a custom SoC (modules with scan chains), generate its SIB-based
+// RSN, synthesize the fault-tolerant variant, and export both networks in
+// the .rsn text format.
+//
+//   build/examples/example_custom_soc [output-directory]
+#include <cstdio>
+#include <string>
+
+#include "core/flow.hpp"
+#include "io/rsn_text.hpp"
+#include "itc02/itc02.hpp"
+
+using namespace ftrsn;
+
+int main(int argc, char** argv) {
+  const std::string out_dir = argc > 1 ? argv[1] : "/tmp";
+
+  // A small hierarchical SoC: a top-level controller, one nested
+  // accelerator with three scan chains, and a memory wrapper.
+  itc02::Soc soc;
+  soc.name = "demo_soc";
+  soc.modules.push_back({"ctrl", -1, {12, 8}});
+  soc.modules.push_back({"accel", 0, {32, 32, 17}});  // nested inside ctrl
+  soc.modules.push_back({"mem", -1, {64}});
+
+  const Rsn rsn = itc02::generate_sib_rsn(soc);
+  const RsnStats st = rsn.stats();
+  std::printf("%s: %d segments, %d muxes, %lld scan bits, %d hierarchy "
+              "levels\n",
+              soc.name.c_str(), st.segments, st.muxes, st.bits, st.levels);
+
+  FlowOptions opt;
+  const FlowResult flow = run_flow(rsn, opt);
+  std::printf("accessibility: original worst %.2f avg %.3f -> "
+              "fault-tolerant worst %.3f avg %.4f\n",
+              flow.original_metric->seg_worst, flow.original_metric->seg_avg,
+              flow.hardened_metric->seg_worst, flow.hardened_metric->seg_avg);
+  std::printf("overhead: mux x%.2f bits x%.2f area x%.2f\n", flow.overhead.mux,
+              flow.overhead.bits, flow.overhead.area);
+
+  const std::string orig_path = out_dir + "/demo_soc.rsn";
+  const std::string ft_path = out_dir + "/demo_soc_ft.rsn";
+  save_rsn(rsn, orig_path);
+  save_rsn(flow.hardened, ft_path);
+  std::printf("wrote %s and %s\n", orig_path.c_str(), ft_path.c_str());
+
+  // Round-trip check: the parser restores the exact structure.
+  const Rsn reloaded = load_rsn(ft_path);
+  std::printf("round-trip %s\n",
+              flow.hardened.structurally_equal(reloaded) ? "OK" : "FAILED");
+  return 0;
+}

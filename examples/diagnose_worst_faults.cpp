@@ -1,0 +1,57 @@
+// Diagnosis helper: rank the stuck-at faults of an RSN by how much
+// accessibility they destroy — the faults a bring-up team should worry
+// about first, and the direct consumers of the paper's fault-tolerance
+// metric.
+//
+//   build/examples/example_diagnose_worst_faults [soc-name] [top-k]
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+#include "fault/metric.hpp"
+#include "itc02/itc02.hpp"
+#include "synth/synth.hpp"
+
+using namespace ftrsn;
+
+namespace {
+
+void report(const char* title, const Rsn& rsn, int top_k) {
+  MetricOptions opt;
+  opt.keep_distribution = true;
+  const FaultToleranceReport rep = compute_fault_tolerance(rsn, opt);
+  const auto faults = enumerate_faults(rsn);
+
+  std::vector<std::size_t> order(faults.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return rep.seg_fraction[a] < rep.seg_fraction[b];
+  });
+
+  std::printf("%s: %zu faults, worst %.3f, average %.4f\n", title,
+              rep.num_faults, rep.seg_worst, rep.seg_avg);
+  for (int k = 0; k < top_k && static_cast<std::size_t>(k) < order.size(); ++k) {
+    const std::size_t i = order[static_cast<std::size_t>(k)];
+    std::printf("  %2d. %-45.45s  segments %.3f  bits %.3f\n", k + 1,
+                faults[i].describe(rsn).c_str(), rep.seg_fraction[i],
+                rep.bit_fraction[i]);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string soc_name = argc > 1 ? argv[1] : "u226";
+  const int top_k = argc > 2 ? std::stoi(argv[2]) : 8;
+  const auto soc = itc02::find_soc(soc_name);
+  if (!soc) {
+    std::fprintf(stderr, "unknown SoC '%s'\n", soc_name.c_str());
+    return 1;
+  }
+  const Rsn original = itc02::generate_sib_rsn(*soc);
+  report("original SIB-based RSN", original, top_k);
+  const SynthResult synth = synthesize_fault_tolerant(original);
+  report("fault-tolerant RSN", synth.rsn, top_k);
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Fault-injection walkthrough: break a scan segment of the fault-tolerant
+// example RSN inside the cycle-accurate CSU simulator, then demonstrate
+// that the analyzer's verdict matches what the simulated hardware can
+// actually still do (configure a detour and access another segment).
+//
+//   build/examples/example_fault_injection
+#include <cstdio>
+
+#include "fault/accessibility.hpp"
+#include "sim/csu_sim.hpp"
+#include "synth/synth.hpp"
+
+using namespace ftrsn;
+
+int main() {
+  const Rsn original = make_example_rsn();
+  const SynthResult synth = synthesize_fault_tolerant(original);
+  const Rsn& ft = synth.rsn;
+  const auto names = ft.node_names();
+
+  // Break segment A's scan output (stuck-at-0): in the ORIGINAL network
+  // this single fault disconnects every segment.
+  NodeId seg_a = kInvalidNode;
+  for (NodeId id = 0; id < ft.num_nodes(); ++id)
+    if (ft.node(id).name == "A") seg_a = id;
+  Fault fault;
+  fault.forcing.point = Forcing::Point::kSegmentOut;
+  fault.forcing.node = seg_a;
+  fault.forcing.value = false;
+
+  const AccessAnalyzer orig_analyzer(original);
+  const auto orig_acc = orig_analyzer.accessible_under(&fault);
+  int orig_alive = 0;
+  for (NodeId id = 0; id < original.num_nodes(); ++id)
+    if (original.node(id).is_segment() && orig_acc[id]) ++orig_alive;
+  std::printf("fault: %s\n", fault.describe(ft).c_str());
+  std::printf("original RSN:       %d of 4 segments still accessible\n",
+              orig_alive);
+
+  const AccessAnalyzer ft_analyzer(ft);
+  const auto ft_acc = ft_analyzer.accessible_under(&fault);
+  std::printf("fault-tolerant RSN: still accessible:");
+  for (NodeId id = 0; id < ft.num_nodes(); ++id)
+    if (ft.node(id).is_segment() && ft_acc[id] &&
+        ft.node(id).role != SegRole::kAddressRegister)
+      std::printf(" %s", names[id].c_str());
+  std::printf("\n\n");
+
+  // Now prove it in the simulator: inject the fault, then read segment B
+  // through the detour (B's second scan-in edge comes from the scan-in
+  // port via a pin-steered mux).
+  CsuSimulator sim(ft);
+  sim.add_forcing(fault.forcing);
+
+  NodeId seg_b = kInvalidNode;
+  for (NodeId id = 0; id < ft.num_nodes(); ++id)
+    if (ft.node(id).name == "B") seg_b = id;
+  sim.set_data_in(seg_b, {1, 0, 1});
+
+  // Find the primary detour pin that routes B onto the active path (the
+  // synthesizer allocates one pin per root-anchored augmenting edge; pin 0
+  // selects the duplicated scan-in port).
+  auto on_path = [&](NodeId seg) {
+    for (NodeId s : sim.active_path())
+      if (s == seg) return true;
+    return false;
+  };
+  for (int pin = 1; pin < 16 && !on_path(seg_b); ++pin) {
+    for (int k = 1; k < 16; ++k) sim.set_port_select(k, false);
+    sim.set_port_select(pin, true);
+  }
+
+  const auto path = sim.active_path();
+  std::printf("simulated active path with detour pins asserted:");
+  for (NodeId seg : path) std::printf(" %s", names[seg].c_str());
+  bool b_on_path = false;
+  for (NodeId seg : path) b_on_path |= seg == seg_b;
+  std::printf("\n");
+
+  if (b_on_path) {
+    const int bits = sim.active_path_bits();
+    const CsuResult csu =
+        sim.csu(std::vector<std::uint8_t>(static_cast<std::size_t>(bits), 0));
+    // Locate B's captured bits in the out-stream: they appear after the
+    // bits of every segment downstream of B on the path.
+    int after_b = 0;
+    bool seen_b = false;
+    for (NodeId seg : path) {
+      if (seg == seg_b) seen_b = true;
+      else if (seen_b) after_b += ft.node(seg).length;
+    }
+    std::printf("B captured [1 0 1]; read back through the detour: [%d %d %d]\n",
+                int(csu.out_bits[static_cast<std::size_t>(after_b + 2)]),
+                int(csu.out_bits[static_cast<std::size_t>(after_b + 1)]),
+                int(csu.out_bits[static_cast<std::size_t>(after_b)]));
+    std::printf("the faulty network still reads instrument data that the\n"
+                "original network would have lost entirely.\n");
+  } else {
+    std::printf("B not on the reset-path detour; a CSU sequence writing the\n"
+                "detour address registers would bring it on path (see the\n"
+                "analyzer verdict above).\n");
+  }
+  return 0;
+}

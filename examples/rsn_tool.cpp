@@ -1,0 +1,92 @@
+// Command-line front end for the library: inspect, analyze, synthesize and
+// export RSNs in the .rsn text format.
+//
+//   example_rsn_tool info   <in.rsn>             structural statistics
+//   example_rsn_tool metric <in.rsn>             fault-tolerance metric
+//   example_rsn_tool synth  <in.rsn> <out.rsn>   fault-tolerant synthesis
+//   example_rsn_tool dot    <in.rsn>             dataflow graph as DOT
+//   example_rsn_tool gen    <soc> <out.rsn>      SIB-RSN of an ITC'02 SoC
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "area/area.hpp"
+#include "fault/metric.hpp"
+#include "graph/dataflow.hpp"
+#include "io/rsn_text.hpp"
+#include "itc02/itc02.hpp"
+#include "synth/synth.hpp"
+
+using namespace ftrsn;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: rsn_tool info|metric|dot <in.rsn>\n"
+               "       rsn_tool synth <in.rsn> <out.rsn>\n"
+               "       rsn_tool gen <itc02-soc> <out.rsn>\n");
+  return 2;
+}
+
+void print_info(const Rsn& rsn) {
+  const RsnStats st = rsn.stats();
+  const AreaReport area = estimate_area(rsn);
+  std::printf("segments   %d\n", st.segments);
+  std::printf("muxes      %d\n", st.muxes);
+  std::printf("scan bits  %lld\n", st.bits);
+  std::printf("levels     %d\n", st.levels);
+  std::printf("ports      %d in, %d out\n", st.primary_ins, st.primary_outs);
+  std::printf("nets       %lld\n", area.nets);
+  std::printf("area       %.1f NAND2-eq (%lld FF, %lld latches, %lld voters)\n",
+              area.area, area.shift_ffs, area.shadow_latches, area.voters);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "gen") {
+      if (argc != 4) return usage();
+      const auto soc = itc02::find_soc(argv[2]);
+      if (!soc) {
+        std::fprintf(stderr, "unknown ITC'02 SoC '%s'\n", argv[2]);
+        return 1;
+      }
+      const Rsn rsn = itc02::generate_sib_rsn(*soc);
+      save_rsn(rsn, argv[3]);
+      print_info(rsn);
+      return 0;
+    }
+    const Rsn rsn = load_rsn(argv[2]);
+    if (cmd == "info") {
+      print_info(rsn);
+    } else if (cmd == "metric") {
+      const FaultToleranceReport r = compute_fault_tolerance(rsn);
+      std::printf("faults     %zu\n", r.num_faults);
+      std::printf("segments   worst %.3f  avg %.4f\n", r.seg_worst, r.seg_avg);
+      std::printf("bits       worst %.3f  avg %.4f\n", r.bit_worst, r.bit_avg);
+    } else if (cmd == "dot") {
+      const DataflowGraph g = DataflowGraph::from_rsn(rsn);
+      std::fputs(g.to_dot(rsn.node_names()).c_str(), stdout);
+    } else if (cmd == "synth") {
+      if (argc != 4) return usage();
+      const SynthResult r = synthesize_fault_tolerant(rsn);
+      save_rsn(r.rsn, argv[3]);
+      const OverheadRatios o = compute_overhead(rsn, r.rsn);
+      std::printf("added %d muxes, %d address registers, %d edges\n",
+                  r.stats.added_muxes, r.stats.added_registers,
+                  r.stats.added_edges);
+      std::printf("overhead: mux x%.2f bits x%.2f nets x%.2f area x%.2f\n",
+                  o.mux, o.bits, o.nets, o.area);
+    } else {
+      return usage();
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,174 @@
+#include "access/planner.hpp"
+
+#include <map>
+
+namespace ftrsn {
+
+namespace {
+
+/// Desired mux address settings that place `target` on an active path:
+/// walks upstream from the target to a scan-in and downstream to a
+/// scan-out, preferring mux inputs that are already selected in the reset
+/// configuration (original interconnects) so the plan stays short.
+std::map<std::pair<NodeId, std::uint16_t>, bool> desired_settings(
+    const Rsn& rsn, NodeId target) {
+  std::map<std::pair<NodeId, std::uint16_t>, bool> desired;
+  const auto succ = rsn.successors();
+
+  // The single register (seg, bit) steering a mux, if its address is an
+  // atom or a TMR triple of one register; kInvalidNode otherwise.
+  const auto addr_register = [&](NodeId mux) {
+    const CtrlPool& pool = rsn.ctrl();
+    CtrlRef r = rsn.node(mux).addr;
+    const CtrlNode* n = &pool.node(r);
+    if (n->op == CtrlOp::kMaj3) n = &pool.node(n->kid[0]);
+    if (n->op == CtrlOp::kShadowBit)
+      return std::make_pair(n->seg, n->bit);
+    return std::make_pair(kInvalidNode, static_cast<std::uint16_t>(0));
+  };
+  // Pin-steered muxes (duplicated ports, root-anchored detours) are held
+  // at their default side 0 by the plan; paths requiring their side 1 are
+  // not used by this planner.
+  const auto default_side = [&](NodeId mux) {
+    const auto atom = [](const CtrlNode& c) {
+      return c.op == CtrlOp::kEnable;  // EN=1, pins=0, shadows irrelevant
+    };
+    return rsn.ctrl().eval(rsn.node(mux).addr, atom);
+  };
+  const auto steerable = [&](NodeId mux, bool side) {
+    return addr_register(mux).first != kInvalidNode ||
+           default_side(mux) == side;
+  };
+  const auto require = [&](NodeId mux, bool side) {
+    const auto reg = addr_register(mux);
+    if (reg.first == kInvalidNode) {
+      FTRSN_CHECK_MSG(default_side(mux) == side,
+                      strprintf("mux %s needs a primary pin the planner does "
+                                "not drive",
+                                rsn.node(mux).name.c_str()));
+      return;
+    }
+    const auto it = desired.find(reg);
+    FTRSN_CHECK_MSG(it == desired.end() || it->second == side,
+                    "conflicting mux requirements on one register");
+    desired[reg] = side;
+  };
+
+  // Upstream: follow scan_in; at a mux keep the input it already selects
+  // in the reset configuration (minimal disruption of other instruments).
+  CsuSimulator reset_view(rsn);
+  NodeId node = rsn.node(target).scan_in;
+  std::size_t guard = 0;
+  while (rsn.node(node).kind != NodeKind::kPrimaryIn) {
+    FTRSN_CHECK(++guard <= 4 * rsn.num_nodes());
+    const RsnNode& n = rsn.node(node);
+    if (n.is_mux()) {
+      const auto atom = [&](const CtrlNode& c) -> bool {
+        if (c.op == CtrlOp::kEnable) return true;
+        if (c.op == CtrlOp::kPortSel) return false;
+        return reset_view.shadow_value(c.seg, c.bit, c.replica);
+      };
+      const bool side = rsn.ctrl().eval(n.addr, atom);
+      require(node, side);
+      node = n.mux_in[side ? 1 : 0];
+    } else {
+      node = n.scan_in;
+    }
+  }
+  // Downstream: BFS toward any scan-out along a parent-tracked path, then
+  // impose the mux sides of the chosen path.
+  std::vector<NodeId> parent(rsn.num_nodes(), kInvalidNode);
+  std::vector<bool> seen(rsn.num_nodes(), false);
+  std::vector<NodeId> queue{target};
+  seen[target] = true;
+  NodeId out = kInvalidNode;
+  for (std::size_t qi = 0; qi < queue.size() && out == kInvalidNode; ++qi) {
+    const NodeId v = queue[qi];
+    for (NodeId c : succ[v]) {
+      if (seen[c]) continue;
+      if (rsn.node(c).is_mux() && !steerable(c, rsn.node(c).mux_in[1] == v))
+        continue;  // would need a primary pin the plan does not drive
+      seen[c] = true;
+      parent[c] = v;
+      if (rsn.node(c).kind == NodeKind::kPrimaryOut) {
+        out = c;
+        break;
+      }
+      queue.push_back(c);
+    }
+  }
+  FTRSN_CHECK_MSG(out != kInvalidNode, "target has no path to a scan-out");
+  for (NodeId v = out; v != target; v = parent[v]) {
+    const RsnNode& n = rsn.node(v);
+    if (n.is_mux()) require(v, n.mux_in[1] == parent[v]);
+  }
+  return desired;
+}
+
+/// Builds the scan-in stream that, after shifting the whole active path
+/// and updating, writes `desired` into the on-path registers and preserves
+/// every other on-path shadow.
+std::vector<std::uint8_t> build_stream(
+    const Rsn& rsn, CsuSimulator& sim,
+    const std::map<std::pair<NodeId, std::uint16_t>, bool>& desired) {
+  const auto path = sim.active_path();
+  int total_bits = 0;
+  for (NodeId s : path) total_bits += rsn.node(s).length;
+  std::vector<std::uint8_t> stream(static_cast<std::size_t>(total_bits), 0);
+  int offset = 0;
+  for (NodeId s : path) {
+    const RsnNode& n = rsn.node(s);
+    for (int b = 0; b < n.length; ++b) {
+      bool v = false;
+      const auto it = desired.find({s, static_cast<std::uint16_t>(b)});
+      if (it != desired.end()) {
+        v = it->second;
+      } else if (n.has_shadow) {
+        v = sim.shadow_value(s, b);  // preserve the current configuration
+      }
+      // After N shift cycles, segment bit (s, b) holds
+      // stream[N - 1 - globalpos] where globalpos counts from the scan-in.
+      stream[static_cast<std::size_t>(total_bits - 1 - (offset + b))] =
+          v ? 1 : 0;
+    }
+    offset += n.length;
+  }
+  return stream;
+}
+
+bool on_active_path(const Rsn& rsn, CsuSimulator& sim, NodeId target) {
+  for (NodeId out : rsn.primary_outs())
+    for (NodeId s : sim.active_path(out))
+      if (s == target) return true;
+  return false;
+}
+
+}  // namespace
+
+AccessPlan plan_access(const Rsn& rsn, NodeId target) {
+  FTRSN_CHECK(rsn.node(target).is_segment());
+  AccessPlan plan;
+  plan.target = target;
+  const auto desired = desired_settings(rsn, target);
+
+  CsuSimulator sim(rsn);
+  const int max_ops = rsn.stats().levels + 3;
+  for (int op = 0; op < max_ops; ++op) {
+    if (on_active_path(rsn, sim, target)) return plan;
+    std::vector<std::uint8_t> stream = build_stream(rsn, sim, desired);
+    sim.csu(stream);
+    plan.csu_streams.push_back(std::move(stream));
+  }
+  FTRSN_CHECK_MSG(on_active_path(rsn, sim, target),
+                  strprintf("no CSU series reaches segment %s within %d ops",
+                            rsn.node(target).name.c_str(), max_ops));
+  return plan;
+}
+
+bool validate_plan(const Rsn& rsn, const AccessPlan& plan) {
+  CsuSimulator sim(rsn);
+  for (const auto& stream : plan.csu_streams) sim.csu(stream);
+  return on_active_path(rsn, sim, plan.target);
+}
+
+}  // namespace ftrsn

@@ -1,0 +1,44 @@
+// Access planning: computes the series of CSU operations that configures
+// an RSN so a target segment joins the active scan path (paper §II-B: the
+// formal model yields a time-optimal series of CSU operations per access;
+// this planner produces the hierarchical-opening series and the exact
+// scan-in bit streams, which the CSU simulator then executes).
+#pragma once
+
+#include <vector>
+
+#include "rsn/rsn.hpp"
+#include "sim/csu_sim.hpp"
+
+namespace ftrsn {
+
+/// A concrete access plan: `csu_streams[k]` is the scan-in bit stream of
+/// the k-th CSU operation (first element enters the network first).  After
+/// executing all CSUs, the target segment lies on the active scan path.
+struct AccessPlan {
+  NodeId target = kInvalidNode;
+  std::vector<std::vector<std::uint8_t>> csu_streams;
+  /// Total access latency in shift cycles (sum of stream lengths), the
+  /// quantity the paper's model minimizes.
+  long long shift_cycles() const {
+    long long total = 0;
+    for (const auto& s : csu_streams) total += static_cast<long long>(s.size());
+    return total;
+  }
+};
+
+/// Plans fault-free access to `target` from the reset configuration.
+/// Strategy: repeatedly write every control register currently on the
+/// active path with its desired value (registers gating the target open;
+/// all others keep their state) until the target joins the path.  For
+/// SIB-style hierarchies this needs at most `levels` CSU operations and
+/// reproduces the hierarchical-opening access sequences of the paper's
+/// experimental setup.  Throws if the target cannot be brought onto the
+/// path within a structural bound (e.g. the RSN is not tree-shaped).
+AccessPlan plan_access(const Rsn& rsn, NodeId target);
+
+/// Executes a plan on a fresh simulator and reports whether the target
+/// ended up on the active scan path (used by tests and examples).
+bool validate_plan(const Rsn& rsn, const AccessPlan& plan);
+
+}  // namespace ftrsn

@@ -1,0 +1,116 @@
+#include "area/area.hpp"
+
+#include <vector>
+
+namespace ftrsn {
+
+namespace {
+
+/// Control expression nodes referenced (transitively) by any port of the
+/// RSN — these are the nets/gates that physically exist.
+std::vector<bool> used_ctrl(const Rsn& rsn) {
+  const CtrlPool& pool = rsn.ctrl();
+  std::vector<bool> used(pool.size(), false);
+  std::vector<CtrlRef> stack;
+  const auto push = [&](CtrlRef r) {
+    if (r >= 0 && !used[static_cast<std::size_t>(r)]) {
+      used[static_cast<std::size_t>(r)] = true;
+      stack.push_back(r);
+    }
+  };
+  for (NodeId id = 0; id < rsn.num_nodes(); ++id) {
+    const RsnNode& n = rsn.node(id);
+    if (n.is_segment()) {
+      push(n.select);
+      push(n.cap_dis);
+      push(n.up_dis);
+    } else if (n.is_mux()) {
+      push(n.addr);
+    }
+  }
+  while (!stack.empty()) {
+    const CtrlRef r = stack.back();
+    stack.pop_back();
+    const CtrlNode& n = pool.node(r);
+    for (int i = 0; i < n.arity(); ++i) push(n.kid[i]);
+  }
+  return used;
+}
+
+}  // namespace
+
+AreaReport estimate_area(const Rsn& rsn, const TechLibrary& lib) {
+  AreaReport rep;
+  const auto succ = rsn.successors();
+  for (NodeId id = 0; id < rsn.num_nodes(); ++id) {
+    const RsnNode& n = rsn.node(id);
+    if (n.is_segment()) {
+      rep.shift_ffs += n.length;
+      if (n.has_shadow)
+        rep.shadow_latches +=
+            static_cast<long long>(n.length) * n.shadow_replicas;
+    } else if (n.is_mux()) {
+      ++rep.scan_muxes;
+    }
+    if (!succ[id].empty()) ++rep.nets;  // one net per driven scan output
+  }
+  const std::vector<bool> used = used_ctrl(rsn);
+  const CtrlPool& pool = rsn.ctrl();
+  for (CtrlRef r = 0; static_cast<std::size_t>(r) < pool.size(); ++r) {
+    if (!used[static_cast<std::size_t>(r)]) continue;
+    switch (pool.node(r).op) {
+      case CtrlOp::kNot:
+        ++rep.inverters;
+        ++rep.nets;
+        break;
+      case CtrlOp::kAnd:
+        ++rep.and_gates;
+        ++rep.nets;
+        break;
+      case CtrlOp::kOr:
+        ++rep.or_gates;
+        ++rep.nets;
+        break;
+      case CtrlOp::kMaj3:
+        ++rep.voters;
+        ++rep.nets;
+        break;
+      case CtrlOp::kShadowBit:
+        ++rep.nets;  // the shadow output wire of this replica
+        break;
+      case CtrlOp::kEnable:
+      case CtrlOp::kPortSel:
+        ++rep.nets;  // primary control distribution
+        break;
+      case CtrlOp::kConst:
+        break;
+    }
+  }
+  rep.area = lib.dff * static_cast<double>(rep.shift_ffs) +
+             lib.latch * static_cast<double>(rep.shadow_latches) +
+             lib.mux2 * static_cast<double>(rep.scan_muxes) +
+             lib.inv * static_cast<double>(rep.inverters) +
+             lib.and2 * static_cast<double>(rep.and_gates) +
+             lib.or2 * static_cast<double>(rep.or_gates) +
+             lib.maj3 * static_cast<double>(rep.voters);
+  return rep;
+}
+
+OverheadRatios compute_overhead(const Rsn& original, const Rsn& fault_tolerant,
+                                const TechLibrary& lib) {
+  const AreaReport a = estimate_area(original, lib);
+  const AreaReport b = estimate_area(fault_tolerant, lib);
+  OverheadRatios r;
+  const auto ratio = [](double num, double den) {
+    return den > 0 ? num / den : 1.0;
+  };
+  r.mux = ratio(static_cast<double>(b.scan_muxes),
+                static_cast<double>(a.scan_muxes));
+  r.bits = ratio(static_cast<double>(b.shift_ffs),
+                 static_cast<double>(a.shift_ffs));
+  r.nets = ratio(static_cast<double>(b.nets), static_cast<double>(a.nets));
+  r.area = ratio(b.area, a.area);
+  return r;
+}
+
+}  // namespace ftrsn

@@ -1,0 +1,51 @@
+// Structural area model (substitute for the paper's commercial logic
+// synthesis tool; DESIGN.md §3).
+//
+// Costs are NAND2-equivalent gate areas.  Table I reports fault-tolerant /
+// original *ratios* of mux count, scan bits, interconnects and area; a
+// consistent structural model preserves those ratio shapes (the area of
+// large RSNs is dominated by the scan flip-flops, so the ratio approaches
+// 1.0 as the bit count grows).
+#pragma once
+
+#include "rsn/rsn.hpp"
+
+namespace ftrsn {
+
+/// Gate areas in NAND2 equivalents.
+struct TechLibrary {
+  double inv = 0.7;
+  double and2 = 1.5;
+  double or2 = 1.5;
+  double mux2 = 3.0;
+  double dff = 6.0;    ///< scan flip-flop (shift register bit)
+  double latch = 4.0;  ///< shadow latch
+  double maj3 = 4.5;   ///< TMR majority voter
+};
+
+struct AreaReport {
+  long long scan_muxes = 0;
+  long long shift_ffs = 0;       ///< scan bits (Table I "bits")
+  long long shadow_latches = 0;  ///< including TMR replicas
+  long long inverters = 0;
+  long long and_gates = 0;
+  long long or_gates = 0;
+  long long voters = 0;
+  long long nets = 0;  ///< driven scan + control interconnects
+  double area = 0.0;   ///< NAND2 equivalents
+};
+
+/// Walks the structural netlist and control logic of `rsn`.
+AreaReport estimate_area(const Rsn& rsn, const TechLibrary& lib = {});
+
+/// Table I "RSN Area Overhead" ratios: fault-tolerant / original.
+struct OverheadRatios {
+  double mux = 1.0;
+  double bits = 1.0;
+  double nets = 1.0;
+  double area = 1.0;
+};
+OverheadRatios compute_overhead(const Rsn& original, const Rsn& fault_tolerant,
+                                const TechLibrary& lib = {});
+
+}  // namespace ftrsn

@@ -1,0 +1,572 @@
+#include "augment/augment.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <queue>
+#include <set>
+
+#include "ilp/ilp.hpp"
+#include "ilp/mincost_flow.hpp"
+
+namespace ftrsn {
+
+namespace {
+
+long long default_cost(int level_delta) { return 1 + level_delta; }
+
+struct Instance {
+  std::vector<Candidate> candidates;
+  std::vector<int> need_out, need_in;
+  std::vector<int> level;
+};
+
+/// Degree needs per vertex: two in-edges from / out-edges to distinct
+/// vertices, clamped to what is satisfiable in principle.
+Instance build_instance(const DataflowGraph& g, const AugmentOptions& opt) {
+  Instance inst;
+  const std::size_t n = g.num_vertices();
+  inst.level = g.levels();
+
+  std::vector<bool> is_root(n, false), is_sink(n, false);
+  for (NodeId r : g.roots()) is_root[r] = true;
+  for (NodeId s : g.sinks()) is_sink[s] = true;
+
+  std::vector<bool> target_ok = opt.target_allowed;
+  if (target_ok.empty()) target_ok.assign(n, true);
+  FTRSN_CHECK(target_ok.size() == n);
+  for (NodeId v = 0; v < n; ++v)
+    if (is_root[v]) target_ok[v] = false;
+
+  // Existing distinct neighbor counts.
+  std::vector<std::set<NodeId>> preds(n), succs(n);
+  for (const DfEdge& e : g.edges()) {
+    preds[e.to].insert(e.from);
+    succs[e.from].insert(e.to);
+  }
+
+  const auto cost_fn = opt.edge_cost ? opt.edge_cost : default_cost;
+
+  // Candidate generation: nearest level-forward targets/sources per vertex.
+  std::set<std::pair<NodeId, NodeId>> seen;
+  for (const DfEdge& e : g.edges()) seen.insert({e.from, e.to});
+  const auto add_candidate = [&](NodeId u, NodeId w) {
+    if (u == w || is_sink[u] || !target_ok[w]) return;
+    if (inst.level[w] < inst.level[u]) return;
+    if (!seen.insert({u, w}).second) return;
+    inst.candidates.push_back(
+        {{u, w}, cost_fn(inst.level[w] - inst.level[u])});
+  };
+
+  // Vertices sorted by level for windowed scans.
+  std::vector<NodeId> by_level(n);
+  for (NodeId v = 0; v < n; ++v) by_level[v] = v;
+  std::sort(by_level.begin(), by_level.end(), [&](NodeId a, NodeId b) {
+    return inst.level[a] != inst.level[b] ? inst.level[a] < inst.level[b]
+                                          : a < b;
+  });
+  std::vector<int> pos(n);
+  for (std::size_t i = 0; i < n; ++i) pos[by_level[i]] = static_cast<int>(i);
+
+  const int window = opt.window;
+  for (NodeId v = 0; v < n; ++v) {
+    // Out-candidates: next vertices at >= level.
+    int taken = 0;
+    for (std::size_t i = static_cast<std::size_t>(pos[v]);
+         i < n && (window <= 0 || taken < window); ++i) {
+      const NodeId w = by_level[i];
+      if (w == v || inst.level[w] < inst.level[v]) continue;
+      const std::size_t before = inst.candidates.size();
+      add_candidate(v, w);
+      if (inst.candidates.size() > before) ++taken;
+    }
+    // Also vertices at the same level *before* v in the order (level equal,
+    // lower id) are valid targets; include a window of them.
+    taken = 0;
+    for (int i = pos[v] - 1;
+         i >= 0 && (window <= 0 || taken < window); --i) {
+      const NodeId w = by_level[static_cast<std::size_t>(i)];
+      if (inst.level[w] != inst.level[v]) break;
+      const std::size_t before = inst.candidates.size();
+      add_candidate(v, w);
+      if (inst.candidates.size() > before) ++taken;
+    }
+    // In-candidates: previous vertices at <= level.
+    taken = 0;
+    for (int i = pos[v] - 1;
+         i >= 0 && (window <= 0 || taken < window); --i) {
+      const NodeId u = by_level[static_cast<std::size_t>(i)];
+      const std::size_t before = inst.candidates.size();
+      add_candidate(u, v);
+      if (inst.candidates.size() > before) ++taken;
+    }
+  }
+
+  // Needs, clamped by what's possible with distinct endpoints.
+  std::vector<int> extra_out(n, 0), extra_in(n, 0);
+  for (const Candidate& c : inst.candidates) {
+    ++extra_out[c.edge.from];
+    ++extra_in[c.edge.to];
+  }
+  inst.need_out.assign(n, 0);
+  inst.need_in.assign(n, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    if (!is_sink[v]) {
+      const int have = static_cast<int>(succs[v].size());
+      const int possible = have + extra_out[v];
+      inst.need_out[v] = std::max(0, std::min(2, possible) - have);
+    }
+    if (!is_root[v] && target_ok[v]) {
+      const int have = static_cast<int>(preds[v].size());
+      const int possible = have + extra_in[v];
+      inst.need_in[v] = std::max(0, std::min(2, possible) - have);
+    }
+  }
+  return inst;
+}
+
+/// Finds a directed cycle among the chosen candidate edges (cycles can only
+/// involve same-level edges, since every other edge strictly increases the
+/// topological level).  Returns candidate indices of the cycle edges.
+std::vector<int> find_cycle_among(const Instance& inst,
+                                  const std::vector<int>& chosen) {
+  std::vector<DfEdge> edges;
+  std::vector<int> edge_candidate;
+  std::size_t max_vertex = 0;
+  for (int ci : chosen) {
+    const Candidate& c = inst.candidates[static_cast<std::size_t>(ci)];
+    if (inst.level[c.edge.from] != inst.level[c.edge.to]) continue;
+    edges.push_back(c.edge);
+    edge_candidate.push_back(ci);
+    max_vertex = std::max<std::size_t>(
+        max_vertex, std::max(c.edge.from, c.edge.to) + 1);
+  }
+  if (edges.empty()) return {};
+  const DataflowGraph sub =
+      DataflowGraph::from_edges(max_vertex, edges, {}, {});
+  const std::vector<NodeId> cycle_vertices = sub.find_cycle();
+  if (cycle_vertices.empty()) return {};
+  std::vector<int> cycle;
+  for (std::size_t i = 0; i < cycle_vertices.size(); ++i) {
+    const NodeId from = cycle_vertices[i];
+    const NodeId to = cycle_vertices[(i + 1) % cycle_vertices.size()];
+    for (std::size_t e = 0; e < edges.size(); ++e)
+      if (edges[e].from == from && edges[e].to == to) {
+        cycle.push_back(edge_candidate[e]);
+        break;
+      }
+  }
+  FTRSN_CHECK(!cycle.empty());
+  return cycle;
+}
+
+AugmentResult solve_flow(const DataflowGraph& g, const Instance& inst,
+                         const AugmentOptions& opt) {
+  AugmentResult result;
+  struct Node {
+    std::vector<int> forbidden;
+    long long bound;
+  };
+  const auto cmp = [](const Node& a, const Node& b) {
+    return a.bound > b.bound;
+  };
+  std::priority_queue<Node, std::vector<Node>, decltype(cmp)> open(cmp);
+  open.push({{}, 0});
+  long long incumbent_cost = std::numeric_limits<long long>::max();
+  std::vector<int> incumbent;
+  bool exhausted = true;
+
+  while (!open.empty()) {
+    if (result.bb_nodes >= opt.max_bb_nodes) {
+      exhausted = false;
+      break;
+    }
+    Node node = open.top();
+    open.pop();
+    if (node.bound >= incumbent_cost) continue;
+    ++result.bb_nodes;
+
+    std::vector<DegreeCoverSolver::Edge> edges;
+    edges.reserve(inst.candidates.size());
+    for (const Candidate& c : inst.candidates)
+      edges.push_back({static_cast<int>(c.edge.from),
+                       static_cast<int>(c.edge.to), c.cost});
+    DegreeCoverSolver solver(static_cast<int>(g.num_vertices()),
+                             std::move(edges), inst.need_out, inst.need_in);
+    for (int f : node.forbidden) solver.forbid(f);
+    const auto sol = solver.solve();
+    if (!sol.feasible || sol.cost >= incumbent_cost) continue;
+
+    const std::vector<int> cycle = find_cycle_among(inst, sol.chosen);
+    if (cycle.empty()) {
+      incumbent_cost = sol.cost;
+      incumbent = sol.chosen;
+      continue;
+    }
+    ++result.cycle_events;
+    for (int ci : cycle) {
+      Node child = node;
+      child.forbidden.push_back(ci);
+      child.bound = sol.cost;  // forbidding can only increase the cost
+      open.push(std::move(child));
+    }
+  }
+
+  if (!incumbent.empty() ||
+      incumbent_cost != std::numeric_limits<long long>::max()) {
+    result.cost = incumbent_cost;
+    for (int ci : incumbent)
+      result.added_edges.push_back(
+          inst.candidates[static_cast<std::size_t>(ci)].edge);
+    result.optimal = exhausted;
+  }
+  return result;
+}
+
+AugmentResult solve_ilp(const DataflowGraph& g, const Instance& inst,
+                        const AugmentOptions& opt) {
+  (void)opt;
+  AugmentResult result;
+  LpProblem p;
+  for (const Candidate& c : inst.candidates)
+    p.add_variable(static_cast<double>(c.cost), 1.0);
+  for (NodeId v = 0; v < g.num_vertices(); ++v) {
+    if (inst.need_out[v] > 0) {
+      LinearConstraint c;
+      c.sense = Sense::kGe;
+      c.rhs = inst.need_out[v];
+      for (std::size_t e = 0; e < inst.candidates.size(); ++e)
+        if (inst.candidates[e].edge.from == v)
+          c.terms.push_back({static_cast<int>(e), 1.0});
+      p.add_constraint(std::move(c));
+    }
+    if (inst.need_in[v] > 0) {
+      LinearConstraint c;
+      c.sense = Sense::kGe;
+      c.rhs = inst.need_in[v];
+      for (std::size_t e = 0; e < inst.candidates.size(); ++e)
+        if (inst.candidates[e].edge.to == v)
+          c.terms.push_back({static_cast<int>(e), 1.0});
+      p.add_constraint(std::move(c));
+    }
+  }
+  IlpSolver solver(std::move(p));
+  int cuts = 0;
+  solver.set_lazy_cuts([&](const std::vector<double>& x) {
+    std::vector<int> chosen;
+    for (std::size_t e = 0; e < x.size(); ++e)
+      if (x[e] > 0.5) chosen.push_back(static_cast<int>(e));
+    const std::vector<int> cycle = find_cycle_among(inst, chosen);
+    std::vector<LinearConstraint> out;
+    if (!cycle.empty()) {
+      // Subtour elimination (paper eq. 4): sum over the cycle's edges
+      // <= |cycle| - 1.
+      LinearConstraint c;
+      c.sense = Sense::kLe;
+      c.rhs = static_cast<double>(cycle.size()) - 1.0;
+      for (int ci : cycle) c.terms.push_back({ci, 1.0});
+      out.push_back(std::move(c));
+      ++cuts;
+    }
+    return out;
+  });
+  const IlpResult ir = solver.solve();
+  result.cycle_events = cuts;
+  result.bb_nodes = ir.explored_nodes;
+  if (ir.feasible) {
+    result.cost = std::llround(ir.objective);
+    result.optimal = ir.optimal;
+    for (std::size_t e = 0; e < ir.x.size(); ++e)
+      if (ir.x[e] > 0.5)
+        result.added_edges.push_back(inst.candidates[e].edge);
+  }
+  return result;
+}
+
+AugmentResult solve_greedy(const DataflowGraph& g, const Instance& inst,
+                           const AugmentOptions& opt) {
+  (void)g;
+  (void)opt;
+  AugmentResult result;
+  std::vector<int> need_out = inst.need_out;
+  std::vector<int> need_in = inst.need_in;
+  std::vector<std::size_t> order(inst.candidates.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (inst.candidates[a].cost != inst.candidates[b].cost)
+      return inst.candidates[a].cost < inst.candidates[b].cost;
+    return a < b;
+  });
+  std::vector<bool> banned(inst.candidates.size(), false);
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    std::vector<int> chosen;
+    std::vector<int> out_left = need_out, in_left = need_in;
+    // Pass 1: cheapest edges that serve both endpoints' needs, then pass 2
+    // for edges serving a single remaining need.
+    for (int pass = 0; pass < 2; ++pass) {
+      for (std::size_t oi : order) {
+        if (banned[oi]) continue;
+        const Candidate& c = inst.candidates[oi];
+        const bool serves_out = out_left[c.edge.from] > 0;
+        const bool serves_in = in_left[c.edge.to] > 0;
+        const bool take =
+            pass == 0 ? (serves_out && serves_in) : (serves_out || serves_in);
+        if (!take) continue;
+        if (std::find(chosen.begin(), chosen.end(), static_cast<int>(oi)) !=
+            chosen.end())
+          continue;
+        chosen.push_back(static_cast<int>(oi));
+        if (serves_out) --out_left[c.edge.from];
+        if (serves_in) --in_left[c.edge.to];
+      }
+    }
+    const std::vector<int> cycle = find_cycle_among(inst, chosen);
+    if (cycle.empty()) {
+      for (int ci : chosen) {
+        result.added_edges.push_back(
+            inst.candidates[static_cast<std::size_t>(ci)].edge);
+        result.cost += inst.candidates[static_cast<std::size_t>(ci)].cost;
+      }
+      return result;
+    }
+    ++result.cycle_events;
+    banned[static_cast<std::size_t>(cycle.front())] = true;  // repair & retry
+  }
+  FTRSN_CHECK_MSG(false, "greedy augmentation failed to break cycles");
+  return result;
+}
+
+/// Guard-class decomposition of the dataflow graph: vertices sharing one
+/// configuration guard set form a serial backbone chain; `entry` is the
+/// predecessor of the chain's first element outside the chain (the vertex
+/// from which the chain is fed).
+struct GuardGroups {
+  std::map<std::vector<NodeId>, std::vector<NodeId>> members;  // topo order
+  std::map<std::vector<NodeId>, NodeId> entry;
+};
+
+GuardGroups build_groups(const DataflowGraph& g,
+                         const std::vector<std::vector<NodeId>>& guards) {
+  GuardGroups gg;
+  const std::vector<NodeId> topo = g.topo_order();
+  std::vector<bool> is_root(g.num_vertices(), false);
+  for (NodeId r : g.roots()) is_root[r] = true;
+  if (guards.empty()) {
+    gg.members[{}] = topo;
+    gg.entry[{}] = kInvalidNode;
+    return gg;
+  }
+  for (NodeId v : topo) {
+    if (is_root[v]) continue;
+    gg.members[guards[v]].push_back(v);
+  }
+  for (auto& [guard, members] : gg.members) {
+    const NodeId first = members.front();
+    NodeId entry = kInvalidNode;
+    for (NodeId p : g.predecessors(first)) {
+      if (is_root[p] || guards[p] != guard) {
+        entry = p;
+        break;
+      }
+    }
+    if (entry == kInvalidNode && !g.predecessors(first).empty())
+      entry = g.predecessors(first).front();
+    gg.entry[guard] = entry;
+  }
+  return gg;
+}
+
+/// Backbone skip hardening.
+///
+/// The dataflow graph of a SIB-style RSN decomposes into serial "backbone"
+/// chains of elements sharing one configuration guard set (the registers
+/// that must be asserted to put the chain on an active scan path).  A data
+/// fault at a chain element corrupts everything downstream *and* blocks
+/// writing every downstream register, so degree-based augmentation alone
+/// cannot recover: detours sourced inside gated sub-networks can never be
+/// bootstrapped.  The robust structure is a shingle of skip edges along
+/// each chain: every segment s_t receives an edge from the element two
+/// segment-positions back (s_{t-2}, or the chain entry), so any single
+/// element fault -- including faults in the skip hardware itself -- is
+/// bypassed by a neighbouring skip whose address register remains writable
+/// through the clean chain prefix.  The chain exit anchor extends beyond
+/// the owning SIB register so a gated sub-network can still drain when its
+/// own SIB register dies.  This realizes the paper's observation that every
+/// scan segment of the fault-tolerant RSN gains one extra multiplexer at
+/// its scan-in port.
+void add_backbone_skips(const DataflowGraph& g, const AugmentOptions& opt,
+                        const std::vector<bool>& target_ok,
+                        AugmentResult& result) {
+  const auto cost_fn = opt.edge_cost ? opt.edge_cost : default_cost;
+  const std::vector<int> level = g.levels();
+  std::vector<bool> is_root(g.num_vertices(), false);
+  for (NodeId r : g.roots()) is_root[r] = true;
+
+  std::set<std::pair<NodeId, NodeId>> have;
+  for (const DfEdge& e : g.edges()) have.insert({e.from, e.to});
+  for (const DfEdge& e : result.added_edges) have.insert({e.from, e.to});
+  const auto add = [&](NodeId src, NodeId dst) {
+    if (src == dst || !have.insert({src, dst}).second) return;
+    result.added_edges.push_back({src, dst});
+    result.cost += cost_fn(std::max(0, level[dst] - level[src]));
+    ++result.spof_edges;
+  };
+
+  const GuardGroups gg = build_groups(g, opt.vertex_guards);
+  for (const auto& [guard, members] : gg.members) {
+    std::vector<NodeId> anchors;
+    const NodeId entry = gg.entry.at(guard);
+    if (entry != kInvalidNode) {
+      // Pre-entry anchor: the chain must stay bootstrappable even when the
+      // entry vertex itself (typically the trunk element feeding this
+      // sub-network) is the fault site.
+      if (!g.predecessors(entry).empty()) {
+        const NodeId pre = g.predecessors(entry).front();
+        if (pre != entry) anchors.push_back(pre);
+      }
+      anchors.push_back(entry);
+    }
+    for (NodeId v : members)
+      if (target_ok[v]) anchors.push_back(v);
+    // Exit anchors: the first two allowed vertices downstream of the chain
+    // tail outside the group (typically the owning SIB register and the
+    // next backbone segment) so that the sub-network can drain even when
+    // its own SIB register is the fault site.
+    {
+      std::vector<NodeId> frontier{members.back()};
+      std::set<NodeId> seen(frontier.begin(), frontier.end());
+      int exits = 0;
+      while (!frontier.empty() && exits < 2) {
+        std::vector<NodeId> next;
+        for (NodeId v : frontier)
+          for (NodeId w : g.successors(v)) {
+            if (!seen.insert(w).second) continue;
+            const bool outside = opt.vertex_guards.empty() ||
+                                 opt.vertex_guards[w] != guard;
+            if (outside && target_ok[w] && exits < 2) {
+              anchors.push_back(w);
+              ++exits;
+            }
+            next.push_back(w);
+          }
+        frontier = std::move(next);
+      }
+    }
+    // Shingled skips: every anchor (from the 2nd onward) receives an edge
+    // from the anchor two positions back, bypassing the one in between.
+    for (std::size_t t = 2; t < anchors.size(); ++t)
+      if (target_ok[anchors[t]]) add(anchors[t - 2], anchors[t]);
+  }
+}
+
+/// Bootstrap anchor of an added edge (see AugmentResult::edge_anchor).
+NodeId edge_bootstrap_anchor(const DfEdge& e, const DataflowGraph& g,
+                             const std::vector<std::vector<NodeId>>& guards,
+                             const GuardGroups& gg) {
+  std::vector<bool> is_root(g.num_vertices(), false);
+  for (NodeId r : g.roots()) is_root[r] = true;
+  if (is_root[e.from]) return kInvalidNode;
+  if (guards.empty()) return e.from;
+  NodeId a = e.from;
+  for (int step = 0; step < 64; ++step) {
+    if (std::includes(guards[e.to].begin(), guards[e.to].end(),
+                      guards[a].begin(), guards[a].end()))
+      return a;
+    const auto it = gg.entry.find(guards[a]);
+    if (it == gg.entry.end() || it->second == kInvalidNode) return a;
+    a = it->second;
+    if (is_root[a]) return kInvalidNode;
+  }
+  return a;
+}
+
+}  // namespace
+
+std::vector<Candidate> potential_edges(const DataflowGraph& g,
+                                       const AugmentOptions& options) {
+  return build_instance(g, options).candidates;
+}
+
+AugmentResult augment_connectivity(const DataflowGraph& g,
+                                   const AugmentOptions& options) {
+  AugmentResult result;
+
+  // Backbone-skip hardening first: its shingle edges already satisfy most
+  // of the degree requirements, so the degree optimization afterwards only
+  // tops up what is still missing (matching the paper's "one extra mux per
+  // segment" overall shape without duplicating edges).
+  if (options.spof_repair) {
+    std::vector<bool> target_ok = options.target_allowed;
+    if (target_ok.empty()) target_ok.assign(g.num_vertices(), true);
+    for (NodeId r : g.roots()) target_ok[r] = false;
+    for (NodeId s : g.sinks()) target_ok[s] = true;
+    add_backbone_skips(g, options, target_ok, result);
+  }
+
+  std::vector<DfEdge> base_edges = g.edges();
+  base_edges.insert(base_edges.end(), result.added_edges.begin(),
+                    result.added_edges.end());
+  const DataflowGraph g_hardened = DataflowGraph::from_edges(
+      g.num_vertices(), base_edges, g.roots(), g.sinks());
+
+  const Instance inst = build_instance(g_hardened, options);
+  AugmentResult degree;
+  switch (options.engine) {
+    case AugmentOptions::Engine::kFlow:
+      degree = solve_flow(g_hardened, inst, options);
+      break;
+    case AugmentOptions::Engine::kIlp:
+      degree = solve_ilp(g_hardened, inst, options);
+      break;
+    case AugmentOptions::Engine::kGreedy:
+      degree = solve_greedy(g_hardened, inst, options);
+      break;
+  }
+  result.added_edges.insert(result.added_edges.end(),
+                            degree.added_edges.begin(),
+                            degree.added_edges.end());
+  result.cost += degree.cost;
+  result.bb_nodes = degree.bb_nodes;
+  result.cycle_events = degree.cycle_events;
+  result.optimal = degree.optimal;
+
+  if (options.strict_two_connectivity) {
+    // Audit with Menger checks on the augmented graph; repair remaining
+    // violations with direct port edges (always vertex-independent).
+    std::vector<DfEdge> edges = g.edges();
+    edges.insert(edges.end(), result.added_edges.begin(),
+                 result.added_edges.end());
+    DataflowGraph ga = DataflowGraph::from_edges(g.num_vertices(), edges,
+                                                 g.roots(), g.sinks());
+    const NodeId root = g.roots().front();
+    const NodeId sink = g.sinks().front();
+    const auto cost_fn =
+        options.edge_cost ? options.edge_cost : default_cost;
+    const auto lv = g.levels();
+    std::set<std::pair<NodeId, NodeId>> have;
+    for (const DfEdge& e : edges) have.insert({e.from, e.to});
+    for (NodeId v : ga.connectivity_violations()) {
+      if (ga.vertex_disjoint_paths(root, v, 2) < 2 &&
+          have.insert({root, v}).second) {
+        result.added_edges.push_back({root, v});
+        result.cost += cost_fn(lv[v]);
+      }
+      if (ga.vertex_disjoint_paths(v, sink, 2) < 2 &&
+          have.insert({v, sink}).second) {
+        result.added_edges.push_back({v, sink});
+        result.cost += cost_fn(lv[sink] - lv[v]);
+      }
+    }
+  }
+
+  // Bootstrap anchors for every added edge (used by the synthesizer to
+  // place the mux address registers).
+  const GuardGroups gg = build_groups(g, options.vertex_guards);
+  result.edge_anchor.reserve(result.added_edges.size());
+  for (const DfEdge& e : result.added_edges)
+    result.edge_anchor.push_back(
+        edge_bootstrap_anchor(e, g, options.vertex_guards, gg));
+  return result;
+}
+
+}  // namespace ftrsn

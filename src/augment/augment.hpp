@@ -1,0 +1,103 @@
+// Connectivity augmentation of the RSN dataflow graph (paper §III-D).
+//
+// Computes a minimal-cost set of augmenting edges such that every vertex of
+// the dataflow graph has at least two incoming and two outgoing edges to
+// distinct vertices (where satisfiable in principle) and the augmented
+// graph stays acyclic.  Potential edges run level-forward
+// (level(j) >= level(i)); the edge cost grows with the level distance so
+// that minimizing cost avoids long signal lines.
+//
+// Engines:
+//  * kFlow (default): branch & bound whose relaxation is a min-cost flow —
+//    the degree-covering LP is a transportation problem with an integral
+//    polytope, so each node solves the ILP-without-acyclicity exactly;
+//    cycles (possible only among same-level edges) are eliminated by
+//    branching on the cycle's edges.
+//  * kIlp: the paper's formulation (eqs. 2-5) solved literally with the
+//    in-tree 0/1 ILP solver and lazily separated acyclicity cuts.  For
+//    small instances and cross-checking.
+//  * kGreedy: cost-ordered sweep with cycle repair; linear-time fallback
+//    and ablation baseline.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "graph/dataflow.hpp"
+
+namespace ftrsn {
+
+struct AugmentOptions {
+  enum class Engine { kFlow, kIlp, kGreedy };
+  Engine engine = Engine::kFlow;
+
+  /// Candidate targets kept per vertex and direction, nearest level first.
+  /// <= 0 means no pruning (the full level-forward potential edge set E_P).
+  int window = 8;
+
+  /// Edge cost as a function of the level difference (>= 0).  Must be
+  /// positive; defaults to 1 + delta as in DESIGN.md.
+  std::function<long long(int)> edge_cost;
+
+  /// After the degree-based optimization, audit the augmented graph for
+  /// remaining single points of failure (the degree constraints are
+  /// necessary but not sufficient for the vertex-independence requirement
+  /// of §III-C) and add minimal-cost "jump" edges over each SPOF.  On by
+  /// default: this realizes the actual fault-tolerance requirement.
+  bool spof_repair = true;
+
+  /// Additionally audit true 2-vertex-connectivity with Menger (max-flow)
+  /// checks and repair remaining violations with direct root->v / v->sink
+  /// edges (ablation mode; strictly stronger and more expensive).
+  bool strict_two_connectivity = false;
+
+  /// Vertices that may receive augmenting edges (targets).  Empty = the
+  /// caller accepts the default policy (segments and sinks only), supplied
+  /// via `target_allowed`.
+  std::vector<bool> target_allowed;
+
+  /// Configuration guards per vertex: the set of control registers (SIB
+  /// registers) that must be asserted for the vertex's position to lie on
+  /// an active scan path.  When provided, a candidate edge (i, j) is only
+  /// admitted if guards[i] is a subset of guards[j] ("guard-monotone"):
+  /// otherwise the detour could never be bootstrapped in exactly the fault
+  /// scenarios it is meant to survive (a source inside a bypassed
+  /// sub-network is unreachable when the sub-network's own SIB is faulty).
+  /// Each inner vector must be sorted.
+  std::vector<std::vector<NodeId>> vertex_guards;
+
+  int max_bb_nodes = 4000;
+};
+
+struct AugmentResult {
+  std::vector<DfEdge> added_edges;
+  /// Bootstrap anchor per added edge (parallel to added_edges): the vertex
+  /// after which the edge's mux address register must be spliced so it
+  /// remains writable in exactly the fault scenarios the edge bypasses —
+  /// the last vertex towards the source whose configuration guards are a
+  /// subset of the target's.  kInvalidNode = the anchor is a primary
+  /// scan-in (steer the mux from a primary control pin instead).
+  std::vector<NodeId> edge_anchor;
+  long long cost = 0;
+  int bb_nodes = 0;       ///< explored branch & bound nodes (flow engine)
+  int cycle_events = 0;   ///< cycles eliminated (branching or repair)
+  int spof_edges = 0;     ///< shingle edges added by backbone-skip hardening
+  bool optimal = false;   ///< engine proved optimality of the relaxation+cuts
+};
+
+/// Augments `g` so the degree requirements hold.  `target_allowed[v]` marks
+/// vertices that may receive new incoming edges (and thus a mux in front);
+/// sources can be any non-sink vertex.
+AugmentResult augment_connectivity(const DataflowGraph& g,
+                                   const AugmentOptions& options = {});
+
+/// The candidate (potential) edge set the engines optimize over — exposed
+/// for tests and the Fig. 4 reproduction.
+struct Candidate {
+  DfEdge edge;
+  long long cost;
+};
+std::vector<Candidate> potential_edges(const DataflowGraph& g,
+                                       const AugmentOptions& options);
+
+}  // namespace ftrsn

@@ -1,0 +1,356 @@
+#include "bmc/bmc.hpp"
+
+#include <map>
+
+#include "sat/solver.hpp"
+
+namespace ftrsn {
+
+namespace {
+
+using sat::Lit;
+using sat::SolveResult;
+using sat::Solver;
+
+/// One SAT instance: the RSN configuration unrolled over `steps` CSU
+/// operations, with optional stuck-at forcing.
+class Encoder {
+ public:
+  Encoder(const Rsn& rsn, int steps, const Fault* fault)
+      : rsn_(rsn), steps_(steps), fault_(fault) {
+    topo_ = rsn.topo_order();
+    topo_pos_.resize(rsn.num_nodes());
+    for (std::size_t i = 0; i < topo_.size(); ++i) topo_pos_[topo_[i]] = i;
+    collect_atoms();
+    lit_true_ = Lit(solver_.new_var(), false);
+    solver_.add_unit(lit_true_);
+    build_frames();
+  }
+
+  bool target_accessible(NodeId target, std::int64_t conflict_limit) {
+    // Write access at some frame AND read access at some (possibly other)
+    // frame.
+    std::vector<Lit> writes, reads;
+    for (int t = 0; t <= steps_; ++t) {
+      writes.push_back(access_ok(target, t, /*write=*/true));
+      reads.push_back(access_ok(target, t, /*write=*/false));
+    }
+    const Lit w = or_of(writes);
+    const Lit r = or_of(reads);
+    return solver_.solve({w, r}, conflict_limit) == SolveResult::kSat;
+  }
+
+ private:
+  struct Atom {
+    NodeId seg;
+    std::uint16_t bit;
+  };
+
+  // --- atom collection ------------------------------------------------------
+  void collect_atoms() {
+    const CtrlPool& pool = rsn_.ctrl();
+    for (CtrlRef r = 0; static_cast<std::size_t>(r) < pool.size(); ++r) {
+      const CtrlNode& n = pool.node(r);
+      if (n.op != CtrlOp::kShadowBit) continue;
+      const auto key = std::make_pair(n.seg, n.bit);
+      if (!atom_index_.count(key)) {
+        atom_index_[key] = static_cast<int>(atoms_.size());
+        atoms_.push_back({n.seg, n.bit});
+      }
+    }
+    // Primary pins are free in every frame (chosen by the access procedure).
+  }
+
+  // --- generic gate helpers -------------------------------------------------
+  Lit new_lit() { return Lit(solver_.new_var(), false); }
+  Lit lit_false() { return ~lit_true_; }
+
+  Lit and_of(const std::vector<Lit>& xs) {
+    if (xs.empty()) return lit_true_;
+    if (xs.size() == 1) return xs[0];
+    const Lit y = new_lit();
+    std::vector<Lit> clause{y};
+    for (Lit x : xs) {
+      solver_.add_binary(~y, x);
+      clause.push_back(~x);
+    }
+    solver_.add_clause(clause);
+    return y;
+  }
+  Lit or_of(const std::vector<Lit>& xs) {
+    if (xs.empty()) return lit_false();
+    if (xs.size() == 1) return xs[0];
+    std::vector<Lit> neg;
+    for (Lit x : xs) neg.push_back(~x);
+    return ~and_of(neg);
+  }
+  Lit ite(Lit c, Lit a, Lit b) {  // c ? a : b
+    const Lit y = new_lit();
+    solver_.add_ternary(~c, ~a, y);
+    solver_.add_ternary(~c, a, ~y);
+    solver_.add_ternary(c, ~b, y);
+    solver_.add_ternary(c, b, ~y);
+    return y;
+  }
+
+  // --- per-frame state ------------------------------------------------------
+  struct Frame {
+    std::vector<Lit> atom;        // per collected atom
+    std::vector<Lit> pins;        // per PSEL index used (created on demand)
+    std::vector<Lit> on;          // per node: on the active path
+    std::vector<Lit> addr;        // per node (muxes): address value
+    std::vector<Lit> select;      // per node (segments)
+    std::map<CtrlRef, Lit> expr;  // Tseitin cache
+  };
+
+  Lit pin_lit(Frame& f, std::uint16_t index) {
+    while (f.pins.size() <= index) f.pins.push_back(new_lit());
+    return f.pins[index];
+  }
+
+  Lit encode_expr(Frame& f, CtrlRef r) {
+    const auto it = f.expr.find(r);
+    if (it != f.expr.end()) return it->second;
+    const CtrlPool& pool = rsn_.ctrl();
+    const CtrlNode& n = pool.node(r);
+    Lit result;
+    // Control-net stuck-at forcing applies to the node's output.
+    if (fault_ && fault_->forcing.point == Forcing::Point::kCtrlNet &&
+        fault_->forcing.ctrl == r) {
+      result = fault_->forcing.value ? lit_true_ : lit_false();
+      f.expr[r] = result;
+      return result;
+    }
+    switch (n.op) {
+      case CtrlOp::kConst:
+        result = n.bit ? lit_true_ : lit_false();
+        break;
+      case CtrlOp::kEnable:
+        result = lit_true_;  // accesses run enabled
+        break;
+      case CtrlOp::kPortSel:
+        result = pin_lit(f, n.bit);
+        break;
+      case CtrlOp::kShadowBit: {
+        if (fault_ &&
+            fault_->forcing.point == Forcing::Point::kShadowReplica &&
+            fault_->forcing.node == n.seg && fault_->forcing.bit == n.bit &&
+            fault_->forcing.index == n.replica) {
+          result = fault_->forcing.value ? lit_true_ : lit_false();
+        } else {
+          result = f.atom[static_cast<std::size_t>(
+              atom_index_.at(std::make_pair(n.seg, n.bit)))];
+        }
+        break;
+      }
+      case CtrlOp::kNot:
+        result = ~encode_expr(f, n.kid[0]);
+        break;
+      case CtrlOp::kAnd:
+        result = and_of({encode_expr(f, n.kid[0]), encode_expr(f, n.kid[1])});
+        break;
+      case CtrlOp::kOr:
+        result = or_of({encode_expr(f, n.kid[0]), encode_expr(f, n.kid[1])});
+        break;
+      case CtrlOp::kMaj3: {
+        const Lit a = encode_expr(f, n.kid[0]);
+        const Lit b = encode_expr(f, n.kid[1]);
+        const Lit c = encode_expr(f, n.kid[2]);
+        result = or_of({and_of({a, b}), and_of({a, c}), and_of({b, c})});
+        break;
+      }
+    }
+    f.expr[r] = result;
+    return result;
+  }
+
+  /// Active-path predicate per node: on(v) = OR over consumers c of
+  /// (on(c) and c-forwards-v); scan-out ports are always observed.
+  void encode_frame(Frame& f) {
+    const std::size_t n_nodes = rsn_.num_nodes();
+    f.on.assign(n_nodes, lit_false());
+    f.addr.assign(n_nodes, lit_false());
+    f.select.assign(n_nodes, lit_false());
+    for (NodeId id = 0; id < n_nodes; ++id) {
+      const RsnNode& n = rsn_.node(id);
+      if (n.is_mux()) {
+        Lit a = encode_expr(f, n.addr);
+        if (fault_ && fault_->forcing.point == Forcing::Point::kMuxAddr &&
+            fault_->forcing.node == id)
+          a = fault_->forcing.value ? lit_true_ : lit_false();
+        f.addr[id] = a;
+      }
+      if (n.is_segment()) f.select[id] = encode_expr(f, n.select);
+    }
+    const auto succ = rsn_.successors();
+    // Reverse topological order: consumers are encoded before producers.
+    for (auto it = topo_.rbegin(); it != topo_.rend(); ++it) {
+      const NodeId v = *it;
+      if (rsn_.node(v).kind == NodeKind::kPrimaryOut) {
+        f.on[v] = lit_true_;
+        continue;
+      }
+      std::vector<Lit> uses;
+      for (NodeId c : succ[v]) {
+        const RsnNode& cn = rsn_.node(c);
+        if (cn.is_mux()) {
+          const Lit side =
+              cn.mux_in[1] == v ? f.addr[c] : ~f.addr[c];
+          uses.push_back(and_of({f.on[c], side}));
+        } else {
+          uses.push_back(f.on[c]);
+        }
+      }
+      f.on[v] = or_of(uses);
+    }
+  }
+
+  /// Corruption predicate of the fault at one frame: true when the fault
+  /// site corrupts the data stream of the active path.
+  Lit corruption(Frame& f) {
+    if (!fault_) return lit_false();
+    const Forcing& fc = fault_->forcing;
+    switch (fc.point) {
+      case Forcing::Point::kSegmentIn:
+      case Forcing::Point::kSegmentOut:
+      case Forcing::Point::kMuxOut:
+      case Forcing::Point::kPrimaryIn:
+      case Forcing::Point::kPrimaryOut:
+        return f.on[fc.node];
+      case Forcing::Point::kMuxIn: {
+        const Lit side = fc.index == 1 ? f.addr[fc.node] : ~f.addr[fc.node];
+        return and_of({f.on[fc.node], side});
+      }
+      default:
+        return lit_false();  // control faults do not corrupt data directly
+    }
+  }
+
+  /// Topological position of the fault site (for upstream/downstream
+  /// reasoning along the active path, which follows topological order).
+  std::size_t fault_pos() const {
+    const Forcing& fc = fault_->forcing;
+    return topo_pos_[fc.node];
+  }
+
+  void build_frames() {
+    frames_.resize(static_cast<std::size_t>(steps_) + 1);
+    // Frame 0: reset configuration.
+    Frame& f0 = frames_[0];
+    f0.atom.resize(atoms_.size());
+    for (std::size_t a = 0; a < atoms_.size(); ++a) {
+      const bool v =
+          (rsn_.node(atoms_[a].seg).reset_shadow >> atoms_[a].bit) & 1;
+      f0.atom[a] = v ? lit_true_ : lit_false();
+    }
+    encode_frame(f0);
+
+    for (int t = 1; t <= steps_; ++t) {
+      Frame& prev = frames_[static_cast<std::size_t>(t - 1)];
+      Frame& cur = frames_[static_cast<std::size_t>(t)];
+      const Lit prev_corrupt = corruption(prev);
+      cur.atom.resize(atoms_.size());
+      for (std::size_t a = 0; a < atoms_.size(); ++a) {
+        const NodeId seg = atoms_[a].seg;
+        const RsnNode& sn = rsn_.node(seg);
+        // Updated(seg) in the previous CSU: on path, selected, not
+        // update-disabled (eq. 1).
+        const Lit updated = and_of({prev.on[seg], prev.select[seg],
+                                    ~encode_expr(prev, sn.up_dis)});
+        // New value: free, unless the fault corrupts data upstream of the
+        // segment on the active path or pins the segment's own input.
+        Lit fresh = new_lit();
+        if (fault_) {
+          const Forcing& fc = fault_->forcing;
+          const bool own_input =
+              fc.point == Forcing::Point::kSegmentIn && fc.node == seg;
+          const bool data_fault =
+              fc.point == Forcing::Point::kSegmentIn ||
+              fc.point == Forcing::Point::kSegmentOut ||
+              fc.point == Forcing::Point::kMuxIn ||
+              fc.point == Forcing::Point::kMuxOut ||
+              fc.point == Forcing::Point::kPrimaryIn;
+          if (own_input) {
+            fresh = fc.value ? lit_true_ : lit_false();
+          } else if (data_fault && fault_pos() < topo_pos_[seg]) {
+            // The stuck-at value propagates to subsequent updatable
+            // registers on the active path (paper §III-A): when the fault
+            // corrupts the stream, the latched value is the stuck constant.
+            fresh = ite(prev_corrupt, fc.value ? lit_true_ : lit_false(),
+                        fresh);
+          }
+        }
+        cur.atom[a] = ite(updated, fresh, prev.atom[a]);
+      }
+      encode_frame(cur);
+    }
+  }
+
+  /// Access condition for `target` at frame t.
+  Lit access_ok(NodeId target, int t, bool write) {
+    Frame& f = frames_[static_cast<std::size_t>(t)];
+    const RsnNode& n = rsn_.node(target);
+    std::vector<Lit> conds{f.on[target], f.select[target]};
+    if (write) {
+      conds.push_back(~encode_expr(f, n.up_dis));
+    } else {
+      conds.push_back(~encode_expr(f, n.cap_dis));
+    }
+    if (fault_) {
+      const Forcing& fc = fault_->forcing;
+      const bool data_fault = fc.point == Forcing::Point::kSegmentIn ||
+                              fc.point == Forcing::Point::kSegmentOut ||
+                              fc.point == Forcing::Point::kMuxIn ||
+                              fc.point == Forcing::Point::kMuxOut ||
+                              fc.point == Forcing::Point::kPrimaryIn ||
+                              fc.point == Forcing::Point::kPrimaryOut;
+      if (data_fault) {
+        if (fc.node == target) {
+          // A stuck scan-out loses read access; a stuck scan-in loses
+          // write access.
+          if ((write && fc.point == Forcing::Point::kSegmentIn) ||
+              (!write && fc.point == Forcing::Point::kSegmentOut))
+            return lit_false();
+        } else if (write && fault_pos() < topo_pos_[target]) {
+          conds.push_back(~corruption(f));
+        } else if (!write && fault_pos() > topo_pos_[target]) {
+          conds.push_back(~corruption(f));
+        }
+      }
+    }
+    return and_of(conds);
+  }
+
+  const Rsn& rsn_;
+  int steps_;
+  const Fault* fault_;
+  Solver solver_;
+  Lit lit_true_;
+  std::vector<NodeId> topo_;
+  std::vector<std::size_t> topo_pos_;
+  std::vector<Atom> atoms_;
+  std::map<std::pair<NodeId, std::uint16_t>, int> atom_index_;
+  std::vector<Frame> frames_;
+};
+
+}  // namespace
+
+BmcAccessChecker::BmcAccessChecker(const Rsn& rsn, BmcOptions options)
+    : rsn_(&rsn), options_(options) {
+  steps_ = options.steps > 0 ? options.steps : rsn.stats().levels + 2;
+}
+
+bool BmcAccessChecker::accessible(NodeId target, const Fault* fault) const {
+  FTRSN_CHECK(rsn_->node(target).is_segment());
+  Encoder encoder(*rsn_, steps_, fault);
+  return encoder.target_accessible(target, options_.conflict_limit);
+}
+
+std::vector<bool> BmcAccessChecker::accessible_under(const Fault* fault) const {
+  std::vector<bool> acc(rsn_->num_nodes(), false);
+  for (NodeId id = 0; id < rsn_->num_nodes(); ++id)
+    if (rsn_->node(id).is_segment()) acc[id] = accessible(id, fault);
+  return acc;
+}
+
+}  // namespace ftrsn

@@ -1,0 +1,51 @@
+// Bounded-model-checking accessibility engine (paper §II-B and §III-A).
+//
+// Implements the formal RSN model M = {S, H, I, V, C, c0, Select, Updis,
+// Capdis, Active}: the configuration (control shadow registers + primary
+// control inputs) is unrolled over n+1 CSU operations; the transition
+// relation (eq. 1) lets a shadow register change only when its segment is
+// on the active scan path, is selected and not update-disabled.  Stuck-at
+// faults add forcing constraints, lock multiplexer addresses, and corrupt
+// the values latched by registers downstream of the fault site on the
+// active path.  A scan segment is accessible iff a sequence of CSU
+// operations reaches a configuration where it can be written (no fault
+// upstream on its path) and one where it can be read (no fault
+// downstream).
+//
+// This engine is the gold reference for the fast fixpoint analyzer
+// (fault/accessibility.hpp); tests cross-check the two on small networks.
+#pragma once
+
+#include "fault/faults.hpp"
+#include "rsn/rsn.hpp"
+
+namespace ftrsn {
+
+struct BmcOptions {
+  /// CSU operations to unroll (n+1 configurations).  <= 0 derives a bound
+  /// from the RSN's hierarchy depth (levels + 2).
+  int steps = 0;
+  std::int64_t conflict_limit = 1 << 20;
+};
+
+class BmcAccessChecker {
+ public:
+  explicit BmcAccessChecker(const Rsn& rsn, BmcOptions options = {});
+
+  /// True iff `target` is fully (write + read) accessible under `fault`
+  /// (nullptr = fault-free) within the unrolling bound.  Each call builds
+  /// and solves one SAT instance.
+  bool accessible(NodeId target, const Fault* fault) const;
+
+  /// Accessibility of every segment under one fault (one SAT call each).
+  std::vector<bool> accessible_under(const Fault* fault) const;
+
+  int steps() const { return steps_; }
+
+ private:
+  const Rsn* rsn_;
+  BmcOptions options_;
+  int steps_ = 0;
+};
+
+}  // namespace ftrsn

@@ -1,0 +1,50 @@
+#include "core/flow.hpp"
+
+#include <chrono>
+
+#include "itc02/itc02.hpp"
+
+namespace ftrsn {
+
+namespace {
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+}  // namespace
+
+FlowResult run_flow(const Rsn& original, const FlowOptions& options) {
+  FlowResult result;
+  result.original_stats = original.stats();
+
+  const auto t_synth = std::chrono::steady_clock::now();
+  SynthResult synth = synthesize_fault_tolerant(original, options.synth);
+  result.synth_seconds = seconds_since(t_synth);
+  result.synth_stats = synth.stats;
+  result.augment_cost = synth.augment.cost;
+  result.augment_edges = static_cast<int>(synth.augment.added_edges.size());
+  result.skip_edges = synth.augment.spof_edges;
+  result.hardened = std::move(synth.rsn);
+  result.hardened_stats = result.hardened.stats();
+  result.overhead = compute_overhead(original, result.hardened, options.tech);
+
+  const auto t_metric = std::chrono::steady_clock::now();
+  if (options.evaluate_original)
+    result.original_metric = compute_fault_tolerance(original, options.metric);
+  if (options.evaluate_hardened)
+    result.hardened_metric =
+        compute_fault_tolerance(result.hardened, options.metric);
+  result.metric_seconds = seconds_since(t_metric);
+  return result;
+}
+
+FlowResult run_soc_flow(std::string_view soc_name, const FlowOptions& options) {
+  const auto soc = itc02::find_soc(soc_name);
+  FTRSN_CHECK_MSG(soc.has_value(),
+                  strprintf("unknown ITC'02 SoC '%.*s'",
+                            static_cast<int>(soc_name.size()), soc_name.data()));
+  return run_flow(itc02::generate_sib_rsn(*soc), options);
+}
+
+}  // namespace ftrsn

@@ -1,0 +1,53 @@
+// End-to-end synthesis flow (paper Fig. 1):
+//   structural RSN -> dataflow graph -> connectivity requirements ->
+//   ILP/flow augmentation (+ backbone-skip hardening) -> final synthesis
+//   (mux insertion, select hardening, TMR, port duplication) ->
+//   fault-tolerance metric + area overhead.
+//
+// One call of `run_flow` reproduces one row of the paper's Table I.
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+#include "area/area.hpp"
+#include "fault/metric.hpp"
+#include "synth/synth.hpp"
+
+namespace ftrsn {
+
+struct FlowOptions {
+  SynthOptions synth;
+  MetricOptions metric;
+  TechLibrary tech;
+  /// Also evaluate the metric of the original RSN (Table I columns
+  /// "Accessibility in SIB-RSNs").
+  bool evaluate_original = true;
+  /// Evaluate the metric of the fault-tolerant RSN.
+  bool evaluate_hardened = true;
+};
+
+struct FlowResult {
+  RsnStats original_stats;
+  RsnStats hardened_stats;
+  std::optional<FaultToleranceReport> original_metric;
+  std::optional<FaultToleranceReport> hardened_metric;
+  SynthStats synth_stats;
+  long long augment_cost = 0;
+  int augment_edges = 0;
+  int skip_edges = 0;
+  OverheadRatios overhead;
+  double synth_seconds = 0.0;
+  double metric_seconds = 0.0;
+  Rsn hardened;  ///< the synthesized fault-tolerant RSN
+};
+
+/// Runs the complete flow on `original`.
+FlowResult run_flow(const Rsn& original, const FlowOptions& options = {});
+
+/// Convenience: generates the SIB-based RSN of the named ITC'02 SoC and
+/// runs the flow.  Throws std::logic_error for unknown SoC names.
+FlowResult run_soc_flow(std::string_view soc_name,
+                        const FlowOptions& options = {});
+
+}  // namespace ftrsn

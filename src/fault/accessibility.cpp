@@ -1,0 +1,387 @@
+#include "fault/accessibility.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+
+namespace ftrsn {
+
+namespace {
+constexpr std::uint8_t kCan0 = 1;
+constexpr std::uint8_t kCan1 = 2;
+constexpr std::uint8_t kCanBoth = kCan0 | kCan1;
+}  // namespace
+
+AccessAnalyzer::AccessAnalyzer(const Rsn& rsn) : rsn_(&rsn) {
+  out_edges_.resize(rsn.num_nodes());
+  in_edges_.resize(rsn.num_nodes());
+  const auto add_edge = [this](NodeId from, NodeId to, int mux_input) {
+    const int e = static_cast<int>(edges_.size());
+    edges_.push_back({from, to, mux_input});
+    out_edges_[from].push_back(e);
+    in_edges_[to].push_back(e);
+  };
+  for (NodeId id = 0; id < rsn.num_nodes(); ++id) {
+    const RsnNode& n = rsn.node(id);
+    if (n.kind == NodeKind::kSegment || n.kind == NodeKind::kPrimaryOut) {
+      add_edge(n.scan_in, id, -1);
+    } else if (n.is_mux()) {
+      add_edge(n.mux_in[0], id, 0);
+      add_edge(n.mux_in[1], id, 1);
+    }
+  }
+  topo_ = rsn.topo_order();
+}
+
+std::uint8_t AccessAnalyzer::possible(
+    CtrlRef r, const std::vector<bool>& writable,
+    const std::vector<std::int8_t>& forced, Memo& memo,
+    const std::vector<std::uint8_t>* extra_atom) const {
+  const auto idx = static_cast<std::size_t>(r);
+  if (memo.epoch[idx] == memo.current) return memo.value[idx];
+  std::uint8_t result = 0;
+  if (forced[idx] >= 0) {
+    result = forced[idx] ? kCan1 : kCan0;
+  } else {
+    const CtrlNode& n = rsn_->ctrl().node(r);
+    switch (n.op) {
+      case CtrlOp::kConst:
+        result = n.bit ? kCan1 : kCan0;
+        break;
+      case CtrlOp::kEnable:
+        // Accesses run with the RSN enabled.
+        result = kCan1;
+        break;
+      case CtrlOp::kPortSel:
+        // Primary input, freely controllable by the access procedure.
+        result = kCanBoth;
+        break;
+      case CtrlOp::kShadowBit: {
+        if (writable[n.seg]) {
+          result = kCanBoth;
+        } else {
+          const bool v = (rsn_->node(n.seg).reset_shadow >> n.bit) & 1;
+          result = v ? kCan1 : kCan0;
+          // A register downstream of a stuck data net can additionally
+          // *latch the stuck constant* by updating on a corrupted path.
+          if (extra_atom) result |= (*extra_atom)[n.seg];
+        }
+        break;
+      }
+      case CtrlOp::kNot: {
+        const std::uint8_t a = possible(n.kid[0], writable, forced, memo, extra_atom);
+        result = static_cast<std::uint8_t>(((a & kCan0) ? kCan1 : 0) |
+                                           ((a & kCan1) ? kCan0 : 0));
+        break;
+      }
+      case CtrlOp::kAnd: {
+        const std::uint8_t a = possible(n.kid[0], writable, forced, memo, extra_atom);
+        const std::uint8_t b = possible(n.kid[1], writable, forced, memo, extra_atom);
+        result = static_cast<std::uint8_t>(
+            (((a & kCan1) && (b & kCan1)) ? kCan1 : 0) |
+            (((a & kCan0) || (b & kCan0)) ? kCan0 : 0));
+        break;
+      }
+      case CtrlOp::kOr: {
+        const std::uint8_t a = possible(n.kid[0], writable, forced, memo, extra_atom);
+        const std::uint8_t b = possible(n.kid[1], writable, forced, memo, extra_atom);
+        result = static_cast<std::uint8_t>(
+            (((a & kCan1) || (b & kCan1)) ? kCan1 : 0) |
+            (((a & kCan0) && (b & kCan0)) ? kCan0 : 0));
+        break;
+      }
+      case CtrlOp::kMaj3: {
+        // Majority: value v possible if at least two children can be v.
+        int can1 = 0, can0 = 0;
+        for (int i = 0; i < 3; ++i) {
+          const std::uint8_t k = possible(n.kid[i], writable, forced, memo, extra_atom);
+          can1 += (k & kCan1) ? 1 : 0;
+          can0 += (k & kCan0) ? 1 : 0;
+        }
+        result = static_cast<std::uint8_t>((can1 >= 2 ? kCan1 : 0) |
+                                           (can0 >= 2 ? kCan0 : 0));
+        break;
+      }
+    }
+  }
+  memo.value[idx] = result;
+  memo.epoch[idx] = memo.current;
+  return result;
+}
+
+std::vector<bool> AccessAnalyzer::accessible_under(const Fault* fault) const {
+  std::vector<Fault> faults;
+  if (fault) faults.push_back(*fault);
+  return accessible_under_set(faults);
+}
+
+std::vector<bool> AccessAnalyzer::accessible_under_set(
+    const std::vector<Fault>& faults) const {
+  const Rsn& rsn = *rsn_;
+  const std::size_t n_nodes = rsn.num_nodes();
+
+  // --- static fault effects -------------------------------------------------
+  std::vector<std::int8_t> forced(rsn.ctrl().size(), -1);
+  std::vector<bool> node_dead(n_nodes, false);
+  // mux_pin[m]: -1 = free, 0/1 = address pinned by a fault at the mux's
+  // address port.
+  std::vector<std::int8_t> mux_pin(n_nodes, -1);
+  // dead_mux_input[m][i]: data input i of mux m unusable.
+  std::vector<std::array<bool, 2>> dead_mux_input(n_nodes, {false, false});
+
+  for (const Fault& fault : faults) {
+    const Forcing& f = fault.forcing;
+    switch (f.point) {
+      case Forcing::Point::kSegmentIn:
+      case Forcing::Point::kSegmentOut:
+        node_dead[f.node] = true;
+        break;
+      case Forcing::Point::kShadowReplica: {
+        // A stuck shadow latch replica behaves like a stuck control atom.
+        const CtrlPool& pool = rsn.ctrl();
+        for (CtrlRef r = 0; static_cast<std::size_t>(r) < pool.size(); ++r) {
+          const CtrlNode& c = pool.node(r);
+          if (c.op == CtrlOp::kShadowBit && c.seg == f.node &&
+              c.bit == f.bit && c.replica == f.index)
+            forced[static_cast<std::size_t>(r)] = f.value ? 1 : 0;
+        }
+        break;
+      }
+      case Forcing::Point::kMuxIn:
+        dead_mux_input[f.node][static_cast<std::size_t>(f.index)] = true;
+        break;
+      case Forcing::Point::kMuxOut:
+        node_dead[f.node] = true;
+        break;
+      case Forcing::Point::kMuxAddr:
+        mux_pin[f.node] = f.value ? 1 : 0;
+        break;
+      case Forcing::Point::kCtrlNet:
+        forced[static_cast<std::size_t>(f.ctrl)] = f.value ? 1 : 0;
+        break;
+      case Forcing::Point::kPrimaryIn:
+      case Forcing::Point::kPrimaryOut:
+        node_dead[f.node] = true;
+        break;
+    }
+  }
+
+  // --- fixpoint over writability ---------------------------------------------
+  //
+  // Two path notions per direction:
+  //  * "routable": the path can be configured as the active scan path
+  //    (mux addresses achievable); data cleanliness is irrelevant.
+  //  * "clean": routable and the scan data is not corrupted anywhere
+  //    strictly along the path.
+  // Write access to s needs a clean upstream path and a routable downstream
+  // path; read access needs the converse.  The metric's accessibility is
+  // full (read + write) access.  Writability (for mux reconfiguration) only
+  // needs write access, which is why registers upstream of a fault can
+  // still steer the network (paper §III-A: the stuck-at value propagates
+  // only to *subsequent* registers on the active path).
+  // Taint mask: a register structurally downstream of a stuck data net can
+  // latch the stuck constant by updating while on a corrupted path, so the
+  // constant is an achievable value for its control atoms even when free
+  // writes are impossible (the BMC engine models this exactly; tests keep
+  // the two engines in agreement).
+  std::vector<std::uint8_t> extra_atom(n_nodes, 0);
+  for (const Fault& fault : faults) {
+    const Forcing& f = fault.forcing;
+    const bool starts_at_input = f.point == Forcing::Point::kSegmentIn;
+    const bool data_fault = starts_at_input ||
+                            f.point == Forcing::Point::kSegmentOut ||
+                            f.point == Forcing::Point::kMuxIn ||
+                            f.point == Forcing::Point::kMuxOut ||
+                            f.point == Forcing::Point::kPrimaryIn;
+    if (!data_fault) continue;
+    const std::uint8_t bit = f.value ? kCan1 : kCan0;
+    std::vector<bool> seen(n_nodes, false);
+    std::vector<NodeId> stack;
+    seen[f.node] = true;
+    stack.push_back(f.node);
+    if (starts_at_input) extra_atom[f.node] |= bit;
+    while (!stack.empty()) {
+      const NodeId v = stack.back();
+      stack.pop_back();
+      for (int ei : out_edges_[v]) {
+        const NodeId w = edges_[static_cast<std::size_t>(ei)].to;
+        if (seen[w]) continue;
+        seen[w] = true;
+        if (rsn.node(w).is_segment()) extra_atom[w] |= bit;
+        stack.push_back(w);
+      }
+    }
+  }
+
+  std::vector<bool> writable(n_nodes, false);
+  std::vector<bool> accessible(n_nodes, false);
+  static thread_local Memo memo;
+  for (int iter = 0; iter < 256; ++iter) {
+    memo.begin(rsn.ctrl().size());
+
+    // Per-segment control conditions.
+    std::vector<bool> sel_ok(n_nodes, true), cap_ok(n_nodes, true),
+        upd_ok(n_nodes, true);
+    for (NodeId id = 0; id < n_nodes; ++id) {
+      const RsnNode& n = rsn.node(id);
+      if (!n.is_segment()) continue;
+      sel_ok[id] = (possible(n.select, writable, forced, memo, &extra_atom) & kCan1) != 0;
+      cap_ok[id] = (possible(n.cap_dis, writable, forced, memo, &extra_atom) & kCan0) != 0;
+      upd_ok[id] = (possible(n.up_dis, writable, forced, memo, &extra_atom) & kCan0) != 0;
+    }
+
+    // Does a vertex propagate scan data cleanly when it lies on the path?
+    // Shift enables are structural in SIB-style RSNs (a segment on the
+    // active path always shifts); the select predicate gates capture and
+    // update only, so select faults never corrupt the data stream — they
+    // cost the affected segments their own accesses.
+    const auto passes_clean = [&](NodeId v) { return !node_dead[v]; };
+
+    // Edge usability.
+    std::vector<bool> edge_routable(edges_.size(), false);
+    std::vector<bool> edge_clean(edges_.size(), false);
+    for (std::size_t e = 0; e < edges_.size(); ++e) {
+      const Edge& edge = edges_[e];
+      bool routable = true;
+      bool clean = true;
+      if (edge.mux_input >= 0) {
+        const NodeId m = edge.to;
+        if (mux_pin[m] >= 0) {
+          routable = mux_pin[m] == edge.mux_input;
+        } else {
+          const std::uint8_t mask =
+              possible(rsn.node(m).addr, writable, forced, memo, &extra_atom);
+          const std::uint8_t need = edge.mux_input == 0 ? kCan0 : kCan1;
+          routable = (mask & need) != 0;
+        }
+        // A stuck mux data input corrupts data through this direction but
+        // does not prevent routing.
+        clean = !dead_mux_input[m][static_cast<std::size_t>(edge.mux_input)];
+      }
+      edge_routable[e] = routable;
+      edge_clean[e] = routable && clean;
+    }
+    // Hardened-select direction coupling: a segment's own capture/update
+    // needs its select asserted *in the routing actually used*.  With the
+    // per-successor term metadata from the synthesizer, the select is
+    // assertable iff some outgoing direction is both usable and has a live
+    // term; without metadata, the plain possibility mask decides.
+    std::vector<bool> sel_assertable = sel_ok;
+    std::vector<bool> has_terms(n_nodes, false);
+    if (!rsn.select_terms().empty()) {
+      std::vector<bool> term_alive(n_nodes, false);
+      for (const auto& st : rsn.select_terms()) {
+        has_terms[st.seg] = true;
+        if (!(possible(st.term, writable, forced, memo, &extra_atom) & kCan1)) continue;
+        for (int e : out_edges_[st.seg])
+          if (edges_[static_cast<std::size_t>(e)].to == st.succ &&
+              edge_routable[static_cast<std::size_t>(e)])
+            term_alive[st.seg] = true;
+      }
+      for (NodeId v = 0; v < n_nodes; ++v)
+        if (has_terms[v]) sel_assertable[v] = term_alive[v];
+    }
+
+    // Reachability.  *_fwd[v]: path from some scan-in port to v's input;
+    // *_bwd[v]: path from v's output to some scan-out port.
+    std::vector<bool> clean_fwd(n_nodes, false), route_fwd(n_nodes, false);
+    std::vector<bool> clean_bwd(n_nodes, false), route_bwd(n_nodes, false);
+    for (NodeId r : rsn.primary_ins()) {
+      route_fwd[r] = true;
+      clean_fwd[r] = !node_dead[r];
+    }
+    for (NodeId v : topo_) {
+      if (!route_fwd[v] && !clean_fwd[v]) continue;
+      const bool v_passes = passes_clean(v);
+      for (int ei : out_edges_[v]) {
+        const auto e = static_cast<std::size_t>(ei);
+        const NodeId w = edges_[e].to;
+        if (route_fwd[v] && edge_routable[e]) route_fwd[w] = true;
+        if (clean_fwd[v] && v_passes && edge_clean[e]) clean_fwd[w] = true;
+      }
+    }
+    for (NodeId s : rsn.primary_outs()) {
+      route_bwd[s] = true;
+      clean_bwd[s] = !node_dead[s];
+    }
+    for (auto it = topo_.rbegin(); it != topo_.rend(); ++it) {
+      const NodeId w = *it;
+      if (!route_bwd[w] && !clean_bwd[w]) continue;
+      const bool w_passes =
+          rsn.node(w).kind == NodeKind::kPrimaryOut || passes_clean(w);
+      for (int ei : in_edges_[w]) {
+        const auto e = static_cast<std::size_t>(ei);
+        const NodeId v = edges_[e].from;
+        if (route_bwd[w] && edge_routable[e]) route_bwd[v] = true;
+        if (clean_bwd[w] && w_passes && edge_clean[e]) clean_bwd[v] = true;
+      }
+    }
+
+    if (const char* dbg = std::getenv("FTRSN_DEBUG_NODE")) {
+      for (NodeId id = 0; id < n_nodes; ++id) {
+        if (rsn.node(id).name != dbg) continue;
+        std::uint8_t selmask = 0;
+        if (rsn.node(id).is_segment())
+          selmask = possible(rsn.node(id).select, writable, forced, memo, &extra_atom);
+        std::fprintf(stderr,
+                     "[%s] iter=%d cf=%d rf=%d cb=%d rb=%d sel_ok=%d "
+                     "sel_assert=%d selmask=%d writable=%d\n",
+                     dbg, iter, int(clean_fwd[id]), int(route_fwd[id]),
+                     int(clean_bwd[id]), int(route_bwd[id]), int(sel_ok[id]),
+                     int(sel_assertable[id]), int(selmask),
+                     int(writable[id]));
+      }
+    }
+    if (std::getenv("FTRSN_DEBUG_ACCESS")) {
+      int nw = 0, cf = 0, cb = 0, rf = 0, rb = 0, sa = 0;
+      for (NodeId id = 0; id < n_nodes; ++id) {
+        nw += writable[id];
+        cf += clean_fwd[id];
+        cb += clean_bwd[id];
+        rf += route_fwd[id];
+        rb += route_bwd[id];
+        sa += sel_assertable[id] && rsn.node(id).is_segment();
+      }
+      std::fprintf(stderr,
+                   "iter=%d writable=%d clean_fwd=%d clean_bwd=%d "
+                   "route_fwd=%d route_bwd=%d sel=%d\n",
+                   iter, nw, cf, cb, rf, rb, sa);
+    }
+    bool changed = false;
+    for (NodeId id = 0; id < n_nodes; ++id) {
+      const RsnNode& n = rsn.node(id);
+      if (!n.is_segment()) continue;
+      bool own_in_ok = true, own_out_ok = true;
+      for (const Fault& fault : faults) {
+        if (fault.forcing.node != id) continue;
+        if (fault.forcing.point == Forcing::Point::kSegmentIn)
+          own_in_ok = false;
+        if (fault.forcing.point == Forcing::Point::kSegmentOut)
+          own_out_ok = false;
+      }
+      const bool write_acc = clean_fwd[id] && route_bwd[id] &&
+                             sel_assertable[id] && own_in_ok &&
+                             (!n.has_shadow || upd_ok[id]);
+      const bool read_acc = route_fwd[id] && clean_bwd[id] &&
+                            sel_assertable[id] && own_out_ok && cap_ok[id];
+      const bool acc = write_acc && read_acc;
+      if (acc && !accessible[id]) {
+        accessible[id] = true;
+        changed = true;
+      }
+      if (write_acc && n.has_shadow && !writable[id]) {
+        writable[id] = true;
+        changed = true;
+        if (std::getenv("FTRSN_DEBUG_ACCESS"))
+          std::fprintf(stderr, "  + writable %s (cf=%d rb=%d sel=%d)\n",
+                       n.name.c_str(), int(clean_fwd[id]), int(route_bwd[id]),
+                       int(sel_assertable[id]));
+      }
+    }
+    if (!changed) break;
+  }
+  return accessible;
+}
+
+}  // namespace ftrsn

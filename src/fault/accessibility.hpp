@@ -1,0 +1,89 @@
+// Scan-path computation in faulty RSNs (paper §III-A, fast engine).
+//
+// A scan segment s is *accessible* under a stuck-at fault f iff there is a
+// path from a primary scan-in through s to a primary scan-out such that
+//  (1) no element on the path corrupts the scan data (the fault site is
+//      not on the path, or the faulty mux input is not the one used),
+//  (2) every scan mux on the path can be configured to forward the path:
+//      its address is either already correct in the reset configuration,
+//      pinned to the required value by the fault itself, or driven by a
+//      shadow register that is in turn *writable* under f, and
+//  (3) the select predicate of every path segment can be asserted despite
+//      the fault (hardened select logic may lose one of its OR terms).
+//
+// Writability is the fixpoint: a register is writable iff its segment is
+// accessible, and accessibility grows monotonically from what the reset
+// configuration reaches.  This mirrors how an access procedure would
+// bootstrap: first access what the reset scan path reaches, use it to
+// reconfigure, and so on.  The SAT/BMC engine (bmc/) implements the
+// paper's exact unrolled formulation and cross-checks this engine on
+// small networks.
+#pragma once
+
+#include <vector>
+
+#include "fault/faults.hpp"
+#include "rsn/rsn.hpp"
+
+namespace ftrsn {
+
+class AccessAnalyzer {
+ public:
+  explicit AccessAnalyzer(const Rsn& rsn);
+
+  /// Per-node accessibility under a fault (entries for non-segment nodes
+  /// are false).  Pass nullptr for the fault-free case.
+  std::vector<bool> accessible_under(const Fault* fault) const;
+
+  /// Generalization to simultaneous multiple faults (the paper assumes
+  /// single stuck-at faults; this powers the double-fault extension
+  /// analysis in bench_multifault).
+  std::vector<bool> accessible_under_set(
+      const std::vector<Fault>& faults) const;
+
+  /// Convenience: fault-free accessibility (a valid RSN must have every
+  /// segment accessible).
+  std::vector<bool> accessible_fault_free() const {
+    return accessible_under(nullptr);
+  }
+
+  /// True if segment `seg` is accessible under `fault`.
+  bool is_accessible(NodeId seg, const Fault& fault) const {
+    return accessible_under(&fault)[seg];
+  }
+
+ private:
+  struct Edge {
+    NodeId from, to;
+    int mux_input;  ///< -1 for segment/primary-out scan-in edges
+  };
+
+  // Possibility mask of a control expression: bit0 = can evaluate to 0,
+  // bit1 = can evaluate to 1, given forced nets, frozen (unwritable)
+  // registers at reset values, and writable registers free.  The memo is
+  // epoch-stamped so iterating over tens of thousands of faults does not
+  // reallocate pool-sized buffers (see Memo).
+  struct Memo {
+    std::vector<std::uint8_t> value;
+    std::vector<std::uint32_t> epoch;
+    std::uint32_t current = 0;
+    void begin(std::size_t size) {
+      if (value.size() < size) {
+        value.resize(size, 0);
+        epoch.resize(size, 0);
+      }
+      ++current;
+    }
+  };
+  std::uint8_t possible(CtrlRef r, const std::vector<bool>& writable,
+                        const std::vector<std::int8_t>& forced, Memo& memo,
+                        const std::vector<std::uint8_t>* extra_atom = nullptr) const;
+
+  const Rsn* rsn_;
+  std::vector<Edge> edges_;
+  std::vector<std::vector<int>> out_edges_;  // node -> edge indices
+  std::vector<std::vector<int>> in_edges_;
+  std::vector<NodeId> topo_;
+};
+
+}  // namespace ftrsn

@@ -1,0 +1,144 @@
+#include "fault/faults.hpp"
+
+#include <unordered_set>
+
+namespace ftrsn {
+
+namespace {
+
+/// Collects every control expression node reachable from the refs used by
+/// ports of the RSN (select / cap_dis / up_dis / mux address).
+std::vector<CtrlRef> used_ctrl_nodes(const Rsn& rsn) {
+  const CtrlPool& pool = rsn.ctrl();
+  std::vector<bool> seen(pool.size(), false);
+  std::vector<CtrlRef> stack;
+  const auto push = [&](CtrlRef r) {
+    if (r >= 0 && !seen[static_cast<std::size_t>(r)]) {
+      seen[static_cast<std::size_t>(r)] = true;
+      stack.push_back(r);
+    }
+  };
+  for (NodeId id = 0; id < rsn.num_nodes(); ++id) {
+    const RsnNode& n = rsn.node(id);
+    if (n.is_segment()) {
+      push(n.select);
+      push(n.cap_dis);
+      push(n.up_dis);
+    } else if (n.is_mux()) {
+      push(n.addr);
+    }
+  }
+  std::vector<CtrlRef> used;
+  while (!stack.empty()) {
+    const CtrlRef r = stack.back();
+    stack.pop_back();
+    used.push_back(r);
+    const CtrlNode& n = pool.node(r);
+    for (int i = 0; i < n.arity(); ++i) push(n.kid[i]);
+  }
+  return used;
+}
+
+Fault make_fault(Forcing::Point p, NodeId node, int index, int bit,
+                 CtrlRef ctrl, bool value) {
+  Fault f;
+  f.forcing.point = p;
+  f.forcing.node = node;
+  f.forcing.index = index;
+  f.forcing.bit = bit;
+  f.forcing.ctrl = ctrl;
+  f.forcing.value = value;
+  return f;
+}
+
+void add_site(std::vector<Fault>& out, Forcing::Point p, NodeId node,
+              int index = 0, CtrlRef ctrl = kCtrlInvalid) {
+  out.push_back(make_fault(p, node, index, 0, ctrl, false));
+  out.push_back(make_fault(p, node, index, 0, ctrl, true));
+}
+
+}  // namespace
+
+std::vector<Fault> enumerate_faults(const Rsn& rsn) {
+  std::vector<Fault> faults;
+  for (NodeId id = 0; id < rsn.num_nodes(); ++id) {
+    const RsnNode& n = rsn.node(id);
+    switch (n.kind) {
+      case NodeKind::kPrimaryIn:
+        add_site(faults, Forcing::Point::kPrimaryIn, id);
+        break;
+      case NodeKind::kPrimaryOut:
+        add_site(faults, Forcing::Point::kPrimaryOut, id);
+        break;
+      case NodeKind::kSegment:
+        add_site(faults, Forcing::Point::kSegmentIn, id);
+        add_site(faults, Forcing::Point::kSegmentOut, id);
+        break;
+      case NodeKind::kMux: {
+        add_site(faults, Forcing::Point::kMuxIn, id, 0);
+        add_site(faults, Forcing::Point::kMuxIn, id, 1);
+        add_site(faults, Forcing::Point::kMuxOut, id);
+        // With TMR hardening the majority voter is folded into the mux's
+        // address decoding, so the triplicated wires (enumerated as control
+        // nets) are the address ports — a post-voter single point would
+        // defeat §III-E-3 by construction.  Primary pins are global
+        // control.  Plain (unhardened) addresses keep their port site.
+        const CtrlOp op = rsn.ctrl().node(n.addr).op;
+        if (op != CtrlOp::kMaj3 && op != CtrlOp::kPortSel &&
+            op != CtrlOp::kConst)
+          add_site(faults, Forcing::Point::kMuxAddr, id);
+        break;
+      }
+    }
+  }
+  const CtrlPool& pool = rsn.ctrl();
+  for (CtrlRef r : used_ctrl_nodes(rsn)) {
+    const CtrlNode& n = pool.node(r);
+    // Constants are not nets; the enable and port-select inputs are global
+    // control, excluded as in the paper.  Voter outputs are mux-internal
+    // (see the kMuxAddr note above); their triplicated inputs are the
+    // fault sites.
+    if (n.op == CtrlOp::kConst || n.op == CtrlOp::kEnable ||
+        n.op == CtrlOp::kPortSel || n.op == CtrlOp::kMaj3)
+      continue;
+    add_site(faults, Forcing::Point::kCtrlNet, kInvalidNode, 0, r);
+  }
+  return faults;
+}
+
+std::size_t count_fault_sites(const Rsn& rsn) {
+  return enumerate_faults(rsn).size() / 2;
+}
+
+std::string Fault::describe(const Rsn& rsn) const {
+  const char* sa = forcing.value ? "sa1" : "sa0";
+  const auto name = [&](NodeId id) {
+    return id == kInvalidNode ? std::string("?") : rsn.node(id).name;
+  };
+  switch (forcing.point) {
+    case Forcing::Point::kSegmentIn:
+      return strprintf("%s.scan_in/%s", name(forcing.node).c_str(), sa);
+    case Forcing::Point::kSegmentOut:
+      return strprintf("%s.scan_out/%s", name(forcing.node).c_str(), sa);
+    case Forcing::Point::kShadowReplica:
+      return strprintf("%s.shadow[%d]{r%d}/%s", name(forcing.node).c_str(),
+                       forcing.bit, forcing.index, sa);
+    case Forcing::Point::kMuxIn:
+      return strprintf("%s.in%d/%s", name(forcing.node).c_str(), forcing.index,
+                       sa);
+    case Forcing::Point::kMuxOut:
+      return strprintf("%s.out/%s", name(forcing.node).c_str(), sa);
+    case Forcing::Point::kMuxAddr:
+      return strprintf("%s.addr/%s", name(forcing.node).c_str(), sa);
+    case Forcing::Point::kCtrlNet:
+      return strprintf("ctrl{%s}/%s",
+                       rsn.ctrl().to_string(forcing.ctrl, rsn.node_names()).c_str(),
+                       sa);
+    case Forcing::Point::kPrimaryIn:
+    case Forcing::Point::kPrimaryOut:
+      return strprintf("%s/%s", name(forcing.node).c_str(), sa);
+  }
+  return "?";
+}
+
+}  // namespace ftrsn

@@ -1,0 +1,39 @@
+// Stuck-at fault universe of an RSN (paper §III-A).
+//
+// Faults are considered at all scan segment, register and multiplexer
+// ports, at the primary scan ports, and at all control-logic nets (fanout
+// stems and gate outputs).  Faults in global control signals (clock, reset,
+// the primary enable) are excluded, as in the paper.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "rsn/rsn.hpp"
+#include "sim/csu_sim.hpp"
+
+namespace ftrsn {
+
+/// One stuck-at fault: a structural point forced to 0 or 1.  The forcing
+/// representation is shared with the CSU simulator, so every fault in the
+/// universe can be both *analyzed* (fault/accessibility.hpp) and
+/// *simulated* (sim/csu_sim.hpp).
+struct Fault {
+  Forcing forcing;
+  std::string describe(const Rsn& rsn) const;
+};
+
+/// Enumerates the single stuck-at fault universe of an RSN:
+///  * scan-in and scan-out port of every scan segment (register ports);
+///  * both data inputs, the output and the address port of every scan mux;
+///  * every primary scan-in/scan-out port;
+///  * every control expression node referenced by a select predicate or a
+///    mux address: shadow-bit atoms (fanout stems) and gate outputs.
+///    Constants and the global enable are excluded.
+/// Every site yields two faults (stuck-at-0 and stuck-at-1).
+std::vector<Fault> enumerate_faults(const Rsn& rsn);
+
+/// Number of fault *sites* (half of enumerate_faults().size()).
+std::size_t count_fault_sites(const Rsn& rsn);
+
+}  // namespace ftrsn

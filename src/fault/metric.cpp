@@ -1,0 +1,104 @@
+#include "fault/metric.hpp"
+
+#include <algorithm>
+
+namespace ftrsn {
+
+bool metric_counts_role(SegRole role, const MetricOptions& options) {
+  switch (role) {
+    case SegRole::kInstrument:
+    case SegRole::kOther:
+      return true;
+    case SegRole::kSibRegister:
+      return options.count_sib_registers;
+    case SegRole::kAddressRegister:
+      return options.count_address_registers;
+  }
+  return true;
+}
+
+namespace {
+
+/// Data-corruption faults have identical analysis effects for both stuck-at
+/// polarities: the net carries a constant either way.  Evaluating one
+/// polarity and counting it twice halves the metric runtime without
+/// changing any aggregate.
+bool polarity_invariant(Forcing::Point p) {
+  switch (p) {
+    case Forcing::Point::kSegmentIn:
+    case Forcing::Point::kSegmentOut:
+    case Forcing::Point::kMuxIn:
+    case Forcing::Point::kMuxOut:
+    case Forcing::Point::kPrimaryIn:
+    case Forcing::Point::kPrimaryOut:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+FaultToleranceReport compute_fault_tolerance(const Rsn& rsn,
+                                             const MetricOptions& options) {
+  const std::vector<Fault> faults = enumerate_faults(rsn);
+  const AccessAnalyzer analyzer(rsn);
+
+  std::vector<bool> counted(rsn.num_nodes(), false);
+  FaultToleranceReport report;
+  for (NodeId id = 0; id < rsn.num_nodes(); ++id) {
+    const RsnNode& n = rsn.node(id);
+    if (!n.is_segment() || !metric_counts_role(n.role, options)) continue;
+    counted[id] = true;
+    ++report.counted_segments;
+    report.counted_bits += n.length;
+  }
+  FTRSN_CHECK_MSG(report.counted_segments > 0, "no segments to count");
+
+  report.num_faults = faults.size();
+  double seg_sum = 0.0, bit_sum = 0.0;
+  report.seg_worst = 1.0;
+  report.bit_worst = 1.0;
+
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    double seg_frac, bit_frac;
+    // Stuck-at-0/1 pairs on pure data nets are enumerated adjacently
+    // (add_site pushes sa0 then sa1); reuse the sa0 result for sa1.
+    if (i > 0 && polarity_invariant(faults[i].forcing.point) &&
+        faults[i].forcing.value) {
+      seg_frac = report.seg_fraction.back();
+      bit_frac = report.bit_fraction.back();
+    } else {
+      const std::vector<bool> acc = analyzer.accessible_under(&faults[i]);
+      long long segs = 0, bits = 0;
+      for (NodeId id = 0; id < rsn.num_nodes(); ++id) {
+        if (!counted[id] || !acc[id]) continue;
+        ++segs;
+        bits += rsn.node(id).length;
+      }
+      seg_frac = static_cast<double>(segs) /
+                 static_cast<double>(report.counted_segments);
+      bit_frac = static_cast<double>(bits) /
+                 static_cast<double>(report.counted_bits);
+    }
+    report.seg_fraction.push_back(seg_frac);
+    report.bit_fraction.push_back(bit_frac);
+    seg_sum += seg_frac;
+    bit_sum += bit_frac;
+    if (seg_frac < report.seg_worst ||
+        (seg_frac == report.seg_worst && bit_frac < report.bit_worst)) {
+      report.worst_fault_index = i;
+    }
+    report.seg_worst = std::min(report.seg_worst, seg_frac);
+    report.bit_worst = std::min(report.bit_worst, bit_frac);
+  }
+  report.seg_avg = seg_sum / static_cast<double>(faults.size());
+  report.bit_avg = bit_sum / static_cast<double>(faults.size());
+  if (!options.keep_distribution) {
+    report.seg_fraction.clear();
+    report.bit_fraction.clear();
+  }
+  return report;
+}
+
+}  // namespace ftrsn

@@ -1,0 +1,49 @@
+// Fault-tolerance metric of an RSN (paper §III-A, §IV-B).
+//
+// For every single stuck-at-0/1 fault in the RSN's fault universe, the
+// metric evaluates the fraction of scan segments (and of scan bits) that
+// remain accessible, then aggregates the worst case and the average over
+// all faults.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "fault/accessibility.hpp"
+#include "fault/faults.hpp"
+#include "rsn/rsn.hpp"
+
+namespace ftrsn {
+
+struct MetricOptions {
+  /// Count SIB registers as scan segments (the paper's segment counts
+  /// include them).
+  bool count_sib_registers = true;
+  /// Count control registers added by the fault-tolerant synthesis.  Off by
+  /// default so that original and fault-tolerant RSNs are compared over the
+  /// same segment population.
+  bool count_address_registers = false;
+  /// Record the per-fault accessibility distribution (for ablation plots).
+  bool keep_distribution = false;
+};
+
+struct FaultToleranceReport {
+  std::size_t num_faults = 0;
+  std::size_t counted_segments = 0;
+  long long counted_bits = 0;
+  double seg_worst = 1.0, seg_avg = 1.0;
+  double bit_worst = 1.0, bit_avg = 1.0;
+  std::size_t worst_fault_index = 0;  ///< index into enumerate_faults()
+  std::vector<double> seg_fraction;   ///< per fault, if keep_distribution
+  std::vector<double> bit_fraction;
+};
+
+/// Evaluates the fault-tolerance metric of `rsn` over its complete single
+/// stuck-at fault universe.
+FaultToleranceReport compute_fault_tolerance(const Rsn& rsn,
+                                             const MetricOptions& options = {});
+
+/// True if segment role `role` is counted under `options`.
+bool metric_counts_role(SegRole role, const MetricOptions& options);
+
+}  // namespace ftrsn

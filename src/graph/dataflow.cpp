@@ -1,0 +1,257 @@
+#include "graph/dataflow.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace ftrsn {
+
+void DataflowGraph::add_edge(NodeId from, NodeId to) {
+  edges_.push_back({from, to});
+  succ_[from].push_back(to);
+  pred_[to].push_back(from);
+}
+
+DataflowGraph DataflowGraph::from_rsn(const Rsn& rsn) {
+  DataflowGraph g;
+  g.succ_.resize(rsn.num_nodes());
+  g.pred_.resize(rsn.num_nodes());
+  for (NodeId id = 0; id < rsn.num_nodes(); ++id) {
+    const RsnNode& n = rsn.node(id);
+    switch (n.kind) {
+      case NodeKind::kPrimaryIn:
+        g.roots_.push_back(id);
+        break;
+      case NodeKind::kPrimaryOut:
+        g.sinks_.push_back(id);
+        g.add_edge(n.scan_in, id);
+        break;
+      case NodeKind::kSegment:
+        g.add_edge(n.scan_in, id);
+        break;
+      case NodeKind::kMux:
+        g.add_edge(n.mux_in[0], id);
+        g.add_edge(n.mux_in[1], id);
+        break;
+    }
+  }
+  return g;
+}
+
+DataflowGraph DataflowGraph::from_edges(std::size_t num_vertices,
+                                        std::vector<DfEdge> edges,
+                                        std::vector<NodeId> roots,
+                                        std::vector<NodeId> sinks) {
+  DataflowGraph g;
+  g.succ_.resize(num_vertices);
+  g.pred_.resize(num_vertices);
+  g.roots_ = std::move(roots);
+  g.sinks_ = std::move(sinks);
+  for (const DfEdge& e : edges) {
+    FTRSN_CHECK(e.from < num_vertices && e.to < num_vertices);
+    g.add_edge(e.from, e.to);
+  }
+  return g;
+}
+
+std::vector<NodeId> DataflowGraph::topo_order() const {
+  std::vector<int> indeg(num_vertices(), 0);
+  for (const DfEdge& e : edges_) ++indeg[e.to];
+  std::vector<NodeId> queue;
+  for (NodeId v = 0; v < num_vertices(); ++v)
+    if (indeg[v] == 0) queue.push_back(v);
+  std::vector<NodeId> order;
+  order.reserve(num_vertices());
+  while (!queue.empty()) {
+    const NodeId v = queue.back();
+    queue.pop_back();
+    order.push_back(v);
+    for (NodeId s : succ_[v])
+      if (--indeg[s] == 0) queue.push_back(s);
+  }
+  FTRSN_CHECK_MSG(order.size() == num_vertices(), "dataflow graph has a cycle");
+  return order;
+}
+
+std::vector<int> DataflowGraph::levels() const {
+  const std::vector<NodeId> order = topo_order();
+  std::vector<int> level(num_vertices(), 0);
+  for (NodeId v : order)
+    for (NodeId s : succ_[v]) level[s] = std::max(level[s], level[v] + 1);
+  return level;
+}
+
+bool DataflowGraph::has_cycle() const { return !find_cycle().empty(); }
+
+std::vector<NodeId> DataflowGraph::find_cycle() const {
+  enum : std::uint8_t { kWhite, kGray, kBlack };
+  std::vector<std::uint8_t> color(num_vertices(), kWhite);
+  std::vector<NodeId> parent(num_vertices(), kInvalidNode);
+  // Iterative DFS with explicit stack of (vertex, next-successor-index).
+  for (NodeId start = 0; start < num_vertices(); ++start) {
+    if (color[start] != kWhite) continue;
+    std::vector<std::pair<NodeId, std::size_t>> stack{{start, 0}};
+    color[start] = kGray;
+    while (!stack.empty()) {
+      auto& [v, i] = stack.back();
+      if (i < succ_[v].size()) {
+        const NodeId s = succ_[v][i++];
+        if (color[s] == kGray) {
+          // Found a back edge v -> s; reconstruct the cycle s ... v.
+          std::vector<NodeId> cycle{s};
+          for (NodeId u = v; u != s; u = parent[u]) cycle.push_back(u);
+          std::reverse(cycle.begin() + 1, cycle.end());
+          return cycle;
+        }
+        if (color[s] == kWhite) {
+          color[s] = kGray;
+          parent[s] = v;
+          stack.push_back({s, 0});
+        }
+      } else {
+        color[v] = kBlack;
+        stack.pop_back();
+      }
+    }
+  }
+  return {};
+}
+
+namespace {
+
+/// Unit-vertex-capacity max-flow on the split graph (Menger's theorem).
+/// Vertex v becomes v_in = 2v and v_out = 2v+1 with an internal arc of
+/// capacity 1 (infinite for s and t).  Edges get capacity 1.
+class SplitFlow {
+ public:
+  explicit SplitFlow(std::size_t n) : head_(2 * n + 4, -1) {}
+
+  int in(NodeId v) const { return static_cast<int>(2 * v); }
+  int out(NodeId v) const { return static_cast<int>(2 * v + 1); }
+
+  void add_arc(int from, int to, int cap) {
+    arcs_.push_back({to, head_[static_cast<std::size_t>(from)], cap});
+    head_[static_cast<std::size_t>(from)] = static_cast<int>(arcs_.size() - 1);
+    arcs_.push_back({from, head_[static_cast<std::size_t>(to)], 0});
+    head_[static_cast<std::size_t>(to)] = static_cast<int>(arcs_.size() - 1);
+  }
+
+  /// Edmonds-Karp bounded by `limit`.
+  int max_flow(int s, int t, int limit) {
+    int flow = 0;
+    while (flow < limit) {
+      std::vector<int> pred_arc(head_.size(), -1);
+      std::queue<int> bfs;
+      bfs.push(s);
+      pred_arc[static_cast<std::size_t>(s)] = -2;
+      bool found = false;
+      while (!bfs.empty() && !found) {
+        const int v = bfs.front();
+        bfs.pop();
+        for (int a = head_[static_cast<std::size_t>(v)]; a != -1;
+             a = arcs_[static_cast<std::size_t>(a)].next) {
+          const Arc& arc = arcs_[static_cast<std::size_t>(a)];
+          if (arc.cap <= 0 || pred_arc[static_cast<std::size_t>(arc.to)] != -1)
+            continue;
+          pred_arc[static_cast<std::size_t>(arc.to)] = a;
+          if (arc.to == t) {
+            found = true;
+            break;
+          }
+          bfs.push(arc.to);
+        }
+      }
+      if (!found) break;
+      for (int v = t; v != s;) {
+        const int a = pred_arc[static_cast<std::size_t>(v)];
+        arcs_[static_cast<std::size_t>(a)].cap -= 1;
+        arcs_[static_cast<std::size_t>(a ^ 1)].cap += 1;
+        v = arcs_[static_cast<std::size_t>(a ^ 1)].to;
+      }
+      ++flow;
+    }
+    return flow;
+  }
+
+ private:
+  struct Arc {
+    int to;
+    int next;
+    int cap;
+  };
+  std::vector<int> head_;
+  std::vector<Arc> arcs_;
+};
+
+}  // namespace
+
+int DataflowGraph::vertex_disjoint_paths(NodeId s, NodeId t, int cap) const {
+  if (s == t) return cap;
+  SplitFlow flow(num_vertices());
+  for (NodeId v = 0; v < num_vertices(); ++v) {
+    const int c = (v == s || v == t) ? cap : 1;
+    flow.add_arc(flow.in(v), flow.out(v), c);
+  }
+  for (const DfEdge& e : edges_) flow.add_arc(flow.out(e.from), flow.in(e.to), 1);
+  return flow.max_flow(flow.out(s), flow.in(t), cap);
+}
+
+namespace {
+
+/// Disjoint paths between a *set* of terminals and one vertex, with a
+/// virtual super-terminal so that paths from/to different ports only need
+/// to be internally disjoint.
+int disjoint_paths_set(const DataflowGraph& g, const std::vector<NodeId>& set,
+                       NodeId v, bool from_set, int cap) {
+  SplitFlow flow(g.num_vertices());
+  const int super = static_cast<int>(2 * g.num_vertices() + 2);
+  for (NodeId u = 0; u < g.num_vertices(); ++u) {
+    const bool uncap = u == v || std::find(set.begin(), set.end(), u) != set.end();
+    flow.add_arc(flow.in(u), flow.out(u), uncap ? cap : 1);
+  }
+  for (const DfEdge& e : g.edges())
+    flow.add_arc(flow.out(e.from), flow.in(e.to), 1);
+  for (NodeId t : set) {
+    if (from_set)
+      flow.add_arc(super, flow.in(t), cap);
+    else
+      flow.add_arc(flow.out(t), super, cap);
+  }
+  return from_set ? flow.max_flow(super, flow.in(v), cap)
+                  : flow.max_flow(flow.out(v), super, cap);
+}
+
+}  // namespace
+
+std::vector<NodeId> DataflowGraph::connectivity_violations() const {
+  std::vector<NodeId> bad;
+  const auto is_port = [&](NodeId v) {
+    return std::find(roots_.begin(), roots_.end(), v) != roots_.end() ||
+           std::find(sinks_.begin(), sinks_.end(), v) != sinks_.end();
+  };
+  for (NodeId v = 0; v < num_vertices(); ++v) {
+    if (is_port(v)) continue;
+    const int from_root = disjoint_paths_set(*this, roots_, v, true, 2);
+    const int to_sink = disjoint_paths_set(*this, sinks_, v, false, 2);
+    if (from_root < 2 || to_sink < 2) bad.push_back(v);
+  }
+  return bad;
+}
+
+std::string DataflowGraph::to_dot(const std::vector<std::string>& name,
+                                  const std::vector<DfEdge>& extra) const {
+  std::string dot = "digraph rsn_dataflow {\n  rankdir=LR;\n";
+  const auto label = [&](NodeId v) {
+    return v < name.size() && !name[v].empty() ? name[v]
+                                               : strprintf("v%u", v);
+  };
+  for (NodeId v = 0; v < num_vertices(); ++v)
+    dot += strprintf("  n%u [label=\"%s\"];\n", v, label(v).c_str());
+  for (const DfEdge& e : edges_)
+    dot += strprintf("  n%u -> n%u;\n", e.from, e.to);
+  for (const DfEdge& e : extra)
+    dot += strprintf("  n%u -> n%u [style=dashed, color=blue];\n", e.from, e.to);
+  dot += "}\n";
+  return dot;
+}
+
+}  // namespace ftrsn

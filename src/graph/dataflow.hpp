@@ -1,0 +1,89 @@
+// RSN dataflow graph (paper §III-B).
+//
+// Vertices represent scan segments, scan multiplexers and primary scan
+// ports; edges represent the scan interconnects between them.  Control
+// logic is not part of the graph — only the dataflow is modeled.  The graph
+// is a DAG whose unique roots are the primary scan-in ports and whose sinks
+// are the primary scan-out ports.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rsn/rsn.hpp"
+
+namespace ftrsn {
+
+/// Directed edge between dataflow vertices (vertex ids == RSN NodeIds).
+struct DfEdge {
+  NodeId from = kInvalidNode;
+  NodeId to = kInvalidNode;
+  bool operator==(const DfEdge&) const = default;
+  bool operator<(const DfEdge& o) const {
+    return from != o.from ? from < o.from : to < o.to;
+  }
+};
+
+/// Dataflow graph of an RSN.
+class DataflowGraph {
+ public:
+  /// Extracts the graph from a structural RSN.  Vertex ids coincide with
+  /// the RSN's NodeIds (every node is a vertex).
+  static DataflowGraph from_rsn(const Rsn& rsn);
+
+  /// Builds a graph from an explicit vertex/edge list (used by tests and
+  /// by the augmentation engine when evaluating candidate edge sets).
+  static DataflowGraph from_edges(std::size_t num_vertices,
+                                  std::vector<DfEdge> edges,
+                                  std::vector<NodeId> roots,
+                                  std::vector<NodeId> sinks);
+
+  std::size_t num_vertices() const { return succ_.size(); }
+  std::size_t num_edges() const { return edges_.size(); }
+  const std::vector<DfEdge>& edges() const { return edges_; }
+  const std::vector<NodeId>& successors(NodeId v) const { return succ_.at(v); }
+  const std::vector<NodeId>& predecessors(NodeId v) const { return pred_.at(v); }
+  const std::vector<NodeId>& roots() const { return roots_; }
+  const std::vector<NodeId>& sinks() const { return sinks_; }
+
+  /// Topological order (roots first).  Checks acyclicity.
+  std::vector<NodeId> topo_order() const;
+
+  /// Topological level of every vertex: length of the longest path from any
+  /// root (roots have level 0).  Unreachable vertices get level 0.
+  std::vector<int> levels() const;
+
+  bool has_cycle() const;
+
+  /// Returns one directed cycle (vertex sequence) if the graph has one;
+  /// empty vector otherwise.  Used for lazy acyclicity cuts.
+  std::vector<NodeId> find_cycle() const;
+
+  /// Maximum number of *internally vertex-disjoint* paths from `s` to `t`
+  /// (Menger), computed by unit-vertex-capacity max-flow on the split
+  /// graph.  `s` and `t` themselves are uncapacitated.  `cap` bounds the
+  /// computed flow (2 suffices for the fault-tolerance audit).
+  int vertex_disjoint_paths(NodeId s, NodeId t, int cap = 2) const;
+
+  /// Fault-tolerance connectivity audit (paper §III-C): for every vertex v
+  /// (other than ports), are there two vertex-independent paths root -> v
+  /// and v -> sink?  Returns the list of vertices that fail.
+  std::vector<NodeId> connectivity_violations() const;
+
+  /// DOT export; `name` maps vertex -> label, `extra` edges are drawn
+  /// dashed (used to render Fig. 4-style augmentation pictures).
+  std::string to_dot(const std::vector<std::string>& name,
+                     const std::vector<DfEdge>& extra = {}) const;
+
+ private:
+  void add_edge(NodeId from, NodeId to);
+
+  std::vector<DfEdge> edges_;
+  std::vector<std::vector<NodeId>> succ_;
+  std::vector<std::vector<NodeId>> pred_;
+  std::vector<NodeId> roots_;
+  std::vector<NodeId> sinks_;
+};
+
+}  // namespace ftrsn

@@ -1,0 +1,115 @@
+#include "ilp/ilp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+namespace ftrsn {
+
+namespace {
+
+/// A branch & bound node: variable fixings on top of the base problem.
+struct BbNode {
+  std::vector<std::pair<int, bool>> fixings;  // (var, value)
+  double bound = 0.0;                         // parent LP bound
+};
+
+struct NodeOrder {
+  bool operator()(const BbNode& a, const BbNode& b) const {
+    return a.bound > b.bound;  // best-first
+  }
+};
+
+}  // namespace
+
+IlpSolver::IlpSolver(LpProblem problem, IlpOptions options)
+    : base_(std::move(problem)), options_(options) {
+  for (double u : base_.upper)
+    FTRSN_CHECK_MSG(u == 0.0 || u == 1.0, "ILP variables must be binary");
+}
+
+IlpResult IlpSolver::solve() {
+  IlpResult result;
+  // Lazily added cuts apply globally (they are valid for every node).
+  std::vector<LinearConstraint> cuts;
+
+  std::priority_queue<BbNode, std::vector<BbNode>, NodeOrder> open;
+  open.push({});
+  double incumbent = std::numeric_limits<double>::infinity();
+
+  while (!open.empty() && result.explored_nodes < options_.max_nodes) {
+    BbNode node = open.top();
+    open.pop();
+    if (node.bound >= incumbent - 1e-9) continue;  // pruned
+    ++result.explored_nodes;
+
+    // Build the node problem: base + cuts + fixings (via bounds).
+    LpProblem p = base_;
+    for (const LinearConstraint& c : cuts) p.add_constraint(c);
+    std::vector<LinearConstraint> extra;  // fixing x=1 via lower bound row
+    for (const auto& [var, value] : node.fixings) {
+      if (value) {
+        LinearConstraint c;
+        c.terms = {{var, 1.0}};
+        c.sense = Sense::kGe;
+        c.rhs = 1.0;
+        p.add_constraint(c);
+      } else {
+        p.upper[static_cast<std::size_t>(var)] = 0.0;
+      }
+    }
+
+    const LpSolution lp = solve_lp(p, options_.max_lp_iters);
+    if (lp.status == LpStatus::kInfeasible) continue;
+    if (lp.status == LpStatus::kUnbounded || lp.status == LpStatus::kIterLimit)
+      continue;  // treat as unusable node (sound: only weakens the search)
+    if (lp.objective >= incumbent - 1e-9) continue;
+
+    // Most-fractional branching.
+    int branch_var = -1;
+    double best_frac = options_.int_tol;
+    for (std::size_t j = 0; j < base_.cost.size(); ++j) {
+      const double f = std::abs(lp.x[j] - std::round(lp.x[j]));
+      if (f > best_frac) {
+        best_frac = f;
+        branch_var = static_cast<int>(j);
+      }
+    }
+
+    if (branch_var < 0) {
+      // Integral candidate: round cleanly and run lazy separation.
+      std::vector<double> x(lp.x);
+      for (double& v : x) v = std::round(v);
+      if (lazy_) {
+        std::vector<LinearConstraint> violated = lazy_(x);
+        if (!violated.empty()) {
+          result.lazy_cuts_added += static_cast<int>(violated.size());
+          for (LinearConstraint& c : violated) cuts.push_back(std::move(c));
+          // Re-enqueue this node: it must respect the new cuts.
+          open.push(std::move(node));
+          continue;
+        }
+      }
+      if (lp.objective < incumbent) {
+        incumbent = lp.objective;
+        result.feasible = true;
+        result.objective = lp.objective;
+        result.x = std::move(x);
+      }
+      continue;
+    }
+
+    BbNode zero = node, one = node;
+    zero.bound = one.bound = lp.objective;
+    zero.fixings.emplace_back(branch_var, false);
+    one.fixings.emplace_back(branch_var, true);
+    open.push(std::move(zero));
+    open.push(std::move(one));
+  }
+
+  result.optimal = result.feasible && open.empty();
+  return result;
+}
+
+}  // namespace ftrsn

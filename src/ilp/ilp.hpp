@@ -1,0 +1,54 @@
+// 0/1 integer linear programming by branch & bound over the LP relaxation
+// (ilp/simplex.hpp), with support for lazily separated constraints.
+//
+// The connectivity augmentation of the paper (eqs. 2-5) has exponentially
+// many acyclicity constraints (4); they are generated lazily: whenever the
+// solver finds an integral candidate, the callback may add violated cuts,
+// which invalidates the candidate and continues the search.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "ilp/simplex.hpp"
+
+namespace ftrsn {
+
+struct IlpOptions {
+  int max_nodes = 200000;        ///< branch & bound node limit
+  int max_lp_iters = 200000;     ///< per-LP simplex iteration limit
+  double int_tol = 1e-6;         ///< integrality tolerance
+};
+
+struct IlpResult {
+  bool optimal = false;          ///< proven optimal within limits
+  bool feasible = false;         ///< an integral solution was found
+  double objective = 0.0;
+  std::vector<double> x;
+  int explored_nodes = 0;
+  int lazy_cuts_added = 0;
+};
+
+/// Lazy-constraint callback: inspects an integral candidate solution and
+/// returns violated constraints to add (empty = candidate is valid).
+using LazyCutFn =
+    std::function<std::vector<LinearConstraint>(const std::vector<double>&)>;
+
+class IlpSolver {
+ public:
+  /// All variables of `problem` are treated as binary {0,1}; variable upper
+  /// bounds must be 1 (or 0 to fix a variable).
+  explicit IlpSolver(LpProblem problem, IlpOptions options = {});
+
+  void set_lazy_cuts(LazyCutFn fn) { lazy_ = std::move(fn); }
+
+  IlpResult solve();
+
+ private:
+  LpProblem base_;
+  IlpOptions options_;
+  LazyCutFn lazy_;
+};
+
+}  // namespace ftrsn

@@ -1,0 +1,198 @@
+#include "ilp/mincost_flow.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace ftrsn {
+
+namespace {
+constexpr long long kInf = std::numeric_limits<long long>::max() / 4;
+}
+
+MinCostFlow::MinCostFlow(int num_nodes) : head_(num_nodes, -1) {}
+
+int MinCostFlow::add_arc(int from, int to, long long cap, long long cost) {
+  FTRSN_CHECK(from >= 0 && from < num_nodes() && to >= 0 && to < num_nodes());
+  FTRSN_CHECK(cap >= 0 && cost >= 0);
+  const int id = static_cast<int>(original_cap_.size());
+  arcs_.push_back({to, head_[static_cast<std::size_t>(from)], cap, cost});
+  head_[static_cast<std::size_t>(from)] = static_cast<int>(arcs_.size() - 1);
+  arcs_.push_back({from, head_[static_cast<std::size_t>(to)], 0, -cost});
+  head_[static_cast<std::size_t>(to)] = static_cast<int>(arcs_.size() - 1);
+  original_cap_.push_back(cap);
+  return id;
+}
+
+long long MinCostFlow::flow_on(int id) const {
+  return arcs_[static_cast<std::size_t>(2 * id + 1)].cap;
+}
+
+long long MinCostFlow::residual(int id) const {
+  return arcs_[static_cast<std::size_t>(2 * id)].cap;
+}
+
+void MinCostFlow::set_capacity(int id, long long cap) {
+  FTRSN_CHECK(cap >= 0);
+  original_cap_[static_cast<std::size_t>(id)] = cap;
+  reset_flow();
+}
+
+void MinCostFlow::reset_flow() {
+  for (std::size_t i = 0; i < original_cap_.size(); ++i) {
+    arcs_[2 * i].cap = original_cap_[i];
+    arcs_[2 * i + 1].cap = 0;
+  }
+}
+
+MinCostFlow::Result MinCostFlow::solve(int s, int t, long long limit) {
+  Result result;
+  const int n = num_nodes();
+  std::vector<long long> potential(static_cast<std::size_t>(n), 0);
+  // All arc costs are non-negative, so initial potentials of zero are valid.
+  while (result.flow < limit) {
+    // Dijkstra on reduced costs.
+    std::vector<long long> dist(static_cast<std::size_t>(n), kInf);
+    std::vector<int> pred_arc(static_cast<std::size_t>(n), -1);
+    using Item = std::pair<long long, int>;
+    std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+    dist[static_cast<std::size_t>(s)] = 0;
+    heap.push({0, s});
+    while (!heap.empty()) {
+      const auto [d, v] = heap.top();
+      heap.pop();
+      if (d > dist[static_cast<std::size_t>(v)]) continue;
+      for (int a = head_[static_cast<std::size_t>(v)]; a != -1;
+           a = arcs_[static_cast<std::size_t>(a)].next) {
+        const Arc& arc = arcs_[static_cast<std::size_t>(a)];
+        if (arc.cap <= 0) continue;
+        const long long nd = d + arc.cost +
+                             potential[static_cast<std::size_t>(v)] -
+                             potential[static_cast<std::size_t>(arc.to)];
+        if (nd < dist[static_cast<std::size_t>(arc.to)]) {
+          dist[static_cast<std::size_t>(arc.to)] = nd;
+          pred_arc[static_cast<std::size_t>(arc.to)] = a;
+          heap.push({nd, arc.to});
+        }
+      }
+    }
+    if (dist[static_cast<std::size_t>(t)] >= kInf) break;  // no more paths
+    for (int v = 0; v < n; ++v)
+      if (dist[static_cast<std::size_t>(v)] < kInf)
+        potential[static_cast<std::size_t>(v)] +=
+            dist[static_cast<std::size_t>(v)];
+    // Bottleneck along the shortest path.
+    long long push = limit - result.flow;
+    for (int v = t; v != s;) {
+      const Arc& a =
+          arcs_[static_cast<std::size_t>(pred_arc[static_cast<std::size_t>(v)])];
+      push = std::min(push, a.cap);
+      v = arcs_[static_cast<std::size_t>(
+                    pred_arc[static_cast<std::size_t>(v)] ^ 1)]
+              .to;
+    }
+    long long path_cost = 0;
+    for (int v = t; v != s;) {
+      const int ai = pred_arc[static_cast<std::size_t>(v)];
+      arcs_[static_cast<std::size_t>(ai)].cap -= push;
+      arcs_[static_cast<std::size_t>(ai ^ 1)].cap += push;
+      path_cost += arcs_[static_cast<std::size_t>(ai)].cost;
+      v = arcs_[static_cast<std::size_t>(ai ^ 1)].to;
+    }
+    result.flow += push;
+    result.cost += push * path_cost;
+  }
+  return result;
+}
+
+DegreeCoverSolver::DegreeCoverSolver(int num_nodes,
+                                     std::vector<Edge> candidates,
+                                     std::vector<int> need_out,
+                                     std::vector<int> need_in)
+    : n_(num_nodes),
+      candidates_(std::move(candidates)),
+      need_out_(std::move(need_out)),
+      need_in_(std::move(need_in)),
+      state_(candidates_.size(), 0) {
+  FTRSN_CHECK(need_out_.size() == static_cast<std::size_t>(n_));
+  FTRSN_CHECK(need_in_.size() == static_cast<std::size_t>(n_));
+}
+
+void DegreeCoverSolver::forbid(int index) {
+  state_[static_cast<std::size_t>(index)] = 1;
+}
+void DegreeCoverSolver::require(int index) {
+  state_[static_cast<std::size_t>(index)] = 2;
+}
+
+DegreeCoverSolver::Result DegreeCoverSolver::solve() {
+  // Network with arc lower bounds, reduced to plain min-cost max-flow via
+  // the excess/deficit transformation:
+  //   S -> out(u)  [need_out(u), inf]   cost 0
+  //   out(u) -> in(v)  [0,1] (or [1,1] if required)  cost c(e)
+  //   in(v) -> T  [need_in(v), inf]     cost 0
+  //   T -> S  [0, inf]                  cost 0 (circulation closure)
+  const int kS = 0, kT = 1;
+  const int out_base = 2, in_base = 2 + n_;
+  const int kSS = 2 + 2 * n_, kTT = 3 + 2 * n_;
+  MinCostFlow flow(4 + 2 * n_);
+  std::vector<long long> excess(static_cast<std::size_t>(4 + 2 * n_), 0);
+  long long required_cost = 0;
+
+  const auto add_lb_arc = [&](int from, int to, long long lo, long long hi,
+                              long long cost) {
+    // Mandatory part `lo` becomes node excess/deficit; rest is a plain arc.
+    excess[static_cast<std::size_t>(to)] += lo;
+    excess[static_cast<std::size_t>(from)] -= lo;
+    required_cost += lo * cost;
+    return flow.add_arc(from, to, hi - lo, cost);
+  };
+
+  for (int u = 0; u < n_; ++u) {
+    if (need_out_[static_cast<std::size_t>(u)] > 0 ||
+        need_in_[static_cast<std::size_t>(u)] > 0) {
+      add_lb_arc(kS, out_base + u, need_out_[static_cast<std::size_t>(u)],
+                 kInf, 0);
+      add_lb_arc(in_base + u, kT, need_in_[static_cast<std::size_t>(u)], kInf,
+                 0);
+    } else {
+      flow.add_arc(kS, out_base + u, kInf, 0);
+      flow.add_arc(in_base + u, kT, kInf, 0);
+    }
+  }
+  std::vector<int> edge_arc(candidates_.size(), -1);
+  for (std::size_t i = 0; i < candidates_.size(); ++i) {
+    if (state_[i] == 1) continue;  // forbidden
+    const Edge& e = candidates_[i];
+    const long long lo = state_[i] == 2 ? 1 : 0;
+    edge_arc[i] =
+        add_lb_arc(out_base + e.from, in_base + e.to, lo, 1, e.cost);
+  }
+  flow.add_arc(kT, kS, kInf, 0);
+
+  long long total_excess = 0;
+  for (int v = 0; v < 4 + 2 * n_; ++v) {
+    const long long x = excess[static_cast<std::size_t>(v)];
+    if (x > 0) {
+      flow.add_arc(kSS, v, x, 0);
+      total_excess += x;
+    } else if (x < 0) {
+      flow.add_arc(v, kTT, -x, 0);
+    }
+  }
+
+  const MinCostFlow::Result fr = flow.solve(kSS, kTT);
+  Result result;
+  if (fr.flow != total_excess) return result;  // infeasible
+  result.feasible = true;
+  result.cost = fr.cost + required_cost;
+  for (std::size_t i = 0; i < candidates_.size(); ++i) {
+    if (state_[i] == 2) {
+      result.chosen.push_back(static_cast<int>(i));
+    } else if (edge_arc[i] >= 0 && flow.flow_on(edge_arc[i]) > 0) {
+      result.chosen.push_back(static_cast<int>(i));
+    }
+  }
+  return result;
+}
+
+}  // namespace ftrsn

@@ -1,0 +1,96 @@
+// Minimum-cost flow with successive shortest paths and Johnson potentials,
+// plus a wrapper for arc lower bounds (the standard excess/deficit
+// transformation).
+//
+// This is the workhorse relaxation of the connectivity augmentation ILP
+// (paper eqs. 2-5): with the acyclicity constraints dropped, the degree
+// covering problem is a transportation problem whose LP relaxation is
+// integral, so a min-cost flow solves it exactly.  Cycles are then
+// eliminated by branching (augment/ilp_augmenter).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace ftrsn {
+
+class MinCostFlow {
+ public:
+  explicit MinCostFlow(int num_nodes);
+
+  /// Adds an arc; returns its id.  cap >= 0, cost >= 0.
+  int add_arc(int from, int to, long long cap, long long cost);
+
+  /// Computes a min-cost flow of value min(max_flow, `limit`) from s to t.
+  /// Returns {flow, cost}.
+  struct Result {
+    long long flow = 0;
+    long long cost = 0;
+  };
+  Result solve(int s, int t,
+               long long limit = std::numeric_limits<long long>::max());
+
+  /// Flow currently on arc `id` (valid after solve()).
+  long long flow_on(int id) const;
+  /// Remaining capacity of arc `id`.
+  long long residual(int id) const;
+  /// Sets the capacity of an existing arc (used by branch & bound to forbid
+  /// edges); resets all flow.
+  void set_capacity(int id, long long cap);
+  /// Removes all flow (solve() can be called again).
+  void reset_flow();
+
+  int num_nodes() const { return static_cast<int>(head_.size()); }
+
+ private:
+  struct Arc {
+    int to;
+    int next;
+    long long cap;   // residual capacity
+    long long cost;
+  };
+  std::vector<Arc> arcs_;
+  std::vector<int> head_;
+  std::vector<long long> original_cap_;  // by arc id (forward arcs only)
+};
+
+/// Min-cost circulation-style helper: minimum cost selection of unit arcs
+/// subject to per-node lower bounds on selected out-degree and in-degree.
+///
+/// Nodes are split into an out-side and an in-side; candidate edge (u, v)
+/// becomes a unit arc between them.  `need_out[u]` / `need_in[v]` give the
+/// lower bounds (0 where not required).  Returns the chosen edge set as arc
+/// ids, or nullopt if infeasible.
+class DegreeCoverSolver {
+ public:
+  struct Edge {
+    int from, to;
+    long long cost;
+  };
+
+  DegreeCoverSolver(int num_nodes, std::vector<Edge> candidates,
+                    std::vector<int> need_out, std::vector<int> need_in);
+
+  /// Forbids candidate edge `index` (before solve).
+  void forbid(int index);
+  /// Forces candidate edge `index` to be chosen (before solve).
+  void require(int index);
+
+  struct Result {
+    bool feasible = false;
+    long long cost = 0;
+    std::vector<int> chosen;  ///< indices into the candidate list
+  };
+  Result solve();
+
+ private:
+  int n_;
+  std::vector<Edge> candidates_;
+  std::vector<int> need_out_, need_in_;
+  std::vector<std::int8_t> state_;  // 0 free, 1 forbidden, 2 required
+};
+
+}  // namespace ftrsn

@@ -1,0 +1,258 @@
+#include "ilp/simplex.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace ftrsn {
+
+namespace {
+
+constexpr double kEps = 1e-9;
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Bounded-variable primal simplex on a dense tableau with Big-M
+/// artificials.
+///
+/// Variable layout: [structural | slack/surplus | artificial].  Nonbasic
+/// variables rest at their lower (0) or upper bound.  The matrix part of
+/// the tableau stores B^-1 A; the basic variable *values* are kept in a
+/// separate column `bval_` that is updated directly by every move (bound
+/// flip or pivot), which keeps the at-upper bookkeeping straightforward.
+class Simplex {
+ public:
+  explicit Simplex(const LpProblem& p) : p_(p) {
+    const int n = static_cast<int>(p.cost.size());
+    const int m = static_cast<int>(p.constraints.size());
+    num_struct_ = n;
+    for (const LinearConstraint& c : p.constraints)
+      if (c.sense != Sense::kEq) ++num_slack_;
+    num_art_ = m;
+    cols_ = num_struct_ + num_slack_ + num_art_;
+    rows_ = m;
+
+    tab_.assign(static_cast<std::size_t>(rows_),
+                std::vector<double>(static_cast<std::size_t>(cols_), 0.0));
+    bval_.assign(static_cast<std::size_t>(rows_), 0.0);
+    cost_.assign(static_cast<std::size_t>(cols_), 0.0);
+    upper_.assign(static_cast<std::size_t>(cols_), kInf);
+    at_upper_.assign(static_cast<std::size_t>(cols_), false);
+    is_basic_.assign(static_cast<std::size_t>(cols_), false);
+    basis_.assign(static_cast<std::size_t>(rows_), -1);
+
+    double cost_scale = 1.0;
+    for (int j = 0; j < n; ++j) {
+      cost_[static_cast<std::size_t>(j)] = p.cost[static_cast<std::size_t>(j)];
+      upper_[static_cast<std::size_t>(j)] =
+          p.upper[static_cast<std::size_t>(j)];
+      cost_scale = std::max(cost_scale,
+                            std::abs(p.cost[static_cast<std::size_t>(j)]));
+    }
+    big_m_ = 1e7 * cost_scale;
+
+    int slack = num_struct_;
+    for (int i = 0; i < m; ++i) {
+      const LinearConstraint& c = p.constraints[static_cast<std::size_t>(i)];
+      double sign = 1.0;
+      double rhs = c.rhs;
+      Sense sense = c.sense;
+      if (rhs < 0) {  // normalize to rhs >= 0 so artificials start feasible
+        sign = -1.0;
+        rhs = -rhs;
+        if (sense == Sense::kLe)
+          sense = Sense::kGe;
+        else if (sense == Sense::kGe)
+          sense = Sense::kLe;
+      }
+      auto& row = tab_[static_cast<std::size_t>(i)];
+      for (const auto& [var, coef] : c.terms) {
+        FTRSN_CHECK(var >= 0 && var < n);
+        row[static_cast<std::size_t>(var)] += sign * coef;
+      }
+      if (sense == Sense::kLe) {
+        row[static_cast<std::size_t>(slack++)] = 1.0;
+      } else if (sense == Sense::kGe) {
+        row[static_cast<std::size_t>(slack++)] = -1.0;
+      }
+      const int art = num_struct_ + num_slack_ + i;
+      row[static_cast<std::size_t>(art)] = 1.0;
+      cost_[static_cast<std::size_t>(art)] = big_m_;
+      bval_[static_cast<std::size_t>(i)] = rhs;
+      basis_[static_cast<std::size_t>(i)] = art;
+      is_basic_[static_cast<std::size_t>(art)] = true;
+    }
+  }
+
+  LpSolution run(int max_iters) {
+    LpSolution sol;
+    bool converged = false;
+    int degenerate_streak = 0;
+    for (int iter = 0; iter < max_iters; ++iter) {
+      const int enter = pick_entering(degenerate_streak > rows_ + 16);
+      if (enter < 0) {
+        converged = true;
+        break;
+      }
+      // Moving direction of the entering variable's *value*.
+      const double dir =
+          at_upper_[static_cast<std::size_t>(enter)] ? -1.0 : 1.0;
+
+      // Ratio test: largest step t >= 0 keeping all basics within bounds.
+      double limit = upper_[static_cast<std::size_t>(enter)];
+      int leave_row = -1;
+      bool leave_to_upper = false;
+      for (int i = 0; i < rows_; ++i) {
+        // x_B(t) = bval - t * dir * col.
+        const double a =
+            dir *
+            tab_[static_cast<std::size_t>(i)][static_cast<std::size_t>(enter)];
+        const double xb = bval_[static_cast<std::size_t>(i)];
+        const int bv = basis_[static_cast<std::size_t>(i)];
+        if (a > kEps) {  // basic decreases toward 0
+          const double t = xb / a;
+          if (t < limit - kEps) {
+            limit = t;
+            leave_row = i;
+            leave_to_upper = false;
+          }
+        } else if (a < -kEps && upper_[static_cast<std::size_t>(bv)] < kInf) {
+          const double t = (upper_[static_cast<std::size_t>(bv)] - xb) / (-a);
+          if (t < limit - kEps) {
+            limit = t;
+            leave_row = i;
+            leave_to_upper = true;
+          }
+        }
+      }
+      if (leave_row < 0 && !(limit < kInf / 2)) {
+        sol.status = LpStatus::kUnbounded;
+        return sol;
+      }
+      degenerate_streak = (limit < kEps) ? degenerate_streak + 1 : 0;
+
+      // Apply the move to the basic values.
+      for (int i = 0; i < rows_; ++i)
+        bval_[static_cast<std::size_t>(i)] -=
+            limit * dir *
+            tab_[static_cast<std::size_t>(i)][static_cast<std::size_t>(enter)];
+
+      if (leave_row < 0) {
+        // Pure bound flip: the entering variable traverses its full range.
+        at_upper_[static_cast<std::size_t>(enter)] =
+            !at_upper_[static_cast<std::size_t>(enter)];
+        continue;
+      }
+
+      // Pivot: entering becomes basic with its moved value.
+      const double enter_value =
+          dir > 0 ? limit : upper_[static_cast<std::size_t>(enter)] - limit;
+      const int leave = basis_[static_cast<std::size_t>(leave_row)];
+      pivot_matrix(leave_row, enter);
+      basis_[static_cast<std::size_t>(leave_row)] = enter;
+      is_basic_[static_cast<std::size_t>(enter)] = true;
+      at_upper_[static_cast<std::size_t>(enter)] = false;
+      is_basic_[static_cast<std::size_t>(leave)] = false;
+      at_upper_[static_cast<std::size_t>(leave)] = leave_to_upper;
+      bval_[static_cast<std::size_t>(leave_row)] = enter_value;
+    }
+    if (!converged) {
+      sol.status = LpStatus::kIterLimit;
+      return sol;
+    }
+
+    // Extract the solution.
+    sol.x.assign(p_.cost.size(), 0.0);
+    for (int j = 0; j < num_struct_; ++j)
+      if (!is_basic_[static_cast<std::size_t>(j)] &&
+          at_upper_[static_cast<std::size_t>(j)])
+        sol.x[static_cast<std::size_t>(j)] =
+            upper_[static_cast<std::size_t>(j)];
+    double art_sum = 0.0;
+    for (int i = 0; i < rows_; ++i) {
+      const int bv = basis_[static_cast<std::size_t>(i)];
+      const double v = bval_[static_cast<std::size_t>(i)];
+      if (bv < num_struct_)
+        sol.x[static_cast<std::size_t>(bv)] = v;
+      else if (bv >= num_struct_ + num_slack_)
+        art_sum += std::abs(v);
+    }
+    if (art_sum > 1e-6) {
+      sol.status = LpStatus::kInfeasible;
+      return sol;
+    }
+    sol.objective = 0.0;
+    for (int j = 0; j < num_struct_; ++j)
+      sol.objective += p_.cost[static_cast<std::size_t>(j)] *
+                       sol.x[static_cast<std::size_t>(j)];
+    sol.status = LpStatus::kOptimal;
+    return sol;
+  }
+
+ private:
+  double reduced_cost(int j) const {
+    double r = cost_[static_cast<std::size_t>(j)];
+    for (int i = 0; i < rows_; ++i) {
+      const double a =
+          tab_[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)];
+      if (a != 0.0)
+        r -= cost_[static_cast<std::size_t>(
+                 basis_[static_cast<std::size_t>(i)])] *
+             a;
+    }
+    return r;
+  }
+
+  /// Dantzig pricing; Bland's rule when degeneracy persists (anti-cycling).
+  int pick_entering(bool bland) const {
+    int best = -1;
+    double best_score = kEps;
+    for (int j = 0; j < cols_; ++j) {
+      if (is_basic_[static_cast<std::size_t>(j)]) continue;
+      const double r = reduced_cost(j);
+      const double score = at_upper_[static_cast<std::size_t>(j)] ? r : -r;
+      if (score > kEps) {
+        if (bland) return j;
+        if (score > best_score) {
+          best_score = score;
+          best = j;
+        }
+      }
+    }
+    return best;
+  }
+
+  void pivot_matrix(int row, int enter) {
+    auto& prow = tab_[static_cast<std::size_t>(row)];
+    const double piv = prow[static_cast<std::size_t>(enter)];
+    FTRSN_CHECK(std::abs(piv) > kEps);
+    for (double& v : prow) v /= piv;
+    for (int i = 0; i < rows_; ++i) {
+      if (i == row) continue;
+      auto& r = tab_[static_cast<std::size_t>(i)];
+      const double f = r[static_cast<std::size_t>(enter)];
+      if (f == 0.0) continue;
+      for (int j = 0; j < cols_; ++j)
+        r[static_cast<std::size_t>(j)] -= f * prow[static_cast<std::size_t>(j)];
+    }
+  }
+
+  const LpProblem& p_;
+  int num_struct_ = 0, num_slack_ = 0, num_art_ = 0;
+  int rows_ = 0, cols_ = 0;
+  double big_m_ = 1e9;
+  std::vector<std::vector<double>> tab_;
+  std::vector<double> bval_;
+  std::vector<double> cost_, upper_;
+  std::vector<bool> at_upper_, is_basic_;
+  std::vector<int> basis_;
+};
+
+}  // namespace
+
+LpSolution solve_lp(const LpProblem& problem, int max_iters) {
+  FTRSN_CHECK(problem.cost.size() == problem.upper.size());
+  Simplex simplex(problem);
+  return simplex.run(max_iters);
+}
+
+}  // namespace ftrsn

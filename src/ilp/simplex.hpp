@@ -1,0 +1,47 @@
+// Dense bounded-variable primal simplex (Big-M) for small/medium linear
+// programs.  Used as the LP relaxation inside the 0/1 ILP solver
+// (ilp/ilp.hpp), which in turn verifies the flow-based augmentation engine
+// on small instances and realizes the paper's eqs. (2)-(5) literally.
+#pragma once
+
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace ftrsn {
+
+enum class Sense : std::uint8_t { kLe, kGe, kEq };
+
+struct LinearConstraint {
+  std::vector<std::pair<int, double>> terms;  ///< (variable index, coeff)
+  Sense sense = Sense::kLe;
+  double rhs = 0.0;
+};
+
+struct LpProblem {
+  /// Objective: minimize cost . x
+  std::vector<double> cost;
+  /// Per-variable upper bound (lower bound is always 0).
+  std::vector<double> upper;
+  std::vector<LinearConstraint> constraints;
+
+  int add_variable(double c, double ub) {
+    cost.push_back(c);
+    upper.push_back(ub);
+    return static_cast<int>(cost.size()) - 1;
+  }
+  void add_constraint(LinearConstraint c) { constraints.push_back(std::move(c)); }
+};
+
+enum class LpStatus { kOptimal, kInfeasible, kUnbounded, kIterLimit };
+
+struct LpSolution {
+  LpStatus status = LpStatus::kInfeasible;
+  double objective = 0.0;
+  std::vector<double> x;
+};
+
+/// Solves min cost.x subject to the constraints and 0 <= x <= upper.
+LpSolution solve_lp(const LpProblem& problem, int max_iters = 200000);
+
+}  // namespace ftrsn

@@ -1,0 +1,384 @@
+#include "io/rsn_text.hpp"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+
+namespace ftrsn {
+
+namespace {
+
+const char* role_name(SegRole role) {
+  switch (role) {
+    case SegRole::kInstrument: return "instr";
+    case SegRole::kSibRegister: return "sib";
+    case SegRole::kAddressRegister: return "addr";
+    case SegRole::kOther: return "other";
+  }
+  return "other";
+}
+
+SegRole role_from(const std::string& s) {
+  if (s == "instr") return SegRole::kInstrument;
+  if (s == "sib") return SegRole::kSibRegister;
+  if (s == "addr") return SegRole::kAddressRegister;
+  FTRSN_CHECK_MSG(s == "other", "unknown segment role '" + s + "'");
+  return SegRole::kOther;
+}
+
+/// Serializes one expression node reference.  Gate nodes (which may be
+/// shared subexpressions of many selects) are referenced by their "def"
+/// name eK; atoms and constants print inline.
+std::string expr_operand(const CtrlPool& pool, CtrlRef r,
+                         const std::vector<std::string>& names) {
+  const CtrlNode& n = pool.node(r);
+  switch (n.op) {
+    case CtrlOp::kConst:
+      return n.bit ? "1" : "0";
+    case CtrlOp::kEnable:
+      return "EN";
+    case CtrlOp::kPortSel:
+      return strprintf("PSEL%u", n.bit);
+    case CtrlOp::kShadowBit:
+      return strprintf("@%s.%u.%u", names[n.seg].c_str(), n.bit, n.replica);
+    default:
+      return strprintf("e%d", r);
+  }
+}
+
+class ExprParser {
+ public:
+  ExprParser(std::string_view text, CtrlPool& pool,
+             const std::map<std::string, NodeId>& seg_ids,
+             const std::map<std::string, CtrlRef>& defs)
+      : text_(text), pool_(pool), seg_ids_(seg_ids), defs_(defs) {}
+
+  CtrlRef parse() {
+    const CtrlRef r = expr();
+    skip_ws();
+    FTRSN_CHECK_MSG(pos_ == text_.size(),
+                    "trailing characters in expression: " + std::string(text_));
+    return r;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() && text_[pos_] == ' ') ++pos_;
+  }
+  char peek() { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+  void expect(char c) {
+    FTRSN_CHECK_MSG(peek() == c, strprintf("expected '%c' in expression", c));
+    ++pos_;
+  }
+  std::string ident() {
+    std::size_t start = pos_;
+    while (pos_ < text_.size() && text_[pos_] != ' ' && text_[pos_] != ')' &&
+           text_[pos_] != '.')
+      ++pos_;
+    return std::string(text_.substr(start, pos_ - start));
+  }
+  unsigned number() {
+    FTRSN_CHECK_MSG(isdigit(peek()), "expected a number in expression");
+    unsigned v = 0;
+    while (isdigit(peek())) v = v * 10 + static_cast<unsigned>(text_[pos_++] - '0');
+    return v;
+  }
+
+  CtrlRef expr() {
+    skip_ws();
+    const char c = peek();
+    if (c == '0' || c == '1') {
+      ++pos_;
+      return pool_.constant(c == '1');
+    }
+    if (c == '@') {
+      ++pos_;
+      const std::string name = ident();
+      const auto it = seg_ids_.find(name);
+      FTRSN_CHECK_MSG(it != seg_ids_.end(),
+                      "expression references unknown segment '" + name + "'");
+      expect('.');
+      const unsigned bit = number();
+      expect('.');
+      const unsigned rep = number();
+      return pool_.shadow_bit(it->second, static_cast<std::uint16_t>(bit),
+                              static_cast<std::uint8_t>(rep));
+    }
+    if (c == 'E') {
+      FTRSN_CHECK_MSG(text_.substr(pos_, 2) == "EN", "bad token in expression");
+      pos_ += 2;
+      return pool_.enable_input();
+    }
+    if (c == 'e' && pos_ + 1 < text_.size() && isdigit(text_[pos_ + 1])) {
+      const std::string name = ident();
+      const auto it = defs_.find(name);
+      FTRSN_CHECK_MSG(it != defs_.end(),
+                      "expression references undefined '" + name + "'");
+      return it->second;
+    }
+    if (c == 'P') {
+      FTRSN_CHECK_MSG(text_.substr(pos_, 4) == "PSEL", "bad token in expression");
+      pos_ += 4;
+      return pool_.port_select_input(static_cast<std::uint16_t>(number()));
+    }
+    expect('(');
+    const char op = peek();
+    ++pos_;
+    skip_ws();
+    const auto salt = static_cast<std::uint16_t>(number());
+    CtrlRef result = kCtrlInvalid;
+    if (op == '!') {
+      result = pool_.mk_not(expr(), salt);
+    } else if (op == '&') {
+      const CtrlRef a = expr();
+      result = pool_.mk_and(a, expr(), salt);
+    } else if (op == '|') {
+      const CtrlRef a = expr();
+      result = pool_.mk_or(a, expr(), salt);
+    } else if (op == 'M') {
+      const CtrlRef a = expr();
+      const CtrlRef b = expr();
+      result = pool_.mk_maj3(a, b, expr(), salt);
+    } else {
+      FTRSN_CHECK_MSG(false, strprintf("unknown operator '%c'", op));
+    }
+    skip_ws();
+    expect(')');
+    return result;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  CtrlPool& pool_;
+  const std::map<std::string, NodeId>& seg_ids_;
+  const std::map<std::string, CtrlRef>& defs_;
+};
+
+std::map<std::string, std::string> parse_kv(const std::vector<std::string>& parts,
+                                            std::size_t from) {
+  std::map<std::string, std::string> kv;
+  for (std::size_t i = from; i < parts.size(); ++i) {
+    const std::size_t eq = parts[i].find('=');
+    FTRSN_CHECK_MSG(eq != std::string::npos,
+                    "expected key=value, got '" + parts[i] + "'");
+    kv[parts[i].substr(0, eq)] = parts[i].substr(eq + 1);
+  }
+  return kv;
+}
+
+/// Splits a line into space-separated tokens, keeping parenthesized
+/// expressions (which contain spaces) together with their key.
+std::vector<std::string> tokenize_line(const std::string& line) {
+  std::vector<std::string> out;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && line[i] == ' ') ++i;
+    if (i >= line.size()) break;
+    std::size_t start = i;
+    int depth = 0;
+    while (i < line.size() && (depth > 0 || line[i] != ' ')) {
+      if (line[i] == '(') ++depth;
+      if (line[i] == ')') --depth;
+      ++i;
+    }
+    out.push_back(line.substr(start, i - start));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string write_rsn_text(const Rsn& rsn) {
+  const std::vector<std::string> names = rsn.node_names();
+  const CtrlPool& pool = rsn.ctrl();
+  std::string out = "rsn\n";
+  const auto expr_str = [&](CtrlRef r) { return expr_operand(pool, r, names); };
+  for (NodeId id = 0; id < rsn.num_nodes(); ++id) {
+    const RsnNode& n = rsn.node(id);
+    switch (n.kind) {
+      case NodeKind::kPrimaryIn:
+        out += strprintf("decl_in %s\n", n.name.c_str());
+        break;
+      case NodeKind::kPrimaryOut:
+        out += strprintf("decl_out %s\n", n.name.c_str());
+        break;
+      case NodeKind::kSegment:
+        out += strprintf("decl_seg %s len=%d shadow=%d role=%s\n",
+                         n.name.c_str(), n.length, n.has_shadow ? 1 : 0,
+                         role_name(n.role));
+        break;
+      case NodeKind::kMux:
+        out += strprintf("decl_mux %s\n", n.name.c_str());
+        break;
+    }
+  }
+  // Shared gate definitions, in pool order (children precede parents).
+  for (CtrlRef r = 0; static_cast<std::size_t>(r) < pool.size(); ++r) {
+    const CtrlNode& n = pool.node(r);
+    if (!CtrlPool::is_gate(n)) continue;
+    const char op = n.op == CtrlOp::kNot   ? '!'
+                    : n.op == CtrlOp::kAnd ? '&'
+                    : n.op == CtrlOp::kOr  ? '|'
+                                           : 'M';
+    out += strprintf("def e%d (%c %u", r, op, n.bit);
+    for (int i = 0; i < n.arity(); ++i)
+      out += " " + expr_operand(pool, n.kid[i], names);
+    out += ")\n";
+  }
+  for (NodeId id = 0; id < rsn.num_nodes(); ++id) {
+    const RsnNode& n = rsn.node(id);
+    switch (n.kind) {
+      case NodeKind::kPrimaryIn:
+        out += strprintf("in %s\n", n.name.c_str());
+        break;
+      case NodeKind::kPrimaryOut:
+        out += strprintf("out %s in=%s\n", n.name.c_str(),
+                         names[n.scan_in].c_str());
+        break;
+      case NodeKind::kSegment:
+        out += strprintf(
+            "seg %s len=%d shadow=%d rep=%d reset=%llu role=%s mod=%d lvl=%d "
+            "in=%s sel=%s cap=%s upd=%s\n",
+            n.name.c_str(), n.length, n.has_shadow ? 1 : 0, n.shadow_replicas,
+            static_cast<unsigned long long>(n.reset_shadow), role_name(n.role),
+            n.module, n.hier_level, names[n.scan_in].c_str(),
+            expr_str(n.select).c_str(), expr_str(n.cap_dis).c_str(),
+            expr_str(n.up_dis).c_str());
+        break;
+      case NodeKind::kMux:
+        out += strprintf("mux %s mod=%d lvl=%d in0=%s in1=%s addr=%s\n",
+                         n.name.c_str(), n.module, n.hier_level,
+                         names[n.mux_in[0]].c_str(), names[n.mux_in[1]].c_str(),
+                         expr_str(n.addr).c_str());
+        break;
+    }
+  }
+  for (const auto& st : rsn.select_terms())
+    out += strprintf("term %s %s %s\n", names[st.seg].c_str(),
+                     names[st.succ].c_str(), expr_str(st.term).c_str());
+  return out;
+}
+
+Rsn parse_rsn_text(const std::string& text) {
+  // Pass 1: create all nodes so names and forward references resolve.
+  struct Pending {
+    int line_no;
+    std::vector<std::string> tokens;
+  };
+  std::vector<Pending> lines;
+  {
+    std::istringstream stream(text);
+    std::string line;
+    int no = 0;
+    bool header_seen = false;
+    while (std::getline(stream, line)) {
+      ++no;
+      const std::string_view trimmed = trim(line);
+      if (trimmed.empty() || trimmed[0] == '#') continue;
+      if (!header_seen) {
+        FTRSN_CHECK_MSG(trimmed == "rsn", "missing 'rsn' header");
+        header_seen = true;
+        continue;
+      }
+      lines.push_back({no, tokenize_line(std::string(trimmed))});
+    }
+    FTRSN_CHECK_MSG(header_seen, "missing 'rsn' header");
+  }
+
+  Rsn rsn;
+  std::map<std::string, NodeId> ids;
+  for (const Pending& p : lines) {
+    FTRSN_CHECK_MSG(p.tokens.size() >= 2,
+                    strprintf("line %d: too few tokens", p.line_no));
+    const std::string& kind = p.tokens[0];
+    const std::string& name = p.tokens[1];
+    if (kind.rfind("decl_", 0) != 0) continue;
+    FTRSN_CHECK_MSG(!ids.count(name),
+                    strprintf("line %d: duplicate name '%s'", p.line_no,
+                              name.c_str()));
+    if (kind == "decl_in") {
+      ids[name] = rsn.add_primary_in(name);
+    } else if (kind == "decl_out") {
+      ids[name] = rsn.add_primary_out(name, kInvalidNode);
+    } else if (kind == "decl_seg") {
+      const auto kv = parse_kv(p.tokens, 2);
+      ids[name] = rsn.add_segment(name, std::stoi(kv.at("len")), kInvalidNode,
+                                  kv.at("shadow") == "1",
+                                  role_from(kv.at("role")));
+    } else if (kind == "decl_mux") {
+      ids[name] = rsn.add_mux(name, kInvalidNode, kInvalidNode, kCtrlFalse);
+    } else {
+      FTRSN_CHECK_MSG(false, strprintf("line %d: unknown declaration '%s'",
+                                       p.line_no, kind.c_str()));
+    }
+  }
+
+  // Pass 2: wire inputs and parse expressions.
+  const auto node_of = [&](const std::string& name, int line_no) {
+    const auto it = ids.find(name);
+    FTRSN_CHECK_MSG(it != ids.end(), strprintf("line %d: unknown element '%s'",
+                                               line_no, name.c_str()));
+    return it->second;
+  };
+  std::map<std::string, CtrlRef> defs;
+  for (const Pending& p : lines) {
+    const std::string& kind = p.tokens[0];
+    if (kind == "in" || kind.rfind("decl_", 0) == 0) continue;
+    if (kind == "def") {
+      FTRSN_CHECK_MSG(p.tokens.size() == 3,
+                      strprintf("line %d: def needs a name and a body",
+                                p.line_no));
+      ExprParser ep(p.tokens[2], rsn.ctrl(), ids, defs);
+      defs[p.tokens[1]] = ep.parse();
+      continue;
+    }
+    if (kind == "term") {
+      FTRSN_CHECK_MSG(p.tokens.size() == 4,
+                      strprintf("line %d: term needs 3 operands", p.line_no));
+      ExprParser ep(p.tokens[3], rsn.ctrl(), ids, defs);
+      rsn.add_select_term(node_of(p.tokens[1], p.line_no),
+                          node_of(p.tokens[2], p.line_no), ep.parse());
+      continue;
+    }
+    const NodeId id = node_of(p.tokens[1], p.line_no);
+    const auto kv = parse_kv(p.tokens, 2);
+    const auto expr = [&](const std::string& key) {
+      ExprParser ep(kv.at(key), rsn.ctrl(), ids, defs);
+      return ep.parse();
+    };
+    if (kind == "out") {
+      rsn.set_scan_in(id, node_of(kv.at("in"), p.line_no));
+    } else if (kind == "seg") {
+      rsn.set_scan_in(id, node_of(kv.at("in"), p.line_no));
+      rsn.set_shadow_replicas(id, std::stoi(kv.at("rep")));
+      rsn.set_reset_shadow(id, std::stoull(kv.at("reset")));
+      rsn.set_hier(id, std::stoi(kv.at("mod")), std::stoi(kv.at("lvl")));
+      rsn.set_select(id, expr("sel"));
+      rsn.set_cap_dis(id, expr("cap"));
+      rsn.set_up_dis(id, expr("upd"));
+    } else if (kind == "mux") {
+      rsn.set_mux_in(id, 0, node_of(kv.at("in0"), p.line_no));
+      rsn.set_mux_in(id, 1, node_of(kv.at("in1"), p.line_no));
+      rsn.set_hier(id, std::stoi(kv.at("mod")), std::stoi(kv.at("lvl")));
+      rsn.node_mut(id).addr = expr("addr");
+    }
+  }
+  rsn.validate();
+  return rsn;
+}
+
+void save_rsn(const Rsn& rsn, const std::string& path) {
+  std::ofstream out(path);
+  FTRSN_CHECK_MSG(out.good(), "cannot open '" + path + "' for writing");
+  out << write_rsn_text(rsn);
+}
+
+Rsn load_rsn(const std::string& path) {
+  std::ifstream in(path);
+  FTRSN_CHECK_MSG(in.good(), "cannot open '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_rsn_text(buffer.str());
+}
+
+}  // namespace ftrsn

@@ -1,0 +1,36 @@
+// Text serialization of structural RSNs (an ICL-like exchange format).
+//
+// One element per line, names are whitespace-free identifiers; control
+// expressions use a prefix s-expression syntax:
+//   0 | 1 | EN | PSEL<k> | @<seg>.<bit>.<replica>
+//   (! <salt> a) | (& <salt> a b) | (| <salt> a b) | (M <salt> a b c)
+// `@` atoms reference segments by name.  Example:
+//
+//   rsn
+//   in SI
+//   seg A len=2 shadow=1 rep=1 reset=1 role=instr mod=0 lvl=1 in=SI
+//       sel=(& 0 EN @A.0.0) cap=0 upd=0   (one line in the actual format)
+//   mux mux1 in0=A in1=B addr=@A.0.0
+//   out SO in=D
+//   term B mux1 (& 0 EN @A.0.0)
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "rsn/rsn.hpp"
+
+namespace ftrsn {
+
+/// Serializes the RSN to the text format.
+std::string write_rsn_text(const Rsn& rsn);
+
+/// Parses the text format; throws std::logic_error with a line/position
+/// message on malformed input.
+Rsn parse_rsn_text(const std::string& text);
+
+/// File helpers.
+void save_rsn(const Rsn& rsn, const std::string& path);
+Rsn load_rsn(const std::string& path);
+
+}  // namespace ftrsn

@@ -1,0 +1,153 @@
+#include "itc02/itc02.hpp"
+
+#include <algorithm>
+
+namespace ftrsn::itc02 {
+
+namespace {
+
+struct GenCtx {
+  const Soc* soc = nullptr;
+  Rsn* rsn = nullptr;
+  CtrlRef en = kCtrlInvalid;
+  std::vector<std::vector<int>> children;  // module index -> child indices
+};
+
+/// Emits the SIB wrapping `inner_tail` (the last node of the sub-network
+/// whose first node is fed by `source`).  Returns the SIB register node.
+NodeId emit_sib(GenCtx& ctx, const std::string& name, NodeId source,
+                NodeId inner_tail, NodeId sib_reg, int module, int depth) {
+  Rsn& rsn = *ctx.rsn;
+  CtrlPool& ctrl = rsn.ctrl();
+  const CtrlRef open = ctrl.shadow_bit(sib_reg, 0);
+  const NodeId mux = rsn.add_mux(name + "_mux", source, inner_tail, open);
+  rsn.set_scan_in(sib_reg, mux);
+  rsn.set_hier(mux, module, depth);
+  rsn.set_hier(sib_reg, module, depth);
+  return sib_reg;
+}
+
+NodeId emit_module(GenCtx& ctx, int mi, NodeId source, int depth,
+                   CtrlRef sel_ctx);
+
+/// Emits the sub-network of module `mi` starting from `source`; returns its
+/// tail node.  `sub_sel` is the select context inside the module.
+NodeId emit_module_contents(GenCtx& ctx, int mi, NodeId source, int depth,
+                            CtrlRef sub_sel) {
+  Rsn& rsn = *ctx.rsn;
+  CtrlPool& ctrl = rsn.ctrl();
+  const Module& m = ctx.soc->modules[static_cast<std::size_t>(mi)];
+  NodeId cursor = source;
+  for (int child : ctx.children[static_cast<std::size_t>(mi)])
+    cursor = emit_module(ctx, child, cursor, depth + 1, sub_sel);
+
+  const bool single_chain =
+      ctx.children[static_cast<std::size_t>(mi)].empty() &&
+      m.chain_bits.size() == 1;
+  for (std::size_t ci = 0; ci < m.chain_bits.size(); ++ci) {
+    const std::string cname = strprintf("%s_c%zu", m.name.c_str(), ci);
+    if (single_chain) {
+      // Exactly one chain, no children: host the chain directly behind the
+      // module SIB (no chain-level SIB).
+      const NodeId chain = rsn.add_segment(cname, m.chain_bits[ci], cursor,
+                                           /*has_shadow=*/true);
+      rsn.set_select(chain, sub_sel);
+      rsn.set_hier(chain, mi, depth);
+      cursor = chain;
+    } else {
+      // Chain wrapped in its own SIB one hierarchy level down.
+      const NodeId sib_reg = rsn.add_segment(cname + "_sib", 1, kInvalidNode,
+                                             /*has_shadow=*/true,
+                                             SegRole::kSibRegister);
+      rsn.set_select(sib_reg, sub_sel);
+      const CtrlRef open = ctrl.shadow_bit(sib_reg, 0);
+      const NodeId chain = rsn.add_segment(cname, m.chain_bits[ci], cursor,
+                                           /*has_shadow=*/true);
+      rsn.set_select(chain, ctrl.mk_and(sub_sel, open));
+      rsn.set_hier(chain, mi, depth + 1);
+      cursor = emit_sib(ctx, cname, cursor, chain, sib_reg, mi, depth + 1);
+    }
+  }
+  return cursor;
+}
+
+NodeId emit_module(GenCtx& ctx, int mi, NodeId source, int depth,
+                   CtrlRef sel_ctx) {
+  Rsn& rsn = *ctx.rsn;
+  CtrlPool& ctrl = rsn.ctrl();
+  const Module& m = ctx.soc->modules[static_cast<std::size_t>(mi)];
+  const NodeId sib_reg = rsn.add_segment(m.name + "_sib", 1, kInvalidNode,
+                                         /*has_shadow=*/true,
+                                         SegRole::kSibRegister);
+  rsn.set_select(sib_reg, sel_ctx);
+  const CtrlRef sub_sel = ctrl.mk_and(sel_ctx, ctrl.shadow_bit(sib_reg, 0));
+  const NodeId tail = emit_module_contents(ctx, mi, source, depth, sub_sel);
+  FTRSN_CHECK_MSG(tail != source,
+                  strprintf("module %s is empty", m.name.c_str()));
+  return emit_sib(ctx, m.name, source, tail, sib_reg, mi, depth);
+}
+
+}  // namespace
+
+Rsn generate_sib_rsn(const Soc& soc) {
+  Rsn rsn;
+  GenCtx ctx;
+  ctx.soc = &soc;
+  ctx.rsn = &rsn;
+  ctx.en = rsn.ctrl().enable_input();
+  ctx.children.resize(soc.modules.size());
+  std::vector<int> top;
+  for (std::size_t i = 0; i < soc.modules.size(); ++i) {
+    const int parent = soc.modules[i].parent;
+    if (parent < 0) {
+      top.push_back(static_cast<int>(i));
+    } else {
+      FTRSN_CHECK(static_cast<std::size_t>(parent) < i);
+      ctx.children[static_cast<std::size_t>(parent)].push_back(
+          static_cast<int>(i));
+    }
+  }
+  NodeId cursor = rsn.add_primary_in("SI");
+  for (int mi : top) cursor = emit_module(ctx, mi, cursor, 1, ctx.en);
+  rsn.add_primary_out("SO", cursor);
+  rsn.validate();
+  return rsn;
+}
+
+SocSummary summarize(const Soc& soc) {
+  SocSummary s;
+  s.modules = static_cast<int>(soc.modules.size());
+  std::vector<std::vector<int>> children(soc.modules.size());
+  std::vector<int> depth(soc.modules.size(), 1);
+  for (std::size_t i = 0; i < soc.modules.size(); ++i) {
+    const int p = soc.modules[i].parent;
+    if (p >= 0) {
+      children[static_cast<std::size_t>(p)].push_back(static_cast<int>(i));
+      depth[i] = depth[static_cast<std::size_t>(p)] + 1;
+    }
+  }
+  for (std::size_t i = 0; i < soc.modules.size(); ++i) {
+    const Module& m = soc.modules[i];
+    const bool single = children[i].empty() && m.chain_bits.size() == 1;
+    ++s.sibs;  // module SIB
+    s.levels = std::max(s.levels, depth[i]);
+    for (int bits : m.chain_bits) {
+      ++s.chains;
+      s.bits += bits;
+      if (!single) {
+        ++s.sibs;  // chain SIB
+        s.levels = std::max(s.levels, depth[i] + 1);
+      }
+    }
+  }
+  s.bits += s.sibs;  // every SIB register is a 1-bit segment
+  return s;
+}
+
+std::optional<Soc> find_soc(std::string_view name) {
+  for (const Soc& soc : socs())
+    if (soc.name == name) return soc;
+  return std::nullopt;
+}
+
+}  // namespace ftrsn::itc02

@@ -1,0 +1,79 @@
+// ITC'02 SoC benchmark descriptors and the SIB-based RSN generator
+// (paper §IV-A, following the segment-insertion-bit construction of
+// Zadegan et al., "Design Automation for IEEE P1687", DATE 2011).
+//
+// The original ITC'02 benchmark files are public but not shipped here; the
+// embedded descriptors (soc_data.cpp) are synthesized so that the generated
+// SIB-based RSNs match Table I of the paper *exactly* in every
+// characteristic column (modules, levels, mux, segments, bits).  See
+// DESIGN.md §3 for the substitution rationale.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "rsn/rsn.hpp"
+
+namespace ftrsn::itc02 {
+
+/// One hardware module of a SoC, connected to the RSN.
+struct Module {
+  std::string name;
+  int parent = -1;              ///< index of parent module, -1 = top level
+  std::vector<int> chain_bits;  ///< internal scan chain lengths
+};
+
+/// A SoC benchmark: a forest of modules with scan chains.
+struct Soc {
+  std::string name;
+  std::vector<Module> modules;
+};
+
+/// Paper Table I row (expected values, used by tests and the paper-vs-
+/// measured reports in the bench harness).
+struct TableRow {
+  std::string_view soc;
+  int modules, levels, mux, segments;
+  long long bits;
+  // Accessibility in SIB-RSNs / fault-tolerant RSNs.
+  double sib_bits_worst, sib_bits_avg, sib_seg_worst, sib_seg_avg;
+  double ft_bits_worst, ft_bits_avg, ft_seg_worst, ft_seg_avg;
+  // Area overhead ratios (fault-tolerant / original).
+  double r_mux, r_bits, r_nets, r_area;
+};
+
+/// All 13 Table I rows, in paper order.
+const std::vector<TableRow>& table1();
+
+/// All embedded SoC descriptors, in Table I order.
+const std::vector<Soc>& socs();
+
+/// Finds a SoC descriptor by name (e.g. "d695"); nullopt if unknown.
+std::optional<Soc> find_soc(std::string_view name);
+
+/// Generates the SIB-based RSN for a SoC:
+///  * one SIB per module (nested modules nest their SIB in the parent's
+///    sub-network);
+///  * a module with more than one sub-element wraps each scan chain in its
+///    own SIB; a module with exactly one chain and no children hosts the
+///    chain directly behind its module SIB;
+///  * every SIB contributes one 2:1 scan multiplexer and one 1-bit scan
+///    segment with a shadow register driving the mux address;
+///  * select predicates follow the SIB hierarchy (a segment is selected iff
+///    all SIBs on its hierarchy path are asserted and the RSN is enabled).
+Rsn generate_sib_rsn(const Soc& soc);
+
+/// Characteristics summary of a SoC descriptor (counts the generator will
+/// produce, computed from the descriptor alone).
+struct SocSummary {
+  int modules = 0;
+  int levels = 0;
+  int sibs = 0;
+  int chains = 0;
+  long long bits = 0;
+};
+SocSummary summarize(const Soc& soc);
+
+}  // namespace ftrsn::itc02

@@ -1,0 +1,203 @@
+// Embedded ITC'02-derived SoC descriptors.
+//
+// The descriptors are synthesized (deterministically, from per-SoC seeds)
+// such that the SIB-based RSN generator reproduces the paper's Table I
+// characteristics exactly: module count, hierarchy levels, number of scan
+// multiplexers, scan segments and scan bits.  Chain-length distributions
+// are log-normal with the largest chain sized so that the share of the
+// biggest single segment matches the paper's worst-case bit accessibility
+// of the fault-tolerant RSN (losing exactly the largest segment).
+#include <algorithm>
+#include <cmath>
+
+#include "itc02/itc02.hpp"
+#include "util/common.hpp"
+
+namespace ftrsn::itc02 {
+
+namespace {
+
+struct SocSpec {
+  TableRow row;
+  std::vector<std::pair<int, int>> nesting;  // (child, parent)
+  std::uint64_t seed;
+};
+
+Soc build_soc(const SocSpec& spec) {
+  const TableRow& r = spec.row;
+  const int m_count = r.modules;
+  const int chains = r.segments - r.mux;                  // instrument chains
+  const int single = r.segments + r.modules - 2 * r.mux;  // single-chain mods
+  FTRSN_CHECK_MSG(single == 0 || single == 1,
+                  strprintf("inconsistent Table I row for %.*s",
+                            int(r.soc.size()), r.soc.data()));
+  const long long chain_bits_total = r.bits - r.mux;  // SIB regs are 1 bit
+
+  Soc soc;
+  soc.name = std::string(r.soc);
+  soc.modules.resize(static_cast<std::size_t>(m_count));
+  for (int i = 0; i < m_count; ++i)
+    soc.modules[static_cast<std::size_t>(i)].name = strprintf("m%d", i);
+  for (auto [child, parent] : spec.nesting) {
+    FTRSN_CHECK(parent < child && child < m_count);
+    soc.modules[static_cast<std::size_t>(child)].parent = parent;
+  }
+
+  // Chain count per module: the designated single-chain module (index
+  // m_count-1, always a top-level leaf) gets 1; the rest get >= 2 each plus
+  // a pseudo-random share of the remainder.
+  Rng rng(spec.seed);
+  std::vector<int> per_module(static_cast<std::size_t>(m_count), 2);
+  int remaining = chains;
+  const int multi_count = m_count - single;
+  if (single == 1) {
+    per_module.back() = 1;
+    remaining -= 1;
+  }
+  remaining -= 2 * multi_count;
+  FTRSN_CHECK(remaining >= 0);
+  for (int i = 0; i < remaining; ++i)
+    per_module[rng.next_below(static_cast<std::uint64_t>(multi_count))] += 1;
+
+  // Chain lengths: one dominant chain of l1 bits (worst-case bit loss in the
+  // fault-tolerant RSN = losing this chain), the rest log-normal.
+  const long long l1 = std::max<long long>(
+      1, std::llround((1.0 - r.ft_bits_worst) * static_cast<double>(r.bits)));
+  FTRSN_CHECK(l1 <= chain_bits_total - (chains - 1));
+  std::vector<long long> lengths(static_cast<std::size_t>(chains), 0);
+  lengths[0] = l1;
+  const long long rest_total = chain_bits_total - l1;
+  std::vector<double> weights(static_cast<std::size_t>(chains - 1));
+  double weight_sum = 0.0;
+  for (double& w : weights) {
+    // Box-Muller standard normal -> log-normal weight.
+    const double u1 = std::max(rng.next_double(), 1e-12);
+    const double u2 = rng.next_double();
+    const double z = std::sqrt(-2.0 * std::log(u1)) *
+                     std::cos(2.0 * 3.14159265358979323846 * u2);
+    w = std::exp(0.9 * z);
+    weight_sum += w;
+  }
+  long long assigned = 0;
+  for (int i = 0; i < chains - 1; ++i) {
+    long long v = static_cast<long long>(
+        static_cast<double>(rest_total) * weights[static_cast<std::size_t>(i)] /
+        weight_sum);
+    v = std::clamp<long long>(v, 1, l1);
+    lengths[static_cast<std::size_t>(i + 1)] = v;
+    assigned += v;
+  }
+  // Fix rounding so lengths sum exactly to chain_bits_total, respecting the
+  // [1, l1] bounds of the non-dominant chains.
+  long long diff = rest_total - assigned;
+  std::size_t idx = 1;
+  while (diff != 0) {
+    long long& v = lengths[idx];
+    if (diff > 0 && v < l1) {
+      const long long add = std::min(diff, l1 - v);
+      v += add;
+      diff -= add;
+    } else if (diff < 0 && v > 1) {
+      const long long sub = std::min(-diff, v - 1);
+      v -= sub;
+      diff += sub;
+    }
+    idx = (idx + 1 < lengths.size()) ? idx + 1 : 1;
+  }
+
+  // Deal chains to modules: dominant chain to module 0, then round-robin.
+  std::size_t next_chain = 0;
+  for (int i = 0; i < m_count; ++i) {
+    Module& mod = soc.modules[static_cast<std::size_t>(i)];
+    for (int c = 0; c < per_module[static_cast<std::size_t>(i)]; ++c) {
+      FTRSN_CHECK(next_chain < lengths.size());
+      mod.chain_bits.push_back(static_cast<int>(lengths[next_chain++]));
+    }
+  }
+  FTRSN_CHECK(next_chain == lengths.size());
+  return soc;
+}
+
+// Table I of the paper, verbatim.
+const std::vector<SocSpec>& specs() {
+  static const std::vector<SocSpec> kSpecs = {
+      // soc, modules, levels, mux, segments, bits,
+      // sib: bits worst/avg, seg worst/avg; ft: bits worst/avg, seg worst/avg
+      // ratios: mux, bits, nets, area
+      {{"u226", 10, 2, 49, 89, 1465, 0.00, 0.71, 0.00, 0.76, 0.93, 0.994,
+        0.975, 0.994, 3.67, 1.38, 1.54, 1.56},
+       {},
+       0xA226},
+      {{"d281", 9, 2, 58, 108, 3871, 0.00, 0.81, 0.00, 0.83, 0.79, 0.995,
+        0.980, 0.995, 3.62, 1.17, 1.24, 1.25},
+       {},
+       0xD281},
+      {{"d695", 11, 2, 167, 324, 8396, 0.00, 0.90, 0.00, 0.90, 0.96, 0.998,
+        0.994, 0.998, 3.54, 1.21, 1.32, 1.32},
+       {},
+       0xD695},
+      {{"h953", 9, 2, 54, 100, 5640, 0.00, 0.85, 0.00, 0.85, 0.94, 0.995,
+        0.978, 0.995, 3.59, 1.10, 1.15, 1.16},
+       {},
+       0x1953},
+      {{"g1023", 15, 2, 79, 144, 5385, 0.00, 0.86, 0.00, 0.86, 0.93, 0.997,
+        0.985, 0.996, 3.53, 1.16, 1.23, 1.24},
+       {},
+       0x6023},
+      {{"x1331", 7, 4, 31, 56, 4023, 0.00, 0.75, 0.00, 0.78, 0.86, 0.991,
+        0.960, 0.991, 3.81, 1.09, 1.13, 1.14},
+       {{1, 0}, {2, 1}},
+       0x1331},
+      {{"f2126", 5, 2, 40, 76, 15829, 0.00, 0.78, 0.00, 0.78, 0.94, 0.993,
+        0.972, 0.993, 3.60, 1.03, 1.04, 1.04},
+       {},
+       0xF2126},
+      {{"q12710", 5, 2, 25, 46, 26183, 0.00, 0.80, 0.00, 0.80, 0.86, 0.988,
+        0.952, 0.988, 3.56, 1.01, 1.02, 1.02},
+       {},
+       0x12710},
+      {{"t512505", 31, 2, 159, 287, 77005, 0.00, 0.85, 0.00, 0.87, 0.98,
+        0.998, 0.992, 0.998, 3.58, 1.02, 1.03, 1.03},
+       {},
+       0x512505},
+      {{"a586710", 8, 3, 39, 71, 41674, 0.00, 0.78, 0.00, 0.79, 0.94, 0.993,
+        0.969, 0.993, 3.72, 1.01, 1.02, 1.02},
+       {{1, 0}, {2, 0}},
+       0x586710},
+      {{"p22081", 29, 3, 282, 536, 30110, 0.00, 0.92, 0.00, 0.93, 0.99, 0.999,
+        0.996, 0.999, 3.54, 1.10, 1.15, 1.15},
+       {{1, 0}, {2, 0}, {3, 0}, {5, 4}},
+       0x22081},
+      {{"p34392", 20, 3, 122, 225, 23241, 0.00, 0.87, 0.00, 0.86, 0.97, 0.998,
+        0.990, 0.998, 3.68, 1.06, 1.09, 1.09},
+       {{1, 0}, {2, 0}, {4, 3}},
+       0x34392},
+      {{"p93791", 33, 3, 620, 1208, 98604, 0.00, 0.66, 0.00, 0.67, 0.99,
+        0.999, 0.999, 0.999, 3.55, 1.07, 1.11, 1.10},
+       {{1, 0}, {2, 0}, {3, 0}, {5, 4}, {6, 4}, {8, 7}},
+       0x93791},
+  };
+  return kSpecs;
+}
+
+}  // namespace
+
+const std::vector<TableRow>& table1() {
+  static const std::vector<TableRow> kRows = [] {
+    std::vector<TableRow> rows;
+    for (const SocSpec& s : specs()) rows.push_back(s.row);
+    return rows;
+  }();
+  return kRows;
+}
+
+const std::vector<Soc>& socs() {
+  static const std::vector<Soc> kSocs = [] {
+    std::vector<Soc> out;
+    for (const SocSpec& s : specs()) out.push_back(build_soc(s));
+    return out;
+  }();
+  return kSocs;
+}
+
+}  // namespace ftrsn::itc02

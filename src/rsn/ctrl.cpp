@@ -1,0 +1,152 @@
+#include "rsn/ctrl.hpp"
+
+#include <functional>
+
+namespace ftrsn {
+
+std::size_t CtrlPool::NodeHash::operator()(const CtrlNode& n) const {
+  std::size_t h = static_cast<std::size_t>(n.op);
+  const auto mix = [&h](std::size_t v) {
+    h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  };
+  for (CtrlRef k : n.kid) mix(static_cast<std::size_t>(k) + 7);
+  mix(n.seg);
+  mix(n.bit);
+  mix(n.replica);
+  return h;
+}
+
+CtrlPool::CtrlPool() {
+  CtrlNode f;
+  f.op = CtrlOp::kConst;
+  f.bit = 0;
+  CtrlNode t;
+  t.op = CtrlOp::kConst;
+  t.bit = 1;
+  nodes_ = {f, t};
+  fanout_ = {0, 0};
+  index_[f] = kCtrlFalse;
+  index_[t] = kCtrlTrue;
+}
+
+CtrlRef CtrlPool::intern(const CtrlNode& n) {
+  auto it = index_.find(n);
+  if (it != index_.end()) return it->second;
+  const CtrlRef r = static_cast<CtrlRef>(nodes_.size());
+  nodes_.push_back(n);
+  fanout_.push_back(0);
+  index_.emplace(n, r);
+  for (int i = 0; i < n.arity(); ++i) ++fanout_[check(n.kid[i])];
+  return r;
+}
+
+CtrlRef CtrlPool::enable_input() {
+  CtrlNode n;
+  n.op = CtrlOp::kEnable;
+  return intern(n);
+}
+
+CtrlRef CtrlPool::port_select_input(std::uint16_t index) {
+  CtrlNode n;
+  n.op = CtrlOp::kPortSel;
+  n.bit = index;
+  return intern(n);
+}
+
+CtrlRef CtrlPool::shadow_bit(NodeId seg, std::uint16_t bit,
+                             std::uint8_t replica) {
+  FTRSN_CHECK(seg != kInvalidNode);
+  CtrlNode n;
+  n.op = CtrlOp::kShadowBit;
+  n.seg = seg;
+  n.bit = bit;
+  n.replica = replica;
+  return intern(n);
+}
+
+CtrlRef CtrlPool::mk_not(CtrlRef a, std::uint16_t salt) {
+  if (a == kCtrlFalse) return kCtrlTrue;
+  if (a == kCtrlTrue) return kCtrlFalse;
+  if (node(a).op == CtrlOp::kNot) return node(a).kid[0];
+  CtrlNode n;
+  n.op = CtrlOp::kNot;
+  n.kid[0] = a;
+  n.bit = salt;
+  return intern(n);
+}
+
+CtrlRef CtrlPool::mk_and(CtrlRef a, CtrlRef b, std::uint16_t salt) {
+  if (a == kCtrlFalse || b == kCtrlFalse) return kCtrlFalse;
+  if (a == kCtrlTrue) return b;
+  if (b == kCtrlTrue) return a;
+  if (a == b) return a;
+  if (a > b) std::swap(a, b);
+  CtrlNode n;
+  n.op = CtrlOp::kAnd;
+  n.kid[0] = a;
+  n.kid[1] = b;
+  n.bit = salt;
+  return intern(n);
+}
+
+CtrlRef CtrlPool::mk_or(CtrlRef a, CtrlRef b, std::uint16_t salt) {
+  if (a == kCtrlTrue || b == kCtrlTrue) return kCtrlTrue;
+  if (a == kCtrlFalse) return b;
+  if (b == kCtrlFalse) return a;
+  if (a == b) return a;
+  if (a > b) std::swap(a, b);
+  CtrlNode n;
+  n.op = CtrlOp::kOr;
+  n.kid[0] = a;
+  n.kid[1] = b;
+  n.bit = salt;
+  return intern(n);
+}
+
+CtrlRef CtrlPool::mk_maj3(CtrlRef a, CtrlRef b, CtrlRef c,
+                          std::uint16_t salt) {
+  CtrlNode n;
+  n.op = CtrlOp::kMaj3;
+  n.kid = {a, b, c};
+  n.bit = salt;
+  return intern(n);
+}
+
+void CtrlPool::add_port_use(CtrlRef r) { ++fanout_[check(r)]; }
+
+void CtrlPool::reset_port_uses() {
+  // Recompute fanout from expression structure only.
+  for (auto& f : fanout_) f = 0;
+  for (const CtrlNode& n : nodes_)
+    for (int i = 0; i < n.arity(); ++i) ++fanout_[check(n.kid[i])];
+}
+
+std::string CtrlPool::to_string(CtrlRef r,
+                                const std::vector<std::string>& seg_name,
+                                int max_depth) const {
+  if (max_depth <= 0) return "...";
+  const CtrlNode& n = node(r);
+  const auto kid_str = [&](int i) {
+    return to_string(n.kid[i], seg_name, max_depth - 1);
+  };
+  switch (n.op) {
+    case CtrlOp::kConst: return n.bit ? "1" : "0";
+    case CtrlOp::kEnable: return "EN";
+    case CtrlOp::kPortSel: return "PSEL";
+    case CtrlOp::kShadowBit: {
+      std::string s = n.seg < seg_name.size() ? seg_name[n.seg]
+                                              : strprintf("n%u", n.seg);
+      if (n.bit != 0) s += strprintf("[%u]", n.bit);
+      if (n.replica != 0) s += strprintf("{r%u}", n.replica);
+      return s;
+    }
+    case CtrlOp::kNot: return "!" + kid_str(0);
+    case CtrlOp::kAnd: return "(" + kid_str(0) + " & " + kid_str(1) + ")";
+    case CtrlOp::kOr: return "(" + kid_str(0) + " | " + kid_str(1) + ")";
+    case CtrlOp::kMaj3:
+      return "MAJ(" + kid_str(0) + ", " + kid_str(1) + ", " + kid_str(2) + ")";
+  }
+  return "?";
+}
+
+}  // namespace ftrsn

@@ -1,0 +1,154 @@
+// Control-logic expressions of an RSN.
+//
+// Select / capture-disable / update-disable predicates and scan-multiplexer
+// address signals are boolean functions over (a) shadow-register bits of
+// scan segments and (b) the RSN's primary enable input.  They are stored in
+// a hash-consed expression pool per RSN so that shared subexpressions
+// (fanout stems, which are stuck-at fault sites in the paper's fault
+// universe) are represented exactly once.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace ftrsn {
+
+/// Index of a node in the RSN node table.
+using NodeId = std::uint32_t;
+inline constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+
+/// Index of an expression node in the control pool.
+using CtrlRef = std::int32_t;
+inline constexpr CtrlRef kCtrlInvalid = -1;
+/// The pool always contains FALSE at index 0 and TRUE at index 1.
+inline constexpr CtrlRef kCtrlFalse = 0;
+inline constexpr CtrlRef kCtrlTrue = 1;
+
+enum class CtrlOp : std::uint8_t {
+  kConst,      ///< constant; value in `bit` (0/1)
+  kEnable,     ///< primary enable/select input of the RSN
+  kPortSel,    ///< primary scan-port-select input (chooses duplicated ports)
+  kShadowBit,  ///< shadow-register bit `bit`, replica `replica`, of segment `seg`
+  kNot,
+  kAnd,
+  kOr,
+  kMaj3,       ///< majority of three (TMR voter); `bit` salts per-voter identity
+};
+
+struct CtrlNode {
+  CtrlOp op = CtrlOp::kConst;
+  std::array<CtrlRef, 3> kid{kCtrlInvalid, kCtrlInvalid, kCtrlInvalid};
+  NodeId seg = kInvalidNode;  ///< kShadowBit: owning segment
+  std::uint16_t bit = 0;      ///< kShadowBit: bit index; kConst: value
+  std::uint8_t replica = 0;   ///< kShadowBit: shadow latch replica (TMR)
+
+  int arity() const {
+    switch (op) {
+      case CtrlOp::kNot: return 1;
+      case CtrlOp::kAnd:
+      case CtrlOp::kOr: return 2;
+      case CtrlOp::kMaj3: return 3;
+      default: return 0;
+    }
+  }
+  bool operator==(const CtrlNode& o) const {
+    return op == o.op && kid == o.kid && seg == o.seg && bit == o.bit &&
+           replica == o.replica;
+  }
+};
+
+/// Hash-consed pool of control expression nodes.
+class CtrlPool {
+ public:
+  CtrlPool();
+
+  CtrlRef constant(bool value) { return value ? kCtrlTrue : kCtrlFalse; }
+  CtrlRef enable_input();
+  /// Primary control pin `index` (port/path selection from outside the
+  /// network; excluded from the fault universe like all global control).
+  CtrlRef port_select_input(std::uint16_t index = 0);
+  CtrlRef shadow_bit(NodeId seg, std::uint16_t bit = 0, std::uint8_t replica = 0);
+  CtrlRef mk_not(CtrlRef a, std::uint16_t salt = 0);
+  /// `salt` separates physically duplicated gate instances (selective
+  /// hardening synthesizes independent copies of the select logic).
+  CtrlRef mk_and(CtrlRef a, CtrlRef b, std::uint16_t salt = 0);
+  CtrlRef mk_or(CtrlRef a, CtrlRef b, std::uint16_t salt = 0);
+  /// `salt` distinguishes physically separate voters with identical inputs
+  /// (each driven mux gets its own TMR voter and thus its own fault site).
+  CtrlRef mk_maj3(CtrlRef a, CtrlRef b, CtrlRef c, std::uint16_t salt = 0);
+
+  const CtrlNode& node(CtrlRef r) const { return nodes_[check(r)]; }
+  std::size_t size() const { return nodes_.size(); }
+
+  /// Number of gates a node costs in hardware (constants and atoms: 0).
+  static bool is_gate(const CtrlNode& n) {
+    return n.op == CtrlOp::kNot || n.op == CtrlOp::kAnd ||
+           n.op == CtrlOp::kOr || n.op == CtrlOp::kMaj3;
+  }
+
+  /// Fanout count of each node: number of parent expression nodes plus
+  /// external port references (the caller adds port uses via `add_port_use`).
+  /// Used to enumerate fanout-stem fault sites.
+  void add_port_use(CtrlRef r);
+  int fanout(CtrlRef r) const { return fanout_[check(r)]; }
+  void reset_port_uses();
+
+  /// Evaluates the expression with a callback for atoms and optional forced
+  /// values.  `forced` maps CtrlRef -> 0/1 (use -1 entries for "not forced");
+  /// may be empty.  `atom` is called for kEnable / kShadowBit leaves.
+  template <typename AtomFn>
+  bool eval(CtrlRef r, const AtomFn& atom,
+            const std::vector<std::int8_t>* forced = nullptr) const {
+    const std::size_t i = check(r);
+    if (forced && i < forced->size() && (*forced)[i] >= 0)
+      return (*forced)[i] != 0;
+    const CtrlNode& n = nodes_[i];
+    switch (n.op) {
+      case CtrlOp::kConst: return n.bit != 0;
+      case CtrlOp::kEnable:
+      case CtrlOp::kPortSel:
+      case CtrlOp::kShadowBit: return atom(n);
+      case CtrlOp::kNot: return !eval(n.kid[0], atom, forced);
+      case CtrlOp::kAnd:
+        return eval(n.kid[0], atom, forced) && eval(n.kid[1], atom, forced);
+      case CtrlOp::kOr:
+        return eval(n.kid[0], atom, forced) || eval(n.kid[1], atom, forced);
+      case CtrlOp::kMaj3: {
+        const int s = int(eval(n.kid[0], atom, forced)) +
+                      int(eval(n.kid[1], atom, forced)) +
+                      int(eval(n.kid[2], atom, forced));
+        return s >= 2;
+      }
+    }
+    return false;
+  }
+
+  /// Pretty-print (for reports reproducing Fig. 5). `seg_name` maps a
+  /// segment NodeId to a display name.  `max_depth` bounds the expansion:
+  /// expression DAGs with heavy sharing would otherwise print as
+  /// exponentially large trees; deeper subterms render as "...".
+  std::string to_string(CtrlRef r, const std::vector<std::string>& seg_name,
+                        int max_depth = 12) const;
+
+ private:
+  std::size_t check(CtrlRef r) const {
+    FTRSN_CHECK_MSG(r >= 0 && static_cast<std::size_t>(r) < nodes_.size(),
+                    "invalid CtrlRef");
+    return static_cast<std::size_t>(r);
+  }
+  CtrlRef intern(const CtrlNode& n);
+
+  struct NodeHash {
+    std::size_t operator()(const CtrlNode& n) const;
+  };
+  std::vector<CtrlNode> nodes_;
+  std::vector<int> fanout_;
+  std::unordered_map<CtrlNode, CtrlRef, NodeHash> index_;
+};
+
+}  // namespace ftrsn

@@ -1,0 +1,336 @@
+#include "rsn/rsn.hpp"
+
+#include <algorithm>
+
+namespace ftrsn {
+
+NodeId Rsn::add_primary_in(std::string name) {
+  RsnNode n;
+  n.kind = NodeKind::kPrimaryIn;
+  n.name = std::move(name);
+  nodes_.push_back(std::move(n));
+  const NodeId id = static_cast<NodeId>(nodes_.size() - 1);
+  primary_ins_.push_back(id);
+  return id;
+}
+
+NodeId Rsn::add_primary_out(std::string name, NodeId source) {
+  RsnNode n;
+  n.kind = NodeKind::kPrimaryOut;
+  n.name = std::move(name);
+  n.scan_in = source;
+  nodes_.push_back(std::move(n));
+  const NodeId id = static_cast<NodeId>(nodes_.size() - 1);
+  primary_outs_.push_back(id);
+  return id;
+}
+
+NodeId Rsn::add_segment(std::string name, int length, NodeId source,
+                        bool has_shadow, SegRole role) {
+  FTRSN_CHECK(length >= 1);
+  RsnNode n;
+  n.kind = NodeKind::kSegment;
+  n.name = std::move(name);
+  n.length = length;
+  n.has_shadow = has_shadow;
+  n.role = role;
+  n.scan_in = source;
+  nodes_.push_back(std::move(n));
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+NodeId Rsn::add_mux(std::string name, NodeId in0, NodeId in1, CtrlRef addr) {
+  RsnNode n;
+  n.kind = NodeKind::kMux;
+  n.name = std::move(name);
+  n.mux_in = {in0, in1};
+  n.addr = addr;
+  nodes_.push_back(std::move(n));
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+void Rsn::set_select(NodeId seg, CtrlRef expr) {
+  FTRSN_CHECK(node(seg).is_segment());
+  nodes_[seg].select = expr;
+}
+void Rsn::set_cap_dis(NodeId seg, CtrlRef expr) {
+  FTRSN_CHECK(node(seg).is_segment());
+  nodes_[seg].cap_dis = expr;
+}
+void Rsn::set_up_dis(NodeId seg, CtrlRef expr) {
+  FTRSN_CHECK(node(seg).is_segment());
+  nodes_[seg].up_dis = expr;
+}
+void Rsn::set_scan_in(NodeId n, NodeId source) {
+  FTRSN_CHECK(node(n).kind == NodeKind::kSegment ||
+              node(n).kind == NodeKind::kPrimaryOut);
+  nodes_[n].scan_in = source;
+}
+void Rsn::set_mux_in(NodeId mux, int which, NodeId source) {
+  FTRSN_CHECK(node(mux).is_mux() && (which == 0 || which == 1));
+  nodes_[mux].mux_in[which] = source;
+}
+void Rsn::set_reset_shadow(NodeId seg, std::uint64_t value) {
+  FTRSN_CHECK(node(seg).is_segment());
+  nodes_[seg].reset_shadow = value;
+}
+void Rsn::set_hier(NodeId n, int module, int level) {
+  nodes_[n].module = module;
+  nodes_[n].hier_level = level;
+}
+void Rsn::set_shadow_replicas(NodeId seg, int replicas) {
+  FTRSN_CHECK(node(seg).is_segment() && replicas >= 1 && replicas <= 3);
+  nodes_[seg].shadow_replicas = replicas;
+}
+
+std::vector<std::vector<NodeId>> Rsn::successors() const {
+  std::vector<std::vector<NodeId>> succ(nodes_.size());
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    const RsnNode& n = nodes_[id];
+    if (n.kind == NodeKind::kSegment || n.kind == NodeKind::kPrimaryOut) {
+      if (n.scan_in != kInvalidNode) succ[n.scan_in].push_back(id);
+    } else if (n.kind == NodeKind::kMux) {
+      for (NodeId in : n.mux_in)
+        if (in != kInvalidNode) succ[in].push_back(id);
+    }
+  }
+  return succ;
+}
+
+std::vector<NodeId> Rsn::topo_order() const {
+  // Kahn's algorithm over scan interconnects.
+  std::vector<int> indeg(nodes_.size(), 0);
+  for (const RsnNode& n : nodes_) {
+    if (n.kind == NodeKind::kSegment || n.kind == NodeKind::kPrimaryOut) {
+      if (n.scan_in != kInvalidNode) {
+      }
+    }
+  }
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    const RsnNode& n = nodes_[id];
+    if (n.kind == NodeKind::kSegment || n.kind == NodeKind::kPrimaryOut) {
+      indeg[id] = (n.scan_in != kInvalidNode) ? 1 : 0;
+    } else if (n.kind == NodeKind::kMux) {
+      indeg[id] = int(n.mux_in[0] != kInvalidNode) +
+                  int(n.mux_in[1] != kInvalidNode);
+    }
+  }
+  const auto succ = successors();
+  std::vector<NodeId> order;
+  order.reserve(nodes_.size());
+  std::vector<NodeId> queue;
+  for (NodeId id = 0; id < nodes_.size(); ++id)
+    if (indeg[id] == 0) queue.push_back(id);
+  while (!queue.empty()) {
+    const NodeId v = queue.back();
+    queue.pop_back();
+    order.push_back(v);
+    for (NodeId s : succ[v])
+      if (--indeg[s] == 0) queue.push_back(s);
+  }
+  FTRSN_CHECK_MSG(order.size() == nodes_.size(),
+                  "scan interconnect structure contains a cycle");
+  return order;
+}
+
+std::vector<std::string> Rsn::node_names() const {
+  std::vector<std::string> names(nodes_.size());
+  for (NodeId id = 0; id < nodes_.size(); ++id) names[id] = nodes_[id].name;
+  return names;
+}
+
+RsnStats Rsn::stats() const {
+  RsnStats s;
+  s.primary_ins = static_cast<int>(primary_ins_.size());
+  s.primary_outs = static_cast<int>(primary_outs_.size());
+  const auto succ = successors();
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    const RsnNode& n = nodes_[id];
+    s.levels = std::max(s.levels, n.hier_level);
+    if (n.is_segment()) {
+      ++s.segments;
+      s.bits += n.length;
+    } else if (n.is_mux()) {
+      ++s.muxes;
+    }
+    if (!succ[id].empty()) ++s.nets;  // scan output net
+  }
+  // Control nets: every referenced expression node drives one net; a shadow
+  // atom with r replicas contributes r physical wires.
+  for (CtrlRef r = 0; static_cast<std::size_t>(r) < ctrl_.size(); ++r) {
+    const CtrlNode& c = ctrl_.node(r);
+    if (c.op == CtrlOp::kConst) continue;
+    if (ctrl_.fanout(r) == 0) continue;
+    if (c.op == CtrlOp::kShadowBit && c.seg < nodes_.size()) {
+      s.nets += 1;
+    } else {
+      s.nets += 1;
+    }
+  }
+  return s;
+}
+
+void Rsn::validate() const {
+  FTRSN_CHECK_MSG(!primary_ins_.empty(), "RSN has no primary scan-in");
+  FTRSN_CHECK_MSG(!primary_outs_.empty(), "RSN has no primary scan-out");
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    const RsnNode& n = nodes_[id];
+    switch (n.kind) {
+      case NodeKind::kPrimaryIn:
+        break;
+      case NodeKind::kPrimaryOut:
+      case NodeKind::kSegment:
+        FTRSN_CHECK_MSG(n.scan_in != kInvalidNode,
+                        strprintf("node %s has no scan-in driver", n.name.c_str()));
+        FTRSN_CHECK(n.scan_in < nodes_.size());
+        FTRSN_CHECK_MSG(nodes_[n.scan_in].kind != NodeKind::kPrimaryOut,
+                        "primary scan-out cannot drive another node");
+        break;
+      case NodeKind::kMux:
+        for (NodeId in : n.mux_in) {
+          FTRSN_CHECK_MSG(in != kInvalidNode && in < nodes_.size(),
+                          strprintf("mux %s has a dangling input", n.name.c_str()));
+          FTRSN_CHECK(nodes_[in].kind != NodeKind::kPrimaryOut);
+        }
+        FTRSN_CHECK_MSG(n.mux_in[0] != n.mux_in[1],
+                        strprintf("mux %s has identical inputs", n.name.c_str()));
+        break;
+    }
+  }
+  // Every shadow-bit control atom must reference a real shadow register bit.
+  for (CtrlRef r = 0; static_cast<std::size_t>(r) < ctrl_.size(); ++r) {
+    const CtrlNode& c = ctrl_.node(r);
+    if (c.op != CtrlOp::kShadowBit) continue;
+    FTRSN_CHECK(c.seg < nodes_.size());
+    const RsnNode& seg = nodes_[c.seg];
+    FTRSN_CHECK_MSG(seg.is_segment() && seg.has_shadow,
+                    strprintf("control references shadow of %s which has none",
+                              seg.name.c_str()));
+    FTRSN_CHECK_MSG(c.bit < seg.length,
+                    strprintf("control references bit %u of %d-bit segment %s",
+                              c.bit, seg.length, seg.name.c_str()));
+    FTRSN_CHECK(c.replica < seg.shadow_replicas);
+  }
+  // Acyclicity (throws on violation).
+  (void)topo_order();
+}
+
+namespace {
+/// Pool-order-independent canonical form of an expression: commutative
+/// operands are sorted lexicographically, so two pools interned in
+/// different orders compare equal.
+std::string canonical_expr(const CtrlPool& pool, CtrlRef r,
+                           const std::vector<std::string>& names) {
+  const CtrlNode& n = pool.node(r);
+  switch (n.op) {
+    case CtrlOp::kConst:
+      return n.bit ? "1" : "0";
+    case CtrlOp::kEnable:
+      return "EN";
+    case CtrlOp::kPortSel:
+      return strprintf("PSEL%u", n.bit);
+    case CtrlOp::kShadowBit:
+      return strprintf("@%s.%u.%u",
+                       n.seg < names.size() ? names[n.seg].c_str() : "?",
+                       n.bit, n.replica);
+    case CtrlOp::kNot:
+      return strprintf("!%u(", n.bit) + canonical_expr(pool, n.kid[0], names) +
+             ")";
+    case CtrlOp::kAnd:
+    case CtrlOp::kOr:
+    case CtrlOp::kMaj3: {
+      std::vector<std::string> kids;
+      for (int i = 0; i < n.arity(); ++i)
+        kids.push_back(canonical_expr(pool, n.kid[i], names));
+      std::sort(kids.begin(), kids.end());
+      std::string out = strprintf(
+          "%c%u(",
+          n.op == CtrlOp::kAnd ? '&' : (n.op == CtrlOp::kOr ? '|' : 'M'),
+          n.bit);
+      for (const std::string& k : kids) out += k + ",";
+      return out + ")";
+    }
+  }
+  return "?";
+}
+}  // namespace
+
+bool Rsn::structurally_equal(const Rsn& other) const {
+  if (nodes_.size() != other.nodes_.size()) return false;
+  if (primary_ins_ != other.primary_ins_) return false;
+  if (primary_outs_ != other.primary_outs_) return false;
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    const RsnNode& a = nodes_[id];
+    const RsnNode& b = other.nodes_[id];
+    if (a.kind != b.kind || a.name != b.name || a.role != b.role ||
+        a.length != b.length || a.has_shadow != b.has_shadow ||
+        a.shadow_replicas != b.shadow_replicas ||
+        a.reset_shadow != b.reset_shadow || a.scan_in != b.scan_in ||
+        a.mux_in != b.mux_in)
+      return false;
+    // Control expressions compared in canonical form (pools may be
+    // structurally identical but differently interned).
+    const auto names_a = node_names();
+    const auto names_b = other.node_names();
+    if (canonical_expr(ctrl_, a.select, names_a) !=
+            canonical_expr(other.ctrl_, b.select, names_b) ||
+        canonical_expr(ctrl_, a.cap_dis, names_a) !=
+            canonical_expr(other.ctrl_, b.cap_dis, names_b) ||
+        canonical_expr(ctrl_, a.up_dis, names_a) !=
+            canonical_expr(other.ctrl_, b.up_dis, names_b))
+      return false;
+    if (a.is_mux() && canonical_expr(ctrl_, a.addr, names_a) !=
+                          canonical_expr(other.ctrl_, b.addr, names_b))
+      return false;
+  }
+  return true;
+}
+
+Rsn make_example_rsn() {
+  Rsn rsn;
+  const NodeId in = rsn.add_primary_in("SI");
+  const NodeId a = rsn.add_segment("A", 2, in, /*has_shadow=*/true);
+  const NodeId b = rsn.add_segment("B", 3, a, /*has_shadow=*/true);
+  CtrlPool& ctrl = rsn.ctrl();
+  // mux1 forwards either A directly (addr 0) or through B (addr 1).
+  const NodeId mux1 = rsn.add_mux("mux1", a, b, ctrl.shadow_bit(a, 0));
+  const NodeId c = rsn.add_segment("C", 4, mux1, /*has_shadow=*/false);
+  // mux2 forwards either mux1 directly (addr 0, C bypassed) or through C.
+  const NodeId mux2 = rsn.add_mux("mux2", mux1, c, ctrl.shadow_bit(b, 0));
+  const NodeId d = rsn.add_segment("D", 2, mux2, /*has_shadow=*/false);
+  rsn.add_primary_out("SO", d);
+
+  // Reset: A[0]=1 selects B onto the path; B[0]=0 bypasses C -> active path
+  // is A, B, D as in Fig. 2.
+  rsn.set_reset_shadow(a, 1);
+  rsn.set_reset_shadow(b, 0);
+
+  const CtrlRef en = ctrl.enable_input();
+  rsn.set_select(a, en);
+  rsn.set_select(d, en);
+  rsn.set_select(b, ctrl.mk_and(en, ctrl.shadow_bit(a, 0)));
+  rsn.set_select(c, ctrl.mk_and(en, ctrl.shadow_bit(b, 0)));
+  rsn.set_hier(a, 0, 1);
+  rsn.set_hier(b, 0, 2);
+  rsn.set_hier(c, 0, 2);
+  rsn.set_hier(d, 0, 1);
+  rsn.validate();
+  return rsn;
+}
+
+Rsn make_chain_rsn(int num_segments, int bits_per_segment) {
+  FTRSN_CHECK(num_segments >= 1);
+  Rsn rsn;
+  NodeId prev = rsn.add_primary_in("SI");
+  const CtrlRef en = rsn.ctrl().enable_input();
+  for (int i = 0; i < num_segments; ++i) {
+    prev = rsn.add_segment(strprintf("seg%d", i), bits_per_segment, prev);
+    rsn.set_select(prev, en);
+    rsn.set_hier(prev, 0, 1);
+  }
+  rsn.add_primary_out("SO", prev);
+  rsn.validate();
+  return rsn;
+}
+
+}  // namespace ftrsn

@@ -1,0 +1,172 @@
+// Structural model of a reconfigurable scan network (RSN), IEEE Std 1687
+// style (paper §II-A).
+//
+// An RSN is a netlist of scan *nodes* — primary scan ports, scan segments
+// and 2:1 scan multiplexers — connected by scan interconnects, plus control
+// logic (select / capture-disable / update-disable predicates and mux
+// address signals) expressed over shadow-register bits (rsn/ctrl.hpp).
+//
+// A scan segment (paper Fig. 3) has a shift register of `length` bits
+// between its scan-in and scan-out port, and an optional shadow register,
+// mandatory when the segment provides write access to an instrument or
+// drives control logic.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rsn/ctrl.hpp"
+#include "util/common.hpp"
+
+namespace ftrsn {
+
+enum class NodeKind : std::uint8_t {
+  kPrimaryIn,   ///< primary scan-in port (root of the dataflow)
+  kPrimaryOut,  ///< primary scan-out port (sink of the dataflow)
+  kSegment,     ///< scan segment (shift register + optional shadow)
+  kMux,         ///< 2:1 scan multiplexer
+};
+
+/// Provenance of a segment, used for reporting and to keep the
+/// fault-tolerance metric comparable between original and synthesized RSNs.
+enum class SegRole : std::uint8_t {
+  kInstrument,       ///< instrument access register (e.g. a core scan chain)
+  kSibRegister,      ///< 1-bit segment-insertion-bit register
+  kAddressRegister,  ///< control register added by the FT synthesis
+  kOther,
+};
+
+struct RsnNode {
+  NodeKind kind = NodeKind::kSegment;
+  std::string name;
+  SegRole role = SegRole::kInstrument;
+
+  // Segment-only fields.
+  int length = 0;            ///< shift register bits
+  bool has_shadow = false;   ///< shadow register present (same width)
+  int shadow_replicas = 1;   ///< shadow latch copies (3 under TMR hardening)
+  std::uint64_t reset_shadow = 0;  ///< shadow reset value (bit i = bit i)
+  CtrlRef select = kCtrlTrue;
+  CtrlRef cap_dis = kCtrlFalse;
+  CtrlRef up_dis = kCtrlFalse;
+
+  // Scan-in source: Segment and PrimaryOut have exactly one; Mux has two.
+  NodeId scan_in = kInvalidNode;
+  std::array<NodeId, 2> mux_in{kInvalidNode, kInvalidNode};
+  CtrlRef addr = kCtrlFalse;  ///< Mux: selects mux_in[addr]
+
+  // Generator provenance (reporting only).
+  int module = -1;       ///< owning SoC module, -1 if none
+  int hier_level = 0;    ///< SIB-hierarchy depth (1 = top)
+
+  bool is_segment() const { return kind == NodeKind::kSegment; }
+  bool is_mux() const { return kind == NodeKind::kMux; }
+};
+
+/// Aggregate structural statistics (Table I "RSN Characteristics" and the
+/// raw counts behind the area-overhead ratios).
+struct RsnStats {
+  int segments = 0;      ///< all scan segments (any role)
+  int muxes = 0;
+  long long bits = 0;    ///< total shift-register bits
+  int nets = 0;          ///< driven scan + control interconnects
+  int levels = 0;        ///< max SIB-hierarchy depth
+  int primary_ins = 0;
+  int primary_outs = 0;
+};
+
+/// Structural RSN netlist.
+///
+/// Invariants (checked by `validate()`):
+///  * the scan interconnect structure is a DAG rooted at the primary
+///    scan-in ports with all paths ending in a primary scan-out port;
+///  * every segment / primary-out has exactly one scan-in driver and every
+///    mux exactly two;
+///  * every segment whose shadow bits are referenced by control logic has
+///    `has_shadow == true` and enough bits;
+///  * for every assignment of shadow registers there is at most one active
+///    scan path per scan-out port (guaranteed structurally: every node has
+///    a unique driver cone).
+class Rsn {
+ public:
+  Rsn() = default;
+
+  // --- construction -------------------------------------------------------
+  NodeId add_primary_in(std::string name);
+  NodeId add_primary_out(std::string name, NodeId source);
+  NodeId add_segment(std::string name, int length, NodeId source,
+                     bool has_shadow = false, SegRole role = SegRole::kInstrument);
+  NodeId add_mux(std::string name, NodeId in0, NodeId in1, CtrlRef addr);
+
+  void set_select(NodeId seg, CtrlRef expr);
+  void set_cap_dis(NodeId seg, CtrlRef expr);
+  void set_up_dis(NodeId seg, CtrlRef expr);
+  void set_scan_in(NodeId node, NodeId source);
+  void set_mux_in(NodeId mux, int which, NodeId source);
+  void set_reset_shadow(NodeId seg, std::uint64_t value);
+  void set_hier(NodeId node, int module, int level);
+  void set_shadow_replicas(NodeId seg, int replicas);
+
+  // --- access --------------------------------------------------------------
+  std::size_t num_nodes() const { return nodes_.size(); }
+  const RsnNode& node(NodeId id) const { return nodes_.at(id); }
+  RsnNode& node_mut(NodeId id) { return nodes_.at(id); }
+  CtrlPool& ctrl() { return ctrl_; }
+  const CtrlPool& ctrl() const { return ctrl_; }
+
+  const std::vector<NodeId>& primary_ins() const { return primary_ins_; }
+  const std::vector<NodeId>& primary_outs() const { return primary_outs_; }
+  NodeId primary_in() const { return primary_ins_.at(0); }
+  NodeId primary_out() const { return primary_outs_.at(0); }
+
+  /// Scan-fanout successors of each node (inverse of scan_in / mux_in).
+  std::vector<std::vector<NodeId>> successors() const;
+
+  /// All nodes in a topological order of the scan dataflow (roots first).
+  /// Fails (FTRSN_CHECK) if the interconnect structure has a cycle.
+  std::vector<NodeId> topo_order() const;
+
+  /// Names of all nodes, indexed by NodeId (for expression printing).
+  std::vector<std::string> node_names() const;
+
+  RsnStats stats() const;
+  void validate() const;
+
+  /// Deep equality of structure (used by io round-trip tests).
+  bool structurally_equal(const Rsn& other) const;
+
+  /// Optional metadata written by the fault-tolerant synthesis: for a
+  /// segment with hardened select logic, each OR-term of its select
+  /// predicate corresponds to one scan-fanout successor direction.  The
+  /// fault analyzer uses this to invalidate exactly the successor edge
+  /// whose select term is killed by a control fault.
+  struct SelectTerm {
+    NodeId seg = kInvalidNode;   ///< segment whose select has this term
+    NodeId succ = kInvalidNode;  ///< successor direction the term asserts
+    CtrlRef term = kCtrlInvalid;
+  };
+  void add_select_term(NodeId seg, NodeId succ, CtrlRef term) {
+    select_terms_.push_back({seg, succ, term});
+  }
+  const std::vector<SelectTerm>& select_terms() const { return select_terms_; }
+
+ private:
+  std::vector<SelectTerm> select_terms_;
+  std::vector<RsnNode> nodes_;
+  std::vector<NodeId> primary_ins_;
+  std::vector<NodeId> primary_outs_;
+  CtrlPool ctrl_;
+};
+
+/// Builds the running example RSN of the paper (Fig. 2): four scan segments
+/// A, B, C, D with two scan multiplexers such that A, B, D lie on the active
+/// path in the reset configuration and C is bypassed.
+Rsn make_example_rsn();
+
+/// A tiny linear RSN: scan-in -> seg_0 -> ... -> seg_{n-1} -> scan-out,
+/// no multiplexers (every element is a single point of failure).
+Rsn make_chain_rsn(int num_segments, int bits_per_segment);
+
+}  // namespace ftrsn

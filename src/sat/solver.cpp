@@ -1,0 +1,273 @@
+#include "sat/solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ftrsn::sat {
+
+int Solver::new_var() {
+  const int v = num_vars();
+  assign_.push_back(kUndef);
+  level_.push_back(-1);
+  reason_.push_back(-1);
+  activity_.push_back(0.0);
+  watches_.emplace_back();
+  watches_.emplace_back();
+  return v;
+}
+
+void Solver::add_clause(std::vector<Lit> lits) {
+  // Simplify: drop duplicate literals, detect tautologies, strip literals
+  // already false at level 0.
+  std::sort(lits.begin(), lits.end(),
+            [](Lit a, Lit b) { return a.code < b.code; });
+  lits.erase(std::unique(lits.begin(), lits.end()), lits.end());
+  for (std::size_t i = 0; i + 1 < lits.size(); ++i)
+    if (lits[i].var() == lits[i + 1].var()) return;  // tautology (l, ~l)
+  std::vector<Lit> kept;
+  for (Lit l : lits) {
+    FTRSN_CHECK(l.var() >= 0 && l.var() < num_vars());
+    const std::int8_t v = lit_value(l);
+    if (v == kTrue && level_[static_cast<std::size_t>(l.var())] == 0)
+      return;  // satisfied forever
+    if (v == kFalse && level_[static_cast<std::size_t>(l.var())] == 0)
+      continue;  // falsified forever
+    kept.push_back(l);
+  }
+  if (kept.empty()) {
+    unsat_ = true;
+    return;
+  }
+  if (kept.size() == 1) {
+    FTRSN_CHECK(trail_lim_.empty());
+    if (!enqueue(kept[0], -1)) unsat_ = true;
+    if (propagate() != -1) unsat_ = true;
+    return;
+  }
+  clauses_.push_back({std::move(kept), false, 0.0});
+  attach(static_cast<int>(clauses_.size()) - 1);
+}
+
+void Solver::attach(int ci) {
+  const Clause& c = clauses_[static_cast<std::size_t>(ci)];
+  watches_[static_cast<std::size_t>(c.lits[0].code)].push_back(ci);
+  watches_[static_cast<std::size_t>(c.lits[1].code)].push_back(ci);
+}
+
+bool Solver::enqueue(Lit l, int reason) {
+  const std::int8_t v = lit_value(l);
+  if (v == kFalse) return false;
+  if (v == kTrue) return true;
+  assign_[static_cast<std::size_t>(l.var())] = l.neg() ? kFalse : kTrue;
+  level_[static_cast<std::size_t>(l.var())] =
+      static_cast<int>(trail_lim_.size());
+  reason_[static_cast<std::size_t>(l.var())] = reason;
+  trail_.push_back(l);
+  return true;
+}
+
+int Solver::propagate() {
+  while (propagate_head_ < trail_.size()) {
+    const Lit p = trail_[propagate_head_++];
+    // Clauses watching ~p must find a new watch or propagate/conflict.
+    std::vector<int>& watch_list =
+        watches_[static_cast<std::size_t>((~p).code)];
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < watch_list.size(); ++i) {
+      const int ci = watch_list[i];
+      Clause& c = clauses_[static_cast<std::size_t>(ci)];
+      // Normalize: watched literal ~p at position 1.
+      if (c.lits[0] == ~p) std::swap(c.lits[0], c.lits[1]);
+      if (lit_value(c.lits[0]) == kTrue) {
+        watch_list[keep++] = ci;  // satisfied; keep watch
+        continue;
+      }
+      bool moved = false;
+      for (std::size_t k = 2; k < c.lits.size(); ++k) {
+        if (lit_value(c.lits[k]) != kFalse) {
+          std::swap(c.lits[1], c.lits[k]);
+          watches_[static_cast<std::size_t>(c.lits[1].code)].push_back(ci);
+          moved = true;
+          break;
+        }
+      }
+      if (moved) continue;
+      // Unit or conflicting.
+      watch_list[keep++] = ci;
+      if (!enqueue(c.lits[0], ci)) {
+        // Conflict: restore remaining watches and report.
+        for (std::size_t k = i + 1; k < watch_list.size(); ++k)
+          watch_list[keep++] = watch_list[k];
+        watch_list.resize(keep);
+        return ci;
+      }
+    }
+    watch_list.resize(keep);
+  }
+  return -1;
+}
+
+void Solver::bump_var(int var) {
+  activity_[static_cast<std::size_t>(var)] += activity_inc_;
+  if (activity_[static_cast<std::size_t>(var)] > 1e100) {
+    for (double& a : activity_) a *= 1e-100;
+    activity_inc_ *= 1e-100;
+  }
+}
+
+void Solver::decay_activities() { activity_inc_ /= 0.95; }
+
+void Solver::analyze(int conflict, std::vector<Lit>& learnt,
+                     int& backtrack_level) {
+  // First-UIP resolution.
+  learnt.clear();
+  learnt.push_back(Lit());  // slot for the asserting literal
+  std::vector<bool> seen(static_cast<std::size_t>(num_vars()), false);
+  int counter = 0;
+  Lit p;
+  int reason = conflict;
+  std::size_t index = trail_.size();
+  const int current_level = static_cast<int>(trail_lim_.size());
+
+  do {
+    FTRSN_CHECK(reason != -1);
+    Clause& c = clauses_[static_cast<std::size_t>(reason)];
+    if (c.learnt) c.activity += 1.0;
+    for (std::size_t j = (p.code == -1 ? 0 : 1); j < c.lits.size(); ++j) {
+      const Lit q = c.lits[j];
+      if (seen[static_cast<std::size_t>(q.var())]) continue;
+      if (level_[static_cast<std::size_t>(q.var())] <= 0) continue;
+      seen[static_cast<std::size_t>(q.var())] = true;
+      bump_var(q.var());
+      if (level_[static_cast<std::size_t>(q.var())] >= current_level) {
+        ++counter;
+      } else {
+        learnt.push_back(q);
+      }
+    }
+    // Next literal on the trail to resolve on.
+    while (!seen[static_cast<std::size_t>(trail_[index - 1].var())]) --index;
+    p = trail_[--index];
+    seen[static_cast<std::size_t>(p.var())] = false;
+    reason = reason_[static_cast<std::size_t>(p.var())];
+    --counter;
+  } while (counter > 0);
+  learnt[0] = ~p;
+
+  backtrack_level = 0;
+  if (learnt.size() > 1) {
+    // Second-highest decision level among the learnt literals.
+    std::size_t max_i = 1;
+    for (std::size_t i = 2; i < learnt.size(); ++i)
+      if (level_[static_cast<std::size_t>(learnt[i].var())] >
+          level_[static_cast<std::size_t>(learnt[max_i].var())])
+        max_i = i;
+    std::swap(learnt[1], learnt[max_i]);
+    backtrack_level = level_[static_cast<std::size_t>(learnt[1].var())];
+  }
+}
+
+void Solver::backtrack(int target_level) {
+  if (static_cast<int>(trail_lim_.size()) <= target_level) return;
+  const std::size_t bound =
+      static_cast<std::size_t>(trail_lim_[static_cast<std::size_t>(target_level)]);
+  for (std::size_t i = trail_.size(); i-- > bound;) {
+    const int v = trail_[i].var();
+    assign_[static_cast<std::size_t>(v)] = kUndef;
+    reason_[static_cast<std::size_t>(v)] = -1;
+    level_[static_cast<std::size_t>(v)] = -1;
+  }
+  trail_.resize(bound);
+  trail_lim_.resize(static_cast<std::size_t>(target_level));
+  propagate_head_ = trail_.size();
+}
+
+Lit Solver::pick_branch() {
+  int best = -1;
+  double best_activity = -1.0;
+  for (int v = 0; v < num_vars(); ++v) {
+    if (assign_[static_cast<std::size_t>(v)] != kUndef) continue;
+    if (activity_[static_cast<std::size_t>(v)] > best_activity) {
+      best_activity = activity_[static_cast<std::size_t>(v)];
+      best = v;
+    }
+  }
+  if (best < 0) return Lit();
+  return Lit(best, true);  // negative polarity first
+}
+
+SolveResult Solver::solve(const std::vector<Lit>& assumptions,
+                          std::int64_t conflict_limit) {
+  if (unsat_) return SolveResult::kUnsat;
+  backtrack(0);
+  std::int64_t conflicts_here = 0;
+  std::int64_t restart_limit = 128;
+
+  // Assumption levels are the first |assumptions| decision levels.
+  const auto establish_assumptions = [&]() -> int {
+    for (const Lit a : assumptions) {
+      if (lit_value(a) == kTrue) continue;
+      if (lit_value(a) == kFalse) return -2;  // conflicting assumptions
+      trail_lim_.push_back(static_cast<int>(trail_.size()));
+      if (!enqueue(a, -1)) return -2;
+      const int confl = propagate();
+      if (confl != -1) return confl;
+    }
+    return -1;
+  };
+
+  {
+    const int confl = establish_assumptions();
+    if (confl == -2) return SolveResult::kUnsat;
+    if (confl != -1) return SolveResult::kUnsat;
+  }
+  const int assumption_levels = static_cast<int>(trail_lim_.size());
+
+  while (true) {
+    const int confl = propagate();
+    if (confl != -1) {
+      ++stats_conflicts_;
+      ++conflicts_here;
+      if (static_cast<int>(trail_lim_.size()) <= assumption_levels)
+        return SolveResult::kUnsat;
+      std::vector<Lit> learnt;
+      int back_level = 0;
+      analyze(confl, learnt, back_level);
+      backtrack(std::max(back_level, assumption_levels));
+      if (learnt.size() == 1) {
+        backtrack(assumption_levels == 0 ? 0 : assumption_levels);
+        if (static_cast<int>(trail_lim_.size()) > 0 && back_level == 0) {
+          // fall through; enqueue below at current level
+        }
+        if (!enqueue(learnt[0], -1)) return SolveResult::kUnsat;
+      } else {
+        clauses_.push_back({learnt, true, 1.0});
+        attach(static_cast<int>(clauses_.size()) - 1);
+        if (!enqueue(learnt[0], static_cast<int>(clauses_.size()) - 1))
+          return SolveResult::kUnsat;
+      }
+      decay_activities();
+      if (conflict_limit >= 0 && conflicts_here >= conflict_limit)
+        return SolveResult::kLimit;
+      if (conflicts_here >= restart_limit) {
+        restart_limit = restart_limit + restart_limit / 2;
+        backtrack(assumption_levels);
+      }
+      continue;
+    }
+    const Lit branch = pick_branch();
+    if (branch.code == -1) {
+      // Full model.
+      model_.assign(static_cast<std::size_t>(num_vars()), false);
+      for (int v = 0; v < num_vars(); ++v)
+        model_[static_cast<std::size_t>(v)] =
+            assign_[static_cast<std::size_t>(v)] == kTrue;
+      backtrack(0);
+      return SolveResult::kSat;
+    }
+    trail_lim_.push_back(static_cast<int>(trail_.size()));
+    enqueue(branch, -1);
+  }
+}
+
+}  // namespace ftrsn::sat

@@ -1,0 +1,98 @@
+// CDCL SAT solver (substrate for the bounded-model-checking accessibility
+// engine, paper §II-B / [24]).
+//
+// Standard conflict-driven clause learning: two-watched-literal scheme,
+// VSIDS-style activity ordering, first-UIP learning with clause
+// minimization hooks omitted for clarity, and Luby-free geometric restarts.
+// Supports incremental solving under assumptions.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace ftrsn::sat {
+
+/// A literal: variable index with sign.  Internally encoded as 2*var+sign.
+struct Lit {
+  int code = -1;
+
+  Lit() = default;
+  Lit(int var, bool negative) : code(2 * var + (negative ? 1 : 0)) {}
+
+  int var() const { return code >> 1; }
+  bool neg() const { return code & 1; }
+  Lit operator~() const {
+    Lit l;
+    l.code = code ^ 1;
+    return l;
+  }
+  bool operator==(const Lit&) const = default;
+};
+
+enum class SolveResult { kSat, kUnsat, kLimit };
+
+class Solver {
+ public:
+  /// Creates a fresh variable; returns its index.
+  int new_var();
+  int num_vars() const { return static_cast<int>(assign_.size()); }
+
+  /// Adds a clause (disjunction of literals).  Empty clause makes the
+  /// instance trivially unsatisfiable.
+  void add_clause(std::vector<Lit> lits);
+  void add_unit(Lit a) { add_clause({a}); }
+  void add_binary(Lit a, Lit b) { add_clause({a, b}); }
+  void add_ternary(Lit a, Lit b, Lit c) { add_clause({a, b, c}); }
+
+  /// Solves under the given assumptions.
+  SolveResult solve(const std::vector<Lit>& assumptions = {},
+                    std::int64_t conflict_limit = -1);
+
+  /// Model access (valid after kSat).
+  bool value(int var) const { return model_[static_cast<std::size_t>(var)]; }
+
+  std::int64_t conflicts() const { return stats_conflicts_; }
+  std::size_t num_clauses() const { return clauses_.size(); }
+
+ private:
+  enum : std::int8_t { kFalse = 0, kTrue = 1, kUndef = 2 };
+
+  struct Clause {
+    std::vector<Lit> lits;
+    bool learnt = false;
+    double activity = 0.0;
+  };
+
+  std::int8_t lit_value(Lit l) const {
+    const std::int8_t v = assign_[static_cast<std::size_t>(l.var())];
+    if (v == kUndef) return kUndef;
+    return (v == kTrue) != l.neg() ? kTrue : kFalse;
+  }
+
+  bool enqueue(Lit l, int reason);
+  int propagate();  // returns conflicting clause index or -1
+  void analyze(int conflict, std::vector<Lit>& learnt, int& backtrack_level);
+  void backtrack(int level);
+  void bump_var(int var);
+  void decay_activities();
+  Lit pick_branch();
+  void attach(int clause_index);
+
+  std::vector<Clause> clauses_;
+  std::vector<std::vector<int>> watches_;  // per literal code
+  std::vector<std::int8_t> assign_;        // per var
+  std::vector<int> level_;                 // per var
+  std::vector<int> reason_;                // per var, clause index or -1
+  std::vector<Lit> trail_;
+  std::vector<int> trail_lim_;
+  std::size_t propagate_head_ = 0;
+  std::vector<double> activity_;
+  double activity_inc_ = 1.0;
+  std::vector<bool> model_;
+  bool unsat_ = false;
+  std::int64_t stats_conflicts_ = 0;
+};
+
+}  // namespace ftrsn::sat

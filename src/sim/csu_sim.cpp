@@ -1,0 +1,252 @@
+#include "sim/csu_sim.hpp"
+
+#include <algorithm>
+
+namespace ftrsn {
+
+CsuSimulator::CsuSimulator(const Rsn& rsn) : rsn_(&rsn) {
+  seg_state_.resize(rsn.num_nodes());
+  ctrl_forced_.assign(rsn.ctrl().size(), -1);
+  topo_ = rsn.topo_order();
+  reset();
+}
+
+void CsuSimulator::reset() {
+  for (NodeId id = 0; id < rsn_->num_nodes(); ++id) {
+    const RsnNode& n = rsn_->node(id);
+    if (!n.is_segment()) continue;
+    SegState& s = seg_state_[id];
+    s.shift.assign(static_cast<std::size_t>(n.length), 0);
+    s.data_in.assign(static_cast<std::size_t>(n.length), 0);
+    s.shadow.assign(static_cast<std::size_t>(n.length * n.shadow_replicas), 0);
+    for (int b = 0; b < n.length && b < 64; ++b) {
+      const bool v = (n.reset_shadow >> b) & 1;
+      for (int r = 0; r < n.shadow_replicas; ++r)
+        s.shadow[static_cast<std::size_t>(b * n.shadow_replicas + r)] = v;
+    }
+  }
+}
+
+void CsuSimulator::add_forcing(const Forcing& f) {
+  forcings_.push_back(f);
+  if (f.point == Forcing::Point::kCtrlNet) {
+    FTRSN_CHECK(f.ctrl >= 0 &&
+                static_cast<std::size_t>(f.ctrl) < ctrl_forced_.size());
+    ctrl_forced_[static_cast<std::size_t>(f.ctrl)] = f.value ? 1 : 0;
+  }
+}
+
+void CsuSimulator::clear_forcings() {
+  forcings_.clear();
+  ctrl_forced_.assign(rsn_->ctrl().size(), -1);
+}
+
+void CsuSimulator::set_data_in(NodeId seg, std::vector<std::uint8_t> bits) {
+  const RsnNode& n = rsn_->node(seg);
+  FTRSN_CHECK(n.is_segment());
+  FTRSN_CHECK(bits.size() == static_cast<std::size_t>(n.length));
+  seg_state_[seg].data_in = std::move(bits);
+}
+
+const Forcing* CsuSimulator::find_forcing(Forcing::Point p, NodeId node,
+                                          int index, int bit) const {
+  for (const Forcing& f : forcings_)
+    if (f.point == p && f.node == node && f.index == index && f.bit == bit)
+      return &f;
+  return nullptr;
+}
+
+const Forcing* CsuSimulator::find_ctrl_forcing(CtrlRef r) const {
+  for (const Forcing& f : forcings_)
+    if (f.point == Forcing::Point::kCtrlNet && f.ctrl == r) return &f;
+  return nullptr;
+}
+
+bool CsuSimulator::shadow_value(NodeId seg, int bit, int replica) const {
+  if (const Forcing* f =
+          find_forcing(Forcing::Point::kShadowReplica, seg, replica, bit))
+    return f->value;
+  const RsnNode& n = rsn_->node(seg);
+  FTRSN_CHECK(n.is_segment() && bit < n.length && replica < n.shadow_replicas);
+  return seg_state_[seg]
+             .shadow[static_cast<std::size_t>(bit * n.shadow_replicas +
+                                              replica)] != 0;
+}
+
+bool CsuSimulator::shadow_voted(NodeId seg, int bit) const {
+  const RsnNode& n = rsn_->node(seg);
+  int ones = 0;
+  for (int r = 0; r < n.shadow_replicas; ++r)
+    ones += shadow_value(seg, bit, r) ? 1 : 0;
+  return 2 * ones > n.shadow_replicas;
+}
+
+void CsuSimulator::poke_shadow(NodeId seg, int bit, bool value) {
+  const RsnNode& n = rsn_->node(seg);
+  FTRSN_CHECK(n.is_segment() && n.has_shadow && bit < n.length);
+  for (int r = 0; r < n.shadow_replicas; ++r)
+    seg_state_[seg].shadow[static_cast<std::size_t>(bit * n.shadow_replicas +
+                                                    r)] = value ? 1 : 0;
+}
+
+bool CsuSimulator::eval_ctrl(CtrlRef r) const {
+  const auto atom = [this](const CtrlNode& n) -> bool {
+    if (n.op == CtrlOp::kEnable) return enable_;
+    if (n.op == CtrlOp::kPortSel) return port_select(n.bit);
+    return shadow_value(n.seg, n.bit, n.replica);
+  };
+  return rsn_->ctrl().eval(r, atom, &ctrl_forced_);
+}
+
+bool CsuSimulator::mux_addr_value(NodeId mux) const {
+  if (const Forcing* f = find_forcing(Forcing::Point::kMuxAddr, mux))
+    return f->value;
+  return eval_ctrl(rsn_->node(mux).addr);
+}
+
+bool CsuSimulator::segment_selected(NodeId seg) const {
+  return eval_ctrl(rsn_->node(seg).select);
+}
+
+NodeId CsuSimulator::default_out(NodeId out_port) const {
+  return out_port == kInvalidNode ? rsn_->primary_out() : out_port;
+}
+
+std::vector<NodeId> CsuSimulator::active_path(NodeId out_port,
+                                              NodeId* in_port) const {
+  std::vector<NodeId> path;
+  NodeId node = rsn_->node(default_out(out_port)).scan_in;
+  std::size_t guard = 0;
+  while (rsn_->node(node).kind != NodeKind::kPrimaryIn) {
+    FTRSN_CHECK_MSG(++guard <= rsn_->num_nodes(), "active path walk diverged");
+    const RsnNode& n = rsn_->node(node);
+    if (n.is_mux()) {
+      node = n.mux_in[mux_addr_value(node) ? 1 : 0];
+    } else {
+      FTRSN_CHECK(n.is_segment());
+      path.push_back(node);
+      node = n.scan_in;
+    }
+  }
+  if (in_port) *in_port = node;
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+int CsuSimulator::active_path_bits(NodeId out_port) const {
+  int bits = 0;
+  for (NodeId seg : active_path(out_port)) bits += rsn_->node(seg).length;
+  return bits;
+}
+
+void CsuSimulator::capture(NodeId out_port) {
+  for (NodeId seg : active_path(out_port)) {
+    const RsnNode& n = rsn_->node(seg);
+    if (segment_selected(seg) && !eval_ctrl(n.cap_dis))
+      seg_state_[seg].shift = seg_state_[seg].data_in;
+  }
+}
+
+std::uint8_t CsuSimulator::shift_cycle(std::uint8_t in_bit, NodeId in_port,
+                                       NodeId out_port) {
+  const NodeId live_in =
+      in_port == kInvalidNode ? rsn_->primary_in() : in_port;
+  const NodeId out = default_out(out_port);
+
+  // Combinational values at every node output, in topological order.
+  static thread_local std::vector<std::uint8_t> value;
+  value.assign(rsn_->num_nodes(), 0);
+  for (NodeId id : topo_) {
+    const RsnNode& n = rsn_->node(id);
+    bool v = false;
+    switch (n.kind) {
+      case NodeKind::kPrimaryIn:
+        v = (id == live_in) ? (in_bit != 0) : false;
+        if (const Forcing* f = find_forcing(Forcing::Point::kPrimaryIn, id))
+          v = f->value;
+        break;
+      case NodeKind::kSegment:
+        v = !seg_state_[id].shift.empty() && seg_state_[id].shift.back() != 0;
+        if (const Forcing* f = find_forcing(Forcing::Point::kSegmentOut, id))
+          v = f->value;
+        break;
+      case NodeKind::kMux: {
+        const int a = mux_addr_value(id) ? 1 : 0;
+        v = value[n.mux_in[a]] != 0;
+        if (const Forcing* f = find_forcing(Forcing::Point::kMuxIn, id, a))
+          v = f->value;
+        if (const Forcing* f = find_forcing(Forcing::Point::kMuxOut, id))
+          v = f->value;
+        break;
+      }
+      case NodeKind::kPrimaryOut:
+        v = value[n.scan_in] != 0;
+        if (const Forcing* f = find_forcing(Forcing::Point::kPrimaryOut, id))
+          v = f->value;
+        break;
+    }
+    value[id] = v ? 1 : 0;
+  }
+
+  const std::uint8_t out_bit = value[out];
+
+  // Clock edge: every segment on the active path shifts by one.  Shift
+  // enables are structural (derived from the path configuration); the
+  // select predicate gates capture and update only.
+  const auto path = active_path(out_port);
+  for (NodeId seg : path) {
+    const RsnNode& n = rsn_->node(seg);
+    bool in_val = value[n.scan_in] != 0;
+    if (const Forcing* f = find_forcing(Forcing::Point::kSegmentIn, seg))
+      in_val = f->value;
+    auto& shift = seg_state_[seg].shift;
+    for (std::size_t i = shift.size(); i-- > 1;) shift[i] = shift[i - 1];
+    shift[0] = in_val ? 1 : 0;
+  }
+  return out_bit;
+}
+
+void CsuSimulator::update(NodeId out_port) {
+  // All shadow latches update on the same UpdateDR edge: the update
+  // decisions (select / update-disable) must be evaluated on the
+  // pre-update shadow state before any latch changes.
+  std::vector<NodeId> updating;
+  for (NodeId seg : active_path(out_port)) {
+    const RsnNode& n = rsn_->node(seg);
+    if (!n.has_shadow) continue;
+    if (!segment_selected(seg) || eval_ctrl(n.up_dis)) continue;
+    updating.push_back(seg);
+  }
+  for (NodeId seg : updating) {
+    const RsnNode& n = rsn_->node(seg);
+    SegState& s = seg_state_[seg];
+    for (int b = 0; b < n.length; ++b)
+      for (int r = 0; r < n.shadow_replicas; ++r) {
+        // A stuck shadow latch keeps its forced value; the stored state is
+        // irrelevant because reads go through shadow_value().
+        s.shadow[static_cast<std::size_t>(b * n.shadow_replicas + r)] =
+            s.shift[static_cast<std::size_t>(b)];
+      }
+  }
+}
+
+CsuResult CsuSimulator::csu(const std::vector<std::uint8_t>& in_bits,
+                            NodeId in_port, NodeId out_port) {
+  CsuResult result;
+  result.path_segments = active_path(out_port);
+  for (NodeId seg : result.path_segments)
+    result.path_bits += rsn_->node(seg).length;
+  capture(out_port);
+  result.out_bits.reserve(in_bits.size());
+  for (std::uint8_t bit : in_bits)
+    result.out_bits.push_back(shift_cycle(bit, in_port, out_port));
+  update(out_port);
+  return result;
+}
+
+const std::vector<std::uint8_t>& CsuSimulator::shift_state(NodeId seg) const {
+  FTRSN_CHECK(rsn_->node(seg).is_segment());
+  return seg_state_[seg].shift;
+}
+
+}  // namespace ftrsn

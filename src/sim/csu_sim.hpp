@@ -1,0 +1,147 @@
+// Cycle-accurate CSU (capture - shift - update) simulator for structural
+// RSNs (paper §II-A).
+//
+// The simulator executes scan accesses exactly as the hardware would:
+//  * the active scan path is determined by walking back from a scan-out
+//    port through the scan multiplexers, whose address signals are
+//    evaluated on the current shadow-register state;
+//  * `capture` loads instrument data into the shift registers of selected
+//    segments (unless capture-disabled);
+//  * each `shift` cycle moves data one flip-flop along the active path,
+//    with deselected or faulty elements blocking/corrupting the stream;
+//  * `update` latches shift registers into shadow registers of selected
+//    segments (unless update-disabled), which reconfigures the network.
+//
+// Stuck-at faults are injected as *forcings* of structural points; the
+// fault module translates its fault universe into these forcings.  The
+// simulator is the ground truth used to validate access plans computed by
+// the analysis engines.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "rsn/rsn.hpp"
+
+namespace ftrsn {
+
+/// A structural point forced to a constant value (stuck-at fault site).
+struct Forcing {
+  enum class Point : std::uint8_t {
+    kSegmentIn,      ///< net at the segment's scan-in port
+    kSegmentOut,     ///< shift-register output / scan-out port
+    kShadowReplica,  ///< one shadow latch replica (bit `bit`, replica `index`)
+    kMuxIn,          ///< mux data input `index`
+    kMuxOut,         ///< mux output net
+    kMuxAddr,        ///< mux address input port (after any voter)
+    kCtrlNet,        ///< control expression node `ctrl` (fanout stem / gate)
+    kPrimaryIn,      ///< primary scan-in port drives a constant
+    kPrimaryOut,     ///< primary scan-out port reads a constant
+  };
+  Point point = Point::kSegmentOut;
+  NodeId node = kInvalidNode;
+  CtrlRef ctrl = kCtrlInvalid;
+  int index = 0;  ///< mux input index / shadow replica
+  int bit = 0;    ///< shadow bit index
+  bool value = false;
+};
+
+/// Result of one CSU operation.
+struct CsuResult {
+  std::vector<std::uint8_t> out_bits;     ///< observed at the scan-out port
+  std::vector<NodeId> path_segments;      ///< selected path, scan-in first
+  int path_bits = 0;                      ///< total shift bits on the path
+};
+
+class CsuSimulator {
+ public:
+  explicit CsuSimulator(const Rsn& rsn);
+
+  /// Restores all shift and shadow registers to their reset values and
+  /// clears instrument data.
+  void reset();
+
+  void add_forcing(const Forcing& f);
+  void clear_forcings();
+
+  /// Sets the data-input value of a segment (captured into its shift
+  /// register by the next capture operation).  Bit vector length must equal
+  /// the segment length.
+  void set_data_in(NodeId seg, std::vector<std::uint8_t> bits);
+
+  /// The active scan path to `out_port` (default: first primary scan-out)
+  /// under the current shadow state: segments in scan-in -> scan-out order.
+  /// `in_port` receives the reached primary scan-in (if non-null).
+  std::vector<NodeId> active_path(NodeId out_port = kInvalidNode,
+                                  NodeId* in_port = nullptr) const;
+
+  /// Total shift bits on the current active path.
+  int active_path_bits(NodeId out_port = kInvalidNode) const;
+
+  /// Performs one full CSU operation: capture, |in_bits| shift cycles with
+  /// the given scan-in stream (first element enters first), then update.
+  /// `in_port`/`out_port` select the scan ports (defaults: primaries).
+  CsuResult csu(const std::vector<std::uint8_t>& in_bits,
+                NodeId in_port = kInvalidNode,
+                NodeId out_port = kInvalidNode);
+
+  /// Individual operations (a CSU is capture + n*shift + update).
+  void capture(NodeId out_port = kInvalidNode);
+  /// Shifts one cycle; returns the bit observed at the scan-out port.
+  std::uint8_t shift_cycle(std::uint8_t in_bit, NodeId in_port = kInvalidNode,
+                           NodeId out_port = kInvalidNode);
+  void update(NodeId out_port = kInvalidNode);
+
+  /// Register state inspection (tests / instrument readout).
+  const std::vector<std::uint8_t>& shift_state(NodeId seg) const;
+  /// Shadow value of bit `bit` as seen by control replica `replica`
+  /// (respects forcings).
+  bool shadow_value(NodeId seg, int bit, int replica = 0) const;
+  /// Majority over replicas (what a voter would see).
+  bool shadow_voted(NodeId seg, int bit) const;
+
+  /// Directly writes a shadow bit (all replicas); used by tests to set up
+  /// configurations without shifting.
+  void poke_shadow(NodeId seg, int bit, bool value);
+
+  /// Primary control pins (choose duplicated ports / root detours in
+  /// fault-tolerant RSNs; see synth §III-E-4).
+  void set_port_select(int index, bool value) {
+    if (static_cast<std::size_t>(index) >= port_select_.size())
+      port_select_.resize(static_cast<std::size_t>(index) + 1, 0);
+    port_select_[static_cast<std::size_t>(index)] = value ? 1 : 0;
+  }
+  bool port_select(int index = 0) const {
+    return static_cast<std::size_t>(index) < port_select_.size() &&
+           port_select_[static_cast<std::size_t>(index)] != 0;
+  }
+
+ private:
+  struct SegState {
+    std::vector<std::uint8_t> shift;
+    std::vector<std::uint8_t> shadow;  // bit-major: [bit * replicas + r]
+    std::vector<std::uint8_t> data_in;
+  };
+
+  bool eval_ctrl(CtrlRef r) const;
+  bool mux_addr_value(NodeId mux) const;
+  /// Combinational value at a node's output during a shift cycle;
+  /// `live_in` is the bit currently applied at `in_port`.
+  bool net_value(NodeId node, NodeId in_port, std::uint8_t live_in) const;
+  bool segment_selected(NodeId seg) const;
+  NodeId default_out(NodeId out_port) const;
+  const Forcing* find_forcing(Forcing::Point p, NodeId node, int index = 0,
+                              int bit = 0) const;
+  const Forcing* find_ctrl_forcing(CtrlRef r) const;
+
+  const Rsn* rsn_;
+  std::vector<NodeId> topo_;
+  std::vector<SegState> seg_state_;  // indexed by NodeId (empty for non-segments)
+  std::vector<Forcing> forcings_;
+  std::vector<std::int8_t> ctrl_forced_;  // per CtrlRef, -1 = free
+  bool enable_ = true;
+  std::vector<std::uint8_t> port_select_;
+};
+
+}  // namespace ftrsn

@@ -1,0 +1,344 @@
+#include "synth/synth.hpp"
+
+#include <algorithm>
+#include <array>
+#include <functional>
+#include <iterator>
+#include <map>
+
+namespace ftrsn {
+
+namespace {
+
+/// Creates the (optionally TMR-hardened) address expression for a 1-bit
+/// address register.  With TMR, the register drives three shadow latch
+/// replicas voted by a per-mux majority gate.
+CtrlRef make_address(Rsn& rsn, NodeId reg, bool tmr, std::uint16_t salt) {
+  CtrlPool& ctrl = rsn.ctrl();
+  if (!tmr) return ctrl.shadow_bit(reg, 0);
+  rsn.set_shadow_replicas(reg, 3);
+  return ctrl.mk_maj3(ctrl.shadow_bit(reg, 0, 0), ctrl.shadow_bit(reg, 0, 1),
+                      ctrl.shadow_bit(reg, 0, 2), salt);
+}
+
+}  // namespace
+
+SynthResult synthesize_fault_tolerant(const Rsn& original,
+                                      const SynthOptions& options) {
+  SynthResult out{original, {}, {}};
+  Rsn& ft = out.rsn;
+  const std::size_t n_orig = original.num_nodes();
+
+  // --- step 0: connectivity augmentation (paper §III-D) ---------------------
+  const DataflowGraph g = DataflowGraph::from_rsn(original);
+  AugmentOptions aopt = options.augment;
+  if (aopt.target_allowed.empty()) {
+    // New incoming edges (and the mux in front) only at scan segments and
+    // the primary scan-out; muxes already have two distinct predecessors.
+    aopt.target_allowed.assign(n_orig, false);
+    for (NodeId id = 0; id < n_orig; ++id) {
+      const NodeKind k = original.node(id).kind;
+      if (k == NodeKind::kSegment || k == NodeKind::kPrimaryOut)
+        aopt.target_allowed[id] = true;
+    }
+  }
+  if (aopt.vertex_guards.empty()) {
+    // Configuration guards, derived from the original select predicates:
+    // the shadow-register atoms of a segment's select are exactly the
+    // control registers that must be asserted for it to join an active
+    // path.  Muxes and ports inherit the intersection of their consumers'
+    // guards (their position is usable whenever any consumer's is).
+    aopt.vertex_guards.resize(n_orig);
+    const CtrlPool& pool = original.ctrl();
+    const std::function<void(CtrlRef, std::vector<NodeId>&)> collect =
+        [&](CtrlRef r, std::vector<NodeId>& guard) {
+          const CtrlNode& c = pool.node(r);
+          if (c.op == CtrlOp::kShadowBit) guard.push_back(c.seg);
+          for (int k = 0; k < c.arity(); ++k) collect(c.kid[k], guard);
+        };
+    const auto succ = original.successors();
+    const auto order = original.topo_order();
+    std::vector<bool> own(n_orig, false);
+    for (NodeId id = 0; id < n_orig; ++id) {
+      if (!original.node(id).is_segment()) continue;
+      collect(original.node(id).select, aopt.vertex_guards[id]);
+      std::sort(aopt.vertex_guards[id].begin(), aopt.vertex_guards[id].end());
+      aopt.vertex_guards[id].erase(std::unique(aopt.vertex_guards[id].begin(),
+                                               aopt.vertex_guards[id].end()),
+                                   aopt.vertex_guards[id].end());
+      own[id] = true;
+    }
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+      const NodeId v = *it;
+      if (own[v]) continue;
+      // Intersection over consumers with their own/propagated guards.
+      bool first = true;
+      std::vector<NodeId> acc;
+      for (NodeId c : succ[v]) {
+        if (first) {
+          acc = aopt.vertex_guards[c];
+          first = false;
+        } else {
+          std::vector<NodeId> merged;
+          std::set_intersection(acc.begin(), acc.end(),
+                                aopt.vertex_guards[c].begin(),
+                                aopt.vertex_guards[c].end(),
+                                std::back_inserter(merged));
+          acc = std::move(merged);
+        }
+      }
+      aopt.vertex_guards[v] = std::move(acc);
+    }
+  }
+  out.augment = augment_connectivity(g, aopt);
+
+  // --- step 1: integrate the augmenting edge set (§III-E-1) -----------------
+  //
+  // Each augmenting edge (i, j) is realized by a 2:1 mux in front of j.
+  // The mux's 1-bit address register is spliced in series after the edge's
+  // *bootstrap anchor* (see AugmentResult::edge_anchor): the last vertex
+  // towards the source whose configuration guards are a subset of the
+  // target's, so the register stays writable through a clean path prefix
+  // exactly in the fault scenarios where the detour is needed.  An address
+  // register parked behind its own mux, or inside a gated sub-network,
+  // could never be configured once the region it bypasses is broken (a
+  // bootstrap deadlock).  Edges whose anchor degenerates to a primary
+  // scan-in are steered by dedicated primary control pins instead: the
+  // root region cannot host fault-tolerant configuration state (the same
+  // external-control argument as the duplicated-port selection).
+  // Pin 0 is reserved for the scan-in port muxes.
+  int next_pin = 1;
+
+  const auto& added = out.augment.added_edges;
+  const auto& anchors = out.augment.edge_anchor;
+  FTRSN_CHECK(anchors.size() == added.size());
+  out.stats.added_edges = static_cast<int>(added.size());
+
+  // 1a. Splice one 1-bit address register per edge after the edge's
+  // bootstrap anchor (stacking when an anchor hosts several).
+  std::map<NodeId, std::vector<std::size_t>> by_anchor;
+  for (std::size_t i = 0; i < added.size(); ++i)
+    if (anchors[i] != kInvalidNode) by_anchor[anchors[i]].push_back(i);
+  std::vector<NodeId> edge_reg(added.size(), kInvalidNode);
+  std::uint16_t mux_salt = 0;
+  std::vector<std::pair<NodeId, NodeId>> reg_target;  // (addr reg, target)
+  for (auto& [anchor, edge_ids] : by_anchor) {
+    // Original consumers of the anchor, collected before splicing.
+    struct Consumer {
+      NodeId node;
+      int mux_input;  // -1: scan_in
+    };
+    std::vector<Consumer> consumers;
+    for (NodeId id = 0; id < ft.num_nodes(); ++id) {
+      const RsnNode& n = ft.node(id);
+      if ((n.kind == NodeKind::kSegment || n.kind == NodeKind::kPrimaryOut) &&
+          n.scan_in == anchor)
+        consumers.push_back({id, -1});
+      if (n.kind == NodeKind::kMux)
+        for (int k = 0; k < 2; ++k)
+          if (n.mux_in[static_cast<std::size_t>(k)] == anchor)
+            consumers.push_back({id, k});
+    }
+    const int module = ft.node(anchor).module;
+    const int level = ft.node(anchor).hier_level;
+    NodeId tail = anchor;
+    for (std::size_t ei : edge_ids) {
+      const NodeId reg = ft.add_segment(
+          strprintf("ftr_%u_%u", added[ei].from, added[ei].to), 1, tail,
+          /*has_shadow=*/true, SegRole::kAddressRegister);
+      ft.set_hier(reg, module, level);
+      edge_reg[ei] = reg;
+      reg_target.emplace_back(reg, added[ei].to);
+      tail = reg;
+      ++out.stats.added_registers;
+      ++out.stats.added_bits;
+    }
+    // Splice: everything that consumed the anchor now sees the stack tail.
+    for (const Consumer& c : consumers) {
+      if (c.mux_input < 0)
+        ft.set_scan_in(c.node, tail);
+      else
+        ft.set_mux_in(c.node, c.mux_input, tail);
+    }
+  }
+
+  // 1b. One 2:1 mux per edge in front of its target, cascading; the mux
+  // taps the edge source's output directly (the address register is pure
+  // control).  Root-anchored edges are steered by primary pins.
+  std::map<NodeId, std::vector<std::size_t>> by_target;
+  for (std::size_t i = 0; i < added.size(); ++i)
+    by_target[added[i].to].push_back(i);
+  // Alternate feeders of each primary scan-out (kept for the secondary
+  // scan-out mux tree of SIII-E-4).
+  std::map<NodeId, std::vector<NodeId>> sink_feeders;
+  std::map<NodeId, NodeId> sink_orig_pred;
+  for (auto& [target, edge_ids] : by_target) {
+    std::sort(edge_ids.begin(), edge_ids.end(),
+              [&](std::size_t a, std::size_t b) {
+                return added[a].from < added[b].from;
+              });
+    NodeId pred = ft.node(target).scan_in;
+    if (ft.node(target).kind == NodeKind::kPrimaryOut)
+      sink_orig_pred[target] = pred;
+    const int module = ft.node(target).module;
+    const int level = ft.node(target).hier_level;
+    for (std::size_t ei : edge_ids) {
+      CtrlRef addr;
+      if (edge_reg[ei] == kInvalidNode) {
+        addr = ft.ctrl().port_select_input(
+            static_cast<std::uint16_t>(next_pin++));
+      } else {
+        addr = make_address(ft, edge_reg[ei], options.tmr_addresses,
+                            ++mux_salt);
+      }
+      const NodeId feeder = added[ei].from;
+      const NodeId mux =
+          ft.add_mux(strprintf("ftm_%u_%u", added[ei].from, added[ei].to),
+                     pred, feeder, addr);
+      ft.set_hier(mux, module, level);
+      if (ft.node(target).kind == NodeKind::kPrimaryOut)
+        sink_feeders[target].push_back(feeder);
+      pred = mux;
+      ++out.stats.added_muxes;
+    }
+    ft.set_scan_in(target, pred);
+  }
+
+  // --- step 3 (part): TMR for the original mux addresses (§III-E-3) ---------
+  if (options.tmr_addresses) {
+    for (NodeId id = 0; id < n_orig; ++id) {
+      if (!ft.node(id).is_mux()) continue;
+      const CtrlRef addr = ft.node(id).addr;
+      const CtrlNode& a = ft.ctrl().node(addr);
+      if (a.op != CtrlOp::kShadowBit) continue;
+      ft.set_shadow_replicas(a.seg, 3);
+      CtrlPool& ctrl = ft.ctrl();
+      ft.node_mut(id).addr =
+          ctrl.mk_maj3(ctrl.shadow_bit(a.seg, a.bit, 0),
+                       ctrl.shadow_bit(a.seg, a.bit, 1),
+                       ctrl.shadow_bit(a.seg, a.bit, 2), ++mux_salt);
+    }
+  }
+
+  // --- step 4: duplicate primary scan ports (§III-E-4) ----------------------
+  if (options.duplicate_ports) {
+    const NodeId si = ft.primary_in();
+    const NodeId si2 = ft.add_primary_in("SI2");
+    const CtrlRef psel = ft.ctrl().port_select_input();
+    // Every consumer of the original scan-in gets a port mux SI/SI2.
+    // Collect consumers first: adding muxes reallocates the node table.
+    struct Consumer {
+      NodeId node;
+      int mux_input;  // -1 for scan_in consumers
+    };
+    std::vector<Consumer> consumers;
+    for (NodeId id = 0; id < ft.num_nodes(); ++id) {
+      if (id == si2) continue;
+      const RsnNode& n = ft.node(id);
+      if ((n.kind == NodeKind::kSegment || n.kind == NodeKind::kPrimaryOut) &&
+          n.scan_in == si) {
+        consumers.push_back({id, -1});
+      } else if (n.kind == NodeKind::kMux) {
+        for (int k = 0; k < 2; ++k)
+          if (n.mux_in[static_cast<std::size_t>(k)] == si)
+            consumers.push_back({id, k});
+      }
+    }
+    int port_muxes = 0;
+    for (const Consumer& c : consumers) {
+      const NodeId pm =
+          ft.add_mux(strprintf("ftport%d", port_muxes++), si, si2, psel);
+      if (c.mux_input < 0)
+        ft.set_scan_in(c.node, pm);
+      else
+        ft.set_mux_in(c.node, c.mux_input, pm);
+      ++out.stats.added_muxes;
+    }
+    // Secondary scan-out: every predecessor of the original scan-out is
+    // connected to the new port through a dedicated mux tree so that a
+    // fault in the original port's final mux cascade cannot blind both
+    // ports (paper §III-E-4).
+    const NodeId so = ft.primary_out();
+    NodeId pred2 = sink_orig_pred.count(so) ? sink_orig_pred.at(so)
+                                            : ft.node(so).scan_in;
+    if (sink_feeders.count(so)) {
+      int k = 0;
+      for (NodeId feeder : sink_feeders.at(so)) {
+        const NodeId m2 = ft.add_mux(
+            strprintf("ftso2_%d", k++), pred2, feeder,
+            ft.ctrl().port_select_input(static_cast<std::uint16_t>(next_pin++)));
+        pred2 = m2;
+        ++out.stats.added_muxes;
+      }
+    }
+    ft.add_primary_out("SO2", pred2);
+  }
+
+  // --- step 2: recursive select hardening (§III-E-2) ------------------------
+  if (options.harden_select) {
+    // The select network is synthesized as two physically independent gate
+    // trees (salted interning) whose outputs are OR-ed per segment:
+    // a single stuck-at in one copy can never deassert a select globally
+    // ("selective hardening of control logic").  Voters / mux address
+    // stems are deliberately shared with the muxes so that control faults
+    // affect routing and selection consistently.
+    CtrlPool& ctrl = ft.ctrl();
+    const CtrlRef en = ctrl.enable_input();
+    const auto succ = ft.successors();
+    const auto order = ft.topo_order();
+    std::array<std::vector<CtrlRef>, 2> sel_of;
+    std::array<std::vector<std::vector<std::pair<NodeId, CtrlRef>>>, 2>
+        terms_of;
+    for (int copy = 0; copy < 2; ++copy) {
+      const auto salt = static_cast<std::uint16_t>(copy + 1);
+      sel_of[copy].assign(ft.num_nodes(), kCtrlFalse);
+      terms_of[copy].resize(ft.num_nodes());
+      for (auto it = order.rbegin(); it != order.rend(); ++it) {
+        const NodeId v = *it;
+        const RsnNode& n = ft.node(v);
+        if (n.kind == NodeKind::kPrimaryOut) {
+          sel_of[copy][v] = en;
+          continue;
+        }
+        CtrlRef acc = kCtrlFalse;
+        for (NodeId c : succ[v]) {
+          const RsnNode& cn = ft.node(c);
+          CtrlRef term = sel_of[copy][c];
+          if (cn.is_mux()) {
+            // The consumer mux must forward v to its output.
+            const int side = cn.mux_in[1] == v ? 1 : 0;
+            term = ctrl.mk_and(
+                term, side == 1 ? cn.addr : ctrl.mk_not(cn.addr, salt), salt);
+          }
+          terms_of[copy][v].push_back({c, term});
+          acc = ctrl.mk_or(acc, term, salt);
+        }
+        sel_of[copy][v] = acc;
+      }
+    }
+    for (NodeId v = 0; v < ft.num_nodes(); ++v) {
+      if (!ft.node(v).is_segment()) continue;
+      ft.set_select(v, ctrl.mk_or(sel_of[0][v], sel_of[1][v]));
+      for (std::size_t t = 0; t < terms_of[0][v].size(); ++t) {
+        const auto& [c, term0] = terms_of[0][v][t];
+        const CtrlRef term1 = terms_of[1][v][t].second;
+        ft.add_select_term(v, c, ctrl.mk_or(term0, term1));
+      }
+    }
+  } else {
+    // Keep the original selects; a new address register participates
+    // exactly when its target does (it sits directly on the target's
+    // scan-in path).
+    for (const auto& [reg, target] : reg_target) {
+      const CtrlRef sel = ft.node(target).is_segment()
+                              ? ft.node(target).select
+                              : ft.ctrl().enable_input();
+      ft.set_select(reg, sel);
+    }
+  }
+
+  ft.validate();
+  return out;
+}
+
+}  // namespace ftrsn

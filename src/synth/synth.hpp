@@ -1,0 +1,53 @@
+// Final synthesis of the fault-tolerant RSN (paper §III-E).
+//
+// Starting from the original RSN and the augmenting edge set:
+//  1. every augmenting edge (i, j) is realized with a new 2:1 scan mux in
+//     front of j, cascading when j receives several new edges; each new mux
+//     is steered by a fresh 1-bit address register spliced into the scan
+//     path directly before j (writable from the reset configuration, local
+//     single point of failure for j only);
+//  2. select signals are re-derived recursively from the successors of each
+//     scan element so that every segment has at least two independent ways
+//     of asserting its select (Fig. 5); the original select logic is not
+//     used;
+//  3. multiplexer address signals are hardened with triple modular
+//     redundancy: triplicated shadow latches and one voter per driven mux;
+//  4. the primary scan-in and scan-out ports are duplicated; the scan-in
+//     choice is steered by a dedicated primary port-select input (a fault
+//     inside the network cannot lock out both ports).
+//
+// The reset configuration of the fault-tolerant RSN reproduces the original
+// scan topology, so every scan path configurable in the original RSN
+// remains configurable.
+#pragma once
+
+#include "augment/augment.hpp"
+#include "rsn/rsn.hpp"
+
+namespace ftrsn {
+
+struct SynthOptions {
+  AugmentOptions augment;
+  bool harden_select = true;    ///< §III-E-2
+  bool tmr_addresses = true;    ///< §III-E-3
+  bool duplicate_ports = true;  ///< §III-E-4
+};
+
+struct SynthStats {
+  int added_muxes = 0;
+  int added_registers = 0;     ///< new address registers
+  long long added_bits = 0;    ///< shift bits added
+  int added_edges = 0;         ///< augmenting edges realized
+};
+
+struct SynthResult {
+  Rsn rsn;  ///< the fault-tolerant RSN
+  AugmentResult augment;
+  SynthStats stats;
+};
+
+/// Synthesizes the fault-tolerant version of `original`.
+SynthResult synthesize_fault_tolerant(const Rsn& original,
+                                      const SynthOptions& options = {});
+
+}  // namespace ftrsn

@@ -1,0 +1,60 @@
+// Common small utilities used across all ftrsn modules: assertions,
+// formatting helpers, deterministic RNG, and index-typed vectors.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ftrsn {
+
+/// Library-level invariant check. Unlike assert(), stays active in release
+/// builds: a violated invariant in a synthesis tool must never silently
+/// produce a wrong netlist.
+[[noreturn]] void check_failed(const char* expr, const char* file, int line,
+                               const std::string& msg);
+
+#define FTRSN_CHECK(expr)                                                  \
+  do {                                                                     \
+    if (!(expr)) ::ftrsn::check_failed(#expr, __FILE__, __LINE__, {});     \
+  } while (0)
+
+#define FTRSN_CHECK_MSG(expr, msg)                                         \
+  do {                                                                     \
+    if (!(expr)) ::ftrsn::check_failed(#expr, __FILE__, __LINE__, (msg));  \
+  } while (0)
+
+/// printf-style formatting into std::string.
+std::string strprintf(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Deterministic 64-bit RNG (xoshiro256**). Used wherever pseudo-random
+/// data is needed (benchmark chain-length synthesis, fuzz tests) so that
+/// every run of the tool is reproducible.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  std::uint64_t next_u64();
+  /// Uniform in [0, bound), bound > 0.
+  std::uint64_t next_below(std::uint64_t bound);
+  /// Uniform in [lo, hi] inclusive.
+  std::int64_t next_range(std::int64_t lo, std::int64_t hi);
+  /// Uniform real in [0, 1).
+  double next_double();
+  bool next_bool() { return (next_u64() >> 63) != 0; }
+
+ private:
+  std::uint64_t s_[4];
+};
+
+/// Split a string by a delimiter, dropping empty pieces if requested.
+std::vector<std::string> split(std::string_view text, char delim,
+                               bool keep_empty = false);
+
+/// Trim ASCII whitespace from both ends.
+std::string_view trim(std::string_view text);
+
+}  // namespace ftrsn

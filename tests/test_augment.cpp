@@ -1,0 +1,201 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "augment/augment.hpp"
+#include "itc02/itc02.hpp"
+
+namespace ftrsn {
+namespace {
+
+DataflowGraph example_graph() {
+  return DataflowGraph::from_rsn(make_example_rsn());
+}
+
+/// The degree requirement holds on the augmented graph wherever it is
+/// satisfiable in principle (paper §III-D: a constraint is only enforced
+/// when the potential edge set can meet it — e.g. a unique first-level
+/// vertex can never receive two level-forward in-edges).
+void expect_degrees_met(const DataflowGraph& g,
+                        const std::vector<DfEdge>& added,
+                        const AugmentOptions& used_options) {
+  AugmentOptions full = used_options;
+  full.window = 0;
+  const auto potentials = potential_edges(g, full);
+  std::vector<int> possible_out(g.num_vertices(), 0),
+      possible_in(g.num_vertices(), 0);
+  for (const Candidate& c : potentials) {
+    ++possible_out[c.edge.from];
+    ++possible_in[c.edge.to];
+  }
+  std::vector<DfEdge> edges = g.edges();
+  edges.insert(edges.end(), added.begin(), added.end());
+  std::vector<std::set<NodeId>> preds(g.num_vertices()), succs(g.num_vertices());
+  for (const DfEdge& e : edges) {
+    preds[e.to].insert(e.from);
+    succs[e.from].insert(e.to);
+  }
+  std::set<NodeId> roots(g.roots().begin(), g.roots().end());
+  std::set<NodeId> sinks(g.sinks().begin(), g.sinks().end());
+  const auto& target_ok = used_options.target_allowed;
+  std::vector<std::set<NodeId>> orig_preds(g.num_vertices()),
+      orig_succs(g.num_vertices());
+  for (const DfEdge& e : g.edges()) {
+    orig_preds[e.to].insert(e.from);
+    orig_succs[e.from].insert(e.to);
+  }
+  for (NodeId v = 0; v < g.num_vertices(); ++v) {
+    if (!sinks.count(v)) {
+      const std::size_t want = std::min<std::size_t>(
+          2, orig_succs[v].size() + static_cast<std::size_t>(possible_out[v]));
+      EXPECT_GE(succs[v].size(), want) << "out of " << v;
+    }
+    if (!roots.count(v) && (target_ok.empty() || target_ok[v])) {
+      const std::size_t want = std::min<std::size_t>(
+          2, orig_preds[v].size() + static_cast<std::size_t>(possible_in[v]));
+      EXPECT_GE(preds[v].size(), want) << "in of " << v;
+    }
+  }
+}
+
+TEST(Augment, PotentialEdgesAreLevelForward) {
+  const DataflowGraph g = example_graph();
+  AugmentOptions opt;
+  opt.window = 0;  // full E_P
+  const auto lv = g.levels();
+  for (const Candidate& c : potential_edges(g, opt)) {
+    EXPECT_GE(lv[c.edge.to], lv[c.edge.from]);
+    EXPECT_EQ(c.cost, 1 + (lv[c.edge.to] - lv[c.edge.from]));
+  }
+}
+
+TEST(Augment, PotentialEdgesExcludeExisting) {
+  const DataflowGraph g = example_graph();
+  AugmentOptions opt;
+  opt.window = 0;
+  std::set<std::pair<NodeId, NodeId>> existing;
+  for (const DfEdge& e : g.edges()) existing.insert({e.from, e.to});
+  for (const Candidate& c : potential_edges(g, opt))
+    EXPECT_FALSE(existing.count({c.edge.from, c.edge.to}));
+}
+
+class AugmentEngines
+    : public ::testing::TestWithParam<AugmentOptions::Engine> {};
+
+TEST_P(AugmentEngines, ExampleGraphDegreesMet) {
+  const DataflowGraph g = example_graph();
+  AugmentOptions opt;
+  opt.engine = GetParam();
+  opt.window = 0;
+  const AugmentResult r = augment_connectivity(g, opt);
+  EXPECT_FALSE(r.added_edges.empty());
+  expect_degrees_met(g, r.added_edges, opt);
+  // Augmented graph stays acyclic.
+  std::vector<DfEdge> edges = g.edges();
+  edges.insert(edges.end(), r.added_edges.begin(), r.added_edges.end());
+  EXPECT_FALSE(DataflowGraph::from_edges(g.num_vertices(), edges, g.roots(),
+                                         g.sinks())
+                   .has_cycle());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllEngines, AugmentEngines,
+                         ::testing::Values(AugmentOptions::Engine::kFlow,
+                                           AugmentOptions::Engine::kIlp,
+                                           AugmentOptions::Engine::kGreedy),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case AugmentOptions::Engine::kFlow: return "flow";
+                             case AugmentOptions::Engine::kIlp: return "ilp";
+                             default: return "greedy";
+                           }
+                         });
+
+TEST(Augment, FlowMatchesIlpOnExample) {
+  const DataflowGraph g = example_graph();
+  AugmentOptions opt;
+  opt.window = 0;
+  opt.engine = AugmentOptions::Engine::kFlow;
+  const AugmentResult flow = augment_connectivity(g, opt);
+  opt.engine = AugmentOptions::Engine::kIlp;
+  const AugmentResult ilp = augment_connectivity(g, opt);
+  ASSERT_TRUE(flow.optimal);
+  ASSERT_TRUE(ilp.optimal);
+  EXPECT_EQ(flow.cost, ilp.cost);
+}
+
+TEST(Augment, GreedyNeverBeatsOptimal) {
+  const DataflowGraph g = example_graph();
+  AugmentOptions opt;
+  opt.window = 0;
+  opt.engine = AugmentOptions::Engine::kFlow;
+  const AugmentResult flow = augment_connectivity(g, opt);
+  opt.engine = AugmentOptions::Engine::kGreedy;
+  const AugmentResult greedy = augment_connectivity(g, opt);
+  EXPECT_GE(greedy.cost, flow.cost);
+}
+
+TEST(Augment, WindowedMatchesFullOnSmallGraphs) {
+  // The windowed candidate set must not change the optimum on small
+  // instances (cheap short edges dominate).
+  const DataflowGraph g = example_graph();
+  AugmentOptions full, windowed;
+  full.window = 0;
+  windowed.window = 4;
+  const AugmentResult a = augment_connectivity(g, full);
+  const AugmentResult b = augment_connectivity(g, windowed);
+  EXPECT_EQ(a.cost, b.cost);
+}
+
+TEST(Augment, U226FlowAugmentation) {
+  const Rsn rsn = itc02::generate_sib_rsn(*itc02::find_soc("u226"));
+  const DataflowGraph g = DataflowGraph::from_rsn(rsn);
+  AugmentOptions opt;
+  // Targets: segments and the primary out (as the synthesizer does).
+  opt.target_allowed.assign(g.num_vertices(), false);
+  for (NodeId id = 0; id < rsn.num_nodes(); ++id)
+    if (rsn.node(id).kind == NodeKind::kSegment ||
+        rsn.node(id).kind == NodeKind::kPrimaryOut)
+      opt.target_allowed[id] = true;
+  const AugmentResult r = augment_connectivity(g, opt);
+  EXPECT_FALSE(r.added_edges.empty());
+  expect_degrees_met(g, r.added_edges, opt);
+  std::vector<DfEdge> edges = g.edges();
+  edges.insert(edges.end(), r.added_edges.begin(), r.added_edges.end());
+  EXPECT_FALSE(DataflowGraph::from_edges(g.num_vertices(), edges, g.roots(),
+                                         g.sinks())
+                   .has_cycle());
+}
+
+TEST(Augment, StrictModeRemovesInteriorViolations) {
+  const Rsn rsn = make_example_rsn();
+  const DataflowGraph g = DataflowGraph::from_rsn(rsn);
+  AugmentOptions opt;
+  opt.window = 0;
+  opt.strict_two_connectivity = true;
+  const AugmentResult r = augment_connectivity(g, opt);
+  std::vector<DfEdge> edges = g.edges();
+  edges.insert(edges.end(), r.added_edges.begin(), r.added_edges.end());
+  const DataflowGraph ga = DataflowGraph::from_edges(
+      g.num_vertices(), edges, g.roots(), g.sinks());
+  // With a single scan-in/out port the port-adjacent vertices stay
+  // violated (impossible in principle); interior vertices must be fixed.
+  const auto bad = ga.connectivity_violations();
+  const auto lv = ga.levels();
+  const int max_level = *std::max_element(lv.begin(), lv.end());
+  for (NodeId v : bad)
+    EXPECT_TRUE(lv[v] <= 1 || lv[v] >= max_level - 1)
+        << "interior vertex " << v << " still violated";
+}
+
+TEST(Augment, CustomCostFunction) {
+  const DataflowGraph g = example_graph();
+  AugmentOptions opt;
+  opt.window = 0;
+  opt.edge_cost = [](int delta) { return 10 + 100 * delta; };
+  const AugmentResult r = augment_connectivity(g, opt);
+  EXPECT_FALSE(r.added_edges.empty());
+  EXPECT_GE(r.cost, 10 * static_cast<long long>(r.added_edges.size()));
+}
+
+}  // namespace
+}  // namespace ftrsn

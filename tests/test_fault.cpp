@@ -1,0 +1,272 @@
+#include <gtest/gtest.h>
+
+#include "fault/accessibility.hpp"
+#include "fault/metric.hpp"
+#include "itc02/itc02.hpp"
+#include "sim/csu_sim.hpp"
+
+namespace ftrsn {
+namespace {
+
+Fault fault_at(Forcing::Point p, NodeId node, bool value, int index = 0,
+               CtrlRef ctrl = kCtrlInvalid) {
+  Fault f;
+  f.forcing.point = p;
+  f.forcing.node = node;
+  f.forcing.value = value;
+  f.forcing.index = index;
+  f.forcing.ctrl = ctrl;
+  return f;
+}
+
+// Node ids in make_example_rsn(): 0=SI 1=A 2=B 3=mux1 4=C 5=mux2 6=D 7=SO.
+constexpr NodeId kSI = 0, kA = 1, kB = 2, kMux1 = 3, kC = 4, kMux2 = 5,
+                 kD = 6;
+
+TEST(Faults, EnumerationCoversExample) {
+  const Rsn rsn = make_example_rsn();
+  const auto faults = enumerate_faults(rsn);
+  // 2 ports (2 sites) + 4 segments (8 sites) + 2 muxes (8 sites) + ctrl
+  // nodes (A[0], B[0] atoms, EN&A[0], EN&B[0] gates = 4 sites; EN excluded).
+  EXPECT_EQ(faults.size(), 2u * (2 + 8 + 8 + 4));
+  for (const Fault& f : faults)
+    EXPECT_FALSE(f.describe(rsn).empty());
+}
+
+TEST(Faults, EnumerationExcludesEnableAndConstants) {
+  const Rsn rsn = make_example_rsn();
+  for (const Fault& f : enumerate_faults(rsn)) {
+    if (f.forcing.point != Forcing::Point::kCtrlNet) continue;
+    const CtrlNode& n = rsn.ctrl().node(f.forcing.ctrl);
+    EXPECT_NE(n.op, CtrlOp::kEnable);
+    EXPECT_NE(n.op, CtrlOp::kConst);
+  }
+}
+
+TEST(Access, FaultFreeEverythingAccessible) {
+  for (const Rsn& rsn :
+       {make_example_rsn(), make_chain_rsn(5, 3),
+        itc02::generate_sib_rsn(*itc02::find_soc("u226"))}) {
+    const AccessAnalyzer analyzer(rsn);
+    const auto acc = analyzer.accessible_fault_free();
+    for (NodeId id = 0; id < rsn.num_nodes(); ++id)
+      if (rsn.node(id).is_segment())
+        EXPECT_TRUE(acc[id]) << rsn.node(id).name;
+  }
+}
+
+TEST(Access, ChainFaultKillsEverything) {
+  const Rsn rsn = make_chain_rsn(4, 2);
+  const AccessAnalyzer analyzer(rsn);
+  // Any segment-out fault in a pure chain makes every segment inaccessible.
+  const Fault f = fault_at(Forcing::Point::kSegmentOut, 2, false);
+  const auto acc = analyzer.accessible_under(&f);
+  for (NodeId id = 0; id < rsn.num_nodes(); ++id)
+    if (rsn.node(id).is_segment()) EXPECT_FALSE(acc[id]);
+}
+
+TEST(Access, ExampleStuckCIsBypassable) {
+  const Rsn rsn = make_example_rsn();
+  const AccessAnalyzer analyzer(rsn);
+  const Fault f = fault_at(Forcing::Point::kSegmentOut, kC, true);
+  const auto acc = analyzer.accessible_under(&f);
+  EXPECT_TRUE(acc[kA]);
+  EXPECT_TRUE(acc[kB]);
+  EXPECT_FALSE(acc[kC]);  // the faulty segment itself is lost
+  EXPECT_TRUE(acc[kD]);
+}
+
+TEST(Access, ExampleStuckBIsBypassableViaMux1) {
+  const Rsn rsn = make_example_rsn();
+  const AccessAnalyzer analyzer(rsn);
+  const Fault f = fault_at(Forcing::Point::kSegmentOut, kB, false);
+  const auto acc = analyzer.accessible_under(&f);
+  EXPECT_TRUE(acc[kA]);
+  EXPECT_FALSE(acc[kB]);
+  EXPECT_TRUE(acc[kD]);
+  // C is reachable through mux1 input 0 (A directly) once A[0] is writable.
+  EXPECT_TRUE(acc[kC]);
+}
+
+TEST(Access, ExampleStuckAKillsAll) {
+  // A is on every path (its output feeds both mux1 inputs' cones).
+  const Rsn rsn = make_example_rsn();
+  const AccessAnalyzer analyzer(rsn);
+  const Fault f = fault_at(Forcing::Point::kSegmentOut, kA, false);
+  const auto acc = analyzer.accessible_under(&f);
+  EXPECT_FALSE(acc[kA]);
+  EXPECT_FALSE(acc[kB]);
+  EXPECT_FALSE(acc[kC]);
+  EXPECT_FALSE(acc[kD]);
+}
+
+TEST(Access, PrimaryPortFaultKillsAll) {
+  const Rsn rsn = make_example_rsn();
+  const AccessAnalyzer analyzer(rsn);
+  const Fault f = fault_at(Forcing::Point::kPrimaryIn, kSI, true);
+  const auto acc = analyzer.accessible_under(&f);
+  for (NodeId id = 0; id < rsn.num_nodes(); ++id)
+    if (rsn.node(id).is_segment()) EXPECT_FALSE(acc[id]);
+}
+
+TEST(Access, MuxAddrStuckLocksDirection) {
+  const Rsn rsn = make_example_rsn();
+  const AccessAnalyzer analyzer(rsn);
+  // mux2 address stuck-at-0: C can never be put on the path.
+  const Fault f0 = fault_at(Forcing::Point::kMuxAddr, kMux2, false);
+  const auto acc0 = analyzer.accessible_under(&f0);
+  EXPECT_FALSE(acc0[kC]);
+  EXPECT_TRUE(acc0[kA] && acc0[kB] && acc0[kD]);
+  // mux2 address stuck-at-1: C is always on the path; everything accessible.
+  const Fault f1 = fault_at(Forcing::Point::kMuxAddr, kMux2, true);
+  const auto acc1 = analyzer.accessible_under(&f1);
+  EXPECT_TRUE(acc1[kA] && acc1[kB] && acc1[kC] && acc1[kD]);
+}
+
+TEST(Access, MuxInputFaultKillsOnlyThatDirection) {
+  const Rsn rsn = make_example_rsn();
+  const AccessAnalyzer analyzer(rsn);
+  // mux1 input 1 (the B side) faulty: B lost, rest accessible via input 0.
+  const Fault f = fault_at(Forcing::Point::kMuxIn, kMux1, false, 1);
+  const auto acc = analyzer.accessible_under(&f);
+  EXPECT_TRUE(acc[kA]);
+  EXPECT_FALSE(acc[kB]);
+  EXPECT_TRUE(acc[kC]);
+  EXPECT_TRUE(acc[kD]);
+}
+
+TEST(Access, SelectStemStuck0KillsSegment) {
+  const Rsn rsn = make_example_rsn();
+  const AccessAnalyzer analyzer(rsn);
+  const Fault f = fault_at(Forcing::Point::kCtrlNet, kInvalidNode, false, 0,
+                           rsn.node(kB).select);
+  const auto acc = analyzer.accessible_under(&f);
+  EXPECT_FALSE(acc[kB]);
+  EXPECT_TRUE(acc[kA]);
+  EXPECT_TRUE(acc[kD]);
+}
+
+TEST(Access, ShadowAtomStuckLocksMux) {
+  Rsn rsn = make_example_rsn();
+  const CtrlRef a0 = rsn.ctrl().shadow_bit(kA, 0);
+  const AccessAnalyzer analyzer(rsn);
+  // A[0] stem stuck-at-0: mux1 permanently bypasses B and B's select (which
+  // also depends on A[0]) can never assert, so B is frozen.  C is collateral
+  // damage: mux2's address is B's shadow bit, which can no longer be written.
+  const Fault f = fault_at(Forcing::Point::kCtrlNet, kInvalidNode, false, 0, a0);
+  const auto acc = analyzer.accessible_under(&f);
+  EXPECT_TRUE(acc[kA]);
+  EXPECT_FALSE(acc[kB]);
+  EXPECT_FALSE(acc[kC]);
+  EXPECT_TRUE(acc[kD]);
+}
+
+TEST(Access, SibRsnTopLevelFaultKillsEverything) {
+  const Rsn rsn = itc02::generate_sib_rsn(*itc02::find_soc("u226"));
+  const AccessAnalyzer analyzer(rsn);
+  // Find a top-level module SIB register; its scan-out fault must
+  // disconnect the whole network (series top-level chain).
+  for (NodeId id = 0; id < rsn.num_nodes(); ++id) {
+    const RsnNode& n = rsn.node(id);
+    if (n.is_segment() && n.role == SegRole::kSibRegister && n.hier_level == 1) {
+      const Fault f = fault_at(Forcing::Point::kSegmentOut, id, false);
+      const auto acc = analyzer.accessible_under(&f);
+      for (NodeId s = 0; s < rsn.num_nodes(); ++s)
+        if (rsn.node(s).is_segment()) EXPECT_FALSE(acc[s]);
+      break;
+    }
+  }
+}
+
+TEST(Access, SibRsnChainFaultKillsOnlyChain) {
+  const Rsn rsn = itc02::generate_sib_rsn(*itc02::find_soc("u226"));
+  const AccessAnalyzer analyzer(rsn);
+  // Find an instrument chain wrapped by its own SIB (hier level 2).
+  for (NodeId id = 0; id < rsn.num_nodes(); ++id) {
+    const RsnNode& n = rsn.node(id);
+    if (n.is_segment() && n.role == SegRole::kInstrument && n.hier_level == 2) {
+      const Fault f = fault_at(Forcing::Point::kSegmentOut, id, false);
+      const auto acc = analyzer.accessible_under(&f);
+      int lost = 0;
+      for (NodeId s = 0; s < rsn.num_nodes(); ++s)
+        if (rsn.node(s).is_segment() && !acc[s]) ++lost;
+      EXPECT_EQ(lost, 1);  // only the faulty chain itself
+      EXPECT_FALSE(acc[id]);
+      break;
+    }
+  }
+}
+
+TEST(Metric, ChainRsnTotallyFragile) {
+  const Rsn rsn = make_chain_rsn(6, 4);
+  const auto report = compute_fault_tolerance(rsn);
+  EXPECT_EQ(report.seg_worst, 0.0);
+  EXPECT_EQ(report.bit_worst, 0.0);
+  EXPECT_LT(report.seg_avg, 0.35);  // select-stem faults kill one segment
+}
+
+TEST(Metric, ExampleRsnWorstIsZero) {
+  const Rsn rsn = make_example_rsn();
+  const auto report = compute_fault_tolerance(rsn);
+  EXPECT_EQ(report.seg_worst, 0.0);  // A / SI / SO / mux2-out are SPOFs
+  EXPECT_GT(report.seg_avg, 0.3);
+  EXPECT_LT(report.seg_avg, 1.0);
+}
+
+TEST(Metric, SibRsnWorstIsZeroPaperClaim) {
+  // Table I: worst-case accessibility of every original SIB-based RSN is
+  // 0.00 for both bits and segments.
+  const Rsn rsn = itc02::generate_sib_rsn(*itc02::find_soc("u226"));
+  const auto report = compute_fault_tolerance(rsn);
+  EXPECT_EQ(report.seg_worst, 0.0);
+  EXPECT_EQ(report.bit_worst, 0.0);
+  EXPECT_GT(report.seg_avg, 0.5);
+  EXPECT_LT(report.seg_avg, 1.0);
+}
+
+TEST(Metric, DistributionKeptWhenRequested) {
+  MetricOptions opt;
+  opt.keep_distribution = true;
+  const auto report = compute_fault_tolerance(make_example_rsn(), opt);
+  EXPECT_EQ(report.seg_fraction.size(), report.num_faults);
+  EXPECT_EQ(report.bit_fraction.size(), report.num_faults);
+  // worst must equal the minimum of the distribution.
+  double mn = 1.0;
+  for (double v : report.seg_fraction) mn = std::min(mn, v);
+  EXPECT_DOUBLE_EQ(mn, report.seg_worst);
+}
+
+TEST(Metric, PolarityPairingConsistent) {
+  // With distribution kept, sa0/sa1 of data-net faults must be identical.
+  MetricOptions opt;
+  opt.keep_distribution = true;
+  const Rsn rsn = make_example_rsn();
+  const auto report = compute_fault_tolerance(rsn, opt);
+  const auto faults = enumerate_faults(rsn);
+  for (std::size_t i = 1; i < faults.size(); ++i) {
+    if (faults[i].forcing.point == Forcing::Point::kSegmentOut &&
+        faults[i].forcing.value) {
+      EXPECT_DOUBLE_EQ(report.seg_fraction[i], report.seg_fraction[i - 1]);
+    }
+  }
+}
+
+/// Cross-validation: every segment the analyzer reports accessible in the
+/// fault-free RSN must be reachable by an actual simulated configuration
+/// sequence (spot check on the example network).
+TEST(Access, AnalyzerAgreesWithSimulatorOnExample) {
+  const Rsn rsn = make_example_rsn();
+  CsuSimulator sim(rsn);
+  // Reset path contains A, B, D; configuring B[0]=1 adds C.
+  auto path = sim.active_path();
+  EXPECT_EQ(path.size(), 3u);
+  sim.poke_shadow(kB, 0, true);
+  path = sim.active_path();
+  EXPECT_EQ(path.size(), 4u);
+  const AccessAnalyzer analyzer(rsn);
+  const auto acc = analyzer.accessible_fault_free();
+  for (NodeId seg : path) EXPECT_TRUE(acc[seg]);
+}
+
+}  // namespace
+}  // namespace ftrsn

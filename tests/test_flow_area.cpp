@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include "area/area.hpp"
+#include "core/flow.hpp"
+#include "itc02/itc02.hpp"
+
+namespace ftrsn {
+namespace {
+
+TEST(Area, ExampleCounts) {
+  const Rsn rsn = make_example_rsn();
+  const AreaReport rep = estimate_area(rsn);
+  EXPECT_EQ(rep.shift_ffs, 11);
+  EXPECT_EQ(rep.scan_muxes, 2);
+  EXPECT_EQ(rep.shadow_latches, 5);  // A (2 bits) + B (3 bits)
+  EXPECT_GT(rep.nets, 0);
+  EXPECT_GT(rep.area, 0.0);
+}
+
+TEST(Area, ChainAreaDominatedByFlipFlops) {
+  const TechLibrary lib;
+  const Rsn rsn = make_chain_rsn(4, 100);
+  const AreaReport rep = estimate_area(rsn, lib);
+  EXPECT_EQ(rep.shift_ffs, 400);
+  EXPECT_NEAR(rep.area, 400 * lib.dff, 1.0);
+}
+
+TEST(Area, OverheadRatiosAboveOne) {
+  const Rsn original = itc02::generate_sib_rsn(*itc02::find_soc("u226"));
+  const Rsn ft = synthesize_fault_tolerant(original).rsn;
+  const OverheadRatios r = compute_overhead(original, ft);
+  EXPECT_GT(r.mux, 1.0);
+  EXPECT_GT(r.bits, 1.0);
+  EXPECT_GT(r.nets, 1.0);
+  EXPECT_GT(r.area, 1.0);
+  // Paper shape: area overhead stays moderate even though muxes triple.
+  EXPECT_LT(r.area, 2.0);
+  EXPECT_GT(r.mux, 2.0);
+}
+
+TEST(Area, AreaRatioShrinksWithBits) {
+  // The area ratio must approach 1.0 as scan bits dominate (paper: q12710
+  // with 26k bits has ratio 1.02, u226 with 1.5k bits has 1.56).
+  const Rsn small = itc02::generate_sib_rsn(*itc02::find_soc("u226"));
+  const Rsn big = itc02::generate_sib_rsn(*itc02::find_soc("q12710"));
+  const double small_ratio =
+      compute_overhead(small, synthesize_fault_tolerant(small).rsn).area;
+  const double big_ratio =
+      compute_overhead(big, synthesize_fault_tolerant(big).rsn).area;
+  EXPECT_LT(big_ratio, small_ratio);
+  EXPECT_LT(big_ratio, 1.1);
+}
+
+TEST(Flow, ExampleEndToEnd) {
+  const FlowResult r = run_flow(make_example_rsn());
+  ASSERT_TRUE(r.original_metric.has_value());
+  ASSERT_TRUE(r.hardened_metric.has_value());
+  EXPECT_EQ(r.original_metric->seg_worst, 0.0);
+  EXPECT_GT(r.hardened_metric->seg_worst, r.original_metric->seg_worst);
+  EXPECT_GT(r.hardened_metric->seg_avg, r.original_metric->seg_avg);
+  EXPECT_NO_THROW(r.hardened.validate());
+}
+
+TEST(Flow, SkipsMetricsWhenDisabled) {
+  FlowOptions opt;
+  opt.evaluate_original = false;
+  opt.evaluate_hardened = false;
+  const FlowResult r = run_flow(make_example_rsn(), opt);
+  EXPECT_FALSE(r.original_metric.has_value());
+  EXPECT_FALSE(r.hardened_metric.has_value());
+  EXPECT_GT(r.overhead.mux, 1.0);
+}
+
+TEST(Flow, SocFlowByName) {
+  FlowOptions opt;
+  opt.evaluate_original = false;
+  opt.evaluate_hardened = false;
+  const FlowResult r = run_soc_flow("x1331", opt);
+  EXPECT_EQ(r.original_stats.segments, 56);
+  EXPECT_THROW(run_soc_flow("nope", opt), std::logic_error);
+}
+
+/// Paper Table I headline reproduction on the two fastest SoCs: worst-case
+/// of the original is 0.00; the fault-tolerant RSN keeps nearly all
+/// segments accessible, with the worst-case bit loss set by the dominant
+/// chain.
+class FlowPaperParam : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(FlowPaperParam, HeadlineClaims) {
+  const std::string soc = GetParam();
+  const FlowResult r = run_soc_flow(soc);
+  const auto& row = [&]() -> const itc02::TableRow& {
+    for (const auto& t : itc02::table1())
+      if (t.soc == soc) return t;
+    throw std::logic_error("row");
+  }();
+  EXPECT_EQ(r.original_metric->seg_worst, 0.0);
+  EXPECT_EQ(r.original_metric->bit_worst, 0.0);
+  EXPECT_GT(r.original_metric->seg_avg, 0.5);
+  EXPECT_LT(r.original_metric->seg_avg, 1.0);
+  EXPECT_GT(r.hardened_metric->seg_worst, 0.9);
+  EXPECT_GT(r.hardened_metric->seg_avg, 0.99);
+  EXPECT_NEAR(r.hardened_metric->bit_worst, row.ft_bits_worst, 0.05);
+  EXPECT_GT(r.overhead.mux, 2.0);
+  EXPECT_LT(r.overhead.area, row.r_area + 0.25);
+}
+
+INSTANTIATE_TEST_SUITE_P(Socs, FlowPaperParam,
+                         ::testing::Values("u226", "x1331"),
+                         [](const auto& info) { return std::string(info.param); });
+
+}  // namespace
+}  // namespace ftrsn

@@ -1,0 +1,113 @@
+// Randomized end-to-end fuzzing: random hierarchical SoCs are pushed
+// through every stage of the library, checking stage invariants rather
+// than concrete numbers.
+#include <gtest/gtest.h>
+
+#include "core/flow.hpp"
+#include "fault/accessibility.hpp"
+#include "io/rsn_text.hpp"
+#include "itc02/itc02.hpp"
+#include "util/common.hpp"
+
+namespace ftrsn {
+namespace {
+
+itc02::Soc random_soc(Rng& rng, int max_modules) {
+  itc02::Soc soc;
+  soc.name = strprintf("fuzz%llu",
+                       static_cast<unsigned long long>(rng.next_u64() % 1000));
+  const int modules = 1 + static_cast<int>(rng.next_below(
+                              static_cast<std::uint64_t>(max_modules)));
+  for (int i = 0; i < modules; ++i) {
+    itc02::Module m;
+    m.name = strprintf("m%d", i);
+    // Nest a third of the modules under an earlier one.
+    m.parent = (i > 0 && rng.next_below(3) == 0)
+                   ? static_cast<int>(rng.next_below(
+                         static_cast<std::uint64_t>(i)))
+                   : -1;
+    const int chains = 1 + static_cast<int>(rng.next_below(4));
+    for (int c = 0; c < chains; ++c)
+      m.chain_bits.push_back(1 + static_cast<int>(rng.next_below(20)));
+    soc.modules.push_back(std::move(m));
+  }
+  return soc;
+}
+
+TEST(FuzzPipeline, RandomSocsSurviveEveryStage) {
+  Rng rng(20260706);
+  for (int trial = 0; trial < 12; ++trial) {
+    const itc02::Soc soc = random_soc(rng, 6);
+    const Rsn rsn = itc02::generate_sib_rsn(soc);
+    ASSERT_NO_THROW(rsn.validate()) << "trial " << trial;
+
+    // Fault-free accessibility must be total.
+    const AccessAnalyzer analyzer(rsn);
+    const auto acc = analyzer.accessible_fault_free();
+    for (NodeId id = 0; id < rsn.num_nodes(); ++id)
+      if (rsn.node(id).is_segment())
+        ASSERT_TRUE(acc[id]) << "trial " << trial << " " << rsn.node(id).name;
+
+    // Text round trip preserves structure.
+    ASSERT_TRUE(rsn.structurally_equal(parse_rsn_text(write_rsn_text(rsn))))
+        << "trial " << trial;
+
+    // Full flow: the hardened network is valid, fault-free-complete and
+    // strictly more tolerant on both aggregates.
+    const FlowResult flow = run_flow(rsn);
+    ASSERT_NO_THROW(flow.hardened.validate()) << "trial " << trial;
+    const AccessAnalyzer hardened_analyzer(flow.hardened);
+    const auto hacc = hardened_analyzer.accessible_fault_free();
+    for (NodeId id = 0; id < flow.hardened.num_nodes(); ++id)
+      if (flow.hardened.node(id).is_segment())
+        ASSERT_TRUE(hacc[id])
+            << "trial " << trial << " " << flow.hardened.node(id).name;
+    EXPECT_GE(flow.hardened_metric->seg_avg, flow.original_metric->seg_avg)
+        << "trial " << trial;
+    EXPECT_GE(flow.hardened_metric->seg_worst, flow.original_metric->seg_worst)
+        << "trial " << trial;
+    EXPECT_EQ(flow.original_metric->seg_worst, 0.0) << "trial " << trial;
+    EXPECT_GT(flow.hardened_metric->seg_worst, 0.5) << "trial " << trial;
+
+    // Overheads are sane ratios.
+    EXPECT_GE(flow.overhead.mux, 1.0);
+    EXPECT_GE(flow.overhead.bits, 1.0);
+    EXPECT_LT(flow.overhead.bits, 3.0);
+  }
+}
+
+TEST(FuzzPipeline, DeepHierarchies) {
+  // Linear nesting up to depth 5: levels and accessibility still hold.
+  Rng rng(7);
+  itc02::Soc soc;
+  soc.name = "deep";
+  for (int i = 0; i < 5; ++i) {
+    itc02::Module m;
+    m.name = strprintf("m%d", i);
+    m.parent = i - 1;  // chain nesting
+    m.chain_bits = {static_cast<int>(1 + rng.next_below(8)),
+                    static_cast<int>(1 + rng.next_below(8))};
+    soc.modules.push_back(std::move(m));
+  }
+  const Rsn rsn = itc02::generate_sib_rsn(soc);
+  EXPECT_EQ(rsn.stats().levels, 6);  // depth-5 module, chain SIBs one deeper
+  const FlowResult flow = run_flow(rsn);
+  EXPECT_EQ(flow.original_metric->seg_worst, 0.0);
+  EXPECT_GT(flow.hardened_metric->seg_worst, 0.5);
+  EXPECT_GT(flow.hardened_metric->seg_avg, 0.95);
+}
+
+TEST(FuzzPipeline, SingleModuleSingleChain) {
+  // Degenerate smallest SoC: one module, one chain.
+  itc02::Soc soc;
+  soc.name = "tiny";
+  soc.modules.push_back({"m0", -1, {5}});
+  const Rsn rsn = itc02::generate_sib_rsn(soc);
+  EXPECT_EQ(rsn.stats().segments, 2);  // SIB register + chain
+  const FlowResult flow = run_flow(rsn);
+  EXPECT_NO_THROW(flow.hardened.validate());
+  EXPECT_GE(flow.hardened_metric->seg_avg, flow.original_metric->seg_avg);
+}
+
+}  // namespace
+}  // namespace ftrsn

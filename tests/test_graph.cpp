@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/dataflow.hpp"
+#include "itc02/itc02.hpp"
+
+namespace ftrsn {
+namespace {
+
+DataflowGraph diamond() {
+  // 0 -> {1, 2} -> 3 (two vertex-independent paths)
+  return DataflowGraph::from_edges(
+      4, {{0, 1}, {0, 2}, {1, 3}, {2, 3}}, {0}, {3});
+}
+
+TEST(Dataflow, FromRsnExample) {
+  const Rsn rsn = make_example_rsn();
+  const DataflowGraph g = DataflowGraph::from_rsn(rsn);
+  EXPECT_EQ(g.num_vertices(), rsn.num_nodes());
+  // SI, A, B, C, D, mux1, mux2, SO: edges SI->A, A->B, A->mux1, B->mux1,
+  // mux1->C, mux1->mux2, C->mux2, mux2->D, D->SO.
+  EXPECT_EQ(g.num_edges(), 9u);
+  EXPECT_FALSE(g.has_cycle());
+}
+
+TEST(Dataflow, TopoAndLevels) {
+  const DataflowGraph g = diamond();
+  const auto order = g.topo_order();
+  EXPECT_EQ(order.size(), 4u);
+  EXPECT_EQ(order.front(), 0u);
+  EXPECT_EQ(order.back(), 3u);
+  const auto lv = g.levels();
+  EXPECT_EQ(lv[0], 0);
+  EXPECT_EQ(lv[1], 1);
+  EXPECT_EQ(lv[2], 1);
+  EXPECT_EQ(lv[3], 2);
+}
+
+TEST(Dataflow, LevelsAreLongestPath) {
+  const auto g = DataflowGraph::from_edges(
+      4, {{0, 1}, {1, 2}, {0, 2}, {2, 3}}, {0}, {3});
+  const auto lv = g.levels();
+  EXPECT_EQ(lv[2], 2);  // via 0->1->2
+  EXPECT_EQ(lv[3], 3);
+}
+
+TEST(Dataflow, CycleDetection) {
+  auto g = DataflowGraph::from_edges(3, {{0, 1}, {1, 2}, {2, 0}}, {0}, {2});
+  EXPECT_TRUE(g.has_cycle());
+  const auto cycle = g.find_cycle();
+  EXPECT_EQ(cycle.size(), 3u);
+  EXPECT_THROW(g.topo_order(), std::logic_error);
+  EXPECT_FALSE(diamond().has_cycle());
+}
+
+TEST(Dataflow, FindCycleReturnsRealCycle) {
+  const auto g = DataflowGraph::from_edges(
+      6, {{0, 1}, {1, 2}, {2, 3}, {3, 1}, {3, 4}, {4, 5}}, {0}, {5});
+  const auto cycle = g.find_cycle();
+  ASSERT_FALSE(cycle.empty());
+  // Every consecutive pair (and the wrap-around) must be an edge.
+  for (std::size_t i = 0; i < cycle.size(); ++i) {
+    const NodeId from = cycle[i];
+    const NodeId to = cycle[(i + 1) % cycle.size()];
+    const auto& succ = g.successors(from);
+    EXPECT_NE(std::find(succ.begin(), succ.end(), to), succ.end());
+  }
+}
+
+TEST(Dataflow, VertexDisjointPathsDiamond) {
+  const DataflowGraph g = diamond();
+  EXPECT_EQ(g.vertex_disjoint_paths(0, 3), 2);
+  EXPECT_EQ(g.vertex_disjoint_paths(0, 1), 1);
+}
+
+TEST(Dataflow, VertexDisjointPathsSharedVertex) {
+  // Two edge-disjoint but NOT vertex-disjoint paths through vertex 2.
+  const auto g = DataflowGraph::from_edges(
+      6, {{0, 1}, {0, 2}, {1, 2}, {2, 3}, {2, 4}, {3, 5}, {4, 5}}, {0}, {5});
+  EXPECT_EQ(g.vertex_disjoint_paths(0, 5), 1);
+}
+
+TEST(Dataflow, ChainRsnViolatesEverywhere) {
+  const Rsn rsn = make_chain_rsn(4, 2);
+  const DataflowGraph g = DataflowGraph::from_rsn(rsn);
+  const auto bad = g.connectivity_violations();
+  EXPECT_EQ(bad.size(), 4u);  // every segment is a single point of failure
+}
+
+TEST(Dataflow, SibRsnViolatesEverywhere) {
+  // Even with the SIB bypass muxes, the top-level chain is a series path:
+  // every vertex fails the two-vertex-independent-paths requirement.
+  const Rsn rsn = itc02::generate_sib_rsn(*itc02::find_soc("u226"));
+  const DataflowGraph g = DataflowGraph::from_rsn(rsn);
+  const auto bad = g.connectivity_violations();
+  EXPECT_GT(bad.size(), 0u);
+}
+
+TEST(Dataflow, SingleRootBoundaryIsAlwaysViolated) {
+  // In a single-root DAG the topologically first non-root vertex can only
+  // be reached directly from the root, so it can never have two
+  // vertex-independent in-paths.  This is exactly why the paper's final
+  // synthesis (§III-E-4) duplicates the primary scan ports.
+  const auto g = DataflowGraph::from_edges(
+      6,
+      {{0, 1}, {0, 2}, {1, 3}, {1, 4}, {2, 3}, {2, 4}, {3, 5}, {4, 5}},
+      {0}, {5});
+  const auto bad = g.connectivity_violations();
+  // 1 and 2 fail on the in-side (only one first hop from the root each);
+  // 3 and 4 fail on the out-side (single sink).
+  EXPECT_EQ(bad.size(), 4u);
+}
+
+TEST(Dataflow, DualPortLadderPasses) {
+  // With duplicated scan-in and scan-out ports, a fully cross-connected
+  // middle layer satisfies the two-vertex-independent-paths requirement.
+  const auto g = DataflowGraph::from_edges(
+      8,
+      {{0, 2}, {1, 2}, {0, 3}, {1, 3}, {2, 4}, {3, 4}, {2, 5}, {3, 5},
+       {4, 6}, {5, 6}, {4, 7}, {5, 7}},
+      {0, 1}, {6, 7});
+  EXPECT_TRUE(g.connectivity_violations().empty());
+}
+
+TEST(Dataflow, MultiRootSuperSource) {
+  // Vertex 3 is reachable from two different roots via disjoint paths.
+  const auto g = DataflowGraph::from_edges(
+      6, {{0, 2}, {1, 2}, {0, 3}, {1, 3}, {2, 4}, {3, 4}, {3, 5}, {2, 5}},
+      {0, 1}, {4, 5});
+  EXPECT_TRUE(g.connectivity_violations().empty());
+}
+
+TEST(Dataflow, DotExport) {
+  const DataflowGraph g = diamond();
+  const std::string dot = g.to_dot({"r", "x", "y", "s"}, {{0, 3}});
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("n0 -> n3 [style=dashed"), std::string::npos);
+  EXPECT_NE(dot.find("label=\"x\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ftrsn

@@ -1,0 +1,115 @@
+// Focused tests of the individual hardening mechanisms on the synthesized
+// fault-tolerant example network: duplicated ports, TMR address replicas,
+// select-cone duplication and detour bootstrapping.
+#include <gtest/gtest.h>
+
+#include "fault/accessibility.hpp"
+#include "fault/metric.hpp"
+#include "synth/synth.hpp"
+
+namespace ftrsn {
+namespace {
+
+const Rsn& ft_example() {
+  static const Rsn rsn = synthesize_fault_tolerant(make_example_rsn()).rsn;
+  return rsn;
+}
+
+NodeId by_name(const Rsn& rsn, const std::string& name) {
+  for (NodeId id = 0; id < rsn.num_nodes(); ++id)
+    if (rsn.node(id).name == name) return id;
+  ADD_FAILURE() << "no node named " << name;
+  return kInvalidNode;
+}
+
+Fault fault_at(Forcing::Point p, NodeId node, bool value, int index = 0) {
+  Fault f;
+  f.forcing.point = p;
+  f.forcing.node = node;
+  f.forcing.value = value;
+  f.forcing.index = index;
+  return f;
+}
+
+TEST(Hardening, PrimaryInFaultSurvivedBySecondPort) {
+  const Rsn& ft = ft_example();
+  const AccessAnalyzer analyzer(ft);
+  const Fault f =
+      fault_at(Forcing::Point::kPrimaryIn, ft.primary_ins()[0], true);
+  const auto acc = analyzer.accessible_under(&f);
+  // Every original segment stays accessible through SI2.
+  for (const char* name : {"A", "B", "C", "D"})
+    EXPECT_TRUE(acc[by_name(ft, name)]) << name;
+}
+
+TEST(Hardening, PrimaryOutFaultSurvivedBySecondPort) {
+  const Rsn& ft = ft_example();
+  const AccessAnalyzer analyzer(ft);
+  const Fault f =
+      fault_at(Forcing::Point::kPrimaryOut, ft.primary_outs()[0], false);
+  const auto acc = analyzer.accessible_under(&f);
+  for (const char* name : {"A", "B", "C", "D"})
+    EXPECT_TRUE(acc[by_name(ft, name)]) << name;
+}
+
+TEST(Hardening, SingleShadowReplicaFaultIsOutvoted) {
+  const Rsn& ft = ft_example();
+  const AccessAnalyzer analyzer(ft);
+  // Every TMR'd register: a single stuck replica must cost nothing.
+  for (NodeId id = 0; id < ft.num_nodes(); ++id) {
+    const RsnNode& n = ft.node(id);
+    if (!n.is_segment() || n.shadow_replicas != 3) continue;
+    for (int rep = 0; rep < 3; ++rep) {
+      Fault f = fault_at(Forcing::Point::kShadowReplica, id, false, rep);
+      f.forcing.bit = 0;
+      const auto acc = analyzer.accessible_under(&f);
+      for (const char* name : {"A", "B", "C", "D"})
+        EXPECT_TRUE(acc[by_name(ft, name)])
+            << "replica " << rep << " of " << n.name << " kills " << name;
+    }
+  }
+}
+
+TEST(Hardening, OriginalSelectSingleCopyIsVulnerableWithoutDuplication) {
+  // Without select hardening (single shared cone from the original RSN),
+  // a select-stem fault disables the gated segment's accesses.
+  SynthOptions opt;
+  opt.harden_select = false;
+  const Rsn ft = synthesize_fault_tolerant(make_example_rsn(), opt).rsn;
+  const auto report = compute_fault_tolerance(ft);
+  SynthOptions hard;
+  const Rsn ft2 = synthesize_fault_tolerant(make_example_rsn(), hard).rsn;
+  const auto report2 = compute_fault_tolerance(ft2);
+  EXPECT_GE(report2.seg_worst, report.seg_worst);
+}
+
+TEST(Hardening, MetricExcludesAddressRegistersByDefault) {
+  const Rsn& ft = ft_example();
+  MetricOptions def;
+  const auto rep = compute_fault_tolerance(ft, def);
+  MetricOptions all;
+  all.count_address_registers = true;
+  const auto rep_all = compute_fault_tolerance(ft, all);
+  EXPECT_EQ(rep.counted_segments, 4);
+  EXPECT_GT(rep_all.counted_segments, rep.counted_segments);
+}
+
+TEST(Hardening, EveryOriginalSegmentFaultCostsAtMostTwo) {
+  // Data faults at original segments: the fault-tolerant example loses at
+  // most the segment itself plus one companion.
+  const Rsn& ft = ft_example();
+  const AccessAnalyzer analyzer(ft);
+  for (const char* name : {"B", "C", "D"}) {
+    const NodeId seg = by_name(ft, name);
+    const Fault f = fault_at(Forcing::Point::kSegmentOut, seg, false);
+    const auto acc = analyzer.accessible_under(&f);
+    int lost = 0;
+    for (const char* other : {"A", "B", "C", "D"})
+      lost += acc[by_name(ft, other)] ? 0 : 1;
+    EXPECT_LE(lost, 2) << name;
+    EXPECT_FALSE(acc[seg]) << name << " itself must be lost";
+  }
+}
+
+}  // namespace
+}  // namespace ftrsn

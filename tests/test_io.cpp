@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "io/rsn_text.hpp"
+#include "itc02/itc02.hpp"
+#include "synth/synth.hpp"
+
+namespace ftrsn {
+namespace {
+
+TEST(Io, RoundTripExample) {
+  const Rsn original = make_example_rsn();
+  const std::string text = write_rsn_text(original);
+  const Rsn parsed = parse_rsn_text(text);
+  EXPECT_TRUE(original.structurally_equal(parsed));
+}
+
+TEST(Io, RoundTripChain) {
+  const Rsn original = make_chain_rsn(7, 3);
+  const Rsn parsed = parse_rsn_text(write_rsn_text(original));
+  EXPECT_TRUE(original.structurally_equal(parsed));
+}
+
+TEST(Io, RoundTripGeneratedSoc) {
+  const Rsn original = itc02::generate_sib_rsn(*itc02::find_soc("u226"));
+  const Rsn parsed = parse_rsn_text(write_rsn_text(original));
+  EXPECT_TRUE(original.structurally_equal(parsed));
+  EXPECT_EQ(parsed.stats().bits, original.stats().bits);
+}
+
+TEST(Io, RoundTripFaultTolerantRsn) {
+  // The FT RSN exercises defs (shared select cones), TMR replicas, pins,
+  // select terms and dual ports.
+  const Rsn original = make_example_rsn();
+  const SynthResult synth = synthesize_fault_tolerant(original);
+  const std::string text = write_rsn_text(synth.rsn);
+  const Rsn parsed = parse_rsn_text(text);
+  EXPECT_TRUE(synth.rsn.structurally_equal(parsed));
+  EXPECT_EQ(parsed.select_terms().size(), synth.rsn.select_terms().size());
+  EXPECT_EQ(parsed.primary_ins().size(), 2u);
+  EXPECT_EQ(parsed.primary_outs().size(), 2u);
+}
+
+TEST(Io, TextSizeStaysLinear) {
+  // Shared select cones must serialize as definitions, not expanded trees.
+  const Rsn ft =
+      synthesize_fault_tolerant(itc02::generate_sib_rsn(*itc02::find_soc("u226")))
+          .rsn;
+  const std::string text = write_rsn_text(ft);
+  EXPECT_LT(text.size(), 3u * 1024 * 1024);
+}
+
+TEST(Io, RejectsMissingHeader) {
+  EXPECT_THROW(parse_rsn_text("seg A len=1"), std::logic_error);
+}
+
+TEST(Io, RejectsUnknownElement) {
+  EXPECT_THROW(parse_rsn_text("rsn\nfoo X\n"), std::logic_error);
+}
+
+TEST(Io, RejectsDanglingReference) {
+  const char* text =
+      "rsn\n"
+      "decl_in SI\n"
+      "decl_seg A len=1 shadow=0 role=instr\n"
+      "decl_out SO\n"
+      "in SI\n"
+      "seg A len=1 shadow=0 rep=1 reset=0 role=instr mod=0 lvl=1 in=NOPE "
+      "sel=1 cap=0 upd=0\n"
+      "out SO in=A\n";
+  EXPECT_THROW(parse_rsn_text(text), std::logic_error);
+}
+
+TEST(Io, RejectsBadExpression) {
+  const char* text =
+      "rsn\n"
+      "decl_in SI\n"
+      "decl_seg A len=1 shadow=0 role=instr\n"
+      "decl_out SO\n"
+      "in SI\n"
+      "seg A len=1 shadow=0 rep=1 reset=0 role=instr mod=0 lvl=1 in=SI "
+      "sel=(& 0 EN\n"
+      "out SO in=A\n";
+  EXPECT_THROW(parse_rsn_text(text), std::logic_error);
+}
+
+TEST(Io, SaveLoadFile) {
+  const Rsn original = make_example_rsn();
+  const std::string path = "/tmp/ftrsn_io_test.rsn";
+  save_rsn(original, path);
+  const Rsn loaded = load_rsn(path);
+  EXPECT_TRUE(original.structurally_equal(loaded));
+  std::remove(path.c_str());
+}
+
+TEST(Io, CommentsAndBlankLinesIgnored) {
+  const char* text =
+      "rsn\n"
+      "# a comment\n"
+      "\n"
+      "decl_in SI\n"
+      "decl_seg A len=2 shadow=0 role=instr\n"
+      "decl_out SO\n"
+      "in SI\n"
+      "seg A len=2 shadow=0 rep=1 reset=0 role=instr mod=0 lvl=1 in=SI "
+      "sel=EN cap=0 upd=0\n"
+      "out SO in=A\n";
+  const Rsn rsn = parse_rsn_text(text);
+  EXPECT_EQ(rsn.stats().segments, 1);
+  EXPECT_EQ(rsn.stats().bits, 2);
+}
+
+}  // namespace
+}  // namespace ftrsn

@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include "access/planner.hpp"
+#include "itc02/itc02.hpp"
+
+namespace ftrsn {
+namespace {
+
+// Node ids in make_example_rsn(): 0=SI 1=A 2=B 4=C 6=D.
+constexpr NodeId kA = 1, kB = 2, kC = 4, kD = 6;
+
+TEST(Planner, ResetPathSegmentsNeedNoCsu) {
+  const Rsn rsn = make_example_rsn();
+  for (NodeId seg : {kA, kB, kD}) {
+    const AccessPlan plan = plan_access(rsn, seg);
+    EXPECT_TRUE(plan.csu_streams.empty()) << rsn.node(seg).name;
+    EXPECT_TRUE(validate_plan(rsn, plan));
+  }
+}
+
+TEST(Planner, BypassedSegmentNeedsOneCsu) {
+  const Rsn rsn = make_example_rsn();
+  const AccessPlan plan = plan_access(rsn, kC);
+  EXPECT_EQ(plan.csu_streams.size(), 1u);
+  EXPECT_EQ(plan.shift_cycles(), 7);  // reset path A(2)+B(3)+D(2)
+  EXPECT_TRUE(validate_plan(rsn, plan));
+}
+
+TEST(Planner, PlanPreservesOtherConfiguration) {
+  // Opening C must keep mux1 selecting B (A's shadow preserved at 1).
+  const Rsn rsn = make_example_rsn();
+  const AccessPlan plan = plan_access(rsn, kC);
+  CsuSimulator sim(rsn);
+  for (const auto& s : plan.csu_streams) sim.csu(s);
+  EXPECT_TRUE(sim.shadow_value(kA, 0));
+  EXPECT_TRUE(sim.shadow_value(kB, 0));
+}
+
+/// Property sweep: every scan segment of every 2-level SoC is reachable
+/// within `levels` CSU operations, and the plan validates on a fresh
+/// simulator.
+class PlannerSocParam : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(PlannerSocParam, EverySegmentPlannable) {
+  const Rsn rsn = itc02::generate_sib_rsn(*itc02::find_soc(GetParam()));
+  const int levels = rsn.stats().levels;
+  for (NodeId id = 0; id < rsn.num_nodes(); ++id) {
+    if (!rsn.node(id).is_segment()) continue;
+    const AccessPlan plan = plan_access(rsn, id);
+    EXPECT_LE(plan.csu_streams.size(), static_cast<std::size_t>(levels) + 1)
+        << rsn.node(id).name;
+    EXPECT_TRUE(validate_plan(rsn, plan)) << rsn.node(id).name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Socs, PlannerSocParam,
+                         ::testing::Values("u226", "x1331", "q12710"),
+                         [](const auto& info) { return std::string(info.param); });
+
+TEST(Planner, AccessLatencyGrowsWithDepth) {
+  // Deeper targets need more CSU operations (the paper's latency model:
+  // the sum of the cycles of each CSU in the computed series).
+  const Rsn rsn = itc02::generate_sib_rsn(*itc02::find_soc("x1331"));
+  long long max_shift = 0;
+  std::size_t max_ops = 0;
+  for (NodeId id = 0; id < rsn.num_nodes(); ++id) {
+    if (!rsn.node(id).is_segment()) continue;
+    const AccessPlan plan = plan_access(rsn, id);
+    max_shift = std::max(max_shift, plan.shift_cycles());
+    max_ops = std::max(max_ops, plan.csu_streams.size());
+  }
+  EXPECT_GE(max_ops, 3u);  // x1331 has 4 hierarchy levels
+  EXPECT_GT(max_shift, 0);
+}
+
+}  // namespace
+}  // namespace ftrsn

@@ -1,0 +1,150 @@
+// Cross-module property tests: invariants that must hold on every
+// generated SoC RSN and on randomized networks, independent of the
+// specific paper numbers.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "augment/augment.hpp"
+#include "fault/accessibility.hpp"
+#include "graph/dataflow.hpp"
+#include "itc02/itc02.hpp"
+#include "sim/csu_sim.hpp"
+#include "synth/synth.hpp"
+
+namespace ftrsn {
+namespace {
+
+class AllSocs : public ::testing::TestWithParam<int> {
+ protected:
+  const itc02::Soc& soc() const {
+    return itc02::socs()[static_cast<std::size_t>(GetParam())];
+  }
+};
+
+INSTANTIATE_TEST_SUITE_P(Socs, AllSocs, ::testing::Range(0, 13),
+                         [](const auto& info) {
+                           return std::string(
+                               itc02::table1()[static_cast<std::size_t>(
+                                                   info.param)]
+                                   .soc);
+                         });
+
+TEST_P(AllSocs, GeneratedRsnIsValidAcyclicAndConnected) {
+  const Rsn rsn = itc02::generate_sib_rsn(soc());
+  EXPECT_NO_THROW(rsn.validate());
+  const DataflowGraph g = DataflowGraph::from_rsn(rsn);
+  EXPECT_FALSE(g.has_cycle());
+  // Every vertex lies on some root-to-sink path.
+  const auto lv = g.levels();
+  std::vector<bool> fwd(g.num_vertices(), false), bwd(g.num_vertices(), false);
+  std::vector<NodeId> stack = g.roots();
+  for (NodeId r : g.roots()) fwd[r] = true;
+  while (!stack.empty()) {
+    const NodeId v = stack.back();
+    stack.pop_back();
+    for (NodeId s : g.successors(v))
+      if (!fwd[s]) {
+        fwd[s] = true;
+        stack.push_back(s);
+      }
+  }
+  stack = g.sinks();
+  for (NodeId s : g.sinks()) bwd[s] = true;
+  while (!stack.empty()) {
+    const NodeId v = stack.back();
+    stack.pop_back();
+    for (NodeId p : g.predecessors(v))
+      if (!bwd[p]) {
+        bwd[p] = true;
+        stack.push_back(p);
+      }
+  }
+  for (NodeId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_TRUE(fwd[v]) << "unreachable vertex " << rsn.node(v).name;
+    EXPECT_TRUE(bwd[v]) << "sink-disconnected vertex " << rsn.node(v).name;
+  }
+  (void)lv;
+}
+
+TEST_P(AllSocs, ResetPathContainsExactlyTopLevelSibs) {
+  const Rsn rsn = itc02::generate_sib_rsn(soc());
+  CsuSimulator sim(rsn);
+  int top_sibs = 0;
+  for (NodeId id = 0; id < rsn.num_nodes(); ++id) {
+    const RsnNode& n = rsn.node(id);
+    if (n.is_segment() && n.role == SegRole::kSibRegister && n.hier_level == 1)
+      ++top_sibs;
+  }
+  const auto path = sim.active_path();
+  EXPECT_EQ(static_cast<int>(path.size()), top_sibs);
+  for (NodeId seg : path) {
+    EXPECT_EQ(rsn.node(seg).role, SegRole::kSibRegister);
+    EXPECT_EQ(rsn.node(seg).hier_level, 1);
+  }
+}
+
+TEST_P(AllSocs, FaultFreeAnalyzerFindsEverySegment) {
+  const Rsn rsn = itc02::generate_sib_rsn(soc());
+  const AccessAnalyzer analyzer(rsn);
+  const auto acc = analyzer.accessible_fault_free();
+  for (NodeId id = 0; id < rsn.num_nodes(); ++id)
+    if (rsn.node(id).is_segment())
+      EXPECT_TRUE(acc[id]) << rsn.node(id).name;
+}
+
+TEST_P(AllSocs, AugmentedGraphStaysAcyclicAndLevelForward) {
+  const Rsn rsn = itc02::generate_sib_rsn(soc());
+  const DataflowGraph g = DataflowGraph::from_rsn(rsn);
+  AugmentOptions opt;
+  opt.target_allowed.assign(g.num_vertices(), false);
+  for (NodeId id = 0; id < rsn.num_nodes(); ++id)
+    if (rsn.node(id).kind == NodeKind::kSegment ||
+        rsn.node(id).kind == NodeKind::kPrimaryOut)
+      opt.target_allowed[id] = true;
+  const AugmentResult r = augment_connectivity(g, opt);
+  ASSERT_EQ(r.edge_anchor.size(), r.added_edges.size());
+  const auto lv = g.levels();
+  std::set<std::pair<NodeId, NodeId>> seen;
+  for (const DfEdge& e : g.edges()) seen.insert({e.from, e.to});
+  for (const DfEdge& e : r.added_edges) {
+    EXPECT_LE(lv[e.from], lv[e.to]);  // level-forward potential edges
+    EXPECT_TRUE(seen.insert({e.from, e.to}).second)
+        << "duplicate edge " << rsn.node(e.from).name << "->"
+        << rsn.node(e.to).name;
+  }
+  std::vector<DfEdge> edges = g.edges();
+  edges.insert(edges.end(), r.added_edges.begin(), r.added_edges.end());
+  EXPECT_FALSE(DataflowGraph::from_edges(g.num_vertices(), edges, g.roots(),
+                                         g.sinks())
+                   .has_cycle());
+}
+
+TEST_P(AllSocs, SynthesizedRsnValidAndPreservesSegments) {
+  const Rsn rsn = itc02::generate_sib_rsn(soc());
+  const SynthResult r = synthesize_fault_tolerant(rsn);
+  EXPECT_NO_THROW(r.rsn.validate());
+  // Every original segment survives with identical length and role.
+  for (NodeId id = 0; id < rsn.num_nodes(); ++id) {
+    const RsnNode& o = rsn.node(id);
+    if (!o.is_segment()) continue;
+    const RsnNode& h = r.rsn.node(id);
+    EXPECT_EQ(h.name, o.name);
+    EXPECT_EQ(h.length, o.length);
+    EXPECT_EQ(h.role, o.role);
+  }
+  // Reset configuration reproduces the original scan topology: the active
+  // path contains the original top-level SIBs in order (address registers
+  // interleaved).
+  CsuSimulator orig_sim(rsn), ft_sim(r.rsn);
+  const auto orig_path = orig_sim.active_path();
+  const auto ft_path = ft_sim.active_path();
+  std::vector<NodeId> ft_filtered;
+  for (NodeId seg : ft_path)
+    if (r.rsn.node(seg).role != SegRole::kAddressRegister)
+      ft_filtered.push_back(seg);
+  EXPECT_EQ(ft_filtered, orig_path);
+}
+
+}  // namespace
+}  // namespace ftrsn

@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include "rsn/rsn.hpp"
+
+namespace ftrsn {
+namespace {
+
+TEST(CtrlPool, ConstantsAndHashConsing) {
+  CtrlPool pool;
+  EXPECT_EQ(pool.constant(false), kCtrlFalse);
+  EXPECT_EQ(pool.constant(true), kCtrlTrue);
+  const CtrlRef a = pool.shadow_bit(3, 0);
+  const CtrlRef b = pool.shadow_bit(3, 0);
+  EXPECT_EQ(a, b);
+  const CtrlRef c = pool.shadow_bit(3, 1);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(pool.mk_and(a, c), pool.mk_and(c, a));  // commutative interning
+  EXPECT_EQ(pool.mk_or(a, c), pool.mk_or(c, a));
+}
+
+TEST(CtrlPool, SimplificationRules) {
+  CtrlPool pool;
+  const CtrlRef a = pool.shadow_bit(1, 0);
+  EXPECT_EQ(pool.mk_and(a, kCtrlTrue), a);
+  EXPECT_EQ(pool.mk_and(a, kCtrlFalse), kCtrlFalse);
+  EXPECT_EQ(pool.mk_or(a, kCtrlFalse), a);
+  EXPECT_EQ(pool.mk_or(a, kCtrlTrue), kCtrlTrue);
+  EXPECT_EQ(pool.mk_and(a, a), a);
+  EXPECT_EQ(pool.mk_not(pool.mk_not(a)), a);
+  EXPECT_EQ(pool.mk_not(kCtrlTrue), kCtrlFalse);
+}
+
+TEST(CtrlPool, Eval) {
+  CtrlPool pool;
+  const CtrlRef a = pool.shadow_bit(1, 0);
+  const CtrlRef b = pool.shadow_bit(2, 0);
+  const CtrlRef en = pool.enable_input();
+  const CtrlRef expr = pool.mk_or(pool.mk_and(en, a), pool.mk_not(b));
+  const auto atoms = [&](const CtrlNode& n) {
+    if (n.op == CtrlOp::kEnable) return true;
+    return n.seg == 1;  // a=1, b=0
+  };
+  EXPECT_TRUE(pool.eval(expr, atoms));
+  const auto atoms2 = [&](const CtrlNode& n) {
+    if (n.op == CtrlOp::kEnable) return false;
+    return n.seg != 1;  // a=0, b=1
+  };
+  EXPECT_FALSE(pool.eval(expr, atoms2));
+}
+
+TEST(CtrlPool, EvalWithForcedNodes) {
+  CtrlPool pool;
+  const CtrlRef a = pool.shadow_bit(1, 0);
+  const CtrlRef b = pool.shadow_bit(2, 0);
+  const CtrlRef expr = pool.mk_and(a, b);
+  std::vector<std::int8_t> forced(pool.size(), -1);
+  forced[static_cast<std::size_t>(a)] = 0;  // stuck-at-0 on the a stem
+  const auto all_one = [](const CtrlNode&) { return true; };
+  EXPECT_TRUE(pool.eval(expr, all_one));
+  EXPECT_FALSE(pool.eval(expr, all_one, &forced));
+  forced[static_cast<std::size_t>(expr)] = 1;  // stuck-at-1 on the AND gate
+  EXPECT_TRUE(pool.eval(expr, all_one, &forced));
+}
+
+TEST(CtrlPool, Maj3Votes) {
+  CtrlPool pool;
+  const CtrlRef a = pool.shadow_bit(1, 0, 0);
+  const CtrlRef b = pool.shadow_bit(1, 0, 1);
+  const CtrlRef c = pool.shadow_bit(1, 0, 2);
+  const CtrlRef maj = pool.mk_maj3(a, b, c);
+  std::vector<std::int8_t> forced(pool.size(), -1);
+  forced[static_cast<std::size_t>(b)] = 0;  // one replica stuck: outvoted
+  const auto all_one = [](const CtrlNode&) { return true; };
+  EXPECT_TRUE(pool.eval(maj, all_one, &forced));
+  forced[static_cast<std::size_t>(c)] = 0;  // two replicas stuck: lost
+  EXPECT_FALSE(pool.eval(maj, all_one, &forced));
+}
+
+TEST(CtrlPool, ToString) {
+  CtrlPool pool;
+  const std::vector<std::string> names = {"", "A", "B"};
+  const CtrlRef en = pool.enable_input();
+  const CtrlRef a = pool.shadow_bit(1, 0);
+  const CtrlRef b = pool.shadow_bit(2, 0);
+  const CtrlRef conj = pool.mk_and(en, a);
+  const CtrlRef neg = pool.mk_not(b);
+  const CtrlRef expr = pool.mk_or(conj, neg);
+  EXPECT_EQ(pool.to_string(expr, names), "((EN & A) | !B)");
+}
+
+TEST(Rsn, ExampleRsnValidatesAndCounts) {
+  const Rsn rsn = make_example_rsn();
+  const RsnStats s = rsn.stats();
+  EXPECT_EQ(s.segments, 4);
+  EXPECT_EQ(s.muxes, 2);
+  EXPECT_EQ(s.bits, 11);  // 2 + 3 + 4 + 2
+  EXPECT_EQ(s.levels, 2);
+  EXPECT_EQ(s.primary_ins, 1);
+  EXPECT_EQ(s.primary_outs, 1);
+}
+
+TEST(Rsn, ChainRsn) {
+  const Rsn rsn = make_chain_rsn(5, 8);
+  const RsnStats s = rsn.stats();
+  EXPECT_EQ(s.segments, 5);
+  EXPECT_EQ(s.muxes, 0);
+  EXPECT_EQ(s.bits, 40);
+}
+
+TEST(Rsn, TopoOrderRootsFirst) {
+  const Rsn rsn = make_example_rsn();
+  const auto order = rsn.topo_order();
+  ASSERT_EQ(order.size(), rsn.num_nodes());
+  std::vector<int> pos(rsn.num_nodes());
+  for (std::size_t i = 0; i < order.size(); ++i) pos[order[i]] = static_cast<int>(i);
+  for (NodeId id = 0; id < rsn.num_nodes(); ++id) {
+    const RsnNode& n = rsn.node(id);
+    if (n.kind == NodeKind::kSegment || n.kind == NodeKind::kPrimaryOut)
+      EXPECT_LT(pos[n.scan_in], pos[id]);
+    if (n.kind == NodeKind::kMux) {
+      EXPECT_LT(pos[n.mux_in[0]], pos[id]);
+      EXPECT_LT(pos[n.mux_in[1]], pos[id]);
+    }
+  }
+}
+
+TEST(Rsn, ValidateRejectsDanglingScanIn) {
+  Rsn rsn;
+  const NodeId in = rsn.add_primary_in("SI");
+  const NodeId seg = rsn.add_segment("s", 1, kInvalidNode);
+  rsn.add_primary_out("SO", seg);
+  (void)in;
+  EXPECT_THROW(rsn.validate(), std::logic_error);
+}
+
+TEST(Rsn, ValidateRejectsShadowRefWithoutShadow) {
+  Rsn rsn;
+  const NodeId in = rsn.add_primary_in("SI");
+  const NodeId seg = rsn.add_segment("s", 1, in, /*has_shadow=*/false);
+  rsn.add_primary_out("SO", seg);
+  rsn.set_select(seg, rsn.ctrl().shadow_bit(seg, 0));
+  EXPECT_THROW(rsn.validate(), std::logic_error);
+}
+
+TEST(Rsn, ValidateRejectsCycle) {
+  Rsn rsn;
+  const NodeId in = rsn.add_primary_in("SI");
+  const NodeId a = rsn.add_segment("a", 1, in);
+  const NodeId mux = rsn.add_mux("m", in, a, kCtrlFalse);
+  rsn.set_scan_in(a, mux);  // a -> mux -> a
+  rsn.add_primary_out("SO", a);
+  EXPECT_THROW(rsn.validate(), std::logic_error);
+}
+
+TEST(Rsn, StructurallyEqualSelf) {
+  const Rsn a = make_example_rsn();
+  const Rsn b = make_example_rsn();
+  EXPECT_TRUE(a.structurally_equal(b));
+  Rsn c = make_example_rsn();
+  c.set_reset_shadow(1, 0);
+  EXPECT_FALSE(a.structurally_equal(c));
+}
+
+}  // namespace
+}  // namespace ftrsn

@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include "sat/solver.hpp"
+#include "util/common.hpp"
+
+namespace ftrsn::sat {
+namespace {
+
+TEST(Sat, TrivialSat) {
+  Solver s;
+  const int a = s.new_var();
+  s.add_unit(Lit(a, false));
+  ASSERT_EQ(s.solve(), SolveResult::kSat);
+  EXPECT_TRUE(s.value(a));
+}
+
+TEST(Sat, TrivialUnsat) {
+  Solver s;
+  const int a = s.new_var();
+  s.add_unit(Lit(a, false));
+  s.add_unit(Lit(a, true));
+  EXPECT_EQ(s.solve(), SolveResult::kUnsat);
+}
+
+TEST(Sat, PropagationChain) {
+  Solver s;
+  std::vector<int> v;
+  for (int i = 0; i < 10; ++i) v.push_back(s.new_var());
+  for (int i = 0; i + 1 < 10; ++i)
+    s.add_binary(Lit(v[i], true), Lit(v[i + 1], false));  // v[i] -> v[i+1]
+  s.add_unit(Lit(v[0], false));
+  ASSERT_EQ(s.solve(), SolveResult::kSat);
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(s.value(v[i]));
+}
+
+TEST(Sat, PigeonHole32) {
+  // 3 pigeons, 2 holes: classic small UNSAT requiring real search.
+  Solver s;
+  int p[3][2];
+  for (auto& row : p)
+    for (int& x : row) x = s.new_var();
+  for (int i = 0; i < 3; ++i)
+    s.add_binary(Lit(p[i][0], false), Lit(p[i][1], false));
+  for (int h = 0; h < 2; ++h)
+    for (int i = 0; i < 3; ++i)
+      for (int j = i + 1; j < 3; ++j)
+        s.add_binary(Lit(p[i][h], true), Lit(p[j][h], true));
+  EXPECT_EQ(s.solve(), SolveResult::kUnsat);
+}
+
+TEST(Sat, Assumptions) {
+  Solver s;
+  const int a = s.new_var();
+  const int b = s.new_var();
+  s.add_binary(Lit(a, true), Lit(b, false));  // a -> b
+  EXPECT_EQ(s.solve({Lit(a, false), Lit(b, true)}), SolveResult::kUnsat);
+  EXPECT_EQ(s.solve({Lit(a, false)}), SolveResult::kSat);
+  EXPECT_TRUE(s.value(b));
+  // Solver stays usable after an UNSAT-under-assumptions call.
+  EXPECT_EQ(s.solve({Lit(b, true)}), SolveResult::kSat);
+  EXPECT_FALSE(s.value(a));
+}
+
+TEST(Sat, XorChainSat) {
+  // x0 ^ x1 = 1, x1 ^ x2 = 1, ... satisfiable with alternating values.
+  Solver s;
+  std::vector<int> v;
+  for (int i = 0; i < 8; ++i) v.push_back(s.new_var());
+  for (int i = 0; i + 1 < 8; ++i) {
+    s.add_binary(Lit(v[i], false), Lit(v[i + 1], false));
+    s.add_binary(Lit(v[i], true), Lit(v[i + 1], true));
+  }
+  ASSERT_EQ(s.solve(), SolveResult::kSat);
+  for (int i = 0; i + 1 < 8; ++i) EXPECT_NE(s.value(v[i]), s.value(v[i + 1]));
+}
+
+/// Reference DPLL used to fuzz the CDCL solver on random 3-SAT instances.
+bool brute_force(int n, const std::vector<std::vector<Lit>>& clauses) {
+  for (int m = 0; m < (1 << n); ++m) {
+    bool ok = true;
+    for (const auto& c : clauses) {
+      bool sat = false;
+      for (Lit l : c)
+        if ((((m >> l.var()) & 1) != 0) != l.neg()) sat = true;
+      if (!sat) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) return true;
+  }
+  return false;
+}
+
+TEST(Sat, FuzzAgainstBruteForce) {
+  Rng rng(99);
+  for (int trial = 0; trial < 60; ++trial) {
+    const int n = 4 + static_cast<int>(rng.next_below(6));  // 4..9 vars
+    const int m = 6 + static_cast<int>(rng.next_below(30));
+    std::vector<std::vector<Lit>> clauses;
+    Solver s;
+    for (int i = 0; i < n; ++i) s.new_var();
+    for (int i = 0; i < m; ++i) {
+      std::vector<Lit> c;
+      const int len = 1 + static_cast<int>(rng.next_below(3));
+      for (int k = 0; k < len; ++k)
+        c.push_back(Lit(static_cast<int>(rng.next_below(
+                            static_cast<std::uint64_t>(n))),
+                        rng.next_bool()));
+      clauses.push_back(c);
+      s.add_clause(c);
+    }
+    const bool expected = brute_force(n, clauses);
+    const SolveResult got = s.solve();
+    EXPECT_EQ(got == SolveResult::kSat, expected) << "trial " << trial;
+    if (got == SolveResult::kSat) {
+      // The produced model must satisfy every clause.
+      for (const auto& c : clauses) {
+        bool sat = false;
+        for (Lit l : c) sat |= s.value(l.var()) != l.neg();
+        EXPECT_TRUE(sat) << "trial " << trial;
+      }
+    }
+  }
+}
+
+TEST(Sat, ConflictLimitReported) {
+  // A hard instance with a conflict budget of 1 must return kLimit (or
+  // solve instantly; pigeonhole 5/4 will not).
+  Solver s;
+  int p[5][4];
+  for (auto& row : p)
+    for (int& x : row) x = s.new_var();
+  for (int i = 0; i < 5; ++i) {
+    std::vector<Lit> c;
+    for (int h = 0; h < 4; ++h) c.push_back(Lit(p[i][h], false));
+    s.add_clause(c);
+  }
+  for (int h = 0; h < 4; ++h)
+    for (int i = 0; i < 5; ++i)
+      for (int j = i + 1; j < 5; ++j)
+        s.add_binary(Lit(p[i][h], true), Lit(p[j][h], true));
+  EXPECT_EQ(s.solve({}, 1), SolveResult::kLimit);
+  EXPECT_EQ(s.solve({}, -1), SolveResult::kUnsat);
+}
+
+}  // namespace
+}  // namespace ftrsn::sat

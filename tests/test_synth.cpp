@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include "fault/metric.hpp"
+#include "itc02/itc02.hpp"
+#include "sim/csu_sim.hpp"
+#include "synth/synth.hpp"
+
+namespace ftrsn {
+namespace {
+
+TEST(Synth, ExampleProducesValidRsn) {
+  const Rsn original = make_example_rsn();
+  const SynthResult r = synthesize_fault_tolerant(original);
+  EXPECT_NO_THROW(r.rsn.validate());
+  EXPECT_GT(r.stats.added_muxes, 0);
+  // Every edge gets a register unless it is steered by a primary pin
+  // (edges whose bootstrap anchor degenerates to the scan-in port).
+  EXPECT_LE(r.stats.added_registers, r.stats.added_edges);
+  EXPECT_GT(r.stats.added_registers, 0);
+  const RsnStats orig_stats = original.stats();
+  const RsnStats ft_stats = r.rsn.stats();
+  EXPECT_GT(ft_stats.muxes, orig_stats.muxes);
+  EXPECT_GT(ft_stats.bits, orig_stats.bits);
+}
+
+TEST(Synth, DualPortsPresent) {
+  const SynthResult r = synthesize_fault_tolerant(make_example_rsn());
+  EXPECT_EQ(r.rsn.primary_ins().size(), 2u);
+  EXPECT_EQ(r.rsn.primary_outs().size(), 2u);
+}
+
+TEST(Synth, ResetConfigurationPreservesOriginalPath) {
+  // Paper: all scan paths configurable in the original RSN remain
+  // configurable; the FT reset configuration reproduces the original
+  // topology (plus inline address registers).
+  const Rsn original = make_example_rsn();
+  const SynthResult r = synthesize_fault_tolerant(original);
+  CsuSimulator orig_sim(original);
+  CsuSimulator ft_sim(r.rsn);
+  const auto orig_path = orig_sim.active_path();
+  const auto ft_path = ft_sim.active_path();
+  // Every original path segment appears on the FT reset path, in order.
+  std::size_t pos = 0;
+  for (NodeId seg : orig_path) {
+    bool found = false;
+    for (; pos < ft_path.size(); ++pos) {
+      if (ft_path[pos] == seg) {
+        found = true;
+        ++pos;
+        break;
+      }
+      // Skip inline address registers.
+      EXPECT_EQ(r.rsn.node(ft_path[pos]).role, SegRole::kAddressRegister);
+    }
+    EXPECT_TRUE(found) << "segment " << original.node(seg).name;
+  }
+}
+
+TEST(Synth, SelectsAreConsistentWithActivePath) {
+  // In every configuration reachable below, Select(s) == (s on active path).
+  const SynthResult r = synthesize_fault_tolerant(make_example_rsn());
+  const Rsn& ft = r.rsn;
+  CsuSimulator sim(ft);
+  for (int trial = 0; trial < 16; ++trial) {
+    // Randomize address registers (trial bits) and check consistency.
+    int bit = 0;
+    for (NodeId id = 0; id < ft.num_nodes(); ++id) {
+      const RsnNode& n = ft.node(id);
+      if (n.is_segment() && n.has_shadow && n.length == 1)
+        sim.poke_shadow(id, 0, (trial >> (bit++ % 4)) & 1);
+    }
+    // With duplicated ports, a segment is selected iff it lies on the
+    // active path of *either* scan-out port.
+    std::vector<bool> on_path(ft.num_nodes(), false);
+    for (NodeId out : ft.primary_outs())
+      for (NodeId seg : sim.active_path(out)) on_path[seg] = true;
+    for (NodeId id = 0; id < ft.num_nodes(); ++id) {
+      const RsnNode& n = ft.node(id);
+      if (!n.is_segment()) continue;
+      // Evaluate the hardened select under the simulator state.
+      CsuSimulator& s = sim;
+      const bool sel = [&] {
+        // use shift of one bit through... simpler: capture semantics; use
+        // the simulator's internal evaluation through a probe CSU.
+        (void)s;
+        const auto atom = [&](const CtrlNode& c) -> bool {
+          if (c.op == CtrlOp::kEnable) return true;
+          if (c.op == CtrlOp::kPortSel) return sim.port_select();
+          return sim.shadow_value(c.seg, c.bit, c.replica);
+        };
+        return ft.ctrl().eval(n.select, atom);
+      }();
+      EXPECT_EQ(sel, on_path[id])
+          << "trial " << trial << " segment " << n.name;
+    }
+  }
+}
+
+TEST(Synth, SelectTermsRecorded) {
+  const SynthResult r = synthesize_fault_tolerant(make_example_rsn());
+  EXPECT_FALSE(r.rsn.select_terms().empty());
+  for (const auto& st : r.rsn.select_terms()) {
+    EXPECT_TRUE(r.rsn.node(st.seg).is_segment());
+    EXPECT_NE(st.term, kCtrlInvalid);
+  }
+}
+
+TEST(Synth, TmrOnOriginalMuxAddresses) {
+  const SynthResult r = synthesize_fault_tolerant(make_example_rsn());
+  const Rsn& ft = r.rsn;
+  int voted = 0;
+  for (NodeId id = 0; id < ft.num_nodes(); ++id) {
+    if (!ft.node(id).is_mux()) continue;
+    const CtrlNode& a = ft.ctrl().node(ft.node(id).addr);
+    if (a.op == CtrlOp::kMaj3) ++voted;
+  }
+  EXPECT_GT(voted, 2);  // original two muxes + all augmenting muxes
+}
+
+TEST(Synth, NoTmrOptionKeepsPlainAddresses) {
+  SynthOptions opt;
+  opt.tmr_addresses = false;
+  const SynthResult r = synthesize_fault_tolerant(make_example_rsn(), opt);
+  for (NodeId id = 0; id < r.rsn.num_nodes(); ++id) {
+    if (!r.rsn.node(id).is_mux()) continue;
+    EXPECT_NE(r.rsn.ctrl().node(r.rsn.node(id).addr).op, CtrlOp::kMaj3);
+  }
+}
+
+TEST(Synth, FaultToleranceImprovesDramatically) {
+  // The headline claim of the paper on the example scale: worst-case
+  // accessibility goes from 0 to "all but a few segments".
+  const Rsn original = make_example_rsn();
+  const SynthResult r = synthesize_fault_tolerant(original);
+  const auto before = compute_fault_tolerance(original);
+  const auto after = compute_fault_tolerance(r.rsn);
+  EXPECT_EQ(before.seg_worst, 0.0);
+  EXPECT_GT(after.seg_worst, 0.0);
+  EXPECT_GT(after.seg_avg, before.seg_avg);
+}
+
+TEST(Synth, FaultFreeFtRsnFullyAccessible) {
+  const SynthResult r = synthesize_fault_tolerant(make_example_rsn());
+  const AccessAnalyzer analyzer(r.rsn);
+  const auto acc = analyzer.accessible_fault_free();
+  for (NodeId id = 0; id < r.rsn.num_nodes(); ++id)
+    if (r.rsn.node(id).is_segment())
+      EXPECT_TRUE(acc[id]) << r.rsn.node(id).name;
+}
+
+TEST(Synth, U226EndToEnd) {
+  const Rsn original = itc02::generate_sib_rsn(*itc02::find_soc("u226"));
+  const SynthResult r = synthesize_fault_tolerant(original);
+  EXPECT_NO_THROW(r.rsn.validate());
+  const AccessAnalyzer analyzer(r.rsn);
+  const auto acc = analyzer.accessible_fault_free();
+  for (NodeId id = 0; id < r.rsn.num_nodes(); ++id)
+    if (r.rsn.node(id).is_segment())
+      EXPECT_TRUE(acc[id]) << r.rsn.node(id).name;
+  // Mux ratio lands in the paper's ballpark (several x).
+  const double mux_ratio = static_cast<double>(r.rsn.stats().muxes) /
+                           static_cast<double>(original.stats().muxes);
+  EXPECT_GT(mux_ratio, 1.5);
+  EXPECT_LT(mux_ratio, 6.0);
+}
+
+}  // namespace
+}  // namespace ftrsn

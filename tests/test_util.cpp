@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/common.hpp"
+
+namespace ftrsn {
+namespace {
+
+TEST(Util, StrprintfFormats) {
+  EXPECT_EQ(strprintf("a%db", 7), "a7b");
+  EXPECT_EQ(strprintf("%s/%s", "x", "y"), "x/y");
+  EXPECT_EQ(strprintf("%.2f", 1.239), "1.24");
+  EXPECT_EQ(strprintf("empty"), "empty");
+}
+
+TEST(Util, CheckThrowsLogicError) {
+  EXPECT_THROW(FTRSN_CHECK(1 == 2), std::logic_error);
+  EXPECT_THROW(FTRSN_CHECK_MSG(false, "boom"), std::logic_error);
+  EXPECT_NO_THROW(FTRSN_CHECK(true));
+}
+
+TEST(Util, RngDeterministic) {
+  Rng a(42), b(42), c(43);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+  bool differs = false;
+  Rng a2(42);
+  for (int i = 0; i < 100; ++i) differs |= a2.next_u64() != c.next_u64();
+  EXPECT_TRUE(differs);
+}
+
+TEST(Util, RngBounds) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.next_below(7);
+    EXPECT_LT(v, 7u);
+    const auto r = rng.next_range(-5, 5);
+    EXPECT_GE(r, -5);
+    EXPECT_LE(r, 5);
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Util, RngCoversRange) {
+  Rng rng(7);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 200; ++i) seen.insert(rng.next_range(0, 3));
+  EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(Util, SplitBasics) {
+  const auto parts = split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "c");
+  const auto kept = split("a,b,,c", ',', /*keep_empty=*/true);
+  ASSERT_EQ(kept.size(), 4u);
+  EXPECT_EQ(kept[2], "");
+  EXPECT_TRUE(split("", ',').empty());
+}
+
+TEST(Util, TrimBasics) {
+  EXPECT_EQ(trim("  x y \t\n"), "x y");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim(" \t "), "");
+  EXPECT_EQ(trim("abc"), "abc");
+}
+
+}  // namespace
+}  // namespace ftrsn

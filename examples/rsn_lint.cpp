@@ -1,0 +1,121 @@
+// rsn-lint — static analysis of .rsn networks from the command line.
+//
+//   example_rsn_lint [options] <in.rsn> [<in2.rsn> ...]
+//
+//   --json               machine-readable report (one JSON object per file)
+//   --ft                 enable the post-synthesis fault-tolerance rules
+//   --disable=ID         turn a rule off (repeatable)
+//   --severity=ID:LEVEL  override a rule's severity (error|warning|info)
+//   --list-rules         print the rule catalog and exit
+//
+// Exit status: 0 = no error-severity findings, 1 = at least one error,
+// 2 = usage or file/parse failure.  Files are loaded without the structural
+// validation gate (load_rsn(path, false)) so deliberately broken networks
+// can be analyzed instead of aborting the parse.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "io/rsn_text.hpp"
+#include "lint/lint.hpp"
+
+using namespace ftrsn;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: rsn_lint [--json] [--ft] [--disable=ID]\n"
+               "                [--severity=ID:error|warning|info]\n"
+               "                [--list-rules] <in.rsn> [...]\n");
+  return 2;
+}
+
+const char* stage_name(lint::RuleStage s) {
+  switch (s) {
+    case lint::RuleStage::kStructure: return "structure";
+    case lint::RuleStage::kControl: return "control";
+    case lint::RuleStage::kSynthesis: return "synthesis";
+    case lint::RuleStage::kFaultTolerance: return "fault-tolerance";
+    case lint::RuleStage::kDataflow: return "dataflow";
+    case lint::RuleStage::kAugment: return "augment";
+  }
+  return "?";
+}
+
+int list_rules() {
+  for (const lint::RuleInfo& r : lint::LintRunner::rules())
+    std::printf("%-26s %-8s %-15s %-16s %s\n", r.id.c_str(),
+                lint::severity_name(r.severity), stage_name(r.stage),
+                r.paper_ref.c_str(), r.summary.c_str());
+  return 0;
+}
+
+bool parse_severity(const std::string& spec, lint::LintOptions& opts) {
+  const std::size_t colon = spec.find(':');
+  if (colon == std::string::npos) return false;
+  const std::string id = spec.substr(0, colon);
+  const std::string level = spec.substr(colon + 1);
+  if (level == "error")
+    opts.severity[id] = lint::Severity::kError;
+  else if (level == "warning")
+    opts.severity[id] = lint::Severity::kWarning;
+  else if (level == "info")
+    opts.severity[id] = lint::Severity::kInfo;
+  else
+    return false;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  lint::LintOptions opts;
+  bool json = false;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--ft") {
+      opts.ft_rules = true;
+    } else if (arg == "--list-rules") {
+      return list_rules();
+    } else if (arg.rfind("--disable=", 0) == 0) {
+      opts.enabled[arg.substr(10)] = false;
+    } else if (arg.rfind("--severity=", 0) == 0) {
+      if (!parse_severity(arg.substr(11), opts)) return usage();
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage();
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (files.empty()) return usage();
+
+  bool any_errors = false;
+  for (const std::string& path : files) {
+    Rsn rsn;
+    try {
+      rsn = load_rsn(path, /*validate=*/false);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s: cannot load: %s\n", path.c_str(), e.what());
+      return 2;
+    }
+    const auto diags = lint::lint_rsn(rsn, opts);
+    const auto counts = lint::count_by_severity(diags);
+    const auto names = rsn.node_names();
+    if (json) {
+      std::printf("%s\n", lint::to_json(diags, names).c_str());
+    } else {
+      std::fputs(lint::to_text(diags, names).c_str(), stdout);
+      std::printf("%s: %d error(s), %d warning(s), %d info(s)\n",
+                  path.c_str(),
+                  counts[static_cast<int>(lint::Severity::kError)],
+                  counts[static_cast<int>(lint::Severity::kWarning)],
+                  counts[static_cast<int>(lint::Severity::kInfo)]);
+    }
+    any_errors = any_errors || lint::has_errors(diags);
+  }
+  return any_errors ? 1 : 0;
+}

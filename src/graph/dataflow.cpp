@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <queue>
+#include <stdexcept>
 
 namespace ftrsn {
 
@@ -41,15 +42,29 @@ DataflowGraph DataflowGraph::from_edges(std::size_t num_vertices,
                                         std::vector<DfEdge> edges,
                                         std::vector<NodeId> roots,
                                         std::vector<NodeId> sinks) {
+  // Aggregate every out-of-range id into one diagnostic instead of relying
+  // on the first .at() throw deep inside a later traversal.
+  std::string bad;
+  for (std::size_t i = 0; i < edges.size(); ++i)
+    if (edges[i].from >= num_vertices || edges[i].to >= num_vertices)
+      bad += strprintf("  edge #%zu (%u -> %u) outside [0, %zu)\n", i,
+                       edges[i].from, edges[i].to, num_vertices);
+  for (NodeId r : roots)
+    if (r >= num_vertices)
+      bad += strprintf("  root %u outside [0, %zu)\n", r, num_vertices);
+  for (NodeId s : sinks)
+    if (s >= num_vertices)
+      bad += strprintf("  sink %u outside [0, %zu)\n", s, num_vertices);
+  if (!bad.empty())
+    throw std::invalid_argument("DataflowGraph::from_edges: out-of-range "
+                                "vertex ids:\n" +
+                                bad);
   DataflowGraph g;
   g.succ_.resize(num_vertices);
   g.pred_.resize(num_vertices);
   g.roots_ = std::move(roots);
   g.sinks_ = std::move(sinks);
-  for (const DfEdge& e : edges) {
-    FTRSN_CHECK(e.from < num_vertices && e.to < num_vertices);
-    g.add_edge(e.from, e.to);
-  }
+  for (const DfEdge& e : edges) g.add_edge(e.from, e.to);
   return g;
 }
 

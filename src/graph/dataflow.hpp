@@ -34,6 +34,8 @@ class DataflowGraph {
 
   /// Builds a graph from an explicit vertex/edge list (used by tests and
   /// by the augmentation engine when evaluating candidate edge sets).
+  /// Throws std::invalid_argument listing *all* out-of-range vertex ids in
+  /// `edges`, `roots` and `sinks` (instead of relying on .at() later).
   static DataflowGraph from_edges(std::size_t num_vertices,
                                   std::vector<DfEdge> edges,
                                   std::vector<NodeId> roots,

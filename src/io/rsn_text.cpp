@@ -259,7 +259,7 @@ std::string write_rsn_text(const Rsn& rsn) {
   return out;
 }
 
-Rsn parse_rsn_text(const std::string& text) {
+Rsn parse_rsn_text(const std::string& text, bool validate) {
   // Pass 1: create all nodes so names and forward references resolve.
   struct Pending {
     int line_no;
@@ -363,7 +363,7 @@ Rsn parse_rsn_text(const std::string& text) {
       rsn.node_mut(id).addr = expr("addr");
     }
   }
-  rsn.validate();
+  if (validate) rsn.validate_or_die();
   return rsn;
 }
 
@@ -373,12 +373,12 @@ void save_rsn(const Rsn& rsn, const std::string& path) {
   out << write_rsn_text(rsn);
 }
 
-Rsn load_rsn(const std::string& path) {
+Rsn load_rsn(const std::string& path, bool validate) {
   std::ifstream in(path);
   FTRSN_CHECK_MSG(in.good(), "cannot open '" + path + "'");
   std::ostringstream buffer;
   buffer << in.rdbuf();
-  return parse_rsn_text(buffer.str());
+  return parse_rsn_text(buffer.str(), validate);
 }
 
 }  // namespace ftrsn

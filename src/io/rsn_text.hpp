@@ -26,11 +26,13 @@ namespace ftrsn {
 std::string write_rsn_text(const Rsn& rsn);
 
 /// Parses the text format; throws std::logic_error with a line/position
-/// message on malformed input.
-Rsn parse_rsn_text(const std::string& text);
+/// message on malformed input.  With `validate` the parsed netlist is also
+/// structurally validated (validate_or_die); pass false to load a broken
+/// network for analysis (the rsn-lint CLI does).
+Rsn parse_rsn_text(const std::string& text, bool validate = true);
 
 /// File helpers.
 void save_rsn(const Rsn& rsn, const std::string& path);
-Rsn load_rsn(const std::string& path);
+Rsn load_rsn(const std::string& path, bool validate = true);
 
 }  // namespace ftrsn

@@ -110,7 +110,7 @@ Rsn generate_sib_rsn(const Soc& soc) {
   NodeId cursor = rsn.add_primary_in("SI");
   for (int mi : top) cursor = emit_module(ctx, mi, cursor, 1, ctx.en);
   rsn.add_primary_out("SO", cursor);
-  rsn.validate();
+  rsn.validate_or_die();
   return rsn;
 }
 

@@ -1,0 +1,133 @@
+#include "lint/diagnostic.hpp"
+
+#include <stdexcept>
+
+#include "util/common.hpp"
+
+namespace ftrsn::lint {
+
+const char* severity_name(Severity s) {
+  switch (s) {
+    case Severity::kInfo: return "info";
+    case Severity::kWarning: return "warning";
+    case Severity::kError: return "error";
+  }
+  return "?";
+}
+
+bool has_errors(const std::vector<Diagnostic>& diags) {
+  for (const Diagnostic& d : diags)
+    if (d.severity == Severity::kError) return true;
+  return false;
+}
+
+std::array<int, 3> count_by_severity(const std::vector<Diagnostic>& diags) {
+  std::array<int, 3> counts{0, 0, 0};
+  for (const Diagnostic& d : diags)
+    ++counts[static_cast<std::size_t>(d.severity)];
+  return counts;
+}
+
+namespace {
+
+std::string node_label(NodeId id, const std::vector<std::string>& names) {
+  if (id == kInvalidNode) return "?";
+  if (id < names.size() && !names[id].empty()) return names[id];
+  return strprintf("n%u", id);
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20)
+          out += strprintf("\\u%04x", c);
+        else
+          out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string to_text(const std::vector<Diagnostic>& diags,
+                    const std::vector<std::string>& names) {
+  std::string out;
+  for (const Diagnostic& d : diags) {
+    out += strprintf("%s[%s]", severity_name(d.severity), d.rule.c_str());
+    if (d.node != kInvalidNode)
+      out += strprintf(" node '%s'", node_label(d.node, names).c_str());
+    if (d.ctrl != kCtrlInvalid) out += strprintf(" expr e%d", d.ctrl);
+    out += ": " + d.message;
+    if (!d.witness.empty()) {
+      out += " [";
+      for (std::size_t i = 0; i < d.witness.size(); ++i) {
+        if (i) out += " -> ";
+        out += node_label(d.witness[i], names);
+      }
+      out += "]";
+    }
+    if (!d.hint.empty()) out += " (hint: " + d.hint + ")";
+    out += "\n";
+  }
+  return out;
+}
+
+std::string to_json(const std::vector<Diagnostic>& diags,
+                    const std::vector<std::string>& names) {
+  const auto counts = count_by_severity(diags);
+  std::string out = strprintf("{\"errors\":%d,\"warnings\":%d,\"infos\":%d,",
+                              counts[static_cast<int>(Severity::kError)],
+                              counts[static_cast<int>(Severity::kWarning)],
+                              counts[static_cast<int>(Severity::kInfo)]);
+  out += "\"diagnostics\":[";
+  for (std::size_t i = 0; i < diags.size(); ++i) {
+    const Diagnostic& d = diags[i];
+    if (i) out += ",";
+    out += strprintf("{\"rule\":\"%s\",\"severity\":\"%s\"",
+                     json_escape(d.rule).c_str(), severity_name(d.severity));
+    if (d.node != kInvalidNode) {
+      out += strprintf(",\"node\":%u,\"node_name\":\"%s\"", d.node,
+                       json_escape(node_label(d.node, names)).c_str());
+    }
+    if (d.ctrl != kCtrlInvalid) out += strprintf(",\"ctrl\":%d", d.ctrl);
+    out += strprintf(",\"message\":\"%s\"", json_escape(d.message).c_str());
+    if (!d.hint.empty())
+      out += strprintf(",\"hint\":\"%s\"", json_escape(d.hint).c_str());
+    if (!d.witness.empty()) {
+      out += ",\"witness\":[";
+      for (std::size_t w = 0; w < d.witness.size(); ++w)
+        out += strprintf("%s%u", w ? "," : "", d.witness[w]);
+      out += "],\"witness_names\":[";
+      for (std::size_t w = 0; w < d.witness.size(); ++w)
+        out += strprintf("%s\"%s\"", w ? "," : "",
+                         json_escape(node_label(d.witness[w], names)).c_str());
+      out += "]";
+    }
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+void throw_if_errors(const std::vector<Diagnostic>& diags,
+                     const std::string& subject,
+                     const std::vector<std::string>& names) {
+  if (!has_errors(diags)) return;
+  std::string what = subject + " failed validation:\n";
+  for (const Diagnostic& d : diags) {
+    if (d.severity != Severity::kError) continue;
+    what += "  " + to_text({d}, names);
+  }
+  throw std::logic_error(what);
+}
+
+}  // namespace ftrsn::lint

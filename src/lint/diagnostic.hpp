@@ -1,0 +1,63 @@
+// Diagnostic model of the ftrsn static analyzer (lint/).
+//
+// A Diagnostic pinpoints one violated structural or control invariant of an
+// RSN (or of a dataflow graph): the rule that fired, a severity, the
+// offending node and/or control expression, a human-readable message, an
+// optional fix hint and an optional witness (e.g. the vertex sequence of a
+// scan-interconnect cycle).  Diagnostics are plain data; text and JSON
+// emitters render them for humans and for machine consumption (CI).
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "rsn/ctrl.hpp"
+
+namespace ftrsn::lint {
+
+enum class Severity : std::uint8_t {
+  kInfo,
+  kWarning,
+  kError,
+};
+
+const char* severity_name(Severity s);
+
+struct Diagnostic {
+  std::string rule;                ///< rule id, e.g. "scan-cycle"
+  Severity severity = Severity::kError;
+  NodeId node = kInvalidNode;      ///< offending RSN node / graph vertex
+  CtrlRef ctrl = kCtrlInvalid;     ///< offending control expression node
+  std::string message;             ///< what is wrong
+  std::string hint;                ///< how to fix it (may be empty)
+  std::vector<NodeId> witness;     ///< e.g. the node sequence of a cycle
+};
+
+/// True if any diagnostic has Severity::kError.
+bool has_errors(const std::vector<Diagnostic>& diags);
+
+/// Counts per severity, indexed by static_cast<int>(Severity).
+std::array<int, 3> count_by_severity(const std::vector<Diagnostic>& diags);
+
+/// Human-readable report, one line per diagnostic:
+///   error[scan-cycle] node 'B': scan interconnect cycle B -> m1 -> B
+/// `names` maps NodeId -> display name (empty: numeric ids only).
+std::string to_text(const std::vector<Diagnostic>& diags,
+                    const std::vector<std::string>& names = {});
+
+/// Machine-readable report:
+///   {"errors":N,"warnings":N,"infos":N,"diagnostics":[{...},...]}
+/// Stable key order, no trailing whitespace; safe to parse line-wise or with
+/// any JSON parser.
+std::string to_json(const std::vector<Diagnostic>& diags,
+                    const std::vector<std::string>& names = {});
+
+/// Aggregates all error-severity diagnostics into one std::logic_error and
+/// throws it; no-op when `diags` contains no errors.  `subject` names the
+/// checked object in the exception text (e.g. "RSN 'core'").
+void throw_if_errors(const std::vector<Diagnostic>& diags,
+                     const std::string& subject,
+                     const std::vector<std::string>& names = {});
+
+}  // namespace ftrsn::lint

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "lint/lint.hpp"
+
 namespace ftrsn {
 
 NodeId Rsn::add_primary_in(std::string name) {
@@ -170,49 +172,12 @@ RsnStats Rsn::stats() const {
   return s;
 }
 
-void Rsn::validate() const {
-  FTRSN_CHECK_MSG(!primary_ins_.empty(), "RSN has no primary scan-in");
-  FTRSN_CHECK_MSG(!primary_outs_.empty(), "RSN has no primary scan-out");
-  for (NodeId id = 0; id < nodes_.size(); ++id) {
-    const RsnNode& n = nodes_[id];
-    switch (n.kind) {
-      case NodeKind::kPrimaryIn:
-        break;
-      case NodeKind::kPrimaryOut:
-      case NodeKind::kSegment:
-        FTRSN_CHECK_MSG(n.scan_in != kInvalidNode,
-                        strprintf("node %s has no scan-in driver", n.name.c_str()));
-        FTRSN_CHECK(n.scan_in < nodes_.size());
-        FTRSN_CHECK_MSG(nodes_[n.scan_in].kind != NodeKind::kPrimaryOut,
-                        "primary scan-out cannot drive another node");
-        break;
-      case NodeKind::kMux:
-        for (NodeId in : n.mux_in) {
-          FTRSN_CHECK_MSG(in != kInvalidNode && in < nodes_.size(),
-                          strprintf("mux %s has a dangling input", n.name.c_str()));
-          FTRSN_CHECK(nodes_[in].kind != NodeKind::kPrimaryOut);
-        }
-        FTRSN_CHECK_MSG(n.mux_in[0] != n.mux_in[1],
-                        strprintf("mux %s has identical inputs", n.name.c_str()));
-        break;
-    }
-  }
-  // Every shadow-bit control atom must reference a real shadow register bit.
-  for (CtrlRef r = 0; static_cast<std::size_t>(r) < ctrl_.size(); ++r) {
-    const CtrlNode& c = ctrl_.node(r);
-    if (c.op != CtrlOp::kShadowBit) continue;
-    FTRSN_CHECK(c.seg < nodes_.size());
-    const RsnNode& seg = nodes_[c.seg];
-    FTRSN_CHECK_MSG(seg.is_segment() && seg.has_shadow,
-                    strprintf("control references shadow of %s which has none",
-                              seg.name.c_str()));
-    FTRSN_CHECK_MSG(c.bit < seg.length,
-                    strprintf("control references bit %u of %d-bit segment %s",
-                              c.bit, seg.length, seg.name.c_str()));
-    FTRSN_CHECK(c.replica < seg.shadow_replicas);
-  }
-  // Acyclicity (throws on violation).
-  (void)topo_order();
+std::vector<lint::Diagnostic> Rsn::validate() const {
+  return lint::lint_rsn(*this);
+}
+
+void Rsn::validate_or_die() const {
+  lint::throw_if_errors(validate(), "RSN", node_names());
 }
 
 namespace {
@@ -314,7 +279,7 @@ Rsn make_example_rsn() {
   rsn.set_hier(b, 0, 2);
   rsn.set_hier(c, 0, 2);
   rsn.set_hier(d, 0, 1);
-  rsn.validate();
+  rsn.validate_or_die();
   return rsn;
 }
 
@@ -329,7 +294,7 @@ Rsn make_chain_rsn(int num_segments, int bits_per_segment) {
     rsn.set_hier(prev, 0, 1);
   }
   rsn.add_primary_out("SO", prev);
-  rsn.validate();
+  rsn.validate_or_die();
   return rsn;
 }
 

@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "lint/diagnostic.hpp"
 #include "rsn/ctrl.hpp"
 #include "util/common.hpp"
 
@@ -132,7 +133,16 @@ class Rsn {
   std::vector<std::string> node_names() const;
 
   RsnStats stats() const;
-  void validate() const;
+
+  /// Runs the structural / control / synthesis-metadata lint rules
+  /// (lint/lint.hpp) over the netlist and returns the full diagnostic
+  /// list — every violation, not just the first one.  An empty list (or a
+  /// list of warnings only) means the RSN is well-formed.
+  std::vector<lint::Diagnostic> validate() const;
+
+  /// Shim for call sites that want the historical abort-on-broken behavior:
+  /// throws std::logic_error listing all error-severity diagnostics.
+  void validate_or_die() const;
 
   /// Deep equality of structure (used by io round-trip tests).
   bool structurally_equal(const Rsn& other) const;

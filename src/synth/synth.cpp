@@ -6,6 +6,8 @@
 #include <iterator>
 #include <map>
 
+#include "lint/lint.hpp"
+
 namespace ftrsn {
 
 namespace {
@@ -25,7 +27,7 @@ CtrlRef make_address(Rsn& rsn, NodeId reg, bool tmr, std::uint16_t salt) {
 
 SynthResult synthesize_fault_tolerant(const Rsn& original,
                                       const SynthOptions& options) {
-  SynthResult out{original, {}, {}};
+  SynthResult out{original, {}, {}, {}};
   Rsn& ft = out.rsn;
   const std::size_t n_orig = original.num_nodes();
 
@@ -209,7 +211,8 @@ SynthResult synthesize_fault_tolerant(const Rsn& original,
     for (NodeId id = 0; id < n_orig; ++id) {
       if (!ft.node(id).is_mux()) continue;
       const CtrlRef addr = ft.node(id).addr;
-      const CtrlNode& a = ft.ctrl().node(addr);
+      // Copy, not reference: interning the voter below may reallocate the pool.
+      const CtrlNode a = ft.ctrl().node(addr);
       if (a.op != CtrlOp::kShadowBit) continue;
       ft.set_shadow_replicas(a.seg, 3);
       CtrlPool& ctrl = ft.ctrl();
@@ -337,7 +340,16 @@ SynthResult synthesize_fault_tolerant(const Rsn& original,
     }
   }
 
-  ft.validate();
+  // --- static analysis of the result (lint/) --------------------------------
+  // Error-severity findings abort the synthesis; warnings (e.g. accepted
+  // residual single points of failure) stay in `out.lint` for the caller.
+  out.lint = lint::lint_augmentation(g, added, aopt.target_allowed);
+  {
+    const auto netlist = ft.validate();
+    out.lint.insert(out.lint.end(), netlist.begin(), netlist.end());
+  }
+  lint::throw_if_errors(out.lint, "synthesized fault-tolerant RSN",
+                        ft.node_names());
   return out;
 }
 

@@ -44,6 +44,12 @@ struct SynthResult {
   Rsn rsn;  ///< the fault-tolerant RSN
   AugmentResult augment;
   SynthStats stats;
+  /// Full static-analysis report of the result (lint/lint.hpp): the
+  /// augmentation postconditions on the abstract dataflow graph followed by
+  /// the structural/control rules on the synthesized netlist.  Synthesis
+  /// throws if any diagnostic has error severity, so a returned result can
+  /// only carry warnings/infos (e.g. residual single points of failure).
+  std::vector<lint::Diagnostic> lint;
 };
 
 /// Synthesizes the fault-tolerant version of `original`.

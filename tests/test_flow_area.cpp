@@ -58,7 +58,7 @@ TEST(Flow, ExampleEndToEnd) {
   EXPECT_EQ(r.original_metric->seg_worst, 0.0);
   EXPECT_GT(r.hardened_metric->seg_worst, r.original_metric->seg_worst);
   EXPECT_GT(r.hardened_metric->seg_avg, r.original_metric->seg_avg);
-  EXPECT_NO_THROW(r.hardened.validate());
+  EXPECT_NO_THROW(r.hardened.validate_or_die());
 }
 
 TEST(Flow, SkipsMetricsWhenDisabled) {

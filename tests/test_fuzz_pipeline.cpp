@@ -39,7 +39,7 @@ TEST(FuzzPipeline, RandomSocsSurviveEveryStage) {
   for (int trial = 0; trial < 12; ++trial) {
     const itc02::Soc soc = random_soc(rng, 6);
     const Rsn rsn = itc02::generate_sib_rsn(soc);
-    ASSERT_NO_THROW(rsn.validate()) << "trial " << trial;
+    ASSERT_NO_THROW(rsn.validate_or_die()) << "trial " << trial;
 
     // Fault-free accessibility must be total.
     const AccessAnalyzer analyzer(rsn);
@@ -55,7 +55,7 @@ TEST(FuzzPipeline, RandomSocsSurviveEveryStage) {
     // Full flow: the hardened network is valid, fault-free-complete and
     // strictly more tolerant on both aggregates.
     const FlowResult flow = run_flow(rsn);
-    ASSERT_NO_THROW(flow.hardened.validate()) << "trial " << trial;
+    ASSERT_NO_THROW(flow.hardened.validate_or_die()) << "trial " << trial;
     const AccessAnalyzer hardened_analyzer(flow.hardened);
     const auto hacc = hardened_analyzer.accessible_fault_free();
     for (NodeId id = 0; id < flow.hardened.num_nodes(); ++id)
@@ -105,7 +105,7 @@ TEST(FuzzPipeline, SingleModuleSingleChain) {
   const Rsn rsn = itc02::generate_sib_rsn(soc);
   EXPECT_EQ(rsn.stats().segments, 2);  // SIB register + chain
   const FlowResult flow = run_flow(rsn);
-  EXPECT_NO_THROW(flow.hardened.validate());
+  EXPECT_NO_THROW(flow.hardened.validate_or_die());
   EXPECT_GE(flow.hardened_metric->seg_avg, flow.original_metric->seg_avg);
 }
 

@@ -55,7 +55,7 @@ INSTANTIATE_TEST_SUITE_P(AllSocs, Itc02TableParam, ::testing::Range(0, 13),
 
 TEST(Itc02, GeneratedRsnIsValidDag) {
   const Rsn rsn = itc02::generate_sib_rsn(itc02::socs()[0]);
-  EXPECT_NO_THROW(rsn.validate());
+  EXPECT_NO_THROW(rsn.validate_or_die());
   const DataflowGraph g = DataflowGraph::from_rsn(rsn);
   EXPECT_FALSE(g.has_cycle());
   EXPECT_EQ(g.roots().size(), 1u);

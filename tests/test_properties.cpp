@@ -32,7 +32,7 @@ INSTANTIATE_TEST_SUITE_P(Socs, AllSocs, ::testing::Range(0, 13),
 
 TEST_P(AllSocs, GeneratedRsnIsValidAcyclicAndConnected) {
   const Rsn rsn = itc02::generate_sib_rsn(soc());
-  EXPECT_NO_THROW(rsn.validate());
+  EXPECT_NO_THROW(rsn.validate_or_die());
   const DataflowGraph g = DataflowGraph::from_rsn(rsn);
   EXPECT_FALSE(g.has_cycle());
   // Every vertex lies on some root-to-sink path.
@@ -123,7 +123,7 @@ TEST_P(AllSocs, AugmentedGraphStaysAcyclicAndLevelForward) {
 TEST_P(AllSocs, SynthesizedRsnValidAndPreservesSegments) {
   const Rsn rsn = itc02::generate_sib_rsn(soc());
   const SynthResult r = synthesize_fault_tolerant(rsn);
-  EXPECT_NO_THROW(r.rsn.validate());
+  EXPECT_NO_THROW(r.rsn.validate_or_die());
   // Every original segment survives with identical length and role.
   for (NodeId id = 0; id < rsn.num_nodes(); ++id) {
     const RsnNode& o = rsn.node(id);

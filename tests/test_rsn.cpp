@@ -130,7 +130,7 @@ TEST(Rsn, ValidateRejectsDanglingScanIn) {
   const NodeId seg = rsn.add_segment("s", 1, kInvalidNode);
   rsn.add_primary_out("SO", seg);
   (void)in;
-  EXPECT_THROW(rsn.validate(), std::logic_error);
+  EXPECT_THROW(rsn.validate_or_die(), std::logic_error);
 }
 
 TEST(Rsn, ValidateRejectsShadowRefWithoutShadow) {
@@ -139,7 +139,7 @@ TEST(Rsn, ValidateRejectsShadowRefWithoutShadow) {
   const NodeId seg = rsn.add_segment("s", 1, in, /*has_shadow=*/false);
   rsn.add_primary_out("SO", seg);
   rsn.set_select(seg, rsn.ctrl().shadow_bit(seg, 0));
-  EXPECT_THROW(rsn.validate(), std::logic_error);
+  EXPECT_THROW(rsn.validate_or_die(), std::logic_error);
 }
 
 TEST(Rsn, ValidateRejectsCycle) {
@@ -149,7 +149,7 @@ TEST(Rsn, ValidateRejectsCycle) {
   const NodeId mux = rsn.add_mux("m", in, a, kCtrlFalse);
   rsn.set_scan_in(a, mux);  // a -> mux -> a
   rsn.add_primary_out("SO", a);
-  EXPECT_THROW(rsn.validate(), std::logic_error);
+  EXPECT_THROW(rsn.validate_or_die(), std::logic_error);
 }
 
 TEST(Rsn, StructurallyEqualSelf) {

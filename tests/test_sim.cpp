@@ -153,7 +153,7 @@ TEST(Sim, StuckShadowReplicaOutvotedByTmr) {
       ctrl.mk_maj3(ctrl.shadow_bit(kA, 0, 0), ctrl.shadow_bit(kA, 0, 1),
                    ctrl.shadow_bit(kA, 0, 2));
   rsn.node_mut(kMux1).addr = voted;
-  rsn.validate();
+  rsn.validate_or_die();
   CsuSimulator sim(rsn);
   Forcing f;
   f.point = Forcing::Point::kShadowReplica;

@@ -11,7 +11,7 @@ namespace {
 TEST(Synth, ExampleProducesValidRsn) {
   const Rsn original = make_example_rsn();
   const SynthResult r = synthesize_fault_tolerant(original);
-  EXPECT_NO_THROW(r.rsn.validate());
+  EXPECT_NO_THROW(r.rsn.validate_or_die());
   EXPECT_GT(r.stats.added_muxes, 0);
   // Every edge gets a register unless it is steered by a primary pin
   // (edges whose bootstrap anchor degenerates to the scan-in port).
@@ -151,7 +151,7 @@ TEST(Synth, FaultFreeFtRsnFullyAccessible) {
 TEST(Synth, U226EndToEnd) {
   const Rsn original = itc02::generate_sib_rsn(*itc02::find_soc("u226"));
   const SynthResult r = synthesize_fault_tolerant(original);
-  EXPECT_NO_THROW(r.rsn.validate());
+  EXPECT_NO_THROW(r.rsn.validate_or_die());
   const AccessAnalyzer analyzer(r.rsn);
   const auto acc = analyzer.accessible_fault_free();
   for (NodeId id = 0; id < r.rsn.num_nodes(); ++id)

@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# CI driver for the ftrsn repository:
+#   1. regular build + full test suite;
+#   2. ASan+UBSan build + full test suite;
+#   3. rsn-lint over generated and synthesized example networks
+#      (must report zero error-severity findings, exit status 0);
+#   4. clang-tidy over src/ when available (advisory).
+#
+# Usage: tools/ci.sh [build-dir-prefix]   (default: build-ci)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+PREFIX="${1:-build-ci}"
+JOBS="$(nproc 2>/dev/null || echo 2)"
+
+run() { echo "+ $*" >&2; "$@"; }
+
+# --- 1. regular build + tests ----------------------------------------------
+run cmake -B "$PREFIX" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
+run cmake --build "$PREFIX" -j "$JOBS"
+run ctest --test-dir "$PREFIX" --output-on-failure
+
+# --- 2. sanitizer build + tests --------------------------------------------
+run cmake -B "$PREFIX-asan" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DFTRSN_SANITIZE=address,undefined
+run cmake --build "$PREFIX-asan" -j "$JOBS"
+run ctest --test-dir "$PREFIX-asan" --output-on-failure
+
+# --- 3. rsn-lint over example networks -------------------------------------
+TOOL="$PREFIX/examples/example_rsn_tool"
+LINT="$PREFIX/examples/example_rsn_lint"
+WORK="$PREFIX/lint-networks"
+mkdir -p "$WORK"
+
+for soc in g1023 d281 u226; do
+  run "$TOOL" gen "$soc" "$WORK/$soc.rsn" >/dev/null
+  run "$LINT" "$WORK/$soc.rsn"
+done
+
+# Synthesized fault-tolerant networks must also be clean, including under
+# the post-synthesis fault-tolerance profile (--ft).
+for soc in g1023 d281; do
+  run "$TOOL" synth "$WORK/$soc.rsn" "$WORK/$soc-ft.rsn" >/dev/null
+  run "$LINT" --ft "$WORK/$soc-ft.rsn"
+done
+
+# The machine-readable emitter stays parseable.
+run "$LINT" --json "$WORK/g1023.rsn" >/dev/null
+
+# --- 4. clang-tidy (advisory) ----------------------------------------------
+if command -v clang-tidy >/dev/null 2>&1; then
+  run cmake -B "$PREFIX" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+  find src -name '*.cpp' -print0 |
+    xargs -0 -n 8 -P "$JOBS" clang-tidy -p "$PREFIX" --quiet || true
+else
+  echo "clang-tidy not found; skipping (advisory)" >&2
+fi
+
+echo "ci: all checks passed" >&2

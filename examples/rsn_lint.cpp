@@ -6,6 +6,9 @@
 //   --ft                 enable the post-synthesis fault-tolerance rules
 //   --disable=ID         turn a rule off (repeatable)
 //   --severity=ID:LEVEL  override a rule's severity (error|warning|info)
+//   --cone-backend=B     how cone queries are decided: tristate|sat|auto
+//   --cone-max-atoms=N   auto backend: enumerate up to N free atoms (def. 10)
+//   --lint-stats         print analysis counters per file (to stderr)
 //   --list-rules         print the rule catalog and exit
 //
 // Exit status: 0 = no error-severity findings, 1 = at least one error,
@@ -13,10 +16,12 @@
 // validation gate (load_rsn(path, false)) so deliberately broken networks
 // can be analyzed instead of aborting the parse.
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
 #include "io/rsn_text.hpp"
+#include "lint/cone_oracle.hpp"
 #include "lint/lint.hpp"
 
 using namespace ftrsn;
@@ -27,6 +32,8 @@ int usage() {
   std::fprintf(stderr,
                "usage: rsn_lint [--json] [--ft] [--disable=ID]\n"
                "                [--severity=ID:error|warning|info]\n"
+               "                [--cone-backend=tristate|sat|auto]\n"
+               "                [--cone-max-atoms=N] [--lint-stats]\n"
                "                [--list-rules] <in.rsn> [...]\n");
   return 2;
 }
@@ -51,6 +58,18 @@ int list_rules() {
   return 0;
 }
 
+bool parse_backend(const std::string& name, lint::LintOptions& opts) {
+  if (name == "tristate")
+    opts.cone_backend = lint::ConeBackend::kTristate;
+  else if (name == "sat")
+    opts.cone_backend = lint::ConeBackend::kSat;
+  else if (name == "auto")
+    opts.cone_backend = lint::ConeBackend::kAuto;
+  else
+    return false;
+  return true;
+}
+
 bool parse_severity(const std::string& spec, lint::LintOptions& opts) {
   const std::size_t colon = spec.find(':');
   if (colon == std::string::npos) return false;
@@ -72,6 +91,7 @@ bool parse_severity(const std::string& spec, lint::LintOptions& opts) {
 int main(int argc, char** argv) {
   lint::LintOptions opts;
   bool json = false;
+  bool stats = false;
   std::vector<std::string> files;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -85,6 +105,15 @@ int main(int argc, char** argv) {
       opts.enabled[arg.substr(10)] = false;
     } else if (arg.rfind("--severity=", 0) == 0) {
       if (!parse_severity(arg.substr(11), opts)) return usage();
+    } else if (arg.rfind("--cone-backend=", 0) == 0) {
+      if (!parse_backend(arg.substr(15), opts)) return usage();
+    } else if (arg.rfind("--cone-max-atoms=", 0) == 0) {
+      char* end = nullptr;
+      const long n = std::strtol(arg.c_str() + 17, &end, 10);
+      if (end == nullptr || *end != '\0' || n < 0) return usage();
+      opts.cone_max_atoms = static_cast<std::size_t>(n);
+    } else if (arg == "--lint-stats") {
+      stats = true;
     } else if (!arg.empty() && arg[0] == '-') {
       return usage();
     } else {
@@ -102,7 +131,20 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "%s: cannot load: %s\n", path.c_str(), e.what());
       return 2;
     }
+    if (stats) lint::reset_lint_stats();
     const auto diags = lint::lint_rsn(rsn, opts);
+    if (stats) {
+      const lint::LintStats& s = lint::lint_stats();
+      std::fprintf(stderr,
+                   "%s: lint-stats: sat=%llu tristate=%llu cache-hits=%llu "
+                   "incremental-updates=%llu full-recomputes=%llu\n",
+                   path.c_str(),
+                   static_cast<unsigned long long>(s.cones_solved_sat),
+                   static_cast<unsigned long long>(s.cones_solved_tristate),
+                   static_cast<unsigned long long>(s.cache_hits),
+                   static_cast<unsigned long long>(s.incremental_updates),
+                   static_cast<unsigned long long>(s.full_recomputes));
+    }
     const auto counts = lint::count_by_severity(diags);
     const auto names = rsn.node_names();
     if (json) {

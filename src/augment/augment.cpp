@@ -8,6 +8,7 @@
 
 #include "ilp/ilp.hpp"
 #include "ilp/mincost_flow.hpp"
+#include "lint/augment_cache.hpp"
 
 namespace ftrsn {
 
@@ -128,33 +129,32 @@ Instance build_instance(const DataflowGraph& g, const AugmentOptions& opt) {
 /// Finds a directed cycle among the chosen candidate edges (cycles can only
 /// involve same-level edges, since every other edge strictly increases the
 /// topological level).  Returns candidate indices of the cycle edges.
+///
+/// `cache` carries the chosen edge set from the previous engine iterate:
+/// assign() applies only the suffix delta and the cycle query touches only
+/// the same-level edges, instead of rebuilding a DataflowGraph per call.
 std::vector<int> find_cycle_among(const Instance& inst,
-                                  const std::vector<int>& chosen) {
+                                  const std::vector<int>& chosen,
+                                  lint::AugmentLintCache& cache) {
   std::vector<DfEdge> edges;
-  std::vector<int> edge_candidate;
-  std::size_t max_vertex = 0;
-  for (int ci : chosen) {
-    const Candidate& c = inst.candidates[static_cast<std::size_t>(ci)];
-    if (inst.level[c.edge.from] != inst.level[c.edge.to]) continue;
-    edges.push_back(c.edge);
-    edge_candidate.push_back(ci);
-    max_vertex = std::max<std::size_t>(
-        max_vertex, std::max(c.edge.from, c.edge.to) + 1);
-  }
-  if (edges.empty()) return {};
-  const DataflowGraph sub =
-      DataflowGraph::from_edges(max_vertex, edges, {}, {});
-  const std::vector<NodeId> cycle_vertices = sub.find_cycle();
+  edges.reserve(chosen.size());
+  for (int ci : chosen)
+    edges.push_back(inst.candidates[static_cast<std::size_t>(ci)].edge);
+  cache.assign(edges);
+  const std::vector<NodeId> cycle_vertices = cache.same_level_cycle();
   if (cycle_vertices.empty()) return {};
   std::vector<int> cycle;
   for (std::size_t i = 0; i < cycle_vertices.size(); ++i) {
     const NodeId from = cycle_vertices[i];
     const NodeId to = cycle_vertices[(i + 1) % cycle_vertices.size()];
-    for (std::size_t e = 0; e < edges.size(); ++e)
-      if (edges[e].from == from && edges[e].to == to) {
-        cycle.push_back(edge_candidate[e]);
+    for (int ci : chosen) {
+      const Candidate& c = inst.candidates[static_cast<std::size_t>(ci)];
+      if (inst.level[c.edge.from] != inst.level[c.edge.to]) continue;
+      if (c.edge.from == from && c.edge.to == to) {
+        cycle.push_back(ci);
         break;
       }
+    }
   }
   FTRSN_CHECK(!cycle.empty());
   return cycle;
@@ -175,6 +175,7 @@ AugmentResult solve_flow(const DataflowGraph& g, const Instance& inst,
   long long incumbent_cost = std::numeric_limits<long long>::max();
   std::vector<int> incumbent;
   bool exhausted = true;
+  lint::AugmentLintCache cycle_cache(g);
 
   while (!open.empty()) {
     if (result.bb_nodes >= opt.max_bb_nodes) {
@@ -197,7 +198,8 @@ AugmentResult solve_flow(const DataflowGraph& g, const Instance& inst,
     const auto sol = solver.solve();
     if (!sol.feasible || sol.cost >= incumbent_cost) continue;
 
-    const std::vector<int> cycle = find_cycle_among(inst, sol.chosen);
+    const std::vector<int> cycle =
+        find_cycle_among(inst, sol.chosen, cycle_cache);
     if (cycle.empty()) {
       incumbent_cost = sol.cost;
       incumbent = sol.chosen;
@@ -252,11 +254,12 @@ AugmentResult solve_ilp(const DataflowGraph& g, const Instance& inst,
   }
   IlpSolver solver(std::move(p));
   int cuts = 0;
+  lint::AugmentLintCache cycle_cache(g);
   solver.set_lazy_cuts([&](const std::vector<double>& x) {
     std::vector<int> chosen;
     for (std::size_t e = 0; e < x.size(); ++e)
       if (x[e] > 0.5) chosen.push_back(static_cast<int>(e));
-    const std::vector<int> cycle = find_cycle_among(inst, chosen);
+    const std::vector<int> cycle = find_cycle_among(inst, chosen, cycle_cache);
     std::vector<LinearConstraint> out;
     if (!cycle.empty()) {
       // Subtour elimination (paper eq. 4): sum over the cycle's edges
@@ -285,9 +288,9 @@ AugmentResult solve_ilp(const DataflowGraph& g, const Instance& inst,
 
 AugmentResult solve_greedy(const DataflowGraph& g, const Instance& inst,
                            const AugmentOptions& opt) {
-  (void)g;
   (void)opt;
   AugmentResult result;
+  lint::AugmentLintCache cycle_cache(g);
   std::vector<int> need_out = inst.need_out;
   std::vector<int> need_in = inst.need_in;
   std::vector<std::size_t> order(inst.candidates.size());
@@ -320,7 +323,7 @@ AugmentResult solve_greedy(const DataflowGraph& g, const Instance& inst,
         if (serves_in) --in_left[c.edge.to];
       }
     }
-    const std::vector<int> cycle = find_cycle_among(inst, chosen);
+    const std::vector<int> cycle = find_cycle_among(inst, chosen, cycle_cache);
     if (cycle.empty()) {
       for (int ci : chosen) {
         result.added_edges.push_back(

@@ -1,0 +1,298 @@
+#include "lint/augment_cache.hpp"
+
+#include <algorithm>
+
+#include "lint/cone_oracle.hpp"
+#include "lint/lint.hpp"
+
+// Diagnostics are built with designated initializers that leave the
+// trailing members for stamp() to fill in, as in lint.cpp.
+#if defined(__GNUC__)
+#pragma GCC diagnostic ignored "-Wmissing-field-initializers"
+#endif
+
+namespace ftrsn::lint {
+
+namespace {
+
+const RuleInfo& rule_info(const char* id) {
+  for (const RuleInfo& info : LintRunner::rules())
+    if (info.id == id) return info;
+  FTRSN_CHECK_MSG(false, strprintf("unknown augment rule '%s'", id));
+}
+
+void stamp(std::vector<Diagnostic>& out, std::size_t from, const char* id) {
+  const RuleInfo& info = rule_info(id);
+  for (std::size_t i = from; i < out.size(); ++i) {
+    out[i].rule = info.id;
+    out[i].severity = info.severity;
+  }
+}
+
+/// Iterative white/gray/black DFS with cycle reconstruction — the same
+/// traversal as DataflowGraph::find_cycle, over a caller-supplied adjacency
+/// view, so witnesses match the from-scratch graph byte for byte.
+template <typename SuccSize, typename SuccAt>
+std::vector<NodeId> find_cycle_view(std::size_t num_vertices,
+                                    SuccSize succ_size, SuccAt succ_at) {
+  enum : std::uint8_t { kWhite, kGray, kBlack };
+  std::vector<std::uint8_t> color(num_vertices, kWhite);
+  std::vector<NodeId> parent(num_vertices, kInvalidNode);
+  for (NodeId start = 0; start < num_vertices; ++start) {
+    if (color[start] != kWhite) continue;
+    std::vector<std::pair<NodeId, std::size_t>> stack{{start, 0}};
+    color[start] = kGray;
+    while (!stack.empty()) {
+      auto& [v, i] = stack.back();
+      if (i < succ_size(v)) {
+        const NodeId s = succ_at(v, i++);
+        if (color[s] == kGray) {
+          std::vector<NodeId> cycle{s};
+          for (NodeId u = v; u != s; u = parent[u]) cycle.push_back(u);
+          std::reverse(cycle.begin() + 1, cycle.end());
+          return cycle;
+        }
+        if (color[s] == kWhite) {
+          color[s] = kGray;
+          parent[s] = v;
+          stack.push_back({s, 0});
+        }
+      } else {
+        color[v] = kBlack;
+        stack.pop_back();
+      }
+    }
+  }
+  return {};
+}
+
+bool same_diag(const Diagnostic& a, const Diagnostic& b) {
+  return a.rule == b.rule && a.severity == b.severity && a.node == b.node &&
+         a.ctrl == b.ctrl && a.message == b.message && a.hint == b.hint &&
+         a.witness == b.witness;
+}
+
+}  // namespace
+
+AugmentLintCache::AugmentLintCache(const DataflowGraph& g,
+                                   std::vector<bool> target_allowed,
+                                   bool check_with_full_recompute)
+    : g_(g),
+      allowed_(std::move(target_allowed)),
+      check_(check_with_full_recompute),
+      n_(g.num_vertices()),
+      base_cyclic_(g.has_cycle()) {
+  if (!base_cyclic_) level_ = g.levels();
+  is_root_.assign(n_, 0);
+  is_sink_.assign(n_, 0);
+  for (NodeId r : g.roots()) is_root_[r] = 1;
+  for (NodeId s : g.sinks()) is_sink_[s] = 1;
+  base_in_.assign(n_, 0);
+  base_out_.assign(n_, 0);
+  for (NodeId v = 0; v < n_; ++v) {
+    base_in_[v] = static_cast<int>(g.predecessors(v).size());
+    base_out_[v] = static_cast<int>(g.successors(v).size());
+  }
+  add_in_.assign(n_, 0);
+  add_out_.assign(n_, 0);
+  ++lint_stats().full_recomputes;
+}
+
+void AugmentLintCache::ensure_degree_caps() const {
+  if (caps_ready_ || base_cyclic_) return;
+  const auto allowed = [&](NodeId v) {
+    return allowed_.empty() || (v < allowed_.size() && allowed_[v]);
+  };
+  possible_in_.assign(n_, 0);
+  possible_out_.assign(n_, 0);
+  for (NodeId v = 0; v < n_; ++v) {
+    int& pin = possible_in_[v];
+    for (NodeId u = 0; u < n_ && pin < 2; ++u)
+      if (u != v && !is_sink_[u] && level_[u] <= level_[v]) ++pin;
+    int& pout = possible_out_[v];
+    for (NodeId u = 0; u < n_ && pout < 2; ++u)
+      if (u != v && !is_root_[u] && level_[u] >= level_[v] &&
+          (allowed(u) || std::find(g_.successors(v).begin(),
+                                   g_.successors(v).end(),
+                                   u) != g_.successors(v).end()))
+        ++pout;
+  }
+  caps_ready_ = true;
+}
+
+void AugmentLintCache::add_edge(const DfEdge& e) {
+  added_.push_back(e);
+  if (e.from < n_ && e.to < n_) {
+    ++add_out_[e.from];
+    ++add_in_[e.to];
+    if (!base_cyclic_ && level_[e.to] <= level_[e.from]) ++suspect_count_;
+  }
+  ++lint_stats().incremental_updates;
+}
+
+void AugmentLintCache::remove_edge(const DfEdge& e) {
+  // Copy before mutating: callers may pass a reference into added_ itself
+  // (e.g. remove_edge(added().back())), which the erase would invalidate.
+  const DfEdge edge = e;
+  for (std::size_t i = added_.size(); i-- > 0;) {
+    if (added_[i].from != edge.from || added_[i].to != edge.to) continue;
+    added_.erase(added_.begin() + static_cast<std::ptrdiff_t>(i));
+    if (edge.from < n_ && edge.to < n_) {
+      --add_out_[edge.from];
+      --add_in_[edge.to];
+      if (!base_cyclic_ && level_[edge.to] <= level_[edge.from])
+        --suspect_count_;
+    }
+    ++lint_stats().incremental_updates;
+    return;
+  }
+}
+
+void AugmentLintCache::assign(const std::vector<DfEdge>& edges) {
+  std::size_t keep = 0;
+  while (keep < added_.size() && keep < edges.size() &&
+         added_[keep].from == edges[keep].from &&
+         added_[keep].to == edges[keep].to)
+    ++keep;
+  while (added_.size() > keep) remove_edge(added_.back());
+  for (std::size_t i = keep; i < edges.size(); ++i) add_edge(edges[i]);
+}
+
+std::vector<NodeId> AugmentLintCache::same_level_cycle() const {
+  if (base_cyclic_) return {};
+  std::vector<DfEdge> edges;
+  std::size_t max_vertex = 0;
+  for (const DfEdge& e : added_) {
+    if (e.from >= n_ || e.to >= n_) continue;
+    if (level_[e.from] != level_[e.to]) continue;
+    edges.push_back(e);
+    max_vertex = std::max<std::size_t>(max_vertex,
+                                       std::max(e.from, e.to) + 1);
+  }
+  if (edges.empty()) return {};
+  std::vector<std::vector<NodeId>> succ(max_vertex);
+  for (const DfEdge& e : edges) succ[e.from].push_back(e.to);
+  return find_cycle_view(
+      max_vertex, [&](NodeId v) { return succ[v].size(); },
+      [&](NodeId v, std::size_t i) { return succ[v][i]; });
+}
+
+std::vector<NodeId> AugmentLintCache::combined_find_cycle() const {
+  // Adjacency of DataflowGraph::from_edges(n, g.edges() ++ valid added):
+  // the base successor lists followed by the valid added edges in
+  // insertion order.
+  std::vector<std::vector<NodeId>> extra(n_);
+  for (const DfEdge& e : added_)
+    if (e.from < n_ && e.to < n_) extra[e.from].push_back(e.to);
+  return find_cycle_view(
+      n_,
+      [&](NodeId v) { return g_.successors(v).size() + extra[v].size(); },
+      [&](NodeId v, std::size_t i) {
+        const auto& base = g_.successors(v);
+        return i < base.size() ? base[i] : extra[v][i - base.size()];
+      });
+}
+
+std::vector<Diagnostic> AugmentLintCache::diagnostics() const {
+  std::vector<Diagnostic> out;
+
+  {
+    const std::size_t from = out.size();
+    for (std::size_t i = 0; i < added_.size(); ++i) {
+      const DfEdge& e = added_[i];
+      if (e.from >= n_ || e.to >= n_)
+        out.push_back({.message = strprintf(
+                           "augmenting edge #%zu (%u -> %u) leaves the "
+                           "%zu-vertex graph",
+                           i, e.from, e.to, n_)});
+    }
+    stamp(out, from, "aug-edge-range");
+  }
+
+  {
+    const std::size_t from = out.size();
+    // Base edges strictly increase the topological level, so the augmented
+    // graph is certainly acyclic while no added edge runs level-flat or
+    // level-backward; the DFS only runs once a suspect edge appears.
+    auto cycle = (base_cyclic_ || suspect_count_ > 0)
+                     ? combined_find_cycle()
+                     : std::vector<NodeId>{};
+    if (!cycle.empty())
+      out.push_back({.node = cycle.front(),
+                     .message = strprintf("augmenting edges close a cycle "
+                                          "through %zu vertices (eq. 5 "
+                                          "violated)",
+                                          cycle.size()),
+                     .hint = "drop or re-anchor one edge of the witness",
+                     .witness = std::move(cycle)});
+    stamp(out, from, "aug-cycle");
+  }
+
+  if (!base_cyclic_) {
+    {
+      const std::size_t from = out.size();
+      for (const DfEdge& e : added_)
+        if (e.from < n_ && e.to < n_ && level_[e.to] < level_[e.from])
+          out.push_back(
+              {.node = e.from,
+               .message = strprintf("augmenting edge %u -> %u runs level-"
+                                    "backward (%d -> %d); potential edges "
+                                    "must satisfy level(j) >= level(i)",
+                                    e.from, e.to, level_[e.from],
+                                    level_[e.to]),
+               .witness = {e.from, e.to}});
+      stamp(out, from, "aug-level-backward");
+    }
+
+    ensure_degree_caps();
+    const auto allowed = [&](NodeId v) {
+      return allowed_.empty() || (v < allowed_.size() && allowed_[v]);
+    };
+    {
+      const std::size_t from = out.size();
+      for (NodeId v = 0; v < n_; ++v) {
+        if (is_root_[v] || !allowed(v)) continue;
+        const int indeg = base_in_[v] + add_in_[v];
+        if (indeg < std::min(2, possible_in_[v]))
+          out.push_back(
+              {.node = v,
+               .message = strprintf("in-degree %d after augmentation (eq. 3 "
+                                    "requires 2; %d source(s) available)",
+                                    indeg, possible_in_[v])});
+      }
+      stamp(out, from, "aug-low-in-degree");
+    }
+    {
+      const std::size_t from = out.size();
+      for (NodeId v = 0; v < n_; ++v) {
+        if (is_sink_[v]) continue;
+        const int outdeg = base_out_[v] + add_out_[v];
+        if (outdeg < std::min(2, possible_out_[v]))
+          out.push_back(
+              {.node = v,
+               .message = strprintf("out-degree %d after augmentation (eq. 4 "
+                                    "requires 2; %d target(s) available)",
+                                    outdeg, possible_out_[v])});
+      }
+      stamp(out, from, "aug-low-out-degree");
+    }
+  }
+
+  if (check_) {
+    const std::vector<Diagnostic> ref =
+        lint_augmentation(g_, added_, allowed_);
+    FTRSN_CHECK_MSG(ref.size() == out.size(),
+                    strprintf("AugmentLintCache disagrees with the "
+                              "from-scratch lint: %zu vs %zu diagnostics",
+                              out.size(), ref.size()));
+    for (std::size_t i = 0; i < out.size(); ++i)
+      FTRSN_CHECK_MSG(same_diag(out[i], ref[i]),
+                      strprintf("AugmentLintCache diagnostic #%zu diverges "
+                                "from the from-scratch lint: '%s' vs '%s'",
+                                i, out[i].message.c_str(),
+                                ref[i].message.c_str()));
+  }
+  return out;
+}
+
+}  // namespace ftrsn::lint

@@ -1,0 +1,93 @@
+// Incremental augmentation lint for the connectivity-augmentation loop.
+//
+// The augmentation engines (src/augment/) explore many candidate edge sets
+// that differ by a handful of edges; re-running lint_augmentation from
+// scratch on each one rebuilds the augmented DataflowGraph, recomputes the
+// topological levels and rescans all O(V^2) source/target pairs for the
+// degree caps every time.  AugmentLintCache computes that base-graph state
+// once and then tracks the candidate set by single-edge deltas:
+//
+//   * levels, root/sink flags and the per-vertex degree caps of eqs. 3-4
+//     depend only on the base graph — computed once (caps lazily);
+//   * in/out-degree tallies are maintained per add_edge/remove_edge;
+//   * cycle detection exploits that base edges strictly increase the
+//     topological level, so a cycle in the augmented graph must use an
+//     added edge with level(to) <= level(from) ("suspect" edges).  While
+//     no suspect edge is present, acyclicity is certain and no DFS runs at
+//     all; the engines' in-loop query (same_level_cycle) only ever walks
+//     the few same-level added edges.
+//
+// diagnostics() reproduces the from-scratch lint_augmentation(g, added(),
+// target_allowed) byte for byte — same rules, order, messages and
+// witnesses — which the differential tests (and the opt-in
+// check_with_full_recompute mode) verify.
+#pragma once
+
+#include <vector>
+
+#include "graph/dataflow.hpp"
+#include "lint/diagnostic.hpp"
+
+namespace ftrsn::lint {
+
+class AugmentLintCache {
+ public:
+  /// Analyzes the base graph once (counts as one LintStats full recompute).
+  /// `check_with_full_recompute` re-runs the from-scratch lint_augmentation
+  /// on every diagnostics() call and aborts on any disagreement — the
+  /// checking-oracle mode used by the differential tests.
+  explicit AugmentLintCache(const DataflowGraph& g,
+                            std::vector<bool> target_allowed = {},
+                            bool check_with_full_recompute = false);
+
+  /// Appends one candidate edge (out-of-range endpoints are tolerated and
+  /// reported by aug-edge-range, mirroring lint_augmentation).
+  void add_edge(const DfEdge& e);
+
+  /// Removes the most recently added occurrence of `e`; no-op when absent.
+  void remove_edge(const DfEdge& e);
+
+  /// Rewrites the candidate set to exactly `edges` (in that order) via the
+  /// longest-common-prefix suffix diff — consecutive engine iterates share
+  /// long prefixes, so this is a few deltas, not a rebuild.
+  void assign(const std::vector<DfEdge>& edges);
+
+  /// The current candidate set, in insertion order.
+  const std::vector<DfEdge>& added() const { return added_; }
+
+  /// Vertex witness of a directed cycle among the *same-level* added edges
+  /// (the only edges that can close a cycle when every added edge runs
+  /// level-forward); empty when none.  Matches what find_cycle would report
+  /// on the subgraph of exactly those edges.  Only meaningful for an
+  /// acyclic base graph (returns empty otherwise).
+  std::vector<NodeId> same_level_cycle() const;
+
+  /// The same diagnostic list lint_augmentation(g, added(), target_allowed)
+  /// would produce, from the cached/incremental state.
+  std::vector<Diagnostic> diagnostics() const;
+
+ private:
+  void ensure_degree_caps() const;
+  std::vector<NodeId> combined_find_cycle() const;
+
+  const DataflowGraph& g_;
+  std::vector<bool> allowed_;
+  bool check_;
+  std::size_t n_;
+  bool base_cyclic_;
+
+  std::vector<int> level_;        ///< base levels (empty when base_cyclic_)
+  std::vector<char> is_root_, is_sink_;
+  std::vector<int> base_in_, base_out_;  ///< base degree incl. duplicates
+
+  std::vector<DfEdge> added_;     ///< candidate set, insertion order
+  std::vector<int> add_in_, add_out_;  ///< added-edge degree tallies
+  std::size_t suspect_count_ = 0; ///< added edges with level(to) <= level(from)
+
+  /// Degree caps of eqs. 3-4 (min'd against 2), lazily computed: the
+  /// engines only use the cycle queries and never pay the O(V^2) scan.
+  mutable bool caps_ready_ = false;
+  mutable std::vector<int> possible_in_, possible_out_;
+};
+
+}  // namespace ftrsn::lint

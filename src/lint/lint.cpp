@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <functional>
 #include <map>
+#include <memory>
 #include <set>
+
+#include "lint/cone_oracle.hpp"
 
 // Rules build Diagnostics with designated initializers that deliberately
 // leave the trailing members (rule id, severity) default-initialized — the
@@ -29,6 +32,10 @@ struct Ctx {
   std::vector<char> reach;    ///< reachable from some primary scan-in
   std::vector<char> coreach;  ///< reaches some primary scan-out
   bool refs_ok = true;        ///< every scan reference is in range
+  /// Exact control-cone analysis, shared across all cone-based rules of one
+  /// run so identical queries (e.g. a select expression reused by several
+  /// segments) hit the memo cache.
+  std::unique_ptr<ConeOracle> oracle;
 };
 
 bool node_ok(const Ctx& c, NodeId id) {
@@ -39,8 +46,10 @@ bool ctrl_ok(const Ctx& c, CtrlRef r) {
   return r >= 0 && static_cast<std::size_t>(r) < c.pool.size();
 }
 
-Ctx make_ctx(const Rsn& rsn) {
-  Ctx c{rsn, rsn.ctrl(), rsn.node_names(), {}, {}, {}, {}, true};
+Ctx make_ctx(const Rsn& rsn, const LintOptions& opts) {
+  Ctx c{rsn, rsn.ctrl(), rsn.node_names(), {}, {}, {}, {}, true, nullptr};
+  c.oracle = std::make_unique<ConeOracle>(c.pool, opts.cone_backend,
+                                          opts.cone_max_atoms);
   const std::size_t n = rsn.num_nodes();
   c.succ.resize(n);
   c.pred.resize(n);
@@ -84,106 +93,8 @@ Ctx make_ctx(const Rsn& rsn) {
   return c;
 }
 
-// ---------------------------------------------------------------------------
-// Control-expression cone analysis.  Interning appends parents after their
-// children, so ascending CtrlRef order within a cone is a valid bottom-up
-// evaluation order; evaluation is memoized per cone node (the naive
-// recursive CtrlPool::eval is exponential on heavily shared DAGs).
-
-constexpr int kX = 2;  ///< three-valued "unknown"
-
-/// The expression cone of `r` in ascending ref order; empty when it exceeds
-/// `max_nodes` (analysis is then skipped — lint is best-effort).
-std::vector<CtrlRef> cone_of(const CtrlPool& pool, CtrlRef r,
-                             std::size_t max_nodes) {
-  std::vector<CtrlRef> stack{r};
-  std::set<CtrlRef> seen{r};
-  std::vector<CtrlRef> cone;
-  while (!stack.empty()) {
-    const CtrlRef t = stack.back();
-    stack.pop_back();
-    cone.push_back(t);
-    if (cone.size() > max_nodes) return {};
-    const CtrlNode& n = pool.node(t);
-    for (int i = 0; i < n.arity(); ++i)
-      if (seen.insert(n.kid[i]).second) stack.push_back(n.kid[i]);
-  }
-  std::sort(cone.begin(), cone.end());
-  return cone;
-}
-
-bool is_atom(CtrlOp op) {
-  return op == CtrlOp::kEnable || op == CtrlOp::kPortSel ||
-         op == CtrlOp::kShadowBit;
-}
-
-/// Three-valued bottom-up evaluation over `cone`; atoms not in `forced`
-/// evaluate to unknown.
-int tristate_eval(const CtrlPool& pool, const std::vector<CtrlRef>& cone,
-                  CtrlRef root, const std::map<CtrlRef, int>& forced) {
-  std::map<CtrlRef, int> val;
-  for (CtrlRef r : cone) {
-    const CtrlNode& n = pool.node(r);
-    const auto kid = [&](int i) { return val.at(n.kid[i]); };
-    int v = kX;
-    switch (n.op) {
-      case CtrlOp::kConst:
-        v = n.bit ? 1 : 0;
-        break;
-      case CtrlOp::kEnable:
-      case CtrlOp::kPortSel:
-      case CtrlOp::kShadowBit: {
-        const auto it = forced.find(r);
-        v = it == forced.end() ? kX : it->second;
-        break;
-      }
-      case CtrlOp::kNot: {
-        const int a = kid(0);
-        v = a == kX ? kX : 1 - a;
-        break;
-      }
-      case CtrlOp::kAnd: {
-        const int a = kid(0), b = kid(1);
-        v = (a == 0 || b == 0) ? 0 : (a == 1 && b == 1) ? 1 : kX;
-        break;
-      }
-      case CtrlOp::kOr: {
-        const int a = kid(0), b = kid(1);
-        v = (a == 1 || b == 1) ? 1 : (a == 0 && b == 0) ? 0 : kX;
-        break;
-      }
-      case CtrlOp::kMaj3: {
-        int ones = 0, zeros = 0;
-        for (int i = 0; i < 3; ++i) {
-          if (kid(i) == 1) ++ones;
-          if (kid(i) == 0) ++zeros;
-        }
-        v = ones >= 2 ? 1 : zeros >= 2 ? 0 : kX;
-        break;
-      }
-    }
-    val[r] = v;
-  }
-  return val.at(root);
-}
-
-/// Exhaustive check: does `root` evaluate to `want` under every assignment
-/// of its atom leaves?  Bails out (false) above `max_atoms` atoms.
-bool provably_const(const CtrlPool& pool, const std::vector<CtrlRef>& cone,
-                    CtrlRef root, bool want, std::size_t max_atoms = 10) {
-  std::vector<CtrlRef> atoms;
-  for (CtrlRef r : cone)
-    if (is_atom(pool.node(r).op)) atoms.push_back(r);
-  if (atoms.size() > max_atoms) return false;
-  std::map<CtrlRef, int> forced;
-  for (std::uint32_t m = 0; m < (1u << atoms.size()); ++m) {
-    for (std::size_t i = 0; i < atoms.size(); ++i)
-      forced[atoms[i]] = static_cast<int>((m >> i) & 1);
-    if (tristate_eval(pool, cone, root, forced) != (want ? 1 : 0))
-      return false;
-  }
-  return true;
-}
+// Cone queries (provably-constant / satisfiable / forced-value, exact for
+// cones of any size) go through Ctx::oracle — see lint/cone_oracle.hpp.
 
 // ---------------------------------------------------------------------------
 // Rsn rules.  A rule pushes bare diagnostics (node/ctrl/message/hint/
@@ -413,10 +324,8 @@ void rule_const_false_select(const Ctx& c, std::vector<Diagnostic>& out) {
     std::string how;
     if (n.select == kCtrlFalse) {
       how = "is the constant FALSE";
-    } else {
-      const auto cone = cone_of(c.pool, n.select, 256);
-      if (!cone.empty() && provably_const(c.pool, cone, n.select, false))
-        how = "evaluates to FALSE under every control assignment";
+    } else if (c.oracle->provably_const(n.select, false)) {
+      how = "evaluates to FALSE under every control assignment";
     }
     if (!how.empty())
       out.push_back({.node = id,
@@ -433,8 +342,7 @@ void rule_select_self_loop(const Ctx& c, std::vector<Diagnostic>& out) {
   for (NodeId id = 0; id < c.rsn.num_nodes(); ++id) {
     const RsnNode& n = c.rsn.node(id);
     if (!n.is_segment() || !n.has_shadow || !ctrl_ok(c, n.select)) continue;
-    const auto cone = cone_of(c.pool, n.select, 4096);
-    if (cone.empty()) continue;  // cone too large; skip (best effort)
+    const auto cone = cone_of(c.pool, n.select);
     std::map<CtrlRef, int> forced;
     for (CtrlRef r : cone) {
       const CtrlNode& a = c.pool.node(r);
@@ -442,7 +350,7 @@ void rule_select_self_loop(const Ctx& c, std::vector<Diagnostic>& out) {
         forced[r] = static_cast<int>((n.reset_shadow >> a.bit) & 1);
     }
     if (forced.empty()) continue;  // select independent of own shadow
-    if (tristate_eval(c.pool, cone, n.select, forced) == 0)
+    if (c.oracle->provably_const(n.select, false, forced))
       out.push_back(
           {.node = id,
            .ctrl = n.select,
@@ -462,12 +370,10 @@ void rule_const_mux_addr(const Ctx& c, std::vector<Diagnostic>& out) {
     int stuck = -1;
     if (n.addr == kCtrlFalse || n.addr == kCtrlTrue) {
       stuck = n.addr == kCtrlTrue ? 1 : 0;
-    } else {
-      const auto cone = cone_of(c.pool, n.addr, 256);
-      if (!cone.empty()) {
-        if (provably_const(c.pool, cone, n.addr, false)) stuck = 0;
-        else if (provably_const(c.pool, cone, n.addr, true)) stuck = 1;
-      }
+    } else if (c.oracle->provably_const(n.addr, false)) {
+      stuck = 0;
+    } else if (c.oracle->provably_const(n.addr, true)) {
+      stuck = 1;
     }
     if (stuck >= 0)
       out.push_back(
@@ -477,6 +383,32 @@ void rule_const_mux_addr(const Ctx& c, std::vector<Diagnostic>& out) {
                                 "never forwarded (its cone may be dead)",
                                 stuck, 1 - stuck),
            .hint = "steer the address from a writable shadow register"});
+  }
+}
+
+void rule_const_true_disable(const Ctx& c, std::vector<Diagnostic>& out) {
+  for (NodeId id = 0; id < c.rsn.num_nodes(); ++id) {
+    const RsnNode& n = c.rsn.node(id);
+    if (!n.is_segment()) continue;
+    const auto check = [&](CtrlRef r, const char* what) {
+      if (!ctrl_ok(c, r) || r == kCtrlFalse) return;  // kCtrlFalse = inactive
+      std::string how;
+      if (r == kCtrlTrue) {
+        how = "is the constant TRUE";
+      } else if (c.oracle->provably_const(r, true)) {
+        how = "evaluates to TRUE under every control assignment";
+      }
+      if (!how.empty())
+        out.push_back({.node = id,
+                       .ctrl = r,
+                       .message = strprintf("%s-disable ", what) + how +
+                                  ": the segment's system register is "
+                                  "permanently cut off from that operation",
+                       .hint = "derive the disable from configurable control "
+                               "state (or drop it)"});
+    };
+    check(n.cap_dis, "capture");
+    check(n.up_dis, "update");
   }
 }
 
@@ -582,6 +514,29 @@ void rule_select_term_coverage(const Ctx& c, std::vector<Diagnostic>& out) {
                                 c.succ[id].size()),
            .hint = "emit one OR-term per successor direction",
            .witness = std::move(missing)});
+  }
+}
+
+void rule_select_term_unsat(const Ctx& c, std::vector<Diagnostic>& out) {
+  for (const Rsn::SelectTerm& t : c.rsn.select_terms()) {
+    if (!ctrl_ok(c, t.term)) continue;  // select-term-stale reports it
+    std::string how;
+    if (t.term == kCtrlFalse) {
+      how = "is the constant FALSE";
+    } else if (c.oracle->provably_const(t.term, false)) {
+      how = "is unsatisfiable";
+    }
+    if (!how.empty())
+      out.push_back(
+          {.node = t.seg,
+           .ctrl = t.term,
+           .message = strprintf("hardened-select term for direction '%s' ",
+                                node_ok(c, t.succ) ? c.names[t.succ].c_str()
+                                                   : "?") +
+                      how +
+                      ": that detour can never be activated (§III-E-2)",
+           .hint = "regenerate the hardened select terms",
+           .witness = {t.succ}});
   }
 }
 
@@ -728,6 +683,9 @@ const std::vector<RsnRule>& rsn_rule_table() {
       {{"const-mux-addr", "mux addresses must be steerable",
         Severity::kWarning, RuleStage::kControl, "SII-B"},
        rule_const_mux_addr},
+      {{"const-true-disable", "capture/update disables must be escapable",
+        Severity::kWarning, RuleStage::kControl, "SII-B"},
+       rule_const_true_disable},
       {{"tmr-voter-shape", "Maj3 voters vote three distinct replicas",
         Severity::kError, RuleStage::kSynthesis, "SIII-E-3"},
        rule_tmr_voter_shape},
@@ -740,6 +698,9 @@ const std::vector<RsnRule>& rsn_rule_table() {
       {{"select-term-coverage", "hardened select covers every direction",
         Severity::kWarning, RuleStage::kSynthesis, "SIV-C"},
        rule_select_term_coverage},
+      {{"select-term-unsat", "hardened-select terms must be satisfiable",
+        Severity::kWarning, RuleStage::kSynthesis, "SIII-E-2"},
+       rule_select_term_unsat},
       {{"ft-single-scan-port", "fault-tolerant RSNs duplicate scan ports",
         Severity::kWarning, RuleStage::kFaultTolerance, "SIII-E-4"},
        rule_ft_single_scan_port},
@@ -909,7 +870,7 @@ Severity rule_severity(const LintOptions& opts, const RuleInfo& info) {
 }  // namespace
 
 std::vector<Diagnostic> LintRunner::run(const Rsn& rsn) const {
-  const Ctx ctx = make_ctx(rsn);
+  const Ctx ctx = make_ctx(rsn, options_);
   std::vector<Diagnostic> out;
   for (const RsnRule& rule : rsn_rule_table()) {
     if (!rule_enabled(options_, rule.info)) continue;
@@ -943,6 +904,7 @@ std::vector<Diagnostic> lint_dataflow(const DataflowGraph& g,
 std::vector<Diagnostic> lint_augmentation(
     const DataflowGraph& g, const std::vector<DfEdge>& added,
     const std::vector<bool>& target_allowed) {
+  ++lint_stats().full_recomputes;  // AugmentLintCache is the incremental path
   std::vector<Diagnostic> out;
   const std::size_t n = g.num_vertices();
 

@@ -1,0 +1,94 @@
+#include "sat/cnf.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace ftrsn::sat {
+
+CnfEncoder::CnfEncoder(const CtrlPool& pool, Solver& solver)
+    : pool_(pool), solver_(solver) {
+  lit_true_ = Lit(solver_.new_var(), false);
+  solver_.add_unit(lit_true_);
+}
+
+Lit CnfEncoder::encode(CtrlRef r) {
+  const auto hit = memo_.find(r);
+  if (hit != memo_.end()) return hit->second;
+
+  // Interning appends parents after their children, so ascending CtrlRef
+  // order is a valid bottom-up encoding order of the cone.  An explicit
+  // worklist (instead of recursion) keeps deep select cascades of large
+  // ITC'02 networks off the call stack.
+  std::vector<CtrlRef> stack{r}, cone;
+  std::vector<char> seen_local;
+  const auto seen = [&](CtrlRef t) -> char& {
+    const auto i = static_cast<std::size_t>(t);
+    if (i >= seen_local.size()) seen_local.resize(i + 1, 0);
+    return seen_local[i];
+  };
+  seen(r) = 1;
+  while (!stack.empty()) {
+    const CtrlRef t = stack.back();
+    stack.pop_back();
+    if (memo_.count(t)) continue;  // subterm of an earlier encode() call
+    cone.push_back(t);
+    const CtrlNode& n = pool_.node(t);
+    for (int i = 0; i < n.arity(); ++i)
+      if (!seen(n.kid[i])) {
+        seen(n.kid[i]) = 1;
+        stack.push_back(n.kid[i]);
+      }
+  }
+  std::sort(cone.begin(), cone.end());
+
+  for (CtrlRef t : cone) {
+    const CtrlNode& n = pool_.node(t);
+    Lit y;
+    switch (n.op) {
+      case CtrlOp::kConst:
+        y = n.bit ? lit_true_ : ~lit_true_;
+        break;
+      case CtrlOp::kEnable:
+      case CtrlOp::kPortSel:
+      case CtrlOp::kShadowBit:
+        y = Lit(solver_.new_var(), false);
+        break;
+      case CtrlOp::kNot:
+        y = ~memo_.at(n.kid[0]);
+        break;
+      case CtrlOp::kAnd: {
+        const Lit a = memo_.at(n.kid[0]), b = memo_.at(n.kid[1]);
+        y = Lit(solver_.new_var(), false);
+        solver_.add_binary(~y, a);
+        solver_.add_binary(~y, b);
+        solver_.add_ternary(y, ~a, ~b);
+        break;
+      }
+      case CtrlOp::kOr: {
+        const Lit a = memo_.at(n.kid[0]), b = memo_.at(n.kid[1]);
+        y = Lit(solver_.new_var(), false);
+        solver_.add_binary(y, ~a);
+        solver_.add_binary(y, ~b);
+        solver_.add_ternary(~y, a, b);
+        break;
+      }
+      case CtrlOp::kMaj3: {
+        const Lit a = memo_.at(n.kid[0]), b = memo_.at(n.kid[1]),
+                  c = memo_.at(n.kid[2]);
+        y = Lit(solver_.new_var(), false);
+        // y <-> at least two of {a, b, c}.
+        solver_.add_ternary(~y, a, b);
+        solver_.add_ternary(~y, a, c);
+        solver_.add_ternary(~y, b, c);
+        solver_.add_ternary(y, ~a, ~b);
+        solver_.add_ternary(y, ~a, ~c);
+        solver_.add_ternary(y, ~b, ~c);
+        break;
+      }
+    }
+    memo_.emplace(t, y);
+  }
+  return memo_.at(r);
+}
+
+}  // namespace ftrsn::sat

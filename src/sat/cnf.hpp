@@ -1,0 +1,47 @@
+// CtrlPool -> CNF Tseitin encoder.
+//
+// Translates hash-consed control expressions (rsn/ctrl.hpp) into clauses of
+// the CDCL solver so that control-cone properties (satisfiability, provable
+// constness, forced-value queries) can be decided exactly for cones of any
+// size.  Each pool node gets at most one solver variable (the encoder is
+// memoized over the expression DAG, so shared subterms are encoded once);
+// atoms (enable / port-select / shadow bits) map to free variables, gates
+// to Tseitin-defined variables.
+//
+// The encoding is equivalence-complete, not merely equisatisfiable: every
+// gate variable is constrained in both directions (y <-> f(kids)), so the
+// same encoder instance can serve positive and negative queries about any
+// subterm under assumptions.
+#pragma once
+
+#include <unordered_map>
+
+#include "rsn/ctrl.hpp"
+#include "sat/solver.hpp"
+
+namespace ftrsn::sat {
+
+class CnfEncoder {
+ public:
+  /// Both the pool and the solver must outlive the encoder.
+  CnfEncoder(const CtrlPool& pool, Solver& solver);
+
+  /// Literal whose value equals expression `r` in every model; encodes the
+  /// cone of `r` on first use and is memoized afterwards.
+  Lit encode(CtrlRef r);
+
+  /// The constant-true literal of this instance (its negation is FALSE).
+  Lit lit_true() const { return lit_true_; }
+
+  /// Solver variables created so far for this encoder (atoms + gates + the
+  /// constant), for diagnostics and tests.
+  std::size_t num_encoded() const { return memo_.size(); }
+
+ private:
+  const CtrlPool& pool_;
+  Solver& solver_;
+  Lit lit_true_;
+  std::unordered_map<CtrlRef, Lit> memo_;
+};
+
+}  // namespace ftrsn::sat

@@ -171,6 +171,50 @@ TEST(Lint, ConstFalseSelect) {
   EXPECT_TRUE(fires(lint::lint_rsn(net2.rsn), "const-false-select"));
 }
 
+TEST(Lint, ConstFalseSelectLargeConeIsFlagged) {
+  // 12 free atoms — beyond the historical 10-atom enumeration cutoff that
+  // used to yield "cone too large; skip".  OR of per-atom contradictions
+  // is provably false and must be flagged by every backend.
+  for (const auto backend :
+       {lint::ConeBackend::kAuto, lint::ConeBackend::kSat,
+        lint::ConeBackend::kTristate}) {
+    Net net;
+    CtrlPool& ctrl = net.rsn.ctrl();
+    CtrlRef sel = kCtrlFalse;
+    for (std::uint16_t i = 0; i < 12; ++i) {
+      const CtrlRef p = ctrl.port_select_input(i);
+      sel = ctrl.mk_or(sel, ctrl.mk_and(p, ctrl.mk_not(p)));
+    }
+    net.rsn.set_select(net.a, sel);
+    lint::LintOptions opts;
+    opts.cone_backend = backend;
+    const auto diags = lint::lint_rsn(net.rsn, opts);
+    EXPECT_EQ(find(diags, "const-false-select").node, net.a);
+  }
+}
+
+TEST(Lint, SatisfiableLargeConeIsNotFlagged) {
+  // 13 atoms, every adjacent pair shared between two OR terms — a
+  // reconvergent cone the old enumerator skipped and a naive tree argument
+  // cannot decide.  It is satisfiable (all atoms 1), so no backend may
+  // report const-false-select.
+  for (const auto backend :
+       {lint::ConeBackend::kAuto, lint::ConeBackend::kSat,
+        lint::ConeBackend::kTristate}) {
+    Net net;
+    CtrlPool& ctrl = net.rsn.ctrl();
+    CtrlRef sel = kCtrlTrue;
+    for (std::uint16_t i = 0; i < 12; ++i)
+      sel = ctrl.mk_and(sel, ctrl.mk_or(ctrl.port_select_input(i),
+                                        ctrl.port_select_input(i + 1)));
+    net.rsn.set_select(net.a, sel);
+    lint::LintOptions opts;
+    opts.cone_backend = backend;
+    EXPECT_FALSE(fires(lint::lint_rsn(net.rsn, opts), "const-false-select"))
+        << "backend " << static_cast<int>(backend);
+  }
+}
+
 TEST(Lint, SelectSelfLoopDeadlock) {
   Net net;
   // Select of `a` requires a's own shadow bit, but reset seeds it to 0: the
@@ -193,6 +237,38 @@ TEST(Lint, ConstMuxAddr) {
   net.rsn.set_scan_in(net.so, m);
   const auto d = find(lint::lint_rsn(net.rsn), "const-mux-addr");
   EXPECT_EQ(d.node, m);
+}
+
+TEST(Lint, ConstTrueDisable) {
+  Net net;
+  CtrlPool& ctrl = net.rsn.ctrl();
+  // EN | !EN is not folded by the pool; only cone analysis proves it true.
+  const CtrlRef en = ctrl.enable_input();
+  net.rsn.set_cap_dis(net.a, ctrl.mk_or(en, ctrl.mk_not(en)));
+  const auto d = find(lint::lint_rsn(net.rsn), "const-true-disable");
+  EXPECT_EQ(d.node, net.a);
+  EXPECT_EQ(d.severity, Severity::kWarning);
+  // The trivial constant fires too; an escapable disable does not.
+  Net net2;
+  net2.rsn.set_up_dis(net2.b, kCtrlTrue);
+  EXPECT_TRUE(fires(lint::lint_rsn(net2.rsn), "const-true-disable"));
+  Net net3;
+  net3.rsn.set_cap_dis(net3.a, net3.rsn.ctrl().enable_input());
+  EXPECT_FALSE(fires(lint::lint_rsn(net3.rsn), "const-true-disable"));
+}
+
+TEST(Lint, SelectTermUnsat) {
+  Net net;
+  CtrlPool& ctrl = net.rsn.ctrl();
+  const CtrlRef en = ctrl.enable_input();
+  net.rsn.add_select_term(net.a, net.b, ctrl.mk_and(en, ctrl.mk_not(en)));
+  const auto d = find(lint::lint_rsn(net.rsn), "select-term-unsat");
+  EXPECT_EQ(d.node, net.a);
+  EXPECT_EQ(d.witness, std::vector<NodeId>{net.b});
+  // A satisfiable term is fine.
+  Net net2;
+  net2.rsn.add_select_term(net2.a, net2.b, net2.rsn.ctrl().enable_input());
+  EXPECT_FALSE(fires(lint::lint_rsn(net2.rsn), "select-term-unsat"));
 }
 
 // --- synthesis-metadata rules ----------------------------------------------

@@ -1,0 +1,296 @@
+// Differential tests of the exact cone-analysis and incremental-lint
+// machinery.  Two properties are exercised at random:
+//
+//  * ConeOracle backends agree: for hundreds of random control cones, the
+//    pure-SAT backend, the pure-enumeration backend and a brute-force
+//    reference (tristate_eval over every atom assignment) must return the
+//    same const-0 / const-1 / satisfiable verdicts.
+//
+//  * AugmentLintCache tracks lint_augmentation: over randomized
+//    add/remove/assign sequences on random DAGs, the incrementally
+//    maintained diagnostics must equal the from-scratch analysis byte for
+//    byte (rule, node, message, hint, witness).
+//
+// Iteration counts scale with the FTRSN_ORACLE_ITERS environment variable
+// (a multiplier in percent; 100 = default counts) so CI can run deeper
+// soaks without a recompile.  These tests are labeled `oracle` in ctest.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <map>
+#include <vector>
+
+#include "augment/augment.hpp"
+#include "graph/dataflow.hpp"
+#include "lint/augment_cache.hpp"
+#include "lint/cone_oracle.hpp"
+#include "lint/lint.hpp"
+#include "util/common.hpp"
+
+namespace ftrsn {
+namespace {
+
+using lint::ConeBackend;
+using lint::ConeOracle;
+using lint::Diagnostic;
+
+std::size_t scaled(std::size_t base) {
+  const char* env = std::getenv("FTRSN_ORACLE_ITERS");
+  if (env == nullptr || *env == '\0') return base;
+  const long pct = std::strtol(env, nullptr, 10);
+  if (pct <= 0) return base;
+  return base * static_cast<std::size_t>(pct) / 100;
+}
+
+// --- random cones -----------------------------------------------------------
+
+/// A random expression over `num_atoms` port-select atoms: starts from the
+/// atoms and the constants, then stacks random gates whose operands are
+/// drawn from everything built so far (so sharing/reconvergence is common).
+CtrlRef random_cone(CtrlPool& pool, Rng& rng, int num_atoms, int num_gates) {
+  std::vector<CtrlRef> refs{kCtrlFalse, kCtrlTrue};
+  for (int i = 0; i < num_atoms; ++i)
+    refs.push_back(pool.port_select_input(static_cast<std::uint16_t>(i)));
+  const auto any = [&] {
+    return refs[static_cast<std::size_t>(rng.next_below(refs.size()))];
+  };
+  for (int i = 0; i < num_gates; ++i) {
+    CtrlRef r = kCtrlInvalid;
+    switch (rng.next_below(4)) {
+      case 0: r = pool.mk_not(any()); break;
+      case 1: r = pool.mk_and(any(), any()); break;
+      case 2: r = pool.mk_or(any(), any()); break;
+      case 3: r = pool.mk_maj3(any(), any(), any()); break;
+    }
+    refs.push_back(r);
+  }
+  return refs.back();
+}
+
+/// Brute force over every assignment of the cone's atoms via tristate_eval
+/// with a fully forced atom map — the simplest possible reference.
+bool brute_satisfiable(const CtrlPool& pool, CtrlRef root, bool value) {
+  const std::vector<CtrlRef> cone = lint::cone_of(pool, root);
+  std::vector<CtrlRef> atoms;
+  for (CtrlRef r : cone)
+    if (lint::is_ctrl_atom(pool.node(r).op)) atoms.push_back(r);
+  for (std::uint64_t m = 0; m < (std::uint64_t{1} << atoms.size()); ++m) {
+    std::map<CtrlRef, int> forced;
+    for (std::size_t i = 0; i < atoms.size(); ++i)
+      forced[atoms[i]] = static_cast<int>((m >> i) & 1);
+    if (lint::tristate_eval(pool, cone, root, forced) == (value ? 1 : 0))
+      return true;
+  }
+  return false;
+}
+
+TEST(LintOracle, BackendsAgreeOnRandomCones) {
+  Rng rng(0x5eed0001);
+  const std::size_t iters = scaled(500);
+  for (std::size_t it = 0; it < iters; ++it) {
+    CtrlPool pool;
+    const int num_atoms = static_cast<int>(rng.next_range(1, 10));
+    const int num_gates = static_cast<int>(rng.next_range(1, 24));
+    const CtrlRef root = random_cone(pool, rng, num_atoms, num_gates);
+
+    ConeOracle tri(pool, ConeBackend::kTristate);
+    ConeOracle sat(pool, ConeBackend::kSat);
+    ConeOracle aut(pool, ConeBackend::kAuto, /*max_atoms=*/4);
+    for (const bool value : {false, true}) {
+      const bool expect = brute_satisfiable(pool, root, value);
+      EXPECT_EQ(tri.satisfiable(root, value), expect)
+          << "tristate disagrees with brute force (iter " << it << ")";
+      EXPECT_EQ(sat.satisfiable(root, value), expect)
+          << "SAT disagrees with brute force (iter " << it << ")";
+      EXPECT_EQ(aut.satisfiable(root, value), expect)
+          << "auto disagrees with brute force (iter " << it << ")";
+    }
+    // The derived const-0/const-1 verdicts agree too (and at most one of
+    // them can hold unless the cone has no satisfying value at all).
+    EXPECT_EQ(tri.provably_const(root, false), sat.provably_const(root, false));
+    EXPECT_EQ(tri.provably_const(root, true), sat.provably_const(root, true));
+  }
+}
+
+TEST(LintOracle, BackendsAgreeUnderForcedAtoms) {
+  Rng rng(0x5eed0002);
+  const std::size_t iters = scaled(200);
+  for (std::size_t it = 0; it < iters; ++it) {
+    CtrlPool pool;
+    const int num_atoms = static_cast<int>(rng.next_range(2, 8));
+    const CtrlRef root = random_cone(pool, rng, num_atoms,
+                                     static_cast<int>(rng.next_range(1, 16)));
+    // Force a random subset of the atoms, as the select-bootstrap deadlock
+    // check does with a segment's own reset-time shadow bits.
+    std::map<CtrlRef, int> forced;
+    for (int i = 0; i < num_atoms; ++i)
+      if (rng.next_bool())
+        forced[pool.port_select_input(static_cast<std::uint16_t>(i))] =
+            static_cast<int>(rng.next_below(2));
+
+    ConeOracle tri(pool, ConeBackend::kTristate);
+    ConeOracle sat(pool, ConeBackend::kSat);
+    for (const bool value : {false, true})
+      EXPECT_EQ(tri.satisfiable(root, value, forced),
+                sat.satisfiable(root, value, forced))
+          << "backends disagree under forced atoms (iter " << it << ")";
+  }
+}
+
+// --- cone_of boundary -------------------------------------------------------
+
+TEST(LintOracle, ConeOfExactLimitIsReturnedInFull) {
+  CtrlPool pool;
+  // AND(p0, NOT(p1)) plus the two atoms: exactly 4 cone nodes.
+  const CtrlRef p0 = pool.port_select_input(0);
+  const CtrlRef p1 = pool.port_select_input(1);
+  const CtrlRef root = pool.mk_and(p0, pool.mk_not(p1));
+  ASSERT_EQ(lint::cone_of(pool, root).size(), 4u);
+  // A budget of exactly the cone size admits the cone; one less rejects it.
+  EXPECT_EQ(lint::cone_of(pool, root, 4).size(), 4u);
+  EXPECT_TRUE(lint::cone_of(pool, root, 3).empty());
+  // A single-node cone at budget 1 is likewise admitted.
+  EXPECT_EQ(lint::cone_of(pool, p0, 1).size(), 1u);
+}
+
+// --- incremental augmentation lint ------------------------------------------
+
+/// A random base graph: mostly forward (acyclic) edges from a root chain,
+/// occasionally a deliberate back edge so the cyclic-base path is covered.
+DataflowGraph random_graph(Rng& rng, std::size_t n, bool allow_cyclic) {
+  std::vector<DfEdge> edges;
+  // A spine keeps every vertex reachable-ish and levels interesting.
+  for (NodeId v = 0; v + 1 < n; ++v)
+    edges.push_back({v, static_cast<NodeId>(v + 1)});
+  for (NodeId i = 0; i < n; ++i)
+    for (NodeId j = i + 1; j < n; ++j)
+      if (rng.next_below(100) < 15) edges.push_back({i, j});
+  if (allow_cyclic && rng.next_below(100) < 20 && n > 2)
+    edges.push_back({static_cast<NodeId>(n - 2), 1});
+  return DataflowGraph::from_edges(n, edges, {0},
+                                   {static_cast<NodeId>(n - 1)});
+}
+
+bool same_diags(const std::vector<Diagnostic>& a,
+                const std::vector<Diagnostic>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (a[i].rule != b[i].rule || a[i].severity != b[i].severity ||
+        a[i].node != b[i].node || a[i].ctrl != b[i].ctrl ||
+        a[i].message != b[i].message || a[i].hint != b[i].hint ||
+        a[i].witness != b[i].witness)
+      return false;
+  return true;
+}
+
+TEST(LintOracle, AugmentCacheMatchesFromScratchLint) {
+  Rng rng(0x5eed0003);
+  const std::size_t sequences = scaled(100);
+  for (std::size_t seq = 0; seq < sequences; ++seq) {
+    const std::size_t n = static_cast<std::size_t>(rng.next_range(4, 12));
+    const DataflowGraph g = random_graph(rng, n, /*allow_cyclic=*/true);
+    std::vector<bool> allowed;
+    if (rng.next_bool()) {
+      allowed.resize(n);
+      for (std::size_t v = 0; v < n; ++v) allowed[v] = rng.next_bool();
+    }
+
+    lint::AugmentLintCache cache(g, allowed);
+    std::vector<DfEdge> mirror;
+    const auto random_edge = [&] {
+      // Mostly in-range (level-forward and not), sometimes out of range so
+      // the aug-edge-range path is exercised.
+      const NodeId hi = static_cast<NodeId>(n + (rng.next_below(8) == 0));
+      return DfEdge{static_cast<NodeId>(rng.next_below(hi + 1)),
+                    static_cast<NodeId>(rng.next_below(hi + 1))};
+    };
+
+    const std::size_t steps = static_cast<std::size_t>(rng.next_range(5, 20));
+    for (std::size_t s = 0; s < steps; ++s) {
+      switch (rng.next_below(3)) {
+        case 0:
+          cache.add_edge(random_edge());
+          break;
+        case 1: {
+          if (cache.added().empty()) {
+            cache.add_edge(random_edge());
+            break;
+          }
+          const std::size_t i = static_cast<std::size_t>(
+              rng.next_below(cache.added().size()));
+          cache.remove_edge(cache.added()[i]);
+          break;
+        }
+        case 2: {
+          std::vector<DfEdge> target;
+          const std::size_t m =
+              static_cast<std::size_t>(rng.next_below(6));
+          for (std::size_t i = 0; i < m; ++i) target.push_back(random_edge());
+          cache.assign(target);
+          break;
+        }
+      }
+      mirror = cache.added();
+      const std::vector<Diagnostic> incr = cache.diagnostics();
+      const std::vector<Diagnostic> full =
+          lint::lint_augmentation(g, mirror, allowed);
+      ASSERT_TRUE(same_diags(incr, full))
+          << "incremental lint diverges (sequence " << seq << ", step " << s
+          << ")\nincremental: " << lint::to_json(incr)
+          << "\nfrom-scratch: " << lint::to_json(full);
+    }
+  }
+}
+
+TEST(LintOracle, AugmentCacheCheckingOracleAccepts) {
+  // The retained from-scratch path: with check_with_full_recompute the
+  // cache re-runs lint_augmentation on every diagnostics() call and aborts
+  // on any divergence — a smoke test that the flag itself works.
+  Rng rng(0x5eed0004);
+  const DataflowGraph g = random_graph(rng, 8, /*allow_cyclic=*/false);
+  lint::AugmentLintCache cache(g, {}, /*check_with_full_recompute=*/true);
+  cache.add_edge({0, 5});
+  cache.add_edge({3, 3});   // same-level: exercises the cycle DFS
+  cache.add_edge({6, 2});   // level-backward
+  EXPECT_NO_THROW(cache.diagnostics());
+  cache.remove_edge({3, 3});
+  EXPECT_NO_THROW(cache.diagnostics());
+}
+
+// --- perf counters ----------------------------------------------------------
+
+TEST(LintOracle, FiftyEdgeSearchDoesOneFullRecompute) {
+  Rng rng(0x5eed0005);
+  const std::size_t n = 30;
+  const DataflowGraph g = random_graph(rng, n, /*allow_cyclic=*/false);
+
+  lint::reset_lint_stats();
+  lint::AugmentLintCache cache(g);
+  for (int i = 0; i < 50; ++i) {
+    const NodeId from = static_cast<NodeId>(rng.next_below(n));
+    const NodeId to = static_cast<NodeId>(rng.next_below(n));
+    cache.add_edge({from, to});
+    cache.same_level_cycle();  // what the engines poll per candidate flip
+  }
+  cache.diagnostics();
+  const lint::LintStats& s = lint::lint_stats();
+  EXPECT_LE(s.full_recomputes, 1u)
+      << "a 50-edge search must not fall back to from-scratch lint";
+  EXPECT_GE(s.incremental_updates, 50u);
+}
+
+TEST(LintOracle, AugmentEngineUsesIncrementalCycleChecks) {
+  // End to end: the flow engine's candidate search maintains one
+  // AugmentLintCache (one full recompute) and feeds every edge flip
+  // through it, rather than re-linting from scratch per probe.
+  Rng rng(0x5eed0006);
+  const DataflowGraph g = random_graph(rng, 16, /*allow_cyclic=*/false);
+  lint::reset_lint_stats();
+  const AugmentResult r = augment_connectivity(g);
+  const lint::LintStats& s = lint::lint_stats();
+  EXPECT_FALSE(r.added_edges.empty());
+  EXPECT_LE(s.full_recomputes, 2u);  // engine cache + final audit
+}
+
+}  // namespace
+}  // namespace ftrsn

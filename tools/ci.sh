@@ -1,7 +1,10 @@
 #!/usr/bin/env bash
 # CI driver for the ftrsn repository:
 #   1. regular build + full test suite;
-#   2. ASan+UBSan build + full test suite;
+#   2. ASan+UBSan build + full test suite, then a deeper soak of the
+#      oracle differential suite (ctest -L oracle) under the sanitizers —
+#      iteration counts scale with FTRSN_ORACLE_ITERS (percent, default
+#      300 here);
 #   3. rsn-lint over generated and synthesized example networks
 #      (must report zero error-severity findings, exit status 0);
 #   4. clang-tidy over src/ when available (advisory).
@@ -26,6 +29,12 @@ run cmake -B "$PREFIX-asan" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
 run cmake --build "$PREFIX-asan" -j "$JOBS"
 run ctest --test-dir "$PREFIX-asan" --output-on-failure
 
+# Deeper soak of the SAT-vs-tristate / incremental-vs-from-scratch
+# differential properties under the sanitizers: any disagreement or memory
+# error fails CI.
+FTRSN_ORACLE_ITERS="${FTRSN_ORACLE_ITERS:-300}" \
+  run ctest --test-dir "$PREFIX-asan" --output-on-failure -L oracle
+
 # --- 3. rsn-lint over example networks -------------------------------------
 TOOL="$PREFIX/examples/example_rsn_tool"
 LINT="$PREFIX/examples/example_rsn_lint"
@@ -41,8 +50,17 @@ done
 # the post-synthesis fault-tolerance profile (--ft).
 for soc in g1023 d281; do
   run "$TOOL" synth "$WORK/$soc.rsn" "$WORK/$soc-ft.rsn" >/dev/null
-  run "$LINT" --ft "$WORK/$soc-ft.rsn"
+  run "$LINT" --ft --lint-stats "$WORK/$soc-ft.rsn"
 done
+
+# Backend equivalence on a synthesized network (its hardened select cones
+# exceed the 10-atom auto threshold): the SAT and raised-threshold
+# tristate backends must report identical findings.
+run "$LINT" --json --ft --cone-backend=sat "$WORK/g1023-ft.rsn" \
+  > "$WORK/g1023-ft.sat.json"
+run "$LINT" --json --ft --cone-backend=tristate "$WORK/g1023-ft.rsn" \
+  > "$WORK/g1023-ft.tri.json"
+run diff "$WORK/g1023-ft.sat.json" "$WORK/g1023-ft.tri.json"
 
 # The machine-readable emitter stays parseable.
 run "$LINT" --json "$WORK/g1023.rsn" >/dev/null

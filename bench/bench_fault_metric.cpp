@@ -1,0 +1,156 @@
+// Fault-metric engine benchmark: legacy serial loop vs FaultMetricEngine
+// at 1/2/8 threads, per SoC, on the original SIB-based RSN and on the
+// synthesized fault-tolerant RSN.  Emits BENCH_fault_metric.json with the
+// wall times, faults/s throughput, fault-class collapse ratio, and a
+// strict aggregates-identical flag (every report field including the full
+// per-fault distribution is compared bitwise against the legacy loop).
+//
+//   FTRSN_SOCS=<comma list>   SoC subset (default u226,d695,p93791)
+//   FTRSN_BENCH_LEGACY=0      skip the legacy baseline (speedups omitted)
+//   FTRSN_BENCH_OUT=<path>    output path (default BENCH_fault_metric.json)
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "fault/metric.hpp"
+#include "fault/metric_engine.hpp"
+#include "synth/synth.hpp"
+
+using namespace ftrsn;
+
+namespace {
+
+double now_seconds(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+bool reports_identical(const FaultToleranceReport& a,
+                       const FaultToleranceReport& b) {
+  return a.num_faults == b.num_faults &&
+         a.counted_segments == b.counted_segments &&
+         a.counted_bits == b.counted_bits && a.seg_worst == b.seg_worst &&
+         a.seg_avg == b.seg_avg && a.bit_worst == b.bit_worst &&
+         a.bit_avg == b.bit_avg &&
+         a.worst_fault_index == b.worst_fault_index &&
+         a.seg_fraction == b.seg_fraction && a.bit_fraction == b.bit_fraction;
+}
+
+struct RunRecord {
+  int threads = 1;
+  double seconds = 0.0;
+  double faults_per_second = 0.0;
+  double speedup = 0.0;  // vs legacy serial; 0 if legacy skipped
+  bool aggregates_identical = false;
+};
+
+struct NetworkRecord {
+  std::string soc, network;
+  std::size_t nodes = 0, faults = 0, classes = 0;
+  double collapse_ratio = 1.0;
+  double legacy_seconds = 0.0;  // 0 if skipped
+  std::vector<RunRecord> runs;
+};
+
+NetworkRecord bench_network(const std::string& soc, const char* kind,
+                            const Rsn& rsn, bool run_legacy) {
+  NetworkRecord rec;
+  rec.soc = soc;
+  rec.network = kind;
+  rec.nodes = rsn.num_nodes();
+
+  MetricOptions mo;
+  mo.keep_distribution = true;
+  FaultToleranceReport legacy;
+  if (run_legacy) {
+    const auto t0 = std::chrono::steady_clock::now();
+    legacy = compute_fault_tolerance(rsn, mo);
+    rec.legacy_seconds = now_seconds(t0);
+  }
+
+  const FaultMetricEngine engine(rsn);
+  MetricEngineOptions eo;
+  eo.metric = mo;
+  for (const int threads : {1, 2, 8}) {
+    eo.threads = threads;
+    const auto t0 = std::chrono::steady_clock::now();
+    const FaultToleranceReport rep = engine.evaluate(eo);
+    RunRecord run;
+    run.threads = threads;
+    run.seconds = now_seconds(t0);
+    const MetricEngineStats& st = engine.last_stats();
+    rec.faults = st.faults;
+    rec.classes = st.classes;
+    rec.collapse_ratio = st.collapse_ratio();
+    run.faults_per_second =
+        run.seconds > 0.0 ? static_cast<double>(st.faults) / run.seconds : 0.0;
+    run.speedup = run_legacy && run.seconds > 0.0
+                      ? rec.legacy_seconds / run.seconds
+                      : 0.0;
+    run.aggregates_identical = run_legacy && reports_identical(rep, legacy);
+    rec.runs.push_back(run);
+    std::printf("  %-4s t=%d  %8.3fs  %10.0f faults/s  ratio=%.2f%s\n", kind,
+                threads, run.seconds, run.faults_per_second, rec.collapse_ratio,
+                run_legacy
+                    ? (run.aggregates_identical ? "  identical" : "  MISMATCH")
+                    : "");
+  }
+  return rec;
+}
+
+}  // namespace
+
+int main() {
+  if (!std::getenv("FTRSN_SOCS")) setenv("FTRSN_SOCS", "u226,d695,p93791", 0);
+  const char* legacy_env = std::getenv("FTRSN_BENCH_LEGACY");
+  const bool run_legacy = !legacy_env || std::string(legacy_env) != "0";
+  const char* out_env = std::getenv("FTRSN_BENCH_OUT");
+  const std::string out_path = out_env ? out_env : "BENCH_fault_metric.json";
+
+  std::vector<NetworkRecord> records;
+  for (const auto& soc : bench::selected_socs()) {
+    std::printf("%s\n", soc.name.c_str());
+    const Rsn original = itc02::generate_sib_rsn(soc);
+    records.push_back(bench_network(soc.name, "orig", original, run_legacy));
+    const Rsn ft = synthesize_fault_tolerant(original).rsn;
+    records.push_back(bench_network(soc.name, "ft", ft, run_legacy));
+  }
+
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "{\n  \"bench\": \"fault_metric\",\n");
+  std::fprintf(out, "  \"legacy_baseline\": %s,\n",
+               run_legacy ? "true" : "false");
+  std::fprintf(out, "  \"networks\": [\n");
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const NetworkRecord& r = records[i];
+    std::fprintf(out,
+                 "    {\"soc\": \"%s\", \"network\": \"%s\", \"nodes\": %zu, "
+                 "\"faults\": %zu, \"classes\": %zu, "
+                 "\"collapse_ratio\": %.4f, \"legacy_seconds\": %.4f,\n"
+                 "     \"runs\": [",
+                 r.soc.c_str(), r.network.c_str(), r.nodes, r.faults,
+                 r.classes, r.collapse_ratio, r.legacy_seconds);
+    for (std::size_t k = 0; k < r.runs.size(); ++k) {
+      const RunRecord& run = r.runs[k];
+      std::fprintf(out,
+                   "%s\n      {\"threads\": %d, \"seconds\": %.4f, "
+                   "\"faults_per_second\": %.1f, \"speedup\": %.2f, "
+                   "\"aggregates_identical\": %s}",
+                   k ? "," : "", run.threads, run.seconds,
+                   run.faults_per_second, run.speedup,
+                   run.aggregates_identical ? "true" : "false");
+    }
+    std::fprintf(out, "\n    ]}%s\n", i + 1 < records.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

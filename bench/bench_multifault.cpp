@@ -14,8 +14,8 @@
 #include <cstdlib>
 
 #include "bench_util.hpp"
-#include "fault/accessibility.hpp"
 #include "fault/metric.hpp"
+#include "fault/metric_engine.hpp"
 #include "synth/synth.hpp"
 
 using namespace ftrsn;
@@ -29,7 +29,8 @@ struct PairStats {
 };
 
 PairStats sample_pairs(const Rsn& rsn, int pairs, Rng& rng) {
-  const AccessAnalyzer analyzer(rsn);
+  const FaultMetricEngine engine(rsn);
+  const auto scratch = engine.make_scratch();
   const auto faults = enumerate_faults(rsn);
   MetricOptions mopt;
   long long counted = 0;
@@ -45,7 +46,7 @@ PairStats sample_pairs(const Rsn& rsn, int pairs, Rng& rng) {
     std::vector<Fault> pair{
         faults[rng.next_below(faults.size())],
         faults[rng.next_below(faults.size())]};
-    const auto acc = analyzer.accessible_under_set(pair);
+    const auto acc = engine.accessible_under_set(pair, *scratch);
     long long alive = 0;
     for (NodeId id = 0; id < rsn.num_nodes(); ++id)
       if (is_counted[id] && acc[id]) ++alive;

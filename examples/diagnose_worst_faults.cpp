@@ -8,7 +8,7 @@
 #include <cstdio>
 #include <string>
 
-#include "fault/metric.hpp"
+#include "fault/metric_engine.hpp"
 #include "itc02/itc02.hpp"
 #include "synth/synth.hpp"
 
@@ -17,9 +17,10 @@ using namespace ftrsn;
 namespace {
 
 void report(const char* title, const Rsn& rsn, int top_k) {
-  MetricOptions opt;
-  opt.keep_distribution = true;
-  const FaultToleranceReport rep = compute_fault_tolerance(rsn, opt);
+  MetricEngineOptions opt;
+  opt.metric.keep_distribution = true;
+  const FaultMetricEngine engine(rsn);
+  const FaultToleranceReport rep = engine.evaluate(opt);
   const auto faults = enumerate_faults(rsn);
 
   std::vector<std::size_t> order(faults.size());

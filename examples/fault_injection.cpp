@@ -6,7 +6,7 @@
 //   build/examples/example_fault_injection
 #include <cstdio>
 
-#include "fault/accessibility.hpp"
+#include "fault/metric_engine.hpp"
 #include "sim/csu_sim.hpp"
 #include "synth/synth.hpp"
 
@@ -28,8 +28,8 @@ int main() {
   fault.forcing.node = seg_a;
   fault.forcing.value = false;
 
-  const AccessAnalyzer orig_analyzer(original);
-  const auto orig_acc = orig_analyzer.accessible_under(&fault);
+  const FaultMetricEngine orig_engine(original);
+  const auto orig_acc = orig_engine.accessible_under_set({fault});
   int orig_alive = 0;
   for (NodeId id = 0; id < original.num_nodes(); ++id)
     if (original.node(id).is_segment() && orig_acc[id]) ++orig_alive;
@@ -37,8 +37,8 @@ int main() {
   std::printf("original RSN:       %d of 4 segments still accessible\n",
               orig_alive);
 
-  const AccessAnalyzer ft_analyzer(ft);
-  const auto ft_acc = ft_analyzer.accessible_under(&fault);
+  const FaultMetricEngine ft_engine(ft);
+  const auto ft_acc = ft_engine.accessible_under_set({fault});
   std::printf("fault-tolerant RSN: still accessible:");
   for (NodeId id = 0; id < ft.num_nodes(); ++id)
     if (ft.node(id).is_segment() && ft_acc[id] &&

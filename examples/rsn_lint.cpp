@@ -3,6 +3,7 @@
 //   example_rsn_lint [options] <in.rsn> [<in2.rsn> ...]
 //
 //   --json               machine-readable report (one JSON object per file)
+//   --sarif              SARIF 2.1.0 log over all files (for code hosts)
 //   --ft                 enable the post-synthesis fault-tolerance rules
 //   --disable=ID         turn a rule off (repeatable)
 //   --severity=ID:LEVEL  override a rule's severity (error|warning|info)
@@ -23,6 +24,7 @@
 #include "io/rsn_text.hpp"
 #include "lint/cone_oracle.hpp"
 #include "lint/lint.hpp"
+#include "lint/sarif.hpp"
 
 using namespace ftrsn;
 
@@ -30,7 +32,7 @@ namespace {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: rsn_lint [--json] [--ft] [--disable=ID]\n"
+               "usage: rsn_lint [--json] [--sarif] [--ft] [--disable=ID]\n"
                "                [--severity=ID:error|warning|info]\n"
                "                [--cone-backend=tristate|sat|auto]\n"
                "                [--cone-max-atoms=N] [--lint-stats]\n"
@@ -91,12 +93,15 @@ bool parse_severity(const std::string& spec, lint::LintOptions& opts) {
 int main(int argc, char** argv) {
   lint::LintOptions opts;
   bool json = false;
+  bool sarif = false;
   bool stats = false;
   std::vector<std::string> files;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--json") {
       json = true;
+    } else if (arg == "--sarif") {
+      sarif = true;
     } else if (arg == "--ft") {
       opts.ft_rules = true;
     } else if (arg == "--list-rules") {
@@ -123,6 +128,7 @@ int main(int argc, char** argv) {
   if (files.empty()) return usage();
 
   bool any_errors = false;
+  std::vector<lint::SarifArtifact> sarif_artifacts;
   for (const std::string& path : files) {
     Rsn rsn;
     try {
@@ -147,7 +153,9 @@ int main(int argc, char** argv) {
     }
     const auto counts = lint::count_by_severity(diags);
     const auto names = rsn.node_names();
-    if (json) {
+    if (sarif) {
+      sarif_artifacts.push_back({path, diags, names});
+    } else if (json) {
       std::printf("%s\n", lint::to_json(diags, names).c_str());
     } else {
       std::fputs(lint::to_text(diags, names).c_str(), stdout);
@@ -159,5 +167,6 @@ int main(int argc, char** argv) {
     }
     any_errors = any_errors || lint::has_errors(diags);
   }
+  if (sarif) std::fputs(lint::to_sarif(sarif_artifacts).c_str(), stdout);
   return any_errors ? 1 : 0;
 }

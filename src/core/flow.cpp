@@ -2,6 +2,7 @@
 
 #include <chrono>
 
+#include "fault/metric_engine.hpp"
 #include "itc02/itc02.hpp"
 
 namespace ftrsn {
@@ -30,11 +31,17 @@ FlowResult run_flow(const Rsn& original, const FlowOptions& options) {
   result.overhead = compute_overhead(original, result.hardened, options.tech);
 
   const auto t_metric = std::chrono::steady_clock::now();
-  if (options.evaluate_original)
-    result.original_metric = compute_fault_tolerance(original, options.metric);
-  if (options.evaluate_hardened)
-    result.hardened_metric =
-        compute_fault_tolerance(result.hardened, options.metric);
+  MetricEngineOptions engine_options;
+  engine_options.metric = options.metric;
+  engine_options.threads = options.metric_threads;
+  if (options.evaluate_original) {
+    const FaultMetricEngine engine(original);
+    result.original_metric = engine.evaluate(engine_options);
+  }
+  if (options.evaluate_hardened) {
+    const FaultMetricEngine engine(result.hardened);
+    result.hardened_metric = engine.evaluate(engine_options);
+  }
   result.metric_seconds = seconds_since(t_metric);
   return result;
 }

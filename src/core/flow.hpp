@@ -25,6 +25,9 @@ struct FlowOptions {
   bool evaluate_original = true;
   /// Evaluate the metric of the fault-tolerant RSN.
   bool evaluate_hardened = true;
+  /// Worker threads for the fault-metric engine; <= 0 resolves to the
+  /// hardware concurrency.  Results are bit-identical at any setting.
+  int metric_threads = 0;
 };
 
 struct FlowResult {

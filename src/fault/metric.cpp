@@ -1,6 +1,7 @@
 #include "fault/metric.hpp"
 
 #include <algorithm>
+#include <unordered_map>
 
 namespace ftrsn {
 
@@ -17,13 +18,7 @@ bool metric_counts_role(SegRole role, const MetricOptions& options) {
   return true;
 }
 
-namespace {
-
-/// Data-corruption faults have identical analysis effects for both stuck-at
-/// polarities: the net carries a constant either way.  Evaluating one
-/// polarity and counting it twice halves the metric runtime without
-/// changing any aggregate.
-bool polarity_invariant(Forcing::Point p) {
+bool fault_polarity_invariant(Forcing::Point p) {
   switch (p) {
     case Forcing::Point::kSegmentIn:
     case Forcing::Point::kSegmentOut:
@@ -37,11 +32,43 @@ bool polarity_invariant(Forcing::Point p) {
   }
 }
 
+namespace {
+
+/// Pairing key for polarity reuse: the fault site, ignoring the stuck
+/// value.  The previous implementation assumed the sa0 twin sat at `i - 1`
+/// in the list (true for enumerate_faults, wrong for any reordered or
+/// sampled list); keying by site makes the reuse order-independent.
+struct FaultSite {
+  std::uint8_t point;
+  NodeId node;
+  int index;
+  CtrlRef ctrl;
+
+  bool operator==(const FaultSite& o) const {
+    return point == o.point && node == o.node && index == o.index &&
+           ctrl == o.ctrl;
+  }
+};
+
+struct FaultSiteHash {
+  std::size_t operator()(const FaultSite& s) const {
+    std::uint64_t h = 1469598103934665603ull;
+    for (const std::uint64_t v :
+         {static_cast<std::uint64_t>(s.point), static_cast<std::uint64_t>(s.node),
+          static_cast<std::uint64_t>(static_cast<std::uint32_t>(s.index)),
+          static_cast<std::uint64_t>(static_cast<std::uint32_t>(s.ctrl))}) {
+      h ^= v;
+      h *= 1099511628211ull;
+    }
+    return static_cast<std::size_t>(h);
+  }
+};
+
 }  // namespace
 
 FaultToleranceReport compute_fault_tolerance(const Rsn& rsn,
+                                             const std::vector<Fault>& faults,
                                              const MetricOptions& options) {
-  const std::vector<Fault> faults = enumerate_faults(rsn);
   const AccessAnalyzer analyzer(rsn);
 
   std::vector<bool> counted(rsn.num_nodes(), false);
@@ -60,16 +87,26 @@ FaultToleranceReport compute_fault_tolerance(const Rsn& rsn,
   report.seg_worst = 1.0;
   report.bit_worst = 1.0;
 
+  std::unordered_map<FaultSite, std::pair<double, double>, FaultSiteHash>
+      site_result;
   for (std::size_t i = 0; i < faults.size(); ++i) {
+    const Forcing& f = faults[i].forcing;
     double seg_frac, bit_frac;
-    // Stuck-at-0/1 pairs on pure data nets are enumerated adjacently
-    // (add_site pushes sa0 then sa1); reuse the sa0 result for sa1.
-    if (i > 0 && polarity_invariant(faults[i].forcing.point) &&
-        faults[i].forcing.value) {
-      seg_frac = report.seg_fraction.back();
-      bit_frac = report.bit_fraction.back();
+    const bool pairable = fault_polarity_invariant(f.point);
+    const FaultSite site{static_cast<std::uint8_t>(f.point), f.node, f.index,
+                         f.ctrl};
+    const auto it = pairable ? site_result.find(site) : site_result.end();
+    if (it != site_result.end()) {
+      seg_frac = it->second.first;
+      bit_frac = it->second.second;
     } else {
-      const std::vector<bool> acc = analyzer.accessible_under(&faults[i]);
+      // Pairable sites are assessed under the stuck-at-0 polarity (the
+      // refined taint model makes the raw analysis polarity-sensitive, so
+      // order-independence requires a fixed convention; sa0 matches what
+      // the canonical enumeration has always reported).
+      Fault canon = faults[i];
+      if (pairable) canon.forcing.value = false;
+      const std::vector<bool> acc = analyzer.accessible_under(&canon);
       long long segs = 0, bits = 0;
       for (NodeId id = 0; id < rsn.num_nodes(); ++id) {
         if (!counted[id] || !acc[id]) continue;
@@ -80,6 +117,7 @@ FaultToleranceReport compute_fault_tolerance(const Rsn& rsn,
                  static_cast<double>(report.counted_segments);
       bit_frac = static_cast<double>(bits) /
                  static_cast<double>(report.counted_bits);
+      if (pairable) site_result.emplace(site, std::make_pair(seg_frac, bit_frac));
     }
     report.seg_fraction.push_back(seg_frac);
     report.bit_fraction.push_back(bit_frac);
@@ -99,6 +137,11 @@ FaultToleranceReport compute_fault_tolerance(const Rsn& rsn,
     report.bit_fraction.clear();
   }
   return report;
+}
+
+FaultToleranceReport compute_fault_tolerance(const Rsn& rsn,
+                                             const MetricOptions& options) {
+  return compute_fault_tolerance(rsn, enumerate_faults(rsn), options);
 }
 
 }  // namespace ftrsn

@@ -43,7 +43,25 @@ struct FaultToleranceReport {
 FaultToleranceReport compute_fault_tolerance(const Rsn& rsn,
                                              const MetricOptions& options = {});
 
+/// Evaluates the metric over an explicit fault list (any order).  Polarity
+/// reuse pairs faults by their exact site, not by list adjacency, so a
+/// reordered or sampled fault list yields the same per-fault fractions as
+/// the canonical enumeration.
+FaultToleranceReport compute_fault_tolerance(const Rsn& rsn,
+                                             const std::vector<Fault>& faults,
+                                             const MetricOptions& options = {});
+
 /// True if segment role `role` is counted under `options`.
 bool metric_counts_role(SegRole role, const MetricOptions& options);
+
+/// Data-corruption faults are assessed once per site, under the stuck-at-0
+/// polarity: the net carries a constant either way, and the metric has
+/// always reported the sa0 analysis for both twins.  (The refined taint
+/// model — a downstream register may latch the stuck constant — makes the
+/// *raw* analysis polarity-sensitive, so the shared convention is what
+/// keeps every fault-list order and both metric implementations
+/// bit-identical.)  Shared by the legacy loop and FaultMetricEngine so
+/// both collapse the same fault pairs.
+bool fault_polarity_invariant(Forcing::Point p);
 
 }  // namespace ftrsn

@@ -1,0 +1,151 @@
+#include "lint/sarif.hpp"
+
+#include <unordered_map>
+
+#include "lint/lint.hpp"
+#include "util/common.hpp"
+
+namespace ftrsn::lint {
+
+namespace {
+
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20)
+          out += strprintf("\\u%04x", c);
+        else
+          out += c;
+    }
+  }
+  return out;
+}
+
+/// SARIF result levels: "note" | "warning" | "error".
+const char* sarif_level(Severity s) {
+  switch (s) {
+    case Severity::kInfo: return "note";
+    case Severity::kWarning: return "warning";
+    case Severity::kError: return "error";
+  }
+  return "none";
+}
+
+std::string node_label(NodeId id, const std::vector<std::string>& names) {
+  if (id == kInvalidNode) return "?";
+  if (id < names.size() && !names[id].empty()) return names[id];
+  return strprintf("n%u", id);
+}
+
+}  // namespace
+
+std::string to_sarif(const std::vector<SarifArtifact>& artifacts) {
+  const std::vector<RuleInfo>& rules = LintRunner::rules();
+  std::unordered_map<std::string, std::size_t> rule_index;
+  for (std::size_t i = 0; i < rules.size(); ++i) rule_index[rules[i].id] = i;
+
+  std::string out;
+  out +=
+      "{\n"
+      "  \"$schema\": "
+      "\"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+      "  \"version\": \"2.1.0\",\n"
+      "  \"runs\": [\n"
+      "    {\n"
+      "      \"tool\": {\n"
+      "        \"driver\": {\n"
+      "          \"name\": \"rsn-lint\",\n"
+      "          \"informationUri\": "
+      "\"https://example.invalid/ftrsn\",\n"
+      "          \"rules\": [\n";
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    const RuleInfo& r = rules[i];
+    out += strprintf(
+        "            {\"id\": \"%s\", \"shortDescription\": {\"text\": "
+        "\"%s\"}, \"defaultConfiguration\": {\"level\": \"%s\"}, "
+        "\"properties\": {\"paperRef\": \"%s\"}}%s\n",
+        escape(r.id).c_str(), escape(r.summary).c_str(),
+        sarif_level(r.severity), escape(r.paper_ref).c_str(),
+        i + 1 < rules.size() ? "," : "");
+  }
+  out +=
+      "          ]\n"
+      "        }\n"
+      "      },\n"
+      "      \"artifacts\": [\n";
+  for (std::size_t a = 0; a < artifacts.size(); ++a) {
+    out += strprintf("        {\"location\": {\"uri\": \"%s\"}}%s\n",
+                     escape(artifacts[a].uri).c_str(),
+                     a + 1 < artifacts.size() ? "," : "");
+  }
+  out +=
+      "      ],\n"
+      "      \"results\": [";
+  bool first = true;
+  for (std::size_t a = 0; a < artifacts.size(); ++a) {
+    const SarifArtifact& art = artifacts[a];
+    for (const Diagnostic& d : art.diags) {
+      out += first ? "\n" : ",\n";
+      first = false;
+      out += strprintf(
+          "        {\n"
+          "          \"ruleId\": \"%s\",\n",
+          escape(d.rule).c_str());
+      const auto it = rule_index.find(d.rule);
+      if (it != rule_index.end())
+        out += strprintf("          \"ruleIndex\": %zu,\n", it->second);
+      std::string text = d.message;
+      if (!d.hint.empty()) text += " (hint: " + d.hint + ")";
+      out += strprintf(
+          "          \"level\": \"%s\",\n"
+          "          \"message\": {\"text\": \"%s\"},\n",
+          sarif_level(d.severity), escape(text).c_str());
+      out += strprintf(
+          "          \"locations\": [{\n"
+          "            \"physicalLocation\": {\"artifactLocation\": "
+          "{\"uri\": \"%s\", \"index\": %zu}}",
+          escape(art.uri).c_str(), a);
+      if (d.node != kInvalidNode || d.ctrl != kCtrlInvalid) {
+        out += ",\n            \"logicalLocations\": [";
+        bool first_loc = true;
+        if (d.node != kInvalidNode) {
+          out += strprintf(
+              "{\"name\": \"%s\", \"kind\": \"member\"}",
+              escape(node_label(d.node, art.names)).c_str());
+          first_loc = false;
+        }
+        if (d.ctrl != kCtrlInvalid) {
+          out += strprintf("%s{\"name\": \"e%d\", \"kind\": \"member\"}",
+                           first_loc ? "" : ", ", d.ctrl);
+        }
+        out += "]";
+      }
+      out += "\n          }]";
+      if (!d.witness.empty()) {
+        out += ",\n          \"properties\": {\"witness\": [";
+        for (std::size_t w = 0; w < d.witness.size(); ++w)
+          out += strprintf(
+              "%s\"%s\"", w ? ", " : "",
+              escape(node_label(d.witness[w], art.names)).c_str());
+        out += "]}";
+      }
+      out += "\n        }";
+    }
+  }
+  out += first ? "]\n" : "\n      ]\n";
+  out +=
+      "    }\n"
+      "  ]\n"
+      "}\n";
+  return out;
+}
+
+}  // namespace ftrsn::lint

@@ -1,0 +1,34 @@
+// SARIF 2.1.0 emitter for lint diagnostics.
+//
+// SARIF (Static Analysis Results Interchange Format, OASIS standard) is
+// the exchange format code hosts and editors understand natively, so
+// rsn-lint findings render inline next to the .rsn sources in review UIs.
+// One log contains one run of the "rsn-lint" driver; the complete rule
+// catalog is embedded (stable ruleIndex per finding) and every result
+// carries the artifact URI of the analyzed network plus a logical location
+// naming the offending node, since .rsn nodes have no line numbers.
+//
+// The output is deterministic for a given input: stable key order, stable
+// rule indices, two-space indentation, trailing newline — suitable for
+// golden-file testing and for diffing CI uploads.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lint/diagnostic.hpp"
+
+namespace ftrsn::lint {
+
+/// One analyzed artifact: its URI and the diagnostics found in it.
+struct SarifArtifact {
+  std::string uri;                 ///< e.g. "designs/u226_ft.rsn"
+  std::vector<Diagnostic> diags;
+  std::vector<std::string> names;  ///< NodeId -> display name (may be empty)
+};
+
+/// Renders a complete SARIF 2.1.0 log (version + one run) for the given
+/// artifacts.  Diagnostics keep their per-artifact order.
+std::string to_sarif(const std::vector<SarifArtifact>& artifacts);
+
+}  // namespace ftrsn::lint

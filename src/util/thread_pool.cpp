@@ -1,0 +1,101 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace ftrsn {
+
+int ThreadPool::resolve_threads(int requested) {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+ThreadPool::ThreadPool(int threads) : num_threads_(resolve_threads(threads)) {
+  workers_.reserve(static_cast<std::size_t>(num_threads_ - 1));
+  for (int w = 1; w < num_threads_; ++w)
+    workers_.emplace_back([this, w] { worker_main(w); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  start_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::run_chunks(int worker) {
+  for (;;) {
+    const std::size_t begin =
+        cursor_.fetch_add(job_chunk_, std::memory_order_relaxed);
+    if (begin >= job_n_) break;
+    const std::size_t end = std::min(begin + job_chunk_, job_n_);
+    try {
+      (*job_)(worker, begin, end);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!first_error_) first_error_ = std::current_exception();
+      // Keep draining chunks so the job still covers [0, n); later chunks
+      // may throw too, but only the first exception is reported.
+    }
+  }
+}
+
+void ThreadPool::worker_main(int worker) {
+  std::size_t seen_generation = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      start_cv_.wait(lock, [&] {
+        return shutdown_ || generation_ != seen_generation;
+      });
+      if (shutdown_) return;
+      seen_generation = generation_;
+    }
+    run_chunks(worker);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++workers_done_;
+    }
+    done_cv_.notify_one();
+  }
+}
+
+void ThreadPool::parallel_for(
+    std::size_t n, std::size_t chunk,
+    const std::function<void(int, std::size_t, std::size_t)>& fn) {
+  if (n == 0) return;
+  if (chunk == 0) chunk = 1;
+  if (num_threads_ == 1 || n <= chunk) {
+    // Serial fast path: no fences, no wakeups.
+    for (std::size_t begin = 0; begin < n; begin += chunk)
+      fn(0, begin, std::min(begin + chunk, n));
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_ = &fn;
+    job_n_ = n;
+    job_chunk_ = chunk;
+    cursor_.store(0, std::memory_order_relaxed);
+    workers_done_ = 0;
+    first_error_ = nullptr;
+    ++generation_;
+  }
+  start_cv_.notify_all();
+  run_chunks(/*worker=*/0);
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [&] { return workers_done_ == num_threads_ - 1; });
+    job_ = nullptr;
+    if (first_error_) {
+      std::exception_ptr err = first_error_;
+      first_error_ = nullptr;
+      lock.unlock();
+      std::rethrow_exception(err);
+    }
+  }
+}
+
+}  // namespace ftrsn

@@ -1,0 +1,73 @@
+// Minimal work-queue thread pool for deterministic data parallelism.
+//
+// The pool owns `threads - 1` worker threads; the calling thread always
+// participates as worker 0, so a pool of size 1 degenerates to a plain
+// serial loop with no synchronisation.  Work is handed out as dynamically
+// sized index chunks from a shared atomic cursor, which load-balances
+// uneven per-item costs (fault classes differ wildly in fixpoint depth)
+// without any work-stealing machinery.
+//
+// Determinism contract: the pool guarantees nothing about *which* worker
+// runs *which* chunk.  Callers that need bit-identical results across
+// thread counts must write results into per-index slots and fold them in
+// a fixed order afterwards (see FaultMetricEngine).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ftrsn {
+
+class ThreadPool {
+ public:
+  /// Creates a pool with `threads` workers (including the caller).
+  /// `threads <= 0` resolves to the hardware concurrency.
+  explicit ThreadPool(int threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return num_threads_; }
+
+  /// Resolves a requested thread count the same way the constructor does.
+  static int resolve_threads(int requested);
+
+  /// Runs `fn(worker, begin, end)` over disjoint chunks covering [0, n).
+  /// Chunks are at most `chunk` indices long (`chunk == 0` picks a default).
+  /// `worker` is in [0, num_threads()); each worker sees only its own id, so
+  /// per-worker scratch arenas need no locking.  Blocks until all of [0, n)
+  /// has been processed; the first exception thrown by `fn` is rethrown
+  /// here.  Not reentrant: `fn` must not call parallel_for on this pool.
+  void parallel_for(std::size_t n, std::size_t chunk,
+                    const std::function<void(int, std::size_t, std::size_t)>& fn);
+
+ private:
+  void worker_main(int worker);
+  void run_chunks(int worker);
+
+  int num_threads_ = 1;
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  // Guarded by mutex_ (generation/done counts) or atomically via cursor_.
+  std::size_t generation_ = 0;
+  int workers_done_ = 0;
+  bool shutdown_ = false;
+
+  // Current job (valid while a parallel_for is in flight).
+  const std::function<void(int, std::size_t, std::size_t)>* job_ = nullptr;
+  std::size_t job_n_ = 0;
+  std::size_t job_chunk_ = 1;
+  std::atomic<std::size_t> cursor_{0};
+  std::exception_ptr first_error_;
+};
+
+}  // namespace ftrsn

@@ -4,11 +4,13 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdio>
 
 #include "graph/dataflow.hpp"
 #include "io/rsn_text.hpp"
 #include "itc02/itc02.hpp"
 #include "lint/lint.hpp"
+#include "lint/sarif.hpp"
 #include "synth/synth.hpp"
 
 namespace ftrsn {
@@ -488,6 +490,50 @@ TEST(Lint, TextAndJsonEmitters) {
   EXPECT_NE(json.find("\"rule\":\"scan-cycle\""), std::string::npos);
   EXPECT_NE(json.find("\"witness\":["), std::string::npos);
   EXPECT_NE(json.find("\"errors\":"), std::string::npos);
+}
+
+TEST(Lint, SarifEmitterGoldenFile) {
+  // Deterministic fixture: a scan cycle (error with witness) plus a
+  // const-false select (warning with ctrl ref), rendered via --sarif and
+  // compared byte-for-byte against the checked-in golden log.
+  Net net;
+  net.rsn.set_scan_in(net.a, net.b);  // cycle
+  net.rsn.set_select(net.b, kCtrlFalse);
+  const auto diags = lint::lint_rsn(net.rsn);
+  ASSERT_TRUE(fires(diags, "scan-cycle"));
+  const std::string sarif =
+      lint::to_sarif({{"tests/data/broken.rsn", diags, net.rsn.node_names()}});
+
+  // Structural sanity independent of the golden file.
+  EXPECT_NE(sarif.find("\"version\": \"2.1.0\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"name\": \"rsn-lint\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"ruleId\": \"scan-cycle\""), std::string::npos);
+  EXPECT_EQ(sarif.back(), '\n');
+
+  const std::string path =
+      std::string(FTRSN_TEST_DATA_DIR) + "/lint_golden.sarif";
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr) << "missing golden file " << path;
+  std::string golden;
+  char buf[4096];
+  for (std::size_t n; (n = std::fread(buf, 1, sizeof buf, f)) > 0;)
+    golden.append(buf, n);
+  std::fclose(f);
+  EXPECT_EQ(sarif, golden);
+}
+
+TEST(Lint, SarifEmitterEmptyAndMultiArtifact) {
+  // No findings: still a valid log with an empty results array.
+  const std::string empty = lint::to_sarif({});
+  EXPECT_NE(empty.find("\"results\": []"), std::string::npos);
+  // Two artifacts: results carry their own artifact index.
+  Net net;
+  net.rsn.set_scan_in(net.b, kInvalidNode);
+  const auto diags = lint::lint_rsn(net.rsn);
+  const std::string two = lint::to_sarif(
+      {{"a.rsn", {}, {}}, {"b.rsn", diags, net.rsn.node_names()}});
+  EXPECT_NE(two.find("\"uri\": \"a.rsn\""), std::string::npos);
+  EXPECT_NE(two.find("\"uri\": \"b.rsn\", \"index\": 1"), std::string::npos);
 }
 
 TEST(Lint, JsonEscapesSpecials) {

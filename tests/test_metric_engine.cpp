@@ -1,0 +1,331 @@
+// Equivalence suite for FaultMetricEngine (ctest -L metric): the engine
+// must reproduce the legacy serial metric loop bit for bit — every
+// aggregate, the full per-fault distribution, and the worst-fault
+// tie-break — on all 13 ITC'02 SoCs (original and fault-tolerant), on
+// random hierarchical RSNs, and at every thread count.  Also covers the
+// order-independent polarity pairing of the legacy fault-list overload,
+// multi-fault set equivalence against AccessAnalyzer, and the ThreadPool.
+//
+// FTRSN_METRIC_ITERS=N scales the sampled fault counts and random trials
+// (default 1; CI soaks run higher).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <vector>
+
+#include "fault/accessibility.hpp"
+#include "fault/metric.hpp"
+#include "fault/metric_engine.hpp"
+#include "itc02/itc02.hpp"
+#include "synth/synth.hpp"
+#include "util/common.hpp"
+#include "util/thread_pool.hpp"
+
+namespace ftrsn {
+namespace {
+
+int metric_iters() {
+  const char* env = std::getenv("FTRSN_METRIC_ITERS");
+  const int n = env ? std::atoi(env) : 1;
+  return n > 0 ? n : 1;
+}
+
+/// Deterministic sample of `limit` faults (the whole list if it fits),
+/// preserving enumeration order so polarity pairs stay adjacent in some
+/// samples and split in others.
+std::vector<Fault> sample_faults(const std::vector<Fault>& all,
+                                 std::size_t limit, std::uint64_t seed) {
+  if (all.size() <= limit) return all;
+  Rng rng(seed);
+  std::vector<std::size_t> picks(all.size());
+  std::iota(picks.begin(), picks.end(), std::size_t{0});
+  for (std::size_t i = 0; i < limit; ++i) {
+    const std::size_t j = i + rng.next_below(picks.size() - i);
+    std::swap(picks[i], picks[j]);
+  }
+  picks.resize(limit);
+  std::sort(picks.begin(), picks.end());
+  std::vector<Fault> out;
+  out.reserve(limit);
+  for (const std::size_t i : picks) out.push_back(all[i]);
+  return out;
+}
+
+void expect_identical(const FaultToleranceReport& legacy,
+                      const FaultToleranceReport& engine,
+                      const std::string& what) {
+  EXPECT_EQ(engine.num_faults, legacy.num_faults) << what;
+  EXPECT_EQ(engine.counted_segments, legacy.counted_segments) << what;
+  EXPECT_EQ(engine.counted_bits, legacy.counted_bits) << what;
+  EXPECT_EQ(engine.seg_worst, legacy.seg_worst) << what;
+  EXPECT_EQ(engine.seg_avg, legacy.seg_avg) << what;
+  EXPECT_EQ(engine.bit_worst, legacy.bit_worst) << what;
+  EXPECT_EQ(engine.bit_avg, legacy.bit_avg) << what;
+  EXPECT_EQ(engine.worst_fault_index, legacy.worst_fault_index) << what;
+  ASSERT_EQ(engine.seg_fraction.size(), legacy.seg_fraction.size()) << what;
+  EXPECT_EQ(engine.seg_fraction, legacy.seg_fraction) << what;
+  EXPECT_EQ(engine.bit_fraction, legacy.bit_fraction) << what;
+}
+
+/// Legacy fault-list loop vs engine at 1/2/8 threads, full distributions.
+void check_equivalence(const Rsn& rsn, const std::vector<Fault>& faults,
+                       const std::string& what) {
+  MetricOptions mo;
+  mo.keep_distribution = true;
+  const FaultToleranceReport legacy = compute_fault_tolerance(rsn, faults, mo);
+  const FaultMetricEngine engine(rsn);
+  MetricEngineOptions eo;
+  eo.metric = mo;
+  for (const int threads : {1, 2, 8}) {
+    eo.threads = threads;
+    const FaultToleranceReport rep = engine.evaluate_faults(faults, eo);
+    expect_identical(legacy, rep,
+                     what + " threads=" + std::to_string(threads));
+    EXPECT_EQ(engine.last_stats().threads, threads) << what;
+    EXPECT_EQ(engine.last_stats().faults, faults.size()) << what;
+  }
+}
+
+itc02::Soc random_soc(Rng& rng, int max_modules) {
+  itc02::Soc soc;
+  soc.name = strprintf("fuzz%llu",
+                       static_cast<unsigned long long>(rng.next_u64() % 1000));
+  const int modules = 1 + static_cast<int>(rng.next_below(
+                              static_cast<std::uint64_t>(max_modules)));
+  for (int i = 0; i < modules; ++i) {
+    itc02::Module m;
+    m.name = strprintf("m%d", i);
+    m.parent = (i > 0 && rng.next_below(3) == 0)
+                   ? static_cast<int>(
+                         rng.next_below(static_cast<std::uint64_t>(i)))
+                   : -1;
+    const int chains = 1 + static_cast<int>(rng.next_below(4));
+    for (int c = 0; c < chains; ++c)
+      m.chain_bits.push_back(1 + static_cast<int>(rng.next_below(20)));
+    soc.modules.push_back(std::move(m));
+  }
+  return soc;
+}
+
+// --- engine vs legacy, ITC'02 -----------------------------------------------
+
+TEST(MetricEngine, AllSocsOriginalBitIdentical) {
+  const std::size_t limit = 1500 * static_cast<std::size_t>(metric_iters());
+  for (const auto& soc : itc02::socs()) {
+    const Rsn rsn = itc02::generate_sib_rsn(soc);
+    const auto faults =
+        sample_faults(enumerate_faults(rsn), limit, 0xC0FFEE);
+    check_equivalence(rsn, faults, soc.name + "-orig");
+  }
+}
+
+TEST(MetricEngine, AllSocsFaultTolerantBitIdentical) {
+  const std::size_t limit = 300 * static_cast<std::size_t>(metric_iters());
+  for (const auto& soc : itc02::socs()) {
+    const Rsn rsn = itc02::generate_sib_rsn(soc);
+    const Rsn ft = synthesize_fault_tolerant(rsn).rsn;
+    const auto faults = sample_faults(enumerate_faults(ft), limit, 0xFEED);
+    check_equivalence(ft, faults, soc.name + "-ft");
+  }
+}
+
+TEST(MetricEngine, FullUniverseSmallSocs) {
+  // Complete (unsampled) universes, original and hardened, including the
+  // evaluate() convenience entry point.
+  for (const char* name : {"u226", "d281"}) {
+    const auto soc = itc02::find_soc(name);
+    ASSERT_TRUE(soc.has_value());
+    const Rsn rsn = itc02::generate_sib_rsn(*soc);
+    check_equivalence(rsn, enumerate_faults(rsn), std::string(name) + "-orig");
+
+    MetricOptions mo;
+    mo.keep_distribution = true;
+    const FaultToleranceReport legacy = compute_fault_tolerance(rsn, mo);
+    const FaultMetricEngine engine(rsn);
+    MetricEngineOptions eo;
+    eo.metric = mo;
+    expect_identical(legacy, engine.evaluate(eo),
+                     std::string(name) + "-evaluate");
+  }
+}
+
+TEST(MetricEngine, RandomRsnsBitIdentical) {
+  Rng rng(20260805);
+  const int trials = 4 * metric_iters();
+  for (int trial = 0; trial < trials; ++trial) {
+    const Rsn rsn = itc02::generate_sib_rsn(random_soc(rng, 5));
+    check_equivalence(rsn, enumerate_faults(rsn),
+                      strprintf("random-orig-%d", trial));
+    const Rsn ft = synthesize_fault_tolerant(rsn).rsn;
+    const auto faults = sample_faults(enumerate_faults(ft), 600,
+                                      0xABBA + static_cast<std::uint64_t>(trial));
+    check_equivalence(ft, faults, strprintf("random-ft-%d", trial));
+  }
+}
+
+// --- order-independent polarity pairing (legacy fault-list overload) --------
+
+TEST(MetricEngine, ReorderedFaultListKeepsPerFaultFractions) {
+  // Regression for the polarity-pair reuse: the legacy loop used to assume
+  // the sa0 twin of a pairable fault sat at index i-1, which silently
+  // mis-paired any reordered or sampled list.  Pairing is now keyed by the
+  // exact fault site, so a permuted list must yield the permuted fractions.
+  const Rsn rsn = make_example_rsn();
+  const auto faults = enumerate_faults(rsn);
+  MetricOptions mo;
+  mo.keep_distribution = true;
+  const FaultToleranceReport canonical =
+      compute_fault_tolerance(rsn, faults, mo);
+
+  Rng rng(99);
+  std::vector<std::size_t> perm(faults.size());
+  std::iota(perm.begin(), perm.end(), std::size_t{0});
+  for (std::size_t i = perm.size(); i > 1; --i)
+    std::swap(perm[i - 1], perm[rng.next_below(i)]);
+  std::vector<Fault> shuffled;
+  shuffled.reserve(faults.size());
+  for (const std::size_t i : perm) shuffled.push_back(faults[i]);
+
+  const FaultToleranceReport rep = compute_fault_tolerance(rsn, shuffled, mo);
+  ASSERT_EQ(rep.seg_fraction.size(), faults.size());
+  for (std::size_t k = 0; k < perm.size(); ++k) {
+    EXPECT_EQ(rep.seg_fraction[k], canonical.seg_fraction[perm[k]]) << k;
+    EXPECT_EQ(rep.bit_fraction[k], canonical.bit_fraction[perm[k]]) << k;
+  }
+
+  // The engine agrees on the shuffled list too.
+  const FaultMetricEngine engine(rsn);
+  MetricEngineOptions eo;
+  eo.metric = mo;
+  expect_identical(rep, engine.evaluate_faults(shuffled, eo), "shuffled");
+}
+
+// --- multi-fault sets and fault-free ----------------------------------------
+
+TEST(MetricEngine, MultiFaultSetsMatchAccessAnalyzer) {
+  Rng rng(0xD0B1E);
+  const Rsn original = make_example_rsn();
+  const Rsn ft = synthesize_fault_tolerant(original).rsn;
+  for (const Rsn* rsn : {&original, &ft}) {
+    const AccessAnalyzer analyzer(*rsn);
+    const FaultMetricEngine engine(*rsn);
+    const auto scratch = engine.make_scratch();
+    const auto faults = enumerate_faults(*rsn);
+    for (int k = 0; k < 40 * metric_iters(); ++k) {
+      std::vector<Fault> set;
+      const std::size_t n = 1 + rng.next_below(3);
+      for (std::size_t i = 0; i < n; ++i)
+        set.push_back(faults[rng.next_below(faults.size())]);
+      EXPECT_EQ(engine.accessible_under_set(set, *scratch),
+                analyzer.accessible_under_set(set))
+          << "set " << k;
+    }
+  }
+}
+
+TEST(MetricEngine, FaultFreeMatchesAccessAnalyzer) {
+  const Rsn rsn = make_example_rsn();
+  const Rsn ft = synthesize_fault_tolerant(rsn).rsn;
+  for (const Rsn* net : {&rsn, &ft}) {
+    const AccessAnalyzer analyzer(*net);
+    const FaultMetricEngine engine(*net);
+    EXPECT_EQ(engine.accessible_fault_free(), analyzer.accessible_fault_free());
+  }
+}
+
+// --- collapse and seeding levers --------------------------------------------
+
+TEST(MetricEngine, CollapseAndSeedingAreBitExactLevers) {
+  const auto soc = itc02::find_soc("u226");
+  ASSERT_TRUE(soc.has_value());
+  const Rsn rsn = itc02::generate_sib_rsn(*soc);
+  MetricEngineOptions eo;
+  eo.metric.keep_distribution = true;
+  const FaultMetricEngine engine(rsn);
+  const FaultToleranceReport base = engine.evaluate(eo);
+  const MetricEngineStats st = engine.last_stats();
+  EXPECT_LT(st.classes, st.faults);       // sa0/sa1 pairs collapse at least
+  EXPECT_GT(st.collapse_ratio(), 1.0);
+  EXPECT_GT(st.mask_cold_reused, 0u);     // baseline seeding actually reuses
+
+  MetricEngineOptions no_collapse = eo;
+  no_collapse.collapse_equivalent = false;
+  expect_identical(base, engine.evaluate(no_collapse), "no-collapse");
+  EXPECT_EQ(engine.last_stats().classes, engine.last_stats().faults);
+
+  MetricEngineOptions no_seed = eo;
+  no_seed.seed_baseline = false;
+  expect_identical(base, engine.evaluate(no_seed), "no-seed");
+}
+
+// --- ThreadPool -------------------------------------------------------------
+
+TEST(ThreadPool, ResolveThreads) {
+  EXPECT_GE(ThreadPool::resolve_threads(0), 1);
+  EXPECT_EQ(ThreadPool::resolve_threads(3), 3);
+  EXPECT_GE(ThreadPool::resolve_threads(-5), 1);
+}
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce) {
+  for (const int threads : {1, 2, 8}) {
+    ThreadPool pool(threads);
+    EXPECT_EQ(pool.num_threads(), threads);
+    const std::size_t n = 1000;
+    std::vector<std::atomic<int>> hits(n);
+    for (auto& h : hits) h.store(0);
+    pool.parallel_for(n, 7, [&](int worker, std::size_t begin,
+                                std::size_t end) {
+      EXPECT_GE(worker, 0);
+      EXPECT_LT(worker, threads);
+      for (std::size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+    });
+    for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+  }
+}
+
+TEST(ThreadPool, ReusableAcrossCalls) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<std::size_t> sum{0};
+    pool.parallel_for(100, 3, [&](int, std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) sum.fetch_add(i);
+    });
+    EXPECT_EQ(sum.load(), 100u * 99u / 2u) << round;
+  }
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.parallel_for(64, 1,
+                        [&](int, std::size_t begin, std::size_t) {
+                          if (begin == 42) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+  // Pool stays usable after an exception.
+  std::atomic<int> ran{0};
+  pool.parallel_for(8, 1,
+                    [&](int, std::size_t, std::size_t) { ran.fetch_add(1); });
+  EXPECT_EQ(ran.load(), 8);
+}
+
+TEST(ThreadPool, EmptyAndSerialFastPath) {
+  ThreadPool pool(2);
+  int calls = 0;
+  pool.parallel_for(0, 8, [&](int, std::size_t, std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  // n <= chunk runs inline on the caller.
+  pool.parallel_for(5, 8, [&](int worker, std::size_t begin, std::size_t end) {
+    EXPECT_EQ(worker, 0);
+    EXPECT_EQ(begin, 0u);
+    EXPECT_EQ(end, 5u);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+}  // namespace
+}  // namespace ftrsn

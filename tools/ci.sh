@@ -1,13 +1,19 @@
 #!/usr/bin/env bash
 # CI driver for the ftrsn repository:
 #   1. regular build + full test suite;
-#   2. ASan+UBSan build + full test suite, then a deeper soak of the
-#      oracle differential suite (ctest -L oracle) under the sanitizers —
-#      iteration counts scale with FTRSN_ORACLE_ITERS (percent, default
-#      300 here);
-#   3. rsn-lint over generated and synthesized example networks
-#      (must report zero error-severity findings, exit status 0);
-#   4. clang-tidy over src/ when available (advisory).
+#   2. ASan+UBSan build + full test suite, then deeper soaks of the
+#      oracle differential suite (ctest -L oracle, scaled by
+#      FTRSN_ORACLE_ITERS) and of the fault-metric engine equivalence
+#      suite (ctest -L metric, scaled by FTRSN_METRIC_ITERS) under the
+#      sanitizers;
+#   3. TSan build (FTRSN_SANITIZE=thread) of the metric engine suite —
+#      the one place the library spawns threads;
+#   4. fault-metric bench smoke: BENCH_fault_metric.json must be emitted
+#      with the expected schema and bit-identical aggregates;
+#   5. rsn-lint over generated and synthesized example networks
+#      (must report zero error-severity findings, exit status 0), plus
+#      JSON and SARIF emitter checks;
+#   6. clang-tidy over src/ when available (advisory).
 #
 # Usage: tools/ci.sh [build-dir-prefix]   (default: build-ci)
 set -euo pipefail
@@ -35,7 +41,52 @@ run ctest --test-dir "$PREFIX-asan" --output-on-failure
 FTRSN_ORACLE_ITERS="${FTRSN_ORACLE_ITERS:-300}" \
   run ctest --test-dir "$PREFIX-asan" --output-on-failure -L oracle
 
-# --- 3. rsn-lint over example networks -------------------------------------
+# Engine-vs-legacy metric equivalence under ASan+UBSan: bit-identical
+# aggregates and distributions at 1/2/8 threads, sampled ITC'02 + random
+# networks scaled by FTRSN_METRIC_ITERS.
+FTRSN_METRIC_ITERS="${FTRSN_METRIC_ITERS:-1}" \
+  run ctest --test-dir "$PREFIX-asan" --output-on-failure -L metric
+
+# --- 3. TSan build of the threaded metric engine ---------------------------
+run cmake -B "$PREFIX-tsan" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DFTRSN_SANITIZE=thread
+run cmake --build "$PREFIX-tsan" -j "$JOBS" --target ftrsn_metric_tests
+FTRSN_METRIC_ITERS="${FTRSN_METRIC_ITERS:-1}" \
+  run ctest --test-dir "$PREFIX-tsan" --output-on-failure -L metric
+
+# --- 4. fault-metric bench smoke -------------------------------------------
+# Small SoC, legacy baseline on: the emitted JSON must parse, carry the
+# expected schema, and report aggregates_identical on every run.
+BENCH_JSON="$PREFIX/BENCH_fault_metric.smoke.json"
+FTRSN_SOCS=u226 FTRSN_BENCH_OUT="$BENCH_JSON" \
+  run "$PREFIX/bench/bench_fault_metric"
+if command -v python3 >/dev/null 2>&1; then
+  run python3 - "$BENCH_JSON" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["bench"] == "fault_metric", "bench tag"
+nets = doc["networks"]
+assert nets, "no networks"
+for net in nets:
+    for key in ("soc", "network", "nodes", "faults", "classes",
+                "collapse_ratio", "legacy_seconds", "runs"):
+        assert key in net, f"missing {key}"
+    assert net["faults"] >= net["classes"] > 0, "collapse counts"
+    assert [r["threads"] for r in net["runs"]] == [1, 2, 8], "thread sweep"
+    for r in net["runs"]:
+        assert r["seconds"] >= 0 and r["faults_per_second"] > 0, "throughput"
+        assert r["aggregates_identical"] is True, \
+            f"engine/legacy mismatch on {net['soc']}-{net['network']}"
+print("bench schema ok:", sys.argv[1])
+EOF
+else
+  grep -q '"bench": "fault_metric"' "$BENCH_JSON"
+  if grep -q '"aggregates_identical": false' "$BENCH_JSON"; then
+    echo "bench smoke: aggregates mismatch" >&2; exit 1
+  fi
+fi
+
+# --- 5. rsn-lint over example networks -------------------------------------
 TOOL="$PREFIX/examples/example_rsn_tool"
 LINT="$PREFIX/examples/example_rsn_lint"
 WORK="$PREFIX/lint-networks"
@@ -62,10 +113,20 @@ run "$LINT" --json --ft --cone-backend=tristate "$WORK/g1023-ft.rsn" \
   > "$WORK/g1023-ft.tri.json"
 run diff "$WORK/g1023-ft.sat.json" "$WORK/g1023-ft.tri.json"
 
-# The machine-readable emitter stays parseable.
+# The machine-readable emitters stay parseable.
 run "$LINT" --json "$WORK/g1023.rsn" >/dev/null
+run "$LINT" --sarif "$WORK/g1023.rsn" > "$WORK/g1023.sarif"
+if command -v python3 >/dev/null 2>&1; then
+  run python3 - "$WORK/g1023.sarif" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["version"] == "2.1.0", "sarif version"
+assert doc["runs"][0]["tool"]["driver"]["name"] == "rsn-lint", "driver"
+print("sarif ok:", sys.argv[1])
+EOF
+fi
 
-# --- 4. clang-tidy (advisory) ----------------------------------------------
+# --- 6. clang-tidy (advisory) ----------------------------------------------
 if command -v clang-tidy >/dev/null 2>&1; then
   run cmake -B "$PREFIX" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
   find src -name '*.cpp' -print0 |

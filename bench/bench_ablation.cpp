@@ -18,6 +18,8 @@ using namespace ftrsn;
 
 namespace {
 
+std::string variants_json;  // payload rows for the BENCH_ablation envelope
+
 void run_variant(const char* name, const itc02::Soc& soc,
                  const SynthOptions& synth) {
   FlowOptions opt;
@@ -30,6 +32,14 @@ void run_variant(const char* name, const itc02::Soc& soc,
               name, m.seg_worst, m.seg_avg, m.bit_worst, m.bit_avg,
               r.overhead.mux, r.overhead.area,
               r.synth_seconds + r.metric_seconds);
+  variants_json += strprintf(
+      "%s\n    {\"soc\": \"%s\", \"variant\": \"%s\", "
+      "\"seg_worst\": %.4f, \"seg_avg\": %.5f, "
+      "\"bit_worst\": %.4f, \"bit_avg\": %.5f, "
+      "\"mux_overhead\": %.3f, \"area_overhead\": %.3f, \"seconds\": %.2f}",
+      variants_json.empty() ? "" : ",", soc.name.c_str(), name, m.seg_worst,
+      m.seg_avg, m.bit_worst, m.bit_avg, r.overhead.mux, r.overhead.area,
+      r.synth_seconds + r.metric_seconds);
 }
 
 }  // namespace
@@ -37,6 +47,7 @@ void run_variant(const char* name, const itc02::Soc& soc,
 int main() {
   if (!std::getenv("FTRSN_SOCS"))
     setenv("FTRSN_SOCS", "u226,x1331,q12710", 0);
+  bench::BenchReport report("ablation");
   for (const auto& soc : bench::selected_socs()) {
     std::printf("%s\n", soc.name.c_str());
     bench::rule();
@@ -74,5 +85,6 @@ int main() {
       "reading: every hardening stage contributes — dropping skips or TMR\n"
       "reintroduces catastrophic worst-case faults; greedy costs slightly\n"
       "more hardware for the same tolerance.\n");
-  return 0;
+  report.add("variants", "[" + variants_json + "\n  ]");
+  return report.write() ? 0 : 1;
 }

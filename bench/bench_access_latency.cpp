@@ -69,6 +69,8 @@ int reset_bits(const Rsn& rsn) {
 int main() {
   if (!std::getenv("FTRSN_SOCS"))
     setenv("FTRSN_SOCS", "u226,x1331,q12710,d695", 0);
+  bench::BenchReport report("access_latency");
+  std::string rows;
   std::printf("Access latency: hierarchical-opening CSU plans on the original\n"
               "RSNs, and structural path-length overhead of the hardened RSNs\n");
   bench::rule('-', 110);
@@ -87,6 +89,13 @@ int main() {
     std::printf("%-9s %15.1f (%3.1f) %14lld %18.2f %18.3f %14d\n",
                 soc.name.c_str(), lo.avg_cycles, lo.avg_ops, lo.max_cycles,
                 reset_ratio, open_ratio, synth.stats.added_registers);
+    rows += strprintf(
+        "%s\n    {\"soc\": \"%s\", \"orig_avg_cycles\": %.1f, "
+        "\"orig_avg_ops\": %.1f, \"orig_max_cycles\": %lld, "
+        "\"reset_ratio\": %.4f, \"full_open_ratio\": %.4f, "
+        "\"inline_registers\": %d}",
+        rows.empty() ? "" : ",", soc.name.c_str(), lo.avg_cycles, lo.avg_ops,
+        lo.max_cycles, reset_ratio, open_ratio, synth.stats.added_registers);
   }
   bench::rule('-', 110);
   std::printf(
@@ -95,5 +104,6 @@ int main() {
       "SoCs (they are 1-bit registers against multi-thousand-bit chains);\n"
       "the reset path grows more visibly because it contains only the 1-bit\n"
       "SIB registers.\n");
-  return 0;
+  report.add("socs", "[" + rows + "\n  ]");
+  return report.write() ? 0 : 1;
 }

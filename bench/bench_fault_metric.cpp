@@ -107,8 +107,7 @@ int main() {
   if (!std::getenv("FTRSN_SOCS")) setenv("FTRSN_SOCS", "u226,d695,p93791", 0);
   const char* legacy_env = std::getenv("FTRSN_BENCH_LEGACY");
   const bool run_legacy = !legacy_env || std::string(legacy_env) != "0";
-  const char* out_env = std::getenv("FTRSN_BENCH_OUT");
-  const std::string out_path = out_env ? out_env : "BENCH_fault_metric.json";
+  bench::BenchReport report("fault_metric");
 
   std::vector<NetworkRecord> records;
   for (const auto& soc : bench::selected_socs()) {
@@ -119,38 +118,29 @@ int main() {
     records.push_back(bench_network(soc.name, "ft", ft, run_legacy));
   }
 
-  std::FILE* out = std::fopen(out_path.c_str(), "w");
-  if (!out) {
-    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
-    return 1;
-  }
-  std::fprintf(out, "{\n  \"bench\": \"fault_metric\",\n");
-  std::fprintf(out, "  \"legacy_baseline\": %s,\n",
-               run_legacy ? "true" : "false");
-  std::fprintf(out, "  \"networks\": [\n");
+  std::string networks = "[\n";
   for (std::size_t i = 0; i < records.size(); ++i) {
     const NetworkRecord& r = records[i];
-    std::fprintf(out,
-                 "    {\"soc\": \"%s\", \"network\": \"%s\", \"nodes\": %zu, "
-                 "\"faults\": %zu, \"classes\": %zu, "
-                 "\"collapse_ratio\": %.4f, \"legacy_seconds\": %.4f,\n"
-                 "     \"runs\": [",
-                 r.soc.c_str(), r.network.c_str(), r.nodes, r.faults,
-                 r.classes, r.collapse_ratio, r.legacy_seconds);
+    networks += strprintf(
+        "    {\"soc\": \"%s\", \"network\": \"%s\", \"nodes\": %zu, "
+        "\"faults\": %zu, \"classes\": %zu, "
+        "\"collapse_ratio\": %.4f, \"legacy_seconds\": %.4f,\n"
+        "     \"runs\": [",
+        r.soc.c_str(), r.network.c_str(), r.nodes, r.faults, r.classes,
+        r.collapse_ratio, r.legacy_seconds);
     for (std::size_t k = 0; k < r.runs.size(); ++k) {
       const RunRecord& run = r.runs[k];
-      std::fprintf(out,
-                   "%s\n      {\"threads\": %d, \"seconds\": %.4f, "
-                   "\"faults_per_second\": %.1f, \"speedup\": %.2f, "
-                   "\"aggregates_identical\": %s}",
-                   k ? "," : "", run.threads, run.seconds,
-                   run.faults_per_second, run.speedup,
-                   run.aggregates_identical ? "true" : "false");
+      networks += strprintf(
+          "%s\n      {\"threads\": %d, \"seconds\": %.4f, "
+          "\"faults_per_second\": %.1f, \"speedup\": %.2f, "
+          "\"aggregates_identical\": %s}",
+          k ? "," : "", run.threads, run.seconds, run.faults_per_second,
+          run.speedup, run.aggregates_identical ? "true" : "false");
     }
-    std::fprintf(out, "\n    ]}%s\n", i + 1 < records.size() ? "," : "");
+    networks += strprintf("\n    ]}%s\n", i + 1 < records.size() ? "," : "");
   }
-  std::fprintf(out, "  ]\n}\n");
-  std::fclose(out);
-  std::printf("wrote %s\n", out_path.c_str());
-  return 0;
+  networks += "  ]";
+  report.add_flag("legacy_baseline", run_legacy);
+  report.add("networks", networks);
+  return report.write() ? 0 : 1;
 }

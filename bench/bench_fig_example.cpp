@@ -16,6 +16,7 @@
 using namespace ftrsn;
 
 int main() {
+  bench::BenchReport report("fig_example");
   const Rsn rsn = make_example_rsn();
   const auto names = rsn.node_names();
 
@@ -96,5 +97,11 @@ int main() {
       "  (paper: Select(B) = (Select(D) & !a) | (Select(C) & !b); the\n"
       "   synthesized form is the same OR-of-successor-terms structure,\n"
       "   duplicated for selective hardening)\n");
-  return 0;
+  report.add_count("vertices", static_cast<long long>(g.num_vertices()));
+  report.add_count("potential_edges", static_cast<long long>(potentials.size()));
+  report.add_count("degree_only_cost", degree_only.cost);
+  report.add_count("hardened_cost", hardened.cost);
+  report.add_count("added_edges",
+                   static_cast<long long>(hardened.added_edges.size()));
+  return report.write() ? 0 : 1;
 }

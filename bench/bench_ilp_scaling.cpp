@@ -14,6 +14,8 @@
 using namespace ftrsn;
 
 int main() {
+  bench::BenchReport report("ilp_scaling");
+  std::string rows;
   std::printf("Connectivity augmentation scaling (paper: p93791 < 8 min, "
               "< 6.5 GB with a commercial ILP solver)\n");
   bench::rule('-', 110);
@@ -38,7 +40,15 @@ int main() {
                 r.augment.added_edges.size(), r.augment.spof_edges,
                 r.augment.cost, r.augment.bb_nodes, r.augment.cycle_events,
                 secs);
+    rows += strprintf(
+        "%s\n    {\"soc\": \"%s\", \"vertices\": %zu, \"candidates\": %zu, "
+        "\"edges\": %zu, \"skips\": %d, \"cost\": %lld, \"bb_nodes\": %d, "
+        "\"cycle_events\": %d, \"seconds\": %.2f}",
+        rows.empty() ? "" : ",", soc.name.c_str(), g.num_vertices(),
+        candidates.size(), r.augment.added_edges.size(), r.augment.spof_edges,
+        r.augment.cost, r.augment.bb_nodes, r.augment.cycle_events, secs);
   }
   bench::rule('-', 110);
-  return 0;
+  report.add("socs", "[" + rows + "\n  ]");
+  return report.write() ? 0 : 1;
 }

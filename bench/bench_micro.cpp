@@ -4,6 +4,7 @@
 #include <benchmark/benchmark.h>
 
 #include "augment/augment.hpp"
+#include "bench_util.hpp"
 #include "fault/accessibility.hpp"
 #include "fault/metric.hpp"
 #include "graph/dataflow.hpp"
@@ -107,4 +108,15 @@ BENCHMARK(BM_FullSynthesisU226);
 }  // namespace
 }  // namespace ftrsn
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN(): identical google-benchmark behaviour, plus
+// the shared BENCH_micro.json envelope (timings stay on stdout; the
+// envelope records run metadata and the process obs counters).
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ftrsn::bench::BenchReport report("micro");
+  const std::size_t ran = benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  report.add_count("benchmarks_run", static_cast<long long>(ran));
+  return report.write() ? 0 : 1;
+}

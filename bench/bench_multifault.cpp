@@ -67,6 +67,8 @@ int main() {
   if (!std::getenv("FTRSN_SOCS")) setenv("FTRSN_SOCS", "u226,x1331", 0);
   const int pairs =
       std::getenv("FTRSN_PAIRS") ? atoi(std::getenv("FTRSN_PAIRS")) : 400;
+  bench::BenchReport report("multifault");
+  std::string rows;
   std::printf("Double-fault tolerance (extension; %d random fault pairs, "
               "segment fraction accessible)\n",
               pairs);
@@ -85,6 +87,12 @@ int main() {
                 "%.3f      %4.1f%%\n",
                 soc.name.c_str(), o.worst, o.avg, 100.0 * o.frac_total_loss,
                 h.worst, h.avg, 100.0 * h.frac_total_loss);
+    rows += strprintf(
+        "%s\n    {\"soc\": \"%s\", \"orig_worst\": %.4f, \"orig_avg\": %.4f, "
+        "\"orig_loss_frac\": %.4f, \"ft_worst\": %.4f, \"ft_avg\": %.4f, "
+        "\"ft_loss_frac\": %.4f}",
+        rows.empty() ? "" : ",", soc.name.c_str(), o.worst, o.avg,
+        o.frac_total_loss, h.worst, h.avg, h.frac_total_loss);
   }
   bench::rule('-', 108);
   std::printf(
@@ -93,5 +101,7 @@ int main() {
       "worst pair can defeat a shingle and its neighbour — full double-fault\n"
       "tolerance would need 3-wide skips, exactly the generalization the\n"
       "paper leaves open.\n");
-  return 0;
+  report.add_count("pairs", pairs);
+  report.add("socs", "[" + rows + "\n  ]");
+  return report.write() ? 0 : 1;
 }

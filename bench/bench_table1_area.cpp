@@ -11,6 +11,8 @@
 using namespace ftrsn;
 
 int main() {
+  bench::BenchReport report("table1_area");
+  std::string rows;
   std::printf("Table I — area overhead ratios (measured | paper)\n");
   bench::rule('-', 112);
   std::printf("%-9s %16s %16s %16s %16s %10s %12s\n", "SoC", "mux", "bits",
@@ -37,6 +39,11 @@ int main() {
     weighted_area += r.overhead.area * static_cast<double>(row.bits);
     paper_weighted += row.r_area * static_cast<double>(row.bits);
     weight += static_cast<double>(row.bits);
+    rows += strprintf(
+        "%s\n    {\"soc\": \"%s\", \"mux\": %.3f, \"bits\": %.3f, "
+        "\"nets\": %.3f, \"area\": %.3f, \"added_edges\": %d}",
+        rows.empty() ? "" : ",", soc.name.c_str(), r.overhead.mux,
+        r.overhead.bits, r.overhead.nets, r.overhead.area, r.augment_edges);
   }
   bench::rule('-', 112);
   if (weight > 0)
@@ -45,5 +52,8 @@ int main() {
         "%+.1f%% (paper text: +8.2%%)\n",
         (weighted_area / weight - 1.0) * 100.0,
         (paper_weighted / weight - 1.0) * 100.0);
-  return 0;
+  report.add("socs", "[" + rows + "\n  ]");
+  if (weight > 0)
+    report.add_number("weighted_area_overhead", weighted_area / weight - 1.0);
+  return report.write() ? 0 : 1;
 }

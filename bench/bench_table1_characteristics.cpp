@@ -9,6 +9,8 @@
 using namespace ftrsn;
 
 int main() {
+  bench::BenchReport report("table1_characteristics");
+  std::string rows;
   std::printf("Table I — RSN characteristics (paper value in parentheses)\n");
   bench::rule();
   std::printf("%-9s %17s %14s %12s %14s %18s\n", "SoC", "modules", "levels",
@@ -30,9 +32,18 @@ int main() {
                 cell(st.muxes, row.mux).c_str(),
                 cell(st.segments, row.segments).c_str(),
                 cell(st.bits, row.bits).c_str());
+    rows += strprintf(
+        "%s\n    {\"soc\": \"%s\", \"modules\": %d, \"levels\": %lld, "
+        "\"muxes\": %lld, \"segments\": %lld, \"bits\": %lld}",
+        rows.empty() ? "" : ",", soc.name.c_str(), modules,
+        static_cast<long long>(st.levels), static_cast<long long>(st.muxes),
+        static_cast<long long>(st.segments), static_cast<long long>(st.bits));
   }
   bench::rule();
   std::printf("characteristics %s the paper\n",
               all_match ? "MATCH" : "DIFFER FROM");
+  report.add_flag("matches_paper", all_match);
+  report.add("socs", "[" + rows + "\n  ]");
+  report.write();
   return all_match ? 0 : 1;
 }

@@ -1,13 +1,22 @@
 // Shared helpers for the bench harness binaries.
 #pragma once
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "itc02/itc02.hpp"
+#include "obs/obs.hpp"
 #include "util/common.hpp"
+
+// Injected by bench/CMakeLists.txt (git rev-parse --short HEAD).
+#ifndef FTRSN_GIT_SHA
+#define FTRSN_GIT_SHA "unknown"
+#endif
 
 namespace ftrsn::bench {
 
@@ -36,5 +45,99 @@ inline void rule(char c = '-', int n = 100) {
   for (int i = 0; i < n; ++i) std::putchar(c);
   std::putchar('\n');
 }
+
+/// Machine-readable result envelope shared by every bench binary
+/// (schema "ftrsn-bench-1"):
+///
+///   { "schema": "ftrsn-bench-1", "bench": "<name>", "git_sha": "...",
+///     "hardware_threads": N, "wall_seconds": X,
+///     "obs_counters": { ... },          // process counters at write time
+///     <payload members added via add_*> }
+///
+/// Construct early in main() (wall_seconds is measured from construction),
+/// add payload members, and call write() last.  The output path defaults
+/// to BENCH_<name>.json in the working directory; FTRSN_BENCH_OUT
+/// overrides it.
+/// FTRSN_TRACE / FTRSN_REPORT (see obs::init_from_env) are honoured by
+/// every bench through this class: when set, span recording is enabled at
+/// construction and the trace / obs run report are written alongside the
+/// envelope.
+class BenchReport {
+ public:
+  explicit BenchReport(std::string bench)
+      : bench_(std::move(bench)),
+        env_(obs::init_from_env("BENCH_" + bench_)),
+        t0_(std::chrono::steady_clock::now()) {}
+
+  /// Adds one payload member; `json` must be fully rendered JSON.
+  void add(const std::string& key, std::string json) {
+    members_.emplace_back(key, std::move(json));
+  }
+  void add_count(const std::string& key, long long v) {
+    add(key, strprintf("%lld", v));
+  }
+  void add_number(const std::string& key, double v) {
+    add(key, strprintf("%.6g", v));
+  }
+  void add_flag(const std::string& key, bool v) {
+    add(key, v ? "true" : "false");
+  }
+  void add_string(const std::string& key, const std::string& v) {
+    add(key, "\"" + obs::detail::json_escape(v) + "\"");
+  }
+
+  std::string default_path() const {
+    const char* env = std::getenv("FTRSN_BENCH_OUT");
+    if (env && *env) return env;
+    return "BENCH_" + bench_ + ".json";
+  }
+
+  bool write() const { return write(default_path()); }
+
+  bool write(const std::string& path) const {
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0_)
+            .count();
+    std::string json = "{\n";
+    json += "  \"schema\": \"ftrsn-bench-1\",\n";
+    json += "  \"bench\": \"" + obs::detail::json_escape(bench_) + "\",\n";
+    json += strprintf("  \"git_sha\": \"%s\",\n", FTRSN_GIT_SHA);
+    json += strprintf("  \"hardware_threads\": %u,\n",
+                      std::thread::hardware_concurrency());
+    json += strprintf("  \"wall_seconds\": %.4f,\n", wall);
+    json += "  \"obs_counters\": {";
+    bool first = true;
+    for (const auto& [name, value] : obs::counters_snapshot()) {
+      json += strprintf("%s\n    \"%s\": %llu", first ? "" : ",",
+                        obs::detail::json_escape(name).c_str(),
+                        static_cast<unsigned long long>(value));
+      first = false;
+    }
+    json += first ? "},\n" : "\n  },\n";
+    for (std::size_t i = 0; i < members_.size(); ++i) {
+      json += "  \"" + obs::detail::json_escape(members_[i].first) +
+              "\": " + members_[i].second;
+      json += i + 1 < members_.size() ? ",\n" : "\n";
+    }
+    if (members_.empty()) json += "  \"payload\": {}\n";
+    json += "}\n";
+    if (!obs::write_file(path, json)) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return false;
+    }
+    std::printf("wrote %s\n", path.c_str());
+    if (!env_.trace_path.empty() && obs::write_trace(env_.trace_path))
+      std::printf("wrote %s\n", env_.trace_path.c_str());
+    if (!env_.report_path.empty() && obs::write_report(env_.report_path))
+      std::printf("wrote %s\n", env_.report_path.c_str());
+    return true;
+  }
+
+ private:
+  std::string bench_;
+  obs::EnvConfig env_;
+  std::chrono::steady_clock::time_point t0_;
+  std::vector<std::pair<std::string, std::string>> members_;
+};
 
 }  // namespace ftrsn::bench

@@ -11,6 +11,11 @@
 //   --cone-max-atoms=N   auto backend: enumerate up to N free atoms (def. 10)
 //   --lint-stats         print analysis counters per file (to stderr)
 //   --list-rules         print the rule catalog and exit
+//   --trace=PATH         write a Chrome trace-event JSON of the run
+//   --report=PATH        write the obs run-report JSON of the run
+//
+// FTRSN_TRACE / FTRSN_REPORT provide the same outputs from the environment
+// ("1" selects the default rsn_lint_{trace,report}.json names).
 //
 // Exit status: 0 = no error-severity findings, 1 = at least one error,
 // 2 = usage or file/parse failure.  Files are loaded without the structural
@@ -25,6 +30,7 @@
 #include "lint/cone_oracle.hpp"
 #include "lint/lint.hpp"
 #include "lint/sarif.hpp"
+#include "obs/obs.hpp"
 
 using namespace ftrsn;
 
@@ -36,6 +42,7 @@ int usage() {
                "                [--severity=ID:error|warning|info]\n"
                "                [--cone-backend=tristate|sat|auto]\n"
                "                [--cone-max-atoms=N] [--lint-stats]\n"
+               "                [--trace=PATH] [--report=PATH]\n"
                "                [--list-rules] <in.rsn> [...]\n");
   return 2;
 }
@@ -95,6 +102,7 @@ int main(int argc, char** argv) {
   bool json = false;
   bool sarif = false;
   bool stats = false;
+  obs::EnvConfig obs_cfg = obs::init_from_env("rsn_lint");
   std::vector<std::string> files;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -119,6 +127,12 @@ int main(int argc, char** argv) {
       opts.cone_max_atoms = static_cast<std::size_t>(n);
     } else if (arg == "--lint-stats") {
       stats = true;
+    } else if (arg.rfind("--trace=", 0) == 0) {
+      obs_cfg.trace_path = arg.substr(8);
+      obs::enable(true);
+    } else if (arg.rfind("--report=", 0) == 0) {
+      obs_cfg.report_path = arg.substr(9);
+      obs::enable(true);
     } else if (!arg.empty() && arg[0] == '-') {
       return usage();
     } else {
@@ -168,5 +182,7 @@ int main(int argc, char** argv) {
     any_errors = any_errors || lint::has_errors(diags);
   }
   if (sarif) std::fputs(lint::to_sarif(sarif_artifacts).c_str(), stdout);
+  if (!obs_cfg.trace_path.empty()) obs::write_trace(obs_cfg.trace_path);
+  if (!obs_cfg.report_path.empty()) obs::write_report(obs_cfg.report_path);
   return any_errors ? 1 : 0;
 }

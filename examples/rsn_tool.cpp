@@ -6,15 +6,25 @@
 //   example_rsn_tool synth  <in.rsn> <out.rsn>   fault-tolerant synthesis
 //   example_rsn_tool dot    <in.rsn>             dataflow graph as DOT
 //   example_rsn_tool gen    <soc> <out.rsn>      SIB-RSN of an ITC'02 SoC
+//   example_rsn_tool flow   <itc02-soc>          full flow (Table I row)
+//
+// `flow` options:
+//   --trace=PATH       Chrome trace-event JSON of the run (Perfetto)
+//   --report=PATH      schema-versioned obs run report
+//   --threads=N        fault-metric worker threads (default: hardware)
+//   --bmc-check=N      BMC spot-check of the first N hardened segments
+// FTRSN_TRACE / FTRSN_REPORT are honoured as defaults for every command.
 #include <cstdio>
 #include <cstring>
 #include <string>
 
 #include "area/area.hpp"
+#include "core/flow.hpp"
 #include "fault/metric.hpp"
 #include "graph/dataflow.hpp"
 #include "io/rsn_text.hpp"
 #include "itc02/itc02.hpp"
+#include "obs/obs.hpp"
 #include "synth/synth.hpp"
 
 using namespace ftrsn;
@@ -25,8 +35,57 @@ int usage() {
   std::fprintf(stderr,
                "usage: rsn_tool info|metric|dot <in.rsn>\n"
                "       rsn_tool synth <in.rsn> <out.rsn>\n"
-               "       rsn_tool gen <itc02-soc> <out.rsn>\n");
+               "       rsn_tool gen <itc02-soc> <out.rsn>\n"
+               "       rsn_tool flow <itc02-soc> [--trace=PATH]\n"
+               "                [--report=PATH] [--threads=N] [--bmc-check=N]\n");
   return 2;
+}
+
+int run_flow_command(int argc, char** argv) {
+  FlowOptions opt;
+  const obs::EnvConfig env = obs::init_from_env("rsn_tool_flow");
+  opt.trace_path = env.trace_path;
+  opt.report_path = env.report_path;
+  const std::string soc = argv[2];
+  for (int i = 3; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--trace=", 0) == 0) {
+      opt.trace_path = arg.substr(8);
+    } else if (arg.rfind("--report=", 0) == 0) {
+      opt.report_path = arg.substr(9);
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      opt.metric_threads = std::atoi(arg.c_str() + 10);
+    } else if (arg.rfind("--bmc-check=", 0) == 0) {
+      opt.bmc_spotcheck = std::atoi(arg.c_str() + 12);
+    } else {
+      return usage();
+    }
+  }
+  const FlowResult r = run_soc_flow(soc, opt);
+  const auto& o = *r.original_metric;
+  const auto& h = *r.hardened_metric;
+  std::printf("%s: %d -> %d nodes, +%d muxes, +%d registers\n", soc.c_str(),
+              static_cast<int>(r.original_stats.segments +
+                               r.original_stats.muxes),
+              static_cast<int>(r.hardened_stats.segments +
+                               r.hardened_stats.muxes),
+              r.synth_stats.added_muxes, r.synth_stats.added_registers);
+  std::printf("original:  seg worst %.3f avg %.4f | bits worst %.3f avg %.4f\n",
+              o.seg_worst, o.seg_avg, o.bit_worst, o.bit_avg);
+  std::printf("hardened:  seg worst %.3f avg %.4f | bits worst %.3f avg %.4f\n",
+              h.seg_worst, h.seg_avg, h.bit_worst, h.bit_avg);
+  std::printf("overhead:  mux x%.2f bits x%.2f area x%.2f\n", r.overhead.mux,
+              r.overhead.bits, r.overhead.area);
+  std::printf("times:     synth %.2fs metric %.2fs\n", r.synth_seconds,
+              r.metric_seconds);
+  if (r.bmc_checked > 0)
+    std::printf("bmc:       %d/%d spot-checked segments accessible\n",
+                r.bmc_accessible, r.bmc_checked);
+  if (!opt.trace_path.empty())
+    std::printf("trace:     %s\n", opt.trace_path.c_str());
+  if (!opt.report_path.empty())
+    std::printf("report:    %s\n", opt.report_path.c_str());
+  return 0;
 }
 
 void print_info(const Rsn& rsn) {
@@ -60,6 +119,7 @@ int main(int argc, char** argv) {
       print_info(rsn);
       return 0;
     }
+    if (cmd == "flow") return run_flow_command(argc, argv);
     const Rsn rsn = load_rsn(argv[2]);
     if (cmd == "info") {
       print_info(rsn);

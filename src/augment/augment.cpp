@@ -9,6 +9,7 @@
 #include "ilp/ilp.hpp"
 #include "ilp/mincost_flow.hpp"
 #include "lint/augment_cache.hpp"
+#include "obs/obs.hpp"
 
 namespace ftrsn {
 
@@ -492,6 +493,7 @@ std::vector<Candidate> potential_edges(const DataflowGraph& g,
 
 AugmentResult augment_connectivity(const DataflowGraph& g,
                                    const AugmentOptions& options) {
+  OBS_SPAN("augment.solve");
   AugmentResult result;
 
   // Backbone-skip hardening first: its shingle edges already satisfy most
@@ -569,6 +571,13 @@ AugmentResult augment_connectivity(const DataflowGraph& g,
   for (const DfEdge& e : result.added_edges)
     result.edge_anchor.push_back(
         edge_bootstrap_anchor(e, g, options.vertex_guards, gg));
+  obs::count("augment.runs");
+  obs::count("augment.added_edges", result.added_edges.size());
+  obs::count("augment.bb_nodes", static_cast<std::uint64_t>(result.bb_nodes));
+  obs::count("augment.cycle_events",
+             static_cast<std::uint64_t>(result.cycle_events));
+  obs::count("augment.spof_edges",
+             static_cast<std::uint64_t>(result.spof_edges));
   return result;
 }
 

@@ -2,6 +2,7 @@
 
 #include <map>
 
+#include "obs/obs.hpp"
 #include "sat/solver.hpp"
 
 namespace ftrsn {
@@ -39,6 +40,8 @@ class Encoder {
     const Lit r = or_of(reads);
     return solver_.solve({w, r}, conflict_limit) == SolveResult::kSat;
   }
+
+  const Solver& solver() const { return solver_; }
 
  private:
   struct Atom {
@@ -342,8 +345,28 @@ BmcAccessChecker::BmcAccessChecker(const Rsn& rsn, BmcOptions options)
 
 bool BmcAccessChecker::accessible(NodeId target, const Fault* fault) const {
   FTRSN_CHECK(rsn_->node(target).is_segment());
-  Encoder encoder(*rsn_, steps_, fault);
-  return encoder.target_accessible(target, options_.conflict_limit);
+  OBS_SPAN("bmc.check");
+  static obs::Counter calls("bmc.sat_calls");
+  static obs::Counter conflicts("bmc.sat_conflicts");
+  static obs::Counter decisions("bmc.sat_decisions");
+  static obs::Counter propagations("bmc.sat_propagations");
+  static obs::Counter clauses("bmc.sat_clauses");
+  Encoder encoder = [&] {
+    OBS_SPAN("bmc.encode");
+    return Encoder(*rsn_, steps_, fault);
+  }();
+  bool ok;
+  {
+    OBS_SPAN("bmc.solve");
+    ok = encoder.target_accessible(target, options_.conflict_limit);
+  }
+  calls.add();
+  conflicts.add(static_cast<std::uint64_t>(encoder.solver().conflicts()));
+  decisions.add(static_cast<std::uint64_t>(encoder.solver().decisions()));
+  propagations.add(
+      static_cast<std::uint64_t>(encoder.solver().propagations()));
+  clauses.add(encoder.solver().num_clauses());
+  return ok;
 }
 
 std::vector<bool> BmcAccessChecker::accessible_under(const Fault* fault) const {

@@ -2,8 +2,10 @@
 
 #include <chrono>
 
+#include "bmc/bmc.hpp"
 #include "fault/metric_engine.hpp"
 #include "itc02/itc02.hpp"
+#include "obs/obs.hpp"
 
 namespace ftrsn {
 
@@ -16,11 +18,17 @@ double seconds_since(std::chrono::steady_clock::time_point start) {
 }  // namespace
 
 FlowResult run_flow(const Rsn& original, const FlowOptions& options) {
+  if (!options.trace_path.empty() || !options.report_path.empty())
+    obs::enable(true);
+
   FlowResult result;
   result.original_stats = original.stats();
 
   const auto t_synth = std::chrono::steady_clock::now();
-  SynthResult synth = synthesize_fault_tolerant(original, options.synth);
+  SynthResult synth = [&] {
+    OBS_SPAN("flow.synth");
+    return synthesize_fault_tolerant(original, options.synth);
+  }();
   result.synth_seconds = seconds_since(t_synth);
   result.synth_stats = synth.stats;
   result.augment_cost = synth.augment.cost;
@@ -35,23 +43,47 @@ FlowResult run_flow(const Rsn& original, const FlowOptions& options) {
   engine_options.metric = options.metric;
   engine_options.threads = options.metric_threads;
   if (options.evaluate_original) {
+    OBS_SPAN("flow.metric.original");
     const FaultMetricEngine engine(original);
     result.original_metric = engine.evaluate(engine_options);
   }
   if (options.evaluate_hardened) {
+    OBS_SPAN("flow.metric.hardened");
     const FaultMetricEngine engine(result.hardened);
     result.hardened_metric = engine.evaluate(engine_options);
   }
   result.metric_seconds = seconds_since(t_metric);
+
+  if (options.bmc_spotcheck > 0) {
+    OBS_SPAN("flow.bmc");
+    const BmcAccessChecker bmc(result.hardened);
+    for (NodeId id = 0;
+         id < result.hardened.num_nodes() &&
+         result.bmc_checked < options.bmc_spotcheck;
+         ++id) {
+      if (!result.hardened.node(id).is_segment()) continue;
+      ++result.bmc_checked;
+      if (bmc.accessible(id, nullptr)) ++result.bmc_accessible;
+    }
+  }
+
+  if (!options.trace_path.empty()) obs::write_trace(options.trace_path);
+  if (!options.report_path.empty()) obs::write_report(options.report_path);
   return result;
 }
 
 FlowResult run_soc_flow(std::string_view soc_name, const FlowOptions& options) {
+  if (!options.trace_path.empty() || !options.report_path.empty())
+    obs::enable(true);  // before parsing, so "flow.parse" is recorded
   const auto soc = itc02::find_soc(soc_name);
   FTRSN_CHECK_MSG(soc.has_value(),
                   strprintf("unknown ITC'02 SoC '%.*s'",
                             static_cast<int>(soc_name.size()), soc_name.data()));
-  return run_flow(itc02::generate_sib_rsn(*soc), options);
+  Rsn rsn = [&] {
+    OBS_SPAN("flow.parse");
+    return itc02::generate_sib_rsn(*soc);
+  }();
+  return run_flow(rsn, options);
 }
 
 }  // namespace ftrsn

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <optional>
+#include <string>
 #include <string_view>
 
 #include "area/area.hpp"
@@ -28,6 +29,15 @@ struct FlowOptions {
   /// Worker threads for the fault-metric engine; <= 0 resolves to the
   /// hardware concurrency.  Results are bit-identical at any setting.
   int metric_threads = 0;
+  /// Observability (obs/obs.hpp): when either path is non-empty, span
+  /// recording is enabled for this run and the Chrome trace-event JSON /
+  /// schema-versioned run report is written there at the end of the flow.
+  std::string trace_path;
+  std::string report_path;
+  /// Formally spot-check the hardened RSN with the BMC engine: verify
+  /// fault-free accessibility of the first N scan segments (0 = off).
+  /// Shows up as the "flow.bmc" stage in the trace/report.
+  int bmc_spotcheck = 0;
 };
 
 struct FlowResult {
@@ -42,6 +52,8 @@ struct FlowResult {
   OverheadRatios overhead;
   double synth_seconds = 0.0;
   double metric_seconds = 0.0;
+  int bmc_checked = 0;     ///< segments spot-checked by the BMC engine
+  int bmc_accessible = 0;  ///< of those, how many are fault-free accessible
   Rsn hardened;  ///< the synthesized fault-tolerant RSN
 };
 

@@ -6,6 +6,7 @@
 #include <cstring>
 #include <unordered_map>
 
+#include "obs/obs.hpp"
 #include "util/common.hpp"
 #include "util/thread_pool.hpp"
 
@@ -852,6 +853,7 @@ FaultToleranceReport FaultMetricEngine::evaluate(
 FaultToleranceReport FaultMetricEngine::evaluate_faults(
     const std::vector<Fault>& faults,
     const MetricEngineOptions& options) const {
+  OBS_SPAN("metric.evaluate");
   const auto t0 = std::chrono::steady_clock::now();
   const Rsn& rsn = *rsn_;
 
@@ -895,7 +897,7 @@ FaultToleranceReport FaultMetricEngine::evaluate_faults(
     long long segs = 0, bits = 0;
   };
   std::vector<ClassResult> results(rep.size());
-  ThreadPool pool(options.threads);
+  ThreadPool pool(options.threads, "metric");
   std::vector<ScratchPtr> scratches;
   scratches.reserve(static_cast<std::size_t>(pool.num_threads()));
   for (int w = 0; w < pool.num_threads(); ++w)
@@ -968,6 +970,11 @@ FaultToleranceReport FaultMetricEngine::evaluate_faults(
   stats_.seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
+  obs::count("metric.faults", stats_.faults);
+  obs::count("metric.classes", stats_.classes);
+  obs::count("metric.fixpoint_iterations", stats_.fixpoint_iterations);
+  obs::count("metric.mask_evals", stats_.mask_evals);
+  obs::count("metric.mask_cold_reused", stats_.mask_cold_reused);
   return report;
 }
 

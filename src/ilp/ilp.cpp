@@ -5,6 +5,8 @@
 #include <limits>
 #include <queue>
 
+#include "obs/obs.hpp"
+
 namespace ftrsn {
 
 namespace {
@@ -30,6 +32,8 @@ IlpSolver::IlpSolver(LpProblem problem, IlpOptions options)
 }
 
 IlpResult IlpSolver::solve() {
+  OBS_SPAN("ilp.solve");
+  static obs::Counter lp_solves("ilp.lp_solves");
   IlpResult result;
   // Lazily added cuts apply globally (they are valid for every node).
   std::vector<LinearConstraint> cuts;
@@ -60,6 +64,7 @@ IlpResult IlpSolver::solve() {
       }
     }
 
+    lp_solves.add();
     const LpSolution lp = solve_lp(p, options_.max_lp_iters);
     if (lp.status == LpStatus::kInfeasible) continue;
     if (lp.status == LpStatus::kUnbounded || lp.status == LpStatus::kIterLimit)
@@ -109,6 +114,9 @@ IlpResult IlpSolver::solve() {
   }
 
   result.optimal = result.feasible && open.empty();
+  obs::count("ilp.bb_nodes", static_cast<std::uint64_t>(result.explored_nodes));
+  obs::count("ilp.lazy_cuts",
+             static_cast<std::uint64_t>(result.lazy_cuts_added));
   return result;
 }
 

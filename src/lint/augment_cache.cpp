@@ -95,7 +95,7 @@ AugmentLintCache::AugmentLintCache(const DataflowGraph& g,
   }
   add_in_.assign(n_, 0);
   add_out_.assign(n_, 0);
-  ++lint_stats().full_recomputes;
+  detail::count_full_recompute();
 }
 
 void AugmentLintCache::ensure_degree_caps() const {
@@ -127,7 +127,7 @@ void AugmentLintCache::add_edge(const DfEdge& e) {
     ++add_in_[e.to];
     if (!base_cyclic_ && level_[e.to] <= level_[e.from]) ++suspect_count_;
   }
-  ++lint_stats().incremental_updates;
+  detail::count_incremental_update();
 }
 
 void AugmentLintCache::remove_edge(const DfEdge& e) {
@@ -143,7 +143,7 @@ void AugmentLintCache::remove_edge(const DfEdge& e) {
       if (!base_cyclic_ && level_[edge.to] <= level_[edge.from])
         --suspect_count_;
     }
-    ++lint_stats().incremental_updates;
+    detail::count_incremental_update();
     return;
   }
 }

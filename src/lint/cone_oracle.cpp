@@ -3,17 +3,60 @@
 #include <algorithm>
 #include <set>
 
+#include "obs/obs.hpp"
 #include "sat/cnf.hpp"
 #include "sat/solver.hpp"
 
 namespace ftrsn::lint {
 
-LintStats& lint_stats() {
-  static LintStats stats;
-  return stats;
+namespace {
+// The LintStats fields live as process-wide obs counters so they appear in
+// the run report under the same names.  Cached handles: incrementing is a
+// single relaxed atomic add, as cheap as the old plain struct fields.
+obs::Counter& c_sat() {
+  static obs::Counter c("lint.cones_solved_sat");
+  return c;
+}
+obs::Counter& c_tristate() {
+  static obs::Counter c("lint.cones_solved_tristate");
+  return c;
+}
+obs::Counter& c_cache_hits() {
+  static obs::Counter c("lint.cache_hits");
+  return c;
+}
+obs::Counter& c_incremental() {
+  static obs::Counter c("lint.incremental_updates");
+  return c;
+}
+obs::Counter& c_full() {
+  static obs::Counter c("lint.full_recomputes");
+  return c;
+}
+}  // namespace
+
+namespace detail {
+void count_incremental_update() { c_incremental().add(); }
+void count_full_recompute() { c_full().add(); }
+}  // namespace detail
+
+LintStats lint_stats() {
+  LintStats s;
+  s.cones_solved_sat = c_sat().value();
+  s.cones_solved_tristate = c_tristate().value();
+  s.cache_hits = c_cache_hits().value();
+  s.incremental_updates = c_incremental().value();
+  s.full_recomputes = c_full().value();
+  return s;
 }
 
-void reset_lint_stats() { lint_stats() = LintStats{}; }
+void reset_lint_stats() {
+  c_sat().reset();
+  c_tristate().reset();
+  c_cache_hits().reset();
+  c_incremental().reset();
+  c_full().reset();
+}
 
 bool is_ctrl_atom(CtrlOp op) {
   return op == CtrlOp::kEnable || op == CtrlOp::kPortSel ||
@@ -103,7 +146,7 @@ bool ConeOracle::satisfiable(CtrlRef root, bool value,
   Key key{{root, value}, {forced.begin(), forced.end()}};
   const auto hit = cache_.find(key);
   if (hit != cache_.end()) {
-    ++lint_stats().cache_hits;
+    c_cache_hits().add();
     return hit->second;
   }
 
@@ -297,7 +340,7 @@ bool ConeOracle::satisfiable(CtrlRef root, bool value,
   }
 
   if (decided) {
-    ++lint_stats().cones_solved_tristate;
+    c_tristate().add();
   } else {
     const std::size_t enum_limit =
         backend_ == ConeBackend::kTristate ? kEnumHardLimit
@@ -306,10 +349,10 @@ bool ConeOracle::satisfiable(CtrlRef root, bool value,
                                                       kEnumHardLimit);
     if (free_atom_count <= enum_limit) {
       result = solve_enum(cone, val, root, value);
-      ++lint_stats().cones_solved_tristate;
+      c_tristate().add();
     } else {
       result = solve_sat(root, value, forced);
-      ++lint_stats().cones_solved_sat;
+      c_sat().add();
     }
   }
   for (const CtrlRef c : cone) pos_[static_cast<std::size_t>(c)] = -1;

@@ -37,8 +37,10 @@ enum class ConeBackend : std::uint8_t {
 };
 
 /// Counters of the analysis machinery, for `rsn-lint --lint-stats` and the
-/// perf-regression tests.  Process-wide registry (the analyses run
-/// single-threaded); reset explicitly between measurements.
+/// perf-regression tests.  Since the obs subsystem landed these are a
+/// *snapshot* of the process-wide `lint.*` obs counters (obs/obs.hpp), so
+/// the same numbers appear in the run report; reset explicitly between
+/// measurements.
 struct LintStats {
   std::uint64_t cones_solved_sat = 0;       ///< oracle queries decided by SAT
   std::uint64_t cones_solved_tristate = 0;  ///< ... by exhaustive enumeration
@@ -47,8 +49,17 @@ struct LintStats {
   std::uint64_t full_recomputes = 0;        ///< from-scratch augment analyses
 };
 
-LintStats& lint_stats();
+/// Snapshot of the `lint.*` obs counters.
+LintStats lint_stats();
+/// Zeroes exactly the counters reported by `lint_stats()`.
 void reset_lint_stats();
+
+namespace detail {
+/// Increment hooks for the AugmentLintCache / lint driver (the counter
+/// handles live in cone_oracle.cpp).
+void count_incremental_update();
+void count_full_recompute();
+}  // namespace detail
 
 /// The expression cone of `r` (all transitively reachable pool nodes,
 /// `r` included) in ascending ref order — a valid bottom-up evaluation

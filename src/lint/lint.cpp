@@ -7,6 +7,7 @@
 #include <set>
 
 #include "lint/cone_oracle.hpp"
+#include "obs/obs.hpp"
 
 // Rules build Diagnostics with designated initializers that deliberately
 // leave the trailing members (rule id, severity) default-initialized — the
@@ -893,6 +894,7 @@ std::vector<Diagnostic> LintRunner::run(const DataflowGraph& g) const {
 }
 
 std::vector<Diagnostic> lint_rsn(const Rsn& rsn, const LintOptions& opts) {
+  OBS_SPAN("lint.rsn");
   return LintRunner(opts).run(rsn);
 }
 
@@ -904,7 +906,7 @@ std::vector<Diagnostic> lint_dataflow(const DataflowGraph& g,
 std::vector<Diagnostic> lint_augmentation(
     const DataflowGraph& g, const std::vector<DfEdge>& added,
     const std::vector<bool>& target_allowed) {
-  ++lint_stats().full_recomputes;  // AugmentLintCache is the incremental path
+  detail::count_full_recompute();  // AugmentLintCache is the incremental path
   std::vector<Diagnostic> out;
   const std::size_t n = g.num_vertices();
 

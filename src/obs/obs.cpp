@@ -1,0 +1,394 @@
+#include "obs/obs.hpp"
+
+#include <sys/resource.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ftrsn::obs {
+
+namespace {
+
+struct SpanEvent {
+  std::string name;
+  std::uint64_t start_us = 0;
+  std::uint64_t dur_us = 0;
+  std::int32_t depth = 0;
+};
+
+struct ThreadLog {
+  int tid = 0;
+  std::string name;          // guarded by mu
+  std::vector<SpanEvent> events;  // guarded by mu
+  std::int32_t depth = 0;    // touched only by the owning thread
+  std::mutex mu;
+};
+
+struct Registry {
+  std::mutex mu;
+  // Counter cells are never deallocated while the registry lives, so
+  // Counter handles stay valid for the whole program.
+  std::map<std::string, std::unique_ptr<std::atomic<std::uint64_t>>,
+           std::less<>>
+      counters;
+  std::map<std::string, double, std::less<>> gauges;
+  std::vector<std::unique_ptr<ThreadLog>> logs;
+  std::atomic<std::uint64_t> epoch_ns{0};
+  std::atomic<bool> enabled{false};
+  std::atomic<detail::ClockFn> clock{nullptr};
+};
+
+Registry& reg() {
+  static Registry r;
+  return r;
+}
+
+thread_local ThreadLog* t_log = nullptr;
+
+ThreadLog* tlog() {
+  if (t_log == nullptr) {
+    Registry& r = reg();
+    auto log = std::make_unique<ThreadLog>();
+    std::lock_guard<std::mutex> lock(r.mu);
+    log->tid = static_cast<int>(r.logs.size());
+    log->name = log->tid == 0 ? "main" : "thread-" + std::to_string(log->tid);
+    t_log = log.get();
+    r.logs.push_back(std::move(log));
+  }
+  return t_log;
+}
+
+std::uint64_t steady_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::atomic<std::uint64_t>* counter_cell(std::string_view name) {
+  Registry& r = reg();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.counters.find(name);
+  if (it == r.counters.end()) {
+    it = r.counters
+             .emplace(std::string(name),
+                      std::make_unique<std::atomic<std::uint64_t>>(0))
+             .first;
+  }
+  return it->second.get();
+}
+
+void append_num(std::string& out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6f", v);
+  out += buf;
+}
+
+}  // namespace
+
+bool enabled() { return reg().enabled.load(std::memory_order_relaxed); }
+
+void enable(bool on) {
+  Registry& r = reg();
+  // Make sure the epoch exists before the first span can start.
+  if (on) detail::now_us();
+  r.enabled.store(on, std::memory_order_relaxed);
+}
+
+void reset() {
+  Registry& r = reg();
+  std::lock_guard<std::mutex> lock(r.mu);
+  for (auto& [name, cell] : r.counters) cell->store(0, std::memory_order_relaxed);
+  r.gauges.clear();
+  for (auto& log : r.logs) {
+    std::lock_guard<std::mutex> log_lock(log->mu);
+    log->events.clear();
+  }
+  r.epoch_ns.store(steady_ns(), std::memory_order_relaxed);
+}
+
+Counter::Counter(std::string_view name) : cell_(counter_cell(name)) {}
+
+void count(std::string_view name, std::uint64_t n) {
+  counter_cell(name)->fetch_add(n, std::memory_order_relaxed);
+}
+
+std::uint64_t counter_value(std::string_view name) {
+  return counter_cell(name)->load(std::memory_order_relaxed);
+}
+
+void gauge_set(std::string_view name, double value) {
+  Registry& r = reg();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.gauges.find(name);
+  if (it == r.gauges.end())
+    r.gauges.emplace(std::string(name), value);
+  else
+    it->second = value;
+}
+
+void gauge_max(std::string_view name, double value) {
+  Registry& r = reg();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.gauges.find(name);
+  if (it == r.gauges.end())
+    r.gauges.emplace(std::string(name), value);
+  else
+    it->second = std::max(it->second, value);
+}
+
+std::map<std::string, std::uint64_t> counters_snapshot() {
+  Registry& r = reg();
+  std::lock_guard<std::mutex> lock(r.mu);
+  std::map<std::string, std::uint64_t> out;
+  for (const auto& [name, cell] : r.counters)
+    out.emplace(name, cell->load(std::memory_order_relaxed));
+  return out;
+}
+
+std::map<std::string, double> gauges_snapshot() {
+  Registry& r = reg();
+  std::lock_guard<std::mutex> lock(r.mu);
+  return {r.gauges.begin(), r.gauges.end()};
+}
+
+void set_thread_name(std::string name) {
+  ThreadLog* log = tlog();
+  std::lock_guard<std::mutex> lock(log->mu);
+  log->name = std::move(name);
+}
+
+Span::Span(std::string name) {
+  if (!enabled()) return;
+  name_ = std::move(name);
+  ThreadLog* log = tlog();
+  depth_ = log->depth++;
+  start_us_ = detail::now_us();
+  active_ = true;
+}
+
+Span::~Span() {
+  if (!active_) return;
+  const std::uint64_t end_us = detail::now_us();
+  ThreadLog* log = tlog();
+  --log->depth;
+  std::lock_guard<std::mutex> lock(log->mu);
+  log->events.push_back(
+      {std::move(name_), start_us_,
+       end_us >= start_us_ ? end_us - start_us_ : 0, depth_});
+}
+
+namespace detail {
+
+std::uint64_t now_us() {
+  Registry& r = reg();
+  if (ClockFn fn = r.clock.load(std::memory_order_relaxed)) return fn();
+  const std::uint64_t ns = steady_ns();
+  std::uint64_t epoch = r.epoch_ns.load(std::memory_order_relaxed);
+  if (epoch == 0) {
+    std::lock_guard<std::mutex> lock(r.mu);
+    epoch = r.epoch_ns.load(std::memory_order_relaxed);
+    if (epoch == 0) {
+      epoch = ns;
+      r.epoch_ns.store(ns, std::memory_order_relaxed);
+    }
+  }
+  return ns >= epoch ? (ns - epoch) / 1000 : 0;
+}
+
+void set_clock_for_test(ClockFn fn) {
+  reg().clock.store(fn, std::memory_order_relaxed);
+}
+
+long peak_rss_kb() {
+  struct rusage ru;
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+  return ru.ru_maxrss;  // kilobytes on Linux
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace detail
+
+std::string trace_json() {
+  Registry& r = reg();
+  std::string out = "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+  bool first = true;
+  std::lock_guard<std::mutex> lock(r.mu);
+  for (const auto& log : r.logs) {
+    std::lock_guard<std::mutex> log_lock(log->mu);
+    if (log->events.empty() && log->name.rfind("thread-", 0) == 0) continue;
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "  {\"ph\": \"M\", \"pid\": 1, \"tid\": " +
+           std::to_string(log->tid) +
+           ", \"name\": \"thread_name\", \"args\": {\"name\": \"" +
+           detail::json_escape(log->name) + "\"}}";
+    for (const SpanEvent& e : log->events) {
+      out += ",\n  {\"ph\": \"X\", \"pid\": 1, \"tid\": " +
+             std::to_string(log->tid) + ", \"ts\": " +
+             std::to_string(e.start_us) + ", \"dur\": " +
+             std::to_string(e.dur_us) + ", \"name\": \"" +
+             detail::json_escape(e.name) + "\", \"args\": {\"depth\": " +
+             std::to_string(e.depth) + "}}";
+    }
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+std::string report_json(const ReportOptions& options) {
+  struct Agg {
+    std::uint64_t count = 0;
+    std::uint64_t total_us = 0;
+    std::uint64_t max_us = 0;
+  };
+
+  Registry& r = reg();
+  const std::uint64_t wall_us = detail::now_us();
+  const int self_tid = tlog()->tid;
+
+  // Stage decomposition: the calling thread's depth-0 spans, in first-start
+  // order, aggregated by name.  Everything else lands in the per-span
+  // aggregate table.
+  std::vector<std::string> stage_order;
+  std::map<std::string, Agg, std::less<>> stages;
+  std::map<std::string, Agg, std::less<>> spans;
+  {
+    std::lock_guard<std::mutex> lock(r.mu);
+    for (const auto& log : r.logs) {
+      std::lock_guard<std::mutex> log_lock(log->mu);
+      for (const SpanEvent& e : log->events) {
+        Agg& a = spans[e.name];
+        ++a.count;
+        a.total_us += e.dur_us;
+        a.max_us = std::max(a.max_us, e.dur_us);
+        if (log->tid == self_tid && e.depth == 0) {
+          auto [it, inserted] = stages.try_emplace(e.name);
+          if (inserted) stage_order.push_back(e.name);
+          ++it->second.count;
+          it->second.total_us += e.dur_us;
+        }
+      }
+    }
+  }
+  // Depth-0 spans end in start order on one thread, so recorded order is
+  // already the stage order.
+  std::uint64_t stage_total_us = 0;
+  for (const auto& [name, a] : stages) stage_total_us += a.total_us;
+
+  std::string out;
+  out += "{\n  \"schema\": \"ftrsn-run-report\",\n  \"version\": 1,\n";
+  out += "  \"wall_seconds\": ";
+  append_num(out, static_cast<double>(wall_us) / 1e6);
+  out += ",\n";
+  if (options.include_machine) {
+    out += "  \"machine\": {\"hardware_threads\": " +
+           std::to_string(std::thread::hardware_concurrency()) +
+           ", \"peak_rss_kb\": " + std::to_string(detail::peak_rss_kb()) +
+           "},\n";
+  }
+  out += "  \"stages\": [";
+  for (std::size_t i = 0; i < stage_order.size(); ++i) {
+    const Agg& a = stages.find(stage_order[i])->second;
+    out += i ? ",\n    " : "\n    ";
+    out += "{\"name\": \"" + detail::json_escape(stage_order[i]) +
+           "\", \"count\": " + std::to_string(a.count) + ", \"seconds\": ";
+    append_num(out, static_cast<double>(a.total_us) / 1e6);
+    out += "}";
+  }
+  out += "\n  ],\n  \"stages_total_seconds\": ";
+  append_num(out, static_cast<double>(stage_total_us) / 1e6);
+  out += ",\n  \"spans\": [";
+  bool first = true;
+  for (const auto& [name, a] : spans) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    out += "{\"name\": \"" + detail::json_escape(name) +
+           "\", \"count\": " + std::to_string(a.count) +
+           ", \"total_seconds\": ";
+    append_num(out, static_cast<double>(a.total_us) / 1e6);
+    out += ", \"max_seconds\": ";
+    append_num(out, static_cast<double>(a.max_us) / 1e6);
+    out += "}";
+  }
+  out += "\n  ],\n  \"counters\": {";
+  first = true;
+  for (const auto& [name, value] : counters_snapshot()) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    out += "\"" + detail::json_escape(name) +
+           "\": " + std::to_string(value);
+  }
+  out += "\n  },\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : gauges_snapshot()) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    out += "\"" + detail::json_escape(name) + "\": ";
+    append_num(out, value);
+  }
+  out += "\n  }\n}\n";
+  return out;
+}
+
+bool write_file(const std::string& path, const std::string& contents) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::size_t written = std::fwrite(contents.data(), 1, contents.size(), f);
+  const bool ok = std::fclose(f) == 0 && written == contents.size();
+  return ok;
+}
+
+bool write_trace(const std::string& path) {
+  return write_file(path, trace_json());
+}
+
+bool write_report(const std::string& path, const ReportOptions& options) {
+  return write_file(path, report_json(options));
+}
+
+EnvConfig init_from_env(std::string_view default_prefix) {
+  const auto resolve = [&](const char* var,
+                           const char* suffix) -> std::string {
+    const char* env = std::getenv(var);
+    if (env == nullptr || !*env || std::string_view(env) == "0") return {};
+    if (std::string_view(env) == "1")
+      return std::string(default_prefix) + suffix;
+    return env;
+  };
+  EnvConfig cfg;
+  cfg.trace_path = resolve("FTRSN_TRACE", "_trace.json");
+  cfg.report_path = resolve("FTRSN_REPORT", "_report.json");
+  if (cfg.any()) enable(true);
+  return cfg;
+}
+
+}  // namespace ftrsn::obs

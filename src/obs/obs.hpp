@@ -1,0 +1,146 @@
+// ftrsn_obs — unified tracing, counters and run reports for the whole
+// synthesis flow (DESIGN.md §5e).
+//
+// Three facilities behind one process-wide registry:
+//
+//  * Named counters and gauges.  Counters are always on: a handle caches a
+//    pointer to a relaxed atomic cell, so incrementing costs one atomic
+//    add.  They back both the run report and the LintStats-style snapshot
+//    APIs, and they must keep counting even when tracing is off (the lint
+//    perf-regression tests assert on them without ever enabling a trace).
+//
+//  * Scoped spans (`OBS_SPAN("bmc.solve")`).  Spans are recorded only
+//    while `obs::enabled()`; when disabled a span construction is one
+//    relaxed atomic load and a branch — no clock read, no allocation
+//    (near-zero overhead, pinned by the obs test suite).  Events land in
+//    per-thread logs (one mutex each, uncontended), so ThreadPool workers
+//    get their own lanes in the exported trace.
+//
+//  * Exporters: `trace_json()` emits Chrome trace-event / Perfetto JSON
+//    ("X" complete events plus thread-name metadata); `report_json()`
+//    emits the schema-versioned run report (stage wall times from the
+//    calling thread's depth-0 spans, per-span aggregates, all counters and
+//    gauges, peak RSS).
+//
+// Thread-safety: everything here may be called from any thread.  Export
+// may run concurrently with span recording, but spans still open at export
+// time are not included.  `reset()` must not race active spans.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace ftrsn::obs {
+
+/// Master switch for span recording (counters/gauges are always active).
+bool enabled();
+void enable(bool on);
+
+/// Drops all recorded spans, zeroes every counter, clears gauges and
+/// restarts the trace clock epoch.  For tests and bench harnesses.
+void reset();
+
+// --- counters and gauges ----------------------------------------------------
+
+/// Cached handle to one named counter cell.  Construction interns the name
+/// in the registry (mutex); `add` is a relaxed atomic increment.  Intended
+/// usage on hot paths is a function-local static:
+///
+///   static obs::Counter solves("bmc.sat_calls");
+///   solves.add();
+class Counter {
+ public:
+  explicit Counter(std::string_view name);
+  void add(std::uint64_t n = 1) { cell_->fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return cell_->load(std::memory_order_relaxed); }
+  void reset() { cell_->store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t>* cell_;  // owned by the registry, never freed
+};
+
+/// Cold-path conveniences (one registry lookup per call).
+void count(std::string_view name, std::uint64_t n = 1);
+std::uint64_t counter_value(std::string_view name);
+void gauge_set(std::string_view name, double value);
+void gauge_max(std::string_view name, double value);
+
+std::map<std::string, std::uint64_t> counters_snapshot();
+std::map<std::string, double> gauges_snapshot();
+
+// --- spans -------------------------------------------------------------------
+
+/// Names the calling thread's lane in the exported trace (default: "main"
+/// for the first registered thread, "thread-<tid>" otherwise).
+void set_thread_name(std::string name);
+
+/// RAII span: records a complete ("X") trace event on destruction.  A span
+/// constructed while tracing is disabled records nothing, even if tracing
+/// is enabled before it closes.
+class Span {
+ public:
+  explicit Span(std::string name);
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  ~Span();
+
+ private:
+  std::string name_;
+  std::uint64_t start_us_ = 0;
+  std::int32_t depth_ = 0;
+  bool active_ = false;
+};
+
+#define FTRSN_OBS_CONCAT2(a, b) a##b
+#define FTRSN_OBS_CONCAT(a, b) FTRSN_OBS_CONCAT2(a, b)
+#define OBS_SPAN(name) \
+  ::ftrsn::obs::Span FTRSN_OBS_CONCAT(obs_span_, __LINE__)(name)
+
+// --- export ------------------------------------------------------------------
+
+/// Chrome trace-event JSON (load in Perfetto / chrome://tracing).
+std::string trace_json();
+
+struct ReportOptions {
+  /// Include machine-dependent fields (peak RSS, hardware threads).  Off
+  /// for the golden-file tests, which need byte-stable output.
+  bool include_machine = true;
+};
+
+/// Structured run report ("ftrsn-run-report" schema, version 1).
+std::string report_json(const ReportOptions& options = {});
+
+bool write_file(const std::string& path, const std::string& contents);
+bool write_trace(const std::string& path);
+bool write_report(const std::string& path, const ReportOptions& options = {});
+
+// --- environment wiring ------------------------------------------------------
+
+/// FTRSN_TRACE / FTRSN_REPORT handling shared by every driver:
+///   unset, "" or "0"  -> off
+///   "1"               -> "<default_prefix>_trace.json" / "_report.json"
+///   anything else     -> used as the output path verbatim
+/// Enables span recording when either variable requests an output.  The
+/// caller owns writing the files (write_trace / write_report) at exit.
+struct EnvConfig {
+  std::string trace_path;
+  std::string report_path;
+  bool any() const { return !trace_path.empty() || !report_path.empty(); }
+};
+EnvConfig init_from_env(std::string_view default_prefix);
+
+namespace detail {
+/// Microseconds since the trace epoch (process start or last reset()).
+std::uint64_t now_us();
+using ClockFn = std::uint64_t (*)();
+/// Replaces the trace clock (nullptr restores the real one).  Test-only.
+void set_clock_for_test(ClockFn fn);
+/// Peak resident set size in kilobytes (getrusage), 0 if unavailable.
+long peak_rss_kb();
+std::string json_escape(std::string_view s);
+}  // namespace detail
+
+}  // namespace ftrsn::obs

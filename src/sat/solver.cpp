@@ -69,6 +69,7 @@ bool Solver::enqueue(Lit l, int reason) {
 int Solver::propagate() {
   while (propagate_head_ < trail_.size()) {
     const Lit p = trail_[propagate_head_++];
+    ++stats_propagations_;
     // Clauses watching ~p must find a new watch or propagate/conflict.
     std::vector<int>& watch_list =
         watches_[static_cast<std::size_t>((~p).code)];
@@ -265,6 +266,7 @@ SolveResult Solver::solve(const std::vector<Lit>& assumptions,
       backtrack(0);
       return SolveResult::kSat;
     }
+    ++stats_decisions_;
     trail_lim_.push_back(static_cast<int>(trail_.size()));
     enqueue(branch, -1);
   }

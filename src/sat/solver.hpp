@@ -54,6 +54,8 @@ class Solver {
   bool value(int var) const { return model_[static_cast<std::size_t>(var)]; }
 
   std::int64_t conflicts() const { return stats_conflicts_; }
+  std::int64_t decisions() const { return stats_decisions_; }
+  std::int64_t propagations() const { return stats_propagations_; }
   std::size_t num_clauses() const { return clauses_.size(); }
 
  private:
@@ -93,6 +95,8 @@ class Solver {
   std::vector<bool> model_;
   bool unsat_ = false;
   std::int64_t stats_conflicts_ = 0;
+  std::int64_t stats_decisions_ = 0;
+  std::int64_t stats_propagations_ = 0;
 };
 
 }  // namespace ftrsn::sat

@@ -5,8 +5,10 @@
 #include <functional>
 #include <iterator>
 #include <map>
+#include <optional>
 
 #include "lint/lint.hpp"
+#include "obs/obs.hpp"
 
 namespace ftrsn {
 
@@ -31,7 +33,12 @@ SynthResult synthesize_fault_tolerant(const Rsn& original,
   Rsn& ft = out.rsn;
   const std::size_t n_orig = original.num_nodes();
 
+  // One rolling span per synthesis stage: emplace() ends the previous stage
+  // before the next one starts, so the trace shows contiguous stage lanes.
+  std::optional<obs::Span> stage;
+
   // --- step 0: connectivity augmentation (paper §III-D) ---------------------
+  stage.emplace("synth.augment");
   const DataflowGraph g = DataflowGraph::from_rsn(original);
   AugmentOptions aopt = options.augment;
   if (aopt.target_allowed.empty()) {
@@ -95,6 +102,7 @@ SynthResult synthesize_fault_tolerant(const Rsn& original,
   out.augment = augment_connectivity(g, aopt);
 
   // --- step 1: integrate the augmenting edge set (§III-E-1) -----------------
+  stage.emplace("synth.integrate");
   //
   // Each augmenting edge (i, j) is realized by a 2:1 mux in front of j.
   // The mux's 1-bit address register is spliced in series after the edge's
@@ -207,6 +215,7 @@ SynthResult synthesize_fault_tolerant(const Rsn& original,
   }
 
   // --- step 3 (part): TMR for the original mux addresses (§III-E-3) ---------
+  stage.emplace("synth.tmr");
   if (options.tmr_addresses) {
     for (NodeId id = 0; id < n_orig; ++id) {
       if (!ft.node(id).is_mux()) continue;
@@ -224,6 +233,7 @@ SynthResult synthesize_fault_tolerant(const Rsn& original,
   }
 
   // --- step 4: duplicate primary scan ports (§III-E-4) ----------------------
+  stage.emplace("synth.ports");
   if (options.duplicate_ports) {
     const NodeId si = ft.primary_in();
     const NodeId si2 = ft.add_primary_in("SI2");
@@ -278,6 +288,7 @@ SynthResult synthesize_fault_tolerant(const Rsn& original,
   }
 
   // --- step 2: recursive select hardening (§III-E-2) ------------------------
+  stage.emplace("synth.select");
   if (options.harden_select) {
     // The select network is synthesized as two physically independent gate
     // trees (salted interning) whose outputs are OR-ed per segment:
@@ -343,6 +354,7 @@ SynthResult synthesize_fault_tolerant(const Rsn& original,
   // --- static analysis of the result (lint/) --------------------------------
   // Error-severity findings abort the synthesis; warnings (e.g. accepted
   // residual single points of failure) stay in `out.lint` for the caller.
+  stage.emplace("synth.lint");
   out.lint = lint::lint_augmentation(g, added, aopt.target_allowed);
   {
     const auto netlist = ft.validate();
@@ -350,6 +362,7 @@ SynthResult synthesize_fault_tolerant(const Rsn& original,
   }
   lint::throw_if_errors(out.lint, "synthesized fault-tolerant RSN",
                         ft.node_names());
+  stage.reset();
   return out;
 }
 

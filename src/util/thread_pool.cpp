@@ -1,6 +1,9 @@
 #include "util/thread_pool.hpp"
 
 #include <algorithm>
+#include <optional>
+
+#include "obs/obs.hpp"
 
 namespace ftrsn {
 
@@ -10,7 +13,8 @@ int ThreadPool::resolve_threads(int requested) {
   return hw > 0 ? static_cast<int>(hw) : 1;
 }
 
-ThreadPool::ThreadPool(int threads) : num_threads_(resolve_threads(threads)) {
+ThreadPool::ThreadPool(int threads, const char* name)
+    : num_threads_(resolve_threads(threads)), name_(name) {
   workers_.reserve(static_cast<std::size_t>(num_threads_ - 1));
   for (int w = 1; w < num_threads_; ++w)
     workers_.emplace_back([this, w] { worker_main(w); });
@@ -26,11 +30,17 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::run_chunks(int worker) {
+  // One span per worker per job: the trace shows each lane's share of the
+  // job, including idle tails from load imbalance.
+  std::optional<obs::Span> lane;
+  if (obs::enabled()) lane.emplace(name_ + ".lane");
+  static obs::Counter chunk_counter("pool.chunks");
   for (;;) {
     const std::size_t begin =
         cursor_.fetch_add(job_chunk_, std::memory_order_relaxed);
     if (begin >= job_n_) break;
     const std::size_t end = std::min(begin + job_chunk_, job_n_);
+    chunk_counter.add();
     try {
       (*job_)(worker, begin, end);
     } catch (...) {
@@ -43,6 +53,8 @@ void ThreadPool::run_chunks(int worker) {
 }
 
 void ThreadPool::worker_main(int worker) {
+  if (obs::enabled())
+    obs::set_thread_name(name_ + "-w" + std::to_string(worker));
   std::size_t seen_generation = 0;
   for (;;) {
     {
@@ -68,9 +80,18 @@ void ThreadPool::parallel_for(
   if (n == 0) return;
   if (chunk == 0) chunk = 1;
   if (num_threads_ == 1 || n <= chunk) {
-    // Serial fast path: no fences, no wakeups.
-    for (std::size_t begin = 0; begin < n; begin += chunk)
-      fn(0, begin, std::min(begin + chunk, n));
+    // Serial fast path: no fences, no wakeups.  Same exception contract as
+    // the threaded path: every chunk is attempted, the first error is
+    // rethrown at the end.
+    std::exception_ptr first_error;
+    for (std::size_t begin = 0; begin < n; begin += chunk) {
+      try {
+        fn(0, begin, std::min(begin + chunk, n));
+      } catch (...) {
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+    if (first_error) std::rethrow_exception(first_error);
     return;
   }
   {

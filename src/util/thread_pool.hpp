@@ -11,6 +11,17 @@
 // runs *which* chunk.  Callers that need bit-identical results across
 // thread counts must write results into per-index slots and fold them in
 // a fixed order afterwards (see FaultMetricEngine).
+//
+// Exception contract: parallel_for attempts every chunk of [0, n) even
+// after a chunk throws (later chunks may observe side effects of the
+// failed one; per-index result slots make that benign).  The first
+// exception thrown — serial fast path included — is rethrown from
+// parallel_for after the job completes; subsequent exceptions are
+// swallowed.  The pool stays usable after a throwing job.
+//
+// Observability: when obs tracing is enabled, every worker's participation
+// in a job is recorded as a "<name>.lane" span on its own thread lane and
+// worker threads are named "<name>-w<k>" in the exported trace.
 #pragma once
 
 #include <atomic>
@@ -18,6 +29,7 @@
 #include <cstddef>
 #include <functional>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -26,8 +38,9 @@ namespace ftrsn {
 class ThreadPool {
  public:
   /// Creates a pool with `threads` workers (including the caller).
-  /// `threads <= 0` resolves to the hardware concurrency.
-  explicit ThreadPool(int threads = 0);
+  /// `threads <= 0` resolves to the hardware concurrency (at least 1).
+  /// `name` labels the pool's worker lanes in exported traces.
+  explicit ThreadPool(int threads = 0, const char* name = "pool");
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -35,15 +48,18 @@ class ThreadPool {
 
   int num_threads() const { return num_threads_; }
 
-  /// Resolves a requested thread count the same way the constructor does.
+  /// Resolves a requested thread count the same way the constructor does:
+  /// any `requested <= 0` normalizes to the hardware concurrency, and a
+  /// zero/unknown hardware concurrency normalizes to 1.
   static int resolve_threads(int requested);
 
   /// Runs `fn(worker, begin, end)` over disjoint chunks covering [0, n).
   /// Chunks are at most `chunk` indices long (`chunk == 0` picks a default).
   /// `worker` is in [0, num_threads()); each worker sees only its own id, so
   /// per-worker scratch arenas need no locking.  Blocks until all of [0, n)
-  /// has been processed; the first exception thrown by `fn` is rethrown
-  /// here.  Not reentrant: `fn` must not call parallel_for on this pool.
+  /// has been attempted; the first exception thrown by `fn` is rethrown
+  /// here (see the exception contract above).  Not reentrant: `fn` must not
+  /// call parallel_for on this pool.
   void parallel_for(std::size_t n, std::size_t chunk,
                     const std::function<void(int, std::size_t, std::size_t)>& fn);
 
@@ -52,6 +68,7 @@ class ThreadPool {
   void run_chunks(int worker);
 
   int num_threads_ = 1;
+  std::string name_;
   std::vector<std::thread> workers_;
 
   std::mutex mutex_;

@@ -312,6 +312,58 @@ TEST(ThreadPool, PropagatesExceptions) {
   EXPECT_EQ(ran.load(), 8);
 }
 
+TEST(ThreadPool, ZeroAndNegativeThreadsNormalize) {
+  // threads <= 0 resolves to hardware concurrency, never below 1, and the
+  // pool is immediately usable at the resolved size.
+  for (const int requested : {0, -1, -100}) {
+    ThreadPool pool(requested);
+    EXPECT_GE(pool.num_threads(), 1) << requested;
+    EXPECT_EQ(pool.num_threads(), ThreadPool::resolve_threads(requested));
+    std::atomic<int> ran{0};
+    pool.parallel_for(16, 2,
+                      [&](int, std::size_t b, std::size_t e) {
+                        ran.fetch_add(static_cast<int>(e - b));
+                      });
+    EXPECT_EQ(ran.load(), 16) << requested;
+  }
+}
+
+TEST(ThreadPool, AttemptsEveryChunkDespiteException) {
+  // Exception contract: a throwing chunk does not abort the job — all of
+  // [0, n) is still attempted exactly once, then the error is rethrown.
+  ThreadPool pool(4);
+  const std::size_t n = 256;
+  std::vector<std::atomic<int>> hits(n);
+  for (auto& h : hits) h.store(0);
+  EXPECT_THROW(
+      pool.parallel_for(n, 4,
+                        [&](int, std::size_t begin, std::size_t end) {
+                          for (std::size_t i = begin; i < end; ++i)
+                            hits[i].fetch_add(1);
+                          if (begin == 8) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ThreadPool, SerialPathMatchesExceptionContract) {
+  // The serial fast path (1 thread) follows the same rules as the threaded
+  // path: every chunk attempted, *first* exception rethrown.
+  ThreadPool pool(1);
+  std::vector<int> hits(20, 0);
+  try {
+    pool.parallel_for(20, 2, [&](int, std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) ++hits[i];
+      if (begin == 4) throw std::runtime_error("first");
+      if (begin == 12) throw std::runtime_error("second");
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "first");  // chunks run in order when serial
+  }
+  for (std::size_t i = 0; i < hits.size(); ++i) EXPECT_EQ(hits[i], 1) << i;
+}
+
 TEST(ThreadPool, EmptyAndSerialFastPath) {
   ThreadPool pool(2);
   int calls = 0;

@@ -1,0 +1,267 @@
+// ftrsn_obs test suite (ctest -L obs).
+//
+// Each TEST runs as its own ctest entry (gtest_discover_tests), i.e. in a
+// fresh process, so the process-wide obs registry starts empty: counter
+// registration, thread-lane numbering and golden-file output are
+// deterministic per test.
+//
+// The golden-file tests pin the exported trace-event and run-report JSON
+// byte for byte under a fake clock (detail::set_clock_for_test) and with
+// machine-dependent report fields disabled.  Regenerate the goldens after
+// an intentional format change with:
+//
+//   FTRSN_REGOLD=1 ./ftrsn_obs_tests --gtest_filter='ObsGolden.*'
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/obs.hpp"
+#include "util/thread_pool.hpp"
+
+namespace ftrsn {
+namespace {
+
+std::string golden_path(const std::string& name) {
+  return std::string(FTRSN_TEST_DATA_DIR) + "/" + name;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+void expect_matches_golden(const std::string& got, const std::string& file) {
+  const std::string path = golden_path(file);
+  if (std::getenv("FTRSN_REGOLD") != nullptr) {
+    ASSERT_TRUE(obs::write_file(path, got)) << path;
+    return;
+  }
+  EXPECT_EQ(got, read_file(path)) << "golden mismatch: " << path;
+}
+
+// Fake clock: every call advances time by 100 us, starting at 0.
+std::atomic<std::uint64_t> fake_ticks{0};
+std::uint64_t fake_clock() { return fake_ticks.fetch_add(1) * 100; }
+
+struct FakeClockScope {
+  FakeClockScope() {
+    fake_ticks.store(0);
+    obs::reset();
+    obs::detail::set_clock_for_test(&fake_clock);
+  }
+  ~FakeClockScope() {
+    obs::detail::set_clock_for_test(nullptr);
+    obs::enable(false);
+    obs::reset();
+  }
+};
+
+// --- golden files (declared first; fresh process per test regardless) -------
+
+TEST(ObsGolden, TraceJson) {
+  FakeClockScope clock;
+  obs::enable(true);
+  {
+    OBS_SPAN("parse");
+    { OBS_SPAN("solve"); }
+  }
+  { OBS_SPAN("emit"); }
+  expect_matches_golden(obs::trace_json(), "obs_golden_trace.json");
+}
+
+TEST(ObsGolden, ReportJson) {
+  FakeClockScope clock;
+  obs::enable(true);
+  obs::Counter items("golden.items");
+  items.add(3);
+  obs::count("golden.retries");
+  obs::gauge_set("golden.ratio", 0.5);
+  obs::gauge_max("golden.ratio", 0.25);  // keeps the max (0.5)
+  {
+    OBS_SPAN("parse");
+    { OBS_SPAN("solve"); }
+  }
+  { OBS_SPAN("emit"); }
+  { OBS_SPAN("emit"); }  // aggregated: stage "emit" count 2
+  obs::ReportOptions opt;
+  opt.include_machine = false;  // byte-stable across machines
+  expect_matches_golden(obs::report_json(opt), "obs_golden_report.json");
+}
+
+// --- counters ---------------------------------------------------------------
+
+TEST(Obs, CountersAlwaysOnAndDeterministic) {
+  obs::reset();
+  ASSERT_FALSE(obs::enabled());  // counters must not depend on tracing
+  obs::Counter hits("test.hits");
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 100000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t)
+    workers.emplace_back([&] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) hits.add();
+    });
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(hits.value(), kThreads * kPerThread);
+  EXPECT_EQ(obs::counter_value("test.hits"), kThreads * kPerThread);
+  EXPECT_EQ(obs::counters_snapshot().at("test.hits"), kThreads * kPerThread);
+  hits.reset();
+  EXPECT_EQ(hits.value(), 0u);
+}
+
+TEST(Obs, GaugeSetAndMax) {
+  obs::reset();
+  obs::gauge_set("test.g", 2.0);
+  obs::gauge_max("test.g", 1.0);
+  EXPECT_DOUBLE_EQ(obs::gauges_snapshot().at("test.g"), 2.0);
+  obs::gauge_max("test.g", 5.0);
+  EXPECT_DOUBLE_EQ(obs::gauges_snapshot().at("test.g"), 5.0);
+}
+
+// --- spans ------------------------------------------------------------------
+
+TEST(Obs, DisabledSpansRecordNothing) {
+  obs::reset();
+  ASSERT_FALSE(obs::enabled());
+  { OBS_SPAN("invisible"); }
+  obs::enable(true);
+  { OBS_SPAN("visible"); }
+  obs::enable(false);
+  const std::string trace = obs::trace_json();
+  EXPECT_EQ(trace.find("invisible"), std::string::npos);
+  EXPECT_NE(trace.find("visible"), std::string::npos);
+}
+
+TEST(Obs, SpanNestingAcrossThreads) {
+  obs::reset();
+  obs::enable(true);
+  {
+    OBS_SPAN("outer");
+    std::vector<std::thread> workers;
+    for (int t = 0; t < 3; ++t)
+      workers.emplace_back([t] {
+        obs::set_thread_name("nest-w" + std::to_string(t));
+        OBS_SPAN("worker.outer");
+        { OBS_SPAN("worker.inner"); }
+      });
+    for (auto& w : workers) w.join();
+  }
+  obs::enable(false);
+  const std::string trace = obs::trace_json();
+  // Every thread got its own named lane and both nesting levels landed.
+  for (int t = 0; t < 3; ++t)
+    EXPECT_NE(trace.find("nest-w" + std::to_string(t)), std::string::npos);
+  EXPECT_NE(trace.find("\"worker.inner\", \"args\": {\"depth\": 1}"),
+            std::string::npos);
+  EXPECT_NE(trace.find("\"worker.outer\", \"args\": {\"depth\": 0}"),
+            std::string::npos);
+  EXPECT_NE(trace.find("\"outer\", \"args\": {\"depth\": 0}"),
+            std::string::npos);
+}
+
+TEST(Obs, ThreadPoolWorkersGetNamedLanes) {
+  obs::reset();
+  obs::enable(true);
+  {
+    ThreadPool pool(4, "metric");
+    pool.parallel_for(64, 1, [](int, std::size_t, std::size_t) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    });
+  }
+  obs::enable(false);
+  const std::string trace = obs::trace_json();
+  EXPECT_NE(trace.find("metric.lane"), std::string::npos);
+  EXPECT_NE(trace.find("metric-w1"), std::string::npos);
+  EXPECT_GE(obs::counter_value("pool.chunks"), 64u);
+}
+
+TEST(Obs, ReportStagesSumMatchesDepthZeroSpans) {
+  obs::reset();
+  obs::enable(true);
+  {
+    OBS_SPAN("stage.a");
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  {
+    OBS_SPAN("stage.b");
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  obs::enable(false);
+  const std::string report = obs::report_json();
+  EXPECT_NE(report.find("\"schema\": \"ftrsn-run-report\""),
+            std::string::npos);
+  EXPECT_NE(report.find("stage.a"), std::string::npos);
+  EXPECT_NE(report.find("stage.b"), std::string::npos);
+  EXPECT_NE(report.find("\"stages_total_seconds\""), std::string::npos);
+  EXPECT_NE(report.find("\"peak_rss_kb\""), std::string::npos);
+}
+
+TEST(Obs, DisabledModeOverheadSmoke) {
+  obs::reset();
+  ASSERT_FALSE(obs::enabled());
+  // 10M disabled span constructions must be near-free (an atomic load and
+  // a branch each).  The bound is ~100x slack over the expected cost so the
+  // test only catches catastrophic regressions (e.g. a clock read or an
+  // allocation sneaking into the disabled path).
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < 10'000'000; ++i) {
+    OBS_SPAN("never.recorded");
+  }
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_LT(secs, 2.0);
+  EXPECT_EQ(obs::trace_json().find("never.recorded"), std::string::npos);
+}
+
+// --- environment wiring -----------------------------------------------------
+
+TEST(Obs, InitFromEnvSemantics) {
+  unsetenv("FTRSN_TRACE");
+  unsetenv("FTRSN_REPORT");
+  obs::enable(false);
+  EXPECT_FALSE(obs::init_from_env("tool").any());
+  EXPECT_FALSE(obs::enabled());
+
+  setenv("FTRSN_TRACE", "0", 1);
+  EXPECT_FALSE(obs::init_from_env("tool").any());
+
+  setenv("FTRSN_TRACE", "1", 1);
+  obs::EnvConfig cfg = obs::init_from_env("tool");
+  EXPECT_EQ(cfg.trace_path, "tool_trace.json");
+  EXPECT_TRUE(cfg.report_path.empty());
+  EXPECT_TRUE(obs::enabled());
+
+  obs::enable(false);
+  setenv("FTRSN_TRACE", "/tmp/custom.json", 1);
+  setenv("FTRSN_REPORT", "1", 1);
+  cfg = obs::init_from_env("tool");
+  EXPECT_EQ(cfg.trace_path, "/tmp/custom.json");
+  EXPECT_EQ(cfg.report_path, "tool_report.json");
+  EXPECT_TRUE(obs::enabled());
+
+  unsetenv("FTRSN_TRACE");
+  unsetenv("FTRSN_REPORT");
+  obs::enable(false);
+  obs::reset();
+}
+
+TEST(Obs, WriteFileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "obs_roundtrip.json";
+  ASSERT_TRUE(obs::write_file(path, "{\"x\": 1}\n"));
+  EXPECT_EQ(read_file(path), "{\"x\": 1}\n");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace ftrsn

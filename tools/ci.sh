@@ -13,7 +13,11 @@
 #   5. rsn-lint over generated and synthesized example networks
 #      (must report zero error-severity findings, exit status 0), plus
 #      JSON and SARIF emitter checks;
-#   6. clang-tidy over src/ when available (advisory).
+#   6. obs smoke: a traced `rsn_tool flow` run on u226 must emit a valid
+#      Chrome trace-event JSON and a schema-versioned run report whose
+#      stage times are consistent with the reported wall time;
+#   7. clang-tidy over src/ when available (advisory unless
+#      FTRSN_REQUIRE_CLANG_TIDY=1, which fails if the tool is missing).
 #
 # Usage: tools/ci.sh [build-dir-prefix]   (default: build-ci)
 set -euo pipefail
@@ -126,11 +130,64 @@ print("sarif ok:", sys.argv[1])
 EOF
 fi
 
-# --- 6. clang-tidy (advisory) ----------------------------------------------
+# --- 6. obs smoke: traced flow run -----------------------------------------
+# One end-to-end flow with tracing, reporting and a BMC spot-check: both
+# emitted JSON documents must parse and respect their schemas, and the
+# report's stage breakdown must stay consistent with its wall time.
+OBS_TRACE="$WORK/u226_trace.json"
+OBS_REPORT="$WORK/u226_report.json"
+# --threads=2 forces a multi-threaded metric pool even on 1-CPU runners so
+# the trace always carries worker lanes.
+run "$TOOL" flow u226 --trace="$OBS_TRACE" --report="$OBS_REPORT" \
+  --bmc-check=4 --threads=2 >/dev/null
+if command -v python3 >/dev/null 2>&1; then
+  run python3 - "$OBS_TRACE" "$OBS_REPORT" <<'EOF'
+import json, sys
+trace = json.load(open(sys.argv[1]))
+events = trace["traceEvents"]
+names = {e["name"] for e in events if e.get("ph") == "X"}
+for stage in ("flow.parse", "flow.synth", "flow.metric.original",
+              "flow.metric.hardened", "flow.bmc", "synth.augment",
+              "bmc.check"):
+    assert stage in names, f"missing trace span {stage}"
+lanes = {e["tid"] for e in events if e.get("ph") == "X"}
+assert len(lanes) > 1, "no worker lanes in trace"
+for e in events:
+    if e.get("ph") == "X":
+        assert e["dur"] >= 0 and e["ts"] >= 0, "bad event timestamps"
+
+report = json.load(open(sys.argv[2]))
+assert report["schema"] == "ftrsn-run-report", "report schema"
+assert report["version"] == 1, "report version"
+wall = report["wall_seconds"]
+stages = {s["name"]: s["seconds"] for s in report["stages"]}
+for stage in ("flow.parse", "flow.synth", "flow.bmc"):
+    assert stage in stages, f"missing report stage {stage}"
+total = report["stages_total_seconds"]
+# The flow spends essentially all its time inside instrumented stages, so
+# the stage sum must agree with the wall time to within 10%.
+assert wall * 0.90 <= total <= wall * 1.10, \
+    f"stage sum {total} vs wall {wall}"
+assert report["counters"].get("bmc.sat_calls", 0) > 0, "bmc counters"
+assert report["counters"].get("metric.faults", 0) > 0, "metric counters"
+assert report["machine"]["peak_rss_kb"] > 0, "peak rss"
+print("obs smoke ok:", sys.argv[1], sys.argv[2])
+EOF
+else
+  grep -q '"traceEvents"' "$OBS_TRACE"
+  grep -q '"schema": "ftrsn-run-report"' "$OBS_REPORT"
+fi
+
+# --- 7. clang-tidy ----------------------------------------------------------
+# Advisory locally; the GitHub workflow sets FTRSN_REQUIRE_CLANG_TIDY=1 so
+# a missing tool is a hard failure there instead of a silent skip.
 if command -v clang-tidy >/dev/null 2>&1; then
   run cmake -B "$PREFIX" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
   find src -name '*.cpp' -print0 |
     xargs -0 -n 8 -P "$JOBS" clang-tidy -p "$PREFIX" --quiet || true
+elif [ "${FTRSN_REQUIRE_CLANG_TIDY:-0}" = "1" ]; then
+  echo "clang-tidy required (FTRSN_REQUIRE_CLANG_TIDY=1) but not found" >&2
+  exit 1
 else
   echo "clang-tidy not found; skipping (advisory)" >&2
 fi

@@ -1,0 +1,117 @@
+// Batch flow runner benchmark: serial 13-SoC Table-I sweep vs the sharded
+// BatchRunner (core/batch.hpp) at 1/2/8 threads.  Emits
+// BENCH_batch_flow.json with the wall clocks, speedups and a strict
+// per-SoC aggregates-identical flag: every metric aggregate (original and
+// hardened, including the worst-fault tie-breaks), the augmentation cost
+// and the hardened network stats are compared bitwise against the serial
+// single-threaded sweep.
+//
+// On a 1-core host the sharded runs measure scheduling overhead only (the
+// speedup column sits near 1.0); the aggregates_identical flags are the
+// part that must hold everywhere.  hardware_threads in the envelope
+// records which case this file was produced under.
+//
+//   FTRSN_SOCS=<comma list>   SoC subset (default: all 13)
+//   FTRSN_BENCH_OUT=<path>    output path (default BENCH_batch_flow.json)
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/batch.hpp"
+
+using namespace ftrsn;
+
+namespace {
+
+bool metrics_identical(const FaultToleranceReport& a,
+                       const FaultToleranceReport& b) {
+  return a.num_faults == b.num_faults &&
+         a.counted_segments == b.counted_segments &&
+         a.counted_bits == b.counted_bits && a.seg_worst == b.seg_worst &&
+         a.seg_avg == b.seg_avg && a.bit_worst == b.bit_worst &&
+         a.bit_avg == b.bit_avg &&
+         a.worst_fault_index == b.worst_fault_index;
+}
+
+bool flows_identical(const FlowResult& a, const FlowResult& b) {
+  if (a.original_metric.has_value() != b.original_metric.has_value() ||
+      a.hardened_metric.has_value() != b.hardened_metric.has_value())
+    return false;
+  if (a.original_metric &&
+      !metrics_identical(*a.original_metric, *b.original_metric))
+    return false;
+  if (a.hardened_metric &&
+      !metrics_identical(*a.hardened_metric, *b.hardened_metric))
+    return false;
+  return a.augment_cost == b.augment_cost &&
+         a.augment_edges == b.augment_edges &&
+         a.hardened_stats.segments == b.hardened_stats.segments &&
+         a.hardened_stats.muxes == b.hardened_stats.muxes &&
+         a.hardened_stats.bits == b.hardened_stats.bits;
+}
+
+}  // namespace
+
+int main() {
+  bench::BenchReport report("batch_flow");
+
+  std::vector<std::string> names;
+  for (const auto& soc : bench::selected_socs()) names.push_back(soc.name);
+
+  // Serial baseline: the pre-batch sweep — one flow after another, one
+  // metric thread, no shared pool.
+  std::printf("serial baseline (%zu SoCs)\n", names.size());
+  FlowOptions serial_opt;
+  serial_opt.metric_threads = 1;
+  std::vector<FlowResult> serial;
+  const auto t_serial = std::chrono::steady_clock::now();
+  for (const std::string& name : names) {
+    serial.push_back(run_soc_flow(name, serial_opt));
+    std::printf("  %-8s synth %6.2fs metric %6.2fs\n", name.c_str(),
+                serial.back().synth_seconds, serial.back().metric_seconds);
+  }
+  const double serial_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    t_serial)
+          .count();
+  std::printf("serial: %.2fs\n\n", serial_seconds);
+
+  std::string runs_json;
+  for (const int threads : {1, 2, 8}) {
+    BatchOptions bopt;
+    bopt.threads = threads;
+    BatchRunner runner(bopt);
+    const BatchResult batch = runner.run_soc_flows(names);
+    bool all_identical = true;
+    std::string socs_json;
+    for (std::size_t i = 0; i < names.size(); ++i) {
+      const bool identical = flows_identical(serial[i], batch.flows[i]);
+      all_identical = all_identical && identical;
+      socs_json += strprintf(
+          "%s\n        {\"soc\": \"%s\", \"identical\": %s}",
+          socs_json.empty() ? "" : ",", names[i].c_str(),
+          identical ? "true" : "false");
+    }
+    const double speedup =
+        batch.wall_seconds > 0.0 ? serial_seconds / batch.wall_seconds : 0.0;
+    std::printf("batch t=%d  %8.2fs  speedup %.2fx  %s\n", threads,
+                batch.wall_seconds, speedup,
+                all_identical ? "identical" : "MISMATCH");
+    runs_json += strprintf(
+        "%s\n    {\"threads\": %d, \"seconds\": %.4f, \"speedup\": %.2f, "
+        "\"aggregates_identical\": %s,\n      \"socs\": [%s\n      ]}",
+        runs_json.empty() ? "" : ",", threads, batch.wall_seconds, speedup,
+        all_identical ? "true" : "false", socs_json.c_str());
+  }
+
+  std::string socs_list;
+  for (const std::string& name : names)
+    socs_list += strprintf("%s\"%s\"", socs_list.empty() ? "" : ", ",
+                           name.c_str());
+  report.add("socs", "[" + socs_list + "]");
+  report.add_number("serial_seconds", serial_seconds);
+  report.add("runs", "[" + runs_json + "\n  ]");
+  return report.write() ? 0 : 1;
+}

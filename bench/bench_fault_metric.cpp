@@ -53,6 +53,17 @@ struct NetworkRecord {
   double collapse_ratio = 1.0;
   double legacy_seconds = 0.0;  // 0 if skipped
   std::vector<RunRecord> runs;
+
+  /// Intra-network thread scaling: serial engine time over the 8-thread
+  /// engine time (1.0 = flat; hardware-limited to ~1.0 on 1-core hosts).
+  double thread_scaling_8v1() const {
+    double t1 = 0.0, t8 = 0.0;
+    for (const RunRecord& run : runs) {
+      if (run.threads == 1) t1 = run.seconds;
+      if (run.threads == 8) t8 = run.seconds;
+    }
+    return t1 > 0.0 && t8 > 0.0 ? t1 / t8 : 0.0;
+  }
 };
 
 NetworkRecord bench_network(const std::string& soc, const char* kind,
@@ -137,7 +148,9 @@ int main() {
           k ? "," : "", run.threads, run.seconds, run.faults_per_second,
           run.speedup, run.aggregates_identical ? "true" : "false");
     }
-    networks += strprintf("\n    ]}%s\n", i + 1 < records.size() ? "," : "");
+    networks += strprintf("\n    ], \"thread_scaling_8v1\": %.2f}%s\n",
+                          r.thread_scaling_8v1(),
+                          i + 1 < records.size() ? "," : "");
   }
   networks += "  ]";
   report.add_flag("legacy_baseline", run_legacy);

@@ -3,6 +3,12 @@
 // faults, for the original SIB-based RSNs and for the synthesized
 // fault-tolerant RSNs.
 //
+// The 13 SoC flows are independent, so the sweep runs on the sharded
+// BatchRunner (core/batch.hpp): whole networks fan out across one shared
+// pool and each network's fault-class loop nests inside it.  Row printing
+// happens after the batch in input order, and the engine's serial fold
+// keeps every number bit-identical to the serial sweep at any pool size.
+//
 // Expected shapes (see EXPERIMENTS.md):
 //  * original RSNs: worst = 0.00 everywhere (a fault on the serial trunk
 //    disconnects the whole network);
@@ -11,15 +17,26 @@
 //    > 0.99.
 //
 // FTRSN_SOCS=<comma list> restricts the run (the full set takes minutes).
+// FTRSN_BATCH_THREADS sizes the shared pool (default: hardware).
 #include <cstdio>
+#include <cstdlib>
 
 #include "bench_util.hpp"
-#include "core/flow.hpp"
+#include "core/batch.hpp"
 
 using namespace ftrsn;
 
 int main() {
   bench::BenchReport report("table1_accessibility");
+
+  std::vector<std::string> names;
+  for (const auto& soc : bench::selected_socs()) names.push_back(soc.name);
+  BatchOptions bopt;
+  if (const char* env = std::getenv("FTRSN_BATCH_THREADS"))
+    bopt.threads = std::atoi(env);
+  BatchRunner runner(bopt);
+  const BatchResult batch = runner.run_soc_flows(names);
+
   std::string rows;
   std::printf(
       "Table I — accessibility under single stuck-at faults "
@@ -29,15 +46,15 @@ int main() {
               "SIB-RSN  bits worst/avg  seg worst/avg",
               "FT-RSN   bits worst/avg  seg worst/avg", "time");
   bench::rule('-', 132);
-  for (const auto& soc : bench::selected_socs()) {
-    const auto& row = bench::paper_row(soc.name);
-    const FlowResult r = run_soc_flow(soc.name);
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    const auto& row = bench::paper_row(names[i]);
+    const FlowResult& r = batch.flows[i];
     const auto& o = *r.original_metric;
     const auto& h = *r.hardened_metric;
     std::printf(
         "%-9s | %.2f|%.2f %.3f|%.3f  %.2f|%.2f %.3f|%.3f | "
         "%.2f|%.2f %.4f|%.3f  %.3f|%.3f %.4f|%.3f | %5.1fs+%5.1fs\n",
-        soc.name.c_str(),
+        names[i].c_str(),
         o.bit_worst, row.sib_bits_worst, o.bit_avg, row.sib_bits_avg,
         o.seg_worst, row.sib_seg_worst, o.seg_avg, row.sib_seg_avg,
         h.bit_worst, row.ft_bits_worst, h.bit_avg, row.ft_bits_avg,
@@ -50,7 +67,7 @@ int main() {
         "\"ft\": {\"bit_worst\": %.4f, \"bit_avg\": %.5f, "
         "\"seg_worst\": %.4f, \"seg_avg\": %.5f}, "
         "\"synth_seconds\": %.2f, \"metric_seconds\": %.2f}",
-        rows.empty() ? "" : ",", soc.name.c_str(), o.bit_worst, o.bit_avg,
+        rows.empty() ? "" : ",", names[i].c_str(), o.bit_worst, o.bit_avg,
         o.seg_worst, o.seg_avg, h.bit_worst, h.bit_avg, h.seg_worst,
         h.seg_avg, r.synth_seconds, r.metric_seconds);
   }
@@ -59,6 +76,10 @@ int main() {
       "column format: measured|paper.  SIB-RSN worst must be 0.00; FT-RSN\n"
       "bit worst tracks the paper (dominant-chain calibration); averages\n"
       "land above 0.99 as in the paper.\n");
+  std::printf("sweep: %zu SoCs on %d threads in %.2fs\n", names.size(),
+              batch.threads, batch.wall_seconds);
   report.add("socs", "[" + rows + "\n  ]");
+  report.add_count("batch_threads", batch.threads);
+  report.add_number("batch_wall_seconds", batch.wall_seconds);
   return report.write() ? 0 : 1;
 }

@@ -7,18 +7,24 @@
 //   example_rsn_tool dot    <in.rsn>             dataflow graph as DOT
 //   example_rsn_tool gen    <soc> <out.rsn>      SIB-RSN of an ITC'02 SoC
 //   example_rsn_tool flow   <itc02-soc>          full flow (Table I row)
+//   example_rsn_tool batch  <soc,soc,...|all>    sharded multi-SoC sweep
 //
 // `flow` options:
 //   --trace=PATH       Chrome trace-event JSON of the run (Perfetto)
 //   --report=PATH      schema-versioned obs run report
 //   --threads=N        fault-metric worker threads (default: hardware)
 //   --bmc-check=N      BMC spot-check of the first N hardened segments
+// `batch` options: the same four, where --threads=N sizes the shared pool
+// (networks and fault classes share its workers, see core/batch.hpp), plus
+//   --no-original      skip the original-RSN metric (hardened only)
 // FTRSN_TRACE / FTRSN_REPORT are honoured as defaults for every command.
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "area/area.hpp"
+#include "core/batch.hpp"
 #include "core/flow.hpp"
 #include "fault/metric.hpp"
 #include "graph/dataflow.hpp"
@@ -26,6 +32,7 @@
 #include "itc02/itc02.hpp"
 #include "obs/obs.hpp"
 #include "synth/synth.hpp"
+#include "util/common.hpp"
 
 using namespace ftrsn;
 
@@ -37,7 +44,10 @@ int usage() {
                "       rsn_tool synth <in.rsn> <out.rsn>\n"
                "       rsn_tool gen <itc02-soc> <out.rsn>\n"
                "       rsn_tool flow <itc02-soc> [--trace=PATH]\n"
-               "                [--report=PATH] [--threads=N] [--bmc-check=N]\n");
+               "                [--report=PATH] [--threads=N] [--bmc-check=N]\n"
+               "       rsn_tool batch <soc,soc,...|all> [--trace=PATH]\n"
+               "                [--report=PATH] [--threads=N] [--bmc-check=N]\n"
+               "                [--no-original]\n");
   return 2;
 }
 
@@ -88,6 +98,75 @@ int run_flow_command(int argc, char** argv) {
   return 0;
 }
 
+int run_batch_command(int argc, char** argv) {
+  BatchOptions bopt;
+  FlowOptions base;
+  const obs::EnvConfig env = obs::init_from_env("rsn_tool_batch");
+  bopt.trace_path = env.trace_path;
+  bopt.report_path = env.report_path;
+  for (int i = 3; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--trace=", 0) == 0) {
+      bopt.trace_path = arg.substr(8);
+    } else if (arg.rfind("--report=", 0) == 0) {
+      bopt.report_path = arg.substr(9);
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      bopt.threads = std::atoi(arg.c_str() + 10);
+    } else if (arg.rfind("--bmc-check=", 0) == 0) {
+      base.bmc_spotcheck = std::atoi(arg.c_str() + 12);
+    } else if (arg == "--no-original") {
+      base.evaluate_original = false;
+    } else {
+      return usage();
+    }
+  }
+  std::vector<std::string> socs;
+  const std::string list = argv[2];
+  if (list == "all") {
+    for (const itc02::Soc& soc : itc02::socs()) socs.push_back(soc.name);
+  } else {
+    for (const std::string& name : split(list, ','))
+      socs.emplace_back(trim(name));
+  }
+  for (const std::string& name : socs) {
+    if (!itc02::find_soc(name)) {
+      std::fprintf(stderr, "unknown ITC'02 SoC '%s'\n", name.c_str());
+      return 1;
+    }
+  }
+
+  BatchRunner runner(bopt);
+  const BatchResult res = runner.run_soc_flows(socs, base);
+  std::printf("%-8s %7s %7s  %-25s %-25s %9s\n", "soc", "nodes", "+nodes",
+              "orig seg worst/avg", "ft seg worst/avg", "synth[s]");
+  for (std::size_t i = 0; i < socs.size(); ++i) {
+    const FlowResult& r = res.flows[i];
+    char orig[32] = "-";
+    if (r.original_metric)
+      std::snprintf(orig, sizeof orig, "%.3f / %.4f",
+                    r.original_metric->seg_worst, r.original_metric->seg_avg);
+    char hard[32] = "-";
+    if (r.hardened_metric)
+      std::snprintf(hard, sizeof hard, "%.3f / %.4f",
+                    r.hardened_metric->seg_worst, r.hardened_metric->seg_avg);
+    std::printf("%-8s %7d %7d  %-25s %-25s %9.2f\n", socs[i].c_str(),
+                static_cast<int>(r.original_stats.segments +
+                                 r.original_stats.muxes),
+                static_cast<int>(r.hardened_stats.segments +
+                                 r.hardened_stats.muxes) -
+                    static_cast<int>(r.original_stats.segments +
+                                     r.original_stats.muxes),
+                orig, hard, r.synth_seconds);
+  }
+  std::printf("batch: %zu SoCs on %d threads in %.2fs\n", socs.size(),
+              res.threads, res.wall_seconds);
+  if (!bopt.trace_path.empty())
+    std::printf("trace:     %s\n", bopt.trace_path.c_str());
+  if (!bopt.report_path.empty())
+    std::printf("report:    %s\n", bopt.report_path.c_str());
+  return 0;
+}
+
 void print_info(const Rsn& rsn) {
   const RsnStats st = rsn.stats();
   const AreaReport area = estimate_area(rsn);
@@ -120,6 +199,7 @@ int main(int argc, char** argv) {
       return 0;
     }
     if (cmd == "flow") return run_flow_command(argc, argv);
+    if (cmd == "batch") return run_batch_command(argc, argv);
     const Rsn rsn = load_rsn(argv[2]);
     if (cmd == "info") {
       print_info(rsn);

@@ -1,0 +1,91 @@
+#include "core/batch.hpp"
+
+#include <chrono>
+#include <utility>
+
+#include "obs/obs.hpp"
+#include "util/common.hpp"
+#include "util/thread_pool.hpp"
+
+namespace ftrsn {
+
+BatchRunner::BatchRunner(const BatchOptions& options)
+    : options_(options),
+      pool_(std::make_unique<ThreadPool>(options.threads,
+                                         options.pool_name.c_str())) {}
+
+BatchRunner::~BatchRunner() = default;
+
+int BatchRunner::num_threads() const { return pool_->num_threads(); }
+
+BatchResult BatchRunner::run_flows(std::vector<BatchFlow> flows) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const bool want_obs =
+      !options_.trace_path.empty() || !options_.report_path.empty();
+  if (want_obs) {
+    obs::enable(true);
+    if (!options_.trace_path.empty() && options_.trace_stream_events > 0)
+      obs::stream_trace_to(options_.trace_path, options_.trace_stream_events);
+  }
+
+  BatchResult result;
+  result.threads = pool_->num_threads();
+  result.flows.resize(flows.size());
+
+  // One chunk per network: the pool's oldest-first policy hands whole
+  // networks to idle workers until none are left, then they fall through
+  // to the nested fault-class jobs of the flows still running.
+  pool_->parallel_for(
+      flows.size(), /*chunk=*/1,
+      [&](int /*worker*/, std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          BatchFlow& flow = flows[i];
+          std::string label = flow.name;
+          if (label.empty())
+            label = !flow.soc.empty() ? flow.soc
+                                      : "flow" + std::to_string(i);
+          std::optional<obs::Span> span;
+          if (obs::enabled()) span.emplace("batch." + label);
+          FlowOptions opt = flow.options;
+          opt.trace_path.clear();  // the batch owns observability output
+          opt.report_path.clear();
+          opt.metric_pool = pool_.get();
+          if (!flow.soc.empty()) {
+            result.flows[i] = run_soc_flow(flow.soc, opt);
+          } else {
+            FTRSN_CHECK_MSG(flow.rsn.has_value(),
+                            "BatchFlow needs a soc name or an explicit rsn");
+            result.flows[i] = run_flow(*flow.rsn, opt);
+          }
+        }
+      });
+
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  if (!options_.trace_path.empty()) obs::write_trace(options_.trace_path);
+  if (!options_.report_path.empty()) obs::write_report(options_.report_path);
+  return result;
+}
+
+BatchResult BatchRunner::run_soc_flows(const std::vector<std::string>& socs,
+                                       const FlowOptions& base) {
+  std::vector<BatchFlow> flows;
+  flows.reserve(socs.size());
+  for (const std::string& soc : socs) {
+    BatchFlow flow;
+    flow.name = soc;
+    flow.soc = soc;
+    flow.options = base;
+    flows.push_back(std::move(flow));
+  }
+  return run_flows(std::move(flows));
+}
+
+BatchResult run_flows(std::vector<BatchFlow> flows,
+                      const BatchOptions& options) {
+  BatchRunner runner(options);
+  return runner.run_flows(std::move(flows));
+}
+
+}  // namespace ftrsn

@@ -1,0 +1,107 @@
+// Sharded multi-network flow runner (DESIGN.md §5f).
+//
+// Executes many independent run_flow pipelines (parse -> synth -> metric ->
+// BMC spot-check) concurrently on ONE shared ThreadPool with two-level
+// parallelism: each network is an outer task (one parallel_for chunk), and
+// the fault-metric engine's fault-class parallel_for nests on the same pool
+// via FlowOptions::metric_pool.  Idle workers prefer whole networks
+// (coarse-grain first); once every network has been claimed they drain the
+// fault-class loops of the networks still in flight, so the p93791 tail
+// does not serialise the sweep.
+//
+// Determinism: results land in per-input slots (BatchResult::flows keeps
+// the input order regardless of the schedule), and the metric engine's
+// serial fold makes every per-network aggregate bit-identical to a serial
+// single-threaded sweep at any pool size.  Obs counters are atomic sums,
+// so totals are schedule-independent too; only span timings vary.
+//
+// Exceptions: a throwing flow leaves its slot default-constructed; the
+// first exception is rethrown from run_flows after every flow has been
+// attempted (the ThreadPool contract, one nesting level at a time).
+//
+// Observability: every network runs under a "batch.<name>" span, so an
+// FTRSN_TRACE of a batch run shows the shard schedule across worker lanes.
+// Long sweeps should bound trace memory with obs::stream_trace_to (the
+// runner does this automatically when BatchOptions::trace_path is set).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/flow.hpp"
+#include "rsn/rsn.hpp"
+
+namespace ftrsn {
+
+class ThreadPool;
+
+/// One flow of a batch: either a named ITC'02 SoC (parsed inside the
+/// worker task, so parsing shards too) or an explicit input network.
+struct BatchFlow {
+  /// Label for the "batch.<name>" span and result rows; defaults to `soc`
+  /// (or "flow<i>" for anonymous explicit networks).
+  std::string name;
+  /// Non-empty: generate the SIB-based RSN of this ITC'02 SoC.
+  std::string soc;
+  /// Explicit input network (used when `soc` is empty).
+  std::optional<Rsn> rsn;
+  /// Per-flow options.  trace_path/report_path are cleared (the batch owns
+  /// observability output) and metric_pool is overwritten with the shared
+  /// batch pool.
+  FlowOptions options;
+};
+
+struct BatchOptions {
+  /// Pool size including the calling thread; <= 0 resolves to the hardware
+  /// concurrency.  1 degenerates to the plain serial sweep.
+  int threads = 0;
+  /// Labels the pool's worker lanes ("<name>-w<k>") in traces.
+  std::string pool_name = "batch";
+  /// When non-empty, tracing is enabled for the run and the trace /
+  /// run-report JSON is written here after the last flow.
+  std::string trace_path;
+  std::string report_path;
+  /// Trace spans buffered in memory before streaming flushes them to
+  /// trace_path (obs::stream_trace_to); 0 keeps everything in RAM.
+  std::size_t trace_stream_events = 65536;
+};
+
+struct BatchResult {
+  /// One entry per input flow, in input order (schedule-independent).
+  std::vector<FlowResult> flows;
+  double wall_seconds = 0.0;
+  int threads = 1;
+};
+
+class BatchRunner {
+ public:
+  explicit BatchRunner(const BatchOptions& options = {});
+  ~BatchRunner();
+
+  BatchRunner(const BatchRunner&) = delete;
+  BatchRunner& operator=(const BatchRunner&) = delete;
+
+  int num_threads() const;
+
+  /// Runs every flow on the shared pool and returns results in input
+  /// order.  May be called repeatedly; the pool is reused.
+  BatchResult run_flows(std::vector<BatchFlow> flows);
+
+  /// Convenience for the Table-I sweep: one flow per ITC'02 SoC name, all
+  /// with the same base options.
+  BatchResult run_soc_flows(const std::vector<std::string>& socs,
+                            const FlowOptions& base = {});
+
+ private:
+  BatchOptions options_;
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+/// One-shot convenience wrapper around BatchRunner.
+BatchResult run_flows(std::vector<BatchFlow> flows,
+                      const BatchOptions& options = {});
+
+}  // namespace ftrsn

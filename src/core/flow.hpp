@@ -17,6 +17,8 @@
 
 namespace ftrsn {
 
+class ThreadPool;
+
 struct FlowOptions {
   SynthOptions synth;
   MetricOptions metric;
@@ -29,6 +31,12 @@ struct FlowOptions {
   /// Worker threads for the fault-metric engine; <= 0 resolves to the
   /// hardware concurrency.  Results are bit-identical at any setting.
   int metric_threads = 0;
+  /// Shared worker pool for the fault-metric engine (non-owning; see
+  /// core/batch.hpp).  When set, metric evaluations run as nested jobs on
+  /// this pool — so a flow executing inside an outer parallel_for shares
+  /// workers with its siblings instead of oversubscribing the machine —
+  /// and `metric_threads` is ignored.
+  ThreadPool* metric_pool = nullptr;
   /// Observability (obs/obs.hpp): when either path is non-empty, span
   /// recording is enabled for this run and the Chrome trace-event JSON /
   /// schema-versioned run report is written there at the end of the flow.

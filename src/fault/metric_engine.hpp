@@ -44,10 +44,24 @@
 
 namespace ftrsn {
 
+class ThreadPool;
+
 struct MetricEngineOptions {
   MetricOptions metric;
-  /// Worker threads; <= 0 resolves to the hardware concurrency.
+  /// Worker threads; <= 0 resolves to the hardware concurrency.  Ignored
+  /// when `pool` is set.
   int threads = 0;
+  /// Shared worker pool (non-owning).  When set, the evaluation's
+  /// fault-class parallel_for runs as a nested job on this pool instead of
+  /// a private per-call "metric" pool — this is how BatchRunner gets
+  /// two-level (network × fault-class) parallelism on one pool.  The pool
+  /// may be shared with other engines running concurrently; a single
+  /// engine's evaluate calls must still not overlap each other.
+  ThreadPool* pool = nullptr;
+  /// parallel_for chunk size in fault classes; 0 auto-tunes from the class
+  /// and worker counts (the perf default — fixed sizes either starve load
+  /// balancing or drown small networks in chunk-claim overhead).
+  std::size_t chunk = 0;
   /// Evaluate one representative per fault-equivalence class (bit-identical
   /// either way; off only for benchmarking the lever).
   bool collapse_equivalent = true;
@@ -67,6 +81,8 @@ struct MetricEngineStats {
   /// Control-pool masks served unchanged from the fault-free baseline.
   std::size_t mask_cold_reused = 0;
   int threads = 1;
+  /// parallel_for chunk size actually used (auto-tuned unless pinned).
+  std::size_t chunk = 0;
   double seconds = 0.0;
 
   double collapse_ratio() const {
@@ -179,6 +195,13 @@ class FaultMetricEngine {
 
   std::vector<NodeId> segments_;
 
+  // Per-worker Scratch arenas, grown on demand and reused across evaluate
+  // calls (constructing a Scratch touches every dense array once, which
+  // used to dominate small-network evaluations).  Like stats_, this makes
+  // concurrent evaluate calls on one engine unsupported; distinct engines
+  // sharing one ThreadPool are fine because each indexes its own cache by
+  // the pool-wide worker id.
+  mutable std::vector<ScratchPtr> scratch_cache_;
   mutable MetricEngineStats stats_;
 };
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <queue>
 
+#include "obs/obs.hpp"
+
 namespace ftrsn {
 
 namespace {
@@ -45,6 +47,10 @@ void MinCostFlow::reset_flow() {
 }
 
 MinCostFlow::Result MinCostFlow::solve(int s, int t, long long limit) {
+  // Successive-shortest-path iterations across all LP solves; one of the
+  // ilp.* family so the flow-backed LP engine is visible in run reports
+  // next to the branch-and-bound solver's ilp.bb_nodes.
+  static obs::Counter augmentations("ilp.flow_augmentations");
   Result result;
   const int n = num_nodes();
   std::vector<long long> potential(static_cast<std::size_t>(n), 0);
@@ -100,6 +106,7 @@ MinCostFlow::Result MinCostFlow::solve(int s, int t, long long limit) {
     }
     result.flow += push;
     result.cost += push * path_cost;
+    augmentations.add();
   }
   return result;
 }
@@ -125,6 +132,13 @@ void DegreeCoverSolver::require(int index) {
 }
 
 DegreeCoverSolver::Result DegreeCoverSolver::solve() {
+  // Each call solves the degree-cover LP relaxation exactly (min-cost flow
+  // = the LP's combinatorial dual), so it counts as an LP solve alongside
+  // IlpSolver's per-node relaxations.  The kFlow engine — the default on
+  // every SoC, including the p93791 headline run — previously registered
+  // nothing here, leaving ilp.lp_solves empty in large-SoC reports.
+  static obs::Counter lp_solves("ilp.lp_solves");
+  lp_solves.add();
   // Network with arc lower bounds, reduced to plain min-cost max-flow via
   // the excess/deficit transformation:
   //   S -> out(u)  [need_out(u), inf]   cost 0
@@ -182,7 +196,10 @@ DegreeCoverSolver::Result DegreeCoverSolver::solve() {
 
   const MinCostFlow::Result fr = flow.solve(kSS, kTT);
   Result result;
-  if (fr.flow != total_excess) return result;  // infeasible
+  if (fr.flow != total_excess) {  // infeasible
+    obs::count("ilp.lp_infeasible");
+    return result;
+  }
   result.feasible = true;
   result.cost = fr.cost + required_cost;
   for (std::size_t i = 0; i < candidates_.size(); ++i) {

@@ -30,6 +30,42 @@ struct ThreadLog {
   std::mutex mu;
 };
 
+// Aggregate of one span name (count / total / max duration), shared by the
+// run report and the streaming flush path.
+struct Agg {
+  std::uint64_t count = 0;
+  std::uint64_t total_us = 0;
+  std::uint64_t max_us = 0;
+
+  void fold(std::uint64_t dur_us) {
+    ++count;
+    total_us += dur_us;
+    max_us = std::max(max_us, dur_us);
+  }
+};
+
+// Depth-0 aggregates of one thread, in first-start order (the report's
+// stage table for that thread).
+struct StageAgg {
+  std::vector<std::string> order;
+  std::map<std::string, Agg, std::less<>> by_name;
+
+  void fold(const std::string& name, std::uint64_t dur_us) {
+    auto [it, inserted] = by_name.try_emplace(name);
+    if (inserted) order.push_back(name);
+    ++it->second.count;
+    it->second.total_us += dur_us;
+  }
+};
+
+// Active streaming-trace sink (guarded by Registry::mu).
+struct Stream {
+  std::FILE* f = nullptr;
+  std::string path;
+  bool any_line = false;          // comma control, mirrors trace_json
+  std::vector<char> meta_emitted;  // per tid: thread_name record written
+};
+
 struct Registry {
   std::mutex mu;
   // Counter cells are never deallocated while the registry lives, so
@@ -42,6 +78,16 @@ struct Registry {
   std::atomic<std::uint64_t> epoch_ns{0};
   std::atomic<bool> enabled{false};
   std::atomic<detail::ClockFn> clock{nullptr};
+
+  // Streaming state.  `streaming`/`buffered`/`stream_threshold` are
+  // atomics so Span::~Span can consult them without taking mu.
+  std::unique_ptr<Stream> stream;  // guarded by mu
+  std::atomic<bool> streaming{false};
+  std::atomic<std::size_t> buffered{0};
+  std::atomic<std::size_t> stream_threshold{0};
+  // Report-side memory of everything already flushed to the stream.
+  std::map<std::string, Agg, std::less<>> flushed_spans;  // guarded by mu
+  std::map<int, StageAgg> flushed_stages;                 // guarded by mu
 };
 
 Registry& reg() {
@@ -90,6 +136,93 @@ void append_num(std::string& out, double v) {
   out += buf;
 }
 
+// Shared trace-event line emitters: the streamed file and trace_json()
+// must produce byte-identical records.
+void append_meta_line(std::string& out, bool& any_line, int tid,
+                      const std::string& name) {
+  out += any_line ? ",\n" : "\n";
+  any_line = true;
+  out += "  {\"ph\": \"M\", \"pid\": 1, \"tid\": " + std::to_string(tid) +
+         ", \"name\": \"thread_name\", \"args\": {\"name\": \"" +
+         detail::json_escape(name) + "\"}}";
+}
+
+void append_event_line(std::string& out, bool& any_line, int tid,
+                       const SpanEvent& e) {
+  out += any_line ? ",\n" : "\n";
+  any_line = true;
+  out += "  {\"ph\": \"X\", \"pid\": 1, \"tid\": " + std::to_string(tid) +
+         ", \"ts\": " + std::to_string(e.start_us) + ", \"dur\": " +
+         std::to_string(e.dur_us) + ", \"name\": \"" +
+         detail::json_escape(e.name) + "\", \"args\": {\"depth\": " +
+         std::to_string(e.depth) + "}}";
+}
+
+void ensure_meta_slot(Stream& s, const Registry& r, int tid) {
+  if (s.meta_emitted.size() <= static_cast<std::size_t>(tid))
+    s.meta_emitted.resize(std::max(r.logs.size(),
+                                   static_cast<std::size_t>(tid) + 1),
+                          0);
+}
+
+// Flushes every per-thread log to the stream file and folds the flushed
+// events into the report-side aggregates.  Caller holds r.mu.
+void flush_stream_locked(Registry& r) {
+  Stream& s = *r.stream;
+  std::string out;
+  std::size_t flushed = 0;
+  for (const auto& log : r.logs) {
+    std::lock_guard<std::mutex> log_lock(log->mu);
+    if (log->events.empty()) continue;
+    ensure_meta_slot(s, r, log->tid);
+    if (!s.meta_emitted[static_cast<std::size_t>(log->tid)]) {
+      append_meta_line(out, s.any_line, log->tid, log->name);
+      s.meta_emitted[static_cast<std::size_t>(log->tid)] = 1;
+    }
+    for (const SpanEvent& e : log->events) {
+      append_event_line(out, s.any_line, log->tid, e);
+      r.flushed_spans[e.name].fold(e.dur_us);
+      if (e.depth == 0) r.flushed_stages[log->tid].fold(e.name, e.dur_us);
+    }
+    flushed += log->events.size();
+    log->events.clear();
+  }
+  if (flushed == 0) return;
+  std::fwrite(out.data(), 1, out.size(), s.f);
+  std::fflush(s.f);
+  // buffered may transiently exceed the true count (incremented before the
+  // event lands in its log), never the other way, so this cannot wrap.
+  r.buffered.fetch_sub(std::min(flushed, r.buffered.load(std::memory_order_relaxed)),
+                       std::memory_order_relaxed);
+}
+
+// Flushes the tail, emits thread_name records for named-but-idle lanes
+// (matching trace_json's lane rules), writes the trailer and closes the
+// file.  Caller holds r.mu.
+bool finalize_stream_locked(Registry& r) {
+  if (!r.stream) return false;
+  flush_stream_locked(r);
+  Stream& s = *r.stream;
+  std::string out;
+  for (const auto& log : r.logs) {
+    std::lock_guard<std::mutex> log_lock(log->mu);
+    ensure_meta_slot(s, r, log->tid);
+    if (!s.meta_emitted[static_cast<std::size_t>(log->tid)] &&
+        log->name.rfind("thread-", 0) != 0) {
+      append_meta_line(out, s.any_line, log->tid, log->name);
+      s.meta_emitted[static_cast<std::size_t>(log->tid)] = 1;
+    }
+  }
+  out += "\n]}\n";
+  std::fwrite(out.data(), 1, out.size(), s.f);
+  const bool ok = std::fclose(s.f) == 0;
+  r.stream.reset();
+  r.streaming.store(false, std::memory_order_relaxed);
+  r.stream_threshold.store(0, std::memory_order_relaxed);
+  r.buffered.store(0, std::memory_order_relaxed);
+  return ok;
+}
+
 }  // namespace
 
 bool enabled() { return reg().enabled.load(std::memory_order_relaxed); }
@@ -104,6 +237,10 @@ void enable(bool on) {
 void reset() {
   Registry& r = reg();
   std::lock_guard<std::mutex> lock(r.mu);
+  if (r.stream) finalize_stream_locked(r);
+  r.flushed_spans.clear();
+  r.flushed_stages.clear();
+  r.buffered.store(0, std::memory_order_relaxed);
   for (auto& [name, cell] : r.counters) cell->store(0, std::memory_order_relaxed);
   r.gauges.clear();
   for (auto& log : r.logs) {
@@ -178,10 +315,25 @@ Span::~Span() {
   const std::uint64_t end_us = detail::now_us();
   ThreadLog* log = tlog();
   --log->depth;
-  std::lock_guard<std::mutex> lock(log->mu);
-  log->events.push_back(
-      {std::move(name_), start_us_,
-       end_us >= start_us_ ? end_us - start_us_ : 0, depth_});
+  Registry& r = reg();
+  // Count before pushing: `buffered` may transiently overestimate but
+  // never underestimate, so a concurrent flush cannot drive it negative.
+  const bool streaming = r.streaming.load(std::memory_order_relaxed);
+  if (streaming) r.buffered.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(log->mu);
+    log->events.push_back(
+        {std::move(name_), start_us_,
+         end_us >= start_us_ ? end_us - start_us_ : 0, depth_});
+  }
+  // Threshold check outside log->mu: the flush takes r.mu then each
+  // log->mu, the same order as trace_json.
+  if (streaming &&
+      r.buffered.load(std::memory_order_relaxed) >=
+          r.stream_threshold.load(std::memory_order_relaxed)) {
+    std::lock_guard<std::mutex> lock(r.mu);
+    if (r.stream) flush_stream_locked(r);
+  }
 }
 
 namespace detail {
@@ -212,6 +364,17 @@ long peak_rss_kb() {
   return ru.ru_maxrss;  // kilobytes on Linux
 }
 
+std::size_t buffered_span_events() {
+  Registry& r = reg();
+  std::lock_guard<std::mutex> lock(r.mu);
+  std::size_t n = 0;
+  for (const auto& log : r.logs) {
+    std::lock_guard<std::mutex> log_lock(log->mu);
+    n += log->events.size();
+  }
+  return n;
+}
+
 std::string json_escape(std::string_view s) {
   std::string out;
   out.reserve(s.size());
@@ -240,37 +403,58 @@ std::string json_escape(std::string_view s) {
 std::string trace_json() {
   Registry& r = reg();
   std::string out = "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
-  bool first = true;
+  bool any_line = false;
   std::lock_guard<std::mutex> lock(r.mu);
   for (const auto& log : r.logs) {
     std::lock_guard<std::mutex> log_lock(log->mu);
     if (log->events.empty() && log->name.rfind("thread-", 0) == 0) continue;
-    out += first ? "\n" : ",\n";
-    first = false;
-    out += "  {\"ph\": \"M\", \"pid\": 1, \"tid\": " +
-           std::to_string(log->tid) +
-           ", \"name\": \"thread_name\", \"args\": {\"name\": \"" +
-           detail::json_escape(log->name) + "\"}}";
-    for (const SpanEvent& e : log->events) {
-      out += ",\n  {\"ph\": \"X\", \"pid\": 1, \"tid\": " +
-             std::to_string(log->tid) + ", \"ts\": " +
-             std::to_string(e.start_us) + ", \"dur\": " +
-             std::to_string(e.dur_us) + ", \"name\": \"" +
-             detail::json_escape(e.name) + "\", \"args\": {\"depth\": " +
-             std::to_string(e.depth) + "}}";
-    }
+    append_meta_line(out, any_line, log->tid, log->name);
+    for (const SpanEvent& e : log->events)
+      append_event_line(out, any_line, log->tid, e);
   }
   out += "\n]}\n";
   return out;
 }
 
-std::string report_json(const ReportOptions& options) {
-  struct Agg {
-    std::uint64_t count = 0;
-    std::uint64_t total_us = 0;
-    std::uint64_t max_us = 0;
-  };
+bool stream_trace_to(const std::string& path,
+                     std::size_t max_buffered_events) {
+  Registry& r = reg();
+  std::lock_guard<std::mutex> lock(r.mu);
+  if (r.stream) finalize_stream_locked(r);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string_view header =
+      "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+  std::fwrite(header.data(), 1, header.size(), f);
+  auto stream = std::make_unique<Stream>();
+  stream->f = f;
+  stream->path = path;
+  r.stream = std::move(stream);
+  // Seed the buffered count with whatever the logs already hold, so the
+  // first flush's accounting starts exact.
+  std::size_t pending = 0;
+  for (const auto& log : r.logs) {
+    std::lock_guard<std::mutex> log_lock(log->mu);
+    pending += log->events.size();
+  }
+  r.buffered.store(pending, std::memory_order_relaxed);
+  r.stream_threshold.store(std::max<std::size_t>(max_buffered_events, 1),
+                           std::memory_order_relaxed);
+  r.streaming.store(true, std::memory_order_relaxed);
+  return true;
+}
 
+bool trace_streaming() {
+  return reg().streaming.load(std::memory_order_relaxed);
+}
+
+bool close_trace_stream() {
+  Registry& r = reg();
+  std::lock_guard<std::mutex> lock(r.mu);
+  return finalize_stream_locked(r);
+}
+
+std::string report_json(const ReportOptions& options) {
   Registry& r = reg();
   const std::uint64_t wall_us = detail::now_us();
   const int self_tid = tlog()->tid;
@@ -283,13 +467,18 @@ std::string report_json(const ReportOptions& options) {
   std::map<std::string, Agg, std::less<>> spans;
   {
     std::lock_guard<std::mutex> lock(r.mu);
+    // Events already flushed to a trace stream first: report aggregates
+    // must cover the whole run, not just the still-buffered tail.
+    spans = r.flushed_spans;
+    if (const auto it = r.flushed_stages.find(self_tid);
+        it != r.flushed_stages.end()) {
+      stage_order = it->second.order;
+      stages = it->second.by_name;
+    }
     for (const auto& log : r.logs) {
       std::lock_guard<std::mutex> log_lock(log->mu);
       for (const SpanEvent& e : log->events) {
-        Agg& a = spans[e.name];
-        ++a.count;
-        a.total_us += e.dur_us;
-        a.max_us = std::max(a.max_us, e.dur_us);
+        spans[e.name].fold(e.dur_us);
         if (log->tid == self_tid && e.depth == 0) {
           auto [it, inserted] = stages.try_emplace(e.name);
           if (inserted) stage_order.push_back(e.name);
@@ -368,6 +557,14 @@ bool write_file(const std::string& path, const std::string& contents) {
 }
 
 bool write_trace(const std::string& path) {
+  Registry& r = reg();
+  {
+    std::lock_guard<std::mutex> lock(r.mu);
+    // When this path is the active stream's sink, "writing the trace"
+    // means finalizing the stream (flush tail + trailer), not replacing
+    // the file with only the still-buffered events.
+    if (r.stream && r.stream->path == path) return finalize_stream_locked(r);
+  }
   return write_file(path, trace_json());
 }
 

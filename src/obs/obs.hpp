@@ -28,6 +28,7 @@
 #pragma once
 
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -104,6 +105,36 @@ class Span {
 /// Chrome trace-event JSON (load in Perfetto / chrome://tracing).
 std::string trace_json();
 
+// --- streaming trace export --------------------------------------------------
+//
+// Long runs (a traced 13-SoC batch sweep records millions of span events)
+// must not hold every event in RAM until write_trace.  stream_trace_to
+// opens `path`, writes the trace-event header, and from then on any span
+// close that pushes the number of buffered events past
+// `max_buffered_events` flushes all per-thread logs to the file and clears
+// them — memory stays bounded by the threshold plus one flush burst.
+//
+// The streamed file is the same Chrome trace-event JSON as trace_json(),
+// except events appear in flush order rather than grouped by lane (the
+// format is order-independent).  Aggregates of flushed events are folded
+// into report_json()'s span/stage tables, so run reports stay complete.
+// trace_json() itself only ever sees the still-buffered tail.
+//
+// close_trace_stream() flushes the tail, writes the JSON trailer and
+// closes the file; write_trace(path) on the stream's own path does the
+// same.  reset() discards an active stream (the file is closed with a
+// valid trailer but keeps only the events flushed so far).
+
+/// Starts streaming; returns false if the file cannot be opened (an
+/// already-active stream is finalized first).  Implies nothing about
+/// enable(): callers still opt into span recording separately.
+bool stream_trace_to(const std::string& path,
+                     std::size_t max_buffered_events = 65536);
+/// True while a stream is open.
+bool trace_streaming();
+/// Finalizes the active stream; returns false if none was open.
+bool close_trace_stream();
+
 struct ReportOptions {
   /// Include machine-dependent fields (peak RSS, hardware threads).  Off
   /// for the golden-file tests, which need byte-stable output.
@@ -140,6 +171,9 @@ using ClockFn = std::uint64_t (*)();
 void set_clock_for_test(ClockFn fn);
 /// Peak resident set size in kilobytes (getrusage), 0 if unavailable.
 long peak_rss_kb();
+/// Span events currently buffered in the per-thread logs (streaming tests
+/// assert the flush threshold actually bounds this).
+std::size_t buffered_span_events();
 std::string json_escape(std::string_view s);
 }  // namespace detail
 

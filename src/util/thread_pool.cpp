@@ -7,6 +7,14 @@
 
 namespace ftrsn {
 
+namespace {
+// Stable per-thread worker identity: set once in worker_main, consulted by
+// parallel_for so nested submissions keep the submitting worker's id (its
+// scratch slot) instead of aliasing worker 0.
+thread_local const ThreadPool* tl_pool = nullptr;
+thread_local int tl_worker = 0;
+}  // namespace
+
 int ThreadPool::resolve_threads(int requested) {
   if (requested > 0) return requested;
   const unsigned hw = std::thread::hardware_concurrency();
@@ -25,52 +33,90 @@ ThreadPool::~ThreadPool() {
     std::lock_guard<std::mutex> lock(mutex_);
     shutdown_ = true;
   }
-  start_cv_.notify_all();
+  cv_.notify_all();
   for (std::thread& t : workers_) t.join();
 }
 
-void ThreadPool::run_chunks(int worker) {
-  // One span per worker per job: the trace shows each lane's share of the
+int ThreadPool::current_worker_id() const {
+  return tl_pool == this ? tl_worker : 0;
+}
+
+ThreadPool::Job* ThreadPool::pick_job_locked(std::uint64_t min_seq,
+                                             std::size_t& begin) {
+  // Claiming the first chunk *here, under the mutex* is what keeps the
+  // returned Job alive: a merely-pointed-at job could have its remaining
+  // chunks claimed and completed by other threads between unlock and the
+  // first cursor access, letting the owner free the stack-allocated Job.
+  // An unpublished claimed chunk pins chunks_done < chunks_total instead.
+  for (Job* job : jobs_) {
+    if (job->seq < min_seq) continue;
+    const std::size_t b =
+        job->cursor.fetch_add(job->chunk, std::memory_order_relaxed);
+    if (b < job->n) {
+      begin = b;
+      return job;
+    }
+    // Exhausted job: the overshoot is harmless (the cursor only grows and
+    // claims past n are no-ops), at most one bump per wake-up per waiter.
+  }
+  return nullptr;
+}
+
+void ThreadPool::run_chunks(Job& job, int worker, std::size_t begin) {
+  if (begin >= job.n) return;
+  // One span per worker per drain: the trace shows each lane's share of the
   // job, including idle tails from load imbalance.
   std::optional<obs::Span> lane;
   if (obs::enabled()) lane.emplace(name_ + ".lane");
   static obs::Counter chunk_counter("pool.chunks");
+  std::size_t completed = 0;
   for (;;) {
-    const std::size_t begin =
-        cursor_.fetch_add(job_chunk_, std::memory_order_relaxed);
-    if (begin >= job_n_) break;
-    const std::size_t end = std::min(begin + job_chunk_, job_n_);
+    const std::size_t end = std::min(begin + job.chunk, job.n);
     chunk_counter.add();
     try {
-      (*job_)(worker, begin, end);
+      (*job.fn)(worker, begin, end);
     } catch (...) {
       std::lock_guard<std::mutex> lock(mutex_);
-      if (!first_error_) first_error_ = std::current_exception();
+      if (!job.first_error) job.first_error = std::current_exception();
       // Keep draining chunks so the job still covers [0, n); later chunks
       // may throw too, but only the first exception is reported.
     }
+    ++completed;
+    // Safe even on a stolen job: our `completed` chunks are unpublished, so
+    // the job cannot finish (and be freed) before the publish below.
+    begin = job.cursor.fetch_add(job.chunk, std::memory_order_relaxed);
+    if (begin >= job.n) break;
   }
+  bool finished = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job.chunks_done += completed;
+    finished = job.chunks_done == job.chunks_total;
+  }
+  // The owner frees the Job once it observes completion, so `job` must not
+  // be touched past this point.
+  if (finished) cv_.notify_all();
 }
 
 void ThreadPool::worker_main(int worker) {
+  tl_pool = this;
+  tl_worker = worker;
   if (obs::enabled())
     obs::set_thread_name(name_ + "-w" + std::to_string(worker));
-  std::size_t seen_generation = 0;
+  std::unique_lock<std::mutex> lock(mutex_);
   for (;;) {
-    {
-      std::unique_lock<std::mutex> lock(mutex_);
-      start_cv_.wait(lock, [&] {
-        return shutdown_ || generation_ != seen_generation;
-      });
-      if (shutdown_) return;
-      seen_generation = generation_;
+    if (shutdown_) return;
+    // Oldest-first: prefer coarse outer jobs (whole networks) over nested
+    // fault-class loops; the tail of an outer job is covered anyway because
+    // once it has no unclaimed chunks workers fall through to inner jobs.
+    std::size_t begin = 0;
+    if (Job* job = pick_job_locked(/*min_seq=*/0, begin)) {
+      lock.unlock();
+      run_chunks(*job, worker, begin);
+      lock.lock();
+      continue;
     }
-    run_chunks(worker);
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      ++workers_done_;
-    }
-    done_cv_.notify_one();
+    cv_.wait(lock);
   }
 }
 
@@ -79,14 +125,17 @@ void ThreadPool::parallel_for(
     const std::function<void(int, std::size_t, std::size_t)>& fn) {
   if (n == 0) return;
   if (chunk == 0) chunk = 1;
+  const int self = current_worker_id();
   if (num_threads_ == 1 || n <= chunk) {
-    // Serial fast path: no fences, no wakeups.  Same exception contract as
-    // the threaded path: every chunk is attempted, the first error is
-    // rethrown at the end.
+    // Serial fast path: no fences, no wakeups; nested calls recurse right
+    // back in here.  Same exception contract as the threaded path: every
+    // chunk is attempted, the first error (here: the lowest-index one) is
+    // rethrown at the end.  The worker id is the calling thread's own slot
+    // so a nested inline loop keeps using the scratch arena it already owns.
     std::exception_ptr first_error;
     for (std::size_t begin = 0; begin < n; begin += chunk) {
       try {
-        fn(0, begin, std::min(begin + chunk, n));
+        fn(self, begin, std::min(begin + chunk, n));
       } catch (...) {
         if (!first_error) first_error = std::current_exception();
       }
@@ -94,29 +143,41 @@ void ThreadPool::parallel_for(
     if (first_error) std::rethrow_exception(first_error);
     return;
   }
+  Job job;
+  job.fn = &fn;
+  job.n = n;
+  job.chunk = chunk;
+  job.chunks_total = (n + chunk - 1) / chunk;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    job_ = &fn;
-    job_n_ = n;
-    job_chunk_ = chunk;
-    cursor_.store(0, std::memory_order_relaxed);
-    workers_done_ = 0;
-    first_error_ = nullptr;
-    ++generation_;
+    job.seq = next_seq_++;
+    jobs_.push_back(&job);
   }
-  start_cv_.notify_all();
-  run_chunks(/*worker=*/0);
-  {
-    std::unique_lock<std::mutex> lock(mutex_);
-    done_cv_.wait(lock, [&] { return workers_done_ == num_threads_ - 1; });
-    job_ = nullptr;
-    if (first_error_) {
-      std::exception_ptr err = first_error_;
-      first_error_ = nullptr;
+  cv_.notify_all();
+  // Help first: drain our own job before even considering blocking, so a
+  // nested submission makes progress on the submitting thread alone.  The
+  // unlocked first claim is safe here — only we free our own Job.
+  run_chunks(job, self,
+             job.cursor.fetch_add(chunk, std::memory_order_relaxed));
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (job.chunks_done != job.chunks_total) {
+    // Our chunks are all claimed but some are still running on other
+    // threads.  Steal from strictly younger jobs while we wait: those are
+    // exactly the nested loops our outstanding chunks may be blocked on,
+    // and stealing only downward bounds the recursion depth.
+    std::size_t begin = 0;
+    if (Job* other = pick_job_locked(job.seq + 1, begin)) {
       lock.unlock();
-      std::rethrow_exception(err);
+      run_chunks(*other, self, begin);
+      lock.lock();
+      continue;
     }
+    cv_.wait(lock);
   }
+  jobs_.erase(std::find(jobs_.begin(), jobs_.end(), &job));
+  std::exception_ptr err = job.first_error;
+  lock.unlock();
+  if (err) std::rethrow_exception(err);
 }
 
 }  // namespace ftrsn

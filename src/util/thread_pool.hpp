@@ -1,11 +1,29 @@
-// Minimal work-queue thread pool for deterministic data parallelism.
+// Work-queue thread pool for deterministic data parallelism, with safe
+// nested submission.
 //
-// The pool owns `threads - 1` worker threads; the calling thread always
-// participates as worker 0, so a pool of size 1 degenerates to a plain
+// The pool owns `threads - 1` worker threads; the submitting thread always
+// participates in its own job, so a pool of size 1 degenerates to a plain
 // serial loop with no synchronisation.  Work is handed out as dynamically
-// sized index chunks from a shared atomic cursor, which load-balances
-// uneven per-item costs (fault classes differ wildly in fixpoint depth)
-// without any work-stealing machinery.
+// sized index chunks from a per-job atomic cursor, which load-balances
+// uneven per-item costs (fault classes differ wildly in fixpoint depth).
+//
+// Nesting (help-first execution): parallel_for may be called from inside a
+// chunk running on this same pool.  The inner call registers a new job and
+// the calling thread immediately starts draining that job's chunks itself
+// ("help first"), so progress never depends on another thread being free —
+// a pool of size 1 simply runs the nested loop inline and can never
+// deadlock.  Idle workers pick the *oldest* job with unclaimed chunks
+// (coarse-grain first: outer network-level tasks before inner fault-class
+// loops); a thread waiting for its own job's tail steals chunks only from
+// *younger* jobs, which bounds its stack depth (every stolen job was
+// submitted by a job at most as deep as its own) while letting it help the
+// nested loops it is transitively waiting on.
+//
+// Worker ids: each pool thread has a stable id in [1, num_threads()); any
+// thread that is not a pool worker participates as worker 0.  At most one
+// non-worker thread may run a parallel_for on a given pool at a time (two
+// external threads would alias worker 0's scratch slot); nested calls from
+// worker threads are unrestricted.
 //
 // Determinism contract: the pool guarantees nothing about *which* worker
 // runs *which* chunk.  Callers that need bit-identical results across
@@ -17,7 +35,9 @@
 // failed one; per-index result slots make that benign).  The first
 // exception thrown — serial fast path included — is rethrown from
 // parallel_for after the job completes; subsequent exceptions are
-// swallowed.  The pool stays usable after a throwing job.
+// swallowed.  A nested parallel_for that rethrows inside an outer chunk
+// simply makes that outer chunk throw, so the error propagates outward one
+// nesting level per job.  The pool stays usable after a throwing job.
 //
 // Observability: when obs tracing is enabled, every worker's participation
 // in a job is recorded as a "<name>.lane" span on its own thread lane and
@@ -27,6 +47,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <mutex>
 #include <string>
@@ -55,36 +76,52 @@ class ThreadPool {
 
   /// Runs `fn(worker, begin, end)` over disjoint chunks covering [0, n).
   /// Chunks are at most `chunk` indices long (`chunk == 0` picks a default).
-  /// `worker` is in [0, num_threads()); each worker sees only its own id, so
-  /// per-worker scratch arenas need no locking.  Blocks until all of [0, n)
-  /// has been attempted; the first exception thrown by `fn` is rethrown
-  /// here (see the exception contract above).  Not reentrant: `fn` must not
-  /// call parallel_for on this pool.
+  /// `worker` is in [0, num_threads()); a given id is never active in two
+  /// threads at once, so per-worker scratch arenas need no locking.  Blocks
+  /// until all of [0, n) has been attempted; the first exception thrown by
+  /// `fn` is rethrown here (see the exception contract above).  Reentrant:
+  /// `fn` may call parallel_for on this same pool (see Nesting above).
   void parallel_for(std::size_t n, std::size_t chunk,
                     const std::function<void(int, std::size_t, std::size_t)>& fn);
 
  private:
+  // One in-flight parallel_for.  Lives on the submitting thread's stack;
+  // registered in jobs_ until every chunk has completed.  cursor is the
+  // claim point; chunks_done / first_error are guarded by the pool mutex.
+  struct Job {
+    const std::function<void(int, std::size_t, std::size_t)>* fn = nullptr;
+    std::size_t n = 0;
+    std::size_t chunk = 1;
+    std::atomic<std::size_t> cursor{0};
+    std::size_t chunks_total = 0;
+    std::size_t chunks_done = 0;
+    std::exception_ptr first_error;
+    std::uint64_t seq = 0;
+  };
+
   void worker_main(int worker);
-  void run_chunks(int worker);
+  /// Runs the pre-claimed chunk at `begin` (no-op if begin >= n), then
+  /// drains further chunks until the cursor is exhausted, then publishes
+  /// this thread's completion count (waking waiters if the job finished).
+  void run_chunks(Job& job, int worker, std::size_t begin);
+  /// Oldest job with seq >= min_seq that still has unclaimed chunks; on
+  /// success the first chunk is already claimed (`begin`), which pins the
+  /// job alive until the caller's run_chunks publishes (a Job with an
+  /// unpublished claimed chunk can never reach chunks_done == chunks_total).
+  Job* pick_job_locked(std::uint64_t min_seq, std::size_t& begin);
+  /// Stable worker id of the calling thread on *this* pool (0 for any
+  /// thread that is not one of this pool's workers).
+  int current_worker_id() const;
 
   int num_threads_ = 1;
   std::string name_;
   std::vector<std::thread> workers_;
 
   std::mutex mutex_;
-  std::condition_variable start_cv_;
-  std::condition_variable done_cv_;
-  // Guarded by mutex_ (generation/done counts) or atomically via cursor_.
-  std::size_t generation_ = 0;
-  int workers_done_ = 0;
+  std::condition_variable cv_;  // signalled on job submission + completion
+  std::vector<Job*> jobs_;      // live jobs, ascending seq (oldest first)
+  std::uint64_t next_seq_ = 1;
   bool shutdown_ = false;
-
-  // Current job (valid while a parallel_for is in flight).
-  const std::function<void(int, std::size_t, std::size_t)>* job_ = nullptr;
-  std::size_t job_n_ = 0;
-  std::size_t job_chunk_ = 1;
-  std::atomic<std::size_t> cursor_{0};
-  std::exception_ptr first_error_;
 };
 
 }  // namespace ftrsn

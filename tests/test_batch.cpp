@@ -1,0 +1,271 @@
+// Batch runner suite (ctest -L batch): the sharded multi-network sweep
+// must be bit-identical to the serial single-threaded sweep at any pool
+// size, and the ThreadPool's nested-submission contract (help-first
+// execution, no deadlock at pool size 1, exception propagation through
+// nesting) must hold — BatchRunner leans on all of it.
+//
+// FTRSN_BATCH_SOCS=<comma list> picks the SoCs for the end-to-end
+// equivalence test (default u226,d281,g1023 to keep CI fast).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/batch.hpp"
+#include "core/flow.hpp"
+#include "fault/metric.hpp"
+#include "itc02/itc02.hpp"
+#include "util/common.hpp"
+#include "util/thread_pool.hpp"
+
+namespace ftrsn {
+namespace {
+
+std::vector<std::string> batch_socs() {
+  const char* env = std::getenv("FTRSN_BATCH_SOCS");
+  std::vector<std::string> socs;
+  for (const std::string& name : split(env ? env : "u226,d281,g1023", ','))
+    socs.emplace_back(trim(name));
+  return socs;
+}
+
+// --- nested parallel_for ----------------------------------------------------
+
+// Every (outer, inner) index pair is executed exactly once, at every pool
+// size including the degenerate serial pool.  A help-first bug (owner
+// waiting on a nested job nobody can run) hangs this test at size 1.
+TEST(ThreadPoolNesting, CoversEveryPairExactlyOnceNoDeadlock) {
+  constexpr std::size_t kOuter = 7, kInner = 23;
+  for (const int threads : {1, 2, 4}) {
+    ThreadPool pool(threads);
+    std::vector<std::atomic<int>> hits(kOuter * kInner);
+    for (auto& h : hits) h.store(0);
+    pool.parallel_for(kOuter, 1, [&](int, std::size_t ob, std::size_t oe) {
+      for (std::size_t o = ob; o < oe; ++o) {
+        pool.parallel_for(kInner, 4,
+                          [&](int, std::size_t ib, std::size_t ie) {
+                            for (std::size_t i = ib; i < ie; ++i)
+                              hits[o * kInner + i].fetch_add(1);
+                          });
+      }
+    });
+    for (std::size_t i = 0; i < hits.size(); ++i)
+      EXPECT_EQ(hits[i].load(), 1) << "threads=" << threads << " idx=" << i;
+  }
+}
+
+// Worker ids stay in [0, num_threads()) through nesting, and a nested
+// chunk runs under the id of the thread that executes it — two jobs never
+// expose the same id concurrently on different threads, so per-worker
+// scratch needs no locking even when inner loops steal outer workers.
+TEST(ThreadPoolNesting, WorkerIdsStayInRangeAndUnaliased) {
+  constexpr int kThreads = 4;
+  ThreadPool pool(kThreads);
+  std::mutex mu;
+  std::map<int, std::thread::id> owner;  // worker id -> thread currently in it
+  std::map<int, int> depth;              // worker id -> nesting depth
+  std::atomic<bool> ok{true};
+  const auto enter = [&](int worker) {
+    if (worker < 0 || worker >= kThreads) ok = false;
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = owner.find(worker);
+    if (it == owner.end()) {
+      owner[worker] = std::this_thread::get_id();
+      depth[worker] = 1;
+    } else if (it->second != std::this_thread::get_id()) {
+      ok = false;  // same worker id active on two threads at once
+    } else {
+      ++depth[worker];
+    }
+  };
+  const auto leave = [&](int worker) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (--depth[worker] == 0) owner.erase(worker);
+  };
+  pool.parallel_for(16, 1, [&](int outer_w, std::size_t ob, std::size_t oe) {
+    enter(outer_w);
+    for (std::size_t o = ob; o < oe; ++o) {
+      pool.parallel_for(8, 2, [&](int inner_w, std::size_t, std::size_t) {
+        enter(inner_w);
+        leave(inner_w);
+      });
+    }
+    leave(outer_w);
+  });
+  EXPECT_TRUE(ok.load());
+}
+
+// An exception inside a nested loop propagates out through the outer
+// parallel_for (one nesting level per job), and every outer index is still
+// attempted first — the attempt-every-chunk contract survives nesting.
+TEST(ThreadPoolNesting, FirstExceptionPropagatesThroughNesting) {
+  for (const int threads : {1, 4}) {
+    ThreadPool pool(threads);
+    constexpr std::size_t kOuter = 5;
+    std::vector<std::atomic<int>> attempted(kOuter);
+    for (auto& a : attempted) a.store(0);
+    try {
+      pool.parallel_for(kOuter, 1, [&](int, std::size_t ob, std::size_t oe) {
+        for (std::size_t o = ob; o < oe; ++o) {
+          attempted[o].fetch_add(1);
+          pool.parallel_for(3, 1, [&](int, std::size_t ib, std::size_t) {
+            if (o == 2 && ib == 1) throw std::runtime_error("inner-boom");
+          });
+        }
+      });
+      FAIL() << "expected inner-boom, threads=" << threads;
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "inner-boom") << "threads=" << threads;
+    }
+    for (std::size_t o = 0; o < kOuter; ++o)
+      EXPECT_EQ(attempted[o].load(), 1)
+          << "threads=" << threads << " outer=" << o;
+    // The pool is still usable after the throwing job.
+    std::atomic<int> after{0};
+    pool.parallel_for(10, 2, [&](int, std::size_t b, std::size_t e) {
+      after.fetch_add(static_cast<int>(e - b));
+    });
+    EXPECT_EQ(after.load(), 10);
+  }
+}
+
+// Per-index result slots + fixed-order fold give bit-identical sums at any
+// pool size, even with nesting in the mix (the determinism contract the
+// metric engine and BatchRunner build on).
+TEST(ThreadPoolNesting, SerialFoldIsDeterministicAcrossPoolSizes) {
+  constexpr std::size_t kN = 64;
+  const auto run = [&](int threads) {
+    ThreadPool pool(threads);
+    std::vector<double> slot(kN, 0.0);
+    pool.parallel_for(kN, 3, [&](int, std::size_t b, std::size_t e) {
+      for (std::size_t i = b; i < e; ++i) {
+        double inner[8] = {};
+        pool.parallel_for(8, 2, [&](int, std::size_t ib, std::size_t ie) {
+          for (std::size_t k = ib; k < ie; ++k)
+            inner[k] = 1.0 / static_cast<double>(i * 8 + k + 1);
+        });
+        for (const double v : inner) slot[i] += v;  // fixed inner order
+      }
+    });
+    double sum = 0.0;
+    for (const double v : slot) sum += v;  // fixed outer order
+    return sum;
+  };
+  const double serial = run(1);
+  for (const int threads : {2, 4, 8})
+    EXPECT_EQ(serial, run(threads)) << "threads=" << threads;
+}
+
+// --- BatchRunner ------------------------------------------------------------
+
+void expect_flow_identical(const FlowResult& serial, const FlowResult& batch,
+                           const std::string& what) {
+  ASSERT_EQ(serial.original_metric.has_value(),
+            batch.original_metric.has_value())
+      << what;
+  ASSERT_EQ(serial.hardened_metric.has_value(),
+            batch.hardened_metric.has_value())
+      << what;
+  const auto expect_metric = [&](const FaultToleranceReport& a,
+                                 const FaultToleranceReport& b) {
+    EXPECT_EQ(a.num_faults, b.num_faults) << what;
+    EXPECT_EQ(a.seg_worst, b.seg_worst) << what;
+    EXPECT_EQ(a.seg_avg, b.seg_avg) << what;
+    EXPECT_EQ(a.bit_worst, b.bit_worst) << what;
+    EXPECT_EQ(a.bit_avg, b.bit_avg) << what;
+    EXPECT_EQ(a.worst_fault_index, b.worst_fault_index) << what;
+  };
+  if (serial.original_metric)
+    expect_metric(*serial.original_metric, *batch.original_metric);
+  if (serial.hardened_metric)
+    expect_metric(*serial.hardened_metric, *batch.hardened_metric);
+  EXPECT_EQ(serial.augment_cost, batch.augment_cost) << what;
+  EXPECT_EQ(serial.augment_edges, batch.augment_edges) << what;
+  EXPECT_EQ(serial.hardened_stats.segments, batch.hardened_stats.segments)
+      << what;
+  EXPECT_EQ(serial.hardened_stats.muxes, batch.hardened_stats.muxes) << what;
+  EXPECT_EQ(serial.hardened_stats.bits, batch.hardened_stats.bits) << what;
+}
+
+// The headline equivalence: a sharded sweep over real SoCs reproduces the
+// serial single-threaded sweep bit for bit at 1, 2 and 8 threads, results
+// in input order.
+TEST(BatchRunner, SocSweepBitIdenticalAtAnyThreadCount) {
+  const std::vector<std::string> socs = batch_socs();
+  FlowOptions serial_opt;
+  serial_opt.metric_threads = 1;
+  std::vector<FlowResult> serial;
+  for (const std::string& name : socs)
+    serial.push_back(run_soc_flow(name, serial_opt));
+
+  for (const int threads : {1, 2, 8}) {
+    BatchOptions bopt;
+    bopt.threads = threads;
+    BatchRunner runner(bopt);
+    const BatchResult res = runner.run_soc_flows(socs);
+    ASSERT_EQ(res.flows.size(), socs.size());
+    EXPECT_EQ(res.threads, ThreadPool::resolve_threads(threads));
+    for (std::size_t i = 0; i < socs.size(); ++i)
+      expect_flow_identical(
+          serial[i], res.flows[i],
+          socs[i] + " threads=" + std::to_string(threads));
+  }
+}
+
+// Results land in input-order slots regardless of schedule, named flows
+// with explicit networks work, and the runner survives repeated use.
+TEST(BatchRunner, ExplicitNetworksKeepInputOrder) {
+  const auto soc = itc02::find_soc("u226");
+  ASSERT_TRUE(soc.has_value());
+  const Rsn rsn = itc02::generate_sib_rsn(*soc);
+  BatchOptions bopt;
+  bopt.threads = 4;
+  BatchRunner runner(bopt);
+  for (int round = 0; round < 2; ++round) {
+    std::vector<BatchFlow> flows;
+    for (int i = 0; i < 5; ++i) {
+      BatchFlow flow;
+      flow.name = "copy" + std::to_string(i);
+      flow.rsn = rsn;
+      flow.options.evaluate_original = false;
+      // Distinct bmc budgets mark the slots so a shuffled result would show.
+      flow.options.bmc_spotcheck = i;
+      flows.push_back(std::move(flow));
+    }
+    const BatchResult res = runner.run_flows(std::move(flows));
+    ASSERT_EQ(res.flows.size(), 5u);
+    for (int i = 0; i < 5; ++i) {
+      EXPECT_EQ(res.flows[i].bmc_checked, i) << "round=" << round;
+      EXPECT_FALSE(res.flows[i].original_metric.has_value());
+      ASSERT_TRUE(res.flows[i].hardened_metric.has_value());
+      expect_flow_identical(res.flows[0], res.flows[i],
+                            "copy" + std::to_string(i));
+    }
+  }
+}
+
+// A throwing flow (unknown SoC) surfaces as run_flows' exception after
+// every other flow has been attempted; good slots are filled.
+TEST(BatchRunner, FlowExceptionPropagatesAfterAllAttempted) {
+  std::vector<BatchFlow> flows;
+  for (const char* name : {"u226", "nosuchsoc", "d281"}) {
+    BatchFlow flow;
+    flow.soc = name;
+    flow.options.evaluate_original = false;
+    flows.push_back(std::move(flow));
+  }
+  BatchOptions bopt;
+  bopt.threads = 2;
+  BatchRunner runner(bopt);
+  EXPECT_THROW(runner.run_flows(std::move(flows)), std::exception);
+}
+
+}  // namespace
+}  // namespace ftrsn

@@ -263,5 +263,102 @@ TEST(Obs, WriteFileRoundTrip) {
   std::remove(path.c_str());
 }
 
+// --- streaming trace export --------------------------------------------------
+
+// A streamed single-lane trace is byte-identical to trace_json() of the
+// same workload, even when the tiny buffer threshold forces many
+// incremental flushes along the way.
+TEST(ObsStream, StreamedFileMatchesTraceJsonByteForByte) {
+  const std::string path = ::testing::TempDir() + "obs_stream.json";
+  const auto workload = [] {
+    for (int i = 0; i < 20; ++i) {
+      OBS_SPAN("stream.outer");
+      { OBS_SPAN("stream.inner"); }
+    }
+  };
+  std::string expected;
+  {
+    FakeClockScope clock;
+    obs::enable(true);
+    workload();
+    expected = obs::trace_json();
+  }
+  {
+    FakeClockScope clock;
+    obs::enable(true);
+    ASSERT_TRUE(obs::stream_trace_to(path, 4));
+    EXPECT_TRUE(obs::trace_streaming());
+    workload();
+    ASSERT_TRUE(obs::close_trace_stream());
+    EXPECT_FALSE(obs::trace_streaming());
+  }
+  EXPECT_EQ(read_file(path), expected);
+  std::remove(path.c_str());
+}
+
+// Flush-on-threshold bounds the in-memory event buffer: after every span
+// the buffered count stays at (threshold + concurrent slack); with a
+// single thread the bound is exact.
+TEST(ObsStream, FlushBoundsBufferedEvents) {
+  const std::string path = ::testing::TempDir() + "obs_stream_bound.json";
+  FakeClockScope clock;
+  obs::enable(true);
+  constexpr std::size_t kThreshold = 8;
+  ASSERT_TRUE(obs::stream_trace_to(path, kThreshold));
+  for (int i = 0; i < 100; ++i) {
+    { OBS_SPAN("bound.span"); }
+    EXPECT_LT(obs::detail::buffered_span_events(), kThreshold) << i;
+  }
+  ASSERT_TRUE(obs::close_trace_stream());
+  EXPECT_EQ(obs::detail::buffered_span_events(), 0u);
+  // All 100 events reached the file despite the 8-event buffer.
+  const std::string trace = read_file(path);
+  std::size_t events = 0;
+  for (std::size_t pos = trace.find("bound.span"); pos != std::string::npos;
+       pos = trace.find("bound.span", pos + 1))
+    ++events;
+  EXPECT_EQ(events, 100u);
+  EXPECT_EQ(trace.substr(trace.size() - 4), "\n]}\n");
+  std::remove(path.c_str());
+}
+
+// write_trace() on the active stream path finalizes the stream instead of
+// re-dumping from (already drained) memory.
+TEST(ObsStream, WriteTraceFinalizesActiveStream) {
+  const std::string path = ::testing::TempDir() + "obs_stream_wt.json";
+  FakeClockScope clock;
+  obs::enable(true);
+  ASSERT_TRUE(obs::stream_trace_to(path, 2));
+  for (int i = 0; i < 10; ++i) {
+    OBS_SPAN("wt.span");
+  }
+  ASSERT_TRUE(obs::write_trace(path));
+  EXPECT_FALSE(obs::trace_streaming());
+  const std::string trace = read_file(path);
+  EXPECT_NE(trace.find("wt.span"), std::string::npos);
+  EXPECT_EQ(trace.substr(trace.size() - 4), "\n]}\n");
+  std::remove(path.c_str());
+}
+
+// The run report stays complete under streaming: spans flushed out of
+// memory still appear in span aggregates and depth-0 stages.
+TEST(ObsStream, ReportCompleteAfterFlushes) {
+  const std::string path = ::testing::TempDir() + "obs_stream_rep.json";
+  FakeClockScope clock;
+  obs::enable(true);
+  ASSERT_TRUE(obs::stream_trace_to(path, 3));
+  for (int i = 0; i < 25; ++i) {
+    OBS_SPAN("rep.stage");
+  }
+  ASSERT_TRUE(obs::close_trace_stream());
+  obs::ReportOptions opt;
+  opt.include_machine = false;
+  const std::string report = obs::report_json(opt);
+  EXPECT_NE(report.find("{\"name\": \"rep.stage\", \"count\": 25, "),
+            std::string::npos)
+      << report;
+  std::remove(path.c_str());
+}
+
 }  // namespace
 }  // namespace ftrsn

@@ -6,10 +6,14 @@
 #      FTRSN_ORACLE_ITERS) and of the fault-metric engine equivalence
 #      suite (ctest -L metric, scaled by FTRSN_METRIC_ITERS) under the
 #      sanitizers;
-#   3. TSan build (FTRSN_SANITIZE=thread) of the metric engine suite —
-#      the one place the library spawns threads;
-#   4. fault-metric bench smoke: BENCH_fault_metric.json must be emitted
-#      with the expected schema and bit-identical aggregates;
+#   3. TSan build (FTRSN_SANITIZE=thread) of the metric engine suite and
+#      the batch runner suite — the two places the library spawns threads
+#      (the batch suite exercises nested parallel_for scheduling);
+#   4. bench smokes: BENCH_fault_metric.json and BENCH_batch_flow.json
+#      must be emitted with the expected schemas and bit-identical
+#      aggregates; on hosts with >= 8 hardware threads the intra-network
+#      and batch speedups are asserted too (skipped on small runners,
+#      where wall-clock scaling is physically impossible);
 #   5. rsn-lint over generated and synthesized example networks
 #      (must report zero error-severity findings, exit status 0), plus
 #      JSON and SARIF emitter checks;
@@ -51,12 +55,17 @@ FTRSN_ORACLE_ITERS="${FTRSN_ORACLE_ITERS:-300}" \
 FTRSN_METRIC_ITERS="${FTRSN_METRIC_ITERS:-1}" \
   run ctest --test-dir "$PREFIX-asan" --output-on-failure -L metric
 
-# --- 3. TSan build of the threaded metric engine ---------------------------
+# --- 3. TSan build of the threaded metric engine + batch runner ------------
 run cmake -B "$PREFIX-tsan" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DFTRSN_SANITIZE=thread
-run cmake --build "$PREFIX-tsan" -j "$JOBS" --target ftrsn_metric_tests
+run cmake --build "$PREFIX-tsan" -j "$JOBS" \
+    --target ftrsn_metric_tests ftrsn_batch_tests
 FTRSN_METRIC_ITERS="${FTRSN_METRIC_ITERS:-1}" \
   run ctest --test-dir "$PREFIX-tsan" --output-on-failure -L metric
+# One small SoC keeps the end-to-end sweep fast under TSan; the nested
+# scheduling tests dominate the signal anyway.
+FTRSN_BATCH_SOCS="${FTRSN_BATCH_SOCS:-u226}" \
+  run ctest --test-dir "$PREFIX-tsan" --output-on-failure -L batch
 
 # --- 4. fault-metric bench smoke -------------------------------------------
 # Small SoC, legacy baseline on: the emitted JSON must parse, carry the
@@ -73,7 +82,8 @@ nets = doc["networks"]
 assert nets, "no networks"
 for net in nets:
     for key in ("soc", "network", "nodes", "faults", "classes",
-                "collapse_ratio", "legacy_seconds", "runs"):
+                "collapse_ratio", "legacy_seconds", "runs",
+                "thread_scaling_8v1"):
         assert key in net, f"missing {key}"
     assert net["faults"] >= net["classes"] > 0, "collapse counts"
     assert [r["threads"] for r in net["runs"]] == [1, 2, 8], "thread sweep"
@@ -81,12 +91,53 @@ for net in nets:
         assert r["seconds"] >= 0 and r["faults_per_second"] > 0, "throughput"
         assert r["aggregates_identical"] is True, \
             f"engine/legacy mismatch on {net['soc']}-{net['network']}"
+# Intra-network scaling: the fault-class loop of the largest FT network
+# must speed up meaningfully 8-vs-1.  Only meaningful with real cores —
+# on small runners the ratio is pinned near 1.0 by hardware.
+if doc["hardware_threads"] >= 8:
+    big = max((n for n in nets if n["network"] == "ft"),
+              key=lambda n: n["classes"])
+    assert big["thread_scaling_8v1"] > 1.5, \
+        f"flat scaling on {big['soc']}: {big['thread_scaling_8v1']}"
 print("bench schema ok:", sys.argv[1])
 EOF
 else
   grep -q '"bench": "fault_metric"' "$BENCH_JSON"
   if grep -q '"aggregates_identical": false' "$BENCH_JSON"; then
     echo "bench smoke: aggregates mismatch" >&2; exit 1
+  fi
+fi
+
+# Batch flow runner smoke: the sharded sweep must reproduce the serial
+# sweep bit for bit at every thread count.  Two small SoCs keep it quick.
+BATCH_JSON="$PREFIX/BENCH_batch_flow.smoke.json"
+FTRSN_SOCS=u226,d281 FTRSN_BENCH_OUT="$BATCH_JSON" \
+  run "$PREFIX/bench/bench_batch_flow"
+if command -v python3 >/dev/null 2>&1; then
+  run python3 - "$BATCH_JSON" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["bench"] == "batch_flow", "bench tag"
+assert doc["serial_seconds"] > 0, "serial baseline"
+assert doc["socs"], "no socs"
+runs = doc["runs"]
+assert [r["threads"] for r in runs] == [1, 2, 8], "thread sweep"
+for r in runs:
+    assert r["seconds"] > 0, "run time"
+    assert r["aggregates_identical"] is True, \
+        f"batch/serial mismatch at {r['threads']} threads"
+    socs = {s["soc"] for s in r["socs"] if s["identical"]}
+    assert socs == set(doc["socs"]), f"per-soc mismatch at {r['threads']}"
+# Wall-clock scaling needs real cores; on small runners the sharded run
+# only measures scheduling overhead, so the speedup gate is skipped.
+if doc["hardware_threads"] >= 8:
+    assert runs[-1]["speedup"] > 1.5, f"no batch speedup: {runs[-1]}"
+print("batch bench schema ok:", sys.argv[1])
+EOF
+else
+  grep -q '"bench": "batch_flow"' "$BATCH_JSON"
+  if grep -q '"identical": false' "$BATCH_JSON"; then
+    echo "batch bench smoke: aggregates mismatch" >&2; exit 1
   fi
 fi
 

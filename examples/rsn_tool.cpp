@@ -4,16 +4,21 @@
 //   example_rsn_tool info   <in.rsn>             structural statistics
 //   example_rsn_tool metric <in.rsn>             fault-tolerance metric
 //   example_rsn_tool synth  <in.rsn> <out.rsn>   fault-tolerant synthesis
+//   example_rsn_tool fix    <in.rsn> <out.rsn>   verified lint auto-repair
 //   example_rsn_tool dot    <in.rsn>             dataflow graph as DOT
 //   example_rsn_tool gen    <soc> <out.rsn>      SIB-RSN of an ITC'02 SoC
 //   example_rsn_tool flow   <itc02-soc>          full flow (Table I row)
 //   example_rsn_tool batch  <soc,soc,...|all>    sharded multi-SoC sweep
 //
+// `fix` options:
+//   --verify=V         rewrite verification: sat (default) | metric | off
+//   --dry-run          report the repairs, do not write <out.rsn>
 // `flow` options:
 //   --trace=PATH       Chrome trace-event JSON of the run (Perfetto)
 //   --report=PATH      schema-versioned obs run report
 //   --threads=N        fault-metric worker threads (default: hardware)
 //   --bmc-check=N      BMC spot-check of the first N hardened segments
+//   --repair           auto-repair fixable lint findings before synthesis
 // `batch` options: the same four, where --threads=N sizes the shared pool
 // (networks and fault classes share its workers, see core/batch.hpp), plus
 //   --no-original      skip the original-RSN metric (hardened only)
@@ -29,6 +34,7 @@
 #include "fault/metric.hpp"
 #include "graph/dataflow.hpp"
 #include "io/rsn_text.hpp"
+#include "lint/fix.hpp"
 #include "itc02/itc02.hpp"
 #include "obs/obs.hpp"
 #include "synth/synth.hpp"
@@ -42,9 +48,12 @@ int usage() {
   std::fprintf(stderr,
                "usage: rsn_tool info|metric|dot <in.rsn>\n"
                "       rsn_tool synth <in.rsn> <out.rsn>\n"
+               "       rsn_tool fix <in.rsn> <out.rsn>\n"
+               "                [--verify=sat|metric|off] [--dry-run]\n"
                "       rsn_tool gen <itc02-soc> <out.rsn>\n"
                "       rsn_tool flow <itc02-soc> [--trace=PATH]\n"
                "                [--report=PATH] [--threads=N] [--bmc-check=N]\n"
+               "                [--repair]\n"
                "       rsn_tool batch <soc,soc,...|all> [--trace=PATH]\n"
                "                [--report=PATH] [--threads=N] [--bmc-check=N]\n"
                "                [--no-original]\n");
@@ -67,6 +76,8 @@ int run_flow_command(int argc, char** argv) {
       opt.metric_threads = std::atoi(arg.c_str() + 10);
     } else if (arg.rfind("--bmc-check=", 0) == 0) {
       opt.bmc_spotcheck = std::atoi(arg.c_str() + 12);
+    } else if (arg == "--repair") {
+      opt.synth.repair_input = true;
     } else {
       return usage();
     }
@@ -88,6 +99,9 @@ int run_flow_command(int argc, char** argv) {
               r.overhead.bits, r.overhead.area);
   std::printf("times:     synth %.2fs metric %.2fs\n", r.synth_seconds,
               r.metric_seconds);
+  if (r.synth_stats.repaired_findings > 0)
+    std::printf("repaired:  %d lint finding(s) before synthesis\n",
+                r.synth_stats.repaired_findings);
   if (r.bmc_checked > 0)
     std::printf("bmc:       %d/%d spot-checked segments accessible\n",
                 r.bmc_accessible, r.bmc_checked);
@@ -200,6 +214,41 @@ int main(int argc, char** argv) {
     }
     if (cmd == "flow") return run_flow_command(argc, argv);
     if (cmd == "batch") return run_batch_command(argc, argv);
+    if (cmd == "fix") {
+      if (argc < 4) return usage();
+      lint::FixOptions fopt;
+      bool dry = false;
+      for (int i = 4; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--verify=sat")
+          fopt.verify = lint::FixVerify::kSat;
+        else if (arg == "--verify=metric")
+          fopt.verify = lint::FixVerify::kMetric;
+        else if (arg == "--verify=off")
+          fopt.verify = lint::FixVerify::kOff;
+        else if (arg == "--dry-run")
+          dry = true;
+        else
+          return usage();
+      }
+      const Rsn broken = load_rsn(argv[2], /*validate=*/false);
+      const lint::FixResult r = lint::fix_rsn(broken, fopt);
+      for (const lint::AppliedFix& f : r.fixes)
+        std::printf("fix[%s] %s '%s': %s\n",
+                    f.status == lint::FixStatus::kApplied    ? "applied"
+                    : f.status == lint::FixStatus::kRejected ? "rejected"
+                                                             : "skipped",
+                    f.rule.c_str(),
+                    f.node < broken.num_nodes()
+                        ? broken.node(f.node).name.c_str()
+                        : "?",
+                    f.note.c_str());
+      std::printf("fix: %zu applied, %zu rejected, %d pass(es), "
+                  "%zu residual finding(s)\n",
+                  r.applied, r.rejected, r.passes, r.residual.size());
+      if (!dry) save_rsn(r.rsn, argv[3]);
+      return lint::has_errors(r.residual) ? 1 : 0;
+    }
     const Rsn rsn = load_rsn(argv[2]);
     if (cmd == "info") {
       print_info(rsn);

@@ -259,7 +259,8 @@ std::string write_rsn_text(const Rsn& rsn) {
   return out;
 }
 
-Rsn parse_rsn_text(const std::string& text, bool validate) {
+Rsn parse_rsn_text(const std::string& text, bool validate,
+                   RsnSourceMap* src_map) {
   // Pass 1: create all nodes so names and forward references resolve.
   struct Pending {
     int line_no;
@@ -311,6 +312,14 @@ Rsn parse_rsn_text(const std::string& text, bool validate) {
       FTRSN_CHECK_MSG(false, strprintf("line %d: unknown declaration '%s'",
                                        p.line_no, kind.c_str()));
     }
+    if (src_map) {
+      src_map->decl_line.resize(rsn.num_nodes(), 0);
+      src_map->decl_line[ids[name]] = p.line_no;
+    }
+  }
+  if (src_map) {
+    src_map->decl_line.resize(rsn.num_nodes(), 0);
+    src_map->elem_line.assign(rsn.num_nodes(), 0);
   }
 
   // Pass 2: wire inputs and parse expressions.
@@ -323,7 +332,11 @@ Rsn parse_rsn_text(const std::string& text, bool validate) {
   std::map<std::string, CtrlRef> defs;
   for (const Pending& p : lines) {
     const std::string& kind = p.tokens[0];
-    if (kind == "in" || kind.rfind("decl_", 0) == 0) continue;
+    if (kind == "in") {
+      if (src_map) src_map->elem_line[node_of(p.tokens[1], p.line_no)] = p.line_no;
+      continue;
+    }
+    if (kind.rfind("decl_", 0) == 0) continue;
     if (kind == "def") {
       FTRSN_CHECK_MSG(p.tokens.size() == 3,
                       strprintf("line %d: def needs a name and a body",
@@ -338,9 +351,11 @@ Rsn parse_rsn_text(const std::string& text, bool validate) {
       ExprParser ep(p.tokens[3], rsn.ctrl(), ids, defs);
       rsn.add_select_term(node_of(p.tokens[1], p.line_no),
                           node_of(p.tokens[2], p.line_no), ep.parse());
+      if (src_map) src_map->term_line.push_back(p.line_no);
       continue;
     }
     const NodeId id = node_of(p.tokens[1], p.line_no);
+    if (src_map) src_map->elem_line[id] = p.line_no;
     const auto kv = parse_kv(p.tokens, 2);
     const auto expr = [&](const std::string& key) {
       ExprParser ep(kv.at(key), rsn.ctrl(), ids, defs);
@@ -373,12 +388,12 @@ void save_rsn(const Rsn& rsn, const std::string& path) {
   out << write_rsn_text(rsn);
 }
 
-Rsn load_rsn(const std::string& path, bool validate) {
+Rsn load_rsn(const std::string& path, bool validate, RsnSourceMap* src_map) {
   std::ifstream in(path);
   FTRSN_CHECK_MSG(in.good(), "cannot open '" + path + "'");
   std::ostringstream buffer;
   buffer << in.rdbuf();
-  return parse_rsn_text(buffer.str(), validate);
+  return parse_rsn_text(buffer.str(), validate, src_map);
 }
 
 }  // namespace ftrsn

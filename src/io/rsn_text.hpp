@@ -17,10 +17,22 @@
 
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 #include "rsn/rsn.hpp"
 
 namespace ftrsn {
+
+/// Line provenance of a parsed network: 1-based source line numbers of the
+/// declaration, element and term lines each node / select term came from
+/// (0 = the line does not exist in the source).  The fix engine
+/// (lint/fix.hpp) uses this to render SARIF fix records as textual edits of
+/// the original .rsn file.
+struct RsnSourceMap {
+  std::vector<int> decl_line;  ///< NodeId -> decl_in/out/seg/mux line
+  std::vector<int> elem_line;  ///< NodeId -> in/out/seg/mux element line
+  std::vector<int> term_line;  ///< select-term index -> term line
+};
 
 /// Serializes the RSN to the text format.
 std::string write_rsn_text(const Rsn& rsn);
@@ -28,11 +40,14 @@ std::string write_rsn_text(const Rsn& rsn);
 /// Parses the text format; throws std::logic_error with a line/position
 /// message on malformed input.  With `validate` the parsed netlist is also
 /// structurally validated (validate_or_die); pass false to load a broken
-/// network for analysis (the rsn-lint CLI does).
-Rsn parse_rsn_text(const std::string& text, bool validate = true);
+/// network for analysis (the rsn-lint CLI does).  `src_map`, when non-null,
+/// receives the line provenance of every parsed node and term.
+Rsn parse_rsn_text(const std::string& text, bool validate = true,
+                   RsnSourceMap* src_map = nullptr);
 
 /// File helpers.
 void save_rsn(const Rsn& rsn, const std::string& path);
-Rsn load_rsn(const std::string& path, bool validate = true);
+Rsn load_rsn(const std::string& path, bool validate = true,
+             RsnSourceMap* src_map = nullptr);
 
 }  // namespace ftrsn

@@ -1,0 +1,179 @@
+// Verified auto-repair of mechanical lint findings (rsn-lint --fix).
+//
+// The FixEngine maps the *mechanical* subset of the lint catalog — findings
+// whose repair is a local, semantics-preserving rewrite — onto four rewrite
+// primitives:
+//
+//   unused-primary-in     -> drop the unconnected primary scan-in port
+//   mux-identical-inputs  -> bypass the mux (rewire consumers to the input)
+//   const-mux-addr        -> collapse the mux onto its forwarded input
+//   unreachable-scan /
+//   dead-end-scan         -> prune the dead scan cone (successor- and
+//                            shadow-closed: nothing surviving may reference
+//                            a pruned node or read a pruned shadow bit)
+//
+// and applies them to fixpoint: each pass re-lints the patched network and
+// re-applies until no fixable diagnostic remains (every accepted rewrite
+// strictly decreases the node count, so the loop terminates in at most
+// num_nodes passes; FixOptions::max_passes caps it regardless).
+//
+// Every rewrite is *verified before it is accepted*, not trusted: the
+// engine proves — with the same cone-oracle/SAT substrate the lint rules
+// use (sat/cnf.hpp Tseitin encoding) — that for every surviving scan
+// element the set of possible scan-in sources and the mux-address guard
+// under which each source is forwarded are equivalent before and after the
+// rewrite, and that select / capture-disable / update-disable semantics are
+// untouched.  Rewrites that fail the proof are rejected and the diagnostic
+// is left in place.  With FixVerify::kMetric the repaired network is
+// additionally cross-checked against the original by a differential
+// fault-metric run (fault/metric_engine.hpp) over the shared fault
+// universe.
+//
+// Results map back to the *original* network: node / ctrl provenance maps
+// plus per-fix edit records, which sarif_fix_records() renders as SARIF
+// 2.1.0 `fix` objects (whole-line textual edits of the original .rsn file,
+// via the io/rsn_text.hpp RsnSourceMap).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "io/rsn_text.hpp"
+#include "lint/diagnostic.hpp"
+#include "lint/lint.hpp"
+#include "lint/sarif.hpp"
+#include "rsn/rsn.hpp"
+
+namespace ftrsn::lint {
+
+/// How each rewrite is checked before it is accepted.
+enum class FixVerify : std::uint8_t {
+  kOff,     ///< trust the rewrite primitives (structural guards only)
+  kSat,     ///< per-rewrite SAT equivalence proof (the default)
+  kMetric,  ///< kSat plus an end-to-end differential fault-metric check
+};
+
+struct FixOptions {
+  /// Lint configuration used for the initial run and every re-lint pass.
+  LintOptions lint;
+  FixVerify verify = FixVerify::kSat;
+  /// Hard cap on fix passes (cycle guard; the node-count argument already
+  /// bounds the loop, this bounds it against future non-shrinking fixes).
+  int max_passes = 32;
+  /// The differential fault-metric check runs only on networks up to this
+  /// many nodes (it simulates the full shared fault universe).
+  std::size_t metric_max_nodes = 400;
+  /// Fault cap for the differential check (deterministic stride sample).
+  std::size_t metric_max_faults = 512;
+  /// Test hook: deliberately rewire mux bypasses to a wrong driver so the
+  /// verification layer can be shown to reject bad rewrites.  0 = off.
+  int debug_miswire = 0;
+};
+
+/// The rewrite vocabulary.
+enum class FixKind : std::uint8_t {
+  kDropUnusedPrimaryIn,
+  kDedupeMuxInputs,
+  kCollapseConstMux,
+  kPruneDeadScan,
+};
+
+const char* fix_kind_name(FixKind kind);
+
+/// What happened to one fixable diagnostic.
+enum class FixStatus : std::uint8_t {
+  kApplied,   ///< rewrite applied (and verified, unless FixVerify::kOff)
+  kRejected,  ///< rewrite attempted but the equivalence proof failed
+  kSkipped,   ///< structural guard kept the network unchanged (see note)
+};
+
+/// One scan-input rewire, in original-network coordinates.
+struct FixRewire {
+  NodeId consumer = kInvalidNode;
+  int input = -1;  ///< -1 = scan_in (segment / primary-out), 0/1 = mux input
+  NodeId new_driver = kInvalidNode;
+};
+
+/// Record of one fix attempt, in original-network coordinates.
+struct AppliedFix {
+  FixKind kind = FixKind::kDropUnusedPrimaryIn;
+  std::string rule;            ///< lint rule id that triggered the fix
+  NodeId node = kInvalidNode;  ///< diagnosed node
+  int pass = 0;                ///< 1-based fix pass
+  FixStatus status = FixStatus::kSkipped;
+  std::string note;            ///< reject/skip reason, or a short summary
+  std::vector<NodeId> removed;            ///< nodes deleted by this fix
+  std::vector<FixRewire> rewires;         ///< consumer rewires
+  std::vector<std::size_t> removed_terms; ///< original select-term indices
+};
+
+struct FixResult {
+  Rsn rsn;              ///< the repaired network
+  bool changed = false;
+  int passes = 0;       ///< passes that applied at least one fix
+  std::size_t applied = 0;
+  std::size_t rejected = 0;
+  std::vector<AppliedFix> fixes;
+  std::vector<Diagnostic> initial;   ///< lint of the input network
+  std::vector<Diagnostic> residual;  ///< lint of the repaired network
+  /// Original NodeId -> repaired NodeId (kInvalidNode = removed).
+  std::vector<NodeId> node_map;
+  /// Repaired-pool CtrlRef -> original-pool CtrlRef (kCtrlInvalid if the
+  /// expression has no original counterpart; does not happen for
+  /// expressions referenced by the repaired netlist).
+  std::vector<CtrlRef> ctrl_map;
+  bool metric_check_ran = false;
+  bool metric_check_ok = true;
+  std::string metric_check_note;
+};
+
+class FixEngine {
+ public:
+  FixEngine() = default;
+  explicit FixEngine(FixOptions options) : options_(std::move(options)) {}
+
+  FixResult run(const Rsn& rsn) const;
+
+  const FixOptions& options() const { return options_; }
+
+  /// True if diagnostics of this rule id are mechanically fixable.
+  static bool fixable_rule(const std::string& rule);
+  static const std::vector<std::string>& fixable_rules();
+
+ private:
+  FixOptions options_;
+};
+
+/// Convenience wrapper.
+FixResult fix_rsn(const Rsn& rsn, const FixOptions& options = {});
+
+/// Differential fault-metric check of a fix result against the original
+/// network: maps the repaired network's fault universe back to original
+/// coordinates via node_map/ctrl_map, compares per-fault accessibility of
+/// every surviving segment, requires pruned segments to be inaccessible in
+/// the original, and folds the shared-universe aggregates on both sides in
+/// identical order (bit-identical doubles).  Returns true on equivalence;
+/// `why`, when non-null, receives the first discrepancy.  Networks above
+/// `max_nodes` (or networks the metric engine rejects) are not checked:
+/// the function returns true, sets `why` to "skipped...", and leaves
+/// `*ran` false; `*ran` is set true only when a comparison actually ran.
+bool metric_differential_check(const Rsn& original, const FixResult& result,
+                               std::string* why = nullptr,
+                               std::size_t max_nodes = 400,
+                               std::size_t max_faults = 512,
+                               bool* ran = nullptr);
+
+/// Renders the applied fixes of `result` as SARIF fix records keyed by the
+/// index of the matching diagnostic in `result.initial`: whole-line edits
+/// of `source_text` (the original .rsn file) located via `src_map`.  Fixes
+/// whose diagnosed node only appeared in a later pass (no initial
+/// diagnostic) or whose edits have no source line are omitted.
+std::map<std::size_t, SarifFix> sarif_fix_records(const FixResult& result,
+                                                  const Rsn& original,
+                                                  const std::string& source_text,
+                                                  const RsnSourceMap& src_map);
+
+}  // namespace ftrsn::lint

@@ -92,7 +92,8 @@ std::string to_sarif(const std::vector<SarifArtifact>& artifacts) {
   bool first = true;
   for (std::size_t a = 0; a < artifacts.size(); ++a) {
     const SarifArtifact& art = artifacts[a];
-    for (const Diagnostic& d : art.diags) {
+    for (std::size_t di = 0; di < art.diags.size(); ++di) {
+      const Diagnostic& d = art.diags[di];
       out += first ? "\n" : ",\n";
       first = false;
       out += strprintf(
@@ -136,6 +137,35 @@ std::string to_sarif(const std::vector<SarifArtifact>& artifacts) {
               "%s\"%s\"", w ? ", " : "",
               escape(node_label(d.witness[w], art.names)).c_str());
         out += "]}";
+      }
+      const auto fit = art.fixes.find(di);
+      if (fit != art.fixes.end()) {
+        const SarifFix& fix = fit->second;
+        out += strprintf(
+            ",\n          \"fixes\": [{\n"
+            "            \"description\": {\"text\": \"%s\"},\n"
+            "            \"artifactChanges\": [{\n"
+            "              \"artifactLocation\": {\"uri\": \"%s\", "
+            "\"index\": %zu},\n"
+            "              \"replacements\": [",
+            escape(fix.description).c_str(), escape(art.uri).c_str(), a);
+        for (std::size_t r = 0; r < fix.replacements.size(); ++r) {
+          const SarifReplacement& rep = fix.replacements[r];
+          // A whole-line region: [line:1, line+1:1).  Deletions carry no
+          // insertedContent; replacements re-insert the new line.
+          out += strprintf(
+              "%s\n                {\"deletedRegion\": {\"startLine\": %d, "
+              "\"startColumn\": 1, \"endLine\": %d, \"endColumn\": 1}",
+              r ? "," : "", rep.line, rep.line + 1);
+          if (!rep.delete_line)
+            out += strprintf(", \"insertedContent\": {\"text\": \"%s\"}",
+                             escape(rep.text + "\n").c_str());
+          out += "}";
+        }
+        out +=
+            "\n              ]\n"
+            "            }]\n"
+            "          }]";
       }
       out += "\n        }";
     }

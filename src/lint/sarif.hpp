@@ -13,6 +13,8 @@
 // golden-file testing and for diffing CI uploads.
 #pragma once
 
+#include <cstddef>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -20,11 +22,32 @@
 
 namespace ftrsn::lint {
 
+/// One whole-line textual edit inside a SARIF fix: the 1-based source line
+/// `line` is either deleted outright (`delete_line`) or replaced with
+/// `text` (one line, no trailing newline).  Both render as a SARIF
+/// `replacement` whose deletedRegion spans [line:1, line+1:1).
+struct SarifReplacement {
+  int line = 0;
+  bool delete_line = false;
+  std::string text;
+};
+
+/// A verified auto-repair for one diagnostic (SARIF 2.1.0 `fix` object).
+/// Replacements are kept in ascending line order; each fix is
+/// self-contained with respect to the original artifact text.
+struct SarifFix {
+  std::string description;
+  std::vector<SarifReplacement> replacements;
+};
+
 /// One analyzed artifact: its URI and the diagnostics found in it.
 struct SarifArtifact {
   std::string uri;                 ///< e.g. "designs/u226_ft.rsn"
   std::vector<Diagnostic> diags;
   std::vector<std::string> names;  ///< NodeId -> display name (may be empty)
+  /// Diagnostic index (into `diags`) -> verified repair, as produced by
+  /// lint::sarif_fix_records (lint/fix.hpp).
+  std::map<std::size_t, SarifFix> fixes;
 };
 
 /// Renders a complete SARIF 2.1.0 log (version + one run) for the given

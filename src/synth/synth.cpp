@@ -29,6 +29,21 @@ CtrlRef make_address(Rsn& rsn, NodeId reg, bool tmr, std::uint16_t salt) {
 
 SynthResult synthesize_fault_tolerant(const Rsn& original,
                                       const SynthOptions& options) {
+  if (options.repair_input) {
+    // Pre-synthesis auto-repair: fix the mechanical lint findings first so
+    // the dataflow graph / AugmentLintCache below see the repaired network.
+    OBS_SPAN("synth.repair");
+    lint::FixOptions fopts;
+    fopts.verify = options.repair_verify;
+    const lint::FixResult fr = lint::fix_rsn(original, fopts);
+    if (fr.changed) {
+      SynthOptions inner = options;
+      inner.repair_input = false;
+      SynthResult out = synthesize_fault_tolerant(fr.rsn, inner);
+      out.stats.repaired_findings = static_cast<int>(fr.applied);
+      return out;
+    }
+  }
   SynthResult out{original, {}, {}, {}};
   Rsn& ft = out.rsn;
   const std::size_t n_orig = original.num_nodes();

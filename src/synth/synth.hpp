@@ -22,6 +22,7 @@
 #pragma once
 
 #include "augment/augment.hpp"
+#include "lint/fix.hpp"
 #include "rsn/rsn.hpp"
 
 namespace ftrsn {
@@ -31,6 +32,14 @@ struct SynthOptions {
   bool harden_select = true;    ///< §III-E-2
   bool tmr_addresses = true;    ///< §III-E-3
   bool duplicate_ports = true;  ///< §III-E-4
+  /// Run the verified lint auto-repair engine (lint/fix.hpp) on the input
+  /// before synthesis: the dataflow graph, the AugmentLintCache and all
+  /// downstream stages then consume the pre-repaired network instead of
+  /// tripping over mechanically fixable defects (dead cones, constant
+  /// muxes, unused ports).
+  bool repair_input = false;
+  /// Verification mode for the pre-synthesis repair.
+  lint::FixVerify repair_verify = lint::FixVerify::kSat;
 };
 
 struct SynthStats {
@@ -38,6 +47,7 @@ struct SynthStats {
   int added_registers = 0;     ///< new address registers
   long long added_bits = 0;    ///< shift bits added
   int added_edges = 0;         ///< augmenting edges realized
+  int repaired_findings = 0;   ///< lint findings auto-repaired pre-synthesis
 };
 
 struct SynthResult {

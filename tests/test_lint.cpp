@@ -502,7 +502,8 @@ TEST(Lint, SarifEmitterGoldenFile) {
   const auto diags = lint::lint_rsn(net.rsn);
   ASSERT_TRUE(fires(diags, "scan-cycle"));
   const std::string sarif =
-      lint::to_sarif({{"tests/data/broken.rsn", diags, net.rsn.node_names()}});
+      lint::to_sarif(
+          {{"tests/data/broken.rsn", diags, net.rsn.node_names(), {}}});
 
   // Structural sanity independent of the golden file.
   EXPECT_NE(sarif.find("\"version\": \"2.1.0\""), std::string::npos);
@@ -531,7 +532,7 @@ TEST(Lint, SarifEmitterEmptyAndMultiArtifact) {
   net.rsn.set_scan_in(net.b, kInvalidNode);
   const auto diags = lint::lint_rsn(net.rsn);
   const std::string two = lint::to_sarif(
-      {{"a.rsn", {}, {}}, {"b.rsn", diags, net.rsn.node_names()}});
+      {{"a.rsn", {}, {}, {}}, {"b.rsn", diags, net.rsn.node_names(), {}}});
   EXPECT_NE(two.find("\"uri\": \"a.rsn\""), std::string::npos);
   EXPECT_NE(two.find("\"uri\": \"b.rsn\", \"index\": 1"), std::string::npos);
 }

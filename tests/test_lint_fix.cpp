@@ -1,0 +1,618 @@
+// Verified auto-repair suite (ctest -L lint): per-rule broken fixture ->
+// fixed -> re-lints clean, structural guards that must keep the network
+// intact, idempotence fix(fix(n)) == fix(n), rejection of deliberately
+// miswired rewrites by the SAT layer, the teeth of the differential
+// fault-metric check, obs counter consistency, SARIF fix-record golden
+// file, and a randomized differential soak over defect-injected SIB
+// networks.
+//
+// FTRSN_FIX_ITERS=N scales the random soak trials (default 1; CI soaks
+// run higher).  FTRSN_REGOLD=1 regenerates tests/data/lint_fix_golden.sarif.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "io/rsn_text.hpp"
+#include "lint/fix.hpp"
+#include "lint/lint.hpp"
+#include "lint/sarif.hpp"
+#include "obs/obs.hpp"
+#include "itc02/itc02.hpp"
+#include "util/common.hpp"
+
+namespace ftrsn {
+namespace {
+
+int fix_iters() {
+  const char* env = std::getenv("FTRSN_FIX_ITERS");
+  const int n = env ? std::atoi(env) : 1;
+  return n > 0 ? n : 1;
+}
+
+bool fires(const std::vector<lint::Diagnostic>& diags,
+           const std::string& rule) {
+  for (const auto& d : diags)
+    if (d.rule == rule) return true;
+  return false;
+}
+
+bool any_fixable(const std::vector<lint::Diagnostic>& diags) {
+  for (const auto& d : diags)
+    if (lint::FixEngine::fixable_rule(d.rule)) return true;
+  return false;
+}
+
+const lint::AppliedFix* find_fix(const lint::FixResult& res,
+                                 const std::string& rule) {
+  for (const auto& f : res.fixes)
+    if (f.rule == rule) return &f;
+  return nullptr;
+}
+
+/// The deterministic multi-defect fixture: an identical-input mux, a
+/// constant-address mux, an unused primary scan-in, and a segment that
+/// becomes a dead end once the constant mux is collapsed (so repairing it
+/// takes a second pass).
+constexpr const char* kBrokenFixture =
+    "rsn\n"
+    "decl_in SI\n"
+    "decl_in SI_unused\n"
+    "decl_seg A len=2 shadow=1 role=instr\n"
+    "decl_seg B len=1 shadow=0 role=instr\n"
+    "decl_seg DEAD len=1 shadow=0 role=instr\n"
+    "decl_mux M_ID\n"
+    "decl_mux M_CONST\n"
+    "decl_out SO\n"
+    "in SI\n"
+    "in SI_unused\n"
+    "seg A len=2 shadow=1 rep=1 reset=0 role=instr mod=0 lvl=1 in=SI sel=1 "
+    "cap=0 upd=0\n"
+    "mux M_ID mod=0 lvl=1 in0=A in1=A addr=@A.0.0\n"
+    "seg B len=1 shadow=0 rep=1 reset=0 role=instr mod=0 lvl=1 in=M_ID sel=1 "
+    "cap=0 upd=0\n"
+    "mux M_CONST mod=0 lvl=1 in0=B in1=DEAD addr=0\n"
+    "seg DEAD len=1 shadow=0 rep=1 reset=0 role=instr mod=0 lvl=1 in=SI "
+    "sel=1 cap=0 upd=0\n"
+    "out SO in=M_CONST\n";
+
+NodeId node_by_name(const Rsn& rsn, const std::string& name) {
+  for (NodeId id = 0; id < rsn.num_nodes(); ++id)
+    if (rsn.node(id).name == name) return id;
+  return kInvalidNode;
+}
+
+// --- per-rule fixtures -------------------------------------------------------
+
+TEST(LintFix, DropsUnusedPrimaryIn) {
+  const Rsn rsn = parse_rsn_text(
+      "rsn\n"
+      "decl_in SI\n"
+      "decl_in SI_spare\n"
+      "decl_seg A len=1 shadow=0 role=instr\n"
+      "decl_out SO\n"
+      "in SI\n"
+      "in SI_spare\n"
+      "seg A len=1 shadow=0 rep=1 reset=0 role=instr mod=0 lvl=1 in=SI sel=1 "
+      "cap=0 upd=0\n"
+      "out SO in=A\n",
+      /*validate=*/false);
+  ASSERT_TRUE(fires(lint::lint_rsn(rsn), "unused-primary-in"));
+  const lint::FixResult res = lint::fix_rsn(rsn);
+  EXPECT_TRUE(res.changed);
+  EXPECT_EQ(res.applied, 1u);
+  EXPECT_EQ(res.rejected, 0u);
+  EXPECT_FALSE(fires(res.residual, "unused-primary-in"));
+  EXPECT_EQ(node_by_name(res.rsn, "SI_spare"), kInvalidNode);
+  EXPECT_NE(node_by_name(res.rsn, "SI"), kInvalidNode);
+  // Provenance: SI_spare maps to nothing, everything else survives.
+  EXPECT_EQ(res.node_map[node_by_name(rsn, "SI_spare")], kInvalidNode);
+  EXPECT_NE(res.node_map[node_by_name(rsn, "A")], kInvalidNode);
+}
+
+TEST(LintFix, KeepsLastPrimaryIn) {
+  // The only primary scan-in is unused (the rest of the net is a scan
+  // cycle): the guard must keep it, the diagnostic stays.
+  const Rsn rsn = parse_rsn_text(
+      "rsn\n"
+      "decl_in SI\n"
+      "decl_seg A len=1 shadow=0 role=instr\n"
+      "decl_seg B len=1 shadow=0 role=instr\n"
+      "decl_out SO\n"
+      "in SI\n"
+      "seg A len=1 shadow=0 rep=1 reset=0 role=instr mod=0 lvl=1 in=B sel=1 "
+      "cap=0 upd=0\n"
+      "seg B len=1 shadow=0 rep=1 reset=0 role=instr mod=0 lvl=1 in=A sel=1 "
+      "cap=0 upd=0\n"
+      "out SO in=B\n",
+      /*validate=*/false);
+  ASSERT_TRUE(fires(lint::lint_rsn(rsn), "unused-primary-in"));
+  const lint::FixResult res = lint::fix_rsn(rsn);
+  const lint::AppliedFix* fix = find_fix(res, "unused-primary-in");
+  ASSERT_NE(fix, nullptr);
+  EXPECT_EQ(fix->status, lint::FixStatus::kSkipped);
+  EXPECT_NE(node_by_name(res.rsn, "SI"), kInvalidNode);
+  EXPECT_TRUE(fires(res.residual, "unused-primary-in"));
+}
+
+TEST(LintFix, DedupesIdenticalMuxInputs) {
+  Rsn rsn = parse_rsn_text(kBrokenFixture, /*validate=*/false);
+  const lint::FixResult res = lint::fix_rsn(rsn);
+  const lint::AppliedFix* fix = find_fix(res, "mux-identical-inputs");
+  ASSERT_NE(fix, nullptr);
+  EXPECT_EQ(fix->status, lint::FixStatus::kApplied);
+  EXPECT_EQ(fix->kind, lint::FixKind::kDedupeMuxInputs);
+  ASSERT_EQ(fix->rewires.size(), 1u);
+  EXPECT_EQ(fix->rewires[0].consumer, node_by_name(rsn, "B"));
+  EXPECT_EQ(fix->rewires[0].new_driver, node_by_name(rsn, "A"));
+  EXPECT_EQ(node_by_name(res.rsn, "M_ID"), kInvalidNode);
+  // B's scan input is now A in the repaired network.
+  const NodeId b = node_by_name(res.rsn, "B");
+  ASSERT_NE(b, kInvalidNode);
+  EXPECT_EQ(res.rsn.node(b).scan_in, node_by_name(res.rsn, "A"));
+}
+
+TEST(LintFix, FixesWholeFixtureToClean) {
+  const Rsn rsn = parse_rsn_text(kBrokenFixture, /*validate=*/false);
+  lint::FixOptions opts;
+  opts.verify = lint::FixVerify::kMetric;
+  const lint::FixResult res = lint::fix_rsn(rsn, opts);
+  EXPECT_TRUE(res.changed);
+  EXPECT_EQ(res.applied, 4u);   // M_ID, M_CONST, SI_unused, DEAD
+  EXPECT_EQ(res.rejected, 0u);
+  EXPECT_EQ(res.passes, 2);     // DEAD only dies after M_CONST collapses
+  EXPECT_FALSE(any_fixable(res.residual));
+  EXPECT_TRUE(res.residual.empty());
+  EXPECT_TRUE(res.metric_check_ran);
+  EXPECT_TRUE(res.metric_check_ok);
+  // The repaired network is valid and serializable.
+  res.rsn.validate_or_die();
+  const Rsn reparsed = parse_rsn_text(write_rsn_text(res.rsn));
+  EXPECT_TRUE(res.rsn.structurally_equal(reparsed));
+}
+
+TEST(LintFix, CollapsesOracleProvenConstMux) {
+  // The mux address is a contradiction (EN & !EN), constant only to the
+  // cone oracle, not syntactically.
+  const Rsn rsn = parse_rsn_text(
+      "rsn\n"
+      "decl_in SI\n"
+      "decl_seg A len=1 shadow=0 role=instr\n"
+      "decl_seg B len=1 shadow=0 role=instr\n"
+      "decl_mux M\n"
+      "decl_out SO\n"
+      "in SI\n"
+      "seg A len=1 shadow=0 rep=1 reset=0 role=instr mod=0 lvl=1 in=SI sel=1 "
+      "cap=0 upd=0\n"
+      "seg B len=1 shadow=0 rep=1 reset=0 role=instr mod=0 lvl=1 in=SI sel=1 "
+      "cap=0 upd=0\n"
+      "mux M mod=0 lvl=1 in0=A in1=B addr=(& 0 EN (! 0 EN))\n"
+      "out SO in=M\n",
+      /*validate=*/false);
+  ASSERT_TRUE(fires(lint::lint_rsn(rsn), "const-mux-addr"));
+  const lint::FixResult res = lint::fix_rsn(rsn);
+  const lint::AppliedFix* fix = find_fix(res, "const-mux-addr");
+  ASSERT_NE(fix, nullptr);
+  EXPECT_EQ(fix->status, lint::FixStatus::kApplied);
+  EXPECT_EQ(node_by_name(res.rsn, "M"), kInvalidNode);
+  const NodeId so = node_by_name(res.rsn, "SO");
+  ASSERT_NE(so, kInvalidNode);
+  // addr stuck at 0 forwards in0 = A.
+  EXPECT_EQ(res.rsn.node(so).scan_in, node_by_name(res.rsn, "A"));
+}
+
+TEST(LintFix, MuxReferencedByTermIsKept) {
+  // The identical-input mux is the successor direction of a select term:
+  // bypassing it would orphan hardened-select metadata, so the fix engine
+  // must leave it in place.
+  const Rsn rsn = parse_rsn_text(
+      "rsn\n"
+      "decl_in SI\n"
+      "decl_seg A len=1 shadow=1 role=instr\n"
+      "decl_seg B len=1 shadow=0 role=instr\n"
+      "decl_mux M\n"
+      "decl_out SO\n"
+      "in SI\n"
+      "seg A len=1 shadow=1 rep=1 reset=0 role=instr mod=0 lvl=1 in=SI sel=1 "
+      "cap=0 upd=0\n"
+      "mux M mod=0 lvl=1 in0=A in1=A addr=@A.0.0\n"
+      "seg B len=1 shadow=0 rep=1 reset=0 role=instr mod=0 lvl=1 in=M sel=1 "
+      "cap=0 upd=0\n"
+      "out SO in=B\n"
+      "term A M @A.0.0\n",
+      /*validate=*/false);
+  const lint::FixResult res = lint::fix_rsn(rsn);
+  const lint::AppliedFix* fix = find_fix(res, "mux-identical-inputs");
+  ASSERT_NE(fix, nullptr);
+  EXPECT_EQ(fix->status, lint::FixStatus::kSkipped);
+  EXPECT_NE(node_by_name(res.rsn, "M"), kInvalidNode);
+  EXPECT_EQ(res.rsn.select_terms().size(), 1u);
+}
+
+TEST(LintFix, PrunesUnreachableSelfLoop) {
+  const Rsn rsn = parse_rsn_text(
+      "rsn\n"
+      "decl_in SI\n"
+      "decl_seg A len=1 shadow=0 role=instr\n"
+      "decl_seg LOOP len=2 shadow=0 role=instr\n"
+      "decl_out SO\n"
+      "in SI\n"
+      "seg A len=1 shadow=0 rep=1 reset=0 role=instr mod=0 lvl=1 in=SI sel=1 "
+      "cap=0 upd=0\n"
+      "seg LOOP len=2 shadow=0 rep=1 reset=0 role=instr mod=0 lvl=1 in=LOOP "
+      "sel=1 cap=0 upd=0\n"
+      "out SO in=A\n",
+      /*validate=*/false);
+  ASSERT_TRUE(fires(lint::lint_rsn(rsn), "unreachable-scan"));
+  const lint::FixResult res = lint::fix_rsn(rsn);
+  const lint::AppliedFix* fix = find_fix(res, "unreachable-scan");
+  ASSERT_NE(fix, nullptr);
+  EXPECT_EQ(fix->status, lint::FixStatus::kApplied);
+  EXPECT_EQ(node_by_name(res.rsn, "LOOP"), kInvalidNode);
+  EXPECT_FALSE(any_fixable(res.residual));
+}
+
+TEST(LintFix, DeadSegmentFeedingLiveMuxIsKept) {
+  // DEAD has no path to a scan-out itself, but it drives the live mux M:
+  // removing it would dangle M's in1, so successor closure must keep it.
+  const Rsn rsn = parse_rsn_text(
+      "rsn\n"
+      "decl_in SI\n"
+      "decl_seg A len=1 shadow=1 role=instr\n"
+      "decl_seg DEAD len=1 shadow=0 role=instr\n"
+      "decl_mux M\n"
+      "decl_out SO\n"
+      "in SI\n"
+      "seg A len=1 shadow=1 rep=1 reset=0 role=instr mod=0 lvl=1 in=SI sel=1 "
+      "cap=0 upd=0\n"
+      "seg DEAD len=1 shadow=0 rep=1 reset=0 role=instr mod=0 lvl=1 in=SI "
+      "sel=1 cap=0 upd=0\n"
+      "mux M mod=0 lvl=1 in0=A in1=DEAD addr=@A.0.0\n"
+      "out SO in=M\n",
+      /*validate=*/false);
+  // DEAD reaches SO through the mux, so it is *not* a dead end; instead
+  // make it one by checking what the engine does if it were flagged: the
+  // fixture where it genuinely dangles is the shadow-reader test below.
+  // Here no prune rule fires at all — the net must come back unchanged.
+  const lint::FixResult res = lint::fix_rsn(rsn);
+  EXPECT_EQ(find_fix(res, "dead-end-scan"), nullptr);
+  EXPECT_NE(node_by_name(res.rsn, "DEAD"), kInvalidNode);
+}
+
+TEST(LintFix, ShadowReaderKeepsDeadSegment) {
+  // CFG is a dead end (no consumer), but the live segment A steers its
+  // select from @CFG.0.0: the shadow closure must keep CFG, and the
+  // diagnostic must survive as a skipped fix.
+  const Rsn rsn = parse_rsn_text(
+      "rsn\n"
+      "decl_in SI\n"
+      "decl_seg A len=1 shadow=0 role=instr\n"
+      "decl_seg CFG len=1 shadow=1 role=addr\n"
+      "decl_out SO\n"
+      "in SI\n"
+      "seg A len=1 shadow=0 rep=1 reset=0 role=instr mod=0 lvl=1 in=SI "
+      "sel=@CFG.0.0 cap=0 upd=0\n"
+      "seg CFG len=1 shadow=1 rep=1 reset=1 role=addr mod=0 lvl=1 in=SI "
+      "sel=1 cap=0 upd=0\n"
+      "out SO in=A\n",
+      /*validate=*/false);
+  ASSERT_TRUE(fires(lint::lint_rsn(rsn), "dead-end-scan"));
+  const lint::FixResult res = lint::fix_rsn(rsn);
+  const lint::AppliedFix* fix = find_fix(res, "dead-end-scan");
+  ASSERT_NE(fix, nullptr);
+  EXPECT_EQ(fix->status, lint::FixStatus::kSkipped);
+  EXPECT_NE(node_by_name(res.rsn, "CFG"), kInvalidNode);
+  EXPECT_TRUE(fires(res.residual, "dead-end-scan"));
+}
+
+TEST(LintFix, TermOfPrunedSegmentIsDropped) {
+  // DEAD carries a select term; pruning DEAD must drop the term too (and
+  // the SAT frame check must accept exactly that combination).
+  const Rsn rsn = parse_rsn_text(
+      "rsn\n"
+      "decl_in SI\n"
+      "decl_seg A len=1 shadow=1 role=instr\n"
+      "decl_seg DEAD len=1 shadow=0 role=instr\n"
+      "decl_out SO\n"
+      "in SI\n"
+      "seg A len=1 shadow=1 rep=1 reset=0 role=instr mod=0 lvl=1 in=SI sel=1 "
+      "cap=0 upd=0\n"
+      "seg DEAD len=1 shadow=0 rep=1 reset=0 role=instr mod=0 lvl=1 in=SI "
+      "sel=1 cap=0 upd=0\n"
+      "out SO in=A\n"
+      "term DEAD SI @A.0.0\n",
+      /*validate=*/false);
+  ASSERT_TRUE(fires(lint::lint_rsn(rsn), "dead-end-scan"));
+  const lint::FixResult res = lint::fix_rsn(rsn);
+  const lint::AppliedFix* fix = find_fix(res, "dead-end-scan");
+  ASSERT_NE(fix, nullptr);
+  EXPECT_EQ(fix->status, lint::FixStatus::kApplied);
+  ASSERT_EQ(fix->removed_terms.size(), 1u);
+  EXPECT_EQ(node_by_name(res.rsn, "DEAD"), kInvalidNode);
+  EXPECT_TRUE(res.rsn.select_terms().empty());
+}
+
+// --- idempotence and verification -------------------------------------------
+
+TEST(LintFix, FixIsIdempotent) {
+  const Rsn rsn = parse_rsn_text(kBrokenFixture, /*validate=*/false);
+  const lint::FixResult once = lint::fix_rsn(rsn);
+  ASSERT_TRUE(once.changed);
+  const lint::FixResult twice = lint::fix_rsn(once.rsn);
+  EXPECT_FALSE(twice.changed);
+  EXPECT_EQ(twice.applied, 0u);
+  EXPECT_TRUE(once.rsn.structurally_equal(twice.rsn));
+}
+
+TEST(LintFix, SatVerificationRejectsMiswiredRewrite) {
+  const Rsn rsn = parse_rsn_text(kBrokenFixture, /*validate=*/false);
+  const std::uint64_t rejected_before = obs::counter_value("lint.fix.rejected");
+  lint::FixOptions opts;
+  opts.debug_miswire = 1;
+  const lint::FixResult res = lint::fix_rsn(rsn, opts);
+  // Every mux bypass is deliberately miswired, so both must be rejected.
+  const lint::AppliedFix* dedupe = find_fix(res, "mux-identical-inputs");
+  ASSERT_NE(dedupe, nullptr);
+  EXPECT_EQ(dedupe->status, lint::FixStatus::kRejected);
+  const lint::AppliedFix* collapse = find_fix(res, "const-mux-addr");
+  ASSERT_NE(collapse, nullptr);
+  EXPECT_EQ(collapse->status, lint::FixStatus::kRejected);
+  // The rejected muxes stay in the network and in the residual report.
+  EXPECT_NE(node_by_name(res.rsn, "M_ID"), kInvalidNode);
+  EXPECT_NE(node_by_name(res.rsn, "M_CONST"), kInvalidNode);
+  EXPECT_TRUE(fires(res.residual, "mux-identical-inputs"));
+  EXPECT_GE(obs::counter_value("lint.fix.rejected"), rejected_before + 2);
+  // And whatever did apply still preserves the fault metric.
+  std::string why;
+  EXPECT_TRUE(lint::metric_differential_check(rsn, res, &why)) << why;
+}
+
+TEST(LintFix, MetricCheckCatchesUnverifiedMiswire) {
+  // With verification off the miswired bypass goes through — the
+  // differential fault-metric check must catch it, proving the check has
+  // teeth (and, by the test above, that SAT verification is what prevents
+  // this from ever reaching a caller).
+  const Rsn rsn = parse_rsn_text(kBrokenFixture, /*validate=*/false);
+  lint::FixOptions opts;
+  opts.verify = lint::FixVerify::kOff;
+  opts.debug_miswire = 1;
+  const lint::FixResult res = lint::fix_rsn(rsn, opts);
+  ASSERT_TRUE(res.changed);
+  std::string why;
+  bool ran = false;
+  EXPECT_FALSE(
+      lint::metric_differential_check(rsn, res, &why, 400, 512, &ran));
+  EXPECT_TRUE(ran);
+  EXPECT_FALSE(why.empty());
+}
+
+TEST(LintFix, ObsCountersMatchResult) {
+  const Rsn rsn = parse_rsn_text(kBrokenFixture, /*validate=*/false);
+  const std::uint64_t applied_before = obs::counter_value("lint.fix.applied");
+  const std::uint64_t verified_before =
+      obs::counter_value("lint.fix.verified");
+  const lint::FixResult res = lint::fix_rsn(rsn);
+  std::size_t applied_records = 0;
+  for (const auto& f : res.fixes)
+    if (f.status == lint::FixStatus::kApplied && !f.removed.empty())
+      ++applied_records;
+  EXPECT_EQ(obs::counter_value("lint.fix.applied") - applied_before,
+            applied_records);
+  // Default mode verifies every applied rewrite.
+  EXPECT_GE(obs::counter_value("lint.fix.verified") - verified_before,
+            applied_records);
+}
+
+// --- SARIF fix records -------------------------------------------------------
+
+std::string apply_sarif_edits(
+    const std::string& source,
+    const std::map<std::size_t, lint::SarifFix>& fixes) {
+  std::vector<std::string> lines;
+  std::istringstream stream(source);
+  std::string line;
+  while (std::getline(stream, line)) lines.push_back(line);
+  std::vector<bool> drop(lines.size() + 1, false);
+  std::vector<std::string> replace(lines.size() + 1);
+  std::vector<bool> replaced(lines.size() + 1, false);
+  for (const auto& [di, fix] : fixes) {
+    for (const auto& rep : fix.replacements) {
+      EXPECT_GE(rep.line, 1);
+      EXPECT_LE(static_cast<std::size_t>(rep.line), lines.size());
+      if (rep.line < 1 || static_cast<std::size_t>(rep.line) > lines.size())
+        continue;
+      if (rep.delete_line) {
+        drop[static_cast<std::size_t>(rep.line)] = true;
+      } else {
+        replace[static_cast<std::size_t>(rep.line)] = rep.text;
+        replaced[static_cast<std::size_t>(rep.line)] = true;
+      }
+    }
+  }
+  std::string out;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    if (drop[i + 1]) continue;
+    out += replaced[i + 1] ? replace[i + 1] : lines[i];
+    out += '\n';
+  }
+  return out;
+}
+
+TEST(LintFix, SarifEditsReproduceRepairedNetwork) {
+  RsnSourceMap src_map;
+  const std::string source = kBrokenFixture;
+  const Rsn rsn = parse_rsn_text(source, /*validate=*/false, &src_map);
+  const lint::FixResult res = lint::fix_rsn(rsn);
+  const auto fixes = lint::sarif_fix_records(res, rsn, source, src_map);
+  // Three of the four applied fixes have initial diagnostics with source
+  // lines (the DEAD prune only fires in pass 2, so it has no initial
+  // diagnostic and no record).
+  EXPECT_EQ(fixes.size(), 3u);
+  const std::string edited_text = apply_sarif_edits(source, fixes);
+  const Rsn edited = parse_rsn_text(edited_text, /*validate=*/false);
+  // The textual edits reproduce pass 1 exactly: every pass-1 defect is
+  // gone; DEAD (a pass-2 prune) is still present and still diagnosed.
+  const auto diags = lint::lint_rsn(edited);
+  EXPECT_FALSE(fires(diags, "mux-identical-inputs"));
+  EXPECT_FALSE(fires(diags, "const-mux-addr"));
+  EXPECT_FALSE(fires(diags, "unused-primary-in"));
+  EXPECT_TRUE(fires(diags, "dead-end-scan"));
+  // Re-running the engine on the edited source converges to the same
+  // repaired network.
+  const lint::FixResult res2 = lint::fix_rsn(edited);
+  EXPECT_TRUE(res.rsn.structurally_equal(res2.rsn));
+}
+
+TEST(LintFix, SarifFixGoldenFile) {
+  RsnSourceMap src_map;
+  const std::string source = kBrokenFixture;
+  const Rsn rsn = parse_rsn_text(source, /*validate=*/false, &src_map);
+  const lint::FixResult res = lint::fix_rsn(rsn);
+  lint::SarifArtifact art{"tests/data/lint_fix_broken.rsn", res.initial,
+                          rsn.node_names(),
+                          lint::sarif_fix_records(res, rsn, source, src_map)};
+  const std::string sarif = lint::to_sarif({art});
+  EXPECT_NE(sarif.find("\"fixes\": ["), std::string::npos);
+  EXPECT_NE(sarif.find("\"deletedRegion\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"insertedContent\""), std::string::npos);
+
+  const std::string path =
+      std::string(FTRSN_TEST_DATA_DIR) + "/lint_fix_golden.sarif";
+  if (std::getenv("FTRSN_REGOLD") != nullptr) {
+    ASSERT_TRUE(obs::write_file(path, sarif)) << path;
+    return;
+  }
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr) << "missing golden file " << path
+                        << " (regenerate with FTRSN_REGOLD=1)";
+  std::string golden;
+  char buf[4096];
+  for (std::size_t n; (n = std::fread(buf, 1, sizeof buf, f)) > 0;)
+    golden.append(buf, n);
+  std::fclose(f);
+  EXPECT_EQ(sarif, golden);
+}
+
+// --- randomized differential soak -------------------------------------------
+
+itc02::Soc random_soc(Rng& rng, int max_modules) {
+  itc02::Soc soc;
+  soc.name = "fixfuzz";
+  const int modules = 1 + static_cast<int>(rng.next_below(
+                              static_cast<std::uint64_t>(max_modules)));
+  for (int i = 0; i < modules; ++i) {
+    itc02::Module m;
+    m.name = strprintf("m%d", i);
+    m.parent = (i > 0 && rng.next_below(3) == 0)
+                   ? static_cast<int>(
+                         rng.next_below(static_cast<std::uint64_t>(i)))
+                   : -1;
+    const int chains = 1 + static_cast<int>(rng.next_below(3));
+    for (int c = 0; c < chains; ++c)
+      m.chain_bits.push_back(1 + static_cast<int>(rng.next_below(8)));
+    soc.modules.push_back(std::move(m));
+  }
+  return soc;
+}
+
+NodeId random_scan_consumer(const Rsn& rsn, Rng& rng) {
+  std::vector<NodeId> eligible;
+  for (NodeId id = 0; id < rsn.num_nodes(); ++id) {
+    const RsnNode& n = rsn.node(id);
+    if ((n.kind == NodeKind::kSegment || n.kind == NodeKind::kPrimaryOut) &&
+        n.scan_in != kInvalidNode)
+      eligible.push_back(id);
+  }
+  return eligible[rng.next_below(eligible.size())];
+}
+
+/// Injects 1..4 mechanical defects into a healthy SIB network; every
+/// injected defect is repairable and its repair restores the original
+/// scan semantics.
+Rsn inject_defects(Rsn rsn, Rng& rng) {
+  bool injected = false;
+  while (!injected) {
+    if (rng.next_below(2) == 0) {  // identical-input mux
+      const NodeId c = random_scan_consumer(rsn, rng);
+      const NodeId s = rsn.node(c).scan_in;
+      const NodeId m = rsn.add_mux("fz_dup", s, s, rsn.ctrl().enable_input());
+      rsn.set_scan_in(c, m);
+      injected = true;
+    }
+    if (rng.next_below(2) == 0) {  // constant-address mux
+      const NodeId c = random_scan_consumer(rsn, rng);
+      const NodeId s = rsn.node(c).scan_in;
+      NodeId other = static_cast<NodeId>(rng.next_below(rsn.num_nodes()));
+      if (rsn.node(other).kind == NodeKind::kPrimaryOut) other = s;
+      const bool stuck = rng.next_below(2) == 0;
+      const NodeId m =
+          rsn.add_mux("fz_const", stuck ? other : s, stuck ? s : other,
+                      rsn.ctrl().constant(stuck));
+      rsn.set_scan_in(c, m);
+      injected = true;
+    }
+    if (rng.next_below(2) == 0) {  // unused primary scan-in
+      rsn.add_primary_in("fz_pi");
+      injected = true;
+    }
+    if (rng.next_below(2) == 0) {  // dead-end segment
+      const NodeId src = random_scan_consumer(rsn, rng);
+      const NodeId d = rsn.add_segment(
+          "fz_dead", 1 + static_cast<int>(rng.next_below(4)), src,
+          /*has_shadow=*/false, SegRole::kOther);
+      rsn.set_select(d, kCtrlTrue);
+      injected = true;
+    }
+  }
+  return rsn;
+}
+
+TEST(LintFix, RandomizedDifferentialSoak) {
+  const int trials = 8 * fix_iters();
+  Rng rng(0xF1DE5EED);
+  for (int t = 0; t < trials; ++t) {
+    const Rsn healthy = itc02::generate_sib_rsn(random_soc(rng, 3));
+    const Rsn broken = inject_defects(healthy, rng);
+    lint::FixOptions opts;
+    opts.verify = lint::FixVerify::kMetric;
+    opts.metric_max_nodes = 2000;
+    opts.metric_max_faults = 256;
+    const lint::FixResult res = lint::fix_rsn(broken, opts);
+    ASSERT_TRUE(res.changed) << "trial " << t;
+    EXPECT_TRUE(res.metric_check_ok)
+        << "trial " << t << ": " << res.metric_check_note;
+    EXPECT_EQ(res.rejected, 0u) << "trial " << t;
+    EXPECT_FALSE(any_fixable(res.residual)) << "trial " << t;
+    // Idempotence on the repaired network.
+    const lint::FixResult again = lint::fix_rsn(res.rsn, opts);
+    EXPECT_FALSE(again.changed) << "trial " << t;
+    EXPECT_TRUE(res.rsn.structurally_equal(again.rsn)) << "trial " << t;
+  }
+}
+
+TEST(LintFix, SoakSatNeverAcceptsMetricChangingRewrite) {
+  // Every bypass is deliberately miswired; whatever survives the SAT layer
+  // must still be metric-equivalent — i.e. the SAT proof never accepts a
+  // rewrite the differential check would reject.
+  const int trials = 8 * fix_iters();
+  Rng rng(0x5A7C4ECC);
+  for (int t = 0; t < trials; ++t) {
+    const Rsn broken =
+        inject_defects(itc02::generate_sib_rsn(random_soc(rng, 3)), rng);
+    lint::FixOptions opts;
+    opts.verify = lint::FixVerify::kSat;
+    opts.debug_miswire = 1;
+    opts.metric_max_nodes = 2000;
+    opts.metric_max_faults = 256;
+    const lint::FixResult res = lint::fix_rsn(broken, opts);
+    std::string why;
+    EXPECT_TRUE(lint::metric_differential_check(broken, res, &why, 2000, 256))
+        << "trial " << t << ": " << why;
+  }
+}
+
+}  // namespace
+}  // namespace ftrsn

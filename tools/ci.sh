@@ -17,11 +17,18 @@
 #   5. rsn-lint over generated and synthesized example networks
 #      (must report zero error-severity findings, exit status 0), plus
 #      JSON and SARIF emitter checks;
+#   5b. fix-engine smoke: a deliberately broken network must repair to a
+#      clean fixpoint via `rsn-lint --fix`, `--fix-dry-run` must leave the
+#      input byte-identical, and the SARIF emitted in fix mode must carry
+#      schema-valid `fix` records (deleted regions / inserted content);
+#      the randomized differential soak (ctest -L lint, scaled by
+#      FTRSN_FIX_ITERS) also reruns under ASan+UBSan in step 2;
 #   6. obs smoke: a traced `rsn_tool flow` run on u226 must emit a valid
 #      Chrome trace-event JSON and a schema-versioned run report whose
 #      stage times are consistent with the reported wall time;
 #   7. clang-tidy over src/ when available (advisory unless
-#      FTRSN_REQUIRE_CLANG_TIDY=1, which fails if the tool is missing).
+#      FTRSN_REQUIRE_CLANG_TIDY=1, which fails if the tool is missing and
+#      turns bugprone-*/performance-* findings into hard errors).
 #
 # Usage: tools/ci.sh [build-dir-prefix]   (default: build-ci)
 set -euo pipefail
@@ -54,6 +61,13 @@ FTRSN_ORACLE_ITERS="${FTRSN_ORACLE_ITERS:-300}" \
 # networks scaled by FTRSN_METRIC_ITERS.
 FTRSN_METRIC_ITERS="${FTRSN_METRIC_ITERS:-1}" \
   run ctest --test-dir "$PREFIX-asan" --output-on-failure -L metric
+
+# Fix-engine soak under ASan+UBSan: the randomized differential trials
+# (inject defects -> repair -> SAT + fault-metric cross-check) are where
+# the rewrite machinery allocates and rewires most aggressively, so any
+# lifetime bug surfaces here.  Scaled by FTRSN_FIX_ITERS.
+FTRSN_FIX_ITERS="${FTRSN_FIX_ITERS:-8}" \
+  run ctest --test-dir "$PREFIX-asan" --output-on-failure -L lint
 
 # --- 3. TSan build of the threaded metric engine + batch runner ------------
 run cmake -B "$PREFIX-tsan" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
@@ -181,6 +195,82 @@ print("sarif ok:", sys.argv[1])
 EOF
 fi
 
+# --- 5b. fix-engine smoke ---------------------------------------------------
+# A small network with one of every fixable defect: an unused primary-in,
+# a mux with identical inputs, a constant-address mux, and a dead segment.
+BROKEN="$WORK/broken.rsn"
+cat > "$BROKEN" <<'EOF'
+rsn
+decl_in SI
+decl_in SI_unused
+decl_seg A len=2 shadow=1 role=instr
+decl_seg B len=1 shadow=0 role=instr
+decl_seg DEAD len=1 shadow=0 role=instr
+decl_mux M_ID
+decl_mux M_CONST
+decl_out SO
+in SI
+in SI_unused
+seg A len=2 shadow=1 rep=1 reset=0 role=instr mod=0 lvl=1 in=SI sel=1 cap=0 upd=0
+mux M_ID mod=0 lvl=1 in0=A in1=A addr=@A.0.0
+seg B len=1 shadow=0 rep=1 reset=0 role=instr mod=0 lvl=1 in=M_ID sel=1 cap=0 upd=0
+mux M_CONST mod=0 lvl=1 in0=B in1=DEAD addr=0
+seg DEAD len=1 shadow=0 rep=1 reset=0 role=instr mod=0 lvl=1 in=SI sel=1 cap=0 upd=0
+out SO in=M_CONST
+EOF
+cp "$BROKEN" "$WORK/broken.orig.rsn"
+
+# Dry-run must report the repairs without touching the input file.
+run "$LINT" --fix-dry-run "$BROKEN"
+run cmp "$BROKEN" "$WORK/broken.orig.rsn"
+
+# SARIF in fix mode carries the original findings plus machine-applicable
+# fix records; validate their shape.
+run "$LINT" --fix-dry-run --sarif "$BROKEN" > "$WORK/broken.sarif"
+run cmp "$BROKEN" "$WORK/broken.orig.rsn"
+if command -v python3 >/dev/null 2>&1; then
+  run python3 - "$WORK/broken.sarif" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["version"] == "2.1.0", "sarif version"
+results = doc["runs"][0]["results"]
+fixed = [r for r in results if r.get("fixes")]
+assert fixed, "no fix records in fix-mode sarif"
+edits = 0
+for r in fixed:
+    for fix in r["fixes"]:
+        assert fix["description"]["text"], "fix description"
+        for ch in fix["artifactChanges"]:
+            assert "uri" in ch["artifactLocation"], "artifact uri"
+            assert ch["replacements"], "empty replacements"
+            for rep in ch["replacements"]:
+                region = rep["deletedRegion"]
+                for key in ("startLine", "startColumn", "endLine", "endColumn"):
+                    assert key in region, f"missing {key}"
+                assert region["endLine"] > region["startLine"], "empty region"
+                edits += 1
+assert edits >= 3, f"expected several fix edits, got {edits}"
+print("sarif fix records ok:", sys.argv[1], f"({edits} edits)")
+EOF
+fi
+
+# Applying the fixes must rewrite the file to a lint-clean fixpoint:
+# rerunning --fix on the repaired network is a no-op and plain lint passes.
+run "$LINT" --fix "$BROKEN"
+if cmp -s "$BROKEN" "$WORK/broken.orig.rsn"; then
+  echo "fix smoke: --fix left a broken network unchanged" >&2; exit 1
+fi
+cp "$BROKEN" "$WORK/broken.fixed.rsn"
+run "$LINT" --fix "$BROKEN"
+run cmp "$BROKEN" "$WORK/broken.fixed.rsn"
+run "$LINT" "$BROKEN"
+
+# The metric-differential verification tier must agree with the SAT tier
+# on this fixture.
+cp "$WORK/broken.orig.rsn" "$BROKEN"
+run "$LINT" --fix --fix-verify=metric "$BROKEN"
+run cmp "$BROKEN" "$WORK/broken.fixed.rsn"
+
 # --- 6. obs smoke: traced flow run -----------------------------------------
 # One end-to-end flow with tracing, reporting and a BMC spot-check: both
 # emitted JSON documents must parse and respect their schemas, and the
@@ -230,12 +320,20 @@ else
 fi
 
 # --- 7. clang-tidy ----------------------------------------------------------
-# Advisory locally; the GitHub workflow sets FTRSN_REQUIRE_CLANG_TIDY=1 so
-# a missing tool is a hard failure there instead of a silent skip.
+# Advisory locally; the GitHub workflow sets FTRSN_REQUIRE_CLANG_TIDY=1,
+# which makes a missing tool a hard failure and promotes the bugprone-*
+# and performance-* families to errors (--warnings-as-errors widens the
+# gate beyond the .clang-tidy WarningsAsErrors baseline).
 if command -v clang-tidy >/dev/null 2>&1; then
   run cmake -B "$PREFIX" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
-  find src -name '*.cpp' -print0 |
-    xargs -0 -n 8 -P "$JOBS" clang-tidy -p "$PREFIX" --quiet || true
+  if [ "${FTRSN_REQUIRE_CLANG_TIDY:-0}" = "1" ]; then
+    find src -name '*.cpp' -print0 |
+      xargs -0 -n 8 -P "$JOBS" clang-tidy -p "$PREFIX" --quiet \
+        --warnings-as-errors='bugprone-*,performance-*'
+  else
+    find src -name '*.cpp' -print0 |
+      xargs -0 -n 8 -P "$JOBS" clang-tidy -p "$PREFIX" --quiet || true
+  fi
 elif [ "${FTRSN_REQUIRE_CLANG_TIDY:-0}" = "1" ]; then
   echo "clang-tidy required (FTRSN_REQUIRE_CLANG_TIDY=1) but not found" >&2
   exit 1

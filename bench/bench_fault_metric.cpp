@@ -1,12 +1,17 @@
 // Fault-metric engine benchmark: legacy serial loop vs FaultMetricEngine
-// at 1/2/8 threads, per SoC, on the original SIB-based RSN and on the
-// synthesized fault-tolerant RSN.  Emits BENCH_fault_metric.json with the
-// wall times, faults/s throughput, fault-class collapse ratio, and a
-// strict aggregates-identical flag (every report field including the full
-// per-fault distribution is compared bitwise against the legacy loop).
+// (packed 64-lane mode) at 1/2/8 threads, per SoC, on the original
+// SIB-based RSN and on the synthesized fault-tolerant RSN.  Emits
+// BENCH_fault_metric.json with the wall times, faults/s throughput,
+// fault-class collapse ratio, packed lane accounting (packed_words,
+// lane_utilization, SIMD kernel), a scalar-engine baseline per network
+// with the packed-vs-scalar mask_evals ratio (the bit-parallel lever,
+// hardware-independent), and a strict aggregates-identical flag (every
+// report field including the full per-fault distribution is compared
+// bitwise against the legacy loop).
 //
 //   FTRSN_SOCS=<comma list>   SoC subset (default u226,d695,p93791)
 //   FTRSN_BENCH_LEGACY=0      skip the legacy baseline (speedups omitted)
+//   FTRSN_BENCH_SCALAR=0      skip the scalar-engine baseline
 //   FTRSN_BENCH_OUT=<path>    output path (default BENCH_fault_metric.json)
 #include <chrono>
 #include <cstdio>
@@ -45,6 +50,10 @@ struct RunRecord {
   double faults_per_second = 0.0;
   double speedup = 0.0;  // vs legacy serial; 0 if legacy skipped
   bool aggregates_identical = false;
+  std::size_t mask_evals = 0;
+  std::size_t packed_words = 0;
+  double lane_utilization = 0.0;
+  const char* simd_kernel = "";
 };
 
 struct NetworkRecord {
@@ -52,7 +61,20 @@ struct NetworkRecord {
   std::size_t nodes = 0, faults = 0, classes = 0;
   double collapse_ratio = 1.0;
   double legacy_seconds = 0.0;  // 0 if skipped
+  // Scalar (packed=false) engine baseline at 1 thread; 0 if skipped.
+  double scalar_seconds = 0.0;
+  std::size_t scalar_mask_evals = 0;
+  bool scalar_identical = false;
   std::vector<RunRecord> runs;
+
+  /// Hardware-independent bit-parallel lever: scalar-engine mask evals
+  /// over packed word evals (≈ effective lanes per packed word).
+  double mask_evals_ratio() const {
+    return scalar_mask_evals > 0 && !runs.empty() && runs[0].mask_evals > 0
+               ? static_cast<double>(scalar_mask_evals) /
+                     static_cast<double>(runs[0].mask_evals)
+               : 0.0;
+  }
 
   /// Intra-network thread scaling: serial engine time over the 8-thread
   /// engine time (1.0 = flat; hardware-limited to ~1.0 on 1-core hosts).
@@ -85,6 +107,20 @@ NetworkRecord bench_network(const std::string& soc, const char* kind,
   const FaultMetricEngine engine(rsn);
   MetricEngineOptions eo;
   eo.metric = mo;
+
+  const char* scalar_env = std::getenv("FTRSN_BENCH_SCALAR");
+  FaultToleranceReport scalar;
+  bool run_scalar = !scalar_env || std::string(scalar_env) != "0";
+  if (run_scalar) {
+    eo.packed = false;
+    eo.threads = 1;
+    const auto t0 = std::chrono::steady_clock::now();
+    scalar = engine.evaluate(eo);
+    rec.scalar_seconds = now_seconds(t0);
+    rec.scalar_mask_evals = engine.last_stats().mask_evals;
+    eo.packed = true;
+  }
+
   for (const int threads : {1, 2, 8}) {
     eo.threads = threads;
     const auto t0 = std::chrono::steady_clock::now();
@@ -102,13 +138,25 @@ NetworkRecord bench_network(const std::string& soc, const char* kind,
                       ? rec.legacy_seconds / run.seconds
                       : 0.0;
     run.aggregates_identical = run_legacy && reports_identical(rep, legacy);
+    run.mask_evals = st.mask_evals;
+    run.packed_words = st.packed_words;
+    run.lane_utilization = st.lane_utilization;
+    run.simd_kernel = st.simd_kernel;
+    if (run_scalar) rec.scalar_identical = reports_identical(rep, scalar);
     rec.runs.push_back(run);
-    std::printf("  %-4s t=%d  %8.3fs  %10.0f faults/s  ratio=%.2f%s\n", kind,
-                threads, run.seconds, run.faults_per_second, rec.collapse_ratio,
-                run_legacy
-                    ? (run.aggregates_identical ? "  identical" : "  MISMATCH")
-                    : "");
+    std::printf(
+        "  %-4s t=%d  %8.3fs  %10.0f faults/s  ratio=%.2f  lanes=%.2f%s%s\n",
+        kind, threads, run.seconds, run.faults_per_second, rec.collapse_ratio,
+        run.lane_utilization,
+        run_legacy
+            ? (run.aggregates_identical ? "  identical" : "  MISMATCH")
+            : "",
+        run_scalar ? (rec.scalar_identical ? "" : "  SCALAR-MISMATCH") : "");
   }
+  if (run_scalar && !rec.runs.empty())
+    std::printf("  %-4s scalar %.3fs  mask_evals %zu -> %zu (%.1fx)\n", kind,
+                rec.scalar_seconds, rec.scalar_mask_evals,
+                rec.runs[0].mask_evals, rec.mask_evals_ratio());
   return rec;
 }
 
@@ -136,17 +184,25 @@ int main() {
         "    {\"soc\": \"%s\", \"network\": \"%s\", \"nodes\": %zu, "
         "\"faults\": %zu, \"classes\": %zu, "
         "\"collapse_ratio\": %.4f, \"legacy_seconds\": %.4f,\n"
+        "     \"scalar_seconds\": %.4f, \"scalar_mask_evals\": %zu, "
+        "\"scalar_identical\": %s, \"mask_evals_ratio\": %.2f,\n"
         "     \"runs\": [",
         r.soc.c_str(), r.network.c_str(), r.nodes, r.faults, r.classes,
-        r.collapse_ratio, r.legacy_seconds);
+        r.collapse_ratio, r.legacy_seconds, r.scalar_seconds,
+        r.scalar_mask_evals, r.scalar_identical ? "true" : "false",
+        r.mask_evals_ratio());
     for (std::size_t k = 0; k < r.runs.size(); ++k) {
       const RunRecord& run = r.runs[k];
       networks += strprintf(
           "%s\n      {\"threads\": %d, \"seconds\": %.4f, "
           "\"faults_per_second\": %.1f, \"speedup\": %.2f, "
-          "\"aggregates_identical\": %s}",
+          "\"aggregates_identical\": %s, \"mask_evals\": %zu, "
+          "\"packed_words\": %zu, \"lane_utilization\": %.4f, "
+          "\"simd_kernel\": \"%s\"}",
           k ? "," : "", run.threads, run.seconds, run.faults_per_second,
-          run.speedup, run.aggregates_identical ? "true" : "false");
+          run.speedup, run.aggregates_identical ? "true" : "false",
+          run.mask_evals, run.packed_words, run.lane_utilization,
+          run.simd_kernel);
     }
     networks += strprintf("\n    ], \"thread_scaling_8v1\": %.2f}%s\n",
                           r.thread_scaling_8v1(),

@@ -43,6 +43,7 @@ FlowResult run_flow(const Rsn& original, const FlowOptions& options) {
   engine_options.metric = options.metric;
   engine_options.threads = options.metric_threads;
   engine_options.pool = options.metric_pool;
+  engine_options.packed = options.metric_packed;
   if (options.evaluate_original) {
     OBS_SPAN("flow.metric.original");
     const FaultMetricEngine engine(original);

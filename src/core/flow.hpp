@@ -37,6 +37,9 @@ struct FlowOptions {
   /// workers with its siblings instead of oversubscribing the machine —
   /// and `metric_threads` is ignored.
   ThreadPool* metric_pool = nullptr;
+  /// Bit-parallel 64-lane metric evaluation (MetricEngineOptions::packed);
+  /// bit-identical either way, off only for differential runs.
+  bool metric_packed = true;
   /// Observability (obs/obs.hpp): when either path is non-empty, span
   /// recording is enabled for this run and the Chrome trace-event JSON /
   /// schema-versioned run report is written there at the end of the flow.

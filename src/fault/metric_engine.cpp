@@ -1,6 +1,7 @@
 #include "fault/metric_engine.hpp"
 
 #include <algorithm>
+#include <array>
 #include <bit>
 #include <chrono>
 #include <cstring>
@@ -9,6 +10,7 @@
 
 #include "obs/obs.hpp"
 #include "util/common.hpp"
+#include "util/simd.hpp"
 #include "util/thread_pool.hpp"
 
 namespace ftrsn {
@@ -128,10 +130,47 @@ class FaultMetricEngine::Scratch {
   // their segment is unwritable (precomputed once per fault).
   std::vector<std::int32_t> taint_seed_atoms;
 
+  // --- Packed (64-lane) state; allocated lazily by init_packed_scratch
+  // because the scalar paths (accessible_under_set, baseline recording)
+  // never touch it. ---
+  bool packed_ready = false;
+  // Static per-batch fault effects: lane l of each word carries fault l of
+  // the batch, restored via touched lists exactly like the scalar arrays.
+  std::vector<std::uint64_t> p_node_dead;  // per node
+  std::vector<NodeId> p_node_dead_touched;
+  std::vector<std::uint64_t> p_mux_pinned, p_mux_pin_val;  // per node
+  std::vector<NodeId> p_mux_touched;
+  std::vector<std::uint64_t> p_dead_mux_in;  // index node*2 + input
+  std::vector<std::int32_t> p_dead_mux_touched;
+  std::vector<std::uint64_t> p_own_in_bad, p_own_out_bad;  // per slot
+  std::vector<std::int32_t> p_own_touched;
+  std::vector<std::uint64_t> p_forced_mask, p_forced_val;  // per pool node
+  std::vector<std::int32_t> p_forced_touched;
+  std::vector<std::uint64_t> p_extra0, p_extra1;  // per slot: taint lanes
+  std::vector<std::int32_t> p_extra_touched;
+  // Taint rebase seeds: used atom + the lanes that deviate at reset.
+  std::vector<std::int32_t> p_seed_atoms;
+  std::vector<std::uint64_t> p_seed_lanes;
+  // Control possibility masks as lane words (bit l set = lane l's fault
+  // leaves this net able to carry 0 / 1), drained through the same
+  // in_prop watermark machinery as the scalar `mask`.
+  std::vector<std::uint64_t> p_mask0, p_mask1;
+  // Per-iteration dataflow state.
+  std::vector<std::uint64_t> p_edge_routable, p_edge_clean;
+  std::vector<std::uint64_t> p_route_fwd, p_clean_fwd;
+  std::vector<std::uint64_t> p_route_bwd, p_clean_bwd;
+  std::vector<std::uint64_t> p_sel_assert, p_cap_ok, p_upd_ok;  // per slot
+  std::vector<std::uint64_t> p_gcf, p_grb, p_grf, p_gcb;  // slot gathers
+  std::vector<std::uint64_t> p_write_acc, p_read_acc;
+  std::vector<std::uint64_t> p_accessible, p_writable;  // per slot
+
   // Counters folded into MetricEngineStats after a run.
   std::uint64_t iterations = 0;
   std::uint64_t mask_evals = 0;
   std::uint64_t mask_cold_reused = 0;
+  std::uint64_t packed_batches = 0;
+  std::uint64_t packed_lanes = 0;
+  std::uint64_t packed_words = 0;
 };
 
 void FaultMetricEngine::ScratchDeleter::operator()(Scratch* s) const {
@@ -214,6 +253,9 @@ FaultMetricEngine::FaultMetricEngine(const Rsn& rsn) : rsn_(&rsn) {
         static_cast<std::int32_t>(e);
   }
   topo_ = rsn.topo_order();
+  topo_pos_.assign(n_nodes_, 0);
+  for (std::size_t i = 0; i < topo_.size(); ++i)
+    topo_pos_[static_cast<std::size_t>(topo_[i])] = static_cast<std::int32_t>(i);
   primary_ins_ = rsn.primary_ins();
   primary_outs_ = rsn.primary_outs();
 
@@ -390,6 +432,32 @@ FaultMetricEngine::FaultMetricEngine(const Rsn& rsn) : rsn_(&rsn) {
   BaselineRecorder recorder{&base_mask_, &base_writable_};
   const ScratchPtr scratch = make_scratch();
   eval_fault_set(*scratch, nullptr, 0, /*seed_baseline=*/false, &recorder);
+
+  // Packed-path precompute: segment slots in segments_ order and the mux
+  // edge list (the only edges whose usability varies per lane).
+  const std::size_t n_slots = segments_.size();
+  seg_slot_.assign(n_nodes_, -1);
+  slot_sel_.resize(n_slots);
+  slot_cap_.resize(n_slots);
+  slot_upd_.resize(n_slots);
+  slot_seg_.resize(n_slots);
+  slot_shadow_.resize(n_slots);
+  for (std::size_t t = 0; t < n_slots; ++t) {
+    const NodeId seg = segments_[t];
+    seg_slot_[seg] = static_cast<std::int32_t>(t);
+    slot_sel_[t] = node_sel_[seg];
+    slot_cap_[t] = node_cap_[seg];
+    slot_upd_[t] = node_upd_[seg];
+    slot_seg_[t] = static_cast<std::int32_t>(seg);
+    slot_shadow_[t] = has_shadow_[seg] ? ~std::uint64_t{0} : 0;
+  }
+  atom_slot_.assign(pool_size_, -1);
+  for (std::size_t idx = 0; idx < pool_size_; ++idx)
+    if (atom_seg_[idx] >= 0)
+      atom_slot_[idx] = seg_slot_[static_cast<std::size_t>(atom_seg_[idx])];
+  for (std::size_t e = 0; e < edges_.size(); ++e)
+    if (edges_[e].mux_input >= 0)
+      mux_edges_.push_back(static_cast<std::int32_t>(e));
 }
 
 FaultMetricEngine::~FaultMetricEngine() = default;
@@ -825,6 +893,486 @@ void FaultMetricEngine::eval_fault_set(Scratch& s, const Fault* faults,
 }
 
 // ---------------------------------------------------------------------------
+// Packed (64-lane) evaluation: one fault class per bit of a uint64_t word.
+//
+// Every per-fault quantity of the scalar path (node_dead, mux pins, forced
+// overrides, taint, masks, reachability, accessibility) becomes a lane
+// word, and every combination step is a bitwise formula on those words —
+// so lane l's state after iteration i is, by induction, exactly the scalar
+// state of fault l after iteration i.  The only semantic deltas are
+// harmless: all lanes share the iteration count (a converged lane is a
+// fixpoint of the monotone iteration map, so extra iterations leave it
+// unchanged — both paths also share the same kMaxIterations bound), and
+// unused tail lanes evaluate the fault-free network and are ignored.
+// ---------------------------------------------------------------------------
+void FaultMetricEngine::init_packed_scratch(Scratch& s) const {
+  if (s.packed_ready) return;
+  const std::size_t n_slots = segments_.size();
+  s.p_node_dead.assign(n_nodes_, 0);
+  s.p_mux_pinned.assign(n_nodes_, 0);
+  s.p_mux_pin_val.assign(n_nodes_, 0);
+  s.p_dead_mux_in.assign(n_nodes_ * 2, 0);
+  s.p_own_in_bad.assign(n_slots, 0);
+  s.p_own_out_bad.assign(n_slots, 0);
+  s.p_forced_mask.assign(pool_size_, 0);
+  s.p_forced_val.assign(pool_size_, 0);
+  s.p_extra0.assign(n_slots, 0);
+  s.p_extra1.assign(n_slots, 0);
+  s.p_mask0.assign(pool_size_, 0);
+  s.p_mask1.assign(pool_size_, 0);
+  s.p_edge_routable.assign(edges_.size(), 0);
+  s.p_edge_clean.assign(edges_.size(), 0);
+  s.p_route_fwd.assign(n_nodes_, 0);
+  s.p_clean_fwd.assign(n_nodes_, 0);
+  s.p_route_bwd.assign(n_nodes_, 0);
+  s.p_clean_bwd.assign(n_nodes_, 0);
+  s.p_sel_assert.assign(n_slots, 0);
+  s.p_cap_ok.assign(n_slots, 0);
+  s.p_upd_ok.assign(n_slots, 0);
+  s.p_gcf.assign(n_slots, 0);
+  s.p_grb.assign(n_slots, 0);
+  s.p_grf.assign(n_slots, 0);
+  s.p_gcb.assign(n_slots, 0);
+  s.p_write_acc.assign(n_slots, 0);
+  s.p_read_acc.assign(n_slots, 0);
+  s.p_accessible.assign(n_slots, 0);
+  s.p_writable.assign(n_slots, 0);
+  s.packed_ready = true;
+}
+
+/// Lane-word transcription of compute_mask (one word eval decides up to 64
+/// fault classes).  Per lane: kCan1 lives in m1, kCan0 in m0.
+void FaultMetricEngine::compute_mask_packed(const Scratch& s, std::int32_t i,
+                                            std::uint64_t& m0,
+                                            std::uint64_t& m1) const {
+  const auto idx = static_cast<std::size_t>(i);
+  m0 = 0;
+  m1 = 0;
+  switch (static_cast<CtrlOp>(pool_op_[idx])) {
+    case CtrlOp::kConst:
+    case CtrlOp::kEnable:
+    case CtrlOp::kPortSel:
+      m0 = (atom_reset_mask_[idx] & kCan0) ? ~std::uint64_t{0} : 0;
+      m1 = (atom_reset_mask_[idx] & kCan1) ? ~std::uint64_t{0} : 0;
+      break;
+    case CtrlOp::kShadowBit: {
+      const auto t = static_cast<std::size_t>(atom_slot_[idx]);
+      // writable lane -> kCanBoth; unwritable -> reset value plus any
+      // taint-latched constant (the extra bits are redundant on writable
+      // lanes, so OR-ing them unconditionally is exact).
+      const std::uint64_t w = s.p_writable[t];
+      m0 = w | ((atom_reset_mask_[idx] & kCan0) ? ~std::uint64_t{0} : 0) |
+           s.p_extra0[t];
+      m1 = w | ((atom_reset_mask_[idx] & kCan1) ? ~std::uint64_t{0} : 0) |
+           s.p_extra1[t];
+      break;
+    }
+    case CtrlOp::kNot: {
+      const auto k = static_cast<std::size_t>(pool_kid0_[idx]);
+      m0 = s.p_mask1[k];
+      m1 = s.p_mask0[k];
+      break;
+    }
+    case CtrlOp::kAnd: {
+      const auto a = static_cast<std::size_t>(pool_kid0_[idx]);
+      const auto b = static_cast<std::size_t>(pool_kid1_[idx]);
+      m1 = s.p_mask1[a] & s.p_mask1[b];
+      m0 = s.p_mask0[a] | s.p_mask0[b];
+      break;
+    }
+    case CtrlOp::kOr: {
+      const auto a = static_cast<std::size_t>(pool_kid0_[idx]);
+      const auto b = static_cast<std::size_t>(pool_kid1_[idx]);
+      m1 = s.p_mask1[a] | s.p_mask1[b];
+      m0 = s.p_mask0[a] & s.p_mask0[b];
+      break;
+    }
+    case CtrlOp::kMaj3: {
+      const auto a = static_cast<std::size_t>(pool_kid0_[idx]);
+      const auto b = static_cast<std::size_t>(pool_kid1_[idx]);
+      const auto c = static_cast<std::size_t>(pool_kid2_[idx]);
+      m1 = (s.p_mask1[a] & s.p_mask1[b]) | (s.p_mask1[a] & s.p_mask1[c]) |
+           (s.p_mask1[b] & s.p_mask1[c]);
+      m0 = (s.p_mask0[a] & s.p_mask0[b]) | (s.p_mask0[a] & s.p_mask0[c]) |
+           (s.p_mask0[b] & s.p_mask0[c]);
+      break;
+    }
+  }
+  // Forced lanes override whatever the op computed (the scalar path checks
+  // `forced` before the op; masking afterwards is the same function).
+  const std::uint64_t fm = s.p_forced_mask[idx];
+  if (fm) {
+    const std::uint64_t fv = s.p_forced_val[idx];
+    m0 = (m0 & ~fm) | (fm & ~fv);
+    m1 = (m1 & ~fm) | (fm & fv);
+  }
+}
+
+/// propagate_masks with lane-word payloads; shares in_prop / the watermark
+/// with the scalar drain (both leave it fully cleared).
+void FaultMetricEngine::propagate_masks_packed(Scratch& s) const {
+  for (std::size_t i = s.prop_lo; s.prop_count > 0 && i <= s.prop_hi; ++i) {
+    if (!s.in_prop[i]) continue;
+    s.in_prop[i] = 0;
+    --s.prop_count;
+    std::uint64_t m0, m1;
+    compute_mask_packed(s, static_cast<std::int32_t>(i), m0, m1);
+    ++s.packed_words;
+    ++s.mask_evals;
+    if (m0 == s.p_mask0[i] && m1 == s.p_mask1[i]) continue;
+    s.p_mask0[i] = m0;
+    s.p_mask1[i] = m1;
+    for (std::int32_t k = parent_start_[i]; k < parent_start_[i + 1]; ++k) {
+      const auto p =
+          static_cast<std::size_t>(parent_[static_cast<std::size_t>(k)]);
+      if (s.in_prop[p]) continue;
+      s.in_prop[p] = 1;
+      ++s.prop_count;
+      if (p > s.prop_hi) s.prop_hi = p;
+    }
+  }
+  s.prop_lo = pool_size_;
+  s.prop_hi = 0;
+  s.prop_count = 0;
+}
+
+namespace {
+/// Expand a byte-mask baseline snapshot into the two lane-word arrays
+/// (every lane gets the fault-free value; the seeds patch the deviations).
+inline void rebase_packed(FaultMetricEngine::Scratch& s,
+                          const std::vector<std::uint8_t>& base,
+                          std::size_t pool_size);
+}  // namespace
+
+void FaultMetricEngine::eval_fault_batch(Scratch& s, const Fault* faults,
+                                         std::size_t n_lanes,
+                                         const simd::Ops& ops) const {
+  const std::size_t n_slots = segments_.size();
+
+  // Restore the packed arena (previous batch's effects).
+  for (const NodeId id : s.p_node_dead_touched) s.p_node_dead[id] = 0;
+  s.p_node_dead_touched.clear();
+  for (const NodeId id : s.p_mux_touched) {
+    s.p_mux_pinned[id] = 0;
+    s.p_mux_pin_val[id] = 0;
+  }
+  s.p_mux_touched.clear();
+  for (const std::int32_t k : s.p_dead_mux_touched)
+    s.p_dead_mux_in[static_cast<std::size_t>(k)] = 0;
+  s.p_dead_mux_touched.clear();
+  for (const std::int32_t t : s.p_own_touched) {
+    s.p_own_in_bad[static_cast<std::size_t>(t)] = 0;
+    s.p_own_out_bad[static_cast<std::size_t>(t)] = 0;
+  }
+  s.p_own_touched.clear();
+  for (const std::int32_t r : s.p_forced_touched) {
+    s.p_forced_mask[static_cast<std::size_t>(r)] = 0;
+    s.p_forced_val[static_cast<std::size_t>(r)] = 0;
+  }
+  s.p_forced_touched.clear();
+  for (const std::int32_t t : s.p_extra_touched) {
+    s.p_extra0[static_cast<std::size_t>(t)] = 0;
+    s.p_extra1[static_cast<std::size_t>(t)] = 0;
+  }
+  s.p_extra_touched.clear();
+  std::memset(s.p_accessible.data(), 0, n_slots * sizeof(std::uint64_t));
+  std::memset(s.p_writable.data(), 0, n_slots * sizeof(std::uint64_t));
+
+  // Static fault effects, one lane per fault (the scalar later-fault
+  // override rule is vacuous with a single fault per lane).
+  for (std::size_t l = 0; l < n_lanes; ++l) {
+    const Forcing& f = faults[l].forcing;
+    const std::uint64_t bit = std::uint64_t{1} << l;
+    switch (f.point) {
+      case Forcing::Point::kSegmentIn:
+      case Forcing::Point::kSegmentOut: {
+        if (!s.p_node_dead[f.node]) s.p_node_dead_touched.push_back(f.node);
+        s.p_node_dead[f.node] |= bit;
+        const std::int32_t slot = seg_slot_[f.node];
+        if (slot >= 0) {
+          const auto t = static_cast<std::size_t>(slot);
+          if (!s.p_own_in_bad[t] && !s.p_own_out_bad[t])
+            s.p_own_touched.push_back(slot);
+          if (f.point == Forcing::Point::kSegmentIn)
+            s.p_own_in_bad[t] |= bit;
+          else
+            s.p_own_out_bad[t] |= bit;
+        }
+        break;
+      }
+      case Forcing::Point::kShadowReplica: {
+        const auto it =
+            replica_atoms_.find(replica_key(f.node, f.bit, f.index));
+        if (it != replica_atoms_.end()) {
+          const auto r = static_cast<std::size_t>(it->second);
+          if (!s.p_forced_mask[r]) s.p_forced_touched.push_back(it->second);
+          s.p_forced_mask[r] |= bit;
+          if (f.value) s.p_forced_val[r] |= bit;
+        }
+        break;
+      }
+      case Forcing::Point::kMuxIn: {
+        const std::size_t k =
+            static_cast<std::size_t>(f.node) * 2 +
+            static_cast<std::size_t>(f.index);
+        if (!s.p_dead_mux_in[k])
+          s.p_dead_mux_touched.push_back(static_cast<std::int32_t>(k));
+        s.p_dead_mux_in[k] |= bit;
+        break;
+      }
+      case Forcing::Point::kMuxAddr:
+        if (!s.p_mux_pinned[f.node]) s.p_mux_touched.push_back(f.node);
+        s.p_mux_pinned[f.node] |= bit;
+        if (f.value) s.p_mux_pin_val[f.node] |= bit;
+        break;
+      case Forcing::Point::kCtrlNet: {
+        const auto r = static_cast<std::size_t>(f.ctrl);
+        if (!s.p_forced_mask[r])
+          s.p_forced_touched.push_back(static_cast<std::int32_t>(f.ctrl));
+        s.p_forced_mask[r] |= bit;
+        if (f.value) s.p_forced_val[r] |= bit;
+        break;
+      }
+      case Forcing::Point::kMuxOut:
+      case Forcing::Point::kPrimaryIn:
+      case Forcing::Point::kPrimaryOut:
+        if (!s.p_node_dead[f.node]) s.p_node_dead_touched.push_back(f.node);
+        s.p_node_dead[f.node] |= bit;
+        break;
+    }
+  }
+
+  // Taint cones, one DFS per data-fault lane (same traversal as the scalar
+  // path; the stuck polarity picks which extra word gets the lane bit).
+  for (std::size_t l = 0; l < n_lanes; ++l) {
+    const Forcing& f = faults[l].forcing;
+    const bool starts_at_input = f.point == Forcing::Point::kSegmentIn;
+    const bool data_fault = starts_at_input ||
+                            f.point == Forcing::Point::kSegmentOut ||
+                            f.point == Forcing::Point::kMuxIn ||
+                            f.point == Forcing::Point::kMuxOut ||
+                            f.point == Forcing::Point::kPrimaryIn;
+    if (!data_fault) continue;
+    const std::uint64_t bit = std::uint64_t{1} << l;
+    std::vector<std::uint64_t>& extra = f.value ? s.p_extra1 : s.p_extra0;
+    std::memset(s.seen.data(), 0, n_nodes_);
+    s.dfs_stack.clear();
+    s.seen[f.node] = 1;
+    s.dfs_stack.push_back(f.node);
+    const auto taint = [&](NodeId v) {
+      const std::int32_t slot = seg_slot_[v];
+      if (slot < 0) return;
+      const auto t = static_cast<std::size_t>(slot);
+      if (!s.p_extra0[t] && !s.p_extra1[t]) s.p_extra_touched.push_back(slot);
+      extra[t] |= bit;
+    };
+    if (starts_at_input) taint(f.node);
+    while (!s.dfs_stack.empty()) {
+      const NodeId v = s.dfs_stack.back();
+      s.dfs_stack.pop_back();
+      for (std::int32_t k = out_start_[v]; k < out_start_[v + 1]; ++k) {
+        const NodeId w =
+            edges_[static_cast<std::size_t>(
+                       out_edge_[static_cast<std::size_t>(k)])]
+                .to;
+        if (s.seen[w]) continue;
+        s.seen[w] = 1;
+        if (is_segment_[w]) taint(w);
+        s.dfs_stack.push_back(w);
+      }
+    }
+  }
+
+  // Rebase seeds: used atoms with at least one lane whose taint deviates
+  // from the atom's reset value (the packed analogue of taint_seed_atoms).
+  s.p_seed_atoms.clear();
+  s.p_seed_lanes.clear();
+  for (const std::int32_t t : s.p_extra_touched) {
+    const auto slot = static_cast<std::size_t>(t);
+    const std::uint64_t e0 = s.p_extra0[slot];
+    const std::uint64_t e1 = s.p_extra1[slot];
+    const auto seg = static_cast<std::size_t>(slot_seg_[slot]);
+    for (std::int32_t k = atom_start_[seg]; k < atom_start_[seg + 1]; ++k) {
+      const std::int32_t a = atom_node_[static_cast<std::size_t>(k)];
+      const std::uint8_t rm = atom_reset_mask_[static_cast<std::size_t>(a)];
+      const std::uint64_t dev =
+          ((rm & kCan0) ? 0 : e0) | ((rm & kCan1) ? 0 : e1);
+      if (!dev) continue;
+      s.p_seed_atoms.push_back(a);
+      s.p_seed_lanes.push_back(dev);
+    }
+  }
+
+  // Iteration-0 masks: broadcast the cold fault-free snapshot into every
+  // lane and seed the deviating leaves (see the scalar seed_baseline
+  // argument; it holds per lane because every op above is bitwise).
+  rebase_packed(s, base_mask_[0], pool_size_);
+  for (const std::int32_t r : s.p_forced_touched)
+    if (pool_used_[static_cast<std::size_t>(r)]) prop_push(s, r);
+  for (const std::int32_t a : s.p_seed_atoms) prop_push(s, a);
+  std::uint64_t before = s.packed_words;
+  propagate_masks_packed(s);
+  s.mask_cold_reused += used_count_ - (s.packed_words - before);
+
+  // Grow-from-∅ least fixpoint, all lanes in lock-step.
+  for (int iter = 0; iter < kMaxIterations; ++iter) {
+    ++s.iterations;
+
+    // Edge usability (non-mux edges are usable in every lane).
+    std::memset(s.p_edge_routable.data(), 0xff,
+                edges_.size() * sizeof(std::uint64_t));
+    std::memset(s.p_edge_clean.data(), 0xff,
+                edges_.size() * sizeof(std::uint64_t));
+    for (const std::int32_t me : mux_edges_) {
+      const auto e = static_cast<std::size_t>(me);
+      const EngineEdge& edge = edges_[e];
+      const NodeId m = edge.to;
+      const auto addr = static_cast<std::size_t>(node_addr_[m]);
+      const std::uint64_t pinned = s.p_mux_pinned[m];
+      const std::uint64_t want =
+          edge.mux_input ? s.p_mux_pin_val[m] : ~s.p_mux_pin_val[m];
+      const std::uint64_t maskw =
+          edge.mux_input ? s.p_mask1[addr] : s.p_mask0[addr];
+      const std::uint64_t routable = (pinned & want) | (~pinned & maskw);
+      s.p_edge_routable[e] = routable;
+      s.p_edge_clean[e] =
+          routable &
+          ~s.p_dead_mux_in[static_cast<std::size_t>(m) * 2 +
+                           static_cast<std::size_t>(edge.mux_input)];
+    }
+
+    // Per-slot control conditions: kCan0 of the capture/update roots,
+    // kCan1 of the select root, then the hardened-select term overlay.
+    ops.gather(s.p_cap_ok.data(), s.p_mask0.data(), slot_cap_.data(),
+               n_slots);
+    ops.gather(s.p_upd_ok.data(), s.p_mask0.data(), slot_upd_.data(),
+               n_slots);
+    ops.gather(s.p_sel_assert.data(), s.p_mask1.data(), slot_sel_.data(),
+               n_slots);
+    if (!terms_.empty()) {
+      for (const NodeId seg : term_segs_)
+        s.p_sel_assert[static_cast<std::size_t>(seg_slot_[seg])] = 0;
+      for (const TermUse& t : terms_) {
+        const std::uint64_t lanes =
+            s.p_mask1[static_cast<std::size_t>(t.term)];
+        if (!lanes) continue;
+        std::uint64_t routable = 0;
+        for (std::int32_t k = t.edge_begin; k < t.edge_end; ++k)
+          routable |= s.p_edge_routable[static_cast<std::size_t>(
+              term_edge_[static_cast<std::size_t>(k)])];
+        s.p_sel_assert[static_cast<std::size_t>(seg_slot_[t.seg])] |=
+            lanes & routable;
+      }
+    }
+
+    // Forward/backward reachability sweeps in topological order.
+    std::memset(s.p_route_fwd.data(), 0, n_nodes_ * sizeof(std::uint64_t));
+    std::memset(s.p_clean_fwd.data(), 0, n_nodes_ * sizeof(std::uint64_t));
+    std::memset(s.p_route_bwd.data(), 0, n_nodes_ * sizeof(std::uint64_t));
+    std::memset(s.p_clean_bwd.data(), 0, n_nodes_ * sizeof(std::uint64_t));
+    for (const NodeId r : primary_ins_) {
+      s.p_route_fwd[r] = ~std::uint64_t{0};
+      s.p_clean_fwd[r] = ~s.p_node_dead[r];
+    }
+    for (const NodeId v : topo_) {
+      const std::uint64_t rf = s.p_route_fwd[v];
+      const std::uint64_t cfp = s.p_clean_fwd[v] & ~s.p_node_dead[v];
+      if (!(rf | cfp)) continue;
+      for (std::int32_t k = out_start_[v]; k < out_start_[v + 1]; ++k) {
+        const auto e =
+            static_cast<std::size_t>(out_edge_[static_cast<std::size_t>(k)]);
+        const NodeId w = edges_[e].to;
+        s.p_route_fwd[w] |= rf & s.p_edge_routable[e];
+        s.p_clean_fwd[w] |= cfp & s.p_edge_clean[e];
+      }
+    }
+    for (const NodeId p : primary_outs_) {
+      s.p_route_bwd[p] = ~std::uint64_t{0};
+      s.p_clean_bwd[p] = ~s.p_node_dead[p];
+    }
+    for (auto it = topo_.rbegin(); it != topo_.rend(); ++it) {
+      const NodeId w = *it;
+      const std::uint64_t rb = s.p_route_bwd[w];
+      const std::uint64_t cbp =
+          s.p_clean_bwd[w] &
+          (is_primary_out_[w] ? ~std::uint64_t{0} : ~s.p_node_dead[w]);
+      if (!(rb | cbp)) continue;
+      for (std::int32_t k = in_start_[w]; k < in_start_[w + 1]; ++k) {
+        const auto e =
+            static_cast<std::size_t>(in_edge_[static_cast<std::size_t>(k)]);
+        const NodeId v = edges_[e].from;
+        s.p_route_bwd[v] |= rb & s.p_edge_routable[e];
+        s.p_clean_bwd[v] |= cbp & s.p_edge_clean[e];
+      }
+    }
+
+    // Accessibility / writability update over the dense slot arrays — the
+    // hot lane-word passes, dispatched to the active SIMD kernel.
+    ops.gather(s.p_gcf.data(), s.p_clean_fwd.data(), slot_seg_.data(),
+               n_slots);
+    ops.gather(s.p_grb.data(), s.p_route_bwd.data(), slot_seg_.data(),
+               n_slots);
+    ops.gather(s.p_grf.data(), s.p_route_fwd.data(), slot_seg_.data(),
+               n_slots);
+    ops.gather(s.p_gcb.data(), s.p_clean_bwd.data(), slot_seg_.data(),
+               n_slots);
+    ops.write_acc(s.p_write_acc.data(), s.p_gcf.data(), s.p_grb.data(),
+                  s.p_sel_assert.data(), s.p_own_in_bad.data(),
+                  s.p_upd_ok.data(), slot_shadow_.data(), n_slots);
+    ops.read_acc(s.p_read_acc.data(), s.p_grf.data(), s.p_gcb.data(),
+                 s.p_sel_assert.data(), s.p_own_out_bad.data(),
+                 s.p_cap_ok.data(), n_slots);
+    std::uint64_t fresh =
+        ops.or_and2_new(s.p_accessible.data(), s.p_write_acc.data(),
+                        s.p_read_acc.data(), n_slots);
+    fresh |= ops.or_and2_new(s.p_writable.data(), s.p_write_acc.data(),
+                             slot_shadow_.data(), n_slots);
+    if (!fresh) break;
+
+    // Rebase onto the next fault-free snapshot and seed the per-lane
+    // deviation (the scalar seed_baseline rebase, per lane): forced nodes,
+    // taint-perturbed atoms with a still-unwritable deviating lane, and
+    // atoms of every slot whose writability word differs from the
+    // broadcast baseline bit.
+    const std::size_t r = std::min(static_cast<std::size_t>(iter) + 1,
+                                   base_mask_.size() - 1);
+    rebase_packed(s, base_mask_[r], pool_size_);
+    for (const std::int32_t f : s.p_forced_touched)
+      if (pool_used_[static_cast<std::size_t>(f)]) prop_push(s, f);
+    for (std::size_t i = 0; i < s.p_seed_atoms.size(); ++i) {
+      const std::int32_t a = s.p_seed_atoms[i];
+      const auto slot =
+          static_cast<std::size_t>(atom_slot_[static_cast<std::size_t>(a)]);
+      if (s.p_seed_lanes[i] & ~s.p_writable[slot]) prop_push(s, a);
+    }
+    const std::vector<std::uint64_t>& bw = base_writable_[r];
+    for (std::size_t t = 0; t < n_slots; ++t) {
+      const auto seg = static_cast<std::size_t>(slot_seg_[t]);
+      const std::uint64_t basew = bit_test(bw, seg) ? ~std::uint64_t{0} : 0;
+      if (s.p_writable[t] == basew) continue;
+      for (std::int32_t k = atom_start_[seg]; k < atom_start_[seg + 1]; ++k)
+        prop_push(s, atom_node_[static_cast<std::size_t>(k)]);
+    }
+    before = s.packed_words;
+    propagate_masks_packed(s);
+    s.mask_cold_reused += used_count_ - (s.packed_words - before);
+  }
+}
+
+namespace {
+inline void rebase_packed(FaultMetricEngine::Scratch& s,
+                          const std::vector<std::uint8_t>& base,
+                          std::size_t pool_size) {
+  for (std::size_t i = 0; i < pool_size; ++i) {
+    const std::uint8_t m = base[i];
+    // 0 -> all-zero word, 1 -> all-one word (kCan0 == 1, kCan1 == 2).
+    s.p_mask0[i] = -static_cast<std::uint64_t>(m & 1u);
+    s.p_mask1[i] = -static_cast<std::uint64_t>((m >> 1) & 1u);
+  }
+}
+}  // namespace
+
+// ---------------------------------------------------------------------------
 // Public API.
 // ---------------------------------------------------------------------------
 std::vector<bool> FaultMetricEngine::accessible_under_set(
@@ -912,37 +1460,111 @@ FaultToleranceReport FaultMetricEngine::evaluate_faults(
     s.iterations = 0;
     s.mask_evals = 0;
     s.mask_cold_reused = 0;
+    s.packed_batches = 0;
+    s.packed_lanes = 0;
+    s.packed_words = 0;
   }
 
   // Chunk auto-tune: aim for ~16 chunks per worker so uneven fixpoint
   // depths still average out, but cap the chunk count on big fault lists —
   // every claim is a fetch_add on one shared cache line, and the old fixed
-  // chunk of 8 cost p93791 ~11k claim round-trips per sweep.
+  // chunk of 8 cost p93791 ~11k claim round-trips per sweep.  In packed
+  // mode the schedulable unit is a 64-class block, not a class.
+  const std::size_t n_units =
+      options.packed ? (rep.size() + 63) / 64 : rep.size();
   std::size_t chunk = options.chunk;
   if (chunk == 0)
-    chunk = std::clamp<std::size_t>(rep.size() / (num_workers * 16), 1, 128);
+    chunk = std::clamp<std::size_t>(n_units / (num_workers * 16), 1, 128);
 
-  pool->parallel_for(
-      rep.size(), chunk,
-      [&](int worker, std::size_t begin, std::size_t end) {
-        Scratch& s = *scratch_cache_[static_cast<std::size_t>(worker)];
-        for (std::size_t c = begin; c < end; ++c) {
-          // Polarity-invariant sites are assessed under the stuck-at-0
-          // polarity (fixed convention, see fault_polarity_invariant), so
-          // the result is independent of which twin heads the class.
-          Fault canon = faults[static_cast<std::size_t>(rep[c])];
-          if (fault_polarity_invariant(canon.forcing.point))
-            canon.forcing.value = false;
-          eval_fault_set(s, &canon, 1, options.seed_baseline);
-          long long segs = 0, bits = 0;
-          for (const NodeId id : counted_ids) {
-            if (!bit_test(s.accessible, id)) continue;
-            ++segs;
-            bits += node_len_[id];
+  const simd::Ops* simd_ops = options.packed ? &simd::active_ops() : nullptr;
+  if (options.packed) {
+    // Packed sweep: 64 class representatives per batch, one lane each.
+    // Results still land in per-class slots, so the serial fold below is
+    // shared with the scalar path and stays bit-identical at any thread
+    // count and any lane occupancy.
+    OBS_SPAN("metric.packed_sweep");
+    std::vector<std::int32_t> counted_slots;
+    counted_slots.reserve(counted_ids.size());
+    for (const NodeId id : counted_ids)
+      counted_slots.push_back(seg_slot_[id]);
+    // Levelized lane assignment: batch class representatives whose fault
+    // sites are topologically close, so the 64 lanes of one word share
+    // effect cones and converge at similar fixpoint depths — a distant
+    // straggler lane would drag every early-converged lane through extra
+    // rebase + re-derivation iterations.  This only permutes which class
+    // rides which lane; results still land in per-class slots, so the
+    // serial fold (and every report bit) is unaffected.
+    std::vector<std::int32_t> order(rep.size());
+    for (std::size_t c = 0; c < order.size(); ++c)
+      order[c] = static_cast<std::int32_t>(c);
+    const auto site_pos = [&](std::int32_t c) {
+      const Forcing& f = faults[static_cast<std::size_t>(rep[c])].forcing;
+      return f.point == Forcing::Point::kCtrlNet
+                 ? static_cast<std::int32_t>(topo_.size()) + f.ctrl
+                 : topo_pos_[static_cast<std::size_t>(f.node)];
+    };
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::int32_t a, std::int32_t b) {
+                       return site_pos(a) < site_pos(b);
+                     });
+    pool->parallel_for(
+        n_units, chunk,
+        [&](int worker, std::size_t begin, std::size_t end) {
+          Scratch& s = *scratch_cache_[static_cast<std::size_t>(worker)];
+          init_packed_scratch(s);
+          std::array<Fault, 64> canon;
+          for (std::size_t b = begin; b < end; ++b) {
+            const std::size_t lo = b * 64;
+            const std::size_t lanes = std::min<std::size_t>(64, rep.size() - lo);
+            for (std::size_t l = 0; l < lanes; ++l) {
+              // Same stuck-at-0 canonicalization for polarity-invariant
+              // sites as the scalar path (fixed convention).
+              canon[l] =
+                  faults[static_cast<std::size_t>(rep[order[lo + l]])];
+              if (fault_polarity_invariant(canon[l].forcing.point))
+                canon[l].forcing.value = false;
+            }
+            eval_fault_batch(s, canon.data(), lanes, *simd_ops);
+            ++s.packed_batches;
+            s.packed_lanes += lanes;
+            for (std::size_t l = 0; l < lanes; ++l) {
+              const std::uint64_t bit = std::uint64_t{1} << l;
+              long long segs = 0, bits = 0;
+              for (std::size_t t = 0; t < counted_slots.size(); ++t) {
+                if (!(s.p_accessible[static_cast<std::size_t>(
+                          counted_slots[t])] &
+                      bit))
+                  continue;
+                ++segs;
+                bits += node_len_[counted_ids[t]];
+              }
+              results[static_cast<std::size_t>(order[lo + l])] = {segs, bits};
+            }
           }
-          results[c] = {segs, bits};
-        }
-      });
+        });
+  } else {
+    pool->parallel_for(
+        rep.size(), chunk,
+        [&](int worker, std::size_t begin, std::size_t end) {
+          Scratch& s = *scratch_cache_[static_cast<std::size_t>(worker)];
+          for (std::size_t c = begin; c < end; ++c) {
+            // Polarity-invariant sites are assessed under the stuck-at-0
+            // polarity (fixed convention, see fault_polarity_invariant), so
+            // the result is independent of which twin heads the class.
+            Fault canon = faults[static_cast<std::size_t>(rep[c])];
+            if (fault_polarity_invariant(canon.forcing.point))
+              canon.forcing.value = false;
+            eval_fault_set(s, &canon, 1, options.seed_baseline);
+            long long segs = 0, bits = 0;
+            for (const NodeId id : counted_ids) {
+              if (!bit_test(s.accessible, id)) continue;
+              ++segs;
+              bits += node_len_[id];
+            }
+            results[c] = {segs, bits};
+          }
+        });
+  }
 
   // Serial fold in fault-index order: every double operation happens in
   // the same sequence as the legacy loop, so aggregates are bit-identical
@@ -982,11 +1604,20 @@ FaultToleranceReport FaultMetricEngine::evaluate_faults(
   stats_.classes = rep.size();
   stats_.threads = pool->num_threads();
   stats_.chunk = chunk;
+  std::uint64_t lanes_total = 0;
   for (std::size_t w = 0; w < num_workers; ++w) {
     stats_.fixpoint_iterations += scratch_cache_[w]->iterations;
     stats_.mask_evals += scratch_cache_[w]->mask_evals;
     stats_.mask_cold_reused += scratch_cache_[w]->mask_cold_reused;
+    stats_.packed_batches += scratch_cache_[w]->packed_batches;
+    stats_.packed_words += scratch_cache_[w]->packed_words;
+    lanes_total += scratch_cache_[w]->packed_lanes;
   }
+  if (stats_.packed_batches > 0)
+    stats_.lane_utilization =
+        static_cast<double>(lanes_total) /
+        (64.0 * static_cast<double>(stats_.packed_batches));
+  stats_.simd_kernel = simd_ops ? simd_ops->name : "";
   stats_.seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
@@ -995,6 +1626,11 @@ FaultToleranceReport FaultMetricEngine::evaluate_faults(
   obs::count("metric.fixpoint_iterations", stats_.fixpoint_iterations);
   obs::count("metric.mask_evals", stats_.mask_evals);
   obs::count("metric.mask_cold_reused", stats_.mask_cold_reused);
+  if (stats_.packed_batches > 0) {
+    obs::count("metric.packed_batches", stats_.packed_batches);
+    obs::count("metric.packed_words", stats_.packed_words);
+    obs::gauge_set("metric.lane_utilization", stats_.lane_utilization);
+  }
   return report;
 }
 

@@ -45,6 +45,9 @@
 namespace ftrsn {
 
 class ThreadPool;
+namespace simd {
+struct Ops;
+}
 
 struct MetricEngineOptions {
   MetricOptions metric;
@@ -67,8 +70,15 @@ struct MetricEngineOptions {
   bool collapse_equivalent = true;
   /// Seed per-fault control masks from the fault-free baseline and patch
   /// only the effect cone (bit-identical either way; off only for
-  /// benchmarking the lever).
+  /// benchmarking the lever).  The packed path always rebases onto the
+  /// baseline, so this lever only affects the scalar path.
   bool seed_baseline = true;
+  /// Bit-parallel evaluation: 64 fault classes become forced-bit lanes in
+  /// one uint64_t word per signal, so a single levelized fixpoint pass
+  /// decides 64 faults at once (DESIGN.md §5h).  Bit-identical to the
+  /// scalar path at any thread count and any lane occupancy; off only for
+  /// differential testing and for benchmarking the lever.
+  bool packed = true;
 };
 
 struct MetricEngineStats {
@@ -80,8 +90,20 @@ struct MetricEngineStats {
   std::size_t mask_evals = 0;
   /// Control-pool masks served unchanged from the fault-free baseline.
   std::size_t mask_cold_reused = 0;
+  /// Packed mode: 64-lane batches evaluated and packed mask words computed
+  /// (each packed word eval covers up to 64 fault lanes; in packed mode
+  /// mask_evals counts the same events, so mask_evals / packed_words == 1
+  /// and the per-lane work is packed_words * 64 * lane_utilization).
+  std::size_t packed_batches = 0;
+  std::size_t packed_words = 0;
+  /// Mean lane occupancy of the evaluated batches in (0, 1]; < 1 only for
+  /// the partial tail word of the class list.
+  double lane_utilization = 0.0;
+  /// SIMD kernel the packed path dispatched to ("" when packed unused).
+  const char* simd_kernel = "";
   int threads = 1;
-  /// parallel_for chunk size actually used (auto-tuned unless pinned).
+  /// parallel_for chunk size actually used (auto-tuned unless pinned; in
+  /// packed mode the unit is 64-class blocks, not classes).
   std::size_t chunk = 0;
   double seconds = 0.0;
 
@@ -142,6 +164,14 @@ class FaultMetricEngine {
   void propagate_masks(Scratch& s) const;
   std::uint8_t compute_mask(const Scratch& s, std::int32_t i) const;
 
+  // Packed (64-lane) path: one fault class per bit of a uint64_t word.
+  void init_packed_scratch(Scratch& s) const;
+  void eval_fault_batch(Scratch& s, const Fault* faults, std::size_t n_lanes,
+                        const simd::Ops& ops) const;
+  void propagate_masks_packed(Scratch& s) const;
+  void compute_mask_packed(const Scratch& s, std::int32_t i,
+                           std::uint64_t& m0, std::uint64_t& m1) const;
+
   const Rsn* rsn_;
   std::size_t n_nodes_ = 0;
   std::size_t pool_size_ = 0;
@@ -155,6 +185,7 @@ class FaultMetricEngine {
   std::vector<std::int32_t> out_start_, out_edge_;
   std::vector<std::int32_t> in_start_, in_edge_;
   std::vector<NodeId> topo_;
+  std::vector<std::int32_t> topo_pos_;  // node -> index in topo_
   std::vector<NodeId> primary_ins_, primary_outs_;
 
   // Per-node structure-of-arrays mirrors of the RsnNode fields the inner
@@ -194,6 +225,16 @@ class FaultMetricEngine {
   std::vector<std::uint8_t> has_terms_;
 
   std::vector<NodeId> segments_;
+
+  // Packed-path precompute.  Segment "slots" are the dense indices of
+  // segments_ (ascending node id); the per-iteration lane-word passes run
+  // over slot-ordered arrays so the SIMD kernels see contiguous memory.
+  std::vector<std::int32_t> seg_slot_;  // node -> slot, -1 for non-segments
+  std::vector<std::int32_t> slot_sel_, slot_cap_, slot_upd_;  // ctrl roots
+  std::vector<std::int32_t> slot_seg_;        // slot -> node id (int32)
+  std::vector<std::uint64_t> slot_shadow_;    // ~0 for shadowed slots
+  std::vector<std::int32_t> atom_slot_;       // pool idx -> owning slot, -1
+  std::vector<std::int32_t> mux_edges_;       // edge ids with mux_input >= 0
 
   // Per-worker Scratch arenas, grown on demand and reused across evaluate
   // calls (constructing a Scratch touches every dense array once, which

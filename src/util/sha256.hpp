@@ -1,0 +1,37 @@
+// Minimal SHA-256 (FIPS 180-4) for the differential golden corpus
+// (tests/data/corpus/, tools/judge.sh): full metric sweeps are serialized
+// to a canonical text form and digested, and the digests are checked in.
+// No external dependency; performance is irrelevant here (the inputs are
+// kilobytes of report text, not the networks themselves).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace ftrsn {
+
+/// Incremental SHA-256.  update() any number of times, then hex() (which
+/// finalizes a copy, so the hasher can keep accumulating afterwards).
+class Sha256 {
+ public:
+  Sha256();
+  void update(const void* data, std::size_t len);
+  void update(std::string_view text) { update(text.data(), text.size()); }
+  /// Digest of everything updated so far, as 64 lowercase hex chars.
+  std::string hex() const;
+
+ private:
+  void compress(const std::uint8_t* block);
+  std::array<std::uint32_t, 8> state_;
+  std::array<std::uint8_t, 64> buf_;
+  std::size_t buf_len_ = 0;
+  std::uint64_t total_len_ = 0;
+};
+
+/// One-shot convenience.
+std::string sha256_hex(std::string_view data);
+
+}  // namespace ftrsn

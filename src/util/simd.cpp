@@ -1,0 +1,416 @@
+#include "util/simd.hpp"
+
+#include <cstdlib>
+#include <mutex>
+
+#include "util/common.hpp"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#define FTRSN_SIMD_X86 1
+#endif
+#if defined(__aarch64__)
+#include <arm_neon.h>
+#define FTRSN_SIMD_NEON 1
+#endif
+
+namespace ftrsn::simd {
+
+namespace {
+
+// --- scalar reference --------------------------------------------------------
+
+void scalar_gather(std::uint64_t* dst, const std::uint64_t* src,
+                   const std::int32_t* idx, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i)
+    dst[i] = src[static_cast<std::size_t>(idx[i])];
+}
+
+void scalar_write_acc(std::uint64_t* dst, const std::uint64_t* cf,
+                      const std::uint64_t* rb, const std::uint64_t* sel,
+                      const std::uint64_t* bad, const std::uint64_t* upd,
+                      const std::uint64_t* shadow, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i)
+    dst[i] = cf[i] & rb[i] & sel[i] & ~bad[i] & (upd[i] | ~shadow[i]);
+}
+
+void scalar_read_acc(std::uint64_t* dst, const std::uint64_t* rf,
+                     const std::uint64_t* cb, const std::uint64_t* sel,
+                     const std::uint64_t* bad, const std::uint64_t* cap,
+                     std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i)
+    dst[i] = rf[i] & cb[i] & sel[i] & ~bad[i] & cap[i];
+}
+
+std::uint64_t scalar_or_and2_new(std::uint64_t* acc, const std::uint64_t* a,
+                                 const std::uint64_t* b, std::size_t n) {
+  std::uint64_t fresh = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t t = a[i] & b[i] & ~acc[i];
+    acc[i] |= t;
+    fresh |= t;
+  }
+  return fresh;
+}
+
+constexpr Ops kScalarOps = {"scalar", scalar_gather, scalar_write_acc,
+                            scalar_read_acc, scalar_or_and2_new};
+
+// --- portable unrolled -------------------------------------------------------
+//
+// 4-wide manual unroll: gives the compiler straight-line independent word
+// ops to schedule (and auto-vectorize where it can) without any ISA
+// assumption, so every host has a second kernel to diff against scalar.
+
+void unrolled_gather(std::uint64_t* dst, const std::uint64_t* src,
+                     const std::int32_t* idx, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const std::uint64_t a = src[static_cast<std::size_t>(idx[i])];
+    const std::uint64_t b = src[static_cast<std::size_t>(idx[i + 1])];
+    const std::uint64_t c = src[static_cast<std::size_t>(idx[i + 2])];
+    const std::uint64_t d = src[static_cast<std::size_t>(idx[i + 3])];
+    dst[i] = a;
+    dst[i + 1] = b;
+    dst[i + 2] = c;
+    dst[i + 3] = d;
+  }
+  for (; i < n; ++i) dst[i] = src[static_cast<std::size_t>(idx[i])];
+}
+
+void unrolled_write_acc(std::uint64_t* dst, const std::uint64_t* cf,
+                        const std::uint64_t* rb, const std::uint64_t* sel,
+                        const std::uint64_t* bad, const std::uint64_t* upd,
+                        const std::uint64_t* shadow, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    dst[i] = cf[i] & rb[i] & sel[i] & ~bad[i] & (upd[i] | ~shadow[i]);
+    dst[i + 1] =
+        cf[i + 1] & rb[i + 1] & sel[i + 1] & ~bad[i + 1] & (upd[i + 1] | ~shadow[i + 1]);
+    dst[i + 2] =
+        cf[i + 2] & rb[i + 2] & sel[i + 2] & ~bad[i + 2] & (upd[i + 2] | ~shadow[i + 2]);
+    dst[i + 3] =
+        cf[i + 3] & rb[i + 3] & sel[i + 3] & ~bad[i + 3] & (upd[i + 3] | ~shadow[i + 3]);
+  }
+  for (; i < n; ++i)
+    dst[i] = cf[i] & rb[i] & sel[i] & ~bad[i] & (upd[i] | ~shadow[i]);
+}
+
+void unrolled_read_acc(std::uint64_t* dst, const std::uint64_t* rf,
+                       const std::uint64_t* cb, const std::uint64_t* sel,
+                       const std::uint64_t* bad, const std::uint64_t* cap,
+                       std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    dst[i] = rf[i] & cb[i] & sel[i] & ~bad[i] & cap[i];
+    dst[i + 1] = rf[i + 1] & cb[i + 1] & sel[i + 1] & ~bad[i + 1] & cap[i + 1];
+    dst[i + 2] = rf[i + 2] & cb[i + 2] & sel[i + 2] & ~bad[i + 2] & cap[i + 2];
+    dst[i + 3] = rf[i + 3] & cb[i + 3] & sel[i + 3] & ~bad[i + 3] & cap[i + 3];
+  }
+  for (; i < n; ++i) dst[i] = rf[i] & cb[i] & sel[i] & ~bad[i] & cap[i];
+}
+
+std::uint64_t unrolled_or_and2_new(std::uint64_t* acc, const std::uint64_t* a,
+                                   const std::uint64_t* b, std::size_t n) {
+  std::uint64_t f0 = 0, f1 = 0, f2 = 0, f3 = 0;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const std::uint64_t t0 = a[i] & b[i] & ~acc[i];
+    const std::uint64_t t1 = a[i + 1] & b[i + 1] & ~acc[i + 1];
+    const std::uint64_t t2 = a[i + 2] & b[i + 2] & ~acc[i + 2];
+    const std::uint64_t t3 = a[i + 3] & b[i + 3] & ~acc[i + 3];
+    acc[i] |= t0;
+    acc[i + 1] |= t1;
+    acc[i + 2] |= t2;
+    acc[i + 3] |= t3;
+    f0 |= t0;
+    f1 |= t1;
+    f2 |= t2;
+    f3 |= t3;
+  }
+  std::uint64_t fresh = (f0 | f1) | (f2 | f3);
+  for (; i < n; ++i) {
+    const std::uint64_t t = a[i] & b[i] & ~acc[i];
+    acc[i] |= t;
+    fresh |= t;
+  }
+  return fresh;
+}
+
+constexpr Ops kUnrolledOps = {"unrolled", unrolled_gather, unrolled_write_acc,
+                              unrolled_read_acc, unrolled_or_and2_new};
+
+// --- AVX2 --------------------------------------------------------------------
+//
+// Compiled with function-level target attributes so the translation unit
+// builds with the default flags; the dispatcher only hands these out after
+// __builtin_cpu_supports("avx2") succeeds.
+
+#ifdef FTRSN_SIMD_X86
+
+__attribute__((target("avx2"))) void avx2_gather(std::uint64_t* dst,
+                                                 const std::uint64_t* src,
+                                                 const std::int32_t* idx,
+                                                 std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m128i vidx =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(idx + i));
+    const __m256i v = _mm256_i32gather_epi64(
+        reinterpret_cast<const long long*>(src), vidx, 8);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), v);
+  }
+  for (; i < n; ++i) dst[i] = src[static_cast<std::size_t>(idx[i])];
+}
+
+__attribute__((target("avx2"))) void avx2_write_acc(
+    std::uint64_t* dst, const std::uint64_t* cf, const std::uint64_t* rb,
+    const std::uint64_t* sel, const std::uint64_t* bad,
+    const std::uint64_t* upd, const std::uint64_t* shadow, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i vcf = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(cf + i));
+    const __m256i vrb = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(rb + i));
+    const __m256i vsel = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(sel + i));
+    const __m256i vbad = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(bad + i));
+    const __m256i vupd = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(upd + i));
+    const __m256i vsh = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(shadow + i));
+    // andnot(x, y) = ~x & y
+    __m256i v = _mm256_and_si256(vcf, vrb);
+    v = _mm256_and_si256(v, vsel);
+    v = _mm256_andnot_si256(vbad, v);
+    const __m256i vnotsh = _mm256_xor_si256(vsh, _mm256_set1_epi64x(-1));
+    v = _mm256_and_si256(v, _mm256_or_si256(vupd, vnotsh));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), v);
+  }
+  for (; i < n; ++i)
+    dst[i] = cf[i] & rb[i] & sel[i] & ~bad[i] & (upd[i] | ~shadow[i]);
+}
+
+__attribute__((target("avx2"))) void avx2_read_acc(
+    std::uint64_t* dst, const std::uint64_t* rf, const std::uint64_t* cb,
+    const std::uint64_t* sel, const std::uint64_t* bad,
+    const std::uint64_t* cap, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i vrf = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(rf + i));
+    const __m256i vcb = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(cb + i));
+    const __m256i vsel = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(sel + i));
+    const __m256i vbad = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(bad + i));
+    const __m256i vcap = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(cap + i));
+    __m256i v = _mm256_and_si256(vrf, vcb);
+    v = _mm256_and_si256(v, vsel);
+    v = _mm256_andnot_si256(vbad, v);
+    v = _mm256_and_si256(v, vcap);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), v);
+  }
+  for (; i < n; ++i) dst[i] = rf[i] & cb[i] & sel[i] & ~bad[i] & cap[i];
+}
+
+__attribute__((target("avx2"))) std::uint64_t avx2_or_and2_new(
+    std::uint64_t* acc, const std::uint64_t* a, const std::uint64_t* b,
+    std::size_t n) {
+  __m256i vfresh = _mm256_setzero_si256();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i va = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    const __m256i vacc = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(acc + i));
+    const __m256i t = _mm256_andnot_si256(vacc, _mm256_and_si256(va, vb));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + i),
+                        _mm256_or_si256(vacc, t));
+    vfresh = _mm256_or_si256(vfresh, t);
+  }
+  alignas(32) std::uint64_t lanes[4];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), vfresh);
+  std::uint64_t fresh = (lanes[0] | lanes[1]) | (lanes[2] | lanes[3]);
+  for (; i < n; ++i) {
+    const std::uint64_t t = a[i] & b[i] & ~acc[i];
+    acc[i] |= t;
+    fresh |= t;
+  }
+  return fresh;
+}
+
+constexpr Ops kAvx2Ops = {"avx2", avx2_gather, avx2_write_acc, avx2_read_acc,
+                          avx2_or_and2_new};
+
+bool avx2_supported() { return __builtin_cpu_supports("avx2") != 0; }
+
+#endif  // FTRSN_SIMD_X86
+
+// --- NEON --------------------------------------------------------------------
+
+#ifdef FTRSN_SIMD_NEON
+
+void neon_gather(std::uint64_t* dst, const std::uint64_t* src,
+                 const std::int32_t* idx, std::size_t n) {
+  // NEON has no gather instruction; keep the unrolled scalar form.
+  unrolled_gather(dst, src, idx, n);
+}
+
+void neon_write_acc(std::uint64_t* dst, const std::uint64_t* cf,
+                    const std::uint64_t* rb, const std::uint64_t* sel,
+                    const std::uint64_t* bad, const std::uint64_t* upd,
+                    const std::uint64_t* shadow, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    uint64x2_t v = vandq_u64(vld1q_u64(cf + i), vld1q_u64(rb + i));
+    v = vandq_u64(v, vld1q_u64(sel + i));
+    v = vbicq_u64(v, vld1q_u64(bad + i));  // v & ~bad
+    v = vandq_u64(v, vorrq_u64(vld1q_u64(upd + i),
+                               veorq_u64(vld1q_u64(shadow + i),
+                                         vdupq_n_u64(~0ull))));
+    vst1q_u64(dst + i, v);
+  }
+  for (; i < n; ++i)
+    dst[i] = cf[i] & rb[i] & sel[i] & ~bad[i] & (upd[i] | ~shadow[i]);
+}
+
+void neon_read_acc(std::uint64_t* dst, const std::uint64_t* rf,
+                   const std::uint64_t* cb, const std::uint64_t* sel,
+                   const std::uint64_t* bad, const std::uint64_t* cap,
+                   std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    uint64x2_t v = vandq_u64(vld1q_u64(rf + i), vld1q_u64(cb + i));
+    v = vandq_u64(v, vld1q_u64(sel + i));
+    v = vbicq_u64(v, vld1q_u64(bad + i));
+    v = vandq_u64(v, vld1q_u64(cap + i));
+    vst1q_u64(dst + i, v);
+  }
+  for (; i < n; ++i) dst[i] = rf[i] & cb[i] & sel[i] & ~bad[i] & cap[i];
+}
+
+std::uint64_t neon_or_and2_new(std::uint64_t* acc, const std::uint64_t* a,
+                               const std::uint64_t* b, std::size_t n) {
+  uint64x2_t vfresh = vdupq_n_u64(0);
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const uint64x2_t vacc = vld1q_u64(acc + i);
+    const uint64x2_t t =
+        vbicq_u64(vandq_u64(vld1q_u64(a + i), vld1q_u64(b + i)), vacc);
+    vst1q_u64(acc + i, vorrq_u64(vacc, t));
+    vfresh = vorrq_u64(vfresh, t);
+  }
+  std::uint64_t fresh =
+      vgetq_lane_u64(vfresh, 0) | vgetq_lane_u64(vfresh, 1);
+  for (; i < n; ++i) {
+    const std::uint64_t t = a[i] & b[i] & ~acc[i];
+    acc[i] |= t;
+    fresh |= t;
+  }
+  return fresh;
+}
+
+constexpr Ops kNeonOps = {"neon", neon_gather, neon_write_acc, neon_read_acc,
+                          neon_or_and2_new};
+
+#endif  // FTRSN_SIMD_NEON
+
+// --- selection ---------------------------------------------------------------
+
+Kernel best_available() {
+#ifdef FTRSN_SIMD_X86
+  if (avx2_supported()) return Kernel::kAvx2;
+#endif
+#ifdef FTRSN_SIMD_NEON
+  return Kernel::kNeon;
+#endif
+  return Kernel::kUnrolled;
+}
+
+Kernel resolve_default() {
+  if (const char* env = std::getenv("FTRSN_SIMD")) {
+    Kernel k;
+    if (parse_kernel(env, k) && ops(k) != nullptr) return k;
+    // Unknown or unavailable request: fall back rather than abort — a
+    // corpus replay pinned to avx2 must still run on a NEON host.
+  }
+  return best_available();
+}
+
+std::mutex g_mutex;
+Kernel g_active = Kernel::kScalar;
+bool g_resolved = false;
+
+}  // namespace
+
+const Ops* ops(Kernel k) {
+  switch (k) {
+    case Kernel::kScalar:
+      return &kScalarOps;
+    case Kernel::kUnrolled:
+      return &kUnrolledOps;
+    case Kernel::kAvx2:
+#ifdef FTRSN_SIMD_X86
+      return avx2_supported() ? &kAvx2Ops : nullptr;
+#else
+      return nullptr;
+#endif
+    case Kernel::kNeon:
+#ifdef FTRSN_SIMD_NEON
+      return &kNeonOps;
+#else
+      return nullptr;
+#endif
+  }
+  return nullptr;
+}
+
+std::vector<Kernel> available() {
+  std::vector<Kernel> out{Kernel::kScalar, Kernel::kUnrolled};
+  if (ops(Kernel::kAvx2)) out.push_back(Kernel::kAvx2);
+  if (ops(Kernel::kNeon)) out.push_back(Kernel::kNeon);
+  return out;
+}
+
+Kernel active_kernel() {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  if (!g_resolved) {
+    g_active = resolve_default();
+    g_resolved = true;
+  }
+  return g_active;
+}
+
+const Ops& active_ops() { return *ops(active_kernel()); }
+
+void set_kernel(Kernel k) {
+  FTRSN_CHECK_MSG(ops(k) != nullptr,
+                  strprintf("SIMD kernel '%s' unavailable on this host",
+                            kernel_name(k)));
+  std::lock_guard<std::mutex> lock(g_mutex);
+  g_active = k;
+  g_resolved = true;
+}
+
+void reset_kernel() {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  g_resolved = false;
+}
+
+const char* kernel_name(Kernel k) {
+  switch (k) {
+    case Kernel::kScalar:
+      return "scalar";
+    case Kernel::kUnrolled:
+      return "unrolled";
+    case Kernel::kAvx2:
+      return "avx2";
+    case Kernel::kNeon:
+      return "neon";
+  }
+  return "?";
+}
+
+bool parse_kernel(std::string_view text, Kernel& out) {
+  if (text == "scalar") out = Kernel::kScalar;
+  else if (text == "unrolled") out = Kernel::kUnrolled;
+  else if (text == "avx2") out = Kernel::kAvx2;
+  else if (text == "neon") out = Kernel::kNeon;
+  else return false;
+  return true;
+}
+
+}  // namespace ftrsn::simd

@@ -1,0 +1,88 @@
+// Runtime-dispatched SIMD kernels for the packed (64 fault lanes per
+// uint64_t word) fault-metric fixpoint (DESIGN.md §5h).
+//
+// The packed engine spends its per-iteration time in four dense passes
+// over lane words: gathering control-mask words into segment-slot order,
+// combining the write/read accessibility conditions, and accumulating the
+// newly accessible / newly writable lanes.  Those passes are exposed here
+// as a table of function pointers so one binary can carry several
+// implementations and pick the best one for the host at runtime:
+//
+//   kScalar   — plain uint64_t loops, the reference semantics.  Every
+//               other kernel must be *byte-identical* to it on any input
+//               (asserted by tests/test_simd.cpp on every host).
+//   kUnrolled — portable 4-wide unrolled scalar; always available, so the
+//               scalar-vs-vector differential test runs even on hosts
+//               without AVX2 or NEON.
+//   kAvx2     — 256-bit AVX2 (4 lane words per op, vpgatherqq for the
+//               slot gathers); compiled with a function-level target
+//               attribute, selected only if the CPU reports AVX2.
+//   kNeon     — 128-bit NEON (2 lane words per op; gathers stay scalar —
+//               NEON has no gather); aarch64 only.
+//
+// Selection: set_kernel() (tests) > FTRSN_SIMD env (scalar | unrolled |
+// avx2 | neon) > best available.  Requesting an unavailable kernel via the
+// env falls back to the best available one (a corpus replay on a non-AVX2
+// host must not abort); set_kernel() on an unavailable kernel is an error.
+//
+// Contract: all kernels are pure element-wise/gather loops — no ordering,
+// no overlap between dst and any src, callers pass n in words.  Bit
+// identity across kernels is part of the public contract, not an
+// accident: the SHA-pinned corpus (tools/judge.sh) digests metric sweeps
+// produced through these kernels.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace ftrsn::simd {
+
+enum class Kernel { kScalar, kUnrolled, kAvx2, kNeon };
+
+struct Ops {
+  const char* name;
+  /// dst[i] = src[idx[i]]   (idx entries are non-negative, in range)
+  void (*gather)(std::uint64_t* dst, const std::uint64_t* src,
+                 const std::int32_t* idx, std::size_t n);
+  /// dst[i] = cf[i] & rb[i] & sel[i] & ~bad[i] & (upd[i] | ~shadow[i])
+  /// (write-accessibility of a segment slot: clean forward path, routable
+  /// backward path, assertable select, own input healthy, and — for
+  /// shadowed segments only — deassertable update).
+  void (*write_acc)(std::uint64_t* dst, const std::uint64_t* cf,
+                    const std::uint64_t* rb, const std::uint64_t* sel,
+                    const std::uint64_t* bad, const std::uint64_t* upd,
+                    const std::uint64_t* shadow, std::size_t n);
+  /// dst[i] = rf[i] & cb[i] & sel[i] & ~bad[i] & cap[i]
+  void (*read_acc)(std::uint64_t* dst, const std::uint64_t* rf,
+                   const std::uint64_t* cb, const std::uint64_t* sel,
+                   const std::uint64_t* bad, const std::uint64_t* cap,
+                   std::size_t n);
+  /// t = a[i] & b[i] & ~acc[i]; acc[i] |= t; returns OR of every t
+  /// (the lanes that became set anywhere — the fixpoint "changed" signal).
+  std::uint64_t (*or_and2_new)(std::uint64_t* acc, const std::uint64_t* a,
+                               const std::uint64_t* b, std::size_t n);
+};
+
+/// Ops table for `k`, or nullptr when the host cannot run it.
+const Ops* ops(Kernel k);
+
+/// Kernels runnable on this host (kScalar and kUnrolled always included).
+std::vector<Kernel> available();
+
+/// The kernel active_ops() resolves to right now.
+Kernel active_kernel();
+const Ops& active_ops();
+
+/// Pin the active kernel (tests / benches).  FTRSN_CHECKs that the kernel
+/// is available on this host.
+void set_kernel(Kernel k);
+/// Drop the pin; back to FTRSN_SIMD / auto selection (re-reads the env).
+void reset_kernel();
+
+const char* kernel_name(Kernel k);
+/// Parses "scalar" / "unrolled" / "avx2" / "neon"; false on anything else.
+bool parse_kernel(std::string_view text, Kernel& out);
+
+}  // namespace ftrsn::simd

@@ -22,6 +22,7 @@
 #include "itc02/itc02.hpp"
 #include "synth/synth.hpp"
 #include "util/common.hpp"
+#include "util/simd.hpp"
 #include "util/thread_pool.hpp"
 
 namespace ftrsn {
@@ -259,6 +260,138 @@ TEST(MetricEngine, CollapseAndSeedingAreBitExactLevers) {
   MetricEngineOptions no_seed = eo;
   no_seed.seed_baseline = false;
   expect_identical(base, engine.evaluate(no_seed), "no-seed");
+
+  MetricEngineOptions no_pack = eo;
+  no_pack.packed = false;
+  expect_identical(base, engine.evaluate(no_pack), "no-pack");
+  EXPECT_EQ(engine.last_stats().packed_batches, 0u);
+}
+
+// --- packed 64-lane mode ----------------------------------------------------
+
+/// Scalar engine vs packed engine at 1/2/8 threads, full distributions,
+/// plus the packed lane-accounting invariants.
+void check_packed_vs_scalar(const FaultMetricEngine& engine,
+                            const std::vector<Fault>& faults, bool collapse,
+                            const std::string& what) {
+  MetricEngineOptions eo;
+  eo.metric.keep_distribution = true;
+  eo.collapse_equivalent = collapse;
+  eo.packed = false;
+  const FaultToleranceReport scalar = engine.evaluate_faults(faults, eo);
+  EXPECT_EQ(engine.last_stats().packed_batches, 0u) << what;
+  EXPECT_STREQ(engine.last_stats().simd_kernel, "") << what;
+
+  eo.packed = true;
+  for (const int threads : {1, 2, 8}) {
+    eo.threads = threads;
+    const FaultToleranceReport rep = engine.evaluate_faults(faults, eo);
+    expect_identical(scalar, rep,
+                     what + " packed threads=" + std::to_string(threads));
+    const MetricEngineStats st = engine.last_stats();
+    EXPECT_GT(st.packed_batches, 0u) << what;
+    // In packed mode every mask eval is a packed word eval.
+    EXPECT_EQ(st.packed_words, st.mask_evals) << what;
+    // Batches cover the class list exactly: ceil(classes / 64) blocks and
+    // the mean occupancy that implies (only the tail word is partial).
+    EXPECT_EQ(st.packed_batches, (st.classes + 63) / 64) << what;
+    EXPECT_DOUBLE_EQ(
+        st.lane_utilization,
+        static_cast<double>(st.classes) /
+            (64.0 * static_cast<double>(st.packed_batches)))
+        << what;
+    EXPECT_STREQ(st.simd_kernel, simd::active_ops().name) << what;
+  }
+}
+
+TEST(MetricEnginePacked, LaneBoundariesBitIdentical) {
+  // Class counts straddling every lane boundary: a single lane, a full
+  // word minus one, exactly one word, one spilled lane, and a long list
+  // with a partial tail word.  Collapse is off so the class count equals
+  // the fault-list length exactly.
+  const auto soc = itc02::find_soc("d695");
+  ASSERT_TRUE(soc.has_value());
+  const Rsn rsn = itc02::generate_sib_rsn(*soc);
+  const auto all = enumerate_faults(rsn);
+  ASSERT_GE(all.size(), 1000u);
+  const FaultMetricEngine engine(rsn);
+  for (const std::size_t n : {std::size_t{1}, std::size_t{63},
+                              std::size_t{64}, std::size_t{65},
+                              std::size_t{1000}}) {
+    const std::vector<Fault> faults(all.begin(),
+                                    all.begin() + static_cast<long>(n));
+    check_packed_vs_scalar(engine, faults, /*collapse=*/false,
+                           strprintf("d695-lanes-%zu", n));
+    EXPECT_EQ(engine.last_stats().classes, n);
+  }
+}
+
+TEST(MetricEnginePacked, EquivalenceCollapseInteraction) {
+  // With collapse on, lane assignment happens per *class* representative;
+  // the weighted expansion back to fault indices must stay bit-identical
+  // to the scalar engine on polarity-paired and sampled lists alike.
+  const auto soc = itc02::find_soc("u226");
+  ASSERT_TRUE(soc.has_value());
+  const Rsn rsn = itc02::generate_sib_rsn(*soc);
+  const FaultMetricEngine engine(rsn);
+  const auto all = enumerate_faults(rsn);
+  check_packed_vs_scalar(engine, all, /*collapse=*/true, "u226-collapse");
+  check_packed_vs_scalar(engine, sample_faults(all, 333, 0xBEEF),
+                         /*collapse=*/true, "u226-collapse-sampled");
+
+  const Rsn ft = synthesize_fault_tolerant(rsn).rsn;
+  const FaultMetricEngine ft_engine(ft);
+  check_packed_vs_scalar(ft_engine, enumerate_faults(ft), /*collapse=*/true,
+                         "u226-ft-collapse");
+}
+
+TEST(MetricEnginePacked, RandomizedSoakBitIdentical) {
+  // FTRSN_METRIC_ITERS-scaled soak over random RSNs with random fault
+  // sample sizes (biased toward lane boundaries).
+  Rng rng(0x9ACC3D);
+  const int trials = 3 * metric_iters();
+  for (int trial = 0; trial < trials; ++trial) {
+    const Rsn rsn = itc02::generate_sib_rsn(random_soc(rng, 4));
+    const Rsn ft = synthesize_fault_tolerant(rsn).rsn;
+    for (const Rsn* net : {&rsn, &ft}) {
+      const auto all = enumerate_faults(*net);
+      std::size_t n = 1 + rng.next_below(all.size());
+      if (rng.next_bool())  // snap to a lane boundary +/- 1
+        n = std::min<std::size_t>(
+            all.size(), 64 * (1 + rng.next_below(4)) + rng.next_below(3) - 1);
+      if (n == 0) n = 1;
+      const FaultMetricEngine engine(*net);
+      check_packed_vs_scalar(
+          engine, sample_faults(all, n, 0x50AC + trial),
+          /*collapse=*/rng.next_bool(),
+          strprintf("soak-%d-%s", trial, net == &rsn ? "orig" : "ft"));
+    }
+  }
+}
+
+TEST(MetricEnginePacked, EveryKernelProducesIdenticalReports) {
+  // Force each runnable SIMD kernel and require byte-identical reports and
+  // identical packed-word counts — the kernels are interchangeable down to
+  // the counter level, not just in aggregate.
+  const Rsn rsn = make_example_rsn();
+  const Rsn ft = synthesize_fault_tolerant(rsn).rsn;
+  const FaultMetricEngine engine(ft);
+  MetricEngineOptions eo;
+  eo.metric.keep_distribution = true;
+
+  simd::set_kernel(simd::Kernel::kScalar);
+  const FaultToleranceReport base = engine.evaluate(eo);
+  const std::size_t base_words = engine.last_stats().packed_words;
+  EXPECT_GT(base_words, 0u);
+  for (const simd::Kernel k : simd::available()) {
+    simd::set_kernel(k);
+    expect_identical(base, engine.evaluate(eo),
+                     std::string("kernel=") + simd::kernel_name(k));
+    EXPECT_EQ(engine.last_stats().packed_words, base_words)
+        << simd::kernel_name(k);
+    EXPECT_STREQ(engine.last_stats().simd_kernel, simd::kernel_name(k));
+  }
+  simd::reset_kernel();
 }
 
 // --- ThreadPool -------------------------------------------------------------

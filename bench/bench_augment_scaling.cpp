@@ -1,0 +1,157 @@
+// Degree-cover augmentation at synthetic scale (10^5-10^6 scan elements).
+//
+// Generates ITC'02-shaped SoCs scaled to each target size (gen/scale.hpp),
+// runs connectivity augmentation end to end with the cost-scaling
+// min-cost-flow engine, and re-runs the flow relaxation with the SSP
+// oracle on the sizes where it is still tractable.  Besides wall times the
+// payload records the engines' deterministic work counters — SSP Dijkstra
+// arc scans vs cost-scaling pushes+relabels — whose ratio is
+// hardware-independent, so CI asserts on it across machines.
+//
+// Env knobs:
+//   FTRSN_SCALE_TARGETS   comma list of target element counts
+//                         (default "2000,20000,100000")
+//   FTRSN_SCALE_SSP_MAX   largest target the SSP oracle runs at
+//                         (default 20000 — the oracle's work grows
+//                         quadratically; the ratio is reported on the
+//                         largest target both engines completed)
+//   FTRSN_BENCH_OUT       output path (default BENCH_augment_scaling.json)
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+#include "augment/augment.hpp"
+#include "bench_util.hpp"
+#include "gen/scale.hpp"
+#include "graph/dataflow.hpp"
+#include "obs/obs.hpp"
+
+using namespace ftrsn;
+
+namespace {
+
+std::vector<long long> scale_targets() {
+  const char* env = std::getenv("FTRSN_SCALE_TARGETS");
+  std::vector<long long> targets;
+  for (const std::string& piece : split(env && *env ? env : "2000,20000,100000", ','))
+    targets.push_back(std::atoll(std::string(trim(piece)).c_str()));
+  return targets;
+}
+
+struct EngineRun {
+  bool ran = false;
+  double seconds = 0;
+  long long cost = 0;
+  std::size_t edges = 0;
+  int bb_nodes = 0;
+  unsigned long long work = 0;  // ssp: arc scans; scaling: pushes+relabels
+  unsigned long long pushes = 0, relabels = 0, price_refines = 0,
+                     arcs_fixed = 0;
+};
+
+EngineRun run_engine(const DataflowGraph& g, bool cost_scaling) {
+  EngineRun run;
+  AugmentOptions opt;
+  // Backbone-skip hardening would satisfy nearly every degree need before
+  // the optimization runs; disable it so the bench measures the actual
+  // degree-cover LP (paper eqs. 2-5) that the flow engines solve.
+  opt.spof_repair = false;
+  if (!cost_scaling)
+    opt.mcf.algorithm = MinCostFlowOptions::Algorithm::kSsp;
+  const auto c0 = obs::counters_snapshot();
+  const auto t0 = std::chrono::steady_clock::now();
+  const AugmentResult r = augment_connectivity(g, opt);
+  run.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  const auto diff = [&](const char* name) -> unsigned long long {
+    const auto it = c0.find(name);
+    return obs::counter_value(name) - (it == c0.end() ? 0 : it->second);
+  };
+  run.ran = true;
+  run.cost = r.cost;
+  run.edges = r.added_edges.size();
+  run.bb_nodes = r.bb_nodes;
+  run.pushes = diff("ilp.flow_pushes");
+  run.relabels = diff("ilp.flow_relabels");
+  run.price_refines = diff("ilp.flow_price_refines");
+  run.arcs_fixed = diff("ilp.flow_arcs_fixed");
+  run.work = cost_scaling ? run.pushes + run.relabels
+                          : diff("ilp.flow_ssp_work");
+  return run;
+}
+
+}  // namespace
+
+int main() {
+  bench::BenchReport report("augment_scaling");
+  const char* ssp_max_env = std::getenv("FTRSN_SCALE_SSP_MAX");
+  const long long ssp_max = ssp_max_env ? std::atoll(ssp_max_env) : 20000;
+
+  std::printf("Degree-cover augmentation at synthetic scale "
+              "(cost-scaling vs SSP oracle)\n");
+  bench::rule('-', 112);
+  std::printf("%-10s %9s %10s %10s %9s %11s %12s %12s %8s\n", "elements",
+              "vertices", "arcs", "cost", "cs_secs", "cs_work", "ssp_work",
+              "ssp_secs", "ratio");
+  bench::rule('-', 112);
+
+  std::string rows;
+  double largest_ratio = 0;
+  long long largest_common = 0;
+  for (const long long target : scale_targets()) {
+    gen::ScaleOptions sopt;
+    sopt.base = "u226";
+    sopt.target_elements = target;
+    const gen::ScaledSoc scaled = gen::scale_soc(sopt);
+    const Rsn rsn = itc02::generate_sib_rsn(scaled.soc);
+    const DataflowGraph g = DataflowGraph::from_rsn(rsn);
+    AugmentOptions count_opt;
+    const std::size_t candidates = potential_edges(g, count_opt).size();
+
+    const EngineRun cs = run_engine(g, /*cost_scaling=*/true);
+    EngineRun ssp;
+    if (target <= ssp_max) ssp = run_engine(g, /*cost_scaling=*/false);
+
+    const double ratio =
+        ssp.ran && cs.work > 0
+            ? static_cast<double>(ssp.work) / static_cast<double>(cs.work)
+            : 0;
+    if (ssp.ran) {
+      // Both engines must agree on the optimum (differential contract).
+      FTRSN_CHECK_MSG(ssp.cost == cs.cost,
+                      strprintf("engine cost mismatch at %lld elements: "
+                                "ssp %lld vs scaling %lld",
+                                target, ssp.cost, cs.cost));
+      if (scaled.elements >= largest_common) {
+        largest_common = scaled.elements;
+        largest_ratio = ratio;
+      }
+    }
+
+    std::printf("%-10lld %9zu %10zu %10lld %9.2f %11llu %12llu %12.2f %8.1f\n",
+                scaled.elements, g.num_vertices(), candidates, cs.cost,
+                cs.seconds, cs.work, ssp.work, ssp.seconds, ratio);
+    rows += strprintf(
+        "%s\n    {\"target\": %lld, \"elements\": %lld, \"replicas\": %d, "
+        "\"vertices\": %zu, \"candidates\": %zu, \"bits\": %lld, "
+        "\"cost\": %lld, \"edges\": %zu, \"bb_nodes\": %d, "
+        "\"cs_seconds\": %.4f, \"cs_pushes\": %llu, \"cs_relabels\": %llu, "
+        "\"cs_price_refines\": %llu, \"cs_arcs_fixed\": %llu, "
+        "\"ssp_ran\": %s, \"ssp_seconds\": %.4f, \"ssp_work\": %llu, "
+        "\"cost_match\": %s, \"work_ratio\": %.3f}",
+        rows.empty() ? "" : ",", target, scaled.elements, scaled.replicas,
+        g.num_vertices(), candidates, scaled.bits, cs.cost, cs.edges,
+        cs.bb_nodes, cs.seconds, cs.pushes, cs.relabels, cs.price_refines,
+        cs.arcs_fixed, ssp.ran ? "true" : "false", ssp.seconds, ssp.work,
+        ssp.ran ? (ssp.cost == cs.cost ? "true" : "false") : "null", ratio);
+  }
+  bench::rule('-', 112);
+  std::printf("work ratio on largest common instance (%lld elements): %.1fx\n",
+              largest_common, largest_ratio);
+
+  report.add("instances", "[" + rows + "\n  ]");
+  report.add_count("largest_common_elements", largest_common);
+  report.add_number("work_ratio_largest_common", largest_ratio);
+  return report.write() ? 0 : 1;
+}

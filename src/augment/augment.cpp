@@ -195,6 +195,7 @@ AugmentResult solve_flow(const DataflowGraph& g, const Instance& inst,
                        static_cast<int>(c.edge.to), c.cost});
     DegreeCoverSolver solver(static_cast<int>(g.num_vertices()),
                              std::move(edges), inst.need_out, inst.need_in);
+    solver.set_flow_options(opt.mcf);
     for (int f : node.forbidden) solver.forbid(f);
     const auto sol = solver.solve();
     if (!sol.feasible || sol.cost >= incumbent_cost) continue;

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "graph/dataflow.hpp"
+#include "ilp/mincost_flow.hpp"
 
 namespace ftrsn {
 
@@ -67,6 +68,10 @@ struct AugmentOptions {
   std::vector<std::vector<NodeId>> vertex_guards;
 
   int max_bb_nodes = 4000;
+
+  /// Min-cost-flow engine used by the kFlow relaxation (cost-scaling by
+  /// default; set algorithm = kSsp to run the differential oracle).
+  MinCostFlowOptions mcf;
 };
 
 struct AugmentResult {

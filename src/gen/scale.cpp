@@ -1,0 +1,109 @@
+#include "gen/scale.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/common.hpp"
+
+namespace ftrsn::gen {
+
+namespace {
+
+/// Appends one jittered copy of the template module forest under parent
+/// index `parent`, prefixing every module name with "r<idx>_".
+void emit_replica(const itc02::Soc& base, int replica_idx, int parent,
+                  double jitter, Rng& rng, itc02::Soc& out) {
+  const int offset = static_cast<int>(out.modules.size());
+  for (const itc02::Module& m : base.modules) {
+    itc02::Module copy;
+    copy.name = strprintf("r%d_%s", replica_idx, m.name.c_str());
+    copy.parent = m.parent < 0 ? parent : offset + m.parent;
+    copy.chain_bits.reserve(m.chain_bits.size());
+    for (int bits : m.chain_bits) {
+      int jittered = bits;
+      if (jitter > 0) {
+        // Uniform in [1 - jitter, 1 + jitter]; every replica consumes the
+        // same number of draws, so replica k's contents depend only on
+        // (seed, k) and the template — not on the target size.
+        const double f = 1.0 + jitter * (2.0 * rng.next_double() - 1.0);
+        jittered = std::max(1, static_cast<int>(std::lround(bits * f)));
+      }
+      copy.chain_bits.push_back(jittered);
+    }
+    out.modules.push_back(std::move(copy));
+  }
+}
+
+}  // namespace
+
+ScaledSoc scale_soc(const ScaleOptions& options) {
+  const auto base = itc02::find_soc(options.base);
+  FTRSN_CHECK_MSG(base.has_value(),
+                  "scale_soc: unknown base SoC " + options.base);
+  FTRSN_CHECK(options.target_elements > 0);
+  FTRSN_CHECK(options.jitter >= 0 && options.jitter < 1.0);
+  const int fanout = std::max(2, options.cluster_fanout);
+
+  const itc02::SocSummary base_sum = itc02::summarize(*base);
+  const long long per_replica =
+      static_cast<long long>(base_sum.sibs) + base_sum.chains;
+  FTRSN_CHECK(per_replica > 0);
+  const long long replicas = std::max<long long>(
+      1, (options.target_elements + per_replica / 2) / per_replica);
+  FTRSN_CHECK_MSG(replicas <= 1 << 22,
+                  "scale_soc: target too large for the module-index space");
+
+  ScaledSoc result;
+  result.replicas = static_cast<int>(replicas);
+  result.soc.name = strprintf("%s-x%lld-s%llu", options.base.c_str(),
+                              replicas,
+                              static_cast<unsigned long long>(options.seed));
+  Rng rng(options.seed);
+
+  // Balanced cluster tree: leaves are the replicas, internal nodes are
+  // synthetic cluster modules with `fanout` children each.  Built
+  // top-down so parent indices precede children (generate_sib_rsn
+  // requires topological module order).
+  struct Range {
+    long long lo, hi;  // replica interval [lo, hi)
+    int parent;        // module index of the owning cluster, -1 = top
+  };
+  std::vector<Range> work;
+  work.push_back({0, replicas, -1});
+  int next_replica = 0;
+  for (std::size_t q = 0; q < work.size(); ++q) {
+    const Range r = work[q];
+    const long long span = r.hi - r.lo;
+    if (span == 1) {
+      // A single replica hangs directly off its cluster (the replica's
+      // own top modules become the SIB hierarchy).
+      emit_replica(*base, next_replica++, r.parent, options.jitter, rng,
+                   result.soc);
+      continue;
+    }
+    // Split the interval into at most `fanout` children; wrap each child
+    // interval of size > 1 in a cluster module.
+    const long long step = (span + fanout - 1) / fanout;
+    for (long long lo = r.lo; lo < r.hi; lo += step) {
+      const long long hi = std::min(lo + step, r.hi);
+      if (hi - lo == 1) {
+        work.push_back({lo, hi, r.parent});
+        continue;
+      }
+      itc02::Module cluster;
+      cluster.name = strprintf("cl%zu", result.soc.modules.size());
+      cluster.parent = r.parent;
+      const int cluster_idx = static_cast<int>(result.soc.modules.size());
+      result.soc.modules.push_back(std::move(cluster));
+      ++result.clusters;
+      work.push_back({lo, hi, cluster_idx});
+    }
+  }
+
+  const itc02::SocSummary sum = itc02::summarize(result.soc);
+  result.elements = static_cast<long long>(sum.sibs) + sum.chains;
+  result.bits = sum.bits;
+  return result;
+}
+
+}  // namespace ftrsn::gen

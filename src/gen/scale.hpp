@@ -1,0 +1,58 @@
+// Synthetic-scale SoC generator: ITC'02-shaped SIB topologies scaled to
+// 10^5-10^6 scan elements.
+//
+// Table I tops out at p93791 (~1.7k scan elements); the ROADMAP's
+// production-scale direction needs augmentation inputs two to three
+// orders of magnitude larger.  Real SoCs of that size are hierarchies of
+// replicated subsystems, so the generator takes one embedded ITC'02
+// descriptor as the *shape template* and replicates its module forest
+// under a balanced tree of synthetic cluster modules until the target
+// scan-element count is reached.  Each replica's chain lengths are
+// jittered deterministically (seeded xoshiro) so replicas are not
+// bit-identical, module names are prefixed per replica, and parent
+// indices stay topologically ordered — the result is an ordinary
+// itc02::Soc that flows through generate_sib_rsn, potential_edges and
+// synthesize_fault_tolerant unchanged.
+//
+// "Scan elements" counts every 1-bit SIB register and every scan chain
+// segment (== the vertices the degree-cover augmentation optimizes over,
+// up to the per-SoC muxes and ports).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "itc02/itc02.hpp"
+
+namespace ftrsn::gen {
+
+struct ScaleOptions {
+  /// Shape template: name of an embedded ITC'02 SoC descriptor.
+  std::string base = "p93791";
+  /// Desired number of scan elements (SIB registers + chain segments) in
+  /// the generated SoC; the replica count is derived from it.  The actual
+  /// count can overshoot by up to one replica plus the cluster SIBs.
+  long long target_elements = 100000;
+  /// Deterministic seed for the per-replica chain-length jitter.
+  std::uint64_t seed = 1;
+  /// Relative jitter applied to every chain length (0 disables; 0.25
+  /// draws lengths uniformly from [0.75*len, 1.25*len], floored at 1).
+  double jitter = 0.25;
+  /// Fan-out of the synthetic cluster-module tree above the replicas
+  /// (adds log_fanout(replicas) hierarchy levels, as on real SoCs).
+  int cluster_fanout = 16;
+};
+
+struct ScaledSoc {
+  itc02::Soc soc;
+  int replicas = 0;          ///< template copies emitted
+  int clusters = 0;          ///< synthetic cluster modules added
+  long long elements = 0;    ///< exact scan elements (sibs + chains)
+  long long bits = 0;        ///< total shift bits (from itc02::summarize)
+};
+
+/// Builds the scaled SoC descriptor.  Deterministic: equal options yield
+/// a byte-identical descriptor (and therefore an identical RSN).
+ScaledSoc scale_soc(const ScaleOptions& options = {});
+
+}  // namespace ftrsn::gen

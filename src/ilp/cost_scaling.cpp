@@ -1,0 +1,362 @@
+// Cost-scaling min-cost flow engine (MinCostFlowOptions::kCostScaling).
+//
+// Pipeline:
+//   1. Dinic max-flow fixes the flow value F = min(maxflow(s,t), limit);
+//      its blocking-flow augmentations are level-monotone, so the
+//      resulting flow is acyclic and every arc carries at most F units.
+//      Residual capacities are then clamped to F: some acyclic optimal
+//      flow of value F fits under the clamp, and it bounds every excess
+//      the refine passes can create (no overflow from the kInf
+//      "uncapacitated" arcs of the degree-cover reduction).
+//   2. Costs are scaled by (n+1) and eps-scaling push/relabel refines the
+//      flow: any feasible flow is eps-optimal for eps = max |scaled
+//      cost|, and a flow that is eps-optimal for eps < 1 in scaled costs
+//      is optimal in the original costs (Goldberg-Tarjan).  refine(eps)
+//      first saturates every residual arc with negative reduced cost
+//      (making the pseudo-flow 0-optimal w.r.t. admissibility), then
+//      FIFO-discharges active nodes: push on admissible arcs, relabel
+//      p(v) = max over residual arcs of (p(w) - c(v,w)) - eps otherwise.
+//
+// Reduced-cost convention: c_p(v,w) = c(v,w) + p(v) - p(w); the
+// eps-optimality invariant is c_p(a) >= -eps for every residual arc a,
+// and an arc is admissible when c_p(a) < 0.
+//
+// Heuristics (all differential-tested against the SSP oracle, each
+// individually switchable through MinCostFlowOptions):
+//   * global potential update: after ~n relabels, a Dial-bucket shortest
+//     path computation from the deficit nodes assigns each node the
+//     number of eps-steps its price must drop so an admissible path to a
+//     deficit appears; ranks are capped, and capping is invariant-safe
+//     (see rank_cap proof note below).
+//   * price refinement: before each refine phase, bounded Bellman-Ford
+//     passes try to repair eps-optimality by lowering prices only; if
+//     they converge, the whole phase is skipped.  Aborting mid-way is
+//     harmless because refine re-establishes optimality from any prices.
+//   * arc fixing: once |c_p| > 2*n*eps the arc's flow is identical in
+//     every eps'-optimal flow with eps' <= eps, so the pair drops out of
+//     saturation, discharge, relabel and update scans; fixed arcs are
+//     re-examined (and possibly unfixed) at every phase boundary because
+//     prices keep moving.
+#include <algorithm>
+#include <queue>
+
+#include "ilp/mincost_flow.hpp"
+
+namespace ftrsn {
+
+/// Dinic max flow on the residual network, bounded by `limit`.
+long long MinCostFlow::dinic_max_flow(int s, int t, long long limit) {
+  const int n = num_nodes();
+  std::vector<int> level(static_cast<std::size_t>(n));
+  std::vector<int> iter(static_cast<std::size_t>(n));
+  long long flow = 0;
+
+  const auto bfs = [&]() {
+    std::fill(level.begin(), level.end(), -1);
+    std::queue<int> q;
+    level[static_cast<std::size_t>(s)] = 0;
+    q.push(s);
+    while (!q.empty()) {
+      const int v = q.front();
+      q.pop();
+      for (int a = head_[static_cast<std::size_t>(v)]; a != -1;
+           a = arcs_[static_cast<std::size_t>(a)].next) {
+        const Arc& arc = arcs_[static_cast<std::size_t>(a)];
+        if (arc.cap > 0 && level[static_cast<std::size_t>(arc.to)] < 0) {
+          level[static_cast<std::size_t>(arc.to)] =
+              level[static_cast<std::size_t>(v)] + 1;
+          q.push(arc.to);
+        }
+      }
+    }
+    return level[static_cast<std::size_t>(t)] >= 0;
+  };
+
+  // Iterative blocking-flow DFS (the scaled instances are deep enough to
+  // overflow the call stack with a recursive formulation).
+  std::vector<int> path;
+  while (flow < limit && bfs()) {
+    for (int v = 0; v < n; ++v) iter[static_cast<std::size_t>(v)] = head_[static_cast<std::size_t>(v)];
+    while (flow < limit) {
+      path.clear();
+      int v = s;
+      while (v != t) {
+        int& a = iter[static_cast<std::size_t>(v)];
+        while (a != -1) {
+          const Arc& arc = arcs_[static_cast<std::size_t>(a)];
+          if (arc.cap > 0 && level[static_cast<std::size_t>(arc.to)] ==
+                                 level[static_cast<std::size_t>(v)] + 1)
+            break;
+          a = arc.next;
+        }
+        if (a == -1) {
+          // Dead end: retreat (or the blocking flow is complete at s).
+          if (path.empty()) {
+            v = -1;
+            break;
+          }
+          level[static_cast<std::size_t>(v)] = -1;  // prune from this phase
+          const int back = path.back();
+          path.pop_back();
+          v = arcs_[static_cast<std::size_t>(back ^ 1)].to;
+          continue;
+        }
+        path.push_back(a);
+        v = arcs_[static_cast<std::size_t>(a)].to;
+      }
+      if (v == -1) break;  // no more augmenting paths in this level graph
+      long long push = limit - flow;
+      for (int a : path)
+        push = std::min(push, arcs_[static_cast<std::size_t>(a)].cap);
+      for (int a : path) {
+        arcs_[static_cast<std::size_t>(a)].cap -= push;
+        arcs_[static_cast<std::size_t>(a ^ 1)].cap += push;
+      }
+      flow += push;
+      // Restart the walk from s: saturated arcs are skipped by iter.
+    }
+  }
+  return flow;
+}
+
+MinCostFlow::Result MinCostFlow::solve_cost_scaling(
+    int s, int t, long long limit, const MinCostFlowOptions& options) {
+  const int n = num_nodes();
+  const std::size_t num_arc_slots = arcs_.size();
+  Result result;
+  result.flow = dinic_max_flow(s, t, limit);
+  if (result.flow == 0 || num_arc_slots == 0) return result;
+
+  // Residual clamp (see file comment): caps > F carry no information once
+  // the value is fixed, and clamping bounds every excess by deg * F.
+  for (Arc& arc : arcs_) arc.cap = std::min(arc.cap, result.flow);
+
+  // Scaled costs.  cost_scale * max_cost must not overflow: costs and n
+  // are both well under 2^31 in every instance the library builds.
+  const long long cost_scale = static_cast<long long>(n) + 1;
+  long long eps = 0;
+  for (std::size_t a = 0; a < num_arc_slots; a += 2)
+    eps = std::max(eps, arcs_[a].cost * cost_scale);
+  const auto scaled_cost = [&](std::size_t a) {
+    return arcs_[a].cost * cost_scale;
+  };
+
+  std::vector<long long> price(static_cast<std::size_t>(n), 0);
+  std::vector<long long> excess(static_cast<std::size_t>(n), 0);
+  std::vector<int> cur(static_cast<std::size_t>(n));
+  std::vector<char> in_queue(static_cast<std::size_t>(n), 0);
+  std::vector<char> fixed(num_arc_slots / 2, 0);
+  std::queue<int> active;
+
+  const auto cp = [&](std::size_t a) {
+    // Reduced cost of residual arc a: from = arcs_[a ^ 1].to.
+    return scaled_cost(a) +
+           price[static_cast<std::size_t>(arcs_[a ^ 1].to)] -
+           price[static_cast<std::size_t>(arcs_[a].to)];
+  };
+
+  // --- global potential update (Dial buckets from the deficit nodes) ----
+  // rank(v) = #eps-steps price(v) must drop; capped ranks stay safe: for
+  // any residual arc (v,w) the uncapped ranks satisfy rank(v) - rank(w)
+  // <= (c_p + eps)/eps, and min(rank, cap) can only shrink the left side
+  // when it shrinks rank(v), so the post-update invariant c_p >= -eps
+  // still holds for every arc.
+  std::vector<long long> rank(static_cast<std::size_t>(n));
+  std::vector<std::vector<int>> buckets;
+  const long long rank_cap =
+      std::min<long long>(3LL * n + 1, 1 << 20);
+  const auto global_update = [&]() {
+    ++stats_.global_updates;
+    buckets.assign(static_cast<std::size_t>(rank_cap) + 1, {});
+    std::fill(rank.begin(), rank.end(), rank_cap);
+    bool any_deficit = false;
+    for (int v = 0; v < n; ++v)
+      if (excess[static_cast<std::size_t>(v)] < 0) {
+        rank[static_cast<std::size_t>(v)] = 0;
+        buckets[0].push_back(v);
+        any_deficit = true;
+      }
+    if (!any_deficit) return;
+    for (long long k = 0; k < rank_cap; ++k) {
+      for (std::size_t bi = 0; bi < buckets[static_cast<std::size_t>(k)].size();
+           ++bi) {
+        const int w = buckets[static_cast<std::size_t>(k)][bi];
+        if (rank[static_cast<std::size_t>(w)] != k) continue;  // stale
+        // In-arcs of w are the pairs of w's adjacency slots.
+        for (int a = head_[static_cast<std::size_t>(w)]; a != -1;
+             a = arcs_[static_cast<std::size_t>(a)].next) {
+          const std::size_t rev = static_cast<std::size_t>(a) ^ 1;
+          if (arcs_[rev].cap <= 0) continue;  // (v, w) not residual
+          if (options.arc_fixing && fixed[rev >> 1]) continue;
+          const int v = arcs_[static_cast<std::size_t>(a)].to;
+          const long long rc = cp(rev);
+          const long long steps = rc >= 0 ? (rc + eps) / eps : 0;
+          const long long cand =
+              std::min(k + std::max<long long>(steps, 0), rank_cap);
+          if (cand < rank[static_cast<std::size_t>(v)]) {
+            rank[static_cast<std::size_t>(v)] = cand;
+            if (cand < rank_cap)
+              buckets[static_cast<std::size_t>(cand)].push_back(v);
+          }
+        }
+      }
+    }
+    for (int v = 0; v < n; ++v)
+      if (rank[static_cast<std::size_t>(v)] > 0) {
+        price[static_cast<std::size_t>(v)] -=
+            rank[static_cast<std::size_t>(v)] * eps;
+        cur[static_cast<std::size_t>(v)] = head_[static_cast<std::size_t>(v)];
+      }
+  };
+
+  // --- price refinement (bounded Bellman-Ford on prices) ----------------
+  const auto price_refine = [&]() {
+    constexpr int kMaxPasses = 8;
+    for (int pass = 0; pass < kMaxPasses; ++pass) {
+      bool violated = false;
+      for (std::size_t a = 0; a < num_arc_slots; ++a) {
+        if (arcs_[a].cap <= 0) continue;
+        if (options.arc_fixing && fixed[a >> 1]) continue;
+        const long long rc = cp(a);
+        if (rc < -eps) {
+          // Lower the head price just enough: new reduced cost == -eps.
+          price[static_cast<std::size_t>(arcs_[a].to)] += rc + eps;
+          violated = true;
+        }
+      }
+      if (!violated) return true;
+    }
+    return false;
+  };
+
+  // --- arc fixing / unfixing at phase boundaries ------------------------
+  // `opt_eps` is the eps-optimality the current flow actually satisfies
+  // (the eps of the last completed phase, not the just-divided one): the
+  // fixing lemma |c_p| > 2*n*eps only applies to an eps the flow is
+  // optimal for, so thresholding with the smaller new eps would fix arcs
+  // the lemma says nothing about.
+  const auto fix_arcs = [&](long long opt_eps) {
+    const long long thresh = 2LL * n * opt_eps;
+    for (std::size_t a = 0; a < num_arc_slots; a += 2) {
+      const long long rc = cp(a);
+      const bool out = rc > thresh || rc < -thresh;
+      if (out && !fixed[a >> 1]) {
+        fixed[a >> 1] = 1;
+        ++stats_.arcs_fixed;
+      } else if (!out && fixed[a >> 1]) {
+        fixed[a >> 1] = 0;
+      }
+    }
+  };
+
+  // --- refine(eps) ------------------------------------------------------
+  const auto refine = [&]() {
+    ++stats_.phases;
+    // Saturate every residual arc with negative reduced cost.
+    for (std::size_t a = 0; a < num_arc_slots; ++a) {
+      if (arcs_[a].cap <= 0) continue;
+      if (options.arc_fixing && fixed[a >> 1]) continue;
+      if (cp(a) >= 0) continue;
+      const long long delta = arcs_[a].cap;
+      const int from = arcs_[a ^ 1].to;
+      const int to = arcs_[a].to;
+      arcs_[a].cap -= delta;
+      arcs_[a ^ 1].cap += delta;
+      excess[static_cast<std::size_t>(from)] -= delta;
+      excess[static_cast<std::size_t>(to)] += delta;
+    }
+    for (int v = 0; v < n; ++v) {
+      cur[static_cast<std::size_t>(v)] = head_[static_cast<std::size_t>(v)];
+      if (excess[static_cast<std::size_t>(v)] > 0 &&
+          !in_queue[static_cast<std::size_t>(v)]) {
+        active.push(v);
+        in_queue[static_cast<std::size_t>(v)] = 1;
+      }
+    }
+    std::uint64_t relabels_since_update = 0;
+    const std::uint64_t update_interval =
+        static_cast<std::uint64_t>(n) / 2 + 16;
+    while (!active.empty()) {
+      const int v = active.front();
+      active.pop();
+      in_queue[static_cast<std::size_t>(v)] = 0;
+      // Discharge v.
+      while (excess[static_cast<std::size_t>(v)] > 0) {
+        int& a = cur[static_cast<std::size_t>(v)];
+        if (a == -1) {
+          // Relabel: p(v) = max over residual arcs (p(w) - c(v,w)) - eps.
+          long long best = std::numeric_limits<long long>::min();
+          for (int b = head_[static_cast<std::size_t>(v)]; b != -1;
+               b = arcs_[static_cast<std::size_t>(b)].next) {
+            if (arcs_[static_cast<std::size_t>(b)].cap <= 0) continue;
+            if (options.arc_fixing &&
+                fixed[static_cast<std::size_t>(b) >> 1])
+              continue;
+            best = std::max(
+                best,
+                price[static_cast<std::size_t>(
+                    arcs_[static_cast<std::size_t>(b)].to)] -
+                    scaled_cost(static_cast<std::size_t>(b)));
+          }
+          FTRSN_CHECK_MSG(best != std::numeric_limits<long long>::min(),
+                          "cost scaling: active node with no residual arc");
+          price[static_cast<std::size_t>(v)] = best - eps;
+          a = head_[static_cast<std::size_t>(v)];
+          ++stats_.relabels;
+          if (options.global_updates &&
+              ++relabels_since_update >= update_interval) {
+            relabels_since_update = 0;
+            global_update();
+            // Prices moved globally; restart this node's scan pointer.
+            a = cur[static_cast<std::size_t>(v)];
+          }
+          continue;
+        }
+        const Arc& arc = arcs_[static_cast<std::size_t>(a)];
+        const bool skip = arc.cap <= 0 ||
+                          (options.arc_fixing &&
+                           fixed[static_cast<std::size_t>(a) >> 1]) ||
+                          cp(static_cast<std::size_t>(a)) >= 0;
+        if (skip) {
+          a = arc.next;
+          continue;
+        }
+        const long long delta =
+            std::min(excess[static_cast<std::size_t>(v)], arc.cap);
+        const int w = arc.to;
+        arcs_[static_cast<std::size_t>(a)].cap -= delta;
+        arcs_[static_cast<std::size_t>(a) ^ 1].cap += delta;
+        excess[static_cast<std::size_t>(v)] -= delta;
+        excess[static_cast<std::size_t>(w)] += delta;
+        ++stats_.pushes;
+        if (excess[static_cast<std::size_t>(w)] > 0 &&
+            !in_queue[static_cast<std::size_t>(w)]) {
+          active.push(w);
+          in_queue[static_cast<std::size_t>(w)] = 1;
+        }
+      }
+    }
+  };
+
+  // --- scaling loop -----------------------------------------------------
+  long long opt_eps = eps;  // the eps-optimality the current flow satisfies
+  while (eps > 1) {
+    eps = std::max<long long>(eps / std::max(options.alpha, 2), 1);
+    if (options.arc_fixing) fix_arcs(opt_eps);
+    if (options.price_refinement && price_refine()) {
+      ++stats_.price_refines;
+      opt_eps = eps;
+      continue;
+    }
+    refine();
+    opt_eps = eps;
+  }
+
+  // Recompute the objective from the final arc flows in original costs.
+  result.cost = 0;
+  for (std::size_t a = 1; a < num_arc_slots; a += 2)
+    result.cost += arcs_[a].cap * arcs_[a ^ 1].cost;
+  return result;
+}
+
+}  // namespace ftrsn

@@ -46,46 +46,86 @@ void MinCostFlow::reset_flow() {
   }
 }
 
-MinCostFlow::Result MinCostFlow::solve(int s, int t, long long limit) {
-  // Successive-shortest-path iterations across all LP solves; one of the
-  // ilp.* family so the flow-backed LP engine is visible in run reports
-  // next to the branch-and-bound solver's ilp.bb_nodes.
+void MinCostFlow::publish_counters() const {
+  // One batched add per solve: the flow family of ilp.* counters is
+  // visible in run reports next to ilp.bb_nodes / ilp.lp_solves.
+  static obs::Counter pushes("ilp.flow_pushes");
+  static obs::Counter relabels("ilp.flow_relabels");
+  static obs::Counter price_refines("ilp.flow_price_refines");
+  static obs::Counter arcs_fixed("ilp.flow_arcs_fixed");
   static obs::Counter augmentations("ilp.flow_augmentations");
+  static obs::Counter ssp_work("ilp.flow_ssp_work");
+  if (stats_.pushes) pushes.add(stats_.pushes);
+  if (stats_.relabels) relabels.add(stats_.relabels);
+  if (stats_.price_refines) price_refines.add(stats_.price_refines);
+  if (stats_.arcs_fixed) arcs_fixed.add(stats_.arcs_fixed);
+  if (stats_.ssp_augmentations) augmentations.add(stats_.ssp_augmentations);
+  if (stats_.ssp_work) ssp_work.add(stats_.ssp_work);
+}
+
+MinCostFlow::Result MinCostFlow::solve(int s, int t, long long limit,
+                                       const MinCostFlowOptions& options) {
+  FTRSN_CHECK(s >= 0 && s < num_nodes() && t >= 0 && t < num_nodes());
+  stats_ = Stats{};
+  Result result;
+  if (s == t || limit <= 0) return result;
+  switch (options.algorithm) {
+    case MinCostFlowOptions::Algorithm::kSsp:
+      result = solve_ssp(s, t, limit);
+      break;
+    case MinCostFlowOptions::Algorithm::kCostScaling:
+      result = solve_cost_scaling(s, t, limit, options);
+      break;
+  }
+  publish_counters();
+  return result;
+}
+
+MinCostFlow::Result MinCostFlow::solve_ssp(int s, int t, long long limit) {
   Result result;
   const int n = num_nodes();
   std::vector<long long> potential(static_cast<std::size_t>(n), 0);
   // All arc costs are non-negative, so initial potentials of zero are valid.
   while (result.flow < limit) {
-    // Dijkstra on reduced costs.
+    // Dijkstra on reduced costs, stopped as soon as t is settled: every
+    // augmentation only needs the shortest s-t path, and capping the
+    // potential update at dist[t] keeps all reduced costs non-negative
+    // (Johnson's early-termination rule).
     std::vector<long long> dist(static_cast<std::size_t>(n), kInf);
     std::vector<int> pred_arc(static_cast<std::size_t>(n), -1);
     using Item = std::pair<long long, int>;
     std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
     dist[static_cast<std::size_t>(s)] = 0;
     heap.push({0, s});
+    long long dist_t = kInf;
     while (!heap.empty()) {
       const auto [d, v] = heap.top();
       heap.pop();
       if (d > dist[static_cast<std::size_t>(v)]) continue;
+      if (v == t) {
+        dist_t = d;
+        break;
+      }
+      if (d >= dist_t) break;  // only worse-than-t labels remain
       for (int a = head_[static_cast<std::size_t>(v)]; a != -1;
            a = arcs_[static_cast<std::size_t>(a)].next) {
         const Arc& arc = arcs_[static_cast<std::size_t>(a)];
+        ++stats_.ssp_work;
         if (arc.cap <= 0) continue;
         const long long nd = d + arc.cost +
                              potential[static_cast<std::size_t>(v)] -
                              potential[static_cast<std::size_t>(arc.to)];
-        if (nd < dist[static_cast<std::size_t>(arc.to)]) {
+        if (nd < dist[static_cast<std::size_t>(arc.to)] && nd < dist_t) {
           dist[static_cast<std::size_t>(arc.to)] = nd;
           pred_arc[static_cast<std::size_t>(arc.to)] = a;
           heap.push({nd, arc.to});
         }
       }
     }
-    if (dist[static_cast<std::size_t>(t)] >= kInf) break;  // no more paths
+    if (dist_t >= kInf) break;  // no more paths
     for (int v = 0; v < n; ++v)
-      if (dist[static_cast<std::size_t>(v)] < kInf)
-        potential[static_cast<std::size_t>(v)] +=
-            dist[static_cast<std::size_t>(v)];
+      potential[static_cast<std::size_t>(v)] +=
+          std::min(dist[static_cast<std::size_t>(v)], dist_t);
     // Bottleneck along the shortest path.
     long long push = limit - result.flow;
     for (int v = t; v != s;) {
@@ -106,7 +146,7 @@ MinCostFlow::Result MinCostFlow::solve(int s, int t, long long limit) {
     }
     result.flow += push;
     result.cost += push * path_cost;
-    augmentations.add();
+    ++stats_.ssp_augmentations;
   }
   return result;
 }
@@ -132,6 +172,7 @@ void DegreeCoverSolver::require(int index) {
 }
 
 DegreeCoverSolver::Result DegreeCoverSolver::solve() {
+  OBS_SPAN("ilp.degree_cover");
   // Each call solves the degree-cover LP relaxation exactly (min-cost flow
   // = the LP's combinatorial dual), so it counts as an LP solve alongside
   // IlpSolver's per-node relaxations.  The kFlow engine — the default on
@@ -194,7 +235,7 @@ DegreeCoverSolver::Result DegreeCoverSolver::solve() {
     }
   }
 
-  const MinCostFlow::Result fr = flow.solve(kSS, kTT);
+  const MinCostFlow::Result fr = flow.solve(kSS, kTT, kInf, flow_options_);
   Result result;
   if (fr.flow != total_excess) {  // infeasible
     obs::count("ilp.lp_infeasible");

@@ -1,12 +1,30 @@
-// Minimum-cost flow with successive shortest paths and Johnson potentials,
-// plus a wrapper for arc lower bounds (the standard excess/deficit
-// transformation).
+// Minimum-cost flow with two interchangeable engines, plus a wrapper for
+// arc lower bounds (the standard excess/deficit transformation).
+//
+//  * kSsp: successive shortest paths with Johnson potentials — the
+//    original textbook engine, O(F * E log V).  Kept as the differential
+//    oracle: every cost-scaling result is checked against it in the ilp
+//    test suite, and benches report the work ratio between the two.
+//  * kCostScaling (default): Goldberg-Tarjan epsilon-scaling push/relabel.
+//    A Dinic max-flow phase fixes the flow value, then successive
+//    refine(eps) passes (saturate negative reduced-cost arcs, discharge
+//    active nodes with push/relabel) tighten eps-optimality until the
+//    flow is provably optimal.  Three classic accelerators from the
+//    Flowlessly/LEMON lineage are implemented and individually
+//    switchable: a global potential update (bucket-based set-relabeling
+//    from the deficit nodes), price refinement (skip a refine phase
+//    entirely when Bellman-Ford passes certify the flow is already
+//    eps-optimal), and arc fixing (arcs whose reduced cost exceeds
+//    2*n*eps can never change flow again and drop out of every scan).
 //
 // This is the workhorse relaxation of the connectivity augmentation ILP
 // (paper eqs. 2-5): with the acyclicity constraints dropped, the degree
 // covering problem is a transportation problem whose LP relaxation is
 // integral, so a min-cost flow solves it exactly.  Cycles are then
-// eliminated by branching (augment/ilp_augmenter).
+// eliminated by branching (augment/ilp_augmenter).  The cost-scaling
+// engine keeps that relaxation tractable on synthetic-scale RSNs
+// (10^5-10^6 scan elements, src/gen/scale.hpp) where the SSP engine's
+// per-augmentation Dijkstra sweeps dominate.
 #pragma once
 
 #include <cstdint>
@@ -17,6 +35,27 @@
 
 namespace ftrsn {
 
+/// Engine selection and heuristic switches for MinCostFlow::solve.
+struct MinCostFlowOptions {
+  enum class Algorithm {
+    kSsp,          ///< successive shortest paths (differential oracle)
+    kCostScaling,  ///< epsilon-scaling push/relabel (default)
+  };
+  Algorithm algorithm = Algorithm::kCostScaling;
+
+  /// Epsilon division factor per scaling phase (alpha-scaling).
+  int alpha = 8;
+  /// Bucket-based global potential updates from the deficit nodes,
+  /// triggered after ~n relabels.
+  bool global_updates = true;
+  /// Try to certify eps-optimality with bounded Bellman-Ford passes
+  /// before each refine phase; success skips the phase.
+  bool price_refinement = true;
+  /// Drop arcs with |reduced cost| > 2*n*eps from all scans (their flow
+  /// can never change again at this or any smaller eps).
+  bool arc_fixing = true;
+};
+
 class MinCostFlow {
  public:
   explicit MinCostFlow(int num_nodes);
@@ -25,13 +64,33 @@ class MinCostFlow {
   int add_arc(int from, int to, long long cap, long long cost);
 
   /// Computes a min-cost flow of value min(max_flow, `limit`) from s to t.
-  /// Returns {flow, cost}.
+  /// Returns {flow, cost}.  Both engines produce a minimum-cost flow of
+  /// the same (maximum) value; the arc-level flow assignment may differ
+  /// between engines when the optimum is not unique.
   struct Result {
     long long flow = 0;
     long long cost = 0;
   };
   Result solve(int s, int t,
-               long long limit = std::numeric_limits<long long>::max());
+               long long limit = std::numeric_limits<long long>::max(),
+               const MinCostFlowOptions& options = {});
+
+  /// Work counters of the most recent solve() on this object.  All values
+  /// are deterministic functions of the instance (no randomization, no
+  /// threads), so tests and CI assert on them across hosts.
+  struct Stats {
+    // Cost-scaling engine.
+    std::uint64_t pushes = 0;
+    std::uint64_t relabels = 0;
+    std::uint64_t phases = 0;         ///< refine phases executed
+    std::uint64_t price_refines = 0;  ///< phases skipped by price refinement
+    std::uint64_t global_updates = 0;
+    std::uint64_t arcs_fixed = 0;     ///< fix transitions (not currently-fixed)
+    // SSP engine.
+    std::uint64_t ssp_augmentations = 0;
+    std::uint64_t ssp_work = 0;  ///< arc relaxation scans across Dijkstras
+  };
+  const Stats& last_stats() const { return stats_; }
 
   /// Flow currently on arc `id` (valid after solve()).
   long long flow_on(int id) const;
@@ -44,6 +103,7 @@ class MinCostFlow {
   void reset_flow();
 
   int num_nodes() const { return static_cast<int>(head_.size()); }
+  int num_arcs() const { return static_cast<int>(original_cap_.size()); }
 
  private:
   struct Arc {
@@ -52,9 +112,19 @@ class MinCostFlow {
     long long cap;   // residual capacity
     long long cost;
   };
+
+  Result solve_ssp(int s, int t, long long limit);
+  Result solve_cost_scaling(int s, int t, long long limit,
+                            const MinCostFlowOptions& options);
+
+  // Cost-scaling internals (cost_scaling.cpp).
+  long long dinic_max_flow(int s, int t, long long limit);
+  void publish_counters() const;
+
   std::vector<Arc> arcs_;
   std::vector<int> head_;
   std::vector<long long> original_cap_;  // by arc id (forward arcs only)
+  Stats stats_;
 };
 
 /// Min-cost circulation-style helper: minimum cost selection of unit arcs
@@ -79,6 +149,13 @@ class DegreeCoverSolver {
   /// Forces candidate edge `index` to be chosen (before solve).
   void require(int index);
 
+  /// Flow engine used by solve(); cost-scaling by default, switchable to
+  /// the SSP oracle for differential tests and benches.
+  void set_flow_options(const MinCostFlowOptions& options) {
+    flow_options_ = options;
+  }
+  const MinCostFlowOptions& flow_options() const { return flow_options_; }
+
   struct Result {
     bool feasible = false;
     long long cost = 0;
@@ -91,6 +168,7 @@ class DegreeCoverSolver {
   std::vector<Edge> candidates_;
   std::vector<int> need_out_, need_in_;
   std::vector<std::int8_t> state_;  // 0 free, 1 forbidden, 2 required
+  MinCostFlowOptions flow_options_;
 };
 
 }  // namespace ftrsn

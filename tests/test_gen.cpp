@@ -1,0 +1,70 @@
+#include <gtest/gtest.h>
+
+#include "gen/scale.hpp"
+#include "graph/dataflow.hpp"
+#include "itc02/itc02.hpp"
+#include "synth/synth.hpp"
+
+namespace ftrsn {
+namespace {
+
+TEST(ScaleSoc, HitsTargetWithinOneReplica) {
+  gen::ScaleOptions opt;
+  opt.base = "u226";
+  opt.target_elements = 5000;
+  const gen::ScaledSoc s = gen::scale_soc(opt);
+  EXPECT_GT(s.replicas, 1);
+  EXPECT_GT(s.clusters, 0);
+  // Exact count overshoots the target by at most one replica's worth plus
+  // the synthetic cluster SIBs (one element each).
+  const long long per_replica = s.elements / s.replicas + 1;
+  EXPECT_GE(s.elements, opt.target_elements - per_replica);
+  EXPECT_LE(s.elements, opt.target_elements + per_replica + s.clusters);
+  const itc02::SocSummary sum = itc02::summarize(s.soc);
+  EXPECT_EQ(s.elements, static_cast<long long>(sum.sibs) + sum.chains);
+  EXPECT_EQ(s.bits, sum.bits);
+}
+
+TEST(ScaleSoc, DeterministicAcrossCalls) {
+  gen::ScaleOptions opt;
+  opt.base = "d281";
+  opt.target_elements = 3000;
+  opt.seed = 99;
+  const gen::ScaledSoc a = gen::scale_soc(opt);
+  const gen::ScaledSoc b = gen::scale_soc(opt);
+  ASSERT_EQ(a.soc.modules.size(), b.soc.modules.size());
+  for (std::size_t i = 0; i < a.soc.modules.size(); ++i) {
+    EXPECT_EQ(a.soc.modules[i].name, b.soc.modules[i].name);
+    EXPECT_EQ(a.soc.modules[i].parent, b.soc.modules[i].parent);
+    EXPECT_EQ(a.soc.modules[i].chain_bits, b.soc.modules[i].chain_bits);
+  }
+  opt.seed = 100;
+  const gen::ScaledSoc c = gen::scale_soc(opt);
+  EXPECT_NE(a.bits, c.bits) << "seed change must re-jitter chain lengths";
+  EXPECT_EQ(a.elements, c.elements) << "topology must not depend on the seed";
+}
+
+TEST(ScaleSoc, ModulesAreTopologicallyOrdered) {
+  gen::ScaleOptions opt;
+  opt.base = "g1023";
+  opt.target_elements = 4000;
+  const gen::ScaledSoc s = gen::scale_soc(opt);
+  for (std::size_t i = 0; i < s.soc.modules.size(); ++i)
+    EXPECT_LT(s.soc.modules[i].parent, static_cast<int>(i));
+}
+
+TEST(ScaleSoc, FlowsThroughRsnGenerationAndAugmentation) {
+  gen::ScaleOptions opt;
+  opt.base = "u226";
+  opt.target_elements = 800;
+  const gen::ScaledSoc s = gen::scale_soc(opt);
+  const Rsn rsn = itc02::generate_sib_rsn(s.soc);
+  EXPECT_EQ(rsn.stats().bits, s.bits);
+  const SynthResult ft = synthesize_fault_tolerant(rsn);
+  EXPECT_GT(ft.augment.added_edges.size(), 0u);
+  // The synthesized network must carry every original shift bit.
+  EXPECT_GE(ft.rsn.stats().bits, rsn.stats().bits);
+}
+
+}  // namespace
+}  // namespace ftrsn

@@ -1,14 +1,63 @@
+// ILP / LP / min-cost-flow unit tests plus the SSP-vs-cost-scaling
+// differential suite (ctest -L ilp).  FTRSN_ILP_ITERS=N scales the
+// randomized soak trial counts (default 1; CI runs higher under
+// sanitizers).
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
 
+#include "augment/augment.hpp"
+#include "graph/dataflow.hpp"
 #include "ilp/ilp.hpp"
 #include "ilp/mincost_flow.hpp"
 #include "ilp/simplex.hpp"
+#include "itc02/itc02.hpp"
 #include "util/common.hpp"
 
 namespace ftrsn {
 namespace {
+
+int ilp_iters() {
+  const char* env = std::getenv("FTRSN_ILP_ITERS");
+  const int n = env ? std::atoi(env) : 1;
+  return n > 0 ? n : 1;
+}
+
+MinCostFlowOptions ssp_engine() {
+  MinCostFlowOptions o;
+  o.algorithm = MinCostFlowOptions::Algorithm::kSsp;
+  return o;
+}
+
+/// Cost-scaling option variants the differential tests sweep: the default
+/// configuration plus every heuristic individually disabled and two alpha
+/// extremes.  Each must match the SSP oracle exactly.
+std::vector<MinCostFlowOptions> scaling_variants() {
+  std::vector<MinCostFlowOptions> variants;
+  MinCostFlowOptions base;
+  base.algorithm = MinCostFlowOptions::Algorithm::kCostScaling;
+  variants.push_back(base);
+  MinCostFlowOptions no_global = base;
+  no_global.global_updates = false;
+  variants.push_back(no_global);
+  MinCostFlowOptions no_refine = base;
+  no_refine.price_refinement = false;
+  variants.push_back(no_refine);
+  MinCostFlowOptions no_fixing = base;
+  no_fixing.arc_fixing = false;
+  variants.push_back(no_fixing);
+  MinCostFlowOptions plain = base;  // all heuristics off
+  plain.global_updates = plain.price_refinement = plain.arc_fixing = false;
+  variants.push_back(plain);
+  MinCostFlowOptions alpha2 = base;
+  alpha2.alpha = 2;
+  variants.push_back(alpha2);
+  MinCostFlowOptions alpha16 = base;
+  alpha16.alpha = 16;
+  variants.push_back(alpha16);
+  return variants;
+}
 
 LinearConstraint cons(std::vector<std::pair<int, double>> terms, Sense s,
                       double rhs) {
@@ -267,9 +316,248 @@ TEST(DegreeCover, AgreesWithIlpOnRandomInstances) {
     IlpSolver ilp(p);
     const IlpResult ir = ilp.solve();
     ASSERT_EQ(ir.feasible, flow_result.feasible) << "trial " << trial;
-    if (ir.feasible)
+    if (ir.feasible) {
       EXPECT_NEAR(ir.objective, static_cast<double>(flow_result.cost), 1e-5)
           << "trial " << trial;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SSP vs cost-scaling differential suite.
+//
+// The SSP engine is the trusted oracle (it predates the cost-scaling
+// engine and is itself cross-checked against the generic ILP above).  For
+// every instance both engines must report the same flow value and the
+// same objective cost; the arc-level assignment may legitimately differ
+// when the optimum is not unique, so the suite additionally verifies that
+// the cost-scaling assignment is a *feasible* flow of the reported value
+// and cost.
+
+struct RandomArc {
+  int from, to;
+  long long cap, cost;
+};
+
+struct RandomNetwork {
+  int n = 0;
+  std::vector<RandomArc> arcs;
+};
+
+RandomNetwork random_network(Rng& rng) {
+  RandomNetwork net;
+  net.n = 3 + static_cast<int>(rng.next_below(10));
+  const int m = 2 + static_cast<int>(rng.next_below(40));
+  for (int i = 0; i < m; ++i) {
+    const int from = static_cast<int>(rng.next_below(net.n));
+    int to = static_cast<int>(rng.next_below(net.n));
+    if (to == from) to = (to + 1) % net.n;
+    // ~1/4 zero-cost arcs, ~1/4 zero-capacity arcs, and duplicates are
+    // kept: parallel arcs between the same pair with different costs are
+    // exactly where a buggy adjacency pairing would shear.
+    const long long cap = rng.next_below(4) == 0
+                              ? 0
+                              : 1 + static_cast<long long>(rng.next_below(8));
+    const long long cost =
+        rng.next_below(4) == 0 ? 0
+                               : 1 + static_cast<long long>(rng.next_below(20));
+    net.arcs.push_back({from, to, cap, cost});
+  }
+  return net;
+}
+
+/// Loads `net` into a fresh MinCostFlow (returns arc ids in order).
+MinCostFlow load(const RandomNetwork& net, std::vector<int>* ids = nullptr) {
+  MinCostFlow f(net.n);
+  for (const RandomArc& a : net.arcs) {
+    const int id = f.add_arc(a.from, a.to, a.cap, a.cost);
+    if (ids) ids->push_back(id);
+  }
+  return f;
+}
+
+/// Checks that the per-arc flows in `f` form a feasible s-t flow with the
+/// claimed value and cost.
+void expect_feasible_flow(const RandomNetwork& net, MinCostFlow& f,
+                          const std::vector<int>& ids, int s, int t,
+                          const MinCostFlow::Result& r) {
+  std::vector<long long> net_out(static_cast<std::size_t>(net.n), 0);
+  long long total_cost = 0;
+  for (std::size_t i = 0; i < net.arcs.size(); ++i) {
+    const long long x = f.flow_on(ids[i]);
+    EXPECT_GE(x, 0);
+    EXPECT_LE(x, net.arcs[i].cap);
+    net_out[static_cast<std::size_t>(net.arcs[i].from)] += x;
+    net_out[static_cast<std::size_t>(net.arcs[i].to)] -= x;
+    total_cost += x * net.arcs[i].cost;
+  }
+  EXPECT_EQ(total_cost, r.cost);
+  for (int v = 0; v < net.n; ++v) {
+    if (v == s)
+      EXPECT_EQ(net_out[static_cast<std::size_t>(v)], r.flow);
+    else if (v == t)
+      EXPECT_EQ(net_out[static_cast<std::size_t>(v)], -r.flow);
+    else
+      EXPECT_EQ(net_out[static_cast<std::size_t>(v)], 0) << "node " << v;
+  }
+}
+
+TEST(MinCostFlowDiff, RandomNetworksMatchSspOracle) {
+  Rng rng(20260807);
+  const auto variants = scaling_variants();
+  const int trials = 40 * ilp_iters();
+  for (int trial = 0; trial < trials; ++trial) {
+    const RandomNetwork net = random_network(rng);
+    const int s = static_cast<int>(rng.next_below(net.n));
+    int t = static_cast<int>(rng.next_below(net.n));
+    if (t == s) t = (t + 1) % net.n;
+    // Mix unlimited and limited solves (limit below, at, and above max
+    // flow all occur across trials).
+    const long long limit =
+        rng.next_below(3) == 0
+            ? std::numeric_limits<long long>::max()
+            : static_cast<long long>(rng.next_below(12));
+
+    MinCostFlow oracle = load(net);
+    const auto want = oracle.solve(s, t, limit, ssp_engine());
+
+    for (std::size_t v = 0; v < variants.size(); ++v) {
+      std::vector<int> ids;
+      MinCostFlow f = load(net, &ids);
+      const auto got = f.solve(s, t, limit, variants[v]);
+      ASSERT_EQ(got.flow, want.flow)
+          << "trial " << trial << " variant " << v;
+      ASSERT_EQ(got.cost, want.cost)
+          << "trial " << trial << " variant " << v;
+      expect_feasible_flow(net, f, ids, s, t, got);
+    }
+  }
+}
+
+TEST(MinCostFlowDiff, ParallelArcsAndZeroCosts) {
+  // Three parallel arcs of equal capacity, distinct costs, plus a
+  // zero-cost bypass: the optimum is unique, both engines must pick it.
+  for (const auto& options : scaling_variants()) {
+    MinCostFlow f(3);
+    f.add_arc(0, 1, 2, 5);
+    f.add_arc(0, 1, 2, 1);
+    f.add_arc(0, 1, 2, 3);
+    f.add_arc(1, 2, 5, 0);
+    f.add_arc(0, 2, 1, 0);
+    const auto r = f.solve(0, 2, 6, options);
+    EXPECT_EQ(r.flow, 6);
+    // bypass 1@0 + cheap 2@1 + mid 2@3 + expensive 1@5 = 13.
+    EXPECT_EQ(r.cost, 13);
+  }
+}
+
+TEST(MinCostFlowDiff, DisconnectedAndZeroLimit) {
+  for (const auto& options : scaling_variants()) {
+    MinCostFlow f(4);
+    f.add_arc(0, 1, 3, 2);
+    f.add_arc(2, 3, 3, 2);  // t unreachable from s
+    auto r = f.solve(0, 3, 10, options);
+    EXPECT_EQ(r.flow, 0);
+    EXPECT_EQ(r.cost, 0);
+    r = f.solve(0, 1, 0, options);  // zero limit
+    EXPECT_EQ(r.flow, 0);
+  }
+}
+
+TEST(MinCostFlowDiff, StatsAreDeterministicWorkCounters) {
+  const RandomNetwork net = [] {
+    Rng rng(7);
+    return random_network(rng);
+  }();
+  MinCostFlow a = load(net);
+  a.solve(0, 1, std::numeric_limits<long long>::max(), ssp_engine());
+  const auto ssp1 = a.last_stats();
+  MinCostFlow b = load(net);
+  b.solve(0, 1, std::numeric_limits<long long>::max(), ssp_engine());
+  EXPECT_EQ(ssp1.ssp_work, b.last_stats().ssp_work);
+  EXPECT_EQ(ssp1.pushes, 0u);  // SSP does not touch scaling counters
+
+  MinCostFlow c = load(net);
+  c.solve(0, 1);
+  const auto cs1 = c.last_stats();
+  MinCostFlow d = load(net);
+  d.solve(0, 1);
+  EXPECT_EQ(cs1.pushes, d.last_stats().pushes);
+  EXPECT_EQ(cs1.relabels, d.last_stats().relabels);
+  EXPECT_EQ(cs1.ssp_work, 0u);  // and vice versa
+}
+
+TEST(DegreeCoverDiff, RandomInstancesBothEngines) {
+  Rng rng(4242);
+  const int trials = 30 * ilp_iters();
+  int infeasible_seen = 0;
+  for (int trial = 0; trial < trials; ++trial) {
+    const int n = 3 + static_cast<int>(rng.next_below(6));
+    std::vector<DegreeCoverSolver::Edge> cand;
+    for (int u = 0; u < n; ++u)
+      for (int v = 0; v < n; ++v) {
+        if (u == v || rng.next_below(100) >= 50) continue;
+        cand.push_back(
+            {u, v, static_cast<long long>(rng.next_below(10))});
+        if (rng.next_below(4) == 0)  // parallel candidate, distinct cost
+          cand.push_back(
+              {u, v, static_cast<long long>(rng.next_below(10))});
+      }
+    std::vector<int> need_out(static_cast<std::size_t>(n)),
+        need_in(static_cast<std::size_t>(n));
+    for (int v = 0; v < n; ++v) {
+      // 0..2 with a fat tail of 3: dense needs make infeasible instances
+      // common enough to exercise that path in both engines.
+      need_out[static_cast<std::size_t>(v)] =
+          static_cast<int>(rng.next_below(4));
+      need_in[static_cast<std::size_t>(v)] =
+          static_cast<int>(rng.next_below(4));
+    }
+    std::vector<std::pair<int, bool>> tweaks;  // (index, required?)
+    for (std::size_t i = 0; i < cand.size(); ++i) {
+      const auto roll = rng.next_below(10);
+      if (roll == 0) tweaks.push_back({static_cast<int>(i), false});
+      if (roll == 1) tweaks.push_back({static_cast<int>(i), true});
+    }
+
+    const auto run = [&](const MinCostFlowOptions& options) {
+      DegreeCoverSolver solver(n, cand, need_out, need_in);
+      solver.set_flow_options(options);
+      for (const auto& [idx, required] : tweaks)
+        required ? solver.require(idx) : solver.forbid(idx);
+      return solver.solve();
+    };
+    const auto want = run(ssp_engine());
+    if (!want.feasible) ++infeasible_seen;
+    for (const auto& options : scaling_variants()) {
+      const auto got = run(options);
+      ASSERT_EQ(got.feasible, want.feasible) << "trial " << trial;
+      if (want.feasible) {
+        ASSERT_EQ(got.cost, want.cost) << "trial " << trial;
+      }
+    }
+  }
+  EXPECT_GT(infeasible_seen, 0) << "soak never hit an infeasible instance";
+}
+
+TEST(DegreeCoverDiff, AllSocsAugmentationMatches) {
+  // End to end through augment_connectivity: every ITC'02 SoC's
+  // degree-cover LPs (one per branch & bound node) solved by both engines
+  // must produce the same augmentation cost and optimality verdict.
+  for (const itc02::Soc& soc : itc02::socs()) {
+    const Rsn rsn = itc02::generate_sib_rsn(soc);
+    const DataflowGraph g = DataflowGraph::from_rsn(rsn);
+
+    AugmentOptions ssp_opt;
+    ssp_opt.mcf = ssp_engine();
+    const AugmentResult want = augment_connectivity(g, ssp_opt);
+
+    AugmentOptions cs_opt;  // default engine: cost scaling
+    const AugmentResult got = augment_connectivity(g, cs_opt);
+
+    EXPECT_EQ(got.cost, want.cost) << soc.name;
+    EXPECT_EQ(got.optimal, want.optimal) << soc.name;
+    EXPECT_EQ(got.added_edges.size(), want.added_edges.size()) << soc.name;
   }
 }
 

@@ -6,11 +6,12 @@
 #      tests/data/corpus/manifest.sha256);
 #   2. ASan+UBSan build + full test suite, then deeper soaks of the
 #      oracle differential suite (ctest -L oracle, scaled by
-#      FTRSN_ORACLE_ITERS) and of the fault-metric engine equivalence
+#      FTRSN_ORACLE_ITERS), of the fault-metric engine equivalence
 #      suite — including the packed lane-boundary and SIMD-kernel tests —
-#      (ctest -L metric, scaled by FTRSN_METRIC_ITERS) under the
-#      sanitizers, plus a small-SoC corpus replay with the scalar
-#      cross-check forced on every network;
+#      (ctest -L metric, scaled by FTRSN_METRIC_ITERS) and of the
+#      SSP-vs-cost-scaling min-cost-flow differential suite (ctest -L ilp,
+#      scaled by FTRSN_ILP_ITERS) under the sanitizers, plus a small-SoC
+#      corpus replay with the scalar cross-check forced on every network;
 #   3. TSan build (FTRSN_SANITIZE=thread) of the metric engine suite
 #      (packed batches included) and the batch runner suite — the places
 #      the library spawns threads (the batch suite exercises nested
@@ -20,6 +21,12 @@
 #      aggregates; on hosts with >= 8 hardware threads the intra-network
 #      and batch speedups are asserted too (skipped on small runners,
 #      where wall-clock scaling is physically impossible);
+#   4c. augment-scaling smoke: bench_augment_scaling on small synthetic
+#      instances must emit a schema-valid envelope where both flow engines
+#      agree on every objective and the hardware-independent work ratio
+#      (SSP Dijkstra arc scans / cost-scaling pushes+relabels) clears 3x
+#      on the largest common instance — the counters are deterministic,
+#      so this gate is meaningful on any runner;
 #   5. rsn-lint over generated and synthesized example networks
 #      (must report zero error-severity findings, exit status 0), plus
 #      JSON and SARIF emitter checks;
@@ -72,6 +79,13 @@ FTRSN_ORACLE_ITERS="${FTRSN_ORACLE_ITERS:-300}" \
 # networks scaled by FTRSN_METRIC_ITERS.
 FTRSN_METRIC_ITERS="${FTRSN_METRIC_ITERS:-1}" \
   run ctest --test-dir "$PREFIX-asan" --output-on-failure -L metric
+
+# Min-cost-flow differential soak under ASan+UBSan: randomized networks,
+# degree-cover instances and every ITC'02 SoC solved by both the SSP
+# oracle and the cost-scaling engine (all heuristic variants) must agree
+# on objective and feasibility.  Scaled by FTRSN_ILP_ITERS.
+FTRSN_ILP_ITERS="${FTRSN_ILP_ITERS:-10}" \
+  run ctest --test-dir "$PREFIX-asan" --output-on-failure -L ilp
 
 # Fix-engine soak under ASan+UBSan: the randomized differential trials
 # (inject defects -> repair -> SAT + fault-metric cross-check) are where
@@ -188,6 +202,49 @@ else
   grep -q '"bench": "batch_flow"' "$BATCH_JSON"
   if grep -q '"identical": false' "$BATCH_JSON"; then
     echo "batch bench smoke: aggregates mismatch" >&2; exit 1
+  fi
+fi
+
+# --- 4c. augment-scaling bench smoke ----------------------------------------
+# Small synthetic instances keep the smoke fast; the assertions are on
+# deterministic work counters, not wall time, so they hold on any host.
+SCALE_JSON="$PREFIX/BENCH_augment_scaling.smoke.json"
+FTRSN_SCALE_TARGETS=800,2000 FTRSN_SCALE_SSP_MAX=2000 \
+  FTRSN_BENCH_OUT="$SCALE_JSON" \
+  run "$PREFIX/bench/bench_augment_scaling"
+if command -v python3 >/dev/null 2>&1; then
+  run python3 - "$SCALE_JSON" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["schema"] == "ftrsn-bench-1", "schema tag"
+assert doc["bench"] == "augment_scaling", "bench tag"
+insts = doc["instances"]
+assert insts, "no instances"
+for inst in insts:
+    for key in ("target", "elements", "replicas", "vertices", "candidates",
+                "cost", "edges", "bb_nodes", "cs_seconds", "cs_pushes",
+                "cs_relabels", "ssp_ran", "ssp_work", "work_ratio"):
+        assert key in inst, f"missing {key}"
+    assert inst["elements"] > 0 and inst["vertices"] > inst["elements"]
+    assert inst["cost"] > 0 and inst["edges"] > 0, "no augmentation"
+    assert inst["cs_pushes"] + inst["cs_relabels"] > 0, "engine did no work"
+    if inst["ssp_ran"]:
+        # The bench itself FTRSN_CHECKs cost equality; re-assert from the
+        # payload so a silent format change cannot mask a drift.
+        assert inst["cost_match"] is True, f"engine drift at {inst['target']}"
+        assert inst["ssp_work"] > 0, "oracle did no work"
+# Hardware-independent speedup lever: deterministic SSP work over
+# deterministic cost-scaling work on the largest instance both ran.
+assert doc["largest_common_elements"] > 0, "no common instance"
+assert doc["work_ratio_largest_common"] > 3.0, \
+    f"work ratio regressed: {doc['work_ratio_largest_common']}"
+print("augment scaling bench ok:", sys.argv[1],
+      f"(ratio {doc['work_ratio_largest_common']:.0f}x)")
+EOF
+else
+  grep -q '"bench": "augment_scaling"' "$SCALE_JSON"
+  if grep -q '"cost_match": false' "$SCALE_JSON"; then
+    echo "augment scaling smoke: engine cost mismatch" >&2; exit 1
   fi
 fi
 

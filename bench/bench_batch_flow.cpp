@@ -113,5 +113,6 @@ int main() {
   report.add("socs", "[" + socs_list + "]");
   report.add_number("serial_seconds", serial_seconds);
   report.add("runs", "[" + runs_json + "\n  ]");
+  bench::print_histograms();
   return report.write() ? 0 : 1;
 }

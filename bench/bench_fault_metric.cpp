@@ -211,5 +211,7 @@ int main() {
   networks += "  ]";
   report.add_flag("legacy_baseline", run_legacy);
   report.add("networks", networks);
+  bench::rule();
+  bench::print_histograms("metric.");
   return report.write() ? 0 : 1;
 }

@@ -46,13 +46,31 @@ inline void rule(char c = '-', int n = 100) {
   std::putchar('\n');
 }
 
+/// Prints one line per recorded obs histogram whose name starts with
+/// `prefix` ("" = all): count and p50/p90/p99/max microseconds.
+inline void print_histograms(std::string_view prefix = {}) {
+  for (const auto& [name, h] : obs::histograms_snapshot()) {
+    if (!prefix.empty() && name.rfind(prefix, 0) != 0) continue;
+    std::printf(
+        "hist %-26s count=%-9llu p50=%-8.0f p90=%-8.0f p99=%-8.0f max=%llu us\n",
+        name.c_str(), static_cast<unsigned long long>(h.count), h.p50(),
+        h.p90(), h.p99(), static_cast<unsigned long long>(h.max));
+  }
+}
+
 /// Machine-readable result envelope shared by every bench binary
 /// (schema "ftrsn-bench-1"):
 ///
 ///   { "schema": "ftrsn-bench-1", "bench": "<name>", "git_sha": "...",
 ///     "hardware_threads": N, "wall_seconds": X,
 ///     "obs_counters": { ... },          // process counters at write time
+///     "histograms": { ... },            // non-empty obs histograms (p50..)
+///     "mem": { ... },                   // current/peak RSS at write time
 ///     <payload members added via add_*> }
+///
+/// "histograms" and "mem" were added with obs report v2; all keys that
+/// predate them are byte-compatible with the original envelope, and
+/// "histograms" is omitted entirely when no histogram recorded anything.
 ///
 /// Construct early in main() (wall_seconds is measured from construction),
 /// add payload members, and call write() last.  The output path defaults
@@ -114,6 +132,27 @@ class BenchReport {
       first = false;
     }
     json += first ? "},\n" : "\n  },\n";
+    const auto hists = obs::histograms_snapshot();
+    if (!hists.empty()) {
+      json += "  \"histograms\": {";
+      first = true;
+      for (const auto& [name, h] : hists) {
+        json += first ? "\n    " : ",\n    ";
+        first = false;
+        json += "\"" + obs::detail::json_escape(name) + "\": {\"count\": " +
+                strprintf("%llu", static_cast<unsigned long long>(h.count)) +
+                ", \"sum\": " +
+                strprintf("%llu", static_cast<unsigned long long>(h.sum)) +
+                ", \"max\": " +
+                strprintf("%llu", static_cast<unsigned long long>(h.max)) +
+                ", \"p50\": " + obs::detail::format_double(h.p50()) +
+                ", \"p90\": " + obs::detail::format_double(h.p90()) +
+                ", \"p99\": " + obs::detail::format_double(h.p99()) + "}";
+      }
+      json += "\n  },\n";
+    }
+    json += strprintf("  \"mem\": {\"current_rss_kb\": %ld, \"peak_rss_kb\": %ld},\n",
+                      obs::detail::current_rss_kb(), obs::detail::peak_rss_kb());
     for (std::size_t i = 0; i < members_.size(); ++i) {
       json += "  \"" + obs::detail::json_escape(members_[i].first) +
               "\": " + members_[i].second;

@@ -1,0 +1,164 @@
+// rsn-obs — diff and rank ftrsn observability artifacts.
+//
+//   rsn-obs diff a.json b.json [options]   compare two run reports or two
+//                                          ftrsn-bench-1 envelopes
+//   rsn-obs top report.json [options]      rank span families
+//
+// diff options:
+//   --counters=G1,G2,...   counter glob filters ('*' wildcard; default: all)
+//   --counter-tol=R        relative counter tolerance (default 0 = exact)
+//   --quantiles            also compare histogram p50/p90/p99
+//   --histograms=G1,...    histogram glob filters for --quantiles
+//   --quantile-tol=R       relative quantile tolerance (default 0.25)
+//   --wall[=R]             also compare wall_seconds (default tol 0.5)
+//   --json                 print the machine verdict instead of the table
+//
+// top options:
+//   --by=wall|count|p99    sort key (default wall)
+//   --limit=N              rows to print (default 20)
+//
+// Exit status: 0 = match (diff) / ok (top), 1 = mismatch, 2 = usage or
+// input error.  CI uses `rsn-obs diff` with counter-exact gates as the
+// hardware-independent regression check (tools/ci.sh).
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/diff.hpp"
+
+namespace {
+
+using ftrsn::obs::DiffOptions;
+using ftrsn::obs::TopOptions;
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: rsn-obs diff <a.json> <b.json> [--counters=G1,G2,...]\n"
+      "               [--counter-tol=R] [--quantiles] [--histograms=G1,...]\n"
+      "               [--quantile-tol=R] [--wall[=R]] [--json]\n"
+      "       rsn-obs top <report.json> [--by=wall|count|p99] [--limit=N]\n");
+  return 2;
+}
+
+std::vector<std::string> split_list(std::string_view s) {
+  std::vector<std::string> out;
+  while (!s.empty()) {
+    const std::size_t comma = s.find(',');
+    const std::string_view item = s.substr(0, comma);
+    if (!item.empty()) out.emplace_back(item);
+    if (comma == std::string_view::npos) break;
+    s.remove_prefix(comma + 1);
+  }
+  return out;
+}
+
+bool parse_double(std::string_view s, double& out) {
+  try {
+    std::size_t used = 0;
+    out = std::stod(std::string(s), &used);
+    return used == s.size();
+  } catch (...) {
+    return false;
+  }
+}
+
+int run_diff(const std::vector<std::string>& args) {
+  DiffOptions options;
+  bool json_verdict = false;
+  std::vector<std::string> paths;
+  for (const std::string& arg : args) {
+    const std::string_view a = arg;
+    if (a.rfind("--counters=", 0) == 0) {
+      options.counter_filters = split_list(a.substr(11));
+    } else if (a.rfind("--counter-tol=", 0) == 0) {
+      if (!parse_double(a.substr(14), options.counter_rel_tol)) return usage();
+    } else if (a == "--quantiles") {
+      options.compare_quantiles = true;
+    } else if (a.rfind("--histograms=", 0) == 0) {
+      options.histogram_filters = split_list(a.substr(13));
+      options.compare_quantiles = true;
+    } else if (a.rfind("--quantile-tol=", 0) == 0) {
+      if (!parse_double(a.substr(15), options.quantile_rel_tol))
+        return usage();
+      options.compare_quantiles = true;
+    } else if (a == "--wall") {
+      options.compare_wall = true;
+    } else if (a.rfind("--wall=", 0) == 0) {
+      if (!parse_double(a.substr(7), options.wall_rel_tol)) return usage();
+      options.compare_wall = true;
+    } else if (a == "--json") {
+      json_verdict = true;
+    } else if (a.rfind("--", 0) == 0) {
+      return usage();
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.size() != 2) return usage();
+
+  std::string error;
+  const auto doc_a = ftrsn::obs::load_run_doc(paths[0], &error);
+  if (!doc_a) {
+    std::fprintf(stderr, "rsn-obs: %s\n", error.c_str());
+    return 2;
+  }
+  const auto doc_b = ftrsn::obs::load_run_doc(paths[1], &error);
+  if (!doc_b) {
+    std::fprintf(stderr, "rsn-obs: %s\n", error.c_str());
+    return 2;
+  }
+  const auto result = ftrsn::obs::diff_docs(*doc_a, *doc_b, options);
+  if (json_verdict)
+    std::fputs(result.verdict_json(*doc_a, *doc_b).c_str(), stdout);
+  else
+    std::fputs(result.table(*doc_a, *doc_b).c_str(), stdout);
+  return result.ok() ? 0 : 1;
+}
+
+int run_top(const std::vector<std::string>& args) {
+  TopOptions options;
+  std::vector<std::string> paths;
+  for (const std::string& arg : args) {
+    const std::string_view a = arg;
+    if (a == "--by=wall") {
+      options.by = TopOptions::By::kWall;
+    } else if (a == "--by=count") {
+      options.by = TopOptions::By::kCount;
+    } else if (a == "--by=p99") {
+      options.by = TopOptions::By::kP99;
+    } else if (a.rfind("--limit=", 0) == 0) {
+      char* end = nullptr;
+      const long limit = std::strtol(arg.c_str() + 8, &end, 10);
+      if (end == nullptr || *end != '\0' || limit <= 0) return usage();
+      options.limit = static_cast<std::size_t>(limit);
+    } else if (a.rfind("--", 0) == 0) {
+      return usage();
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.size() != 1) return usage();
+
+  std::string error;
+  const auto doc = ftrsn::obs::load_run_doc(paths[0], &error);
+  if (!doc) {
+    std::fprintf(stderr, "rsn-obs: %s\n", error.c_str());
+    return 2;
+  }
+  std::fputs(ftrsn::obs::top_table(*doc, options).c_str(), stdout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string_view command = argv[1];
+  std::vector<std::string> args(argv + 2, argv + argc);
+  if (command == "diff") return run_diff(args);
+  if (command == "top") return run_top(args);
+  return usage();
+}

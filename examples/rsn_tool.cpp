@@ -22,6 +22,11 @@
 // `batch` options: the same four, where --threads=N sizes the shared pool
 // (networks and fault classes share its workers, see core/batch.hpp), plus
 //   --no-original      skip the original-RSN metric (hardened only)
+// A batch --report=PATH writes the merged run report to PATH plus one
+// per-network report per flow ("run.json" -> "run.u226.json", ...): each
+// flow runs in its own obs context, so the per-network counters isolate
+// that flow and the merged report's counters are their sums (DESIGN.md
+// §5j).  Compare two runs with `rsn-obs diff`.
 // FTRSN_TRACE / FTRSN_REPORT are honoured as defaults for every command.
 #include <cstdio>
 #include <cstring>
@@ -176,8 +181,12 @@ int run_batch_command(int argc, char** argv) {
               res.threads, res.wall_seconds);
   if (!bopt.trace_path.empty())
     std::printf("trace:     %s\n", bopt.trace_path.c_str());
-  if (!bopt.report_path.empty())
-    std::printf("report:    %s\n", bopt.report_path.c_str());
+  if (!bopt.report_path.empty()) {
+    std::printf("report:    %s (merged)\n", bopt.report_path.c_str());
+    for (const std::string& label : res.flow_labels)
+      std::printf("           %s\n",
+                  per_flow_report_path(bopt.report_path, label).c_str());
+  }
   return 0;
 }
 

@@ -1,6 +1,7 @@
 #include "core/batch.hpp"
 
 #include <chrono>
+#include <string_view>
 #include <utility>
 
 #include "obs/obs.hpp"
@@ -18,6 +19,17 @@ BatchRunner::~BatchRunner() = default;
 
 int BatchRunner::num_threads() const { return pool_->num_threads(); }
 
+std::string per_flow_report_path(const std::string& report_path,
+                                 const std::string& label) {
+  constexpr std::string_view kSuffix = ".json";
+  if (report_path.size() > kSuffix.size() &&
+      report_path.compare(report_path.size() - kSuffix.size(), kSuffix.size(),
+                          kSuffix) == 0)
+    return report_path.substr(0, report_path.size() - kSuffix.size()) + "." +
+           label + ".json";
+  return report_path + "." + label + ".json";
+}
+
 BatchResult BatchRunner::run_flows(std::vector<BatchFlow> flows) {
   const auto t0 = std::chrono::steady_clock::now();
   const bool want_obs =
@@ -27,10 +39,15 @@ BatchResult BatchRunner::run_flows(std::vector<BatchFlow> flows) {
     if (!options_.trace_path.empty() && options_.trace_stream_events > 0)
       obs::stream_trace_to(options_.trace_path, options_.trace_stream_events);
   }
+  // Children merge into whatever context the batch was submitted from
+  // (normally the process default), so the merged report covers the run.
+  obs::ObsContext& parent = obs::current_context();
 
   BatchResult result;
   result.threads = pool_->num_threads();
   result.flows.resize(flows.size());
+  result.flow_labels.resize(flows.size());
+  if (want_obs) result.flow_reports.resize(flows.size());
 
   // One chunk per network: the pool's oldest-first policy hands whole
   // networks to idle workers until none are left, then they fall through
@@ -44,19 +61,45 @@ BatchResult BatchRunner::run_flows(std::vector<BatchFlow> flows) {
           if (label.empty())
             label = !flow.soc.empty() ? flow.soc
                                       : "flow" + std::to_string(i);
-          std::optional<obs::Span> span;
-          if (obs::enabled()) span.emplace("batch." + label);
+          result.flow_labels[i] = label;
           FlowOptions opt = flow.options;
           opt.trace_path.clear();  // the batch owns observability output
           opt.report_path.clear();
           opt.metric_pool = pool_.get();
-          if (!flow.soc.empty()) {
-            result.flows[i] = run_soc_flow(flow.soc, opt);
-          } else {
-            FTRSN_CHECK_MSG(flow.rsn.has_value(),
-                            "BatchFlow needs a soc name or an explicit rsn");
-            result.flows[i] = run_flow(*flow.rsn, opt);
+          const auto run_one = [&] {
+            if (!flow.soc.empty()) {
+              result.flows[i] = run_soc_flow(flow.soc, opt);
+            } else {
+              FTRSN_CHECK_MSG(flow.rsn.has_value(),
+                              "BatchFlow needs a soc name or an explicit rsn");
+              result.flows[i] = run_flow(*flow.rsn, opt);
+            }
+          };
+          if (!want_obs) {
+            run_one();
+            continue;
           }
+          // Each network gets its own ObsContext: nested metric/ILP jobs
+          // inherit it through the pool, so the per-network report isolates
+          // this flow's counters/spans/histograms no matter how the sweep
+          // was scheduled.  Render the child report before merging, then
+          // fold everything into the parent so the merged report still
+          // equals the sum of the children.
+          obs::ObsContext ctx;
+          try {
+            obs::ContextScope scope(ctx);
+            std::optional<obs::Span> span;
+            if (obs::enabled()) span.emplace("batch." + label);
+            run_one();
+          } catch (...) {
+            ctx.merge_into(parent);
+            throw;
+          }
+          {
+            obs::ContextScope scope(ctx);
+            result.flow_reports[i] = obs::report_json();
+          }
+          ctx.merge_into(parent);
         }
       });
 
@@ -64,7 +107,13 @@ BatchResult BatchRunner::run_flows(std::vector<BatchFlow> flows) {
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
   if (!options_.trace_path.empty()) obs::write_trace(options_.trace_path);
-  if (!options_.report_path.empty()) obs::write_report(options_.report_path);
+  if (!options_.report_path.empty()) {
+    obs::write_report(options_.report_path);
+    for (std::size_t i = 0; i < result.flow_reports.size(); ++i)
+      obs::write_file(
+          per_flow_report_path(options_.report_path, result.flow_labels[i]),
+          result.flow_reports[i]);
+  }
   return result;
 }
 

@@ -23,6 +23,13 @@
 // FTRSN_TRACE of a batch run shows the shard schedule across worker lanes.
 // Long sweeps should bound trace memory with obs::stream_trace_to (the
 // runner does this automatically when BatchOptions::trace_path is set).
+// When a trace/report is requested, every flow additionally runs in its own
+// obs::ObsContext (DESIGN.md §5j): the per-network run report is captured
+// in BatchResult::flow_reports (and written next to report_path as
+// "<stem>.<name>.json"), then the child context is merged into the
+// caller's context, so the merged report's counters are the sums of the
+// children (scheduling counters like pool.chunks of the outer network-level
+// job excepted — those belong to the parent job's own context).
 #pragma once
 
 #include <cstddef>
@@ -72,9 +79,21 @@ struct BatchOptions {
 struct BatchResult {
   /// One entry per input flow, in input order (schedule-independent).
   std::vector<FlowResult> flows;
+  /// Per-flow run reports (ftrsn-run-report v2 JSON), in input order.
+  /// Populated only when BatchOptions requested a trace or report.
+  std::vector<std::string> flow_reports;
+  /// Flow labels, in input order (the "batch.<label>" span names).
+  std::vector<std::string> flow_labels;
   double wall_seconds = 0.0;
   int threads = 1;
 };
+
+/// Where run_flows writes the per-network report of flow `label` when
+/// BatchOptions::report_path is set: inserts ".<label>" before a trailing
+/// ".json" ("reports/run.json" + "u226" -> "reports/run.u226.json"), or
+/// appends ".<label>.json" when the path has no .json suffix.
+std::string per_flow_report_path(const std::string& report_path,
+                                 const std::string& label);
 
 class BatchRunner {
  public:

@@ -1524,7 +1524,12 @@ FaultToleranceReport FaultMetricEngine::evaluate_faults(
               if (fault_polarity_invariant(canon[l].forcing.point))
                 canon[l].forcing.value = false;
             }
-            eval_fault_batch(s, canon.data(), lanes, *simd_ops);
+            {
+              // Always-on latency histogram: one 64-lane fixpoint batch.
+              static obs::Histogram batch_hist("metric.packed_batch_us");
+              obs::ScopedLatency timer(batch_hist);
+              eval_fault_batch(s, canon.data(), lanes, *simd_ops);
+            }
             ++s.packed_batches;
             s.packed_lanes += lanes;
             for (std::size_t l = 0; l < lanes; ++l) {
@@ -1554,7 +1559,12 @@ FaultToleranceReport FaultMetricEngine::evaluate_faults(
             Fault canon = faults[static_cast<std::size_t>(rep[c])];
             if (fault_polarity_invariant(canon.forcing.point))
               canon.forcing.value = false;
-            eval_fault_set(s, &canon, 1, options.seed_baseline);
+            {
+              // Always-on latency histogram: one scalar class fixpoint.
+              static obs::Histogram class_hist("metric.class_eval_us");
+              obs::ScopedLatency timer(class_hist);
+              eval_fault_set(s, &canon, 1, options.seed_baseline);
+            }
             long long segs = 0, bits = 0;
             for (const NodeId id : counted_ids) {
               if (!bit_test(s.accessible, id)) continue;

@@ -173,6 +173,11 @@ void DegreeCoverSolver::require(int index) {
 
 DegreeCoverSolver::Result DegreeCoverSolver::solve() {
   OBS_SPAN("ilp.degree_cover");
+  // Always-on latency histogram: one degree-cover LP solve per
+  // augmentation candidate, so report p50/p99 localize ILP regressions
+  // without a trace.
+  static obs::Histogram solve_hist("ilp.solve_us");
+  obs::ScopedLatency solve_timer(solve_hist);
   // Each call solves the degree-cover LP relaxation exactly (min-cost flow
   // = the LP's combinatorial dual), so it counts as an LP solve alongside
   // IlpSolver's per-node relaxations.  The kFlow engine — the default on

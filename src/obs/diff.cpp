@@ -1,0 +1,292 @@
+#include "obs/diff.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <set>
+
+#include "obs/obs.hpp"
+#include "util/json.hpp"
+
+namespace ftrsn::obs {
+
+namespace {
+
+void load_counter_object(const json::Value& obj,
+                         std::map<std::string, double>& out) {
+  for (const auto& [name, v] : obj.members)
+    if (v.is_number()) out[name] = v.number;
+}
+
+RunDoc::Hist load_hist_members(const json::Value& h) {
+  RunDoc::Hist out;
+  out.count = h.num_or("count", 0);
+  out.sum = h.num_or("sum", 0);
+  out.max = h.num_or("max", 0);
+  out.p50 = h.num_or("p50", 0);
+  out.p90 = h.num_or("p90", 0);
+  out.p99 = h.num_or("p99", 0);
+  return out;
+}
+
+// Relative mismatch of two non-negative scalars against `tol`; equal
+// values (including 0 vs 0) always pass, and tol == 0 demands equality.
+bool within(double a, double b, double tol) {
+  if (a == b) return true;
+  const double denom = std::max(std::fabs(a), std::fabs(b));
+  return denom > 0.0 && std::fabs(a - b) / denom <= tol;
+}
+
+std::string fmt_value(double v) {
+  // Counters are integers; render them as such so tables stay readable.
+  if (v == std::floor(v) && std::fabs(v) < 1e15)
+    return std::to_string(static_cast<long long>(v));
+  return detail::format_double(v);
+}
+
+}  // namespace
+
+bool glob_match(std::string_view pattern, std::string_view name) {
+  // Iterative '*' matcher with single-candidate backtracking.
+  std::size_t p = 0, n = 0;
+  std::size_t star = std::string_view::npos, star_n = 0;
+  while (n < name.size()) {
+    if (p < pattern.size() &&
+        (pattern[p] == name[n])) {
+      ++p;
+      ++n;
+    } else if (p < pattern.size() && pattern[p] == '*') {
+      star = p++;
+      star_n = n;
+    } else if (star != std::string_view::npos) {
+      p = star + 1;
+      n = ++star_n;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '*') ++p;
+  return p == pattern.size();
+}
+
+bool matches_any(const std::vector<std::string>& patterns,
+                 std::string_view name) {
+  if (patterns.empty()) return true;
+  for (const std::string& p : patterns)
+    if (glob_match(p, name)) return true;
+  return false;
+}
+
+std::optional<RunDoc> load_run_doc(const std::string& path,
+                                   std::string* error) {
+  const auto root = json::parse_file(path, error);
+  if (!root) return std::nullopt;
+  if (!root->is_object()) {
+    if (error != nullptr) *error = path + ": top-level value is not an object";
+    return std::nullopt;
+  }
+  const json::Value* schema = root->find("schema");
+  if (schema == nullptr || !schema->is_string()) {
+    if (error != nullptr) *error = path + ": missing \"schema\"";
+    return std::nullopt;
+  }
+
+  RunDoc doc;
+  doc.schema = schema->text;
+  doc.source = path;
+  doc.version = static_cast<int>(root->num_or("version", 0));
+  doc.wall_seconds = root->num_or("wall_seconds", 0);
+
+  if (doc.schema == "ftrsn-run-report") {
+    if (const json::Value* counters = root->find("counters"))
+      load_counter_object(*counters, doc.counters);
+    if (const json::Value* gauges = root->find("gauges"))
+      load_counter_object(*gauges, doc.gauges);
+    if (const json::Value* spans = root->find("spans"); spans && spans->is_array())
+      for (const json::Value& s : spans->items) {
+        const json::Value* name = s.find("name");
+        if (name == nullptr || !name->is_string()) continue;
+        doc.spans[name->text] = {s.num_or("count", 0),
+                                 s.num_or("total_seconds", 0),
+                                 s.num_or("max_seconds", 0)};
+      }
+    if (const json::Value* hists = root->find("histograms");
+        hists && hists->is_array())
+      for (const json::Value& h : hists->items) {
+        const json::Value* name = h.find("name");
+        if (name == nullptr || !name->is_string()) continue;
+        doc.histograms[name->text] = load_hist_members(h);
+      }
+    return doc;
+  }
+  if (doc.schema == "ftrsn-bench-1") {
+    if (const json::Value* counters = root->find("obs_counters"))
+      load_counter_object(*counters, doc.counters);
+    if (const json::Value* hists = root->find("histograms");
+        hists && hists->is_object())
+      for (const auto& [name, h] : hists->members)
+        doc.histograms[name] = load_hist_members(h);
+    return doc;
+  }
+  if (error != nullptr)
+    *error = path + ": unrecognized schema \"" + doc.schema + "\"";
+  return std::nullopt;
+}
+
+DiffResult diff_docs(const RunDoc& a, const RunDoc& b,
+                     const DiffOptions& options) {
+  DiffResult result;
+  const auto push = [&](std::string kind, std::string name, double va,
+                        double vb, double tol) {
+    DiffRow row;
+    row.kind = std::move(kind);
+    row.name = std::move(name);
+    row.a = va;
+    row.b = vb;
+    row.ok = within(va, vb, tol);
+    ++result.compared;
+    if (!row.ok) ++result.mismatches;
+    result.rows.push_back(std::move(row));
+  };
+
+  std::set<std::string> counter_names;
+  for (const auto& [name, v] : a.counters) counter_names.insert(name);
+  for (const auto& [name, v] : b.counters) counter_names.insert(name);
+  for (const std::string& name : counter_names) {
+    if (!matches_any(options.counter_filters, name)) continue;
+    const auto ita = a.counters.find(name);
+    const auto itb = b.counters.find(name);
+    push("counter", name, ita == a.counters.end() ? 0.0 : ita->second,
+         itb == b.counters.end() ? 0.0 : itb->second,
+         options.counter_rel_tol);
+  }
+
+  if (options.compare_quantiles) {
+    std::set<std::string> hist_names;
+    for (const auto& [name, h] : a.histograms) hist_names.insert(name);
+    for (const auto& [name, h] : b.histograms) hist_names.insert(name);
+    for (const std::string& name : hist_names) {
+      if (!matches_any(options.histogram_filters, name)) continue;
+      static const RunDoc::Hist kEmpty;
+      const auto ita = a.histograms.find(name);
+      const auto itb = b.histograms.find(name);
+      const RunDoc::Hist& ha = ita == a.histograms.end() ? kEmpty : ita->second;
+      const RunDoc::Hist& hb = itb == b.histograms.end() ? kEmpty : itb->second;
+      push("quantile", name + ".p50", ha.p50, hb.p50,
+           options.quantile_rel_tol);
+      push("quantile", name + ".p90", ha.p90, hb.p90,
+           options.quantile_rel_tol);
+      push("quantile", name + ".p99", ha.p99, hb.p99,
+           options.quantile_rel_tol);
+    }
+  }
+
+  if (options.compare_wall)
+    push("wall", "wall_seconds", a.wall_seconds, b.wall_seconds,
+         options.wall_rel_tol);
+
+  return result;
+}
+
+std::string DiffResult::table(const RunDoc& a, const RunDoc& b) const {
+  std::string out;
+  out += "diff " + a.source + " (" + a.schema + ") vs " + b.source + " (" +
+         b.schema + ")\n";
+  std::size_t name_w = 4;
+  for (const DiffRow& row : rows) name_w = std::max(name_w, row.name.size());
+  char line[512];
+  std::snprintf(line, sizeof line, "  %-8s %-*s %16s %16s  %s\n", "kind",
+                static_cast<int>(name_w), "name", "a", "b", "verdict");
+  out += line;
+  // Mismatches first, then matches, stable within each group.
+  for (const bool want_ok : {false, true}) {
+    for (const DiffRow& row : rows) {
+      if (row.ok != want_ok) continue;
+      std::snprintf(line, sizeof line, "  %-8s %-*s %16s %16s  %s\n",
+                    row.kind.c_str(), static_cast<int>(name_w),
+                    row.name.c_str(), fmt_value(row.a).c_str(),
+                    fmt_value(row.b).c_str(), row.ok ? "ok" : "MISMATCH");
+      out += line;
+    }
+  }
+  std::snprintf(line, sizeof line,
+                "verdict: %s (%zu compared, %zu mismatched)\n",
+                ok() ? "MATCH" : "MISMATCH", compared, mismatches);
+  out += line;
+  return out;
+}
+
+std::string DiffResult::verdict_json(const RunDoc& a, const RunDoc& b) const {
+  std::string out;
+  out += "{\n  \"schema\": \"ftrsn-obs-diff\",\n  \"version\": 1,\n";
+  out += "  \"a\": \"" + detail::json_escape(a.source) + "\",\n";
+  out += "  \"b\": \"" + detail::json_escape(b.source) + "\",\n";
+  out += "  \"compared\": " + std::to_string(compared) + ",\n";
+  out += "  \"mismatches\": " + std::to_string(mismatches) + ",\n";
+  out += std::string("  \"match\": ") + (ok() ? "true" : "false") + ",\n";
+  out += "  \"rows\": [";
+  bool first = true;
+  for (const DiffRow& row : rows) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    out += "{\"kind\": \"" + row.kind + "\", \"name\": \"" +
+           detail::json_escape(row.name) + "\", \"a\": " +
+           detail::format_double(row.a) + ", \"b\": " +
+           detail::format_double(row.b) + ", \"ok\": " +
+           (row.ok ? "true" : "false") + "}";
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+std::string top_table(const RunDoc& doc, const TopOptions& options) {
+  struct Row {
+    std::string name;
+    double count = 0, wall = 0, p99 = 0, max_us = 0;
+  };
+  std::map<std::string, Row> by_name;
+  for (const auto& [name, s] : doc.spans) {
+    Row& row = by_name[name];
+    row.name = name;
+    row.count = s.count;
+    row.wall = s.total_seconds;
+  }
+  for (const auto& [name, h] : doc.histograms) {
+    Row& row = by_name[name];
+    row.name = name;
+    if (row.count == 0) row.count = h.count;
+    if (row.wall == 0) row.wall = h.sum / 1e6;  // histogram sums are us
+    row.p99 = h.p99;
+    row.max_us = h.max;
+  }
+  std::vector<Row> rows;
+  rows.reserve(by_name.size());
+  for (auto& [name, row] : by_name) rows.push_back(std::move(row));
+  std::stable_sort(rows.begin(), rows.end(), [&](const Row& x, const Row& y) {
+    switch (options.by) {
+      case TopOptions::By::kCount: return x.count > y.count;
+      case TopOptions::By::kP99: return x.p99 > y.p99;
+      case TopOptions::By::kWall:
+      default: return x.wall > y.wall;
+    }
+  });
+  if (rows.size() > options.limit) rows.resize(options.limit);
+
+  std::string out = "top " + doc.source + " (" + doc.schema + ")\n";
+  std::size_t name_w = 4;
+  for (const Row& row : rows) name_w = std::max(name_w, row.name.size());
+  char line[512];
+  std::snprintf(line, sizeof line, "  %-*s %12s %14s %12s %12s\n",
+                static_cast<int>(name_w), "name", "count", "wall_seconds",
+                "p99_us", "max_us");
+  out += line;
+  for (const Row& row : rows) {
+    std::snprintf(line, sizeof line, "  %-*s %12.0f %14.6f %12.0f %12.0f\n",
+                  static_cast<int>(name_w), row.name.c_str(), row.count,
+                  row.wall, row.p99, row.max_us);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace ftrsn::obs

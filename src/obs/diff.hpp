@@ -1,0 +1,107 @@
+// rsn-obs diff/top engine (DESIGN.md §5j).
+//
+// Loads the two machine formats the repo emits — "ftrsn-run-report" (v1/v2)
+// and "ftrsn-bench-1" envelopes — into one comparable RunDoc shape, then
+// diffs counters (exact by default: they are deterministic algorithm counts,
+// schedule- and hardware-independent) and optionally histogram quantiles /
+// wall clock (tolerance-gated: those are timing).  The CI regression gate is
+// `rsn-obs diff baseline.json fresh.json --counters=<globs>` with the
+// counter families that are bit-deterministic at any thread count
+// (metric.mask_evals, ilp.flow_*, lint.*, ...).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace ftrsn::obs {
+
+/// Comparable view of one run report or bench envelope.
+struct RunDoc {
+  std::string schema;       // "ftrsn-run-report" | "ftrsn-bench-1"
+  std::string source;       // file path (for messages)
+  int version = 0;          // report schema version (0 for bench)
+  double wall_seconds = 0.0;
+
+  std::map<std::string, double> counters;
+  std::map<std::string, double> gauges;
+
+  struct Hist {
+    double count = 0, sum = 0, max = 0, p50 = 0, p90 = 0, p99 = 0;
+  };
+  std::map<std::string, Hist> histograms;
+
+  struct SpanAgg {
+    double count = 0, total_seconds = 0, max_seconds = 0;
+  };
+  std::map<std::string, SpanAgg> spans;  // reports only
+};
+
+/// Parses `path` as a run report or bench envelope; nullopt + message on
+/// unreadable / unrecognized input.
+std::optional<RunDoc> load_run_doc(const std::string& path,
+                                   std::string* error = nullptr);
+
+/// `*`-wildcard match (any substring, including empty); no other
+/// metacharacters.
+bool glob_match(std::string_view pattern, std::string_view name);
+/// True when `name` matches any pattern of the comma-separated-style list
+/// (empty list = match everything).
+bool matches_any(const std::vector<std::string>& patterns,
+                 std::string_view name);
+
+struct DiffOptions {
+  /// Counter glob filters; empty compares every counter present in either
+  /// document (missing counters compare as 0).
+  std::vector<std::string> counter_filters;
+  /// Relative tolerance for counters; 0 (the default) demands exact
+  /// equality — the CI gate mode.
+  double counter_rel_tol = 0.0;
+  /// Also compare histogram p50/p90/p99 (timing — off by default so the
+  /// default gate stays hardware-independent).
+  bool compare_quantiles = false;
+  std::vector<std::string> histogram_filters;
+  double quantile_rel_tol = 0.25;
+  /// Also compare wall_seconds.
+  bool compare_wall = false;
+  double wall_rel_tol = 0.5;
+};
+
+struct DiffRow {
+  std::string kind;  // "counter" | "quantile" | "wall"
+  std::string name;
+  double a = 0.0;
+  double b = 0.0;
+  bool ok = true;
+};
+
+struct DiffResult {
+  std::vector<DiffRow> rows;
+  std::size_t compared = 0;
+  std::size_t mismatches = 0;
+  bool ok() const { return mismatches == 0; }
+
+  /// Human-readable table (mismatches first).
+  std::string table(const RunDoc& a, const RunDoc& b) const;
+  /// Machine verdict ("ftrsn-obs-diff" schema, version 1).
+  std::string verdict_json(const RunDoc& a, const RunDoc& b) const;
+};
+
+DiffResult diff_docs(const RunDoc& a, const RunDoc& b,
+                     const DiffOptions& options = {});
+
+struct TopOptions {
+  enum class By { kWall, kCount, kP99 };
+  By by = By::kWall;
+  std::size_t limit = 20;
+};
+
+/// Ranks span families (joined with their histograms when present) by
+/// total wall / count / p99 and renders a table.
+std::string top_table(const RunDoc& doc, const TopOptions& options = {});
+
+}  // namespace ftrsn::obs

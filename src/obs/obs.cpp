@@ -1,19 +1,31 @@
 #include "obs/obs.hpp"
 
 #include <sys/resource.h>
+#include <unistd.h>
 
 #include <algorithm>
+#include <bit>
+#include <charconv>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <utility>
 #include <vector>
 
 namespace ftrsn::obs {
 
 namespace {
+
+// ---------------------------------------------------------------------------
+// Global (process-wide) state: trace-event logs, the streaming sink, the
+// clock, and the name interners.  Aggregation state lives per-context in
+// ObsContext::Impl.  Both are intentionally leaked so static Counter /
+// Histogram handles and exit-time spans stay valid during shutdown.
+// ---------------------------------------------------------------------------
 
 struct SpanEvent {
   std::string name;
@@ -24,56 +36,22 @@ struct SpanEvent {
 
 struct ThreadLog {
   int tid = 0;
-  std::string name;          // guarded by mu
+  std::string name;               // guarded by mu
   std::vector<SpanEvent> events;  // guarded by mu
-  std::int32_t depth = 0;    // touched only by the owning thread
+  std::int32_t depth = 0;         // touched only by the owning thread
   std::mutex mu;
 };
 
-// Aggregate of one span name (count / total / max duration), shared by the
-// run report and the streaming flush path.
-struct Agg {
-  std::uint64_t count = 0;
-  std::uint64_t total_us = 0;
-  std::uint64_t max_us = 0;
-
-  void fold(std::uint64_t dur_us) {
-    ++count;
-    total_us += dur_us;
-    max_us = std::max(max_us, dur_us);
-  }
-};
-
-// Depth-0 aggregates of one thread, in first-start order (the report's
-// stage table for that thread).
-struct StageAgg {
-  std::vector<std::string> order;
-  std::map<std::string, Agg, std::less<>> by_name;
-
-  void fold(const std::string& name, std::uint64_t dur_us) {
-    auto [it, inserted] = by_name.try_emplace(name);
-    if (inserted) order.push_back(name);
-    ++it->second.count;
-    it->second.total_us += dur_us;
-  }
-};
-
-// Active streaming-trace sink (guarded by Registry::mu).
+// Active streaming-trace sink (guarded by Global::mu).
 struct Stream {
   std::FILE* f = nullptr;
   std::string path;
-  bool any_line = false;          // comma control, mirrors trace_json
+  bool any_line = false;           // comma control, mirrors trace_json
   std::vector<char> meta_emitted;  // per tid: thread_name record written
 };
 
-struct Registry {
+struct Global {
   std::mutex mu;
-  // Counter cells are never deallocated while the registry lives, so
-  // Counter handles stay valid for the whole program.
-  std::map<std::string, std::unique_ptr<std::atomic<std::uint64_t>>,
-           std::less<>>
-      counters;
-  std::map<std::string, double, std::less<>> gauges;
   std::vector<std::unique_ptr<ThreadLog>> logs;
   std::atomic<std::uint64_t> epoch_ns{0};
   std::atomic<bool> enabled{false};
@@ -85,30 +63,202 @@ struct Registry {
   std::atomic<bool> streaming{false};
   std::atomic<std::size_t> buffered{0};
   std::atomic<std::size_t> stream_threshold{0};
-  // Report-side memory of everything already flushed to the stream.
-  std::map<std::string, Agg, std::less<>> flushed_spans;  // guarded by mu
-  std::map<int, StageAgg> flushed_stages;                 // guarded by mu
 };
 
-Registry& reg() {
-  static Registry r;
-  return r;
+Global& glob() {
+  static Global* g = new Global();
+  return *g;
 }
 
-thread_local ThreadLog* t_log = nullptr;
+// Name interning: process-wide stable ids shared by every context, so a
+// Counter/Histogram handle is one integer and context cell tables are
+// plain arrays.
+constexpr std::size_t kChunkBits = 8;
+constexpr std::size_t kChunkSize = std::size_t{1} << kChunkBits;  // 256
+constexpr std::size_t kMaxChunks = 256;                           // 65536 ids
 
-ThreadLog* tlog() {
-  if (t_log == nullptr) {
-    Registry& r = reg();
-    auto log = std::make_unique<ThreadLog>();
-    std::lock_guard<std::mutex> lock(r.mu);
-    log->tid = static_cast<int>(r.logs.size());
-    log->name = log->tid == 0 ? "main" : "thread-" + std::to_string(log->tid);
-    t_log = log.get();
-    r.logs.push_back(std::move(log));
+struct Interner {
+  std::mutex mu;
+  std::map<std::string, std::uint32_t, std::less<>> ids;
+  std::vector<const std::string*> names;  // indexed by id, strings stable
+
+  std::uint32_t intern(std::string_view name) {
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = ids.find(name);
+    if (it != ids.end()) return it->second;
+    const auto id = static_cast<std::uint32_t>(names.size());
+    if (id >= kMaxChunks * kChunkSize) {
+      std::fprintf(stderr, "ftrsn_obs: too many distinct metric names\n");
+      std::abort();
+    }
+    it = ids.emplace(std::string(name), id).first;
+    names.push_back(&it->first);
+    return id;
   }
-  return t_log;
+
+  std::vector<std::pair<std::string, std::uint32_t>> snapshot() {
+    std::lock_guard<std::mutex> lock(mu);
+    std::vector<std::pair<std::string, std::uint32_t>> out;
+    out.reserve(names.size());
+    for (std::uint32_t id = 0; id < names.size(); ++id)
+      out.emplace_back(*names[id], id);
+    return out;
+  }
+
+  std::uint32_t size() {
+    std::lock_guard<std::mutex> lock(mu);
+    return static_cast<std::uint32_t>(names.size());
+  }
+};
+
+Interner& counter_interner() {
+  static Interner* i = new Interner();
+  return *i;
 }
+
+Interner& hist_interner() {
+  static Interner* i = new Interner();
+  return *i;
+}
+
+// Lock-free chunked id -> cell table.  Reads are one acquire load plus an
+// index; chunks are allocated on first touch under a grow mutex and never
+// freed while the table lives.
+template <typename CellT>
+struct CellTable {
+  std::array<std::atomic<CellT*>, kMaxChunks> chunks{};
+  std::mutex grow_mu;
+
+  ~CellTable() {
+    for (auto& c : chunks) delete[] c.load(std::memory_order_relaxed);
+  }
+
+  CellT* cell(std::uint32_t id) {
+    const std::size_t chunk = id >> kChunkBits;
+    CellT* p = chunks[chunk].load(std::memory_order_acquire);
+    if (p == nullptr) {
+      std::lock_guard<std::mutex> lock(grow_mu);
+      p = chunks[chunk].load(std::memory_order_relaxed);
+      if (p == nullptr) {
+        p = new CellT[kChunkSize]();
+        chunks[chunk].store(p, std::memory_order_release);
+      }
+    }
+    return p + (id & (kChunkSize - 1));
+  }
+
+  // Read-only lookup: null when the chunk was never touched (reads must
+  // not allocate, so empty contexts stay empty).
+  const CellT* peek(std::uint32_t id) const {
+    const CellT* p = chunks[id >> kChunkBits].load(std::memory_order_acquire);
+    return p == nullptr ? nullptr : p + (id & (kChunkSize - 1));
+  }
+};
+
+struct HistCell {
+  std::array<std::atomic<std::uint64_t>, 65> buckets{};
+  std::atomic<std::uint64_t> count{0};
+  std::atomic<std::uint64_t> sum{0};
+  std::atomic<std::uint64_t> max{0};
+
+  void record(std::uint64_t value) {
+    buckets[histogram_bucket(value)].fetch_add(1, std::memory_order_relaxed);
+    count.fetch_add(1, std::memory_order_relaxed);
+    sum.fetch_add(value, std::memory_order_relaxed);
+    std::uint64_t m = max.load(std::memory_order_relaxed);
+    while (value > m &&
+           !max.compare_exchange_weak(m, value, std::memory_order_relaxed)) {
+    }
+  }
+
+  void merge_from(const HistCell& src) {
+    for (std::size_t b = 0; b < buckets.size(); ++b) {
+      const std::uint64_t v = src.buckets[b].load(std::memory_order_relaxed);
+      if (v) buckets[b].fetch_add(v, std::memory_order_relaxed);
+    }
+    count.fetch_add(src.count.load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+    sum.fetch_add(src.sum.load(std::memory_order_relaxed),
+                  std::memory_order_relaxed);
+    const std::uint64_t sm = src.max.load(std::memory_order_relaxed);
+    std::uint64_t m = max.load(std::memory_order_relaxed);
+    while (sm > m &&
+           !max.compare_exchange_weak(m, sm, std::memory_order_relaxed)) {
+    }
+  }
+
+  void clear() {
+    for (auto& b : buckets) b.store(0, std::memory_order_relaxed);
+    count.store(0, std::memory_order_relaxed);
+    sum.store(0, std::memory_order_relaxed);
+    max.store(0, std::memory_order_relaxed);
+  }
+};
+
+// Aggregate of one span name (count / total / max duration).
+struct Agg {
+  std::uint64_t count = 0;
+  std::uint64_t total_us = 0;
+  std::uint64_t max_us = 0;
+
+  void fold(std::uint64_t dur_us) {
+    ++count;
+    total_us += dur_us;
+    max_us = std::max(max_us, dur_us);
+  }
+
+  void merge(const Agg& o) {
+    count += o.count;
+    total_us += o.total_us;
+    max_us = std::max(max_us, o.max_us);
+  }
+};
+
+// Depth-0 aggregates of the context owner, in first-start order (the
+// report's stage table).
+struct StageAgg {
+  std::vector<std::string> order;
+  std::map<std::string, Agg, std::less<>> by_name;
+
+  Agg& slot(const std::string& name) {
+    auto [it, inserted] = by_name.try_emplace(name);
+    if (inserted) order.push_back(name);
+    return it->second;
+  }
+
+  void fold(const std::string& name, std::uint64_t dur_us) {
+    Agg& a = slot(name);
+    ++a.count;
+    a.total_us += dur_us;
+  }
+};
+
+// Memory attribution of one span name: signed RSS delta across the span
+// (sum over closes + worst single span) and peak-RSS growth while open.
+struct MemAgg {
+  std::uint64_t count = 0;
+  long long rss_delta_kb = 0;
+  long long rss_delta_max_kb = 0;
+  long long peak_delta_kb = 0;
+
+  void fold(long long rss_delta, long long peak_delta) {
+    rss_delta_max_kb =
+        count == 0 ? rss_delta : std::max(rss_delta_max_kb, rss_delta);
+    ++count;
+    rss_delta_kb += rss_delta;
+    peak_delta_kb += peak_delta;
+  }
+
+  void merge(const MemAgg& o) {
+    if (o.count == 0) return;
+    rss_delta_max_kb =
+        count == 0 ? o.rss_delta_max_kb
+                   : std::max(rss_delta_max_kb, o.rss_delta_max_kb);
+    count += o.count;
+    rss_delta_kb += o.rss_delta_kb;
+    peak_delta_kb += o.peak_delta_kb;
+  }
+};
 
 std::uint64_t steady_ns() {
   return static_cast<std::uint64_t>(
@@ -117,183 +267,315 @@ std::uint64_t steady_ns() {
           .count());
 }
 
-std::atomic<std::uint64_t>* counter_cell(std::string_view name) {
-  Registry& r = reg();
-  std::lock_guard<std::mutex> lock(r.mu);
-  auto it = r.counters.find(name);
-  if (it == r.counters.end()) {
-    it = r.counters
-             .emplace(std::string(name),
-                      std::make_unique<std::atomic<std::uint64_t>>(0))
-             .first;
+thread_local ThreadLog* t_log = nullptr;
+
+ThreadLog* tlog() {
+  if (t_log == nullptr) {
+    Global& g = glob();
+    auto log = std::make_unique<ThreadLog>();
+    std::lock_guard<std::mutex> lock(g.mu);
+    log->tid = static_cast<int>(g.logs.size());
+    log->name = log->tid == 0 ? "main" : "thread-" + std::to_string(log->tid);
+    t_log = log.get();
+    g.logs.push_back(std::move(log));
   }
-  return it->second.get();
+  return t_log;
 }
 
-void append_num(std::string& out, double v) {
-  char buf[64];
-  std::snprintf(buf, sizeof buf, "%.6f", v);
-  out += buf;
+// Current-context routing: nullptr means the process-default context.
+// t_ctx_base is the thread's span depth at attach time — spans opened
+// under the scope report context-relative depth for stage/memory
+// attribution (trace events keep the absolute depth).
+thread_local ObsContext* t_ctx = nullptr;
+thread_local std::int32_t t_ctx_base = 0;
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Contexts
+// ---------------------------------------------------------------------------
+
+struct ObsContext::Impl {
+  CellTable<std::atomic<std::uint64_t>> counters;
+  CellTable<HistCell> hists;
+
+  std::mutex mu;  // guards gauges / span_aggs / stages / mem
+  std::map<std::string, double, std::less<>> gauges;
+  std::map<std::string, Agg, std::less<>> span_aggs;
+  StageAgg stages;
+  std::map<std::string, MemAgg, std::less<>> mem;
+
+  // First thread to attach (tid 0 = "main" for the default context); only
+  // that thread's context-depth-0 spans become report stages.
+  std::atomic<int> owner_tid{-1};
+};
+
+ObsContext::ObsContext() : impl_(std::make_unique<Impl>()) {}
+ObsContext::~ObsContext() = default;
+
+ObsContext& default_context() {
+  static ObsContext* ctx = [] {
+    auto* c = new ObsContext();
+    c->impl().owner_tid.store(0, std::memory_order_relaxed);
+    return c;
+  }();
+  return *ctx;
 }
 
-// Shared trace-event line emitters: the streamed file and trace_json()
-// must produce byte-identical records.
-void append_meta_line(std::string& out, bool& any_line, int tid,
-                      const std::string& name) {
-  out += any_line ? ",\n" : "\n";
-  any_line = true;
-  out += "  {\"ph\": \"M\", \"pid\": 1, \"tid\": " + std::to_string(tid) +
-         ", \"name\": \"thread_name\", \"args\": {\"name\": \"" +
-         detail::json_escape(name) + "\"}}";
+ObsContext& current_context() {
+  return t_ctx != nullptr ? *t_ctx : default_context();
 }
 
-void append_event_line(std::string& out, bool& any_line, int tid,
-                       const SpanEvent& e) {
-  out += any_line ? ",\n" : "\n";
-  any_line = true;
-  out += "  {\"ph\": \"X\", \"pid\": 1, \"tid\": " + std::to_string(tid) +
-         ", \"ts\": " + std::to_string(e.start_us) + ", \"dur\": " +
-         std::to_string(e.dur_us) + ", \"name\": \"" +
-         detail::json_escape(e.name) + "\", \"args\": {\"depth\": " +
-         std::to_string(e.depth) + "}}";
+ContextScope::ContextScope(ObsContext& ctx) {
+  if (&current_context() == &ctx) return;  // re-attach: keep the depth base
+  prev_ = t_ctx;
+  prev_base_ = t_ctx_base;
+  t_ctx = &ctx;
+  t_ctx_base = tlog()->depth;
+  int expected = -1;
+  ctx.impl().owner_tid.compare_exchange_strong(expected, tlog()->tid,
+                                               std::memory_order_relaxed);
+  active_ = true;
 }
 
-void ensure_meta_slot(Stream& s, const Registry& r, int tid) {
-  if (s.meta_emitted.size() <= static_cast<std::size_t>(tid))
-    s.meta_emitted.resize(std::max(r.logs.size(),
-                                   static_cast<std::size_t>(tid) + 1),
-                          0);
+ContextScope::~ContextScope() {
+  if (!active_) return;
+  t_ctx = prev_;
+  t_ctx_base = prev_base_;
 }
 
-// Flushes every per-thread log to the stream file and folds the flushed
-// events into the report-side aggregates.  Caller holds r.mu.
-void flush_stream_locked(Registry& r) {
-  Stream& s = *r.stream;
-  std::string out;
-  std::size_t flushed = 0;
-  for (const auto& log : r.logs) {
+void ObsContext::merge_into(ObsContext& parent) const {
+  Impl& src = *impl_;
+  Impl& dst = *parent.impl_;
+  const std::uint32_t n_counters = counter_interner().size();
+  for (std::uint32_t id = 0; id < n_counters; ++id) {
+    const auto* cell = src.counters.peek(id);
+    if (cell == nullptr) continue;
+    const std::uint64_t v = cell->load(std::memory_order_relaxed);
+    if (v) dst.counters.cell(id)->fetch_add(v, std::memory_order_relaxed);
+  }
+  const std::uint32_t n_hists = hist_interner().size();
+  for (std::uint32_t id = 0; id < n_hists; ++id) {
+    const HistCell* cell = src.hists.peek(id);
+    if (cell == nullptr || cell->count.load(std::memory_order_relaxed) == 0)
+      continue;
+    dst.hists.cell(id)->merge_from(*cell);
+  }
+  std::scoped_lock lock(src.mu, dst.mu);
+  for (const auto& [name, value] : src.gauges) {
+    auto [it, inserted] = dst.gauges.emplace(name, value);
+    if (!inserted) it->second = std::max(it->second, value);
+  }
+  for (const auto& [name, agg] : src.span_aggs) dst.span_aggs[name].merge(agg);
+  for (const std::string& name : src.stages.order)
+    dst.stages.slot(name).merge(src.stages.by_name.find(name)->second);
+  for (const auto& [name, agg] : src.mem) dst.mem[name].merge(agg);
+}
+
+// ---------------------------------------------------------------------------
+// Enable / reset
+// ---------------------------------------------------------------------------
+
+bool enabled() { return glob().enabled.load(std::memory_order_relaxed); }
+
+void enable(bool on) {
+  Global& g = glob();
+  // Make sure the epoch exists before the first span can start.
+  if (on) detail::now_us();
+  g.enabled.store(on, std::memory_order_relaxed);
+}
+
+namespace {
+
+void reset_context(ObsContext::Impl& c) {
+  const std::uint32_t n_counters = counter_interner().size();
+  for (std::uint32_t id = 0; id < n_counters; ++id)
+    if (const auto* cell = c.counters.peek(id))
+      const_cast<std::atomic<std::uint64_t>*>(cell)->store(
+          0, std::memory_order_relaxed);
+  const std::uint32_t n_hists = hist_interner().size();
+  for (std::uint32_t id = 0; id < n_hists; ++id)
+    if (const HistCell* cell = c.hists.peek(id))
+      const_cast<HistCell*>(cell)->clear();
+  std::lock_guard<std::mutex> lock(c.mu);
+  c.gauges.clear();
+  c.span_aggs.clear();
+  c.stages.order.clear();
+  c.stages.by_name.clear();
+  c.mem.clear();
+}
+
+bool finalize_stream_locked(Global& g);
+
+}  // namespace
+
+void reset() {
+  ObsContext& ctx = current_context();
+  reset_context(ctx.impl());
+  if (&ctx != &default_context()) return;
+  Global& g = glob();
+  std::lock_guard<std::mutex> lock(g.mu);
+  if (g.stream) finalize_stream_locked(g);
+  g.buffered.store(0, std::memory_order_relaxed);
+  for (auto& log : g.logs) {
     std::lock_guard<std::mutex> log_lock(log->mu);
-    if (log->events.empty()) continue;
-    ensure_meta_slot(s, r, log->tid);
-    if (!s.meta_emitted[static_cast<std::size_t>(log->tid)]) {
-      append_meta_line(out, s.any_line, log->tid, log->name);
-      s.meta_emitted[static_cast<std::size_t>(log->tid)] = 1;
-    }
-    for (const SpanEvent& e : log->events) {
-      append_event_line(out, s.any_line, log->tid, e);
-      r.flushed_spans[e.name].fold(e.dur_us);
-      if (e.depth == 0) r.flushed_stages[log->tid].fold(e.name, e.dur_us);
-    }
-    flushed += log->events.size();
     log->events.clear();
   }
-  if (flushed == 0) return;
-  std::fwrite(out.data(), 1, out.size(), s.f);
-  std::fflush(s.f);
-  // buffered may transiently exceed the true count (incremented before the
-  // event lands in its log), never the other way, so this cannot wrap.
-  r.buffered.fetch_sub(std::min(flushed, r.buffered.load(std::memory_order_relaxed)),
-                       std::memory_order_relaxed);
+  g.epoch_ns.store(steady_ns(), std::memory_order_relaxed);
 }
 
-// Flushes the tail, emits thread_name records for named-but-idle lanes
-// (matching trace_json's lane rules), writes the trailer and closes the
-// file.  Caller holds r.mu.
-bool finalize_stream_locked(Registry& r) {
-  if (!r.stream) return false;
-  flush_stream_locked(r);
-  Stream& s = *r.stream;
-  std::string out;
-  for (const auto& log : r.logs) {
-    std::lock_guard<std::mutex> log_lock(log->mu);
-    ensure_meta_slot(s, r, log->tid);
-    if (!s.meta_emitted[static_cast<std::size_t>(log->tid)] &&
-        log->name.rfind("thread-", 0) != 0) {
-      append_meta_line(out, s.any_line, log->tid, log->name);
-      s.meta_emitted[static_cast<std::size_t>(log->tid)] = 1;
-    }
+// ---------------------------------------------------------------------------
+// Counters and gauges
+// ---------------------------------------------------------------------------
+
+Counter::Counter(std::string_view name) : id_(counter_interner().intern(name)) {}
+
+void Counter::add(std::uint64_t n) {
+  current_context().impl().counters.cell(id_)->fetch_add(
+      n, std::memory_order_relaxed);
+}
+
+std::uint64_t Counter::value() const {
+  const auto* cell = current_context().impl().counters.peek(id_);
+  return cell == nullptr ? 0 : cell->load(std::memory_order_relaxed);
+}
+
+void Counter::reset() {
+  current_context().impl().counters.cell(id_)->store(
+      0, std::memory_order_relaxed);
+}
+
+void count(std::string_view name, std::uint64_t n) { Counter(name).add(n); }
+
+std::uint64_t counter_value(std::string_view name) {
+  return Counter(name).value();
+}
+
+namespace {
+
+std::map<std::string, std::uint64_t> counters_of(ObsContext::Impl& c) {
+  std::map<std::string, std::uint64_t> out;
+  for (const auto& [name, id] : counter_interner().snapshot()) {
+    const auto* cell = c.counters.peek(id);
+    out.emplace(name,
+                cell == nullptr ? 0 : cell->load(std::memory_order_relaxed));
   }
-  out += "\n]}\n";
-  std::fwrite(out.data(), 1, out.size(), s.f);
-  const bool ok = std::fclose(s.f) == 0;
-  r.stream.reset();
-  r.streaming.store(false, std::memory_order_relaxed);
-  r.stream_threshold.store(0, std::memory_order_relaxed);
-  r.buffered.store(0, std::memory_order_relaxed);
-  return ok;
+  return out;
+}
+
+std::map<std::string, double> gauges_of(ObsContext::Impl& c) {
+  std::lock_guard<std::mutex> lock(c.mu);
+  return {c.gauges.begin(), c.gauges.end()};
+}
+
+std::map<std::string, HistogramSnapshot> histograms_of(ObsContext::Impl& c) {
+  std::map<std::string, HistogramSnapshot> out;
+  for (const auto& [name, id] : hist_interner().snapshot()) {
+    const HistCell* cell = c.hists.peek(id);
+    if (cell == nullptr) continue;
+    HistogramSnapshot s;
+    s.count = cell->count.load(std::memory_order_relaxed);
+    if (s.count == 0) continue;
+    s.sum = cell->sum.load(std::memory_order_relaxed);
+    s.max = cell->max.load(std::memory_order_relaxed);
+    for (std::size_t b = 0; b < s.buckets.size(); ++b)
+      s.buckets[b] = cell->buckets[b].load(std::memory_order_relaxed);
+    out.emplace(name, s);
+  }
+  return out;
 }
 
 }  // namespace
 
-bool enabled() { return reg().enabled.load(std::memory_order_relaxed); }
-
-void enable(bool on) {
-  Registry& r = reg();
-  // Make sure the epoch exists before the first span can start.
-  if (on) detail::now_us();
-  r.enabled.store(on, std::memory_order_relaxed);
-}
-
-void reset() {
-  Registry& r = reg();
-  std::lock_guard<std::mutex> lock(r.mu);
-  if (r.stream) finalize_stream_locked(r);
-  r.flushed_spans.clear();
-  r.flushed_stages.clear();
-  r.buffered.store(0, std::memory_order_relaxed);
-  for (auto& [name, cell] : r.counters) cell->store(0, std::memory_order_relaxed);
-  r.gauges.clear();
-  for (auto& log : r.logs) {
-    std::lock_guard<std::mutex> log_lock(log->mu);
-    log->events.clear();
-  }
-  r.epoch_ns.store(steady_ns(), std::memory_order_relaxed);
-}
-
-Counter::Counter(std::string_view name) : cell_(counter_cell(name)) {}
-
-void count(std::string_view name, std::uint64_t n) {
-  counter_cell(name)->fetch_add(n, std::memory_order_relaxed);
-}
-
-std::uint64_t counter_value(std::string_view name) {
-  return counter_cell(name)->load(std::memory_order_relaxed);
-}
-
 void gauge_set(std::string_view name, double value) {
-  Registry& r = reg();
-  std::lock_guard<std::mutex> lock(r.mu);
-  auto it = r.gauges.find(name);
-  if (it == r.gauges.end())
-    r.gauges.emplace(std::string(name), value);
+  ObsContext::Impl& c = current_context().impl();
+  std::lock_guard<std::mutex> lock(c.mu);
+  auto it = c.gauges.find(name);
+  if (it == c.gauges.end())
+    c.gauges.emplace(std::string(name), value);
   else
     it->second = value;
 }
 
 void gauge_max(std::string_view name, double value) {
-  Registry& r = reg();
-  std::lock_guard<std::mutex> lock(r.mu);
-  auto it = r.gauges.find(name);
-  if (it == r.gauges.end())
-    r.gauges.emplace(std::string(name), value);
+  ObsContext::Impl& c = current_context().impl();
+  std::lock_guard<std::mutex> lock(c.mu);
+  auto it = c.gauges.find(name);
+  if (it == c.gauges.end())
+    c.gauges.emplace(std::string(name), value);
   else
     it->second = std::max(it->second, value);
 }
 
 std::map<std::string, std::uint64_t> counters_snapshot() {
-  Registry& r = reg();
-  std::lock_guard<std::mutex> lock(r.mu);
-  std::map<std::string, std::uint64_t> out;
-  for (const auto& [name, cell] : r.counters)
-    out.emplace(name, cell->load(std::memory_order_relaxed));
-  return out;
+  return counters_of(current_context().impl());
 }
 
 std::map<std::string, double> gauges_snapshot() {
-  Registry& r = reg();
-  std::lock_guard<std::mutex> lock(r.mu);
-  return {r.gauges.begin(), r.gauges.end()};
+  return gauges_of(current_context().impl());
 }
+
+std::map<std::string, std::uint64_t> ObsContext::counters() const {
+  return counters_of(*impl_);
+}
+
+std::map<std::string, double> ObsContext::gauges() const {
+  return gauges_of(*impl_);
+}
+
+// ---------------------------------------------------------------------------
+// Histograms
+// ---------------------------------------------------------------------------
+
+std::size_t histogram_bucket(std::uint64_t value) {
+  return static_cast<std::size_t>(std::bit_width(value));
+}
+
+double HistogramSnapshot::quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(count);
+  std::uint64_t cum = 0;
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    if (buckets[b] == 0) continue;
+    const double prev = static_cast<double>(cum);
+    cum += buckets[b];
+    if (static_cast<double>(cum) >= rank) {
+      if (b == 0) return 0.0;
+      const double lo = std::ldexp(1.0, static_cast<int>(b) - 1);
+      const double hi = std::ldexp(1.0, static_cast<int>(b));
+      const double frac = (rank - prev) / static_cast<double>(buckets[b]);
+      return std::min(lo + frac * (hi - lo), static_cast<double>(max));
+    }
+  }
+  return static_cast<double>(max);
+}
+
+Histogram::Histogram(std::string_view name)
+    : id_(hist_interner().intern(name)) {}
+
+void Histogram::record(std::uint64_t value) {
+  current_context().impl().hists.cell(id_)->record(value);
+}
+
+ScopedLatency::ScopedLatency(Histogram& h) : h_(h), t0_ns_(steady_ns()) {}
+
+ScopedLatency::~ScopedLatency() {
+  const std::uint64_t now = steady_ns();
+  h_.record(now >= t0_ns_ ? (now - t0_ns_) / 1000 : 0);
+}
+
+void histogram_record(std::string_view name, std::uint64_t value) {
+  Histogram(name).record(value);
+}
+
+std::map<std::string, HistogramSnapshot> histograms_snapshot() {
+  return histograms_of(current_context().impl());
+}
+
+// ---------------------------------------------------------------------------
+// Spans
+// ---------------------------------------------------------------------------
 
 void set_thread_name(std::string name) {
   ThreadLog* log = tlog();
@@ -301,13 +583,24 @@ void set_thread_name(std::string name) {
   log->name = std::move(name);
 }
 
-Span::Span(std::string name) {
+Span::Span(std::string_view name) {
   if (!enabled()) return;
-  name_ = std::move(name);
+  name_ = std::string(name);
+  ctx_ = &current_context();
+  hist_id_ = hist_interner().intern(name);
   ThreadLog* log = tlog();
   depth_ = log->depth++;
+  ctx_depth_ = depth_ - (t_ctx != nullptr ? t_ctx_base : 0);
+  if (ctx_depth_ <= 1) {
+    rss_open_kb_ = detail::current_rss_kb();
+    peak_open_kb_ = detail::peak_rss_kb();
+  }
   start_us_ = detail::now_us();
   active_ = true;
+}
+
+namespace {
+void flush_stream_if_due(Global& g);
 }
 
 Span::~Span() {
@@ -315,47 +608,61 @@ Span::~Span() {
   const std::uint64_t end_us = detail::now_us();
   ThreadLog* log = tlog();
   --log->depth;
-  Registry& r = reg();
+  const std::uint64_t dur_us = end_us >= start_us_ ? end_us - start_us_ : 0;
+
+  // Fold aggregates into the context that was current at open (name_ is
+  // moved into the trace event afterwards).
+  ObsContext::Impl& c = ctx_->impl();
+  c.hists.cell(hist_id_)->record(dur_us);
+  {
+    std::lock_guard<std::mutex> lock(c.mu);
+    c.span_aggs[name_].fold(dur_us);
+    if (ctx_depth_ == 0 &&
+        log->tid == c.owner_tid.load(std::memory_order_relaxed))
+      c.stages.fold(name_, dur_us);
+    if (rss_open_kb_ >= 0)
+      c.mem[name_].fold(detail::current_rss_kb() - rss_open_kb_,
+                        detail::peak_rss_kb() - peak_open_kb_);
+  }
+
+  Global& g = glob();
   // Count before pushing: `buffered` may transiently overestimate but
   // never underestimate, so a concurrent flush cannot drive it negative.
-  const bool streaming = r.streaming.load(std::memory_order_relaxed);
-  if (streaming) r.buffered.fetch_add(1, std::memory_order_relaxed);
+  const bool streaming = g.streaming.load(std::memory_order_relaxed);
+  if (streaming) g.buffered.fetch_add(1, std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lock(log->mu);
-    log->events.push_back(
-        {std::move(name_), start_us_,
-         end_us >= start_us_ ? end_us - start_us_ : 0, depth_});
+    log->events.push_back({std::move(name_), start_us_, dur_us, depth_});
   }
-  // Threshold check outside log->mu: the flush takes r.mu then each
+  // Threshold check outside log->mu: the flush takes g.mu then each
   // log->mu, the same order as trace_json.
-  if (streaming &&
-      r.buffered.load(std::memory_order_relaxed) >=
-          r.stream_threshold.load(std::memory_order_relaxed)) {
-    std::lock_guard<std::mutex> lock(r.mu);
-    if (r.stream) flush_stream_locked(r);
-  }
+  if (streaming) flush_stream_if_due(g);
 }
+
+// ---------------------------------------------------------------------------
+// Detail helpers
+// ---------------------------------------------------------------------------
 
 namespace detail {
 
 std::uint64_t now_us() {
-  Registry& r = reg();
-  if (ClockFn fn = r.clock.load(std::memory_order_relaxed)) return fn();
+  Global& g = glob();
+  if (ClockFn fn = g.clock.load(std::memory_order_relaxed)) return fn();
   const std::uint64_t ns = steady_ns();
-  std::uint64_t epoch = r.epoch_ns.load(std::memory_order_relaxed);
+  std::uint64_t epoch = g.epoch_ns.load(std::memory_order_relaxed);
   if (epoch == 0) {
-    std::lock_guard<std::mutex> lock(r.mu);
-    epoch = r.epoch_ns.load(std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(g.mu);
+    epoch = g.epoch_ns.load(std::memory_order_relaxed);
     if (epoch == 0) {
       epoch = ns;
-      r.epoch_ns.store(ns, std::memory_order_relaxed);
+      g.epoch_ns.store(ns, std::memory_order_relaxed);
     }
   }
   return ns >= epoch ? (ns - epoch) / 1000 : 0;
 }
 
 void set_clock_for_test(ClockFn fn) {
-  reg().clock.store(fn, std::memory_order_relaxed);
+  glob().clock.store(fn, std::memory_order_relaxed);
 }
 
 long peak_rss_kb() {
@@ -364,11 +671,23 @@ long peak_rss_kb() {
   return ru.ru_maxrss;  // kilobytes on Linux
 }
 
+long current_rss_kb() {
+  std::FILE* f = std::fopen("/proc/self/statm", "r");
+  if (f == nullptr) return 0;
+  long pages_total = 0;
+  long pages_resident = 0;
+  const int n = std::fscanf(f, "%ld %ld", &pages_total, &pages_resident);
+  std::fclose(f);
+  if (n != 2) return 0;
+  static const long kPageKb = sysconf(_SC_PAGESIZE) / 1024;
+  return pages_resident * kPageKb;
+}
+
 std::size_t buffered_span_events() {
-  Registry& r = reg();
-  std::lock_guard<std::mutex> lock(r.mu);
+  Global& g = glob();
+  std::lock_guard<std::mutex> lock(g.mu);
   std::size_t n = 0;
-  for (const auto& log : r.logs) {
+  for (const auto& log : g.logs) {
     std::lock_guard<std::mutex> log_lock(log->mu);
     n += log->events.size();
   }
@@ -398,14 +717,121 @@ std::string json_escape(std::string_view s) {
   return out;
 }
 
+std::string format_double(double v) {
+  if (!std::isfinite(v)) return "0";
+  char buf[64];
+  const auto [p, ec] = std::to_chars(buf, buf + sizeof buf, v);
+  return ec == std::errc() ? std::string(buf, p) : "0";
+}
+
 }  // namespace detail
 
+// ---------------------------------------------------------------------------
+// Trace export (global: one merged trace per process)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Shared trace-event line emitters: the streamed file and trace_json()
+// must produce byte-identical records.
+void append_meta_line(std::string& out, bool& any_line, int tid,
+                      const std::string& name) {
+  out += any_line ? ",\n" : "\n";
+  any_line = true;
+  out += "  {\"ph\": \"M\", \"pid\": 1, \"tid\": " + std::to_string(tid) +
+         ", \"name\": \"thread_name\", \"args\": {\"name\": \"" +
+         detail::json_escape(name) + "\"}}";
+}
+
+void append_event_line(std::string& out, bool& any_line, int tid,
+                       const SpanEvent& e) {
+  out += any_line ? ",\n" : "\n";
+  any_line = true;
+  out += "  {\"ph\": \"X\", \"pid\": 1, \"tid\": " + std::to_string(tid) +
+         ", \"ts\": " + std::to_string(e.start_us) + ", \"dur\": " +
+         std::to_string(e.dur_us) + ", \"name\": \"" +
+         detail::json_escape(e.name) + "\", \"args\": {\"depth\": " +
+         std::to_string(e.depth) + "}}";
+}
+
+void ensure_meta_slot(Stream& s, const Global& g, int tid) {
+  if (s.meta_emitted.size() <= static_cast<std::size_t>(tid))
+    s.meta_emitted.resize(
+        std::max(g.logs.size(), static_cast<std::size_t>(tid) + 1), 0);
+}
+
+// Flushes every per-thread log to the stream file.  Caller holds g.mu.
+// (Report aggregates are unaffected: they folded at span close.)
+void flush_stream_locked(Global& g) {
+  Stream& s = *g.stream;
+  std::string out;
+  std::size_t flushed = 0;
+  for (const auto& log : g.logs) {
+    std::lock_guard<std::mutex> log_lock(log->mu);
+    if (log->events.empty()) continue;
+    ensure_meta_slot(s, g, log->tid);
+    if (!s.meta_emitted[static_cast<std::size_t>(log->tid)]) {
+      append_meta_line(out, s.any_line, log->tid, log->name);
+      s.meta_emitted[static_cast<std::size_t>(log->tid)] = 1;
+    }
+    for (const SpanEvent& e : log->events)
+      append_event_line(out, s.any_line, log->tid, e);
+    flushed += log->events.size();
+    log->events.clear();
+  }
+  if (flushed == 0) return;
+  std::fwrite(out.data(), 1, out.size(), s.f);
+  std::fflush(s.f);
+  // buffered may transiently exceed the true count (incremented before the
+  // event lands in its log), never the other way, so this cannot wrap.
+  g.buffered.fetch_sub(
+      std::min(flushed, g.buffered.load(std::memory_order_relaxed)),
+      std::memory_order_relaxed);
+}
+
+void flush_stream_if_due(Global& g) {
+  if (g.buffered.load(std::memory_order_relaxed) >=
+      g.stream_threshold.load(std::memory_order_relaxed)) {
+    std::lock_guard<std::mutex> lock(g.mu);
+    if (g.stream) flush_stream_locked(g);
+  }
+}
+
+// Flushes the tail, emits thread_name records for named-but-idle lanes
+// (matching trace_json's lane rules), writes the trailer and closes the
+// file.  Caller holds g.mu.
+bool finalize_stream_locked(Global& g) {
+  if (!g.stream) return false;
+  flush_stream_locked(g);
+  Stream& s = *g.stream;
+  std::string out;
+  for (const auto& log : g.logs) {
+    std::lock_guard<std::mutex> log_lock(log->mu);
+    ensure_meta_slot(s, g, log->tid);
+    if (!s.meta_emitted[static_cast<std::size_t>(log->tid)] &&
+        log->name.rfind("thread-", 0) != 0) {
+      append_meta_line(out, s.any_line, log->tid, log->name);
+      s.meta_emitted[static_cast<std::size_t>(log->tid)] = 1;
+    }
+  }
+  out += "\n]}\n";
+  std::fwrite(out.data(), 1, out.size(), s.f);
+  const bool ok = std::fclose(s.f) == 0;
+  g.stream.reset();
+  g.streaming.store(false, std::memory_order_relaxed);
+  g.stream_threshold.store(0, std::memory_order_relaxed);
+  g.buffered.store(0, std::memory_order_relaxed);
+  return ok;
+}
+
+}  // namespace
+
 std::string trace_json() {
-  Registry& r = reg();
+  Global& g = glob();
   std::string out = "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
   bool any_line = false;
-  std::lock_guard<std::mutex> lock(r.mu);
-  for (const auto& log : r.logs) {
+  std::lock_guard<std::mutex> lock(g.mu);
+  for (const auto& log : g.logs) {
     std::lock_guard<std::mutex> log_lock(log->mu);
     if (log->events.empty() && log->name.rfind("thread-", 0) == 0) continue;
     append_meta_line(out, any_line, log->tid, log->name);
@@ -418,9 +844,9 @@ std::string trace_json() {
 
 bool stream_trace_to(const std::string& path,
                      std::size_t max_buffered_events) {
-  Registry& r = reg();
-  std::lock_guard<std::mutex> lock(r.mu);
-  if (r.stream) finalize_stream_locked(r);
+  Global& g = glob();
+  std::lock_guard<std::mutex> lock(g.mu);
+  if (g.stream) finalize_stream_locked(g);
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) return false;
   const std::string_view header =
@@ -429,72 +855,61 @@ bool stream_trace_to(const std::string& path,
   auto stream = std::make_unique<Stream>();
   stream->f = f;
   stream->path = path;
-  r.stream = std::move(stream);
+  g.stream = std::move(stream);
   // Seed the buffered count with whatever the logs already hold, so the
   // first flush's accounting starts exact.
   std::size_t pending = 0;
-  for (const auto& log : r.logs) {
+  for (const auto& log : g.logs) {
     std::lock_guard<std::mutex> log_lock(log->mu);
     pending += log->events.size();
   }
-  r.buffered.store(pending, std::memory_order_relaxed);
-  r.stream_threshold.store(std::max<std::size_t>(max_buffered_events, 1),
+  g.buffered.store(pending, std::memory_order_relaxed);
+  g.stream_threshold.store(std::max<std::size_t>(max_buffered_events, 1),
                            std::memory_order_relaxed);
-  r.streaming.store(true, std::memory_order_relaxed);
+  g.streaming.store(true, std::memory_order_relaxed);
   return true;
 }
 
 bool trace_streaming() {
-  return reg().streaming.load(std::memory_order_relaxed);
+  return glob().streaming.load(std::memory_order_relaxed);
 }
 
 bool close_trace_stream() {
-  Registry& r = reg();
-  std::lock_guard<std::mutex> lock(r.mu);
-  return finalize_stream_locked(r);
+  Global& g = glob();
+  std::lock_guard<std::mutex> lock(g.mu);
+  return finalize_stream_locked(g);
 }
 
-std::string report_json(const ReportOptions& options) {
-  Registry& r = reg();
-  const std::uint64_t wall_us = detail::now_us();
-  const int self_tid = tlog()->tid;
+// ---------------------------------------------------------------------------
+// Run report (v2): per-context stages / spans / histograms / memory /
+// counters / gauges
+// ---------------------------------------------------------------------------
 
-  // Stage decomposition: the calling thread's depth-0 spans, in first-start
-  // order, aggregated by name.  Everything else lands in the per-span
-  // aggregate table.
+namespace {
+
+void append_num(std::string& out, double v) {
+  out += detail::format_double(v);
+}
+
+std::string render_report(ObsContext::Impl& c, const ReportOptions& options) {
+  const std::uint64_t wall_us = detail::now_us();
+
   std::vector<std::string> stage_order;
   std::map<std::string, Agg, std::less<>> stages;
   std::map<std::string, Agg, std::less<>> spans;
+  std::map<std::string, MemAgg, std::less<>> mem;
   {
-    std::lock_guard<std::mutex> lock(r.mu);
-    // Events already flushed to a trace stream first: report aggregates
-    // must cover the whole run, not just the still-buffered tail.
-    spans = r.flushed_spans;
-    if (const auto it = r.flushed_stages.find(self_tid);
-        it != r.flushed_stages.end()) {
-      stage_order = it->second.order;
-      stages = it->second.by_name;
-    }
-    for (const auto& log : r.logs) {
-      std::lock_guard<std::mutex> log_lock(log->mu);
-      for (const SpanEvent& e : log->events) {
-        spans[e.name].fold(e.dur_us);
-        if (log->tid == self_tid && e.depth == 0) {
-          auto [it, inserted] = stages.try_emplace(e.name);
-          if (inserted) stage_order.push_back(e.name);
-          ++it->second.count;
-          it->second.total_us += e.dur_us;
-        }
-      }
-    }
+    std::lock_guard<std::mutex> lock(c.mu);
+    stage_order = c.stages.order;
+    stages = c.stages.by_name;
+    spans = c.span_aggs;
+    mem = c.mem;
   }
-  // Depth-0 spans end in start order on one thread, so recorded order is
-  // already the stage order.
   std::uint64_t stage_total_us = 0;
   for (const auto& [name, a] : stages) stage_total_us += a.total_us;
 
   std::string out;
-  out += "{\n  \"schema\": \"ftrsn-run-report\",\n  \"version\": 1,\n";
+  out += "{\n  \"schema\": \"ftrsn-run-report\",\n  \"version\": 2,\n";
   out += "  \"wall_seconds\": ";
   append_num(out, static_cast<double>(wall_us) / 1e6);
   out += ",\n";
@@ -528,17 +943,61 @@ std::string report_json(const ReportOptions& options) {
     append_num(out, static_cast<double>(a.max_us) / 1e6);
     out += "}";
   }
-  out += "\n  ],\n  \"counters\": {";
+  out += "\n  ],\n  \"histograms\": [";
   first = true;
-  for (const auto& [name, value] : counters_snapshot()) {
+  for (const auto& [name, h] : histograms_of(c)) {
     out += first ? "\n    " : ",\n    ";
     first = false;
-    out += "\"" + detail::json_escape(name) +
-           "\": " + std::to_string(value);
+    out += "{\"name\": \"" + detail::json_escape(name) +
+           "\", \"count\": " + std::to_string(h.count) +
+           ", \"sum\": " + std::to_string(h.sum) +
+           ", \"max\": " + std::to_string(h.max) + ", \"p50\": ";
+    append_num(out, h.p50());
+    out += ", \"p90\": ";
+    append_num(out, h.p90());
+    out += ", \"p99\": ";
+    append_num(out, h.p99());
+    out += ", \"buckets\": [";
+    bool first_bucket = true;
+    for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+      if (h.buckets[b] == 0) continue;
+      // [bucket lower bound, count]; bucket 0 holds exact zeros.
+      const std::uint64_t lo = b == 0 ? 0 : std::uint64_t{1} << (b - 1);
+      out += first_bucket ? "[" : ", [";
+      first_bucket = false;
+      out += std::to_string(lo) + ", " + std::to_string(h.buckets[b]) + "]";
+    }
+    out += "]}";
+  }
+  out += "\n  ],\n";
+  if (options.include_machine) {
+    out += "  \"mem\": {\"current_rss_kb\": " +
+           std::to_string(detail::current_rss_kb()) +
+           ", \"peak_rss_kb\": " + std::to_string(detail::peak_rss_kb()) +
+           ", \"spans\": [";
+    first = true;
+    for (const auto& [name, m] : mem) {
+      if (m.count == 0) continue;
+      out += first ? "\n    " : ",\n    ";
+      first = false;
+      out += "{\"name\": \"" + detail::json_escape(name) +
+             "\", \"count\": " + std::to_string(m.count) +
+             ", \"rss_delta_kb\": " + std::to_string(m.rss_delta_kb) +
+             ", \"rss_delta_max_kb\": " + std::to_string(m.rss_delta_max_kb) +
+             ", \"peak_delta_kb\": " + std::to_string(m.peak_delta_kb) + "}";
+    }
+    out += first ? "]},\n" : "\n  ]},\n";
+  }
+  out += "  \"counters\": {";
+  first = true;
+  for (const auto& [name, value] : counters_of(c)) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    out += "\"" + detail::json_escape(name) + "\": " + std::to_string(value);
   }
   out += "\n  },\n  \"gauges\": {";
   first = true;
-  for (const auto& [name, value] : gauges_snapshot()) {
+  for (const auto& [name, value] : gauges_of(c)) {
     out += first ? "\n    " : ",\n    ";
     first = false;
     out += "\"" + detail::json_escape(name) + "\": ";
@@ -548,22 +1007,29 @@ std::string report_json(const ReportOptions& options) {
   return out;
 }
 
+}  // namespace
+
+std::string report_json(const ReportOptions& options) {
+  return render_report(current_context().impl(), options);
+}
+
 bool write_file(const std::string& path, const std::string& contents) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) return false;
-  const std::size_t written = std::fwrite(contents.data(), 1, contents.size(), f);
+  const std::size_t written =
+      std::fwrite(contents.data(), 1, contents.size(), f);
   const bool ok = std::fclose(f) == 0 && written == contents.size();
   return ok;
 }
 
 bool write_trace(const std::string& path) {
-  Registry& r = reg();
+  Global& g = glob();
   {
-    std::lock_guard<std::mutex> lock(r.mu);
+    std::lock_guard<std::mutex> lock(g.mu);
     // When this path is the active stream's sink, "writing the trace"
     // means finalizing the stream (flush tail + trailer), not replacing
     // the file with only the still-buffered events.
-    if (r.stream && r.stream->path == path) return finalize_stream_locked(r);
+    if (g.stream && g.stream->path == path) return finalize_stream_locked(g);
   }
   return write_file(path, trace_json());
 }

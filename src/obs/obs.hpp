@@ -1,53 +1,144 @@
-// ftrsn_obs — unified tracing, counters and run reports for the whole
-// synthesis flow (DESIGN.md §5e).
+// ftrsn_obs — unified tracing, counters, histograms and run reports for
+// the whole synthesis flow (DESIGN.md §5e, §5j).
 //
-// Three facilities behind one process-wide registry:
+// Aggregation is *scoped*: every counter add, gauge update, histogram
+// record and closed span folds into the calling thread's current
+// `ObsContext`.  A process-default context exists from the first use, so
+// every plain call site behaves exactly as the old process-wide registry
+// did; `BatchRunner` (and, later, `ftrsn serve`) attach one child context
+// per flow/request with `ContextScope`, render a per-network report from
+// it, and `merge_into()` the parent so the merged report still covers the
+// whole run.
 //
-//  * Named counters and gauges.  Counters are always on: a handle caches a
-//    pointer to a relaxed atomic cell, so incrementing costs one atomic
-//    add.  They back both the run report and the LintStats-style snapshot
-//    APIs, and they must keep counting even when tracing is off (the lint
-//    perf-regression tests assert on them without ever enabling a trace).
+// Facilities:
+//
+//  * Named counters and gauges.  Counters are always on: a handle interns
+//    the name once (mutex), and `add` is one thread-local load plus a
+//    relaxed atomic add on the current context's cell.  They back both the
+//    run report and the LintStats-style snapshot APIs, and they must keep
+//    counting even when tracing is off (the lint perf-regression tests
+//    assert on them without ever enabling a trace).
+//
+//  * Log2-bucketed latency histograms (`obs::Histogram`).  65 buckets —
+//    value v lands in bucket bit_width(v), i.e. [2^(k-1), 2^k) — recorded
+//    with relaxed atomics only (lock-free, merge-safe).  Snapshots expose
+//    count/sum/max and interpolated p50/p90/p99.  One histogram per named
+//    span family is recorded automatically when spans are enabled; hot
+//    paths can also record explicitly (metric.class_eval_us,
+//    metric.packed_batch_us, ilp.solve_us) — those are always on, like
+//    counters.
 //
 //  * Scoped spans (`OBS_SPAN("bmc.solve")`).  Spans are recorded only
 //    while `obs::enabled()`; when disabled a span construction is one
 //    relaxed atomic load and a branch — no clock read, no allocation
-//    (near-zero overhead, pinned by the obs test suite).  Events land in
-//    per-thread logs (one mutex each, uncontended), so ThreadPool workers
-//    get their own lanes in the exported trace.
+//    (near-zero overhead, pinned by the obs test suite).  Trace events
+//    land in per-thread logs (one mutex each, uncontended), so ThreadPool
+//    workers get their own lanes in the exported trace; aggregates fold
+//    into the current context when the span closes.  Context-depth-0 and
+//    -1 spans also sample RSS at open/close, so the report attributes
+//    memory growth to stages (§5j).
 //
 //  * Exporters: `trace_json()` emits Chrome trace-event / Perfetto JSON
 //    ("X" complete events plus thread-name metadata); `report_json()`
-//    emits the schema-versioned run report (stage wall times from the
-//    calling thread's depth-0 spans, per-span aggregates, all counters and
-//    gauges, peak RSS).
+//    emits the schema-versioned run report v2 (stage wall times from the
+//    context owner's context-depth-0 spans, per-span aggregates,
+//    histograms, memory deltas, all counters and gauges).
 //
 // Thread-safety: everything here may be called from any thread.  Export
 // may run concurrently with span recording, but spans still open at export
-// time are not included.  `reset()` must not race active spans.
+// time are not included.  `reset()` must not race active spans.  A context
+// must outlive every ContextScope attached to it and every span/counter
+// update made under those scopes.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <string_view>
 
 namespace ftrsn::obs {
 
-/// Master switch for span recording (counters/gauges are always active).
+class ObsContext;
+
+/// Master switch for span recording (counters/gauges/histograms are
+/// always active).  Process-global: one switch for every context.
 bool enabled();
 void enable(bool on);
 
-/// Drops all recorded spans, zeroes every counter, clears gauges and
-/// restarts the trace clock epoch.  For tests and bench harnesses.
+/// Resets the *current* context: drops its span/stage/memory aggregates,
+/// zeroes its counters and histograms, clears its gauges.  When the
+/// current context is the process-default one this also clears all
+/// recorded trace events, flushes and closes any open trace stream (the
+/// streamed file gets a valid trailer containing everything recorded up
+/// to the reset), and restarts the trace clock epoch.  For tests and
+/// bench harnesses.
 void reset();
+
+// --- contexts ----------------------------------------------------------------
+
+/// One aggregation scope: counters, gauges, histograms, span/stage/memory
+/// aggregates.  Trace *events* stay global (one merged trace per process);
+/// only aggregation is scoped.  The first thread to attach a context (or
+/// the main thread, for the default context) is its stage owner: the
+/// report's stage table is built from that thread's context-depth-0 spans.
+class ObsContext {
+ public:
+  ObsContext();
+  ObsContext(const ObsContext&) = delete;
+  ObsContext& operator=(const ObsContext&) = delete;
+  ~ObsContext();
+
+  /// Folds this context's aggregates into `parent`: counters and
+  /// histogram buckets add, gauges max-merge, span aggregates fold,
+  /// stage and memory tables append/fold.  Safe to call concurrently
+  /// from sibling children into one shared parent.
+  void merge_into(ObsContext& parent) const;
+
+  /// Scoped snapshots (same shapes as the free snapshot functions).
+  std::map<std::string, std::uint64_t> counters() const;
+  std::map<std::string, double> gauges() const;
+
+  struct Impl;
+  Impl& impl() const { return *impl_; }
+
+ private:
+  std::unique_ptr<Impl> impl_;
+};
+
+/// The process-default context (owner: the "main" thread).
+ObsContext& default_context();
+/// The calling thread's current context (default unless a ContextScope is
+/// active on this thread).
+ObsContext& current_context();
+
+/// RAII attach: makes `ctx` the calling thread's current context.  The
+/// context-relative span depth restarts at the thread's depth at attach
+/// time, so the first span opened under the scope is a context-depth-0
+/// stage of `ctx`.  Re-attaching the context that is already current is a
+/// no-op (the depth base is kept), so nested pool jobs that inherit their
+/// submitter's context do not fracture its stage table.
+class ContextScope {
+ public:
+  explicit ContextScope(ObsContext& ctx);
+  ContextScope(const ContextScope&) = delete;
+  ContextScope& operator=(const ContextScope&) = delete;
+  ~ContextScope();
+
+ private:
+  ObsContext* prev_ = nullptr;
+  std::int32_t prev_base_ = 0;
+  bool active_ = false;
+};
 
 // --- counters and gauges ----------------------------------------------------
 
-/// Cached handle to one named counter cell.  Construction interns the name
-/// in the registry (mutex); `add` is a relaxed atomic increment.  Intended
+/// Cached handle to one named counter.  Construction interns the name
+/// (process-wide id, mutex once); `add` is a thread-local load plus a
+/// relaxed atomic increment on the current context's cell.  Intended
 /// usage on hot paths is a function-local static:
 ///
 ///   static obs::Counter solves("bmc.sat_calls");
@@ -55,15 +146,17 @@ void reset();
 class Counter {
  public:
   explicit Counter(std::string_view name);
-  void add(std::uint64_t n = 1) { cell_->fetch_add(n, std::memory_order_relaxed); }
-  std::uint64_t value() const { return cell_->load(std::memory_order_relaxed); }
-  void reset() { cell_->store(0, std::memory_order_relaxed); }
+  void add(std::uint64_t n = 1);
+  /// Value in the calling thread's current context.
+  std::uint64_t value() const;
+  void reset();
 
  private:
-  std::atomic<std::uint64_t>* cell_;  // owned by the registry, never freed
+  std::uint32_t id_;
 };
 
-/// Cold-path conveniences (one registry lookup per call).
+/// Cold-path conveniences (one intern lookup per call); all operate on
+/// the calling thread's current context.
 void count(std::string_view name, std::uint64_t n = 1);
 std::uint64_t counter_value(std::string_view name);
 void gauge_set(std::string_view name, double value);
@@ -72,26 +165,85 @@ void gauge_max(std::string_view name, double value);
 std::map<std::string, std::uint64_t> counters_snapshot();
 std::map<std::string, double> gauges_snapshot();
 
+// --- histograms --------------------------------------------------------------
+
+/// Aggregated view of one histogram: 65 log2 buckets.  buckets[0] counts
+/// zeros; buckets[k] (k >= 1) counts values in [2^(k-1), 2^k).
+struct HistogramSnapshot {
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t max = 0;
+  std::array<std::uint64_t, 65> buckets{};
+
+  /// Quantile estimate: cumulative walk to rank q*count, linear
+  /// interpolation inside the landing bucket, clamped to the observed
+  /// max.  Monotone in q.  Returns 0 when empty.
+  double quantile(double q) const;
+  double p50() const { return quantile(0.50); }
+  double p90() const { return quantile(0.90); }
+  double p99() const { return quantile(0.99); }
+};
+
+/// Cached handle to one named histogram, same interning scheme as
+/// Counter.  `record` touches only relaxed atomics (bucket add, count,
+/// sum, CAS-max) — safe on hot paths and always on, like counters.
+class Histogram {
+ public:
+  explicit Histogram(std::string_view name);
+  void record(std::uint64_t value);
+
+ private:
+  std::uint32_t id_;
+};
+
+/// RAII latency recorder: records elapsed wall microseconds into `h` on
+/// destruction (steady clock, independent of the trace clock).
+class ScopedLatency {
+ public:
+  explicit ScopedLatency(Histogram& h);
+  ScopedLatency(const ScopedLatency&) = delete;
+  ScopedLatency& operator=(const ScopedLatency&) = delete;
+  ~ScopedLatency();
+
+ private:
+  Histogram& h_;
+  std::uint64_t t0_ns_;
+};
+
+void histogram_record(std::string_view name, std::uint64_t value);
+/// Histograms of the calling thread's current context (empty ones are
+/// omitted).
+std::map<std::string, HistogramSnapshot> histograms_snapshot();
+/// Bucket index for `value` (bit_width).  Exposed for tests.
+std::size_t histogram_bucket(std::uint64_t value);
+
 // --- spans -------------------------------------------------------------------
 
 /// Names the calling thread's lane in the exported trace (default: "main"
 /// for the first registered thread, "thread-<tid>" otherwise).
 void set_thread_name(std::string name);
 
-/// RAII span: records a complete ("X") trace event on destruction.  A span
-/// constructed while tracing is disabled records nothing, even if tracing
-/// is enabled before it closes.
+/// RAII span: records a complete ("X") trace event on destruction, folds
+/// duration into the current context's span/stage aggregates and the
+/// span-family histogram, and (at context depth <= 1) folds RSS deltas
+/// into the context's memory table.  A span constructed while tracing is
+/// disabled records nothing, even if tracing is enabled before it closes.
 class Span {
  public:
-  explicit Span(std::string name);
+  explicit Span(std::string_view name);
   Span(const Span&) = delete;
   Span& operator=(const Span&) = delete;
   ~Span();
 
  private:
   std::string name_;
+  ObsContext* ctx_ = nullptr;
   std::uint64_t start_us_ = 0;
+  std::uint32_t hist_id_ = 0;
   std::int32_t depth_ = 0;
+  std::int32_t ctx_depth_ = 0;
+  long rss_open_kb_ = -1;  // -1: memory not sampled for this span
+  long peak_open_kb_ = 0;
   bool active_ = false;
 };
 
@@ -116,14 +268,15 @@ std::string trace_json();
 //
 // The streamed file is the same Chrome trace-event JSON as trace_json(),
 // except events appear in flush order rather than grouped by lane (the
-// format is order-independent).  Aggregates of flushed events are folded
-// into report_json()'s span/stage tables, so run reports stay complete.
-// trace_json() itself only ever sees the still-buffered tail.
+// format is order-independent).  Report aggregates are unaffected by
+// flushing: they fold into the current context at span close, not at
+// export time.  trace_json() itself only ever sees the still-buffered
+// tail.
 //
 // close_trace_stream() flushes the tail, writes the JSON trailer and
 // closes the file; write_trace(path) on the stream's own path does the
-// same.  reset() discards an active stream (the file is closed with a
-// valid trailer but keeps only the events flushed so far).
+// same, and so does reset() — a reset mid-stream leaves a complete,
+// loadable trace of everything recorded before the reset.
 
 /// Starts streaming; returns false if the file cannot be opened (an
 /// already-active stream is finalized first).  Implies nothing about
@@ -136,12 +289,15 @@ bool trace_streaming();
 bool close_trace_stream();
 
 struct ReportOptions {
-  /// Include machine-dependent fields (peak RSS, hardware threads).  Off
-  /// for the golden-file tests, which need byte-stable output.
+  /// Include machine-dependent fields (peak RSS, hardware threads, the
+  /// memory section).  Off for the golden-file tests, which need
+  /// byte-stable output.
   bool include_machine = true;
 };
 
-/// Structured run report ("ftrsn-run-report" schema, version 1).
+/// Structured run report ("ftrsn-run-report" schema, version 2: v1 fields
+/// unchanged, plus "histograms" and — with include_machine — "mem").
+/// Reports the calling thread's current context.
 std::string report_json(const ReportOptions& options = {});
 
 bool write_file(const std::string& path, const std::string& contents);
@@ -171,10 +327,17 @@ using ClockFn = std::uint64_t (*)();
 void set_clock_for_test(ClockFn fn);
 /// Peak resident set size in kilobytes (getrusage), 0 if unavailable.
 long peak_rss_kb();
+/// Current resident set size in kilobytes (/proc/self/statm), 0 if
+/// unavailable.
+long current_rss_kb();
 /// Span events currently buffered in the per-thread logs (streaming tests
 /// assert the flush threshold actually bounds this).
 std::size_t buffered_span_events();
 std::string json_escape(std::string_view s);
+/// Shortest-round-trip decimal formatting (std::to_chars), locale
+/// independent — the same policy as the corpus serializer, so golden obs
+/// tests cannot flake on float formatting.
+std::string format_double(double v);
 }  // namespace detail
 
 }  // namespace ftrsn::obs

@@ -1,0 +1,281 @@
+#include "util/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+#include <cstdint>
+
+namespace ftrsn::json {
+
+namespace {
+
+struct Parser {
+  std::string_view text;
+  std::size_t pos = 0;
+  std::string error;
+  // Defence against adversarial / corrupted inputs: the reports this
+  // parser consumes nest a handful of levels, so any deep recursion is a
+  // malformed file, not a real document.
+  int depth = 0;
+  static constexpr int kMaxDepth = 64;
+
+  bool fail(const std::string& message) {
+    if (error.empty())
+      error = message + " at byte " + std::to_string(pos);
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos < text.size() &&
+           (text[pos] == ' ' || text[pos] == '\t' || text[pos] == '\n' ||
+            text[pos] == '\r'))
+      ++pos;
+  }
+
+  bool consume(char c) {
+    if (pos < text.size() && text[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return fail(std::string("expected '") + c + "'");
+  }
+
+  bool parse_value(Value& out) {
+    if (++depth > kMaxDepth) return fail("nesting too deep");
+    skip_ws();
+    if (pos >= text.size()) return fail("unexpected end of input");
+    bool ok = false;
+    switch (text[pos]) {
+      case '{': ok = parse_object(out); break;
+      case '[': ok = parse_array(out); break;
+      case '"': ok = parse_string(out); break;
+      case 't':
+      case 'f': ok = parse_bool(out); break;
+      case 'n': ok = parse_null(out); break;
+      default: ok = parse_number(out); break;
+    }
+    --depth;
+    return ok;
+  }
+
+  bool parse_object(Value& out) {
+    out.kind = Value::Kind::kObject;
+    ++pos;  // '{'
+    skip_ws();
+    if (pos < text.size() && text[pos] == '}') {
+      ++pos;
+      return true;
+    }
+    for (;;) {
+      skip_ws();
+      Value key;
+      if (pos >= text.size() || text[pos] != '"')
+        return fail("expected object key");
+      if (!parse_string(key)) return false;
+      skip_ws();
+      if (!consume(':')) return false;
+      Value value;
+      if (!parse_value(value)) return false;
+      out.members.emplace_back(std::move(key.text), std::move(value));
+      skip_ws();
+      if (pos < text.size() && text[pos] == ',') {
+        ++pos;
+        continue;
+      }
+      return consume('}');
+    }
+  }
+
+  bool parse_array(Value& out) {
+    out.kind = Value::Kind::kArray;
+    ++pos;  // '['
+    skip_ws();
+    if (pos < text.size() && text[pos] == ']') {
+      ++pos;
+      return true;
+    }
+    for (;;) {
+      Value item;
+      if (!parse_value(item)) return false;
+      out.items.push_back(std::move(item));
+      skip_ws();
+      if (pos < text.size() && text[pos] == ',') {
+        ++pos;
+        continue;
+      }
+      return consume(']');
+    }
+  }
+
+  bool parse_string(Value& out) {
+    out.kind = Value::Kind::kString;
+    ++pos;  // '"'
+    std::string s;
+    while (pos < text.size()) {
+      const char c = text[pos];
+      if (c == '"') {
+        ++pos;
+        out.text = std::move(s);
+        return true;
+      }
+      if (c == '\\') {
+        if (pos + 1 >= text.size()) return fail("dangling escape");
+        const char e = text[pos + 1];
+        pos += 2;
+        switch (e) {
+          case '"': s += '"'; break;
+          case '\\': s += '\\'; break;
+          case '/': s += '/'; break;
+          case 'b': s += '\b'; break;
+          case 'f': s += '\f'; break;
+          case 'n': s += '\n'; break;
+          case 'r': s += '\r'; break;
+          case 't': s += '\t'; break;
+          case 'u': {
+            if (pos + 4 > text.size()) return fail("truncated \\u escape");
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text[pos + static_cast<std::size_t>(i)];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f')
+                code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F')
+                code |= static_cast<unsigned>(h - 'A' + 10);
+              else
+                return fail("bad \\u escape");
+            }
+            pos += 4;
+            // UTF-8 encode (no surrogate-pair handling: the repo's own
+            // writers only \u-escape control characters).
+            if (code < 0x80) {
+              s += static_cast<char>(code);
+            } else if (code < 0x800) {
+              s += static_cast<char>(0xC0 | (code >> 6));
+              s += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              s += static_cast<char>(0xE0 | (code >> 12));
+              s += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              s += static_cast<char>(0x80 | (code & 0x3F));
+            }
+            break;
+          }
+          default: return fail("unknown escape");
+        }
+        continue;
+      }
+      if (static_cast<unsigned char>(c) < 0x20)
+        return fail("raw control character in string");
+      s += c;
+      ++pos;
+    }
+    return fail("unterminated string");
+  }
+
+  bool parse_bool(Value& out) {
+    if (text.substr(pos, 4) == "true") {
+      out.kind = Value::Kind::kBool;
+      out.boolean = true;
+      pos += 4;
+      return true;
+    }
+    if (text.substr(pos, 5) == "false") {
+      out.kind = Value::Kind::kBool;
+      out.boolean = false;
+      pos += 5;
+      return true;
+    }
+    return fail("bad literal");
+  }
+
+  bool parse_null(Value& out) {
+    if (text.substr(pos, 4) == "null") {
+      out.kind = Value::Kind::kNull;
+      pos += 4;
+      return true;
+    }
+    return fail("bad literal");
+  }
+
+  bool parse_number(Value& out) {
+    const std::size_t start = pos;
+    if (pos < text.size() && text[pos] == '-') ++pos;
+    while (pos < text.size() && std::isdigit(static_cast<unsigned char>(text[pos])))
+      ++pos;
+    if (pos < text.size() && text[pos] == '.') {
+      ++pos;
+      while (pos < text.size() &&
+             std::isdigit(static_cast<unsigned char>(text[pos])))
+        ++pos;
+    }
+    if (pos < text.size() && (text[pos] == 'e' || text[pos] == 'E')) {
+      ++pos;
+      if (pos < text.size() && (text[pos] == '+' || text[pos] == '-')) ++pos;
+      while (pos < text.size() &&
+             std::isdigit(static_cast<unsigned char>(text[pos])))
+        ++pos;
+    }
+    if (pos == start) return fail("expected a value");
+    out.kind = Value::Kind::kNumber;
+    out.text = std::string(text.substr(start, pos - start));
+    double v = 0.0;
+    const auto [p, ec] =
+        std::from_chars(out.text.data(), out.text.data() + out.text.size(), v);
+    if (ec != std::errc() || p != out.text.data() + out.text.size()) {
+      pos = start;
+      return fail("bad number");
+    }
+    out.number = v;
+    return true;
+  }
+};
+
+}  // namespace
+
+const Value* Value::find(std::string_view key) const {
+  if (kind != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : members)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+double Value::num_or(std::string_view key, double fallback) const {
+  const Value* v = find(key);
+  return v != nullptr && v->is_number() ? v->number : fallback;
+}
+
+std::optional<Value> parse(std::string_view text, std::string* error) {
+  Parser p;
+  p.text = text;
+  Value root;
+  if (!p.parse_value(root)) {
+    if (error != nullptr) *error = p.error;
+    return std::nullopt;
+  }
+  p.skip_ws();
+  if (p.pos != p.text.size()) {
+    if (error != nullptr)
+      *error = "trailing garbage at byte " + std::to_string(p.pos);
+    return std::nullopt;
+  }
+  return root;
+}
+
+std::optional<Value> parse_file(const std::string& path, std::string* error) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return std::nullopt;
+  }
+  std::string contents;
+  char buf[1 << 16];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) contents.append(buf, n);
+  std::fclose(f);
+  std::string parse_error;
+  auto v = parse(contents, &parse_error);
+  if (!v && error != nullptr) *error = path + ": " + parse_error;
+  return v;
+}
+
+}  // namespace ftrsn::json

@@ -1,0 +1,54 @@
+// Minimal JSON reader for the tooling side of the repo (rsn-obs diff,
+// obs tests).  Strict recursive-descent parser over UTF-8 text: objects,
+// arrays, strings (with escapes), numbers, booleans, null.  Numbers keep
+// their source text alongside the double so integer-valued counters can
+// be compared exactly; object members keep source order.
+//
+// This is a *reader* — every JSON writer in the repo renders by hand so
+// output stays byte-pinned (goldens, SHA-pinned corpus).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace ftrsn::json {
+
+struct Value {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  /// Number: verbatim source token.  String: decoded contents.
+  std::string text;
+  std::vector<Value> items;                             // kArray
+  std::vector<std::pair<std::string, Value>> members;   // kObject, in order
+
+  bool is_null() const { return kind == Kind::kNull; }
+  bool is_bool() const { return kind == Kind::kBool; }
+  bool is_number() const { return kind == Kind::kNumber; }
+  bool is_string() const { return kind == Kind::kString; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_object() const { return kind == Kind::kObject; }
+
+  /// Object member lookup (first match), nullptr when absent or not an
+  /// object.
+  const Value* find(std::string_view key) const;
+  /// number value or `fallback` when absent / not a number.
+  double num_or(std::string_view key, double fallback) const;
+};
+
+/// Parses one JSON document (trailing whitespace allowed, nothing else).
+/// On failure returns nullopt and, if `error` is non-null, a one-line
+/// message with the byte offset.
+std::optional<Value> parse(std::string_view text, std::string* error = nullptr);
+
+/// Reads and parses a file; file-system errors land in `error` too.
+std::optional<Value> parse_file(const std::string& path,
+                                std::string* error = nullptr);
+
+}  // namespace ftrsn::json

@@ -64,28 +64,39 @@ ThreadPool::Job* ThreadPool::pick_job_locked(std::uint64_t min_seq,
 
 void ThreadPool::run_chunks(Job& job, int worker, std::size_t begin) {
   if (begin >= job.n) return;
-  // One span per worker per drain: the trace shows each lane's share of the
-  // job, including idle tails from load imbalance.
-  std::optional<obs::Span> lane;
-  if (obs::enabled()) lane.emplace(name_ + ".lane");
-  static obs::Counter chunk_counter("pool.chunks");
   std::size_t completed = 0;
-  for (;;) {
-    const std::size_t end = std::min(begin + job.chunk, job.n);
-    chunk_counter.add();
-    try {
-      (*job.fn)(worker, begin, end);
-    } catch (...) {
-      std::lock_guard<std::mutex> lock(mutex_);
-      if (!job.first_error) job.first_error = std::current_exception();
-      // Keep draining chunks so the job still covers [0, n); later chunks
-      // may throw too, but only the first exception is reported.
+  {
+    // Aggregate into the submitter's context: a chunk's counters, spans and
+    // histograms belong to whichever flow submitted the job, not to whatever
+    // context this worker happened to be in (no-op on the submitting thread).
+    obs::ContextScope ctx_scope(*job.ctx);
+    // One span per worker per drain: the trace shows each lane's share of
+    // the job, including idle tails from load imbalance.
+    std::optional<obs::Span> lane;
+    if (obs::enabled()) lane.emplace(name_ + ".lane");
+    static obs::Counter chunk_counter("pool.chunks");
+    for (;;) {
+      const std::size_t end = std::min(begin + job.chunk, job.n);
+      chunk_counter.add();
+      try {
+        (*job.fn)(worker, begin, end);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (!job.first_error) job.first_error = std::current_exception();
+        // Keep draining chunks so the job still covers [0, n); later chunks
+        // may throw too, but only the first exception is reported.
+      }
+      ++completed;
+      // Safe even on a stolen job: our `completed` chunks are unpublished,
+      // so the job cannot finish (and be freed) before the publish below.
+      begin = job.cursor.fetch_add(job.chunk, std::memory_order_relaxed);
+      if (begin >= job.n) break;
     }
-    ++completed;
-    // Safe even on a stolen job: our `completed` chunks are unpublished, so
-    // the job cannot finish (and be freed) before the publish below.
-    begin = job.cursor.fetch_add(job.chunk, std::memory_order_relaxed);
-    if (begin >= job.n) break;
+    // The lane span and context scope MUST close before the publish below:
+    // our unpublished chunks are the only thing keeping the submitter's
+    // parallel_for from returning, and with it *job.ctx alive (BatchRunner
+    // destroys the per-flow ObsContext right after the nested jobs finish).
+    // Folding the span after the publish would race that destruction.
   }
   bool finished = false;
   {
@@ -145,6 +156,7 @@ void ThreadPool::parallel_for(
   }
   Job job;
   job.fn = &fn;
+  job.ctx = &obs::current_context();
   job.n = n;
   job.chunk = chunk;
   job.chunks_total = (n + chunk - 1) / chunk;

@@ -41,7 +41,11 @@
 //
 // Observability: when obs tracing is enabled, every worker's participation
 // in a job is recorded as a "<name>.lane" span on its own thread lane and
-// worker threads are named "<name>-w<k>" in the exported trace.
+// worker threads are named "<name>-w<k>" in the exported trace.  Every job
+// captures the submitting thread's obs context, and workers attach it while
+// draining that job's chunks — counters/histograms/spans recorded inside a
+// chunk fold into the submitter's ObsContext no matter which thread runs it
+// (DESIGN.md §5j).
 #pragma once
 
 #include <atomic>
@@ -55,6 +59,10 @@
 #include <vector>
 
 namespace ftrsn {
+
+namespace obs {
+class ObsContext;
+}  // namespace obs
 
 class ThreadPool {
  public:
@@ -90,6 +98,7 @@ class ThreadPool {
   // claim point; chunks_done / first_error are guarded by the pool mutex.
   struct Job {
     const std::function<void(int, std::size_t, std::size_t)>* fn = nullptr;
+    obs::ObsContext* ctx = nullptr;  // submitter's obs context
     std::size_t n = 0;
     std::size_t chunk = 1;
     std::atomic<std::size_t> cursor{0};

@@ -14,16 +14,23 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <charconv>
 #include <chrono>
+#include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "core/batch.hpp"
+#include "obs/diff.hpp"
 #include "obs/obs.hpp"
+#include "util/json.hpp"
 #include "util/thread_pool.hpp"
 
 namespace ftrsn {
@@ -358,6 +365,462 @@ TEST(ObsStream, ReportCompleteAfterFlushes) {
             std::string::npos)
       << report;
   std::remove(path.c_str());
+}
+
+// --- histograms --------------------------------------------------------------
+
+TEST(ObsHist, BucketBoundaries) {
+  EXPECT_EQ(obs::histogram_bucket(0), 0u);
+  EXPECT_EQ(obs::histogram_bucket(1), 1u);
+  for (std::size_t k = 1; k < 64; ++k) {
+    EXPECT_EQ(obs::histogram_bucket((std::uint64_t{1} << k) - 1), k) << k;
+    EXPECT_EQ(obs::histogram_bucket(std::uint64_t{1} << k), k + 1) << k;
+  }
+  for (std::size_t k = 1; k < 63; ++k)
+    EXPECT_EQ(obs::histogram_bucket((std::uint64_t{1} << k) + 1), k + 1) << k;
+  EXPECT_EQ(obs::histogram_bucket(UINT64_MAX), 64u);
+}
+
+TEST(ObsHist, SnapshotBucketPlacement) {
+  obs::reset();
+  obs::Histogram h("hist.place");
+  for (const std::uint64_t v :
+       {std::uint64_t{0}, std::uint64_t{1}, std::uint64_t{2}, std::uint64_t{3},
+        (std::uint64_t{1} << 40) - 1, std::uint64_t{1} << 40, UINT64_MAX})
+    h.record(v);
+  const auto snap = obs::histograms_snapshot().at("hist.place");
+  EXPECT_EQ(snap.count, 7u);
+  EXPECT_EQ(snap.max, UINT64_MAX);
+  EXPECT_EQ(snap.buckets[0], 1u);   // 0
+  EXPECT_EQ(snap.buckets[1], 1u);   // 1
+  EXPECT_EQ(snap.buckets[2], 2u);   // 2, 3
+  EXPECT_EQ(snap.buckets[40], 1u);  // 2^40 - 1
+  EXPECT_EQ(snap.buckets[41], 1u);  // 2^40
+  EXPECT_EQ(snap.buckets[64], 1u);  // UINT64_MAX
+  std::uint64_t total = 0;
+  for (const std::uint64_t b : snap.buckets) total += b;
+  EXPECT_EQ(total, snap.count);
+  obs::reset();
+}
+
+TEST(ObsHist, QuantilesMonotoneAndClampedToMax) {
+  EXPECT_EQ(obs::HistogramSnapshot{}.quantile(0.5), 0.0);  // empty
+  obs::reset();
+  obs::Histogram h("hist.quant");
+  for (std::uint64_t v = 1; v <= 1000; ++v) h.record(v);
+  const auto snap = obs::histograms_snapshot().at("hist.quant");
+  EXPECT_EQ(snap.count, 1000u);
+  EXPECT_EQ(snap.sum, 500500u);
+  EXPECT_EQ(snap.max, 1000u);
+  double prev = -1.0;
+  for (int i = 0; i <= 200; ++i) {
+    const double q = i / 200.0;
+    const double v = snap.quantile(q);
+    EXPECT_GE(v, prev) << "q=" << q;
+    EXPECT_LE(v, static_cast<double>(snap.max)) << "q=" << q;
+    prev = v;
+  }
+  EXPECT_LE(snap.p50(), snap.p90());
+  EXPECT_LE(snap.p90(), snap.p99());
+  // p50 of 1..1000 lands in bucket [512, 1024); the interpolated value
+  // must stay in that decade (coarse by design, never wildly off).
+  EXPECT_GE(snap.p50(), 256.0);
+  EXPECT_LE(snap.p50(), 1000.0);
+  obs::reset();
+}
+
+// Bucket totals are exact sums of relaxed atomic increments, so the
+// concurrent histogram must equal N serial copies of the same value
+// stream, bucket for bucket.
+TEST(ObsHist, ConcurrentRecordingDeterministicBucketTotals) {
+  obs::reset();
+  constexpr int kThreads = 8;
+  const auto value_stream = [](obs::Histogram& h) {
+    for (std::uint64_t j = 0; j < 20000; ++j) h.record((j * 37) % 4096);
+    h.record(std::uint64_t{1} << 50);
+  };
+  obs::Histogram baseline("hist.conc.baseline");
+  value_stream(baseline);
+  obs::Histogram conc("hist.conc");
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t)
+    workers.emplace_back([&] { value_stream(conc); });
+  for (auto& w : workers) w.join();
+  const auto snaps = obs::histograms_snapshot();
+  const auto& base = snaps.at("hist.conc.baseline");
+  const auto& got = snaps.at("hist.conc");
+  EXPECT_EQ(got.count, kThreads * base.count);
+  EXPECT_EQ(got.sum, kThreads * base.sum);
+  EXPECT_EQ(got.max, base.max);
+  for (std::size_t b = 0; b < got.buckets.size(); ++b)
+    EXPECT_EQ(got.buckets[b], kThreads * base.buckets[b]) << "bucket " << b;
+  obs::reset();
+}
+
+// --- scoped contexts ---------------------------------------------------------
+
+TEST(ObsContextScoping, ScopeIsolatesAggregationFromDefault) {
+  obs::reset();
+  obs::Counter c("ctx.iso");
+  c.add(1);  // default context
+  {
+    obs::ObsContext child;
+    obs::ContextScope scope(child);
+    c.add(41);
+    obs::histogram_record("ctx.iso.h", 5);
+    EXPECT_EQ(c.value(), 41u);  // value() reads the *current* context
+    EXPECT_EQ(child.counters().at("ctx.iso"), 41u);
+    EXPECT_EQ(obs::histograms_snapshot().at("ctx.iso.h").count, 1u);
+  }
+  // Back in the default context: the child's updates never leaked.
+  EXPECT_EQ(c.value(), 1u);
+  EXPECT_EQ(obs::histograms_snapshot().count("ctx.iso.h"), 0u);
+  obs::reset();
+}
+
+TEST(ObsContextScoping, MergeFoldsChildIntoParent) {
+  obs::reset();
+  obs::ObsContext parent;
+  obs::ObsContext child;
+  {
+    obs::ContextScope scope(child);
+    obs::count("merge.c", 5);
+    obs::histogram_record("merge.h", 10);
+    obs::histogram_record("merge.h", 1000);
+    obs::gauge_max("merge.g", 2.5);
+  }
+  {
+    obs::ContextScope scope(parent);
+    obs::count("merge.c", 7);
+    obs::histogram_record("merge.h", 10);
+    obs::gauge_max("merge.g", 1.0);
+  }
+  child.merge_into(parent);
+  EXPECT_EQ(parent.counters().at("merge.c"), 12u);
+  EXPECT_DOUBLE_EQ(parent.gauges().at("merge.g"), 2.5);  // max-merge
+  {
+    obs::ContextScope scope(parent);
+    const auto snap = obs::histograms_snapshot().at("merge.h");
+    EXPECT_EQ(snap.count, 3u);
+    EXPECT_EQ(snap.sum, 1020u);
+    EXPECT_EQ(snap.max, 1000u);
+    EXPECT_EQ(snap.buckets[4], 2u);   // two 10s: [8, 16)
+    EXPECT_EQ(snap.buckets[10], 1u);  // 1000: [512, 1024)
+  }
+  // The default context saw none of it.
+  EXPECT_EQ(obs::counter_value("merge.c"), 0u);
+  obs::reset();
+}
+
+// Re-attaching the context that is already current must keep the span
+// depth base: the nested span stays a context-depth-1 span (a span
+// aggregate but not a stage), exactly as if the inner scope were absent.
+TEST(ObsContextScoping, ReattachKeepsStageDepth) {
+  FakeClockScope clock;
+  obs::enable(true);
+  obs::ObsContext ctx;
+  {
+    obs::ContextScope outer(ctx);
+    obs::Span stage("ctx.stage");
+    {
+      obs::ContextScope inner(ctx);  // re-attach: must be a no-op
+      obs::Span nested("ctx.inner");
+    }
+  }
+  std::string report;
+  {
+    obs::ContextScope scope(ctx);
+    obs::ReportOptions opt;
+    opt.include_machine = false;
+    report = obs::report_json(opt);
+  }
+  const auto doc = json::parse(report);
+  ASSERT_TRUE(doc.has_value()) << report;
+  std::vector<std::string> stages;
+  if (const json::Value* arr = doc->find("stages"))
+    for (const json::Value& s : arr->items)
+      if (const json::Value* name = s.find("name")) stages.push_back(name->text);
+  EXPECT_EQ(stages, std::vector<std::string>{"ctx.stage"});
+  EXPECT_NE(report.find("\"name\": \"ctx.inner\", \"count\": 1"),
+            std::string::npos)
+      << report;  // still a span aggregate
+}
+
+TEST(ObsContextScoping, PoolJobsFoldIntoSubmitterContext) {
+  obs::reset();
+  obs::Counter work("ctx.pool.work");
+  ThreadPool pool(4, "ctxpool");
+  obs::ObsContext ctx;
+  {
+    obs::ContextScope scope(ctx);
+    pool.parallel_for(256, 1, [&](int, std::size_t b, std::size_t e) {
+      work.add(e - b);
+    });
+  }
+  // Every chunk ran under the submitter's context, no matter which worker
+  // thread picked it up.
+  EXPECT_EQ(ctx.counters().at("ctx.pool.work"), 256u);
+  EXPECT_GE(ctx.counters().at("pool.chunks"), 256u);
+  EXPECT_EQ(work.value(), 0u);
+  EXPECT_EQ(obs::counter_value("pool.chunks"), 0u);
+  obs::reset();
+}
+
+// --- batch per-flow reports --------------------------------------------------
+
+TEST(ObsBatch, PerFlowReportPathInsertsLabel) {
+  EXPECT_EQ(per_flow_report_path("reports/run.json", "u226"),
+            "reports/run.u226.json");
+  EXPECT_EQ(per_flow_report_path("run", "d281"), "run.d281.json");
+}
+
+// The ISSUE acceptance gate: a traced batch run yields one report per
+// network plus a merged parent whose counters are the sums of the
+// children.  pool.* scheduling counters are excluded — the outer
+// network-level chunks fold into the parent's own context by design.
+TEST(ObsBatch, ParentCountersEqualSumOfChildren) {
+  obs::reset();
+  const std::string report_path = ::testing::TempDir() + "obs_batch_report.json";
+  BatchOptions options;
+  options.threads = 2;
+  options.report_path = report_path;
+  BatchRunner runner(options);
+  const BatchResult result = runner.run_soc_flows({"u226", "d281"});
+  obs::enable(false);
+
+  ASSERT_EQ(result.flow_reports.size(), 2u);
+  ASSERT_EQ(result.flow_labels, (std::vector<std::string>{"u226", "d281"}));
+
+  // The per-network report files mirror BatchResult::flow_reports.
+  for (std::size_t i = 0; i < 2; ++i) {
+    const std::string path =
+        per_flow_report_path(report_path, result.flow_labels[i]);
+    EXPECT_EQ(read_file(path), result.flow_reports[i]) << path;
+  }
+
+  // Sum the children's counters.
+  std::map<std::string, double> sums;
+  for (const std::string& child_report : result.flow_reports) {
+    const auto child = json::parse(child_report);
+    ASSERT_TRUE(child.has_value());
+    const json::Value* counters = child->find("counters");
+    ASSERT_NE(counters, nullptr);
+    for (const auto& [name, v] : counters->members) sums[name] += v.number;
+  }
+  EXPECT_GT(sums.at("metric.mask_evals"), 0.0);
+
+  // Every non-pool counter of the merged parent equals the child sum, and
+  // no summed counter is missing from the parent.
+  const auto parent = json::parse_file(report_path);
+  ASSERT_TRUE(parent.has_value());
+  const json::Value* parent_counters = parent->find("counters");
+  ASSERT_NE(parent_counters, nullptr);
+  std::map<std::string, double> parent_vals;
+  for (const auto& [name, v] : parent_counters->members)
+    parent_vals[name] = v.number;
+  for (const auto& [name, v] : parent_vals) {
+    if (name.rfind("pool.", 0) == 0) continue;
+    const auto it = sums.find(name);
+    EXPECT_DOUBLE_EQ(v, it == sums.end() ? 0.0 : it->second) << name;
+  }
+  for (const auto& [name, v] : sums) {
+    if (name.rfind("pool.", 0) == 0) continue;
+    EXPECT_EQ(parent_vals.count(name), 1u) << name;
+  }
+
+  std::remove(report_path.c_str());
+  for (const std::string& label : result.flow_labels)
+    std::remove(per_flow_report_path(report_path, label).c_str());
+  obs::reset();
+}
+
+// --- reset vs streaming ------------------------------------------------------
+
+// reset() mid-stream must flush the tail and write the trailer (a
+// complete, loadable trace of everything before the reset), and the
+// streaming machinery must come back cleanly: a fresh stream after the
+// reset is byte-identical to a buffered trace of the same workload.
+TEST(ObsStream, ResetMidStreamFinalizesAndRecovers) {
+  const std::string aborted = ::testing::TempDir() + "obs_reset_aborted.json";
+  const std::string recovered = ::testing::TempDir() + "obs_reset_rec.json";
+  const auto workload = [] {
+    for (int i = 0; i < 12; ++i) {
+      OBS_SPAN("recover.outer");
+      { OBS_SPAN("recover.inner"); }
+    }
+  };
+  std::string expected;
+  {
+    FakeClockScope clock;
+    obs::enable(true);
+    workload();
+    expected = obs::trace_json();
+  }
+  FakeClockScope clock;
+  obs::enable(true);
+  ASSERT_TRUE(obs::stream_trace_to(aborted, 4));
+  for (int i = 0; i < 10; ++i) {
+    OBS_SPAN("doomed.span");
+  }
+  obs::reset();  // mid-stream: flush + trailer + close
+  EXPECT_FALSE(obs::trace_streaming());
+  const std::string aborted_trace = read_file(aborted);
+  EXPECT_NE(aborted_trace.find("doomed.span"), std::string::npos);
+  EXPECT_EQ(aborted_trace.substr(aborted_trace.size() - 4), "\n]}\n");
+  // Recovery: same workload through a fresh stream, byte-compared against
+  // the buffered reference.
+  fake_ticks.store(0);
+  obs::enable(true);  // same epoch warm-up tick as the reference run
+  ASSERT_TRUE(obs::stream_trace_to(recovered, 4));
+  workload();
+  ASSERT_TRUE(obs::close_trace_stream());
+  EXPECT_EQ(read_file(recovered), expected);
+  std::remove(aborted.c_str());
+  std::remove(recovered.c_str());
+}
+
+// --- float formatting --------------------------------------------------------
+
+// Report floats use shortest-round-trip formatting: locale-independent,
+// byte-stable (golden safe), and exact under re-parse.
+TEST(Obs, FormatDoubleShortestRoundTrip) {
+  EXPECT_EQ(obs::detail::format_double(0.0), "0");
+  EXPECT_EQ(obs::detail::format_double(1.0), "1");
+  EXPECT_EQ(obs::detail::format_double(0.5), "0.5");
+  EXPECT_EQ(obs::detail::format_double(0.0009), "9e-04");
+  EXPECT_EQ(obs::detail::format_double(NAN), "0");
+  EXPECT_EQ(obs::detail::format_double(INFINITY), "0");
+  for (const double v : {1.0 / 3.0, 1e-9, 123456.789, 0.1, 2.5e17,
+                         0.30000000000000004}) {
+    const std::string s = obs::detail::format_double(v);
+    double back = 0.0;
+    const auto [p, ec] = std::from_chars(s.data(), s.data() + s.size(), back);
+    ASSERT_EQ(ec, std::errc()) << s;
+    ASSERT_EQ(p, s.data() + s.size()) << s;
+    EXPECT_EQ(back, v) << s;  // bit-exact round trip
+  }
+}
+
+// --- json reader -------------------------------------------------------------
+
+TEST(ObsJson, ParsesObjectsInOrderWithEscapes) {
+  const auto doc = json::parse(
+      "{\"b\": 1, \"a\": [true, null, \"x\\n\\u0041\"], \"n\": -2.5e1}");
+  ASSERT_TRUE(doc.has_value());
+  ASSERT_TRUE(doc->is_object());
+  ASSERT_EQ(doc->members.size(), 3u);
+  EXPECT_EQ(doc->members[0].first, "b");  // source order kept
+  EXPECT_EQ(doc->members[0].second.text, "1");  // number source text kept
+  const json::Value* arr = doc->find("a");
+  ASSERT_NE(arr, nullptr);
+  ASSERT_EQ(arr->items.size(), 3u);
+  EXPECT_TRUE(arr->items[0].boolean);
+  EXPECT_TRUE(arr->items[1].is_null());
+  EXPECT_EQ(arr->items[2].text, "x\nA");
+  EXPECT_DOUBLE_EQ(doc->num_or("n", 0.0), -25.0);
+  EXPECT_DOUBLE_EQ(doc->num_or("missing", 7.0), 7.0);
+}
+
+TEST(ObsJson, RejectsMalformedInput) {
+  std::string error;
+  EXPECT_FALSE(json::parse("{\"a\": 1} garbage", &error).has_value());
+  EXPECT_NE(error.find("trailing garbage"), std::string::npos);
+  EXPECT_FALSE(json::parse("{\"a\": }").has_value());
+  EXPECT_FALSE(json::parse("\"dangling\\").has_value());
+  EXPECT_FALSE(json::parse("{\"a\": 1").has_value());
+  EXPECT_FALSE(json::parse("tru").has_value());
+  EXPECT_FALSE(json::parse("\"raw\x01control\"").has_value());
+  // Depth cap: 100 nested arrays exceed kMaxDepth.
+  EXPECT_FALSE(
+      json::parse(std::string(100, '[') + std::string(100, ']')).has_value());
+  EXPECT_TRUE(
+      json::parse(std::string(60, '[') + std::string(60, ']')).has_value());
+  EXPECT_FALSE(json::parse_file("/nonexistent/x.json", &error).has_value());
+  EXPECT_NE(error.find("cannot open"), std::string::npos);
+}
+
+// --- diff engine -------------------------------------------------------------
+
+TEST(ObsDiff, GlobMatch) {
+  EXPECT_TRUE(obs::glob_match("*", ""));
+  EXPECT_TRUE(obs::glob_match("*", "anything"));
+  EXPECT_TRUE(obs::glob_match("ilp.flow_*", "ilp.flow_pushes"));
+  EXPECT_FALSE(obs::glob_match("ilp.flow_*", "ilp.lp_solves"));
+  EXPECT_TRUE(obs::glob_match("a*b*c", "aXXbYYc"));
+  EXPECT_TRUE(obs::glob_match("a*b", "ab"));
+  EXPECT_FALSE(obs::glob_match("a*b", "ac"));
+  EXPECT_TRUE(obs::glob_match("exact", "exact"));
+  EXPECT_FALSE(obs::glob_match("exact", "exactly"));
+  EXPECT_TRUE(obs::matches_any({}, "anything"));  // empty list = match all
+  EXPECT_TRUE(obs::matches_any({"x.*", "metric.*"}, "metric.mask_evals"));
+  EXPECT_FALSE(obs::matches_any({"x.*"}, "metric.mask_evals"));
+}
+
+TEST(ObsDiff, CounterGateExactByDefault) {
+  obs::RunDoc a, b;
+  a.source = "a";
+  b.source = "b";
+  a.counters = {{"metric.mask_evals", 64832}, {"pool.chunks", 100}};
+  b.counters = {{"metric.mask_evals", 64832}, {"pool.chunks", 250}};
+  obs::DiffOptions options;
+  options.counter_filters = {"metric.*"};
+  EXPECT_TRUE(obs::diff_docs(a, b, options).ok());  // pool.* filtered out
+
+  b.counters["metric.mask_evals"] = 64831;
+  const auto result = obs::diff_docs(a, b, options);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.compared, 1u);
+  EXPECT_EQ(result.mismatches, 1u);
+  EXPECT_NE(result.table(a, b).find("MISMATCH"), std::string::npos);
+  // The machine verdict parses and carries the failure.
+  const auto verdict = json::parse(result.verdict_json(a, b));
+  ASSERT_TRUE(verdict.has_value());
+  const json::Value* match = verdict->find("match");
+  ASSERT_NE(match, nullptr);
+  EXPECT_FALSE(match->boolean);
+
+  // A counter missing on one side compares against 0 (a silently dropped
+  // family is a regression, not a skip).
+  b.counters["metric.mask_evals"] = 64832;
+  b.counters.erase("metric.mask_evals");
+  EXPECT_FALSE(obs::diff_docs(a, b, options).ok());
+
+  // Relative tolerance admits drift when asked.
+  obs::DiffOptions loose;
+  loose.counter_filters = {"pool.*"};
+  loose.counter_rel_tol = 0.75;
+  EXPECT_TRUE(obs::diff_docs(a, b, loose).ok());  // 100 vs 250 within 75%
+  loose.counter_rel_tol = 0.1;
+  EXPECT_FALSE(obs::diff_docs(a, b, loose).ok());
+}
+
+TEST(ObsDiff, LoadsRunReportAndBenchEnvelope) {
+  // The checked-in v2 golden doubles as a loader fixture.
+  std::string error;
+  const auto report =
+      obs::load_run_doc(golden_path("obs_golden_report.json"), &error);
+  ASSERT_TRUE(report.has_value()) << error;
+  EXPECT_EQ(report->schema, "ftrsn-run-report");
+  EXPECT_EQ(report->version, 2);
+  EXPECT_DOUBLE_EQ(report->counters.at("golden.items"), 3.0);
+  EXPECT_DOUBLE_EQ(report->histograms.at("parse").p50, 300.0);
+  EXPECT_DOUBLE_EQ(report->spans.at("emit").count, 2.0);
+
+  const std::string bench_path = ::testing::TempDir() + "obs_diff_bench.json";
+  ASSERT_TRUE(obs::write_file(
+      bench_path,
+      "{\"schema\": \"ftrsn-bench-1\", \"bench\": \"x\",\n"
+      " \"obs_counters\": {\"metric.mask_evals\": 9}, \"histograms\":\n"
+      " {\"h\": {\"count\": 2, \"sum\": 10, \"max\": 8, \"p50\": 4,\n"
+      "  \"p90\": 8, \"p99\": 8}}}\n"));
+  const auto bench = obs::load_run_doc(bench_path, &error);
+  ASSERT_TRUE(bench.has_value()) << error;
+  EXPECT_EQ(bench->schema, "ftrsn-bench-1");
+  EXPECT_DOUBLE_EQ(bench->counters.at("metric.mask_evals"), 9.0);
+  EXPECT_DOUBLE_EQ(bench->histograms.at("h").p90, 8.0);
+  std::remove(bench_path.c_str());
+
+  EXPECT_FALSE(obs::load_run_doc("/nonexistent/r.json", &error).has_value());
 }
 
 }  // namespace

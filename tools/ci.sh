@@ -37,8 +37,18 @@
 #      the randomized differential soak (ctest -L lint, scaled by
 #      FTRSN_FIX_ITERS) also reruns under ASan+UBSan in step 2;
 #   6. obs smoke: a traced `rsn_tool flow` run on u226 must emit a valid
-#      Chrome trace-event JSON and a schema-versioned run report whose
-#      stage times are consistent with the reported wall time;
+#      Chrome trace-event JSON and a schema-versioned run report (v2:
+#      latency histograms with monotone quantiles and exact bucket totals,
+#      span-attributed memory deltas) whose stage times are consistent
+#      with the reported wall time;
+#   6b. obs regression gate (hardware-independent): a fresh traced p34392
+#      flow is diffed against the checked-in baseline report with
+#      `rsn-obs diff` over counter-exact gates (metric.mask_evals,
+#      ilp.flow_*, lint.*, ...) — the counters are deterministic at any
+#      thread count, so any drift is an algorithm change, not noise; the
+#      gate is also proven to bite (a perturbed counter must fail), and
+#      two identical-seed `rsn_tool batch` runs must diff clean, merged
+#      and per-network reports alike;
 #   7. clang-tidy over src/ when available (advisory unless
 #      FTRSN_REQUIRE_CLANG_TIDY=1, which fails if the tool is missing and
 #      turns bugprone-*/performance-* findings into hard errors).
@@ -101,17 +111,29 @@ FTRSN_FIX_ITERS="${FTRSN_FIX_ITERS:-8}" \
 FTRSN_CORPUS_SOCS=u226,d695,rand0,rand1,rand2 FTRSN_CORPUS_SCALAR=1 \
   run ctest --test-dir "$PREFIX-asan" --output-on-failure -L corpus
 
+# Obs suite under ASan+UBSan (explicitly, beyond the full-suite run
+# above): the scoped-context registry, chunked counter/histogram cell
+# tables and the diff engine's JSON reader are where the observability
+# layer allocates and merges across threads.
+run ctest --test-dir "$PREFIX-asan" --output-on-failure -L obs
+
 # --- 3. TSan build of the threaded metric engine + batch runner ------------
 run cmake -B "$PREFIX-tsan" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DFTRSN_SANITIZE=thread
 run cmake --build "$PREFIX-tsan" -j "$JOBS" \
-    --target ftrsn_metric_tests ftrsn_batch_tests
+    --target ftrsn_metric_tests ftrsn_batch_tests ftrsn_obs_tests
 FTRSN_METRIC_ITERS="${FTRSN_METRIC_ITERS:-1}" \
   run ctest --test-dir "$PREFIX-tsan" --output-on-failure -L metric
 # One small SoC keeps the end-to-end sweep fast under TSan; the nested
 # scheduling tests dominate the signal anyway.
 FTRSN_BATCH_SOCS="${FTRSN_BATCH_SOCS:-u226}" \
   run ctest --test-dir "$PREFIX-tsan" --output-on-failure -L batch
+# Histogram concurrency and pool context propagation under TSan: the
+# relaxed-atomic bucket recording and the cross-thread context attach are
+# the lock-free paths of the obs layer (bucket totals are asserted
+# exactly, so a lost update is a failure even without a TSan report).
+run ctest --test-dir "$PREFIX-tsan" --output-on-failure -L obs \
+    -R 'ObsHist|ObsContextScoping'
 
 # --- 4. fault-metric bench smoke -------------------------------------------
 # Small SoC, legacy baseline on: the emitted JSON must parse, carry the
@@ -392,7 +414,7 @@ for e in events:
 
 report = json.load(open(sys.argv[2]))
 assert report["schema"] == "ftrsn-run-report", "report schema"
-assert report["version"] == 1, "report version"
+assert report["version"] == 2, "report version"
 wall = report["wall_seconds"]
 stages = {s["name"]: s["seconds"] for s in report["stages"]}
 for stage in ("flow.parse", "flow.synth", "flow.bmc"):
@@ -405,12 +427,88 @@ assert wall * 0.90 <= total <= wall * 1.10, \
 assert report["counters"].get("bmc.sat_calls", 0) > 0, "bmc counters"
 assert report["counters"].get("metric.faults", 0) > 0, "metric counters"
 assert report["machine"]["peak_rss_kb"] > 0, "peak rss"
+
+# v2 additions: latency histograms (per span family plus the explicit
+# hot-path ones) with exact bucket totals and monotone quantiles, and
+# span-attributed memory accounting.
+hists = {h["name"]: h for h in report["histograms"]}
+for name in ("flow.synth", "metric.packed_batch_us", "ilp.solve_us"):
+    assert name in hists, f"missing histogram {name}"
+for name, h in hists.items():
+    assert h["count"] > 0, f"empty histogram emitted: {name}"
+    assert h["p50"] <= h["p90"] <= h["p99"] <= h["max"], \
+        f"quantiles not monotone: {name}"
+    assert sum(c for _, c in h["buckets"]) == h["count"], \
+        f"bucket totals != count: {name}"
+    for lo, c in h["buckets"]:
+        assert lo >= 0 and c > 0, f"bad bucket in {name}"
+mem = report["mem"]
+assert mem["peak_rss_kb"] > 0 and mem["current_rss_kb"] > 0, "mem rss"
+mem_spans = {s["name"]: s for s in mem["spans"]}
+assert "flow.synth" in mem_spans, "missing mem attribution for flow.synth"
+for s in mem_spans.values():
+    assert s["count"] > 0, "mem span count"
+    for key in ("rss_delta_kb", "rss_delta_max_kb", "peak_delta_kb"):
+        assert key in s, f"missing {key}"  # deltas may legitimately be < 0
 print("obs smoke ok:", sys.argv[1], sys.argv[2])
 EOF
 else
   grep -q '"traceEvents"' "$OBS_TRACE"
   grep -q '"schema": "ftrsn-run-report"' "$OBS_REPORT"
 fi
+
+# --- 6b. obs regression gate (rsn-obs diff) ---------------------------------
+# The gate counters are deterministic algorithm counts — identical at any
+# thread count and on any hardware — so they are compared exactly; timing
+# (histogram quantiles, wall clock) is deliberately excluded.
+RSNOBS="$PREFIX/examples/example_rsn_obs"
+OBS_BASELINE="tests/data/obs_baseline_p34392.json"
+OBS_GATES='metric.mask_evals,metric.classes,metric.faults'
+OBS_GATES="$OBS_GATES,metric.packed_batches,metric.packed_words"
+OBS_GATES="$OBS_GATES,ilp.flow_*,ilp.lp_solves,augment.*,lint.*"
+
+OBS_FRESH="$WORK/p34392_report.json"
+run "$TOOL" flow p34392 --report="$OBS_FRESH" --threads=2 >/dev/null
+if ! run "$RSNOBS" diff "$OBS_BASELINE" "$OBS_FRESH" --counters="$OBS_GATES"
+then
+  echo "obs regression gate: gate counters drifted from $OBS_BASELINE" >&2
+  echo "if the algorithm change is intentional, regenerate the baseline:" >&2
+  echo "  $TOOL flow p34392 --report=$OBS_BASELINE --threads=2" >&2
+  exit 1
+fi
+
+# The gate must bite: a perturbed counter fails the diff with exit 1.
+OBS_PERT="$WORK/p34392_perturbed.json"
+sed 's/"metric.mask_evals": \([0-9]*\)/"metric.mask_evals": 1\1/' \
+  "$OBS_FRESH" > "$OBS_PERT"
+if "$RSNOBS" diff "$OBS_BASELINE" "$OBS_PERT" --counters="$OBS_GATES" \
+  > /dev/null
+then
+  echo "obs regression gate: perturbed metric.mask_evals not detected" >&2
+  exit 1
+fi
+
+# Two identical batch runs must agree counter-exactly — on the merged
+# parent report and on every per-network child report (each flow runs in
+# its own obs context; the parent counters are the child sums).
+BATCH_A="$WORK/batch_run_a.json"
+BATCH_B="$WORK/batch_run_b.json"
+run "$TOOL" batch u226,d281 --report="$BATCH_A" --threads=2 >/dev/null
+run "$TOOL" batch u226,d281 --report="$BATCH_B" --threads=2 >/dev/null
+run "$RSNOBS" diff "$BATCH_A" "$BATCH_B" --counters="$OBS_GATES"
+for soc in u226 d281; do
+  for f in "$WORK/batch_run_a.$soc.json" "$WORK/batch_run_b.$soc.json"; do
+    if [ ! -s "$f" ]; then
+      echo "obs regression gate: missing per-network report $f" >&2
+      exit 1
+    fi
+  done
+  run "$RSNOBS" diff "$WORK/batch_run_a.$soc.json" \
+    "$WORK/batch_run_b.$soc.json" --counters="$OBS_GATES"
+done
+
+# rsn-obs top must rank the fresh report without error.
+run "$RSNOBS" top "$OBS_FRESH" --limit=10 >/dev/null
 
 # --- 7. clang-tidy ----------------------------------------------------------
 # Advisory locally; the GitHub workflow sets FTRSN_REQUIRE_CLANG_TIDY=1,

@@ -1,0 +1,300 @@
+// Serve daemon benchmark: drives one in-process ServeService (the exact
+// object behind `rsn_tool serve`) through four phases and emits
+// BENCH_serve.json:
+//
+//   1. storm    — a skewed closed-loop load (FTRSN_SERVE_REQUESTS requests
+//                 from FTRSN_SERVE_CLIENTS client threads, Zipf-weighted
+//                 over ~14 distinct network/op/options combos on three
+//                 ITC'02 SoCs) measuring the hit rate and the client-side
+//                 p50/p99 request latency;
+//   2. coalesce — a barrier of identical requests on a fresh key held in
+//                 flight via the debug_sleep_ms hook, asserting
+//                 single-flight coalescing on the CacheStats delta;
+//   3. eviction — a dedicated tiny-budget service fed distinct networks
+//                 until the LRU evicts;
+//   4. repeat   — every storm combo replayed against a *fresh* service,
+//                 asserting the warm (cached) result blob is byte-identical
+//                 to the cold recomputation.
+//
+// All pass/fail signals are hardware-independent (cache counters and byte
+// comparisons); the latency percentiles are the only wall-clock numbers
+// and are reported, not asserted.  On a 1-core host the absolute latencies
+// are inflated but the hit rate, coalescing and byte-identity are exactly
+// what a many-core host produces.
+//
+//   FTRSN_SERVE_REQUESTS=N   storm request count (default 2000)
+//   FTRSN_SERVE_CLIENTS=N    concurrent client threads (default 4)
+//   FTRSN_BENCH_OUT=<path>   output path (default BENCH_serve.json)
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "io/rsn_text.hpp"
+#include "rsn/rsn.hpp"
+#include "serve/service.hpp"
+
+using namespace ftrsn;
+using namespace ftrsn::serve;
+
+namespace {
+
+long long env_count(const char* name, long long fallback) {
+  const char* env = std::getenv(name);
+  return env && *env ? std::atoll(env) : fallback;
+}
+
+std::string soc_rsn_text(const char* name) {
+  const auto soc = itc02::find_soc(name);
+  FTRSN_CHECK_MSG(soc.has_value(), std::string("unknown SoC ") + name);
+  return write_rsn_text(itc02::generate_sib_rsn(*soc));
+}
+
+/// First instrument segment name of the network — a valid `access` target.
+std::string first_segment_name(const std::string& rsn_text) {
+  const Rsn rsn = parse_rsn_text(rsn_text);
+  for (NodeId id = 0; id < static_cast<NodeId>(rsn.num_nodes()); ++id)
+    if (rsn.node(id).is_segment()) return rsn.node(id).name;
+  FTRSN_CHECK_MSG(false, "network has no segment");
+  __builtin_unreachable();
+}
+
+std::string request_line(const std::string& id, const std::string& op,
+                         const std::string& rsn_text,
+                         const std::string& options_json) {
+  std::string line = "{\"id\":\"" + id + "\",\"op\":\"" + op + "\"";
+  if (!rsn_text.empty())
+    line += ",\"rsn\":\"" + obs::detail::json_escape(rsn_text) + "\"";
+  if (!options_json.empty()) line += ",\"options\":" + options_json;
+  return line + "}";
+}
+
+bool response_ok(const std::string& response) {
+  return response.find("\"ok\":true") != std::string::npos;
+}
+
+/// Carves the rendered result blob out of a response envelope (everything
+/// between `"result":` and `,"result_sha256":` — both rendered by the
+/// service with this exact spelling).
+std::string result_blob(const std::string& response) {
+  const std::string open = "\"result\":";
+  const std::string close = ",\"result_sha256\":";
+  const auto a = response.find(open);
+  const auto b = response.rfind(close);
+  if (a == std::string::npos || b == std::string::npos || b <= a) return {};
+  return response.substr(a + open.size(), b - a - open.size());
+}
+
+struct Combo {
+  std::string name;
+  std::string op;
+  const std::string* rsn;
+  std::string options;
+};
+
+}  // namespace
+
+int main() {
+  bench::BenchReport report("serve");
+
+  const long long num_requests =
+      std::max(1LL, env_count("FTRSN_SERVE_REQUESTS", 2000));
+  const int num_clients = static_cast<int>(
+      std::clamp(env_count("FTRSN_SERVE_CLIENTS", 4), 1LL, 64LL));
+
+  const std::string u226 = soc_rsn_text("u226");
+  const std::string d695 = soc_rsn_text("d695");
+  const std::string g1023 = soc_rsn_text("g1023");
+  const std::string target = first_segment_name(u226);
+
+  // ~14 distinct cache keys.  Rank order = storm popularity (Zipf 1/rank),
+  // so the cheap ops dominate the load the way an editor/CI client mixing
+  // lint-on-save with occasional full metric runs would.
+  std::vector<Combo> combos;
+  for (const auto* soc : {&u226, &d695, &g1023}) {
+    const char* tag = soc == &u226 ? "u226" : soc == &d695 ? "d695" : "g1023";
+    combos.push_back({std::string("parse/") + tag, "parse", soc, ""});
+    combos.push_back({std::string("lint/") + tag, "lint", soc, ""});
+  }
+  combos.push_back({"access/u226", "access", &u226,
+                    "{\"target\":\"" + target + "\"}"});
+  for (const auto* soc : {&u226, &d695, &g1023}) {
+    const char* tag = soc == &u226 ? "u226" : soc == &d695 ? "d695" : "g1023";
+    combos.push_back({std::string("metric/") + tag, "metric", soc, ""});
+    combos.push_back({std::string("synth/") + tag, "synth", soc, ""});
+  }
+  combos.push_back({"metric/u226/dist", "metric", &u226,
+                    "{\"distribution\":true}"});
+
+  // Deterministic Zipf-skewed pick sequence shared by all client threads.
+  std::vector<double> cumulative;
+  double total = 0.0;
+  for (std::size_t r = 0; r < combos.size(); ++r) {
+    total += 1.0 / static_cast<double>(r + 1);
+    cumulative.push_back(total);
+  }
+  std::vector<int> picks(static_cast<std::size_t>(num_requests));
+  std::uint64_t state = 0x9e3779b97f4a7c15ULL;
+  for (auto& pick : picks) {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    const double u = total * static_cast<double>(state >> 11) /
+                     static_cast<double>(1ULL << 53);
+    pick = static_cast<int>(
+        std::lower_bound(cumulative.begin(), cumulative.end(), u) -
+        cumulative.begin());
+  }
+
+  ServeService service;
+  std::printf("storm: %lld requests, %d clients, %zu distinct keys, "
+              "%d service threads\n",
+              num_requests, num_clients, combos.size(),
+              service.num_threads());
+
+  // --- phase 1: skewed request storm ---------------------------------------
+  std::vector<std::vector<std::uint64_t>> lat_per_client(num_clients);
+  std::vector<std::thread> clients;
+  const auto t_storm = std::chrono::steady_clock::now();
+  for (int c = 0; c < num_clients; ++c) {
+    clients.emplace_back([&, c] {
+      auto& lat = lat_per_client[c];
+      for (long long i = c; i < num_requests; i += num_clients) {
+        const Combo& combo = combos[static_cast<std::size_t>(picks[i])];
+        const std::string line = request_line(
+            "s" + std::to_string(i), combo.op, *combo.rsn, combo.options);
+        const auto t0 = std::chrono::steady_clock::now();
+        const std::string response = service.handle_line(line);
+        lat.push_back(static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - t0)
+                .count()));
+        FTRSN_CHECK_MSG(response_ok(response),
+                        "storm request failed: " + response);
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  const double storm_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t_storm)
+          .count();
+
+  std::vector<std::uint64_t> lat;
+  for (const auto& part : lat_per_client)
+    lat.insert(lat.end(), part.begin(), part.end());
+  std::sort(lat.begin(), lat.end());
+  const auto pct = [&](int p) {
+    return lat.empty()
+               ? std::uint64_t{0}
+               : lat[std::min(lat.size() - 1, lat.size() * p / 100)];
+  };
+  const CacheStats storm_stats = service.cache_stats();
+  const double hit_rate =
+      static_cast<double>(storm_stats.hits) /
+      static_cast<double>(std::max<std::uint64_t>(
+          1, storm_stats.hits + storm_stats.misses));
+  std::printf("storm: %.2fs  hits=%llu misses=%llu coalesced=%llu  "
+              "hit_rate=%.3f  p50=%lluus p99=%lluus\n",
+              storm_seconds,
+              static_cast<unsigned long long>(storm_stats.hits),
+              static_cast<unsigned long long>(storm_stats.misses),
+              static_cast<unsigned long long>(storm_stats.coalesced),
+              hit_rate, static_cast<unsigned long long>(pct(50)),
+              static_cast<unsigned long long>(pct(99)));
+
+  // --- phase 2: counter-asserted single-flight coalescing ------------------
+  // A fresh key (chain network never seen by the storm) held in flight for
+  // 250 ms via the debug hook; a barrier of identical requests lands while
+  // the leader computes, so every follower coalesces onto its flight.
+  const std::string chain = write_rsn_text(make_chain_rsn(8, 4));
+  const std::uint64_t coalesced_before = service.cache_stats().coalesced;
+  const int waiters = 4;
+  std::vector<std::thread> herd;
+  for (int c = 0; c < 1 + waiters; ++c) {
+    herd.emplace_back([&] {
+      const std::string response = service.handle_line(request_line(
+          "herd", "metric", chain, "{\"debug_sleep_ms\":250}"));
+      FTRSN_CHECK_MSG(response_ok(response),
+                      "coalesce request failed: " + response);
+    });
+  }
+  for (auto& t : herd) t.join();
+  const std::uint64_t coalesced =
+      service.cache_stats().coalesced - coalesced_before;
+  std::printf("coalesce: %d identical requests -> coalesced=%llu\n",
+              1 + waiters, static_cast<unsigned long long>(coalesced));
+  FTRSN_CHECK_MSG(coalesced > 0, "no request coalesced");
+
+  // --- phase 3: LRU eviction under a tiny byte budget ----------------------
+  ServiceOptions tiny;
+  tiny.cache.max_bytes = 16 << 10;
+  std::uint64_t evictions = 0;
+  {
+    ServeService small(tiny);
+    for (int n = 1; n <= 60; ++n) {
+      const std::string text = write_rsn_text(make_chain_rsn(n, 3));
+      const std::string response = small.handle_line(
+          request_line("e" + std::to_string(n), "parse", text, ""));
+      FTRSN_CHECK_MSG(response_ok(response),
+                      "eviction request failed: " + response);
+    }
+    evictions = small.cache_stats().evictions;
+    std::printf("eviction: 60 distinct networks under a %zu-byte budget -> "
+                "evictions=%llu (resident: %llu entries, %llu bytes)\n",
+                tiny.cache.max_bytes,
+                static_cast<unsigned long long>(evictions),
+                static_cast<unsigned long long>(small.cache_stats().entries),
+                static_cast<unsigned long long>(small.cache_stats().bytes));
+    FTRSN_CHECK_MSG(evictions > 0, "tiny budget evicted nothing");
+  }
+
+  // --- phase 4: warm hits are byte-identical to a cold service -------------
+  bool repeat_identical = true;
+  {
+    ServeService cold;
+    for (const Combo& combo : combos) {
+      const std::string line =
+          request_line("r", combo.op, *combo.rsn, combo.options);
+      const std::string warm = result_blob(service.handle_line(line));
+      const std::string fresh = result_blob(cold.handle_line(line));
+      const bool identical = !warm.empty() && warm == fresh;
+      repeat_identical = repeat_identical && identical;
+      if (!identical)
+        std::printf("repeat MISMATCH: %s\n", combo.name.c_str());
+    }
+    std::printf("repeat: warm-vs-cold blobs %s over %zu combos\n",
+                repeat_identical ? "byte-identical" : "MISMATCH",
+                combos.size());
+  }
+
+  report.add_count("requests", num_requests);
+  report.add_count("clients", num_clients);
+  report.add_count("distinct_keys", static_cast<long long>(combos.size()));
+  report.add(
+      "storm",
+      strprintf("{\"seconds\": %.4f, \"hits\": %llu, \"misses\": %llu, "
+                "\"coalesced\": %llu, \"hit_rate\": %.4f, "
+                "\"p50_us\": %llu, \"p99_us\": %llu, \"max_us\": %llu}",
+                storm_seconds,
+                static_cast<unsigned long long>(storm_stats.hits),
+                static_cast<unsigned long long>(storm_stats.misses),
+                static_cast<unsigned long long>(storm_stats.coalesced),
+                hit_rate, static_cast<unsigned long long>(pct(50)),
+                static_cast<unsigned long long>(pct(99)),
+                static_cast<unsigned long long>(lat.empty() ? 0
+                                                            : lat.back())));
+  report.add("coalesce",
+             strprintf("{\"requests\": %d, \"coalesced\": %llu}", 1 + waiters,
+                       static_cast<unsigned long long>(coalesced)));
+  report.add("eviction",
+             strprintf("{\"networks\": 60, \"budget_bytes\": %zu, "
+                       "\"evictions\": %llu}",
+                       tiny.cache.max_bytes,
+                       static_cast<unsigned long long>(evictions)));
+  report.add_flag("repeat_identical", repeat_identical);
+  bench::print_histograms("serve.");
+  if (!report.write()) return 1;
+  return repeat_identical && hit_rate > 0.5 ? 0 : 1;
+}

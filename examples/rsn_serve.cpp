@@ -1,0 +1,19 @@
+// Persistent analysis daemon: parse / lint / synth / metric / access over
+// JSONL, with the content-addressed result cache and single-flight request
+// coalescing of serve/ (DESIGN.md §5k).
+//
+//   example_rsn_serve [--port=N] [--host=H] [--unix=PATH]
+//                     [--port-file=PATH] [--threads=N] [--cache-mb=N]
+//                     [--cache-entries=N] [--timeout-ms=N]
+//
+// Runs until a client sends {"op":"shutdown"}.  tools/serve_client.py is a
+// minimal scripted client; `rsn_tool serve ...` is the same driver.
+#include <string>
+#include <vector>
+
+#include "serve/server.hpp"
+
+int main(int argc, char** argv) {
+  return ftrsn::serve::serve_main(
+      std::vector<std::string>(argv + 1, argv + argc));
+}

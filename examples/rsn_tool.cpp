@@ -9,6 +9,7 @@
 //   example_rsn_tool gen    <soc> <out.rsn>      SIB-RSN of an ITC'02 SoC
 //   example_rsn_tool flow   <itc02-soc>          full flow (Table I row)
 //   example_rsn_tool batch  <soc,soc,...|all>    sharded multi-SoC sweep
+//   example_rsn_tool serve  [--port=N ...]       persistent analysis daemon
 //
 // `fix` options:
 //   --verify=V         rewrite verification: sat (default) | metric | off
@@ -42,6 +43,7 @@
 #include "lint/fix.hpp"
 #include "itc02/itc02.hpp"
 #include "obs/obs.hpp"
+#include "serve/server.hpp"
 #include "synth/synth.hpp"
 #include "util/common.hpp"
 
@@ -61,7 +63,10 @@ int usage() {
                "                [--repair]\n"
                "       rsn_tool batch <soc,soc,...|all> [--trace=PATH]\n"
                "                [--report=PATH] [--threads=N] [--bmc-check=N]\n"
-               "                [--no-original]\n");
+               "                [--no-original]\n"
+               "       rsn_tool serve [--port=N] [--unix=PATH] [--threads=N]\n"
+               "                [--port-file=PATH] [--cache-mb=N]\n"
+               "                [--cache-entries=N] [--timeout-ms=N]\n");
   return 2;
 }
 
@@ -206,8 +211,11 @@ void print_info(const Rsn& rsn) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 3) return usage();
+  if (argc < 2) return usage();
   const std::string cmd = argv[1];
+  if (cmd == "serve")
+    return serve::serve_main(std::vector<std::string>(argv + 2, argv + argc));
+  if (argc < 3) return usage();
   try {
     if (cmd == "gen") {
       if (argc != 4) return usage();

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "util/sha256.hpp"
+
 namespace ftrsn {
 
 bool metric_counts_role(SegRole role, const MetricOptions& options) {
@@ -142,6 +144,25 @@ FaultToleranceReport compute_fault_tolerance(const Rsn& rsn,
 FaultToleranceReport compute_fault_tolerance(const Rsn& rsn,
                                              const MetricOptions& options) {
   return compute_fault_tolerance(rsn, enumerate_faults(rsn), options);
+}
+
+std::string canonical_report_text(const std::string& name,
+                                  const FaultToleranceReport& r) {
+  std::string out = "ftrsn-corpus-v1\n";
+  out += strprintf("name %s\n", name.c_str());
+  out += strprintf("faults %zu\n", r.num_faults);
+  out += strprintf("counted %zu %lld\n", r.counted_segments, r.counted_bits);
+  out += strprintf("agg %a %a %a %a\n", r.seg_worst, r.seg_avg, r.bit_worst,
+                   r.bit_avg);
+  out += strprintf("worst %zu\n", r.worst_fault_index);
+  for (std::size_t i = 0; i < r.seg_fraction.size(); ++i)
+    out += strprintf("%a %a\n", r.seg_fraction[i], r.bit_fraction[i]);
+  return out;
+}
+
+std::string report_digest(const std::string& name,
+                          const FaultToleranceReport& r) {
+  return sha256_hex(canonical_report_text(name, r));
 }
 
 }  // namespace ftrsn

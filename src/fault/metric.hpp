@@ -54,6 +54,22 @@ FaultToleranceReport compute_fault_tolerance(const Rsn& rsn,
 /// True if segment role `role` is counted under `options`.
 bool metric_counts_role(SegRole role, const MetricOptions& options);
 
+/// Canonical text serialization of a full metric sweep, used wherever a
+/// report must be pinned or compared byte-exactly: the SHA-pinned golden
+/// corpus (tests/test_corpus.cpp, tools/judge.sh) and the serve result
+/// cache.  Hexfloat (%a) rendering is exact for doubles, so the text pins
+/// the aggregates and the entire per-fault distribution bit for bit.  The
+/// leading "ftrsn-corpus-v1" tag is part of the contract: changing any
+/// byte of this format invalidates every pinned manifest digest.
+std::string canonical_report_text(const std::string& name,
+                                  const FaultToleranceReport& r);
+
+/// SHA-256 hex digest of canonical_report_text(name, r) — the pin format
+/// of tests/data/corpus/manifest.sha256.  Shared by the corpus judge and
+/// the serve metric responses so the two can never drift.
+std::string report_digest(const std::string& name,
+                          const FaultToleranceReport& r);
+
 /// Data-corruption faults are assessed once per site, under the stuck-at-0
 /// polarity: the net carries a constant either way, and the metric has
 /// always reported the sa0 analysis for both twins.  (The refined taint

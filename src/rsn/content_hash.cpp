@@ -1,0 +1,22 @@
+// Rsn::content_hash — the content address of a structural RSN.
+//
+// Lives in its own translation unit because the canonical serialization is
+// the io/rsn_text writer (rsn/ headers must not pull io/ in, but the single
+// static library links the definition fine).  The digest is domain-tagged
+// and versioned: any change to the text format that alters bytes must bump
+// the tag, or every serve-cache key and pinned golden silently changes
+// meaning.
+#include "io/rsn_text.hpp"
+#include "rsn/rsn.hpp"
+#include "util/sha256.hpp"
+
+namespace ftrsn {
+
+std::string Rsn::content_hash() const {
+  Sha256 h;
+  h.update("ftrsn-rsn-v1\n");
+  h.update(write_rsn_text(*this));
+  return h.hex();
+}
+
+}  // namespace ftrsn

@@ -147,6 +147,19 @@ class Rsn {
   /// Deep equality of structure (used by io round-trip tests).
   bool structurally_equal(const Rsn& other) const;
 
+  /// SHA-256 of the text serialization (io/rsn_text.hpp) under a
+  /// version-tagged domain prefix: 64 lowercase hex chars.  Two networks
+  /// hash equal iff their serializations are byte-identical.  Parsing is a
+  /// deterministic function of the text, so for *parsed* networks the hash
+  /// is a pure function of the source bytes — which is exactly what the
+  /// serve cache keys on (serve/cache.hpp).  Note that re-serializing a
+  /// parsed network may renumber the hash-consed control pool, so the hash
+  /// identifies the construction, not the structural-equality class: two
+  /// texts of one network can hash apart (a conservative cache miss,
+  /// never a wrong hit).  Defined in src/rsn/content_hash.cpp
+  /// (serialization lives in io/).
+  std::string content_hash() const;
+
   /// Optional metadata written by the fault-tolerant synthesis: for a
   /// segment with hardened select logic, each OR-term of its select
   /// predicate corresponds to one scan-fanout successor direction.  The

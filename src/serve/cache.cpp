@@ -1,0 +1,180 @@
+#include "serve/cache.hpp"
+
+#include <utility>
+
+#include "obs/obs.hpp"
+#include "util/common.hpp"
+
+namespace ftrsn::serve {
+
+namespace {
+
+obs::Counter& hits_counter() {
+  static obs::Counter c("serve.cache_hits");
+  return c;
+}
+obs::Counter& misses_counter() {
+  static obs::Counter c("serve.cache_misses");
+  return c;
+}
+obs::Counter& coalesced_counter() {
+  static obs::Counter c("serve.coalesced");
+  return c;
+}
+obs::Counter& evictions_counter() {
+  static obs::Counter c("serve.evictions");
+  return c;
+}
+
+}  // namespace
+
+ResultCache::ResultCache() : ResultCache(Options{}) {}
+
+ResultCache::ResultCache(const Options& options) : options_(options) {
+  FTRSN_CHECK_MSG(options_.max_entries > 0, "cache needs at least one entry");
+}
+
+ResultCache::Lookup ResultCache::acquire(
+    const std::string& key,
+    std::optional<std::chrono::steady_clock::time_point> deadline) {
+  FlightPtr flight;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      // Refresh recency: move to MRU position.
+      lru_.splice(lru_.begin(), lru_, it->second.lru);
+      ++stats_.hits;
+      hits_counter().add();
+      return {Lookup::Kind::kHit, it->second.blob, nullptr};
+    }
+    const auto fit = flights_.find(key);
+    if (fit == flights_.end()) {
+      flight = std::make_shared<Flight>();
+      flights_.emplace(key, flight);
+      ++stats_.misses;
+      misses_counter().add();
+      return {Lookup::Kind::kLead, {}, flight};
+    }
+    flight = fit->second;
+    ++stats_.coalesced;
+    coalesced_counter().add();
+  }
+  return await(flight, deadline);
+}
+
+ResultCache::Lookup ResultCache::await(
+    const FlightPtr& flight,
+    std::optional<std::chrono::steady_clock::time_point> deadline) const {
+  std::unique_lock<std::mutex> lock(flight->mutex);
+  const auto resolved = [&] { return flight->done; };
+  if (deadline) {
+    if (!flight->cv.wait_until(lock, *deadline, resolved))
+      return {Lookup::Kind::kFailed,
+              "timeout waiting for in-flight computation", nullptr};
+  } else {
+    flight->cv.wait(lock, resolved);
+  }
+  return {flight->ok ? Lookup::Kind::kShared : Lookup::Kind::kFailed,
+          flight->payload, nullptr};
+}
+
+void ResultCache::evict_locked() {
+  while (!lru_.empty() && (stats_.bytes > options_.max_bytes ||
+                           stats_.entries > options_.max_entries)) {
+    const std::string& victim = lru_.back();
+    const auto it = entries_.find(victim);
+    FTRSN_CHECK(it != entries_.end());
+    stats_.bytes -= it->second.charged;
+    --stats_.entries;
+    ++stats_.evictions;
+    evictions_counter().add();
+    entries_.erase(it);
+    lru_.pop_back();
+  }
+}
+
+void ResultCache::complete(const std::string& key, const FlightPtr& flight,
+                           std::string blob) {
+  FTRSN_CHECK_MSG(flight != nullptr, "complete() needs the leader's flight");
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const std::size_t charged = key.size() + blob.size() + kEntryOverhead;
+    if (charged > options_.max_bytes) {
+      ++stats_.uncacheable;
+      obs::count("serve.cache_uncacheable");
+    } else if (!entries_.count(key)) {
+      lru_.push_front(key);
+      Entry entry;
+      entry.blob = blob;
+      entry.charged = charged;
+      entry.lru = lru_.begin();
+      entries_.emplace(key, std::move(entry));
+      stats_.bytes += charged;
+      ++stats_.entries;
+      ++stats_.insertions;
+      obs::count("serve.cache_insertions");
+      evict_locked();
+    }
+    flights_.erase(key);
+  }
+  {
+    std::lock_guard<std::mutex> lock(flight->mutex);
+    flight->done = true;
+    flight->ok = true;
+    flight->payload = std::move(blob);
+  }
+  flight->cv.notify_all();
+}
+
+void ResultCache::fail(const std::string& key, const FlightPtr& flight,
+                       std::string error) {
+  FTRSN_CHECK_MSG(flight != nullptr, "fail() needs the leader's flight");
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    flights_.erase(key);
+    ++stats_.failures;
+  }
+  obs::count("serve.cache_failures");
+  {
+    std::lock_guard<std::mutex> lock(flight->mutex);
+    flight->done = true;
+    flight->ok = false;
+    flight->payload = std::move(error);
+  }
+  flight->cv.notify_all();
+}
+
+bool ResultCache::request_cancel(const std::string& key) {
+  FlightPtr flight;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = flights_.find(key);
+    if (it == flights_.end()) return false;
+    flight = it->second;
+  }
+  flight->cancelled.store(true, std::memory_order_relaxed);
+  return true;
+}
+
+std::optional<std::string> ResultCache::peek(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return std::nullopt;
+  return it->second.blob;
+}
+
+CacheStats ResultCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void ResultCache::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+  lru_.clear();
+  stats_.entries = 0;
+  stats_.bytes = 0;
+}
+
+}  // namespace ftrsn::serve

@@ -1,0 +1,163 @@
+// Content-addressed result cache with single-flight coalescing
+// (DESIGN.md §5k).
+//
+// The cache maps a content key — SHA-256 of (canonical network
+// serialization, options fingerprint), computed by the serve service — to
+// an immutable result blob (the fully rendered result JSON).  Because the
+// key is content-addressed, a hit is *correct by construction*: the blob
+// was rendered from a byte-identical input under byte-identical options,
+// and the engines it fronts are deterministic, so a hit response is
+// byte-identical to what a cold run would produce.
+//
+// Single flight: the first acquire of an absent key becomes the *leader*
+// (kLead) and owns the computation; every concurrent acquire of the same
+// key *coalesces* onto the leader's Flight (kShared) and blocks until the
+// leader publishes — N identical concurrent requests cost one computation.
+// The leader must resolve its flight exactly once, with complete() (blob
+// is inserted and all waiters wake with it) or fail() (waiters wake with
+// the error and the cache is left untouched — a failed or cancelled
+// computation never poisons the key; the next acquire leads a fresh one).
+//
+// Eviction: LRU over both an entry-count cap and a byte budget (key +
+// blob + fixed per-entry overhead).  A blob larger than the byte budget
+// is served to the waiters but never inserted.  Hits refresh recency;
+// coalesced waiters inherit the recency of the leader's insert.
+//
+// Cancellation: Flight::cancelled is a cooperative flag.  Anyone may set
+// it (request_cancel); the leader's computation polls it at stage
+// boundaries and resolves the flight with fail("cancelled ...").  Waiters
+// own their own deadlines: a waiter that times out stops waiting without
+// disturbing the flight.
+//
+// Counters: serve.cache_hits / cache_misses / coalesced / evictions /
+// insertions / failures / uncacheable are recorded on the caller's obs
+// context *and* mirrored in CacheStats, so tests and the bench can assert
+// them without obs context juggling.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+namespace ftrsn::serve {
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;       ///< acquires that became leader
+  std::uint64_t coalesced = 0;    ///< acquires that joined an in-flight leader
+  std::uint64_t evictions = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t failures = 0;     ///< flights resolved by fail()
+  std::uint64_t uncacheable = 0;  ///< blobs too large for the byte budget
+  std::size_t entries = 0;
+  std::size_t bytes = 0;  ///< charged bytes (keys + blobs + overhead)
+};
+
+class ResultCache {
+ public:
+  struct Options {
+    std::size_t max_bytes = std::size_t{64} << 20;
+    std::size_t max_entries = 4096;
+  };
+
+  /// One in-flight computation.  Created by the leading acquire, resolved
+  /// exactly once by complete()/fail(), shared by every coalesced waiter.
+  class Flight {
+   public:
+    /// Cooperative cancellation flag, polled by the leader's computation.
+    std::atomic<bool> cancelled{false};
+
+   private:
+    friend class ResultCache;
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool done = false;
+    bool ok = false;
+    std::string payload;  ///< blob when ok, error text otherwise
+  };
+  using FlightPtr = std::shared_ptr<Flight>;
+
+  struct Lookup {
+    enum class Kind {
+      kHit,     ///< value is the cached blob
+      kLead,    ///< caller owns the computation; resolve `flight`
+      kShared,  ///< value is the blob another flight computed
+      kFailed,  ///< value is an error message (failed flight or timeout)
+    };
+    Kind kind = Kind::kFailed;
+    std::string value;
+    FlightPtr flight;  ///< set for kLead
+  };
+
+  ResultCache();  // default budgets
+  explicit ResultCache(const Options& options);
+
+  /// Single-flight lookup.  kHit returns immediately; an absent key with
+  /// no flight in progress returns kLead (the caller MUST later call
+  /// complete() or fail() with the returned flight); a key with a flight
+  /// in progress blocks until the flight resolves or `deadline` passes
+  /// (nullopt = wait forever), returning kShared / kFailed.
+  Lookup acquire(
+      const std::string& key,
+      std::optional<std::chrono::steady_clock::time_point> deadline =
+          std::nullopt);
+
+  /// Blocks the *leader* on its own flight the same way coalesced waiters
+  /// block (the serve service resolves flights on pool workers, so the
+  /// leading request thread waits too).  Returns kShared / kFailed.
+  Lookup await(const FlightPtr& flight,
+               std::optional<std::chrono::steady_clock::time_point> deadline =
+                   std::nullopt) const;
+
+  /// Publishes the leader's result: inserts the blob under `key` (evicting
+  /// LRU entries past the budgets; oversized blobs are counted uncacheable
+  /// and not inserted), wakes every waiter with it, and retires the flight.
+  void complete(const std::string& key, const FlightPtr& flight,
+                std::string blob);
+
+  /// Resolves the leader's flight as failed: wakes every waiter with
+  /// `error` and retires the flight without touching the cache — the next
+  /// acquire of `key` leads a fresh computation (no poisoned entries).
+  void fail(const std::string& key, const FlightPtr& flight,
+            std::string error);
+
+  /// Sets the cancellation flag of the in-flight computation of `key`.
+  /// Returns false when no flight is in progress for it.
+  bool request_cancel(const std::string& key);
+
+  /// Cached blob without touching recency (tests / introspection).
+  std::optional<std::string> peek(const std::string& key) const;
+
+  CacheStats stats() const;
+  void clear();
+
+ private:
+  struct Entry {
+    std::string blob;
+    std::size_t charged = 0;
+    std::list<std::string>::iterator lru;  // position in lru_ (front = MRU)
+  };
+
+  /// Per-entry bookkeeping overhead charged against the byte budget on
+  /// top of key and blob bytes (map node, LRU node, Entry itself).
+  static constexpr std::size_t kEntryOverhead = 128;
+
+  void evict_locked();
+
+  Options options_;
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, Entry> entries_;
+  std::list<std::string> lru_;  // front = most recently used
+  std::unordered_map<std::string, FlightPtr> flights_;
+  CacheStats stats_;
+};
+
+}  // namespace ftrsn::serve

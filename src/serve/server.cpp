@@ -1,0 +1,330 @@
+#include "serve/server.hpp"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <arpa/inet.h>
+#include <atomic>
+#include <cerrno>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "obs/obs.hpp"
+#include "util/common.hpp"
+#include "util/json.hpp"
+
+namespace ftrsn::serve {
+
+namespace {
+
+bool send_all(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+#ifdef MSG_NOSIGNAL
+                             MSG_NOSIGNAL
+#else
+                             0
+#endif
+    );
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// True only for a well-formed {"op":"shutdown"} request.  The substring
+/// pre-filter keeps the common path to one JSON parse (in handle_line): a
+/// multi-megabyte .rsn upload is only re-parsed here if it happens to
+/// contain the word "shutdown" somewhere.
+bool is_shutdown_request(const std::string& line) {
+  if (line.find("shutdown") == std::string::npos) return false;
+  const auto doc = json::parse(line);
+  if (!doc || !doc->is_object()) return false;
+  const json::Value* op = doc->find("op");
+  return op && op->is_string() && op->text == "shutdown";
+}
+
+std::string shutdown_response(const std::string& line) {
+  std::string id;
+  if (const auto doc = json::parse(line); doc && doc->is_object())
+    if (const json::Value* v = doc->find("id"); v && v->is_string())
+      id = v->text;
+  return strprintf(
+      "{\"id\":\"%s\",\"ok\":true,\"op\":\"shutdown\","
+      "\"result\":{\"stopping\":true},\"micros\":0}",
+      obs::detail::json_escape(id).c_str());
+}
+
+}  // namespace
+
+struct ServeServer::Impl {
+  ServeService* service = nullptr;
+  ServerOptions options;
+
+  // The accept thread reads the listener while stop() retires it, so the
+  // handoff is an atomic exchange: stop() takes ownership of the fd,
+  // shutdown() unblocks the blocked accept(), and the close() waits until
+  // the accept thread has been joined (no fd-reuse window).
+  std::atomic<int> listen_fd{-1};
+  int bound_port = -1;
+
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool stopping = false;
+  std::vector<int> conn_fds;
+  std::vector<std::thread> conn_threads;
+  std::thread accept_thread;
+
+  void accept_main();
+  void connection_main(int fd);
+  void request_stop();
+};
+
+ServeServer::ServeServer(ServeService& service, const ServerOptions& options)
+    : impl_(new Impl) {
+  impl_->service = &service;
+  impl_->options = options;
+}
+
+ServeServer::~ServeServer() { stop(); }
+
+int ServeServer::port() const { return impl_->bound_port; }
+
+bool ServeServer::start(std::string* error) {
+  const auto fail = [&](const char* what) {
+    if (error)
+      *error = strprintf("%s: %s", what, std::strerror(errno));
+    if (impl_->listen_fd >= 0) {
+      ::close(impl_->listen_fd);
+      impl_->listen_fd = -1;
+    }
+    return false;
+  };
+
+  if (!impl_->options.unix_path.empty()) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (impl_->options.unix_path.size() >= sizeof(addr.sun_path)) {
+      if (error) *error = "unix socket path too long";
+      return false;
+    }
+    std::strncpy(addr.sun_path, impl_->options.unix_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    ::unlink(impl_->options.unix_path.c_str());  // stale socket from a crash
+    impl_->listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (impl_->listen_fd < 0) return fail("socket");
+    if (::bind(impl_->listen_fd, reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) < 0)
+      return fail("bind");
+  } else {
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(impl_->options.port));
+    if (::inet_pton(AF_INET, impl_->options.host.c_str(), &addr.sin_addr) !=
+        1) {
+      if (error)
+        *error = strprintf("bad host \"%s\"", impl_->options.host.c_str());
+      return false;
+    }
+    impl_->listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (impl_->listen_fd < 0) return fail("socket");
+    const int one = 1;
+    ::setsockopt(impl_->listen_fd, SOL_SOCKET, SO_REUSEADDR, &one,
+                 sizeof(one));
+    if (::bind(impl_->listen_fd, reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) < 0)
+      return fail("bind");
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(impl_->listen_fd, reinterpret_cast<sockaddr*>(&bound),
+                      &len) < 0)
+      return fail("getsockname");
+    impl_->bound_port = static_cast<int>(ntohs(bound.sin_port));
+  }
+  if (::listen(impl_->listen_fd, impl_->options.backlog) < 0)
+    return fail("listen");
+
+  if (!impl_->options.port_file.empty()) {
+    const std::string contents =
+        impl_->options.unix_path.empty()
+            ? strprintf("%d\n", impl_->bound_port)
+            : impl_->options.unix_path + "\n";
+    if (!obs::write_file(impl_->options.port_file, contents)) {
+      if (error)
+        *error = strprintf("cannot write port file %s",
+                           impl_->options.port_file.c_str());
+      ::close(impl_->listen_fd);
+      impl_->listen_fd = -1;
+      return false;
+    }
+  }
+  impl_->accept_thread = std::thread([this] { impl_->accept_main(); });
+  return true;
+}
+
+void ServeServer::Impl::accept_main() {
+  obs::set_thread_name("serve-accept");
+  for (;;) {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listener closed by stop()
+    }
+    std::lock_guard<std::mutex> lock(mutex);
+    if (stopping) {
+      ::close(fd);
+      break;
+    }
+    conn_fds.push_back(fd);
+    conn_threads.emplace_back([this, fd] { connection_main(fd); });
+  }
+}
+
+void ServeServer::Impl::connection_main(int fd) {
+  obs::set_thread_name(strprintf("serve-conn-%d", fd));
+  obs::count("serve.connections");
+  std::string buffer;
+  char chunk[4096];
+  bool shutdown_requested = false;
+  bool alive = true;
+  while (alive) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;  // peer closed or stop() shut the socket down
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    std::size_t start = 0;
+    for (std::size_t nl = buffer.find('\n', start);
+         alive && nl != std::string::npos; nl = buffer.find('\n', start)) {
+      std::string line = buffer.substr(start, nl - start);
+      start = nl + 1;
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.empty()) continue;
+      if (is_shutdown_request(line)) {
+        send_all(fd, shutdown_response(line) + "\n");
+        shutdown_requested = true;
+        alive = false;
+        break;
+      }
+      obs::count("serve.requests");
+      alive = send_all(fd, service->handle_line(line) + "\n");
+    }
+    buffer.erase(0, start);
+  }
+  ::shutdown(fd, SHUT_RDWR);
+  if (shutdown_requested) request_stop();
+}
+
+void ServeServer::Impl::request_stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex);
+    stopping = true;
+  }
+  cv.notify_all();
+}
+
+void ServeServer::wait() {
+  std::unique_lock<std::mutex> lock(impl_->mutex);
+  impl_->cv.wait(lock, [&] { return impl_->stopping; });
+}
+
+void ServeServer::stop() {
+  impl_->request_stop();
+  const int listener = impl_->listen_fd.exchange(-1);
+  if (listener >= 0) ::shutdown(listener, SHUT_RDWR);  // unblocks accept()
+  if (impl_->accept_thread.joinable()) impl_->accept_thread.join();
+  if (listener >= 0) ::close(listener);
+  std::vector<int> fds;
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    fds.swap(impl_->conn_fds);
+    threads.swap(impl_->conn_threads);
+  }
+  for (const int fd : fds) ::shutdown(fd, SHUT_RDWR);  // unblock readers
+  for (std::thread& t : threads)
+    if (t.joinable()) t.join();
+  for (const int fd : fds) ::close(fd);
+  if (!impl_->options.unix_path.empty())
+    ::unlink(impl_->options.unix_path.c_str());
+}
+
+// --- CLI driver --------------------------------------------------------------
+
+int serve_main(const std::vector<std::string>& args) {
+  ServiceOptions sopt;
+  ServerOptions nopt;
+  const obs::EnvConfig env = obs::init_from_env("rsn_serve");
+  for (const std::string& arg : args) {
+    if (arg.rfind("--port=", 0) == 0) {
+      nopt.port = std::atoi(arg.c_str() + 7);
+    } else if (arg.rfind("--host=", 0) == 0) {
+      nopt.host = arg.substr(7);
+    } else if (arg.rfind("--unix=", 0) == 0) {
+      nopt.unix_path = arg.substr(7);
+    } else if (arg.rfind("--port-file=", 0) == 0) {
+      nopt.port_file = arg.substr(12);
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      sopt.threads = std::atoi(arg.c_str() + 10);
+    } else if (arg.rfind("--cache-mb=", 0) == 0) {
+      sopt.cache.max_bytes =
+          static_cast<std::size_t>(std::atoll(arg.c_str() + 11)) << 20;
+    } else if (arg.rfind("--cache-entries=", 0) == 0) {
+      sopt.cache.max_entries =
+          static_cast<std::size_t>(std::atoll(arg.c_str() + 16));
+    } else if (arg.rfind("--timeout-ms=", 0) == 0) {
+      sopt.limits.timeout_ms =
+          static_cast<std::uint64_t>(std::atoll(arg.c_str() + 13));
+    } else {
+      std::fprintf(
+          stderr,
+          "usage: serve [--port=N] [--host=H] [--unix=PATH]\n"
+          "             [--port-file=PATH] [--threads=N] [--cache-mb=N]\n"
+          "             [--cache-entries=N] [--timeout-ms=N]\n");
+      return 2;
+    }
+  }
+
+  ServeService service(sopt);
+  ServeServer server(service, nopt);
+  std::string error;
+  if (!server.start(&error)) {
+    std::fprintf(stderr, "serve: %s\n", error.c_str());
+    return 1;
+  }
+  if (!nopt.unix_path.empty())
+    std::printf("listening on unix:%s (%d threads)\n", nopt.unix_path.c_str(),
+                service.num_threads());
+  else
+    std::printf("listening on %s:%d (%d threads)\n", nopt.host.c_str(),
+                server.port(), service.num_threads());
+  std::fflush(stdout);
+
+  server.wait();
+  server.stop();
+
+  const CacheStats cs = service.cache_stats();
+  std::printf("serve: %llu hits, %llu misses, %llu coalesced, "
+              "%llu evictions (%zu entries, %zu bytes cached)\n",
+              static_cast<unsigned long long>(cs.hits),
+              static_cast<unsigned long long>(cs.misses),
+              static_cast<unsigned long long>(cs.coalesced),
+              static_cast<unsigned long long>(cs.evictions), cs.entries,
+              cs.bytes);
+  if (!env.trace_path.empty()) obs::write_trace(env.trace_path);
+  if (!env.report_path.empty()) obs::write_report(env.report_path);
+  return 0;
+}
+
+}  // namespace ftrsn::serve

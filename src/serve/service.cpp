@@ -1,0 +1,784 @@
+#include "serve/service.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "access/planner.hpp"
+#include "area/area.hpp"
+#include "fault/metric.hpp"
+#include "fault/metric_engine.hpp"
+#include "io/rsn_text.hpp"
+#include "lint/lint.hpp"
+#include "obs/obs.hpp"
+#include "rsn/rsn.hpp"
+#include "synth/synth.hpp"
+#include "util/common.hpp"
+#include "util/json.hpp"
+#include "util/sha256.hpp"
+#include "util/thread_pool.hpp"
+
+namespace ftrsn::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+enum class Op : std::uint8_t {
+  kParse,
+  kLint,
+  kSynth,
+  kMetric,
+  kAccess,
+  kStats,
+  kCancel,
+};
+
+const char* op_name(Op op) {
+  switch (op) {
+    case Op::kParse: return "parse";
+    case Op::kLint: return "lint";
+    case Op::kSynth: return "synth";
+    case Op::kMetric: return "metric";
+    case Op::kAccess: return "access";
+    case Op::kStats: return "stats";
+    case Op::kCancel: return "cancel";
+  }
+  return "?";
+}
+
+std::optional<Op> parse_op(std::string_view name) {
+  if (name == "parse") return Op::kParse;
+  if (name == "lint") return Op::kLint;
+  if (name == "synth") return Op::kSynth;
+  if (name == "metric") return Op::kMetric;
+  if (name == "access") return Op::kAccess;
+  if (name == "stats") return Op::kStats;
+  if (name == "cancel") return Op::kCancel;
+  return std::nullopt;
+}
+
+bool op_is_cacheable(Op op) { return op != Op::kStats && op != Op::kCancel; }
+
+/// Normalized per-op options.  Every field has the default the fingerprint
+/// renders, so an empty options object and an explicitly-default one key
+/// identically.
+struct OpOptions {
+  bool ft = false;                 // lint: enable the post-synthesis rules
+  bool harden_select = true;       // synth
+  bool tmr_addresses = true;       // synth
+  bool duplicate_ports = true;     // synth
+  bool return_rsn = false;         // synth: include the hardened .rsn text
+  bool count_sib = true;           // metric (MetricOptions defaults)
+  bool count_address = false;      // metric
+  bool distribution = false;       // metric: per-fault fractions in result
+  bool packed = true;              // metric: 64-lane engine path
+  std::string target;              // access: segment name (required)
+  std::uint64_t debug_sleep_ms = 0;  // test hook: cancellation-poll sleep
+};
+
+std::string fp_bool(const char* key, bool v) {
+  return strprintf("%s %d\n", key, v ? 1 : 0);
+}
+
+/// Canonical options fingerprint: one line per *relevant* option in fixed
+/// order, defaults filled in.  Part of the cache key — any byte change
+/// here invalidates (correctly) every cached result for the op.
+std::string options_fingerprint(Op op, const OpOptions& o) {
+  std::string fp = strprintf("op %s\n", op_name(op));
+  switch (op) {
+    case Op::kParse:
+      break;
+    case Op::kLint:
+      fp += fp_bool("ft", o.ft);
+      break;
+    case Op::kSynth:
+      fp += fp_bool("harden_select", o.harden_select);
+      fp += fp_bool("tmr_addresses", o.tmr_addresses);
+      fp += fp_bool("duplicate_ports", o.duplicate_ports);
+      fp += fp_bool("return_rsn", o.return_rsn);
+      break;
+    case Op::kMetric:
+      fp += fp_bool("count_sib", o.count_sib);
+      fp += fp_bool("count_address", o.count_address);
+      fp += fp_bool("distribution", o.distribution);
+      // `packed` is deliberately absent: both engine paths are
+      // bit-identical (the corpus judge pins that), so they must share
+      // one cache entry.
+      break;
+    case Op::kAccess:
+      fp += strprintf("target %s\n", o.target.c_str());
+      break;
+    case Op::kStats:
+    case Op::kCancel:
+      break;
+  }
+  if (o.debug_sleep_ms > 0)
+    fp += strprintf("debug_sleep_ms %llu\n",
+                    static_cast<unsigned long long>(o.debug_sleep_ms));
+  return fp;
+}
+
+/// Strict option extraction: only the keys the op understands are
+/// accepted, so a typo fails loudly instead of silently keying a default.
+std::string parse_options(Op op, const json::Value* obj, OpOptions& out) {
+  if (obj == nullptr) {
+    if (op == Op::kAccess) return "access requires options.target";
+    return {};
+  }
+  if (!obj->is_object()) return "\"options\" must be an object";
+  const auto get_bool = [](const json::Value& v, bool& slot) -> bool {
+    if (v.is_bool()) {
+      slot = v.boolean;
+      return true;
+    }
+    if (v.is_number() && (v.number == 0.0 || v.number == 1.0)) {
+      slot = v.number != 0.0;
+      return true;
+    }
+    return false;
+  };
+  for (const auto& [key, value] : obj->members) {
+    bool ok = false;
+    if (key == "debug_sleep_ms" && value.is_number() && value.number >= 0) {
+      out.debug_sleep_ms = static_cast<std::uint64_t>(value.number);
+      ok = true;
+    } else if (op == Op::kLint && key == "ft") {
+      ok = get_bool(value, out.ft);
+    } else if (op == Op::kSynth) {
+      if (key == "harden_select") ok = get_bool(value, out.harden_select);
+      else if (key == "tmr_addresses") ok = get_bool(value, out.tmr_addresses);
+      else if (key == "duplicate_ports")
+        ok = get_bool(value, out.duplicate_ports);
+      else if (key == "return_rsn") ok = get_bool(value, out.return_rsn);
+    } else if (op == Op::kMetric) {
+      if (key == "count_sib") ok = get_bool(value, out.count_sib);
+      else if (key == "count_address") ok = get_bool(value, out.count_address);
+      else if (key == "distribution") ok = get_bool(value, out.distribution);
+      else if (key == "packed") ok = get_bool(value, out.packed);
+    } else if (op == Op::kAccess && key == "target" && value.is_string()) {
+      out.target = value.text;
+      ok = true;
+    }
+    if (!ok)
+      return strprintf("op %s: bad or unknown option \"%s\"", op_name(op),
+                       key.c_str());
+  }
+  if (op == Op::kAccess && out.target.empty())
+    return "access requires options.target";
+  return {};
+}
+
+std::string jstr(std::string_view s) {
+  return "\"" + obs::detail::json_escape(s) + "\"";
+}
+
+obs::Histogram& request_hist() {
+  static obs::Histogram h("serve.request_us");
+  return h;
+}
+
+obs::Histogram& op_hist(Op op) {
+  static obs::Histogram parse_h("serve.request_us.parse");
+  static obs::Histogram lint_h("serve.request_us.lint");
+  static obs::Histogram synth_h("serve.request_us.synth");
+  static obs::Histogram metric_h("serve.request_us.metric");
+  static obs::Histogram access_h("serve.request_us.access");
+  static obs::Histogram stats_h("serve.request_us.stats");
+  static obs::Histogram cancel_h("serve.request_us.cancel");
+  switch (op) {
+    case Op::kParse: return parse_h;
+    case Op::kLint: return lint_h;
+    case Op::kSynth: return synth_h;
+    case Op::kMetric: return metric_h;
+    case Op::kAccess: return access_h;
+    case Op::kStats: return stats_h;
+    case Op::kCancel: return cancel_h;
+  }
+  return parse_h;
+}
+
+struct Cancelled : std::runtime_error {
+  Cancelled() : std::runtime_error("cancelled") {}
+};
+
+/// Lint severity counts as a JSON fragment (shared by parse/synth results).
+std::string lint_counts_json(const std::vector<lint::Diagnostic>& diags) {
+  const auto counts = lint::count_by_severity(diags);
+  return strprintf("{\"errors\":%d,\"warnings\":%d,\"infos\":%d}",
+                   counts[static_cast<int>(lint::Severity::kError)],
+                   counts[static_cast<int>(lint::Severity::kWarning)],
+                   counts[static_cast<int>(lint::Severity::kInfo)]);
+}
+
+std::string stats_json(const RsnStats& s) {
+  return strprintf(
+      "{\"segments\":%d,\"muxes\":%d,\"bits\":%lld,\"nets\":%d,"
+      "\"levels\":%d,\"primary_ins\":%d,\"primary_outs\":%d}",
+      s.segments, s.muxes, s.bits, s.nets, s.levels, s.primary_ins,
+      s.primary_outs);
+}
+
+}  // namespace
+
+// --- Impl --------------------------------------------------------------------
+
+struct ServeService::Impl {
+  struct Task {
+    Op op = Op::kParse;
+    OpOptions options;
+    std::string key;
+    ResultCache::FlightPtr flight;
+    std::shared_ptr<const Rsn> rsn;
+  };
+  using TaskPtr = std::shared_ptr<Task>;
+
+  ServeService* self = nullptr;
+  std::unique_ptr<ThreadPool> pool;
+  /// Context current at service construction; every per-request child
+  /// context merges into it (BatchRunner's parent-context pattern).
+  obs::ObsContext* parent = nullptr;
+
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::deque<TaskPtr> pending;
+  bool stop = false;
+  /// Leading request id -> cache key, for the cancel op.
+  std::unordered_map<std::string, std::string> inflight;
+
+  // Parsed-network memo (raw-text digest -> parsed network), LRU.
+  struct IngestEntry {
+    std::shared_ptr<const Rsn> rsn;
+    std::string content_hash;
+    std::list<std::string>::iterator lru;
+  };
+  std::mutex ingest_mutex;
+  std::unordered_map<std::string, IngestEntry> ingest;
+  std::list<std::string> ingest_lru;  // front = MRU
+  std::atomic<std::uint64_t> ingest_hits{0}, ingest_misses{0};
+
+  std::thread engine;
+
+  void engine_main();
+  void run_task(Task& task);
+  std::string compute(Task& task);
+  void sleep_hook(const Task& task);
+
+  std::string ingest_network(const std::string& text,
+                             std::shared_ptr<const Rsn>& rsn_out,
+                             std::string& content_hash_out);
+  std::string render_stats_result();
+};
+
+// --- construction / teardown -------------------------------------------------
+
+ServeService::ServeService(const ServiceOptions& options)
+    : options_(options), cache_(options.cache), impl_(new Impl) {
+  impl_->self = this;
+  impl_->parent = &obs::current_context();
+  impl_->pool = std::make_unique<ThreadPool>(options_.threads,
+                                             options_.pool_name.c_str());
+  impl_->engine = std::thread([this] { impl_->engine_main(); });
+}
+
+ServeService::~ServeService() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->stop = true;
+  }
+  impl_->cv.notify_all();
+  impl_->engine.join();
+}
+
+int ServeService::num_threads() const { return impl_->pool->num_threads(); }
+
+bool ServeService::stopping() const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  return impl_->stop;
+}
+
+// --- engine thread -----------------------------------------------------------
+
+void ServeService::Impl::engine_main() {
+  obs::set_thread_name("serve-engine");
+  for (;;) {
+    std::vector<TaskPtr> batch;
+    bool stopping = false;
+    {
+      std::unique_lock<std::mutex> lock(mutex);
+      cv.wait(lock, [&] { return stop || !pending.empty(); });
+      stopping = stop;
+      if (pending.empty()) break;  // stop requested, queue drained
+      batch.assign(pending.begin(), pending.end());
+      pending.clear();
+    }
+    if (stopping) {
+      // Shutdown drains by failing, never by dropping: every leader (and
+      // its coalesced waiters) wakes with a definite error.
+      for (const TaskPtr& t : batch)
+        self->cache_.fail(t->key, t->flight, "service stopping");
+      continue;
+    }
+    // One round = one pool job, one request per chunk; the fault-metric
+    // engine then nests its fault-class parallel_for on the same pool
+    // (two-level parallelism, exactly like a batch flow).  This thread is
+    // the pool's only external submitter, as its contract requires.
+    pool->parallel_for(batch.size(), 1,
+                       [&](int, std::size_t begin, std::size_t end) {
+                         for (std::size_t i = begin; i < end; ++i)
+                           run_task(*batch[i]);
+                       });
+  }
+}
+
+void ServeService::Impl::run_task(Task& task) {
+  if (task.flight->cancelled.load(std::memory_order_relaxed)) {
+    self->cache_.fail(task.key, task.flight, "cancelled");
+    return;
+  }
+  // Child context per request, merged into the construction-time parent —
+  // the request's engine counters/histograms/spans land in the service
+  // owner's report no matter which worker ran it.
+  obs::ObsContext ctx;
+  {
+    obs::ContextScope scope(ctx);
+    std::optional<obs::Span> span;
+    if (obs::enabled())
+      span.emplace(std::string("serve.") + op_name(task.op));
+    std::string blob, error;
+    try {
+      blob = compute(task);
+    } catch (const std::exception& e) {
+      error = e.what();
+    }
+    // Resolve the flight inside the scope: the cache records its
+    // insertion/failure counters on the current context, and they belong
+    // to this request's child context like everything else it did.
+    if (!error.empty()) {
+      self->cache_.fail(task.key, task.flight, std::move(error));
+    } else if (task.flight->cancelled.load(std::memory_order_relaxed)) {
+      self->cache_.fail(task.key, task.flight, "cancelled");
+    } else if (blob.size() > self->options_.limits.max_result_bytes) {
+      self->cache_.fail(
+          task.key, task.flight,
+          strprintf("result too large: %zu bytes (limit %zu)", blob.size(),
+                    self->options_.limits.max_result_bytes));
+    } else {
+      self->cache_.complete(task.key, task.flight, std::move(blob));
+    }
+  }
+  ctx.merge_into(*parent);
+}
+
+void ServeService::Impl::sleep_hook(const Task& task) {
+  // Test hook: sleep in 1 ms increments, polling the cancellation flag —
+  // this is the documented "stage boundary" granularity of the tests.
+  for (std::uint64_t slept = 0; slept < task.options.debug_sleep_ms; ++slept) {
+    if (task.flight->cancelled.load(std::memory_order_relaxed))
+      throw Cancelled();
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+// --- per-op computation ------------------------------------------------------
+
+std::string ServeService::Impl::compute(Task& task) {
+  using obs::detail::format_double;
+  const Rsn& rsn = *task.rsn;
+  const std::string content_hash = rsn.content_hash();
+  sleep_hook(task);
+
+  const auto require_valid = [&] {
+    const std::vector<lint::Diagnostic> diags = rsn.validate();
+    if (lint::has_errors(diags)) {
+      const auto counts = lint::count_by_severity(diags);
+      throw std::runtime_error(strprintf(
+          "input network has %d lint error(s); run op \"lint\" for details",
+          counts[static_cast<int>(lint::Severity::kError)]));
+    }
+  };
+
+  switch (task.op) {
+    case Op::kParse: {
+      const std::vector<lint::Diagnostic> diags = rsn.validate();
+      return strprintf("{\"content_hash\":%s,\"stats\":%s,\"lint\":%s}",
+                       jstr(content_hash).c_str(),
+                       stats_json(rsn.stats()).c_str(),
+                       lint_counts_json(diags).c_str());
+    }
+    case Op::kLint: {
+      lint::LintOptions lo;
+      lo.ft_rules = task.options.ft;
+      const std::vector<lint::Diagnostic> diags = lint_rsn(rsn, lo);
+      // lint::to_json renders with a stable key order — embeddable as-is.
+      return strprintf("{\"content_hash\":%s,\"report\":%s}",
+                       jstr(content_hash).c_str(),
+                       lint::to_json(diags, rsn.node_names()).c_str());
+    }
+    case Op::kSynth: {
+      require_valid();
+      if (task.flight->cancelled.load(std::memory_order_relaxed))
+        throw Cancelled();
+      SynthOptions so;
+      so.harden_select = task.options.harden_select;
+      so.tmr_addresses = task.options.tmr_addresses;
+      so.duplicate_ports = task.options.duplicate_ports;
+      const SynthResult result = synthesize_fault_tolerant(rsn, so);
+      const OverheadRatios oh = compute_overhead(rsn, result.rsn);
+      std::string out = strprintf(
+          "{\"content_hash\":%s,"
+          "\"stats\":{\"added_muxes\":%d,\"added_registers\":%d,"
+          "\"added_bits\":%lld,\"added_edges\":%d},",
+          jstr(content_hash).c_str(), result.stats.added_muxes,
+          result.stats.added_registers, result.stats.added_bits,
+          result.stats.added_edges);
+      out += strprintf(
+          "\"overhead\":{\"mux\":%s,\"bits\":%s,\"nets\":%s,\"area\":%s},",
+          format_double(oh.mux).c_str(), format_double(oh.bits).c_str(),
+          format_double(oh.nets).c_str(), format_double(oh.area).c_str());
+      out += strprintf("\"ft_stats\":%s,\"hardened_hash\":%s,\"lint\":%s",
+                       stats_json(result.rsn.stats()).c_str(),
+                       jstr(result.rsn.content_hash()).c_str(),
+                       lint_counts_json(result.lint).c_str());
+      if (task.options.return_rsn)
+        out += ",\"rsn\":" + jstr(write_rsn_text(result.rsn));
+      out += "}";
+      return out;
+    }
+    case Op::kMetric: {
+      require_valid();
+      if (task.flight->cancelled.load(std::memory_order_relaxed))
+        throw Cancelled();
+      const FaultMetricEngine engine(rsn);
+      MetricEngineOptions eo;
+      eo.metric.count_sib_registers = task.options.count_sib;
+      eo.metric.count_address_registers = task.options.count_address;
+      eo.metric.keep_distribution = task.options.distribution;
+      eo.packed = task.options.packed;
+      eo.pool = pool.get();
+      const FaultToleranceReport report = engine.evaluate(eo);
+      // The digest is the corpus-judge pin format (report_digest), keyed
+      // by the network's content hash — a serve response can be checked
+      // against a manifest built from the same library routine.
+      std::string out = strprintf(
+          "{\"content_hash\":%s,\"digest\":%s,"
+          "\"faults\":%zu,\"counted_segments\":%zu,\"counted_bits\":%lld,",
+          jstr(content_hash).c_str(),
+          jstr(report_digest(content_hash, report)).c_str(), report.num_faults,
+          report.counted_segments, report.counted_bits);
+      out += strprintf(
+          "\"seg_worst\":%s,\"seg_avg\":%s,\"bit_worst\":%s,\"bit_avg\":%s,"
+          "\"worst_fault_index\":%zu",
+          format_double(report.seg_worst).c_str(),
+          format_double(report.seg_avg).c_str(),
+          format_double(report.bit_worst).c_str(),
+          format_double(report.bit_avg).c_str(), report.worst_fault_index);
+      if (task.options.distribution) {
+        out += ",\"seg_fraction\":[";
+        for (std::size_t i = 0; i < report.seg_fraction.size(); ++i) {
+          if (i) out += ",";
+          out += format_double(report.seg_fraction[i]);
+        }
+        out += "],\"bit_fraction\":[";
+        for (std::size_t i = 0; i < report.bit_fraction.size(); ++i) {
+          if (i) out += ",";
+          out += format_double(report.bit_fraction[i]);
+        }
+        out += "]";
+      }
+      out += "}";
+      return out;
+    }
+    case Op::kAccess: {
+      require_valid();
+      NodeId target = kInvalidNode;
+      for (NodeId id = 0; id < rsn.num_nodes(); ++id) {
+        if (rsn.node(id).name == task.options.target) {
+          target = id;
+          break;
+        }
+      }
+      if (target == kInvalidNode)
+        throw std::runtime_error(
+            strprintf("no node named \"%s\"", task.options.target.c_str()));
+      if (!rsn.node(target).is_segment())
+        throw std::runtime_error(strprintf("node \"%s\" is not a segment",
+                                           task.options.target.c_str()));
+      const AccessPlan plan = plan_access(rsn, target);
+      const bool validated = validate_plan(rsn, plan);
+      return strprintf(
+          "{\"content_hash\":%s,\"target\":%s,\"csu_operations\":%zu,"
+          "\"shift_cycles\":%lld,\"validated\":%s}",
+          jstr(content_hash).c_str(), jstr(task.options.target).c_str(),
+          plan.csu_streams.size(), plan.shift_cycles(),
+          validated ? "true" : "false");
+    }
+    case Op::kStats:
+    case Op::kCancel:
+      break;  // handled on the transport thread, never enqueued
+  }
+  throw std::logic_error("uncacheable op reached the engine");
+}
+
+// --- ingest memo -------------------------------------------------------------
+
+std::string ServeService::Impl::ingest_network(
+    const std::string& text, std::shared_ptr<const Rsn>& rsn_out,
+    std::string& content_hash_out) {
+  const std::string raw_digest = sha256_hex(text);
+  {
+    std::lock_guard<std::mutex> lock(ingest_mutex);
+    const auto it = ingest.find(raw_digest);
+    if (it != ingest.end()) {
+      ingest_lru.splice(ingest_lru.begin(), ingest_lru, it->second.lru);
+      rsn_out = it->second.rsn;
+      content_hash_out = it->second.content_hash;
+      ingest_hits.fetch_add(1, std::memory_order_relaxed);
+      obs::count("serve.ingest_hits");
+      return {};
+    }
+  }
+  ingest_misses.fetch_add(1, std::memory_order_relaxed);
+  obs::count("serve.ingest_misses");
+  std::shared_ptr<const Rsn> parsed;
+  try {
+    // validate=false: broken networks are ingestable (parse/lint report
+    // on them); ops that need validity check it themselves.
+    parsed = std::make_shared<const Rsn>(parse_rsn_text(text, false));
+  } catch (const std::exception& e) {
+    return strprintf("parse error: %s", e.what());
+  }
+  rsn_out = parsed;
+  content_hash_out = parsed->content_hash();
+  std::lock_guard<std::mutex> lock(ingest_mutex);
+  if (!ingest.count(raw_digest)) {
+    ingest_lru.push_front(raw_digest);
+    ingest.emplace(raw_digest,
+                   IngestEntry{parsed, content_hash_out, ingest_lru.begin()});
+    while (ingest.size() > std::max<std::size_t>(1, self->options_.ingest_entries)) {
+      ingest.erase(ingest_lru.back());
+      ingest_lru.pop_back();
+    }
+  }
+  return {};
+}
+
+// --- uncached ops ------------------------------------------------------------
+
+std::string ServeService::Impl::render_stats_result() {
+  const CacheStats cs = self->cache_.stats();
+  return strprintf(
+      "{\"threads\":%d,"
+      "\"cache\":{\"hits\":%llu,\"misses\":%llu,\"coalesced\":%llu,"
+      "\"evictions\":%llu,\"insertions\":%llu,\"failures\":%llu,"
+      "\"uncacheable\":%llu,\"entries\":%zu,\"bytes\":%zu},"
+      "\"ingest\":{\"hits\":%llu,\"misses\":%llu}}",
+      pool->num_threads(), static_cast<unsigned long long>(cs.hits),
+      static_cast<unsigned long long>(cs.misses),
+      static_cast<unsigned long long>(cs.coalesced),
+      static_cast<unsigned long long>(cs.evictions),
+      static_cast<unsigned long long>(cs.insertions),
+      static_cast<unsigned long long>(cs.failures),
+      static_cast<unsigned long long>(cs.uncacheable), cs.entries, cs.bytes,
+      static_cast<unsigned long long>(
+          ingest_hits.load(std::memory_order_relaxed)),
+      static_cast<unsigned long long>(
+          ingest_misses.load(std::memory_order_relaxed)));
+}
+
+bool ServeService::cancel_request(const std::string& id) {
+  std::string key;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    const auto it = impl_->inflight.find(id);
+    if (it == impl_->inflight.end()) return false;
+    key = it->second;
+  }
+  return cache_.request_cancel(key);
+}
+
+// --- request handling --------------------------------------------------------
+
+std::string ServeService::handle_line(const std::string& line) {
+  const auto t0 = Clock::now();
+  std::string id, op_text, error, result, key;
+  bool cached = false, coalesced = false;
+  std::optional<Op> op;
+
+  do {  // single-exit error funnel; `break` jumps to envelope rendering
+    std::string parse_error;
+    const std::optional<json::Value> doc = json::parse(line, &parse_error);
+    if (!doc || !doc->is_object()) {
+      error = "bad request: " +
+              (parse_error.empty() ? std::string("not a JSON object")
+                                   : parse_error);
+      break;
+    }
+    if (const json::Value* v = doc->find("id"); v && v->is_string())
+      id = v->text;
+    const json::Value* op_v = doc->find("op");
+    if (!op_v || !op_v->is_string()) {
+      error = "bad request: missing \"op\"";
+      break;
+    }
+    op_text = op_v->text;
+    op = parse_op(op_text);
+    if (!op) {
+      error = strprintf("bad request: unknown op \"%s\"", op_text.c_str());
+      break;
+    }
+
+    if (*op == Op::kStats) {
+      result = impl_->render_stats_result();
+      break;
+    }
+    if (*op == Op::kCancel) {
+      const json::Value* t = doc->find("target_id");
+      if (!t || !t->is_string()) {
+        error = "cancel requires \"target_id\"";
+        break;
+      }
+      result = strprintf("{\"cancelled\":%s}",
+                         cancel_request(t->text) ? "true" : "false");
+      break;
+    }
+
+    // Cacheable analysis op: ingest, key, single-flight lookup.
+    const json::Value* rsn_v = doc->find("rsn");
+    if (!rsn_v || !rsn_v->is_string()) {
+      error = strprintf("op %s requires \"rsn\"", op_name(*op));
+      break;
+    }
+    if (rsn_v->text.size() > options_.limits.max_input_bytes) {
+      error = strprintf("input too large: %zu bytes (limit %zu)",
+                        rsn_v->text.size(), options_.limits.max_input_bytes);
+      break;
+    }
+    OpOptions opts;
+    error = parse_options(*op, doc->find("options"), opts);
+    if (!error.empty()) break;
+
+    if (stopping()) {
+      error = "service stopping";
+      break;
+    }
+    std::shared_ptr<const Rsn> rsn;
+    std::string content_hash;
+    error = impl_->ingest_network(rsn_v->text, rsn, content_hash);
+    if (!error.empty()) break;
+
+    key = sha256_hex("ftrsn-serve-key-v1\nnet " + content_hash + "\n" +
+                     options_fingerprint(*op, opts));
+
+    // Effective deadline: the request may lower the service limit, never
+    // raise it (0 = unlimited on either side).
+    std::uint64_t timeout_ms = options_.limits.timeout_ms;
+    if (const json::Value* t = doc->find("timeout_ms");
+        t && t->is_number() && t->number >= 0) {
+      const auto requested = static_cast<std::uint64_t>(t->number);
+      if (requested > 0)
+        timeout_ms = timeout_ms == 0 ? requested
+                                     : std::min(timeout_ms, requested);
+    }
+    std::optional<Clock::time_point> deadline;
+    if (timeout_ms > 0)
+      deadline = t0 + std::chrono::milliseconds(timeout_ms);
+
+    ResultCache::Lookup lookup = cache_.acquire(key, deadline);
+    switch (lookup.kind) {
+      case ResultCache::Lookup::Kind::kHit:
+        cached = true;
+        result = std::move(lookup.value);
+        break;
+      case ResultCache::Lookup::Kind::kShared:
+        coalesced = true;
+        result = std::move(lookup.value);
+        break;
+      case ResultCache::Lookup::Kind::kFailed:
+        coalesced = true;
+        error = std::move(lookup.value);
+        break;
+      case ResultCache::Lookup::Kind::kLead: {
+        auto task = std::make_shared<Impl::Task>();
+        task->op = *op;
+        task->options = std::move(opts);
+        task->key = key;
+        task->flight = lookup.flight;
+        task->rsn = std::move(rsn);
+        bool rejected = false;
+        {
+          std::lock_guard<std::mutex> lock(impl_->mutex);
+          if (impl_->stop) {
+            rejected = true;
+          } else {
+            impl_->pending.push_back(task);
+            if (!id.empty()) impl_->inflight[id] = key;
+          }
+        }
+        if (rejected) {
+          // The lead must still resolve its flight, or coalesced waiters
+          // would hang on a key nobody computes.
+          cache_.fail(key, task->flight, "service stopping");
+          error = "service stopping";
+          break;
+        }
+        impl_->cv.notify_all();
+        const ResultCache::Lookup done = cache_.await(task->flight, deadline);
+        if (!id.empty()) {
+          std::lock_guard<std::mutex> lock(impl_->mutex);
+          const auto it = impl_->inflight.find(id);
+          if (it != impl_->inflight.end() && it->second == key)
+            impl_->inflight.erase(it);
+        }
+        if (done.kind == ResultCache::Lookup::Kind::kShared) {
+          result = done.value;
+        } else {
+          error = done.value;
+          // A leader abandoning its flight on timeout cancels the
+          // computation, so a dead client's work is not finished for
+          // nobody (coalesced waiters see "cancelled").
+          task->flight->cancelled.store(true, std::memory_order_relaxed);
+        }
+        break;
+      }
+    }
+  } while (false);
+
+  const auto micros = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() - t0)
+          .count());
+  request_hist().record(micros);
+  if (op) op_hist(*op).record(micros);
+
+  std::string out = strprintf("{\"id\":%s,\"ok\":%s,\"op\":%s,",
+                              jstr(id).c_str(),
+                              error.empty() ? "true" : "false",
+                              jstr(op_text).c_str());
+  if (error.empty()) {
+    out += strprintf(
+        "\"cached\":%s,\"coalesced\":%s,\"key\":%s,\"result\":%s,"
+        "\"result_sha256\":%s,",
+        cached ? "true" : "false", coalesced ? "true" : "false",
+        jstr(key).c_str(), result.c_str(), jstr(sha256_hex(result)).c_str());
+  } else {
+    out += strprintf("\"error\":%s,", jstr(error).c_str());
+  }
+  out += strprintf("\"micros\":%llu}",
+                   static_cast<unsigned long long>(micros));
+  return out;
+}
+
+}  // namespace ftrsn::serve

@@ -1,0 +1,116 @@
+// ServeService — the analysis engine behind `ftrsn serve` (DESIGN.md §5k).
+//
+// One service owns one ThreadPool, one ResultCache and one *engine
+// thread*.  Any number of transport threads (socket connections, bench
+// clients) call handle_line() concurrently; each call turns one JSONL
+// request into one JSONL response:
+//
+//   {"id":"r1","op":"metric","rsn":"<.rsn text>","options":{...},
+//    "timeout_ms":5000}
+//   -> {"id":"r1","ok":true,"op":"metric","cached":false,"coalesced":false,
+//       "key":"<sha256>","result":{...},"result_sha256":"<sha256>",
+//       "micros":N}
+//
+// Ops: parse | lint | synth | metric | access (cacheable analyses over the
+// uploaded network), plus stats (service introspection, uncached) and
+// cancel (cooperative cancellation of an in-flight request by id).
+//
+// Execution model (BatchRunner-style nested submission): compute never
+// runs on a transport thread.  The leading request enqueues a task and
+// waits on its cache flight; the engine thread drains the pending queue in
+// rounds, running each round as one pool parallel_for with one request per
+// chunk — the fault-metric engine's fault-class loop then nests on the
+// same pool (MetricEngineOptions::pool), exactly like a batch flow.  The
+// engine thread is the pool's only external submitter, which is what the
+// ThreadPool's worker-0 aliasing rule requires.  Cache hits never touch
+// the engine: they are served on the transport thread in microseconds.
+//
+// Caching: key = SHA-256(domain tag, Rsn::content_hash(), canonical
+// options fingerprint).  The fingerprint renders the *normalized* options
+// (defaults filled in), so `{}` and an explicitly-default options object
+// share one key.  The blob is the rendered result JSON; every renderer is
+// deterministic (fixed key order, shortest-round-trip doubles), so a hit
+// is byte-identical to a cold run.  Errors are never cached.
+//
+// Limits: max_input_bytes rejects oversized uploads before parsing;
+// max_result_bytes fails a computation whose blob would exceed it;
+// timeout_ms bounds how long a request waits for its result (per-request
+// "timeout_ms" may lower, never raise, the service limit).  A timed-out
+// leader cancels its own flight; cancellation is cooperative — compute
+// polls the flag at stage boundaries — and a cancelled flight fails all
+// coalesced waiters but never poisons the cache.
+//
+// Observability: each computed request runs under its own child
+// ObsContext (merged into the context current at service construction),
+// and every request — hits included — records its latency into the
+// serve.request_us histogram plus the per-family serve.request_us.<op>
+// one, all surfaced by the v2 run report's optional histograms section.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "serve/cache.hpp"
+
+namespace ftrsn::serve {
+
+struct ServeLimits {
+  /// Max wall time a request waits for its result; 0 = unlimited.  The
+  /// per-request "timeout_ms" field is clamped to this when both are set.
+  std::uint64_t timeout_ms = 120000;
+  /// Max size of an uploaded .rsn text.
+  std::size_t max_input_bytes = std::size_t{16} << 20;
+  /// Max size of a rendered result blob.
+  std::size_t max_result_bytes = std::size_t{16} << 20;
+};
+
+struct ServiceOptions {
+  /// Shared pool size including the engine thread's slot; <= 0 resolves to
+  /// the hardware concurrency.
+  int threads = 0;
+  ResultCache::Options cache;
+  ServeLimits limits;
+  /// Parsed-network memo entries (raw-text digest -> parsed Rsn), so
+  /// repeated uploads of byte-identical text skip the parser even on a
+  /// result-cache miss (same network, new options).
+  std::size_t ingest_entries = 32;
+  /// Labels the pool's worker lanes ("<name>-w<k>") in traces.
+  std::string pool_name = "serve";
+};
+
+class ServeService {
+ public:
+  explicit ServeService(const ServiceOptions& options = {});
+  ~ServeService();
+
+  ServeService(const ServeService&) = delete;
+  ServeService& operator=(const ServeService&) = delete;
+
+  /// Handles one JSONL request line, returns one JSONL response line (no
+  /// trailing newline).  Thread-safe; blocks until the result is ready,
+  /// the request times out, or it fails.  Never throws on bad input — a
+  /// malformed line yields an {"ok":false,...} response.
+  std::string handle_line(const std::string& line);
+
+  /// Cooperatively cancels the in-flight request with this id (the id the
+  /// *leading* request carried).  Returns false when no such request is
+  /// currently computing.
+  bool cancel_request(const std::string& id);
+
+  int num_threads() const;
+  const ServiceOptions& options() const { return options_; }
+  CacheStats cache_stats() const { return cache_.stats(); }
+
+  /// True once the service refuses new requests (destructor in progress).
+  bool stopping() const;
+
+ private:
+  struct Impl;
+  ServiceOptions options_;
+  ResultCache cache_;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace ftrsn::serve

@@ -34,7 +34,6 @@
 #include "itc02/itc02.hpp"
 #include "synth/synth.hpp"
 #include "util/common.hpp"
-#include "util/sha256.hpp"
 
 namespace ftrsn {
 namespace {
@@ -43,23 +42,12 @@ const char* manifest_path() {
   return FTRSN_TEST_DATA_DIR "/corpus/manifest.sha256";
 }
 
-/// Canonical digest of one full metric sweep.  Hexfloat (%a) rendering is
-/// exact for doubles, so the digest pins the aggregates and the entire
-/// per-fault distribution bit for bit without storing them.
+/// Canonical digest of one full metric sweep: the shared library routine
+/// (fault/metric.hpp report_digest), which the serve metric responses also
+/// embed — judge and server are pinned to the same bytes by construction.
 std::string digest_report(const std::string& name,
                           const FaultToleranceReport& r) {
-  Sha256 h;
-  h.update("ftrsn-corpus-v1\n");
-  h.update(strprintf("name %s\n", name.c_str()));
-  h.update(strprintf("faults %zu\n", r.num_faults));
-  h.update(strprintf("counted %zu %lld\n", r.counted_segments,
-                     r.counted_bits));
-  h.update(strprintf("agg %a %a %a %a\n", r.seg_worst, r.seg_avg,
-                     r.bit_worst, r.bit_avg));
-  h.update(strprintf("worst %zu\n", r.worst_fault_index));
-  for (std::size_t i = 0; i < r.seg_fraction.size(); ++i)
-    h.update(strprintf("%a %a\n", r.seg_fraction[i], r.bit_fraction[i]));
-  return h.hex();
+  return report_digest(name, r);
 }
 
 /// Same deterministic SoC fuzzer shape as test_metric_engine.cpp, with

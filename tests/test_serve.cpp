@@ -1,0 +1,620 @@
+// Serve suite (ctest -L serve): the content-addressed result cache, the
+// single-flight coalescing, the JSONL service and the socket transport.
+//
+// The determinism-critical properties are asserted on hardware-independent
+// counters (CacheStats), never on wall clock:
+//   * hit / miss / LRU-eviction bookkeeping of ResultCache;
+//   * counter-asserted coalescing (N concurrent identical requests = 1
+//     computation, stats.coalesced == N-1) using the debug_sleep_ms test
+//     hook to hold the leader in flight;
+//   * a cancelled or failed flight never poisons the cache (the next
+//     acquire of the key leads a fresh computation that succeeds);
+//   * cache hits are byte-identical to a cold run — asserted on three
+//     ITC'02 SoCs against a *fresh* service instance, so a hit can never
+//     drift from what an uncached daemon would answer.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "io/rsn_text.hpp"
+#include "itc02/itc02.hpp"
+#include "obs/obs.hpp"
+#include "serve/cache.hpp"
+#include "serve/server.hpp"
+#include "serve/service.hpp"
+#include "util/common.hpp"
+#include "util/json.hpp"
+#include "util/sha256.hpp"
+
+namespace ftrsn::serve {
+namespace {
+
+std::string soc_rsn_text(const char* name) {
+  const auto soc = itc02::find_soc(name);
+  EXPECT_TRUE(soc.has_value()) << name;
+  return write_rsn_text(itc02::generate_sib_rsn(*soc));
+}
+
+/// Builds a JSONL request line.  `extra` is spliced into the object
+/// verbatim (options, timeout_ms, ...).
+std::string request_line(const std::string& id, const std::string& op,
+                         const std::string& rsn_text,
+                         const std::string& extra = {}) {
+  std::string line = "{\"id\":\"" + id + "\",\"op\":\"" + op + "\"";
+  if (!rsn_text.empty())
+    line += ",\"rsn\":\"" + obs::detail::json_escape(rsn_text) + "\"";
+  if (!extra.empty()) line += "," + extra;
+  return line + "}";
+}
+
+json::Value response(ServeService& service, const std::string& line) {
+  std::string error;
+  const auto doc = json::parse(service.handle_line(line), &error);
+  EXPECT_TRUE(doc.has_value()) << error;
+  EXPECT_TRUE(doc->is_object());
+  return *doc;
+}
+
+bool resp_ok(const json::Value& r) {
+  const json::Value* ok = r.find("ok");
+  return ok && ok->is_bool() && ok->boolean;
+}
+
+std::string resp_str(const json::Value& r, const char* key) {
+  const json::Value* v = r.find(key);
+  return v && v->is_string() ? v->text : std::string();
+}
+
+bool resp_flag(const json::Value& r, const char* key) {
+  const json::Value* v = r.find(key);
+  return v && v->is_bool() && v->boolean;
+}
+
+void spin_until(const std::function<bool()>& done) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (!done()) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline) << "spin timeout";
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+// --- ResultCache unit tests --------------------------------------------------
+
+TEST(ServeCache, HitMissAndLruEviction) {
+  ResultCache::Options opt;
+  opt.max_bytes = 3 * (2 + 4 + 128);  // room for exactly three k?/blob pairs
+  opt.max_entries = 100;
+  ResultCache cache(opt);
+
+  const auto insert = [&](const std::string& key, const std::string& blob) {
+    const auto lead = cache.acquire(key);
+    ASSERT_EQ(lead.kind, ResultCache::Lookup::Kind::kLead);
+    cache.complete(key, lead.flight, blob);
+  };
+  insert("k1", "aaaa");
+  insert("k2", "bbbb");
+  insert("k3", "cccc");
+  EXPECT_EQ(cache.stats().entries, 3u);
+
+  // Refresh k1, then insert k4: the LRU victim must be k2, deterministically.
+  const auto hit = cache.acquire("k1");
+  EXPECT_EQ(hit.kind, ResultCache::Lookup::Kind::kHit);
+  EXPECT_EQ(hit.value, "aaaa");
+  insert("k4", "dddd");
+
+  EXPECT_TRUE(cache.peek("k1").has_value());
+  EXPECT_FALSE(cache.peek("k2").has_value());
+  EXPECT_TRUE(cache.peek("k3").has_value());
+  EXPECT_TRUE(cache.peek("k4").has_value());
+
+  const CacheStats s = cache.stats();
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.misses, 4u);
+  EXPECT_EQ(s.insertions, 4u);
+  EXPECT_EQ(s.evictions, 1u);
+  EXPECT_EQ(s.entries, 3u);
+  EXPECT_LE(s.bytes, opt.max_bytes);
+}
+
+TEST(ServeCache, EntryCapEvictsAndOversizedBlobIsUncacheable) {
+  ResultCache::Options opt;
+  opt.max_bytes = 1024;
+  opt.max_entries = 2;
+  ResultCache cache(opt);
+  for (const char* key : {"a", "b", "c"}) {
+    const auto lead = cache.acquire(key);
+    ASSERT_EQ(lead.kind, ResultCache::Lookup::Kind::kLead);
+    cache.complete(key, lead.flight, "x");
+  }
+  EXPECT_EQ(cache.stats().entries, 2u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_FALSE(cache.peek("a").has_value());  // oldest evicted
+
+  // A blob bigger than the whole byte budget is served but never inserted.
+  const auto lead = cache.acquire("big");
+  ASSERT_EQ(lead.kind, ResultCache::Lookup::Kind::kLead);
+  cache.complete("big", lead.flight, std::string(4096, 'z'));
+  EXPECT_FALSE(cache.peek("big").has_value());
+  EXPECT_EQ(cache.stats().uncacheable, 1u);
+  EXPECT_EQ(cache.stats().entries, 2u);
+}
+
+TEST(ServeCache, SingleFlightCoalescesAndFailureDoesNotPoison) {
+  ResultCache cache;
+  const auto lead = cache.acquire("k");
+  ASSERT_EQ(lead.kind, ResultCache::Lookup::Kind::kLead);
+
+  std::atomic<int> shared{0};
+  std::vector<std::thread> waiters;
+  for (int i = 0; i < 3; ++i) {
+    waiters.emplace_back([&] {
+      const auto got = cache.acquire("k");
+      EXPECT_EQ(got.kind, ResultCache::Lookup::Kind::kShared);
+      EXPECT_EQ(got.value, "blob");
+      shared.fetch_add(1);
+    });
+  }
+  // Counter-asserted rendezvous: complete only after all three have
+  // coalesced onto the flight, so the waiter count is exact by
+  // construction, not by sleep.
+  spin_until([&] { return cache.stats().coalesced == 3; });
+  cache.complete("k", lead.flight, "blob");
+  for (auto& t : waiters) t.join();
+  EXPECT_EQ(shared.load(), 3);
+  EXPECT_EQ(cache.stats().misses, 1u);
+
+  // Failure path: waiters get the error, the cache stays clean, and the
+  // next acquire leads a *fresh* computation that can succeed.
+  const auto lead2 = cache.acquire("f");
+  ASSERT_EQ(lead2.kind, ResultCache::Lookup::Kind::kLead);
+  std::thread waiter([&] {
+    const auto got = cache.acquire("f");
+    EXPECT_EQ(got.kind, ResultCache::Lookup::Kind::kFailed);
+    EXPECT_EQ(got.value, "boom");
+  });
+  spin_until([&] { return cache.stats().coalesced == 4; });
+  cache.fail("f", lead2.flight, "boom");
+  waiter.join();
+  EXPECT_FALSE(cache.peek("f").has_value());
+  const auto lead3 = cache.acquire("f");
+  EXPECT_EQ(lead3.kind, ResultCache::Lookup::Kind::kLead);
+  cache.complete("f", lead3.flight, "ok");
+  EXPECT_EQ(cache.peek("f").value_or(""), "ok");
+}
+
+// --- content hash ------------------------------------------------------------
+
+TEST(ServeKey, ContentHashIsAPureFunctionOfTheSourceText) {
+  const Rsn a = make_example_rsn();
+  const std::string h = a.content_hash();
+  EXPECT_EQ(h.size(), 64u);
+  // Definition check: domain-tagged SHA-256 of the text serialization.
+  EXPECT_EQ(h, sha256_hex("ftrsn-rsn-v1\n" + write_rsn_text(a)));
+  // The cache-key property: parsing is deterministic, so byte-identical
+  // uploads hash identically no matter how often they are parsed.
+  const std::string text = write_rsn_text(a);
+  EXPECT_EQ(parse_rsn_text(text).content_hash(),
+            parse_rsn_text(text).content_hash());
+  // A structurally different network must hash differently.
+  EXPECT_NE(make_chain_rsn(3, 4).content_hash(), h);
+}
+
+// --- service: caching and key semantics --------------------------------------
+
+TEST(ServeService, RepeatRequestHitsAndIsByteIdentical) {
+  ServiceOptions opt;
+  opt.threads = 1;
+  ServeService service(opt);
+  const std::string rsn = soc_rsn_text("u226");
+
+  const json::Value cold =
+      response(service, request_line("c", "metric", rsn));
+  ASSERT_TRUE(resp_ok(cold));
+  EXPECT_FALSE(resp_flag(cold, "cached"));
+  const json::Value warm =
+      response(service, request_line("w", "metric", rsn));
+  ASSERT_TRUE(resp_ok(warm));
+  EXPECT_TRUE(resp_flag(warm, "cached"));
+
+  EXPECT_EQ(resp_str(cold, "result_sha256"), resp_str(warm, "result_sha256"));
+  EXPECT_EQ(resp_str(cold, "key"), resp_str(warm, "key"));
+  EXPECT_EQ(service.cache_stats().hits, 1u);
+  EXPECT_EQ(service.cache_stats().misses, 1u);
+}
+
+TEST(ServeService, DefaultOptionsAndExplicitDefaultsShareOneKey) {
+  ServiceOptions opt;
+  opt.threads = 1;
+  ServeService service(opt);
+  const std::string rsn = soc_rsn_text("u226");
+
+  const json::Value a = response(service, request_line("a", "metric", rsn));
+  const json::Value b = response(
+      service, request_line("b", "metric", rsn,
+                            "\"options\":{\"count_sib\":true,"
+                            "\"count_address\":false,"
+                            "\"distribution\":false}"));
+  ASSERT_TRUE(resp_ok(a));
+  ASSERT_TRUE(resp_ok(b));
+  EXPECT_EQ(resp_str(a, "key"), resp_str(b, "key"));
+  EXPECT_TRUE(resp_flag(b, "cached"));
+
+  // `packed` switches the engine implementation, not the result — the two
+  // paths are pinned bit-identical by the corpus judge, so they must share
+  // one cache entry.
+  const json::Value c = response(
+      service,
+      request_line("c", "metric", rsn, "\"options\":{\"packed\":false}"));
+  ASSERT_TRUE(resp_ok(c));
+  EXPECT_EQ(resp_str(a, "key"), resp_str(c, "key"));
+  EXPECT_TRUE(resp_flag(c, "cached"));
+
+  // A semantically different option keys differently and recomputes.
+  const json::Value d = response(
+      service,
+      request_line("d", "metric", rsn, "\"options\":{\"count_sib\":false}"));
+  ASSERT_TRUE(resp_ok(d));
+  EXPECT_NE(resp_str(a, "key"), resp_str(d, "key"));
+  EXPECT_FALSE(resp_flag(d, "cached"));
+  EXPECT_NE(resp_str(a, "result_sha256"), resp_str(d, "result_sha256"));
+}
+
+TEST(ServeService, HitIsByteIdenticalToFreshServiceColdRun) {
+  // The acceptance property: a cache hit must serve the bytes a *cold*
+  // daemon would compute.  Run every op on three ITC'02 SoCs through one
+  // warm service, then re-run cold on a fresh service and compare blobs.
+  const char* socs[] = {"u226", "d695", "g1023"};
+  const char* ops[] = {"parse", "lint", "metric", "synth"};
+
+  std::vector<std::string> warm_blobs;
+  {
+    ServiceOptions opt;
+    opt.threads = 1;
+    ServeService warm(opt);
+    for (const char* soc : socs) {
+      const std::string rsn = soc_rsn_text(soc);
+      for (const char* op : ops) {
+        const json::Value cold = response(warm, request_line("1", op, rsn));
+        ASSERT_TRUE(resp_ok(cold)) << soc << " " << op;
+        const json::Value hit = response(warm, request_line("2", op, rsn));
+        ASSERT_TRUE(resp_ok(hit)) << soc << " " << op;
+        EXPECT_TRUE(resp_flag(hit, "cached")) << soc << " " << op;
+        const std::string sha = resp_str(cold, "result_sha256");
+        EXPECT_EQ(sha, resp_str(hit, "result_sha256")) << soc << " " << op;
+        warm_blobs.push_back(sha);
+      }
+    }
+  }
+  ServiceOptions opt;
+  opt.threads = 1;
+  ServeService fresh(opt);
+  std::size_t i = 0;
+  for (const char* soc : socs) {
+    const std::string rsn = soc_rsn_text(soc);
+    for (const char* op : ops) {
+      const json::Value cold = response(fresh, request_line("3", op, rsn));
+      ASSERT_TRUE(resp_ok(cold)) << soc << " " << op;
+      EXPECT_FALSE(resp_flag(cold, "cached")) << soc << " " << op;
+      EXPECT_EQ(resp_str(cold, "result_sha256"), warm_blobs[i++])
+          << soc << " " << op << ": hit bytes drifted from a cold run";
+    }
+  }
+}
+
+TEST(ServeService, ResponseShaMatchesResultBytes) {
+  ServiceOptions opt;
+  opt.threads = 1;
+  ServeService service(opt);
+  const std::string raw =
+      service.handle_line(request_line("x", "parse", soc_rsn_text("u226")));
+  const auto doc = json::parse(raw);
+  ASSERT_TRUE(doc.has_value());
+  // Carve the rendered result object out of the envelope and digest it —
+  // the advertised sha must describe the exact bytes on the wire.
+  const std::size_t begin = raw.find("\"result\":");
+  const std::size_t end = raw.find(",\"result_sha256\":");
+  ASSERT_NE(begin, std::string::npos);
+  ASSERT_NE(end, std::string::npos);
+  const std::string blob = raw.substr(begin + 9, end - begin - 9);
+  EXPECT_EQ(sha256_hex(blob), resp_str(*doc, "result_sha256"));
+}
+
+// --- service: coalescing, cancellation, timeouts -----------------------------
+
+TEST(ServeService, ConcurrentIdenticalRequestsCoalesce) {
+  ServiceOptions opt;
+  opt.threads = 1;
+  ServeService service(opt);
+  const std::string rsn = soc_rsn_text("u226");
+  // Deterministic rendezvous, no wall-clock assumptions: the sleep hook
+  // holds the leader in flight far longer than the test runs, the waiter
+  // counter tells us exactly when all three joined the flight, and the
+  // cancel op then releases everyone at once.
+  const std::string line = request_line(
+      "lead", "parse", rsn, "\"options\":{\"debug_sleep_ms\":60000}");
+
+  std::thread leader([&] {
+    const auto r = json::parse(service.handle_line(line));
+    ASSERT_TRUE(r.has_value());
+    EXPECT_FALSE(resp_ok(*r));
+    EXPECT_EQ(resp_str(*r, "error"), "cancelled");
+  });
+  // The leader's acquire registers the flight before compute starts; once
+  // misses == 1 any identical request must coalesce, unconditionally.
+  spin_until([&] { return service.cache_stats().misses == 1; });
+
+  std::vector<std::thread> waiters;
+  std::atomic<int> coalesced{0};
+  for (int i = 0; i < 3; ++i) {
+    waiters.emplace_back([&] {
+      const auto r = json::parse(service.handle_line(line));
+      ASSERT_TRUE(r.has_value());
+      // Coalesced waiters share the leader's fate: cancelled.
+      EXPECT_FALSE(resp_ok(*r));
+      EXPECT_EQ(resp_str(*r, "error"), "cancelled");
+      coalesced.fetch_add(1);
+    });
+  }
+  spin_until([&] { return service.cache_stats().coalesced == 3; });
+  ASSERT_TRUE(resp_ok(response(
+      service, "{\"id\":\"c\",\"op\":\"cancel\",\"target_id\":\"lead\"}")));
+  for (auto& t : waiters) t.join();
+  leader.join();
+
+  // One computation for four requests — the single-flight contract, pinned
+  // on counters: 1 miss (the leader), 3 coalesced, 0 extra computations.
+  const CacheStats s = service.cache_stats();
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.coalesced, 3u);
+  EXPECT_EQ(s.failures, 1u);
+  EXPECT_EQ(s.insertions, 0u);
+  EXPECT_EQ(coalesced.load(), 3);
+
+  // Success-path delivery: the same four-way fan-in without cancellation
+  // must answer everyone with one identical blob (whether a given request
+  // coalesced or hit depends on timing; the bytes may not).
+  const std::string fast = request_line(
+      "f", "parse", rsn, "\"options\":{\"debug_sleep_ms\":200}");
+  std::vector<std::thread> clients;
+  std::mutex mu;
+  std::vector<std::string> shas;
+  for (int i = 0; i < 4; ++i) {
+    clients.emplace_back([&] {
+      const json::Value r = response(service, fast);
+      EXPECT_TRUE(resp_ok(r));
+      std::lock_guard<std::mutex> lock(mu);
+      shas.push_back(resp_str(r, "result_sha256"));
+    });
+  }
+  for (auto& t : clients) t.join();
+  ASSERT_EQ(shas.size(), 4u);
+  for (const std::string& sha : shas) EXPECT_EQ(sha, shas[0]);
+}
+
+TEST(ServeService, CancelFailsInFlightWithoutPoisoningTheKey) {
+  ServiceOptions opt;
+  opt.threads = 1;
+  ServeService service(opt);
+  const std::string rsn = soc_rsn_text("u226");
+  const std::string line = request_line(
+      "victim", "parse", rsn, "\"options\":{\"debug_sleep_ms\":30000}");
+
+  std::thread leader([&] {
+    const auto doc = json::parse(service.handle_line(line));
+    ASSERT_TRUE(doc.has_value());
+    EXPECT_FALSE(resp_ok(*doc));
+    EXPECT_EQ(resp_str(*doc, "error"), "cancelled");
+  });
+  spin_until([&] { return service.cache_stats().misses == 1; });
+
+  const json::Value cancel = response(
+      service, "{\"id\":\"c\",\"op\":\"cancel\",\"target_id\":\"victim\"}");
+  ASSERT_TRUE(resp_ok(cancel));
+  leader.join();
+  EXPECT_EQ(service.cache_stats().failures, 1u);
+  EXPECT_EQ(service.cache_stats().insertions, 0u);
+
+  // No poisoned entry: the same request (without the sleep) computes
+  // fresh and succeeds.  Different sleep => different key, so use the
+  // *same* key by retrying with the sleep — the flight is gone, so this
+  // leads a new computation; cancel nobody and it completes.
+  const json::Value retry =
+      response(service, request_line("retry", "parse", rsn));
+  EXPECT_TRUE(resp_ok(retry));
+  EXPECT_FALSE(resp_flag(retry, "cached"));
+  EXPECT_EQ(service.cache_stats().misses, 2u);
+  EXPECT_EQ(service.cache_stats().insertions, 1u);
+}
+
+TEST(ServeService, PerRequestTimeoutCancelsAndDoesNotPoison) {
+  ServiceOptions opt;
+  opt.threads = 1;
+  ServeService service(opt);
+  const std::string rsn = soc_rsn_text("u226");
+
+  const auto doc = json::parse(service.handle_line(request_line(
+      "t", "parse", rsn,
+      "\"options\":{\"debug_sleep_ms\":30000},\"timeout_ms\":50")));
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_FALSE(resp_ok(*doc));
+  EXPECT_EQ(resp_str(*doc, "error"),
+            "timeout waiting for in-flight computation");
+
+  // The abandoned leader cancelled its flight; once the engine notices
+  // (1 ms poll) the flight fails and the key is clean for a retry.
+  spin_until([&] { return service.cache_stats().failures == 1; });
+  const json::Value retry =
+      response(service, request_line("r", "parse", rsn));
+  EXPECT_TRUE(resp_ok(retry));
+  EXPECT_EQ(service.cache_stats().insertions, 1u);
+}
+
+// --- service: errors ---------------------------------------------------------
+
+TEST(ServeService, ErrorsAreReportedAndNeverCached) {
+  ServiceOptions opt;
+  opt.threads = 1;
+  ServeService service(opt);
+
+  const auto expect_error = [&](const std::string& line,
+                                const std::string& fragment) {
+    const auto doc = json::parse(service.handle_line(line));
+    ASSERT_TRUE(doc.has_value()) << line;
+    EXPECT_FALSE(resp_ok(*doc)) << line;
+    EXPECT_NE(resp_str(*doc, "error").find(fragment), std::string::npos)
+        << line << " -> " << resp_str(*doc, "error");
+  };
+  expect_error("not json at all", "bad request");
+  expect_error("{\"id\":\"x\"}", "missing \"op\"");
+  expect_error("{\"op\":\"explode\"}", "unknown op");
+  expect_error("{\"op\":\"metric\"}", "requires \"rsn\"");
+  expect_error(request_line("x", "metric", "rsn\nbogus line\n"),
+               "parse error");
+  expect_error(request_line("x", "metric", soc_rsn_text("u226"),
+                            "\"options\":{\"typo\":1}"),
+               "unknown option");
+  expect_error(request_line("x", "access", soc_rsn_text("u226")),
+               "options.target");
+  expect_error(request_line("x", "access", soc_rsn_text("u226"),
+                            "\"options\":{\"target\":\"nope\"}"),
+               "no node named");
+  // Engine-side failures resolve the flight as failed and cache nothing:
+  // the same failing request misses (and recomputes) every time.
+  EXPECT_EQ(service.cache_stats().insertions, 0u);
+  const std::uint64_t misses = service.cache_stats().misses;
+  expect_error(request_line("y", "access", soc_rsn_text("u226"),
+                            "\"options\":{\"target\":\"nope\"}"),
+               "no node named");
+  EXPECT_EQ(service.cache_stats().misses, misses + 1);
+  EXPECT_EQ(service.cache_stats().insertions, 0u);
+}
+
+// --- service: histograms in the v2 report ------------------------------------
+
+TEST(ServeService, RequestLatencyHistogramsSurfaceInReportV2) {
+  obs::ObsContext ctx;
+  obs::ContextScope scope(ctx);
+  {
+    ServiceOptions opt;
+    opt.threads = 1;
+    ServeService service(opt);
+    const std::string rsn = soc_rsn_text("u226");
+    ASSERT_TRUE(resp_ok(response(service, request_line("1", "parse", rsn))));
+    ASSERT_TRUE(resp_ok(response(service, request_line("2", "parse", rsn))));
+    ASSERT_TRUE(resp_ok(response(service, request_line("3", "metric", rsn))));
+    // The service is destroyed (engine thread joined) before the counter
+    // assertions: a request's child-context merge happens on the engine
+    // side *after* its flight is signalled, so handle_line returning does
+    // not yet guarantee the merge landed in `ctx`.
+  }
+
+  // Every request (hits included) lands in serve.request_us and in its
+  // per-family histogram, on the transport thread's context.
+  const auto hists = obs::histograms_snapshot();
+  ASSERT_TRUE(hists.count("serve.request_us"));
+  EXPECT_EQ(hists.at("serve.request_us").count, 3u);
+  ASSERT_TRUE(hists.count("serve.request_us.parse"));
+  EXPECT_EQ(hists.at("serve.request_us.parse").count, 2u);
+  ASSERT_TRUE(hists.count("serve.request_us.metric"));
+  EXPECT_EQ(hists.at("serve.request_us.metric").count, 1u);
+
+  // ... and they surface in the run report without a schema bump.
+  const std::string report = obs::report_json();
+  EXPECT_NE(report.find("\"version\": 2"), std::string::npos);
+  EXPECT_NE(report.find("\"serve.request_us\""), std::string::npos);
+  EXPECT_NE(report.find("\"serve.request_us.metric\""), std::string::npos);
+  // The engine-side counters merged into this context too (child
+  // ObsContext per computed request, merge_into at completion).
+  const auto counters = ctx.counters();
+  ASSERT_TRUE(counters.count("serve.cache_insertions"));
+  EXPECT_EQ(counters.at("serve.cache_insertions"), 2u);
+}
+
+// --- socket transport --------------------------------------------------------
+
+class LineClient {
+ public:
+  explicit LineClient(int port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd_, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    EXPECT_EQ(
+        ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0)
+        << std::strerror(errno);
+  }
+  ~LineClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  std::string round_trip(const std::string& line) {
+    const std::string out = line + "\n";
+    EXPECT_EQ(::send(fd_, out.data(), out.size(), 0),
+              static_cast<ssize_t>(out.size()));
+    std::string reply;
+    char c;
+    while (::recv(fd_, &c, 1, 0) == 1) {
+      if (c == '\n') return reply;
+      reply.push_back(c);
+    }
+    ADD_FAILURE() << "connection closed mid-reply";
+    return reply;
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+TEST(ServeServer, JsonlOverTcpWithShutdown) {
+  ServiceOptions sopt;
+  sopt.threads = 1;
+  ServeService service(sopt);
+  ServerOptions nopt;  // port 0: ephemeral
+  ServeServer server(service, nopt);
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+  ASSERT_GT(server.port(), 0);
+
+  const std::string rsn = soc_rsn_text("u226");
+  {
+    LineClient a(server.port());
+    const auto r1 = json::parse(a.round_trip(request_line("1", "parse", rsn)));
+    ASSERT_TRUE(r1.has_value());
+    EXPECT_TRUE(resp_ok(*r1));
+    EXPECT_FALSE(resp_flag(*r1, "cached"));
+
+    // Second connection shares the service and hits the cache.
+    LineClient b(server.port());
+    const auto r2 = json::parse(b.round_trip(request_line("2", "parse", rsn)));
+    ASSERT_TRUE(r2.has_value());
+    EXPECT_TRUE(resp_ok(*r2));
+    EXPECT_TRUE(resp_flag(*r2, "cached"));
+    EXPECT_EQ(resp_str(*r1, "result_sha256"), resp_str(*r2, "result_sha256"));
+
+    const auto bye = json::parse(b.round_trip("{\"op\":\"shutdown\"}"));
+    ASSERT_TRUE(bye.has_value());
+    EXPECT_TRUE(resp_ok(*bye));
+  }
+  server.wait();  // unblocked by the shutdown request
+  server.stop();
+  EXPECT_EQ(service.cache_stats().hits, 1u);
+}
+
+}  // namespace
+}  // namespace ftrsn::serve

@@ -13,14 +13,24 @@
 #      scaled by FTRSN_ILP_ITERS) under the sanitizers, plus a small-SoC
 #      corpus replay with the scalar cross-check forced on every network;
 #   3. TSan build (FTRSN_SANITIZE=thread) of the metric engine suite
-#      (packed batches included) and the batch runner suite — the places
-#      the library spawns threads (the batch suite exercises nested
-#      parallel_for scheduling);
+#      (packed batches included), the batch runner suite and the serve
+#      suite — the places the library spawns threads (the batch suite
+#      exercises nested parallel_for scheduling, the serve suite the
+#      single-flight cache handoff and the socket transport);
 #   4. bench smokes: BENCH_fault_metric.json and BENCH_batch_flow.json
 #      must be emitted with the expected schemas and bit-identical
 #      aggregates; on hosts with >= 8 hardware threads the intra-network
 #      and batch speedups are asserted too (skipped on small runners,
 #      where wall-clock scaling is physically impossible);
+#   4b. serve smoke: bench_serve under a reduced request storm must emit a
+#      schema-valid BENCH_serve.json whose hardware-independent gates hold
+#      (cache hit rate > 0.5, single-flight coalescing observed, LRU
+#      evictions under the tiny budget, warm results byte-identical to a
+#      cold service) — the same gates are re-checked on the checked-in
+#      envelope; then a real daemon (`rsn_tool serve`) is driven through a
+#      scripted tools/serve_client.py session that counter-asserts cache
+#      hits and byte-identical repeated answers over the socket, ending in
+#      a clean client-initiated shutdown;
 #   4c. augment-scaling smoke: bench_augment_scaling on small synthetic
 #      instances must emit a schema-valid envelope where both flow engines
 #      agree on every objective and the hardware-independent work ratio
@@ -117,11 +127,18 @@ FTRSN_CORPUS_SOCS=u226,d695,rand0,rand1,rand2 FTRSN_CORPUS_SCALAR=1 \
 # layer allocates and merges across threads.
 run ctest --test-dir "$PREFIX-asan" --output-on-failure -L obs
 
+# Serve suite under ASan+UBSan (explicitly, beyond the full-suite run
+# above): the result cache's single-flight handoff, the engine-thread
+# teardown and the per-connection socket readers are the lifetime-heavy
+# paths of the daemon.
+run ctest --test-dir "$PREFIX-asan" --output-on-failure -L serve
+
 # --- 3. TSan build of the threaded metric engine + batch runner ------------
 run cmake -B "$PREFIX-tsan" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DFTRSN_SANITIZE=thread
 run cmake --build "$PREFIX-tsan" -j "$JOBS" \
-    --target ftrsn_metric_tests ftrsn_batch_tests ftrsn_obs_tests
+    --target ftrsn_metric_tests ftrsn_batch_tests ftrsn_obs_tests \
+             ftrsn_serve_tests
 FTRSN_METRIC_ITERS="${FTRSN_METRIC_ITERS:-1}" \
   run ctest --test-dir "$PREFIX-tsan" --output-on-failure -L metric
 # One small SoC keeps the end-to-end sweep fast under TSan; the nested
@@ -134,6 +151,11 @@ FTRSN_BATCH_SOCS="${FTRSN_BATCH_SOCS:-u226}" \
 # exactly, so a lost update is a failure even without a TSan report).
 run ctest --test-dir "$PREFIX-tsan" --output-on-failure -L obs \
     -R 'ObsHist|ObsContextScoping'
+# Serve suite under TSan: transport threads, the engine thread and the
+# pool workers all meet on the cache's flight mutex and the coalescing
+# cv handoff; the counter-asserted tests make a lost wakeup or a data
+# race a deterministic failure, and TSan names the race when one exists.
+run ctest --test-dir "$PREFIX-tsan" --output-on-failure -L serve
 
 # --- 4. fault-metric bench smoke -------------------------------------------
 # Small SoC, legacy baseline on: the emitted JSON must parse, carry the
@@ -224,6 +246,75 @@ else
   grep -q '"bench": "batch_flow"' "$BATCH_JSON"
   if grep -q '"identical": false' "$BATCH_JSON"; then
     echo "batch bench smoke: aggregates mismatch" >&2; exit 1
+  fi
+fi
+
+# --- 4b. serve bench smoke + daemon smoke -----------------------------------
+# A reduced storm keeps the smoke quick; every asserted gate is
+# hardware-independent (cache counters and byte comparisons), so this is
+# meaningful on any runner.  The same validation then runs over the
+# checked-in BENCH_serve.json so the committed envelope can never drift
+# out of contract silently.
+SERVE_WORK="$PREFIX/serve-smoke"
+mkdir -p "$SERVE_WORK"
+SERVE_JSON="$PREFIX/BENCH_serve.smoke.json"
+FTRSN_SERVE_REQUESTS=300 FTRSN_BENCH_OUT="$SERVE_JSON" \
+  run "$PREFIX/bench/bench_serve"
+if command -v python3 >/dev/null 2>&1; then
+  run python3 - "$SERVE_JSON" BENCH_serve.json <<'EOF'
+import json, sys
+for path in sys.argv[1:]:
+    doc = json.load(open(path))
+    assert doc["schema"] == "ftrsn-bench-1", "schema tag"
+    assert doc["bench"] == "serve", "bench tag"
+    storm = doc["storm"]
+    assert storm["hits"] + storm["misses"] > 0, "empty storm"
+    assert storm["hit_rate"] > 0.5, f"hit rate too low: {storm['hit_rate']}"
+    assert 0 <= storm["p50_us"] <= storm["p99_us"] <= storm["max_us"], \
+        "latency percentiles not monotone"
+    assert doc["coalesce"]["coalesced"] > 0, "no single-flight coalescing"
+    assert doc["eviction"]["evictions"] > 0, "tiny budget evicted nothing"
+    assert doc["repeat_identical"] is True, \
+        "warm results not byte-identical to a cold service"
+    counters = doc["obs_counters"]
+    assert counters.get("serve.coalesced", 0) > 0, "serve.coalesced counter"
+    assert counters.get("serve.cache_hits", 0) > storm["misses"], \
+        "cache hits did not dominate"
+    hist = doc["histograms"]["serve.request_us"]
+    assert hist["count"] >= storm["hits"] + storm["misses"], \
+        "request histogram undercounts"
+    print("serve bench ok:", path,
+          f"(hit rate {storm['hit_rate']:.3f}, "
+          f"coalesced {doc['coalesce']['coalesced']})")
+EOF
+
+  # Daemon smoke: a real `rsn_tool serve` process on an ephemeral port,
+  # driven through a scripted client session (tools/serve_client.py) that
+  # counter-asserts cache hits and byte-identical repeated answers over
+  # the socket, then shuts the daemon down cleanly from the client side.
+  run "$PREFIX/examples/example_rsn_tool" gen u226 "$SERVE_WORK/u226.rsn" \
+    >/dev/null
+  SERVE_PORT_FILE="$SERVE_WORK/serve.port"
+  rm -f "$SERVE_PORT_FILE"
+  "$PREFIX/examples/example_rsn_tool" serve --port=0 \
+    --port-file="$SERVE_PORT_FILE" > "$SERVE_WORK/serve.log" 2>&1 &
+  SERVE_PID=$!
+  if ! run python3 tools/serve_client.py --port-file="$SERVE_PORT_FILE" \
+      --rsn="$SERVE_WORK/u226.rsn" --shutdown; then
+    kill "$SERVE_PID" 2>/dev/null || true
+    echo "serve smoke: client session failed; daemon log:" >&2
+    cat "$SERVE_WORK/serve.log" >&2
+    exit 1
+  fi
+  if ! wait "$SERVE_PID"; then
+    echo "serve smoke: daemon exited non-zero; log:" >&2
+    cat "$SERVE_WORK/serve.log" >&2
+    exit 1
+  fi
+else
+  grep -q '"bench": "serve"' "$SERVE_JSON"
+  if grep -q '"repeat_identical": false' "$SERVE_JSON"; then
+    echo "serve bench smoke: warm/cold mismatch" >&2; exit 1
   fi
 fi
 

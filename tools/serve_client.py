@@ -1,0 +1,183 @@
+#!/usr/bin/env python3
+"""Scripted JSONL client for the ftrsn analysis daemon (rsn_tool serve).
+
+Connects to a running daemon (TCP port, --port-file for ephemeral ports, or
+a Unix socket path in the port file), runs a fixed smoke session over an
+uploaded .rsn file and asserts the daemon's caching contract:
+
+  * a repeated request is answered from the cache (cached=true) and its
+    result blob + result_sha256 are byte-identical to the first answer;
+  * the stats op reports the cache hits/misses/insertions the session just
+    caused (counter-asserted, hardware-independent);
+  * malformed requests get ok=false responses and are never cached;
+  * --shutdown ends with a clean server-side teardown.
+
+Exit status 0 = every assertion held.  Used by tools/ci.sh; also handy
+interactively:
+
+  tools/serve_client.py --port-file=/tmp/serve.port --rsn=u226.rsn --shutdown
+"""
+
+import argparse
+import json
+import socket
+import sys
+import time
+
+
+def fail(msg):
+    print(f"serve_client: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def read_endpoint(args):
+    """Resolves (host, port) or a unix path from the CLI arguments."""
+    if args.port_file:
+        deadline = time.monotonic() + args.connect_timeout
+        while True:
+            try:
+                with open(args.port_file) as f:
+                    contents = f.read().strip()
+                if contents:
+                    break
+            except OSError:
+                pass
+            if time.monotonic() > deadline:
+                fail(f"port file {args.port_file} never appeared")
+            time.sleep(0.05)
+        if contents.isdigit():
+            return (args.host, int(contents)), None
+        return None, contents  # unix socket path
+    if args.port is None:
+        fail("need --port or --port-file")
+    return (args.host, args.port), None
+
+
+def connect(args):
+    tcp, unix_path = read_endpoint(args)
+    deadline = time.monotonic() + args.connect_timeout
+    while True:
+        try:
+            if unix_path:
+                sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+                sock.connect(unix_path)
+            else:
+                sock = socket.create_connection(tcp, timeout=args.connect_timeout)
+            sock.settimeout(args.request_timeout)
+            return sock
+        except OSError as e:
+            if time.monotonic() > deadline:
+                fail(f"cannot connect: {e}")
+            time.sleep(0.05)
+
+
+class Session:
+    def __init__(self, sock):
+        self.file = sock.makefile("rw", encoding="utf-8", newline="\n")
+        self.seq = 0
+
+    def call(self, op, rsn=None, options=None, raw=None):
+        """Sends one request, returns (parsed response, raw line)."""
+        if raw is None:
+            self.seq += 1
+            req = {"id": f"c{self.seq}", "op": op}
+            if rsn is not None:
+                req["rsn"] = rsn
+            if options is not None:
+                req["options"] = options
+            raw = json.dumps(req)
+        self.file.write(raw + "\n")
+        self.file.flush()
+        line = self.file.readline()
+        if not line:
+            fail(f"connection closed mid-session (op {op})")
+        return json.loads(line), line.rstrip("\n")
+
+
+def result_blob(raw_response):
+    """The rendered result JSON, carved bytewise out of the envelope (the
+    service renders exactly '"result":<blob>,"result_sha256":')."""
+    a = raw_response.find('"result":')
+    b = raw_response.rfind(',"result_sha256":')
+    if a < 0 or b <= a:
+        fail(f"no result blob in: {raw_response[:200]}")
+    return raw_response[a + len('"result":'):b]
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int)
+    parser.add_argument("--port-file",
+                        help="file the daemon writes its endpoint to "
+                             "(--port-file of rsn_tool serve)")
+    parser.add_argument("--rsn", required=True,
+                        help=".rsn network file to upload")
+    parser.add_argument("--shutdown", action="store_true",
+                        help="send {'op':'shutdown'} at the end")
+    parser.add_argument("--connect-timeout", type=float, default=15.0)
+    parser.add_argument("--request-timeout", type=float, default=300.0)
+    args = parser.parse_args()
+
+    with open(args.rsn) as f:
+        rsn_text = f.read()
+
+    session = Session(connect(args))
+    before, _ = session.call("stats")
+    if not before.get("ok"):
+        fail(f"stats failed: {before}")
+    base = before["result"]["cache"]
+
+    # Cold -> warm for two distinct ops; warm answers must be cached and
+    # byte-identical (blob and sha alike) to the cold ones.
+    repeats = 0
+    for op, options in (("parse", None), ("metric", None)):
+        cold, cold_raw = session.call(op, rsn=rsn_text, options=options)
+        if not cold.get("ok"):
+            fail(f"cold {op} failed: {cold.get('error')}")
+        warm, warm_raw = session.call(op, rsn=rsn_text, options=options)
+        if not warm.get("ok"):
+            fail(f"warm {op} failed: {warm.get('error')}")
+        if not warm.get("cached"):
+            fail(f"warm {op} was not served from the cache")
+        if warm["result_sha256"] != cold["result_sha256"]:
+            fail(f"{op} result_sha256 drifted between cold and warm")
+        if result_blob(warm_raw) != result_blob(cold_raw):
+            fail(f"{op} result blob not byte-identical cold vs warm")
+        repeats += 1
+
+    # One more warm hit on a key the session already owns.
+    again, _ = session.call("parse", rsn=rsn_text)
+    if not (again.get("ok") and again.get("cached")):
+        fail("third parse of the same text missed the cache")
+
+    # Malformed requests answer ok=false and must not pollute the cache.
+    bad, _ = session.call(None, raw='{"id":"x","op":"nonsense"}')
+    if bad.get("ok"):
+        fail("unknown op was accepted")
+    bad, _ = session.call(None, raw="this is not json")
+    if bad.get("ok"):
+        fail("malformed line was accepted")
+
+    after, _ = session.call("stats")
+    cache = after["result"]["cache"]
+    hits = cache["hits"] - base["hits"]
+    misses = cache["misses"] - base["misses"]
+    inserts = cache["insertions"] - base["insertions"]
+    if hits < repeats + 1:
+        fail(f"expected >= {repeats + 1} cache hits this session, got {hits}")
+    if misses < repeats or inserts < repeats:
+        fail(f"expected >= {repeats} misses+insertions, "
+             f"got {misses}/{inserts}")
+
+    if args.shutdown:
+        resp, _ = session.call(None, raw='{"op":"shutdown"}')
+        if not resp.get("ok"):
+            fail(f"shutdown refused: {resp}")
+
+    print(f"serve_client: ok ({hits} hits, {misses} misses, "
+          f"{inserts} insertions; repeats byte-identical)")
+
+
+if __name__ == "__main__":
+    main()
